@@ -1,0 +1,96 @@
+//! Criterion micro-benches for the vector indexes (E9's micro view):
+//! build cost and per-query latency of Flat / IVF / HNSW.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fstore_bench::workloads::random_vectors;
+use fstore_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+const DIM: usize = 64;
+
+/// This box is small; cap criterion's appetite so `cargo bench` finishes in
+/// minutes, not hours.
+fn quick_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g
+}
+
+fn search_latency(c: &mut Criterion) {
+    let mut c = quick_group(c, "index");
+    let c = &mut c;
+    let data = random_vectors(N, DIM, 1);
+    let queries = random_vectors(64, DIM, 2);
+    let flat = FlatIndex::build(data.clone()).unwrap();
+    let ivf = IvfIndex::build(
+        data.clone(),
+        IvfConfig { nlist: 128, nprobe: 8, ..IvfConfig::default() },
+    )
+    .unwrap();
+    let hnsw = HnswIndex::build(
+        data.clone(),
+        HnswConfig { ef_construction: 32, ..HnswConfig::default() },
+    )
+    .unwrap();
+
+    let mut qi = 0usize;
+    let mut next = move || {
+        qi = (qi + 1) % 64;
+        qi
+    };
+    c.bench_function("flat_search_k10_10k", |b| {
+        b.iter(|| black_box(flat.search(&queries[next()], 10).unwrap()))
+    });
+    let mut qi2 = 0usize;
+    let mut next2 = move || {
+        qi2 = (qi2 + 1) % 64;
+        qi2
+    };
+    c.bench_function("ivf_nprobe8_k10_10k", |b| {
+        b.iter(|| black_box(ivf.search(&queries[next2()], 10).unwrap()))
+    });
+    let mut qi3 = 0usize;
+    let mut next3 = move || {
+        qi3 = (qi3 + 1) % 64;
+        qi3
+    };
+    c.bench_function("hnsw_ef32_k10_10k", |b| {
+        b.iter(|| black_box(hnsw.search(&queries[next3()], 10).unwrap()))
+    });
+}
+
+fn build_cost(c: &mut Criterion) {
+    let mut c = quick_group(c, "index_build");
+    let c = &mut c;
+    let data = random_vectors(2_000, DIM, 3);
+    c.bench_function("build_ivf_2k", |b| {
+        b.iter(|| {
+            black_box(
+                IvfIndex::build(
+                    data.clone(),
+                    IvfConfig { nlist: 64, train_iters: 5, ..IvfConfig::default() },
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+    c.bench_function("build_hnsw_2k", |b| {
+        b.iter(|| {
+            black_box(
+                HnswIndex::build(
+                    data.clone(),
+                    HnswConfig { ef_construction: 32, ..HnswConfig::default() },
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, search_latency, build_cost);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benches for the embedding ecosystem (E5–E8 micro view):
+//! trainer throughput, quality metrics, compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fstore_bench::workloads::corpus_preset;
+use fstore_embed::sgns::SgnsTrainer;
+use fstore_embed::{
+    eigenspace_overlap, knn_overlap, semantic_displacement, Corpus, PcaModel, QuantizedTable,
+    SgnsConfig,
+};
+use std::hint::black_box;
+
+fn trainers(c: &mut Criterion) {
+    let corpus = Corpus::generate(corpus_preset(true, 1)).unwrap();
+    let mut g = c.benchmark_group("embed_train");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("sgns_epoch_300v_600s", |b| {
+        b.iter(|| {
+            let mut t = SgnsTrainer::new(
+                &corpus,
+                SgnsConfig { dim: 32, epochs: 1, ..SgnsConfig::default() },
+            )
+            .unwrap();
+            t.train(&corpus).unwrap();
+            black_box(t.vector(0)[0])
+        })
+    });
+    g.finish();
+}
+
+fn quality_metrics(c: &mut Criterion) {
+    let corpus = Corpus::generate(corpus_preset(true, 2)).unwrap();
+    // (metric benches are fast; default criterion settings are fine)
+    let (a, _) = fstore_embed::sgns::train_sgns(
+        &corpus,
+        SgnsConfig { dim: 32, epochs: 1, seed: 1, ..SgnsConfig::default() },
+    )
+    .unwrap();
+    let (bt, _) = fstore_embed::sgns::train_sgns(
+        &corpus,
+        SgnsConfig { dim: 32, epochs: 1, seed: 2, ..SgnsConfig::default() },
+    )
+    .unwrap();
+
+    c.bench_function("embed/knn_overlap_300x32", |b| {
+        b.iter(|| black_box(knn_overlap(&a, &bt, 10, None).unwrap()))
+    });
+    c.bench_function("embed/eigenspace_overlap_300x32", |b| {
+        b.iter(|| black_box(eigenspace_overlap(&a, &bt).unwrap()))
+    });
+    c.bench_function("embed/semantic_displacement_300x32", |b| {
+        b.iter(|| black_box(semantic_displacement(&a, &bt).unwrap()))
+    });
+}
+
+fn compression(c: &mut Criterion) {
+    let corpus = Corpus::generate(corpus_preset(true, 3)).unwrap();
+    let (t, _) = fstore_embed::sgns::train_sgns(
+        &corpus,
+        SgnsConfig { dim: 32, epochs: 1, ..SgnsConfig::default() },
+    )
+    .unwrap();
+    c.bench_function("embed/quantize_4bit_300x32", |b| {
+        b.iter(|| black_box(QuantizedTable::quantize(&t, 4).unwrap().payload_bytes()))
+    });
+    c.bench_function("embed/pca_fit_r8_300x32", |b| {
+        b.iter(|| black_box(PcaModel::fit(&t, 8).unwrap().explained_variance))
+    });
+}
+
+criterion_group!(benches, trainers, quality_metrics, compression);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benches for the monitoring layer (E10/E11 micro view):
+//! tabular drift detectors, MMD, slice discovery, the label model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fstore_common::{Rng, Xoshiro256};
+use fstore_monitor::drift::{DriftMonitor, DriftThresholds};
+use fstore_monitor::slices::discover_slices;
+use fstore_monitor::{mmd_rbf, LabelModel};
+use std::hint::black_box;
+
+fn drift_detectors(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seeded(1);
+    let reference: Vec<f64> = (0..2_000).map(|_| rng.normal()).collect();
+    let live: Vec<f64> = (0..2_000).map(|_| rng.normal() + 0.3).collect();
+    let monitor = DriftMonitor::fit("f", &reference, DriftThresholds::default()).unwrap();
+    c.bench_function("monitor/ks_psi_2k_vs_2k", |b| {
+        b.iter(|| black_box(monitor.check(&live).unwrap()))
+    });
+
+    let emb_ref: Vec<Vec<f64>> =
+        (0..200).map(|_| (0..16).map(|_| rng.normal()).collect()).collect();
+    let emb_live: Vec<Vec<f64>> =
+        (0..200).map(|_| (0..16).map(|_| rng.normal() + 0.5).collect()).collect();
+    c.bench_function("monitor/mmd_rbf_200x16", |b| {
+        b.iter(|| black_box(mmd_rbf(&emb_ref, &emb_live, None).unwrap()))
+    });
+}
+
+fn slice_discovery(c: &mut Criterion) {
+    let n = 5_000;
+    let mut rng = Xoshiro256::seeded(2);
+    let cities = ["sf", "nyc", "la", "chi"];
+    let times = ["day", "night"];
+    let devices = ["ios", "android", "web"];
+    let meta = vec![
+        ("city".to_string(), (0..n).map(|_| rng.choose(&cities).to_string()).collect()),
+        ("time".to_string(), (0..n).map(|_| rng.choose(&times).to_string()).collect()),
+        ("device".to_string(), (0..n).map(|_| rng.choose(&devices).to_string()).collect()),
+    ];
+    let truth: Vec<usize> = (0..n).map(|_| rng.below(2) as usize).collect();
+    let preds: Vec<usize> =
+        truth.iter().map(|&t| if rng.chance(0.85) { t } else { 1 - t }).collect();
+    c.bench_function("monitor/discover_slices_5k_3cols", |b| {
+        b.iter(|| black_box(discover_slices(&meta, &truth, &preds, 50).unwrap().len()))
+    });
+}
+
+fn label_model(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seeded(3);
+    let truth: Vec<usize> = (0..2_000).map(|_| rng.below(2) as usize).collect();
+    let votes: Vec<Vec<Option<usize>>> = (0..8)
+        .map(|_| {
+            truth
+                .iter()
+                .map(|&t| {
+                    if rng.chance(0.2) {
+                        None
+                    } else if rng.chance(0.8) {
+                        Some(t)
+                    } else {
+                        Some(1 - t)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("monitor/label_model_fit_8x2k", |b| {
+        b.iter(|| black_box(LabelModel::fit(&votes, 2, 5).unwrap().source_accuracy[0]))
+    });
+}
+
+criterion_group!(benches, drift_detectors, slice_discovery, label_model);
+criterion_main!(benches);

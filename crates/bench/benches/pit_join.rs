@@ -1,0 +1,68 @@
+//! Criterion micro-benches for training-set construction (E2's micro
+//! view): point-in-time join vs the naive join at several history sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fstore_bench::workloads::feature_history_schema;
+use fstore_common::{Duration, Timestamp, Value};
+use fstore_core::{naive_latest_join, point_in_time_join, LabelEvent, PitFeature};
+use fstore_storage::{OfflineStore, TableConfig};
+use std::hint::black_box;
+
+fn build_history(entities: usize, points_per_entity: usize) -> OfflineStore {
+    let mut off = OfflineStore::new();
+    off.create_table(
+        "feat__score_v1",
+        TableConfig::new(feature_history_schema()).with_time_column("ts"),
+    )
+    .unwrap();
+    for p in 0..points_per_entity {
+        let ts = Timestamp::EPOCH + Duration::hours(p as i64);
+        for e in 0..entities {
+            off.append(
+                "feat__score_v1",
+                &[
+                    Value::from(format!("u{e}")),
+                    Value::Timestamp(ts),
+                    Value::Float((p * entities + e) as f64),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    off
+}
+
+fn pit_join_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pit_join");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for &(entities, history) in &[(200usize, 50usize), (1_000, 50), (1_000, 200)] {
+        let off = build_history(entities, history);
+        let labels: Vec<LabelEvent> = (0..entities)
+            .map(|e| {
+                LabelEvent::new(
+                    format!("u{e}"),
+                    Timestamp::EPOCH + Duration::hours((history / 2) as i64),
+                    1.0,
+                )
+            })
+            .collect();
+        let feats = [PitFeature::materialized("score", 1)];
+        g.throughput(Throughput::Elements(entities as u64));
+        g.bench_with_input(
+            BenchmarkId::new("point_in_time", format!("{entities}x{history}")),
+            &(),
+            |b, ()| b.iter(|| black_box(point_in_time_join(&off, &labels, &feats).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive_latest", format!("{entities}x{history}")),
+            &(),
+            |b, ()| b.iter(|| black_box(naive_latest_join(&off, &labels, &feats).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, pit_join_bench);
+criterion_main!(benches);

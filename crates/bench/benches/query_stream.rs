@@ -1,0 +1,83 @@
+//! Criterion micro-benches for the expression engine and the streaming
+//! window aggregator (E3's micro view).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fstore_common::{Duration, Schema, Timestamp, Value, ValueType};
+use fstore_query::{AggFunc, Program};
+use fstore_stream::{Event, StreamAggregator, WindowSpec};
+use std::hint::black_box;
+
+fn expression_eval(c: &mut Criterion) {
+    let schema = Schema::of(&[
+        ("fare", ValueType::Float),
+        ("surge", ValueType::Float),
+        ("city", ValueType::Str),
+    ]);
+    let simple = Program::compile("fare * 2 + 1", &schema).unwrap();
+    let complex = Program::compile(
+        "clip(fare * coalesce(surge, 1.0), 0, 100) + CASE WHEN city = 'sf' THEN 5 ELSE 0 END",
+        &schema,
+    )
+    .unwrap();
+    let row = vec![Value::Float(20.0), Value::Float(1.5), Value::from("sf")];
+
+    c.bench_function("query/eval_simple", |b| b.iter(|| black_box(simple.eval(&row).unwrap())));
+    c.bench_function("query/eval_complex", |b| b.iter(|| black_box(complex.eval(&row).unwrap())));
+    c.bench_function("query/compile_complex", |b| {
+        b.iter(|| {
+            black_box(
+                Program::compile(
+                    "clip(fare * coalesce(surge, 1.0), 0, 100) + CASE WHEN city = 'sf' THEN 5 ELSE 0 END",
+                    &schema,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn aggregates(c: &mut Criterion) {
+    let values: Vec<Value> = (0..10_000).map(|i| Value::Float(i as f64)).collect();
+    let mut g = c.benchmark_group("query/agg_10k");
+    g.throughput(Throughput::Elements(10_000));
+    for (name, f) in [
+        ("sum", AggFunc::Sum),
+        ("p95", AggFunc::Quantile(0.95)),
+        ("count_distinct", AggFunc::CountDistinct),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(f.apply(&values))));
+    }
+    g.finish();
+}
+
+fn window_aggregation(c: &mut Criterion) {
+    let events: Vec<Event> = (0..50_000)
+        .map(|i| Event::new(format!("u{}", i % 100), Timestamp::millis(i * 20), 1.0))
+        .collect();
+    let mut g = c.benchmark_group("stream/ingest_50k_events");
+    g.throughput(Throughput::Elements(50_000));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, spec) in [
+        ("tumbling_1m", WindowSpec::tumbling(Duration::minutes(1))),
+        ("sliding_5m_1m", WindowSpec::sliding(Duration::minutes(5), Duration::minutes(1))),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut agg =
+                    StreamAggregator::new("f", AggFunc::Count, spec, Duration::ZERO).unwrap();
+                let mut emitted = 0usize;
+                for e in &events {
+                    emitted += agg.push(e).len();
+                }
+                emitted += agg.flush().len();
+                black_box(emitted)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, expression_eval, aggregates, window_aggregation);
+criterion_main!(benches);

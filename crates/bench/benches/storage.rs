@@ -1,0 +1,87 @@
+//! Criterion micro-benches for the dual datastore (E1's micro view):
+//! online put/get, offline append/scan, and zone-map pruning efficacy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fstore_bench::workloads::{feature_history_schema, fill_online};
+use fstore_common::{Duration, EntityKey, Timestamp, Value};
+use fstore_storage::{CmpOp, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig};
+use std::hint::black_box;
+
+fn online_store(c: &mut Criterion) {
+    let store = OnlineStore::new(64);
+    fill_online(&store, "user", 10_000, &["a", "b", "c"], 1);
+    let key = EntityKey::new("u5000");
+
+    c.bench_function("online/get_point", |b| {
+        b.iter(|| black_box(store.get("user", &key, "b")))
+    });
+    c.bench_function("online/get_many_3", |b| {
+        b.iter(|| black_box(store.get_many("user", &key, &["a", "b", "c"])))
+    });
+    c.bench_function("online/put", |b| {
+        b.iter(|| store.put("user", &key, "a", Value::Float(1.0), Timestamp::EPOCH))
+    });
+}
+
+fn offline_store(c: &mut Criterion) {
+    // keep this file snappy on small machines
+
+    let mut store = OfflineStore::new();
+    store
+        .create_table(
+            "feat__score_v1",
+            TableConfig::new(feature_history_schema()).with_time_column("ts"),
+        )
+        .unwrap();
+    for day in 0..30i32 {
+        let base = fstore_common::Date::from_days(day).start();
+        for e in 0..1_000i64 {
+            store
+                .append(
+                    "feat__score_v1",
+                    &[
+                        Value::from(format!("u{e}")),
+                        Value::Timestamp(base + Duration::minutes(e % 60)),
+                        Value::Float(e as f64),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    store.flush("feat__score_v1").unwrap();
+
+    c.bench_function("offline/full_scan_30k", |b| {
+        b.iter(|| black_box(store.scan("feat__score_v1", &ScanRequest::all()).unwrap().rows.len()))
+    });
+    c.bench_function("offline/date_pruned_scan_1_of_30", |b| {
+        let req = ScanRequest::all()
+            .with_dates(fstore_common::Date::from_days(10), fstore_common::Date::from_days(10));
+        b.iter(|| black_box(store.scan("feat__score_v1", &req).unwrap().rows.len()))
+    });
+    c.bench_function("offline/zone_map_pruned_predicate", |b| {
+        let req = ScanRequest::all().filter(Predicate::new("value", CmpOp::Ge, 990.0));
+        b.iter(|| black_box(store.scan("feat__score_v1", &req).unwrap().rows.len()))
+    });
+    c.bench_function("offline/append_row", |b| {
+        let mut fresh = OfflineStore::new();
+        fresh
+            .create_table(
+                "t",
+                TableConfig::new(feature_history_schema()).with_time_column("ts"),
+            )
+            .unwrap();
+        let row = vec![
+            Value::from("u1"),
+            Value::Timestamp(Timestamp::EPOCH),
+            Value::Float(1.0),
+        ];
+        b.iter_batched(
+            || row.clone(),
+            |r| fresh.append("t", &r).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, online_store, offline_store);
+criterion_main!(benches);

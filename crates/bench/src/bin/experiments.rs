@@ -1,0 +1,46 @@
+//! Runs the derived experiment suite E1–E12 (see DESIGN.md §3 and
+//! EXPERIMENTS.md).
+//!
+//! ```text
+//! experiments              # run everything at full size
+//! experiments --quick      # smaller parameters, same shapes
+//! experiments e5 e9        # run a subset by id
+//! experiments --list       # list experiment ids and titles
+//! ```
+
+use fstore_bench::experiments;
+
+fn main() {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--list" | "-l" => {
+                for e in experiments::all() {
+                    println!("{:4}  {}", e.id, e.title);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--list] [ids…]\n\
+                     ids: e1..e12 (default: all)"
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    let known: Vec<&str> = experiments::all().iter().map(|e| e.id).collect();
+    for id in &ids {
+        if !known.iter().any(|k| k.eq_ignore_ascii_case(id)) {
+            eprintln!("unknown experiment id `{id}` (known: {})", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+    if let Err(e) = experiments::run_selected(&ids, quick) {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,130 @@
+//! E1 — the dual-datastore latency contrast (paper §2.2.2).
+//!
+//! Claim: deployed models need an online store because point lookups from
+//! the offline warehouse are orders of magnitude slower; conversely the
+//! offline store wins for full scans (training). We measure point-read and
+//! scan paths over the same logical data in both stores.
+
+use crate::table::{f1, Table};
+use crate::workloads::{feature_history_schema, fill_online};
+use fstore_common::{Duration, EntityKey, Result, Rng, Value, Xoshiro256};
+use fstore_storage::{CmpOp, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig};
+use std::time::Instant;
+
+pub fn run(quick: bool) -> Result<()> {
+    let entities = if quick { 5_000 } else { 20_000 };
+    let history_per_entity = if quick { 10 } else { 50 };
+    let lookups = if quick { 2_000 } else { 10_000 };
+
+    // Offline: full feature history, date partitioned.
+    let mut offline = OfflineStore::new();
+    offline.create_table(
+        "feat__score_v1",
+        TableConfig::new(feature_history_schema()).with_time_column("ts"),
+    )?;
+    let mut rng = Xoshiro256::seeded(11);
+    for day in 0..history_per_entity {
+        let ts = fstore_common::Date::from_days(day as i32).start();
+        for e in 0..entities {
+            offline.append(
+                "feat__score_v1",
+                &[
+                    Value::from(format!("u{e}")),
+                    Value::Timestamp(ts + Duration::minutes(e as i64 % 60)),
+                    Value::Float(rng.normal()),
+                ],
+            )?;
+        }
+    }
+    offline.flush("feat__score_v1")?;
+    let total_rows = entities * history_per_entity;
+
+    // Online: latest value per entity.
+    let online = OnlineStore::new(64);
+    fill_online(&online, "user", entities, &["score"], 12);
+
+    let as_of = fstore_common::Date::from_days(history_per_entity as i32).start();
+    let mut table = Table::new(&[
+        "read path",
+        "batch",
+        "total ms",
+        "per-read µs",
+        "rows touched",
+    ]);
+
+    for &batch in &[1usize, 32, 256] {
+        // --- online point reads ---
+        let start = Instant::now();
+        let mut reads = 0usize;
+        while reads < lookups {
+            for i in 0..batch {
+                let key = EntityKey::new(format!("u{}", (reads + i) % entities));
+                let _ = online.get("user", &key, "score");
+            }
+            reads += batch;
+        }
+        let online_elapsed = start.elapsed();
+        table.row(vec![
+            "online point get".into(),
+            batch.to_string(),
+            f1(online_elapsed.as_secs_f64() * 1e3),
+            f1(online_elapsed.as_secs_f64() * 1e6 / reads as f64),
+            reads.to_string(),
+        ]);
+
+        // --- offline as-of point reads (per-entity predicate scan) ---
+        let per_read_cap = lookups.min(if quick { 100 } else { 200 }); // offline reads are slow; sample
+        let start = Instant::now();
+        let mut scanned = 0usize;
+        for i in 0..per_read_cap {
+            let req = ScanRequest::all()
+                .as_of(as_of)
+                .filter(Predicate::new("entity", CmpOp::Eq, format!("u{}", i % entities)));
+            let res = offline.scan("feat__score_v1", &req)?;
+            scanned += res.stats.rows_scanned;
+        }
+        let offline_elapsed = start.elapsed();
+        table.row(vec![
+            "offline as-of scan".into(),
+            batch.to_string(),
+            f1(offline_elapsed.as_secs_f64() * 1e3 * (reads as f64 / per_read_cap as f64)),
+            f1(offline_elapsed.as_secs_f64() * 1e6 / per_read_cap as f64),
+            format!("{}", scanned / per_read_cap),
+        ]);
+    }
+
+    // --- full scan: the offline store's home turf ---
+    let start = Instant::now();
+    let res = offline.scan("feat__score_v1", &ScanRequest::all())?;
+    let scan_elapsed = start.elapsed();
+    let start = Instant::now();
+    let mut online_rows = 0usize;
+    for e in 0..entities {
+        if online.get_row("user", &EntityKey::new(format!("u{e}"))).is_some() {
+            online_rows += 1;
+        }
+    }
+    let online_scan = start.elapsed();
+    table.row(vec![
+        "offline full scan".into(),
+        "-".into(),
+        f1(scan_elapsed.as_secs_f64() * 1e3),
+        f1(scan_elapsed.as_secs_f64() * 1e6 / res.rows.len() as f64),
+        res.rows.len().to_string(),
+    ]);
+    table.row(vec![
+        "online full sweep".into(),
+        "-".into(),
+        f1(online_scan.as_secs_f64() * 1e3),
+        f1(online_scan.as_secs_f64() * 1e6 / online_rows as f64),
+        online_rows.to_string(),
+    ]);
+
+    println!("{entities} entities, {total_rows} offline history rows\n");
+    table.print();
+    println!(
+        "\nShape check: online per-read latency ≪ offline as-of per-read latency\n\
+         (the dual-datastore argument); offline wins on full-history scans."
+    );
+    Ok(())
+}

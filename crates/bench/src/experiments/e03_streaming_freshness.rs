@@ -1,0 +1,139 @@
+//! E3 — streaming aggregation keeps online features fresh (paper §2.2.1).
+//!
+//! The same event stream is served two ways: a sliding-window streaming
+//! pipeline (windows close continuously) vs batch materialization on a
+//! fixed cadence. We measure the *staleness* of the online value at random
+//! probe instants — the gap between "now" and the data the value reflects —
+//! plus end-to-end throughput of the streaming path.
+
+use crate::table::{f1, Table};
+use fstore_common::{Duration, EntityKey, Result, Rng, Timestamp, Value, Xoshiro256};
+use fstore_query::AggFunc;
+use fstore_storage::{OfflineStore, OnlineStore};
+use fstore_stream::{Event, StreamAggregator, StreamPipeline, WindowSpec};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub fn run(quick: bool) -> Result<()> {
+    let horizon_hours = if quick { 6 } else { 24 };
+    let events_per_sec = 2.0;
+    let mut rng = Xoshiro256::seeded(31);
+
+    // One Poisson event stream over `horizon_hours`.
+    let mut events = Vec::new();
+    let mut t = Timestamp::EPOCH;
+    let end = Timestamp::EPOCH + Duration::hours(horizon_hours);
+    while t < end {
+        t += Duration::millis((rng.exponential(events_per_sec) * 1_000.0) as i64 + 1);
+        let user = format!("u{}", rng.below(50));
+        events.push(Event::new(user, t, 1.0));
+    }
+
+    let mut table = Table::new(&[
+        "serving path",
+        "updates",
+        "mean staleness s",
+        "p95 staleness s",
+        "throughput kev/s",
+    ]);
+
+    // --- streaming path: sliding 15m window, 1m slide ---
+    let online = Arc::new(OnlineStore::default());
+    let offline = Arc::new(Mutex::new(OfflineStore::new()));
+    let agg = StreamAggregator::new(
+        "events_15m",
+        AggFunc::Count,
+        WindowSpec::sliding(Duration::minutes(15), Duration::minutes(1)),
+        Duration::seconds(30),
+    )?;
+    let mut pipeline = StreamPipeline::new(agg, "user", Arc::clone(&online), offline)?;
+    let start = Instant::now();
+    // track per-probe staleness: when an event arrives we know "now"; the
+    // online value's freshness stamp is its window end.
+    let mut staleness = Vec::new();
+    let probe_every = events.len() / 500;
+    for (i, ev) in events.iter().enumerate() {
+        pipeline.push(ev)?;
+        if probe_every > 0 && i % probe_every == 0 {
+            if let Some(e) = online.get("user", &EntityKey::new("u0"), "events_15m") {
+                staleness.push((ev.event_time - e.written_at).as_millis() as f64 / 1_000.0);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let report = pipeline.report();
+    push_row(&mut table, "streaming (1m slide)", report.online_writes, &staleness, events.len(), elapsed);
+
+    // --- batch path: recompute every `cadence` ---
+    for cadence_min in [15i64, 60, 240] {
+        let online = OnlineStore::default();
+        let cadence = Duration::minutes(cadence_min);
+        let mut next_run = Timestamp::EPOCH + cadence;
+        let mut staleness = Vec::new();
+        let mut updates = 0u64;
+        // batch job: at each cadence tick, write the count of the last 15m
+        // (same feature semantics, stale data)
+        let mut window_events: Vec<&Event> = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            window_events.push(ev);
+            while ev.event_time >= next_run {
+                // materialize: count per user over (next_run-15m, next_run]
+                let lo = next_run - Duration::minutes(15);
+                let mut counts = std::collections::HashMap::new();
+                for e in &window_events {
+                    if e.event_time > lo && e.event_time <= next_run {
+                        *counts.entry(e.entity.as_str().to_string()).or_insert(0i64) += 1;
+                    }
+                }
+                for (user, c) in counts {
+                    online.put("user", &EntityKey::new(user), "events_15m", Value::Int(c), next_run);
+                    updates += 1;
+                }
+                next_run += cadence;
+            }
+            if probe_every > 0 && i % probe_every == 0 {
+                if let Some(e) = online.get("user", &EntityKey::new("u0"), "events_15m") {
+                    staleness.push((ev.event_time - e.written_at).as_millis() as f64 / 1_000.0);
+                }
+            }
+        }
+        push_row(
+            &mut table,
+            &format!("batch (cadence {cadence_min}m)"),
+            updates,
+            &staleness,
+            0,
+            std::time::Duration::ZERO,
+        );
+    }
+
+    println!(
+        "{} events over {horizon_hours}h, feature = 15-minute event count, probe entity u0\n",
+        events.len()
+    );
+    table.print();
+    println!(
+        "\nShape check: streaming staleness ≈ the slide (1m) regardless of cadence;\n\
+         batch staleness grows linearly with the materialization cadence."
+    );
+    Ok(())
+}
+
+fn push_row(
+    table: &mut Table,
+    name: &str,
+    updates: u64,
+    staleness: &[f64],
+    events: usize,
+    elapsed: std::time::Duration,
+) {
+    let mean = staleness.iter().sum::<f64>() / staleness.len().max(1) as f64;
+    let p95 = fstore_common::stats::exact_quantile(staleness, 0.95).unwrap_or(f64::NAN);
+    let throughput = if events > 0 {
+        format!("{:.0}", events as f64 / elapsed.as_secs_f64() / 1_000.0)
+    } else {
+        "-".to_string()
+    };
+    table.row(vec![name.into(), updates.to_string(), f1(mean), f1(p95), throughput]);
+}

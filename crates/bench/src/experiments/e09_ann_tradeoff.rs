@@ -1,0 +1,124 @@
+//! E9 — embedding serving at scale needs ANN indexes (paper §4: "users
+//! need tools for searching and querying these embeddings … performing
+//! these operations at industrial scale will be non-trivial").
+//!
+//! The classic recall/latency frontier: Flat (exact) vs IVF (nprobe sweep)
+//! vs HNSW (ef sweep) on one vector set.
+
+use crate::table::{f1, f3, Table};
+use crate::workloads::clustered_vectors;
+use fstore_common::Result;
+use fstore_index::{
+    recall_at_k, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex,
+};
+use std::time::Instant;
+
+pub fn run(quick: bool) -> Result<()> {
+    let n = if quick { 20_000 } else { 100_000 };
+    let dim = 32;
+    let clusters = 64;
+    let n_queries = if quick { 100 } else { 300 };
+    let k = 10;
+
+    // Clustered vectors: the distributional shape of real embedding tables
+    // (and the structure a coarse quantizer exploits).
+    let mut data = clustered_vectors(n + n_queries, dim, clusters, 0.4, 91);
+    let queries = data.split_off(n);
+
+    println!("{n} vectors × {dim} dims ({clusters} latent clusters), {n_queries} queries, recall@{k}\n");
+
+    let build_start = Instant::now();
+    let flat = FlatIndex::build(data.clone())?;
+    let flat_build = build_start.elapsed();
+
+    let build_start = Instant::now();
+    let ivf = IvfIndex::build(
+        data.clone(),
+        IvfConfig { nlist: (n as f64).sqrt() as usize, train_iters: 10, ..IvfConfig::default() },
+    )?;
+    let ivf_build = build_start.elapsed();
+
+    let build_start = Instant::now();
+    let hnsw = HnswIndex::build(
+        data.clone(),
+        HnswConfig { m: 16, ef_construction: if quick { 64 } else { 100 }, ..HnswConfig::default() },
+    )?;
+    let hnsw_build = build_start.elapsed();
+
+    let mut table = Table::new(&["index", "param", "recall@10", "query µs", "speedup", "build s"]);
+
+    // exact baseline latency
+    let start = Instant::now();
+    for q in &queries {
+        flat.search(q, k)?;
+    }
+    let flat_us = start.elapsed().as_secs_f64() * 1e6 / n_queries as f64;
+    table.row(vec![
+        "flat (exact)".into(),
+        "-".into(),
+        f3(1.0),
+        f1(flat_us),
+        "1.0x".into(),
+        f1(flat_build.as_secs_f64()),
+    ]);
+
+    for nprobe in [1usize, 2, 4, 8, 16, 32] {
+        let start = Instant::now();
+        for q in &queries {
+            ivf.search_with_probes(q, k, nprobe)?;
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / n_queries as f64;
+        // recall measured via a thin adapter running the probe setting
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let truth = flat.search(q, k)?;
+            let got = ivf.search_with_probes(q, k, nprobe)?;
+            let ids: Vec<usize> = got.iter().map(|h| h.0).collect();
+            hit += truth.iter().filter(|(id, _)| ids.contains(id)).count();
+            total += truth.len();
+        }
+        table.row(vec![
+            "ivf".into(),
+            format!("nprobe={nprobe}"),
+            f3(hit as f64 / total as f64),
+            f1(us),
+            format!("{:.1}x", flat_us / us),
+            f1(ivf_build.as_secs_f64()),
+        ]);
+    }
+
+    for ef in [16usize, 32, 64, 128, 256] {
+        let start = Instant::now();
+        for q in &queries {
+            hnsw.search_with_ef(q, k, ef)?;
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / n_queries as f64;
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let truth = flat.search(q, k)?;
+            let got = hnsw.search_with_ef(q, k, ef)?;
+            let ids: Vec<usize> = got.iter().map(|h| h.0).collect();
+            hit += truth.iter().filter(|(id, _)| ids.contains(id)).count();
+            total += truth.len();
+        }
+        table.row(vec![
+            "hnsw".into(),
+            format!("ef={ef}"),
+            f3(hit as f64 / total as f64),
+            f1(us),
+            format!("{:.1}x", flat_us / us),
+            f1(hnsw_build.as_secs_f64()),
+        ]);
+    }
+
+    table.print();
+    let _ = recall_at_k(&hnsw, &flat, &queries, k)?; // exported API smoke-use
+    println!(
+        "\nShape check: both ANN families sweep out a recall/latency frontier —\n\
+         ~0.9+ recall at a large speedup over exact scan; recall → 1 as\n\
+         nprobe/ef grow; HNSW pays its cost at build time."
+    );
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! E11 — fine-grained monitoring finds hidden underperforming slices, and
+//! data-management patches close the gap (paper §3.1.3; Goel et al.,
+//! Robustness Gym + "Model Patching"; Chen et al., slice-based learning).
+//!
+//! A planted subgroup (city=nyc & time=night, 10% of data) follows a
+//! different decision rule. The base model averages over it and fails
+//! there. We (1) *discover* the slice automatically from metadata, then
+//! (2) patch by targeted augmentation and by slice reweighting, and report
+//! the subgroup gap before/after.
+
+use crate::table::{f3, pct, Table};
+use fstore_common::{Result, Rng, Xoshiro256};
+use fstore_models::{Classifier, Mlp, TrainConfig};
+use fstore_monitor::slices::discover_slices;
+use fstore_monitor::{augment_slice, reweight_slice};
+
+struct Dataset {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<usize>,
+    meta: Vec<(String, Vec<String>)>,
+    slice_idx: Vec<usize>,
+}
+
+/// Majority rule: y = x0 > 0. Planted slice (nyc∧night, ~5%): the rule is
+/// *inverted* (y = x0 < 0) — night pricing flips the signal. A model that
+/// averages over the population gets the slice almost entirely wrong.
+fn make_data(n: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256::seeded(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let mut city = Vec::with_capacity(n);
+    let mut time = Vec::with_capacity(n);
+    let mut slice_idx = Vec::new();
+    for i in 0..n {
+        let is_nyc = rng.chance(0.22);
+        let is_night = rng.chance(0.22);
+        let x0 = rng.normal() * 1.2;
+        let x1 = rng.normal();
+        let in_slice = is_nyc && is_night;
+        let y = if in_slice { usize::from(x0 < 0.0) } else { usize::from(x0 > 0.0) };
+        // metadata is also visible to the model as indicator features
+        xs.push(vec![x0, x1, f64::from(is_nyc), f64::from(is_night)]);
+        ys.push(y);
+        city.push(if is_nyc { "nyc" } else { "sf" }.to_string());
+        time.push(if is_night { "night" } else { "day" }.to_string());
+        if in_slice {
+            slice_idx.push(i);
+        }
+    }
+    Dataset {
+        xs,
+        ys,
+        meta: vec![("city".into(), city), ("time".into(), time)],
+        slice_idx,
+    }
+}
+
+fn slice_and_overall(
+    model: &Mlp,
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    slice: &[usize],
+) -> Result<(f64, f64)> {
+    let preds = model.predict_batch(xs)?;
+    let overall =
+        preds.iter().zip(ys).filter(|(p, y)| p == y).count() as f64 / ys.len() as f64;
+    let hit = slice.iter().filter(|&&i| preds[i] == ys[i]).count();
+    Ok((hit as f64 / slice.len() as f64, overall))
+}
+
+pub fn run(quick: bool) -> Result<()> {
+    let n = if quick { 2_000 } else { 6_000 };
+    let train = make_data(n, 111);
+    let test = make_data(n / 2, 222);
+    // A short optimization budget (the realistic regime for large models):
+    // the majority pattern wins the gradient race and the minority slice is
+    // left behind unless patched.
+    let cfg = TrainConfig { epochs: if quick { 4 } else { 6 }, learning_rate: 0.15, ..TrainConfig::default() };
+
+    // --- base model ---
+    let base = Mlp::train(&train.xs, &train.ys, 2, 12, &cfg)?;
+    let preds = base.predict_batch(&test.xs)?;
+
+    // --- step 1: discover the slice from metadata (no prior knowledge) ---
+    let discovered = discover_slices(&test.meta, &test.ys, &preds, 30)?;
+    let worst = &discovered[0];
+    println!(
+        "discovered worst slice: `{}` (support {}, acc {:.3}, gap {:+.3})\n",
+        worst.name, worst.support, worst.accuracy, worst.gap
+    );
+
+    // --- step 2: patch ---
+    let mut table = Table::new(&[
+        "model",
+        "slice acc",
+        "overall acc",
+        "subgroup gap",
+    ]);
+    let (s, o) = slice_and_overall(&base, &test.xs, &test.ys, &test.slice_idx)?;
+    table.row(vec!["base".into(), f3(s), f3(o), pct(o - s)]);
+
+    // (a) targeted augmentation of the training slice
+    let (ax, ay) = augment_slice(&train.xs, &train.ys, &train.slice_idx, 8, 0.05, 7)?;
+    let patched_aug = Mlp::train(&ax, &ay, 2, 12, &cfg)?;
+    let (s, o) = slice_and_overall(&patched_aug, &test.xs, &test.ys, &test.slice_idx)?;
+    table.row(vec!["patched: augmentation ×8".into(), f3(s), f3(o), pct(o - s)]);
+
+    // (b) slice reweighting — the Mlp trainer has no weight hook, so apply
+    // reweighting by replication (weight 8 ≈ 8 copies), the standard trick.
+    let weights = reweight_slice(train.xs.len(), &train.slice_idx, 8.0)?;
+    let mut rx = Vec::new();
+    let mut ry = Vec::new();
+    for (i, w) in weights.iter().enumerate() {
+        for _ in 0..*w as usize {
+            rx.push(train.xs[i].clone());
+            ry.push(train.ys[i]);
+        }
+    }
+    let patched_rw = Mlp::train(&rx, &ry, 2, 12, &cfg)?;
+    let (s, o) = slice_and_overall(&patched_rw, &test.xs, &test.ys, &test.slice_idx)?;
+    table.row(vec!["patched: reweight ×8".into(), f3(s), f3(o), pct(o - s)]);
+
+    println!("{n} train rows, planted slice = city=nyc & time=night (~5%, inverted rule)\n");
+    table.print();
+    println!(
+        "\nShape check (Goel): automatic discovery surfaces the planted conjunction\n\
+         as the worst slice; both patches shrink the subgroup gap substantially at\n\
+         a small (or zero) cost to overall accuracy."
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! The derived experiment suite E1–E12 (DESIGN.md §3). Each module
+//! regenerates one table; `run_all` drives them from the `experiments`
+//! binary.
+
+pub mod e01_serving_latency;
+pub mod e02_pit_leakage;
+pub mod e03_streaming_freshness;
+pub mod e04_quality_detectors;
+pub mod e05_rare_entity_kg;
+pub mod e06_instability_budget;
+pub mod e07_eigenspace_predicts;
+pub mod e08_knn_stability;
+pub mod e09_ann_tradeoff;
+pub mod e10_embedding_drift;
+pub mod e11_slice_patching;
+pub mod e12_patch_propagation;
+pub mod e13_version_alignment;
+
+use fstore_common::Result;
+
+/// One runnable experiment.
+pub struct Experiment {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub run: fn(quick: bool) -> Result<()>,
+}
+
+/// The registry, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            title: "E1  Online vs offline feature serving latency (§2.2.2)",
+            run: e01_serving_latency::run,
+        },
+        Experiment {
+            id: "e2",
+            title: "E2  Point-in-time joins prevent feature leakage (§2.2.2)",
+            run: e02_pit_leakage::run,
+        },
+        Experiment {
+            id: "e3",
+            title: "E3  Streaming vs batch feature freshness (§2.2.1)",
+            run: e03_streaming_freshness::run,
+        },
+        Experiment {
+            id: "e4",
+            title: "E4  Feature-quality detectors catch injected faults (§2.2.2)",
+            run: e04_quality_detectors::run,
+        },
+        Experiment {
+            id: "e5",
+            title: "E5  KG signals rescue rare entities (§3.1.1, Bootleg)",
+            run: e05_rare_entity_kg::run,
+        },
+        Experiment {
+            id: "e6",
+            title: "E6  Downstream instability vs memory budget (§3.1.2, Leszczynski)",
+            run: e06_instability_budget::run,
+        },
+        Experiment {
+            id: "e7",
+            title: "E7  Eigenspace overlap predicts downstream accuracy (§3.1.2, May)",
+            run: e07_eigenspace_predicts::run,
+        },
+        Experiment {
+            id: "e8",
+            title: "E8  k-NN neighborhood stability across retrains (§3.1.2, Wendlandt)",
+            run: e08_knn_stability::run,
+        },
+        Experiment {
+            id: "e9",
+            title: "E9  ANN recall/latency trade-off (§4 scale claim)",
+            run: e09_ann_tradeoff::run,
+        },
+        Experiment {
+            id: "e10",
+            title: "E10 Tabular monitors miss embedding drift; MMD catches it (§3.1)",
+            run: e10_embedding_drift::run,
+        },
+        Experiment {
+            id: "e11",
+            title: "E11 Slice discovery + patching closes subgroup gaps (§3.1.3, Goel)",
+            run: e11_slice_patching::run,
+        },
+        Experiment {
+            id: "e12",
+            title: "E12 One embedding patch heals all downstream consumers (§3.1.3)",
+            run: e12_patch_propagation::run,
+        },
+        Experiment {
+            id: "e13",
+            title: "E13 Version alignment keeps deployed models working (§4)",
+            run: e13_version_alignment::run,
+        },
+    ]
+}
+
+/// Run experiments whose id is in `ids` (all when `ids` is empty).
+pub fn run_selected(ids: &[String], quick: bool) -> Result<()> {
+    for e in all() {
+        if ids.is_empty() || ids.iter().any(|i| i.eq_ignore_ascii_case(e.id)) {
+            println!("\n=== {} ===\n", e.title);
+            let start = std::time::Instant::now();
+            (e.run)(quick)?;
+            println!("\n[{} finished in {:.1}s]", e.id, start.elapsed().as_secs_f64());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let exps = super::all();
+        assert_eq!(exps.len(), 13);
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+    }
+}

@@ -1,0 +1,24 @@
+//! # fstore-bench
+//!
+//! The experiment harness (DESIGN.md §3). The paper is a tutorial with no
+//! evaluation tables, so this crate regenerates the **derived experiment
+//! suite E1–E12** — one experiment per concrete claim/metric the paper
+//! surveys — plus Criterion micro-benchmarks of every hot path.
+//!
+//! * `cargo run -p fstore-bench --release --bin experiments` — run all
+//!   experiments and print their tables (EXPERIMENTS.md quotes this output).
+//! * `cargo run -p fstore-bench --release --bin experiments -- --quick` —
+//!   smaller parameters, same shapes.
+//! * `cargo run -p fstore-bench --release --bin experiments -- e5 e9` —
+//!   run a subset.
+//! * `cargo bench` — Criterion micro-benches.
+
+// Index-based loops are clearer than iterator chains in the dense
+// numeric kernels below; silence the style lint crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,109 @@
+//! Minimal aligned text-table printer for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table. All cells are strings; numeric helpers
+/// format consistently across experiments.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format helpers shared by the experiments.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+pub fn us(duration: std::time::Duration) -> String {
+    format!("{:.1}", duration.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["much_longer_name".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(f1(2.0), "2.0");
+    }
+}

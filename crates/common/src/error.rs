@@ -1,0 +1,131 @@
+//! Workspace-wide error type.
+//!
+//! A single enum keeps cross-crate `Result` plumbing simple and lets the
+//! facade crate expose one error surface. Variants are grouped by subsystem;
+//! each carries a human-readable message with enough context to act on.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FsError>;
+
+/// The error type for all `fstore` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsError {
+    /// A schema/type mismatch: expected vs. found.
+    TypeMismatch { expected: String, found: String, context: String },
+    /// A named object (table, feature, embedding, model…) was not found.
+    NotFound { kind: &'static str, name: String },
+    /// An attempt to register a name that already exists.
+    AlreadyExists { kind: &'static str, name: String },
+    /// Malformed input to a parser (feature expression language).
+    Parse { message: String, position: usize },
+    /// A query/plan-time validation failure (unknown column, bad aggregate…).
+    Plan(String),
+    /// A runtime evaluation failure (division by zero with strict mode, etc.).
+    Eval(String),
+    /// Storage-layer failure (partition missing, segment corrupt…).
+    Storage(String),
+    /// Streaming-layer failure (late event beyond allowed lateness…).
+    Stream(String),
+    /// Embedding-layer failure (dimension mismatch, unknown version…).
+    Embedding(String),
+    /// Index-layer failure (not built, dimension mismatch…).
+    Index(String),
+    /// Model-layer failure (shape mismatch, not fitted…).
+    Model(String),
+    /// Monitoring failure (empty reference window, invalid threshold…).
+    Monitor(String),
+    /// Invalid argument supplied by the caller.
+    InvalidArgument(String),
+    /// Serialization/deserialization failure (model store artifacts).
+    Serde(String),
+}
+
+impl FsError {
+    /// Shorthand for a [`FsError::NotFound`].
+    pub fn not_found(kind: &'static str, name: impl Into<String>) -> Self {
+        FsError::NotFound { kind, name: name.into() }
+    }
+
+    /// Shorthand for a [`FsError::AlreadyExists`].
+    pub fn already_exists(kind: &'static str, name: impl Into<String>) -> Self {
+        FsError::AlreadyExists { kind, name: name.into() }
+    }
+
+    /// Shorthand for a [`FsError::TypeMismatch`].
+    pub fn type_mismatch(
+        expected: impl Into<String>,
+        found: impl Into<String>,
+        context: impl Into<String>,
+    ) -> Self {
+        FsError::TypeMismatch {
+            expected: expected.into(),
+            found: found.into(),
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            FsError::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
+            FsError::AlreadyExists { kind, name } => write!(f, "{kind} already exists: {name}"),
+            FsError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            FsError::Plan(m) => write!(f, "plan error: {m}"),
+            FsError::Eval(m) => write!(f, "evaluation error: {m}"),
+            FsError::Storage(m) => write!(f, "storage error: {m}"),
+            FsError::Stream(m) => write!(f, "stream error: {m}"),
+            FsError::Embedding(m) => write!(f, "embedding error: {m}"),
+            FsError::Index(m) => write!(f, "index error: {m}"),
+            FsError::Model(m) => write!(f, "model error: {m}"),
+            FsError::Monitor(m) => write!(f, "monitor error: {m}"),
+            FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FsError::Serde(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = FsError::type_mismatch("Int", "Str", "column `age`");
+        let s = e.to_string();
+        assert!(s.contains("Int") && s.contains("Str") && s.contains("age"), "{s}");
+    }
+
+    #[test]
+    fn not_found_display() {
+        let e = FsError::not_found("feature", "user_rating_v2");
+        assert_eq!(e.to_string(), "feature not found: user_rating_v2");
+    }
+
+    #[test]
+    fn already_exists_display() {
+        let e = FsError::already_exists("table", "trips");
+        assert_eq!(e.to_string(), "table already exists: trips");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&FsError::Plan("x".into()));
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let e = FsError::Parse { message: "unexpected `)`".into(), position: 17 };
+        assert!(e.to_string().contains("byte 17"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # fstore-common
+//!
+//! Shared substrate for the `fstore` workspace: typed values and schemas,
+//! timestamps and partition-date arithmetic, the workspace error type, a
+//! deterministic random-number generator used by every workload generator,
+//! and the statistics primitives (moments, histograms, quantile sketches,
+//! divergence tests, mutual information) that both the feature-quality
+//! metrics and the drift monitors are built on.
+//!
+//! Nothing in this crate knows about features, embeddings, or stores — it is
+//! the bottom layer of the dependency graph in `DESIGN.md §1`.
+
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod schema;
+pub mod stats;
+pub mod time;
+pub mod value;
+
+pub use error::{FsError, Result};
+pub use rng::{Rng, SplitMix64, Xoshiro256, Zipf};
+pub use schema::{FieldDef, Schema};
+pub use time::{Date, Duration, SimClock, Timestamp};
+pub use value::{EntityKey, Value, ValueType};

@@ -1,0 +1,242 @@
+//! Streaming quantile estimation with the P² (piecewise-parabolic) algorithm
+//! (Jain & Chlamtac, 1985).
+//!
+//! The online store and the streaming aggregators need approximate quantiles
+//! (p50/p95/p99 latencies, feature distribution percentiles) in O(1) memory;
+//! P² maintains five markers and is accurate to well under a percentile on
+//! smooth distributions.
+
+/// P² estimator for a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates); valid once `count >= 5`.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five raw observations (used verbatim until initialized).
+    warmup: [f64; 5],
+}
+
+impl P2Quantile {
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: [0.0; 5],
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.warmup[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.warmup.sort_by(f64::total_cmp);
+                self.heights = self.warmup;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find cell k such that heights[k] <= x < heights[k+1], adjusting extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3 // top cell: only marker 5's position shifts
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= self.heights[k + 1] {
+                k += 1;
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers 1..=3 toward desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate. For fewer than 5 observations, an exact small-sample
+    /// quantile over what has been seen. `None` when empty.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut xs = self.warmup[..n].to_vec();
+                xs.sort_by(f64::total_cmp);
+                let rank = (self.q * (n - 1) as f64).round() as usize;
+                Some(xs[rank])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// Exact quantile of a slice (nearest-rank on a sorted copy). O(n log n);
+/// used by tests and by offline (batch) profiles where exactness matters.
+pub fn exact_quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut xs = data.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let rank = (q * (xs.len() - 1) as f64).round() as usize;
+    Some(xs[rank.min(xs.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Xoshiro256};
+
+    #[test]
+    fn empty_and_warmup() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.push(2.0);
+        p.push(6.0);
+        // exact small-sample median of {2, 6, 10}
+        assert_eq!(p.estimate(), Some(6.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = Xoshiro256::seeded(11);
+        let mut p = P2Quantile::new(0.5);
+        for _ in 0..50_000 {
+            p.push(rng.next_f64());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p99_of_exponential_stream() {
+        let mut rng = Xoshiro256::seeded(12);
+        let mut p = P2Quantile::new(0.99);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.exponential(1.0);
+            p.push(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(&all, 0.99).unwrap();
+        let est = p.estimate().unwrap();
+        assert!((est - exact).abs() / exact < 0.1, "p99 est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn handles_sorted_input() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            p.push(i as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 5000.0).abs() < 300.0, "median of 0..10000 estimated {est}");
+    }
+
+    #[test]
+    fn tracks_extremes() {
+        let mut p = P2Quantile::new(0.5);
+        for &x in &[5.0, 1.0, 9.0, 3.0, 7.0, -100.0, 200.0] {
+            p.push(x);
+        }
+        // extremes must widen the marker span
+        assert!(p.heights[0] <= -100.0);
+        assert!(p.heights[4] >= 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_out_of_range_q() {
+        P2Quantile::new(1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The estimate always lies within the observed range, and the
+            /// median estimate is within a loose rank tolerance of exact.
+            #[test]
+            fn estimate_in_range_and_near_exact(
+                xs in proptest::collection::vec(-1e4f64..1e4, 5..400),
+            ) {
+                let mut p = P2Quantile::new(0.5);
+                for &x in &xs {
+                    p.push(x);
+                }
+                let est = p.estimate().unwrap();
+                let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(est >= lo && est <= hi, "estimate {est} outside [{lo}, {hi}]");
+                // rank tolerance: est must be within the middle 60% of ranks
+                let below = xs.iter().filter(|&&x| x <= est).count() as f64 / xs.len() as f64;
+                prop_assert!((0.2..=0.8).contains(&below), "median rank {below}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_quantile_basics() {
+        assert_eq!(exact_quantile(&[], 0.5), None);
+        assert_eq!(exact_quantile(&[3.0], 0.5), Some(3.0));
+        assert_eq!(exact_quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.5), Some(3.0));
+        assert_eq!(exact_quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.0), Some(1.0));
+        assert_eq!(exact_quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0), Some(5.0));
+    }
+}

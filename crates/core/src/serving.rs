@@ -1,0 +1,205 @@
+//! Online feature serving with staleness policies (paper §2.2.2: features
+//! must be "continuously provided to deployed models even as the feature
+//! data is updated over time").
+
+use fstore_common::{Duration, EntityKey, FsError, Result, Timestamp, Value};
+use fstore_storage::OnlineStore;
+use std::sync::Arc;
+
+/// What to do when a requested feature is missing or older than the
+/// configured maximum age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StalenessPolicy {
+    /// Serve whatever is there (missing features come back NULL). The
+    /// freshness report still flags staleness.
+    #[default]
+    ServeAnyway,
+    /// Replace stale/missing values with NULL (model imputes).
+    NullOnStale,
+    /// Fail the request — for models that cannot tolerate staleness.
+    FailOnStale,
+}
+
+/// A served feature vector with its per-feature freshness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    pub entity: EntityKey,
+    pub features: Vec<String>,
+    pub values: Vec<Value>,
+    /// Age of each value at serve time (`None` = missing).
+    pub ages: Vec<Option<Duration>>,
+    /// Names of features that were missing or over max age.
+    pub stale: Vec<String>,
+}
+
+impl FeatureVector {
+    /// Dense numeric view for model input; NULL/non-numeric → `null_fill`.
+    pub fn dense(&self, null_fill: f64) -> Vec<f64> {
+        self.values.iter().map(|v| v.as_f64().unwrap_or(null_fill)).collect()
+    }
+}
+
+/// The serving layer over the online store.
+#[derive(Debug, Clone)]
+pub struct FeatureServer {
+    online: Arc<OnlineStore>,
+    max_age: Option<Duration>,
+    policy: StalenessPolicy,
+}
+
+impl FeatureServer {
+    pub fn new(online: Arc<OnlineStore>) -> Self {
+        FeatureServer { online, max_age: None, policy: StalenessPolicy::default() }
+    }
+
+    /// Set the maximum tolerated feature age.
+    pub fn with_max_age(mut self, age: Duration) -> Self {
+        self.max_age = Some(age);
+        self
+    }
+
+    pub fn with_policy(mut self, policy: StalenessPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Assemble a feature vector for `entity` at `now`.
+    pub fn serve(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        features: &[&str],
+        now: Timestamp,
+    ) -> Result<FeatureVector> {
+        let entries = self.online.get_many(group, entity, features);
+        let mut values = Vec::with_capacity(features.len());
+        let mut ages = Vec::with_capacity(features.len());
+        let mut stale = Vec::new();
+        for (name, entry) in features.iter().zip(entries) {
+            match entry {
+                None => {
+                    stale.push(name.to_string());
+                    values.push(Value::Null);
+                    ages.push(None);
+                }
+                Some(e) => {
+                    let age = e.age(now);
+                    let is_stale = self.max_age.is_some_and(|m| age > m);
+                    if is_stale {
+                        stale.push(name.to_string());
+                    }
+                    ages.push(Some(age));
+                    match (is_stale, self.policy) {
+                        (true, StalenessPolicy::NullOnStale) => values.push(Value::Null),
+                        _ => values.push(e.value),
+                    }
+                }
+            }
+        }
+        if !stale.is_empty() && self.policy == StalenessPolicy::FailOnStale {
+            return Err(FsError::Storage(format!(
+                "stale/missing features for {entity}: {}",
+                stale.join(", ")
+            )));
+        }
+        Ok(FeatureVector {
+            entity: entity.clone(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+            values,
+            ages,
+            stale,
+        })
+    }
+
+    /// Serve many entities (batch scoring path).
+    pub fn serve_batch(
+        &self,
+        group: &str,
+        entities: &[EntityKey],
+        features: &[&str],
+        now: Timestamp,
+    ) -> Result<Vec<FeatureVector>> {
+        entities.iter().map(|e| self.serve(group, e, features, now)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Arc<OnlineStore> {
+        let s = Arc::new(OnlineStore::default());
+        let e = EntityKey::new("u1");
+        s.put("user", &e, "a", Value::Float(1.0), Timestamp::millis(1_000));
+        s.put("user", &e, "b", Value::Int(7), Timestamp::millis(5_000));
+        s
+    }
+
+    #[test]
+    fn serves_values_with_ages() {
+        let srv = FeatureServer::new(store());
+        let v = srv.serve("user", &EntityKey::new("u1"), &["a", "b"], Timestamp::millis(6_000)).unwrap();
+        assert_eq!(v.values, vec![Value::Float(1.0), Value::Int(7)]);
+        assert_eq!(v.ages, vec![Some(Duration::millis(5_000)), Some(Duration::millis(1_000))]);
+        assert!(v.stale.is_empty());
+        assert_eq!(v.dense(0.0), vec![1.0, 7.0]);
+    }
+
+    #[test]
+    fn missing_features_are_null_and_flagged() {
+        let srv = FeatureServer::new(store());
+        let v = srv.serve("user", &EntityKey::new("u1"), &["a", "ghost"], Timestamp::millis(6_000)).unwrap();
+        assert_eq!(v.values[1], Value::Null);
+        assert_eq!(v.ages[1], None);
+        assert_eq!(v.stale, vec!["ghost".to_string()]);
+    }
+
+    #[test]
+    fn null_on_stale_policy() {
+        let srv = FeatureServer::new(store())
+            .with_max_age(Duration::millis(2_000))
+            .with_policy(StalenessPolicy::NullOnStale);
+        let v = srv.serve("user", &EntityKey::new("u1"), &["a", "b"], Timestamp::millis(6_000)).unwrap();
+        assert_eq!(v.values[0], Value::Null, "a is 5s old > 2s max age");
+        assert_eq!(v.values[1], Value::Int(7));
+        assert_eq!(v.stale, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn serve_anyway_keeps_stale_values_but_flags_them() {
+        let srv = FeatureServer::new(store()).with_max_age(Duration::millis(2_000));
+        let v = srv.serve("user", &EntityKey::new("u1"), &["a"], Timestamp::millis(6_000)).unwrap();
+        assert_eq!(v.values[0], Value::Float(1.0));
+        assert_eq!(v.stale, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn fail_on_stale_policy() {
+        let srv = FeatureServer::new(store())
+            .with_max_age(Duration::millis(2_000))
+            .with_policy(StalenessPolicy::FailOnStale);
+        let err = srv
+            .serve("user", &EntityKey::new("u1"), &["a", "b"], Timestamp::millis(6_000))
+            .unwrap_err();
+        assert!(err.to_string().contains("a"));
+        // fresh-only request succeeds
+        srv.serve("user", &EntityKey::new("u1"), &["b"], Timestamp::millis(6_000)).unwrap();
+    }
+
+    #[test]
+    fn batch_serving() {
+        let s = store();
+        s.put("user", &EntityKey::new("u2"), "a", Value::Float(2.0), Timestamp::millis(1));
+        let srv = FeatureServer::new(s);
+        let vs = srv
+            .serve_batch(
+                "user",
+                &[EntityKey::new("u1"), EntityKey::new("u2")],
+                &["a"],
+                Timestamp::millis(9_000),
+            )
+            .unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[1].values[0], Value::Float(2.0));
+    }
+}

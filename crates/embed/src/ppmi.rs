@@ -1,0 +1,200 @@
+//! Count-based embedding baseline: shifted PPMI matrix + truncated
+//! eigendecomposition (the classic alternative to SGNS; Levy & Goldberg
+//! showed SGNS implicitly factorizes this matrix). Used by E7 as a second,
+//! structurally different embedding family.
+
+use crate::corpus::Corpus;
+use crate::store::{EmbeddingProvenance, EmbeddingTable};
+use fstore_common::{FsError, Result, Rng, Xoshiro256};
+
+/// PPMI + truncated factorization hyper-parameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PpmiConfig {
+    pub dim: usize,
+    pub window: usize,
+    /// SPPMI shift `log(k)` — `k` mimics SGNS's negative-sample count.
+    pub shift_k: f64,
+    /// Orthogonal-iteration sweeps.
+    pub iterations: usize,
+    pub seed: u64,
+}
+
+impl Default for PpmiConfig {
+    fn default() -> Self {
+        PpmiConfig { dim: 32, window: 3, shift_k: 1.0, iterations: 30, seed: 23 }
+    }
+}
+
+/// Train PPMI-SVD embeddings over `corpus`.
+pub fn train_ppmi(corpus: &Corpus, config: PpmiConfig) -> Result<(EmbeddingTable, EmbeddingProvenance)> {
+    let v = corpus.config.vocab;
+    if config.dim == 0 || config.dim > v {
+        return Err(FsError::Embedding(format!(
+            "PPMI dim must be in 1..={v}, got {}",
+            config.dim
+        )));
+    }
+    if config.shift_k < 1.0 {
+        return Err(FsError::Embedding("shift_k must be >= 1".into()));
+    }
+
+    // Dense symmetric SPPMI matrix.
+    let co = corpus.cooccurrence(config.window);
+    let mut row_sum = vec![0.0f64; v];
+    let mut total = 0.0f64;
+    for (&(a, b), &n) in &co {
+        row_sum[a] += n;
+        row_sum[b] += n;
+        total += 2.0 * n;
+    }
+    if total == 0.0 {
+        return Err(FsError::Embedding("empty co-occurrence matrix".into()));
+    }
+    let log_shift = config.shift_k.ln();
+    let mut m = vec![0.0f64; v * v];
+    for (&(a, b), &n) in &co {
+        let pmi = ((n * total) / (row_sum[a] * row_sum[b])).ln() - log_shift;
+        let val = pmi.max(0.0);
+        if val > 0.0 {
+            m[a * v + b] = val;
+            m[b * v + a] = val;
+        }
+    }
+
+    // Orthogonal (block power) iteration for the top-`dim` eigenpairs.
+    let k = config.dim;
+    let mut rng = Xoshiro256::seeded(config.seed);
+    let mut q: Vec<Vec<f64>> = (0..k).map(|_| (0..v).map(|_| rng.normal()).collect()).collect();
+    gram_schmidt(&mut q);
+    for _ in 0..config.iterations.max(1) {
+        let mut z: Vec<Vec<f64>> = q.iter().map(|col| matvec_sym(&m, v, col)).collect();
+        gram_schmidt(&mut z);
+        q = z;
+    }
+    // Rayleigh quotients → eigenvalue magnitudes for scaling.
+    let lambda: Vec<f64> = q
+        .iter()
+        .map(|col| {
+            let mcol = matvec_sym(&m, v, col);
+            col.iter().zip(&mcol).map(|(a, b)| a * b).sum::<f64>().abs()
+        })
+        .collect();
+
+    // Embedding rows: e_i[j] = q_j[i] * sqrt(λ_j)
+    let mut table = EmbeddingTable::new(k)?;
+    for e in 0..v {
+        let vec: Vec<f32> = (0..k).map(|j| (q[j][e] * lambda[j].sqrt()) as f32).collect();
+        table.insert(Corpus::entity_name(e), vec)?;
+    }
+    let prov = EmbeddingProvenance {
+        trainer: "ppmi-svd".into(),
+        config: serde_json::to_string(&config).unwrap_or_default(),
+        corpus_hash: corpus.hash(),
+        seed: config.seed,
+        parent: None,
+        notes: String::new(),
+    };
+    Ok((table, prov))
+}
+
+fn matvec_sym(m: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &m[r * n..(r + 1) * n];
+        *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+    }
+    out
+}
+
+/// In-place modified Gram–Schmidt; replaces near-dependent columns with
+/// fresh random directions is NOT needed here (random init, full rank whp).
+fn gram_schmidt(cols: &mut [Vec<f64>]) {
+    for i in 0..cols.len() {
+        for j in 0..i {
+            let proj: f64 = cols[i].iter().zip(&cols[j]).map(|(a, b)| a * b).sum();
+            let cj = cols[j].clone();
+            for (x, p) in cols[i].iter_mut().zip(&cj) {
+                *x -= proj * p;
+            }
+        }
+        let n: f64 = cols[i].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > 1e-12 {
+            for x in &mut cols[i] {
+                *x /= n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig {
+            vocab: 100,
+            topics: 4,
+            sentences: 800,
+            sentence_len: 10,
+            topic_coherence: 0.9,
+            seed: 31,
+            ..CorpusConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_topic_structure() {
+        let c = corpus();
+        let (t, prov) = train_ppmi(&c, PpmiConfig { dim: 16, ..PpmiConfig::default() }).unwrap();
+        assert_eq!(prov.trainer, "ppmi-svd");
+        let mut rng = Xoshiro256::seeded(9);
+        let (mut same, mut diff) = (0.0, 0.0);
+        let (mut ns, mut nd) = (0, 0);
+        while ns < 200 || nd < 200 {
+            let a = rng.below(100) as usize;
+            let b = rng.below(100) as usize;
+            if a == b {
+                continue;
+            }
+            let cos = t.cosine(&Corpus::entity_name(a), &Corpus::entity_name(b)).unwrap();
+            if c.same_topic(a, b) && ns < 200 {
+                same += cos;
+                ns += 1;
+            } else if !c.same_topic(a, b) && nd < 200 {
+                diff += cos;
+                nd += 1;
+            }
+        }
+        let (same, diff) = (same / ns as f64, diff / nd as f64);
+        assert!(same > diff + 0.2, "PPMI same {same:.3} vs diff {diff:.3}");
+    }
+
+    #[test]
+    fn validation() {
+        let c = corpus();
+        assert!(train_ppmi(&c, PpmiConfig { dim: 0, ..PpmiConfig::default() }).is_err());
+        assert!(train_ppmi(&c, PpmiConfig { dim: 500, ..PpmiConfig::default() }).is_err());
+        assert!(train_ppmi(&c, PpmiConfig { shift_k: 0.5, ..PpmiConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus();
+        let cfg = PpmiConfig { dim: 8, iterations: 10, ..PpmiConfig::default() };
+        let (a, _) = train_ppmi(&c, cfg.clone()).unwrap();
+        let (b, _) = train_ppmi(&c, cfg).unwrap();
+        assert_eq!(a.get("e7"), b.get("e7"));
+    }
+
+    #[test]
+    fn dims_and_coverage() {
+        let c = corpus();
+        let (t, _) = train_ppmi(&c, PpmiConfig { dim: 12, iterations: 5, ..PpmiConfig::default() })
+            .unwrap();
+        assert_eq!(t.dim(), 12);
+        assert_eq!(t.len(), 100);
+        assert!(t.get("e0").unwrap().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,386 @@
+//! The embedding store: named, versioned embedding tables with provenance
+//! and downstream-consumer lineage (paper §3.1.2 and §4: versioning,
+//! provenance, and understanding which systems an embedding update hits).
+
+use fstore_common::hash::FxHashMap;
+use fstore_common::{FsError, Result, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Provenance carried by every published embedding version.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct EmbeddingProvenance {
+    /// Trainer identifier (e.g. `"sgns"`, `"kg-sgns"`, `"ppmi-svd"`).
+    pub trainer: String,
+    /// Trainer hyper-parameters as JSON.
+    pub config: String,
+    /// Hash of the training corpus (content fingerprint).
+    pub corpus_hash: u64,
+    /// Seed the trainer ran with.
+    pub seed: u64,
+    /// Parent version this one was derived from (e.g. by patching), if any.
+    pub parent: Option<u32>,
+    /// Free-form notes ("patched rows for slice X", …).
+    pub notes: String,
+}
+
+/// One immutable embedding table: entity key → dense vector.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    dim: usize,
+    vectors: FxHashMap<String, Vec<f32>>,
+}
+
+impl EmbeddingTable {
+    pub fn new(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(FsError::Embedding("embedding dimension must be positive".into()));
+        }
+        Ok(EmbeddingTable { dim, vectors: FxHashMap::default() })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    pub fn insert(&mut self, key: impl Into<String>, vector: Vec<f32>) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(FsError::Embedding(format!(
+                "vector dim {} != table dim {}",
+                vector.len(),
+                self.dim
+            )));
+        }
+        self.vectors.insert(key.into(), vector);
+        Ok(())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&[f32]> {
+        self.vectors.get(key).map(Vec::as_slice)
+    }
+
+    /// Entity keys in sorted order (deterministic iteration).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut ks: Vec<&str> = self.vectors.keys().map(String::as_str).collect();
+        ks.sort_unstable();
+        ks
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.vectors.contains_key(key)
+    }
+
+    /// f64 copy of one vector (model-input boundary).
+    pub fn get_f64(&self, key: &str) -> Option<Vec<f64>> {
+        self.get(key).map(|v| v.iter().map(|&x| f64::from(x)).collect())
+    }
+
+    /// Cosine similarity between two stored entities.
+    pub fn cosine(&self, a: &str, b: &str) -> Result<f64> {
+        let va = self.get(a).ok_or_else(|| FsError::not_found("embedding", a.to_string()))?;
+        let vb = self.get(b).ok_or_else(|| FsError::not_found("embedding", b.to_string()))?;
+        Ok(cosine32(va, vb))
+    }
+
+    /// Exact k-nearest neighbours of `key` by cosine (brute force — the ANN
+    /// indexes in `fstore-index` are the scale path).
+    pub fn nearest(&self, key: &str, k: usize) -> Result<Vec<(String, f64)>> {
+        let q = self.get(key).ok_or_else(|| FsError::not_found("embedding", key.to_string()))?;
+        let mut scored: Vec<(String, f64)> = self
+            .vectors
+            .iter()
+            .filter(|(name, _)| name.as_str() != key)
+            .map(|(name, v)| (name.clone(), cosine32(q, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        Ok(scored)
+    }
+
+    /// Overwrite a row (returns the previous vector). Used by patching;
+    /// note the *store* keeps tables immutable — patch a copy, then publish.
+    pub fn replace(&mut self, key: &str, vector: Vec<f32>) -> Result<Option<Vec<f32>>> {
+        if vector.len() != self.dim {
+            return Err(FsError::Embedding("replacement vector has wrong dim".into()));
+        }
+        Ok(self.vectors.insert(key.to_string(), vector))
+    }
+}
+
+fn cosine32(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// A published, immutable version of an embedding.
+#[derive(Debug, Clone)]
+pub struct EmbeddingVersion {
+    pub name: String,
+    pub version: u32,
+    pub created_at: Timestamp,
+    pub provenance: EmbeddingProvenance,
+    pub table: EmbeddingTable,
+    /// Downstream consumers registered against this version (model names).
+    pub consumers: Vec<String>,
+}
+
+impl EmbeddingVersion {
+    pub fn qualified_name(&self) -> String {
+        format!("{}@v{}", self.name, self.version)
+    }
+}
+
+/// The versioned catalog of embeddings.
+#[derive(Debug, Default)]
+pub struct EmbeddingStore {
+    embeddings: BTreeMap<String, Vec<EmbeddingVersion>>,
+}
+
+impl EmbeddingStore {
+    pub fn new() -> Self {
+        EmbeddingStore::default()
+    }
+
+    /// Publish a table as the next version of `name`.
+    pub fn publish(
+        &mut self,
+        name: impl Into<String>,
+        table: EmbeddingTable,
+        provenance: EmbeddingProvenance,
+        now: Timestamp,
+    ) -> Result<String> {
+        if table.is_empty() {
+            return Err(FsError::Embedding("refusing to publish an empty embedding".into()));
+        }
+        let name = name.into();
+        let versions = self.embeddings.entry(name.clone()).or_default();
+        if let Some(prev) = versions.last() {
+            if prev.table.dim() != table.dim() {
+                // Dimension changes are allowed but recorded loudly in notes —
+                // downstream dot products against old model weights break
+                // (§4's "dot product … can lose meaning").
+            }
+        }
+        let version = versions.last().map_or(1, |v| v.version + 1);
+        let v = EmbeddingVersion {
+            name: name.clone(),
+            version,
+            created_at: now,
+            provenance,
+            table,
+            consumers: Vec::new(),
+        };
+        let qualified = v.qualified_name();
+        versions.push(v);
+        Ok(qualified)
+    }
+
+    pub fn latest(&self, name: &str) -> Result<&EmbeddingVersion> {
+        self.embeddings
+            .get(name)
+            .and_then(|v| v.last())
+            .ok_or_else(|| FsError::not_found("embedding", name.to_string()))
+    }
+
+    pub fn get(&self, name: &str, version: u32) -> Result<&EmbeddingVersion> {
+        self.embeddings
+            .get(name)
+            .and_then(|v| v.iter().find(|e| e.version == version))
+            .ok_or_else(|| FsError::not_found("embedding version", format!("{name}@v{version}")))
+    }
+
+    /// Resolve `"name@vN"` or plain `"name"` (latest).
+    pub fn resolve(&self, qualified: &str) -> Result<&EmbeddingVersion> {
+        match qualified.rsplit_once("@v") {
+            Some((name, v)) => {
+                let version: u32 = v.parse().map_err(|_| {
+                    FsError::InvalidArgument(format!("bad embedding version in `{qualified}`"))
+                })?;
+                self.get(name, version)
+            }
+            None => self.latest(qualified),
+        }
+    }
+
+    pub fn list(&self) -> Vec<&EmbeddingVersion> {
+        self.embeddings.values().filter_map(|v| v.last()).collect()
+    }
+
+    pub fn versions_of(&self, name: &str) -> Result<Vec<u32>> {
+        self.embeddings
+            .get(name)
+            .map(|v| v.iter().map(|e| e.version).collect())
+            .ok_or_else(|| FsError::not_found("embedding", name.to_string()))
+    }
+
+    /// Record that `model` consumes `name@vN` (lineage for E12).
+    pub fn register_consumer(&mut self, qualified: &str, model: impl Into<String>) -> Result<()> {
+        let (name, version) = parse_qualified(qualified)?;
+        let versions = self
+            .embeddings
+            .get_mut(name)
+            .ok_or_else(|| FsError::not_found("embedding", name.to_string()))?;
+        let v = versions
+            .iter_mut()
+            .find(|e| e.version == version)
+            .ok_or_else(|| FsError::not_found("embedding version", qualified.to_string()))?;
+        v.consumers.push(model.into());
+        Ok(())
+    }
+
+    /// Consumers registered against a version.
+    pub fn consumers(&self, qualified: &str) -> Result<&[String]> {
+        let (name, version) = parse_qualified(qualified)?;
+        Ok(&self.get(name, version)?.consumers)
+    }
+}
+
+fn parse_qualified(qualified: &str) -> Result<(&str, u32)> {
+    let (name, v) = qualified.rsplit_once("@v").ok_or_else(|| {
+        FsError::InvalidArgument(format!("expected `name@vN`, got `{qualified}`"))
+    })?;
+    let version = v
+        .parse()
+        .map_err(|_| FsError::InvalidArgument(format!("bad version in `{qualified}`")))?;
+    Ok((name, version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&str, Vec<f32>)]) -> EmbeddingTable {
+        let mut t = EmbeddingTable::new(entries[0].1.len()).unwrap();
+        for (k, v) in entries {
+            t.insert(*k, v.clone()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn table_insert_get_dims() {
+        let mut t = EmbeddingTable::new(3).unwrap();
+        t.insert("a", vec![1.0, 0.0, 0.0]).unwrap();
+        assert!(t.insert("b", vec![1.0]).is_err());
+        assert_eq!(t.get("a"), Some(&[1.0, 0.0, 0.0][..]));
+        assert_eq!(t.get("ghost"), None);
+        assert_eq!(t.get_f64("a"), Some(vec![1.0, 0.0, 0.0]));
+        assert!(EmbeddingTable::new(0).is_err());
+    }
+
+    #[test]
+    fn cosine_and_nearest() {
+        let t = table(&[
+            ("x", vec![1.0, 0.0]),
+            ("same", vec![2.0, 0.0]),
+            ("orth", vec![0.0, 1.0]),
+            ("anti", vec![-1.0, 0.0]),
+        ]);
+        assert!((t.cosine("x", "same").unwrap() - 1.0).abs() < 1e-9);
+        assert!(t.cosine("x", "orth").unwrap().abs() < 1e-9);
+        let nn = t.nearest("x", 2).unwrap();
+        assert_eq!(nn[0].0, "same");
+        assert_eq!(nn[1].0, "orth");
+        assert!(t.nearest("ghost", 1).is_err());
+        assert!(t.cosine("x", "ghost").is_err());
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_zero() {
+        let t = table(&[("z", vec![0.0, 0.0]), ("x", vec![1.0, 0.0])]);
+        assert_eq!(t.cosine("z", "x").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn publish_and_resolve_versions() {
+        let mut store = EmbeddingStore::new();
+        let t1 = table(&[("a", vec![1.0, 0.0])]);
+        let q1 = store
+            .publish("words", t1, EmbeddingProvenance::default(), Timestamp::millis(1))
+            .unwrap();
+        assert_eq!(q1, "words@v1");
+        let t2 = table(&[("a", vec![0.0, 1.0])]);
+        let q2 = store
+            .publish("words", t2, EmbeddingProvenance::default(), Timestamp::millis(2))
+            .unwrap();
+        assert_eq!(q2, "words@v2");
+
+        assert_eq!(store.latest("words").unwrap().version, 2);
+        assert_eq!(store.get("words", 1).unwrap().table.get("a"), Some(&[1.0, 0.0][..]));
+        assert_eq!(store.resolve("words@v1").unwrap().version, 1);
+        assert_eq!(store.resolve("words").unwrap().version, 2);
+        assert_eq!(store.versions_of("words").unwrap(), vec![1, 2]);
+        assert!(store.resolve("words@vX").is_err());
+        assert!(store.latest("ghost").is_err());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut store = EmbeddingStore::new();
+        let t = EmbeddingTable::new(2).unwrap();
+        assert!(store
+            .publish("e", t, EmbeddingProvenance::default(), Timestamp::EPOCH)
+            .is_err());
+    }
+
+    #[test]
+    fn consumer_lineage() {
+        let mut store = EmbeddingStore::new();
+        store
+            .publish("ent", table(&[("a", vec![1.0])]), EmbeddingProvenance::default(), Timestamp::EPOCH)
+            .unwrap();
+        store.register_consumer("ent@v1", "search_ranker").unwrap();
+        store.register_consumer("ent@v1", "dedup_model").unwrap();
+        assert_eq!(store.consumers("ent@v1").unwrap().len(), 2);
+        assert!(store.register_consumer("ent@v9", "m").is_err());
+        assert!(store.register_consumer("ent", "m").is_err(), "must pin a version");
+    }
+
+    #[test]
+    fn provenance_is_preserved() {
+        let mut store = EmbeddingStore::new();
+        let prov = EmbeddingProvenance {
+            trainer: "sgns".into(),
+            config: "{\"dim\":64}".into(),
+            corpus_hash: 0xdead,
+            seed: 7,
+            parent: None,
+            notes: "initial".into(),
+        };
+        store
+            .publish("e", table(&[("a", vec![1.0])]), prov.clone(), Timestamp::millis(5))
+            .unwrap();
+        let v = store.latest("e").unwrap();
+        assert_eq!(v.provenance, prov);
+        assert_eq!(v.created_at, Timestamp::millis(5));
+    }
+
+    #[test]
+    fn replace_patches_rows() {
+        let mut t = table(&[("a", vec![1.0, 0.0])]);
+        let old = t.replace("a", vec![0.0, 1.0]).unwrap();
+        assert_eq!(old, Some(vec![1.0, 0.0]));
+        assert_eq!(t.get("a"), Some(&[0.0, 1.0][..]));
+        assert!(t.replace("a", vec![1.0]).is_err());
+        assert_eq!(t.replace("new", vec![1.0, 1.0]).unwrap(), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! IVF (inverted file) index: a k-means coarse quantizer partitions the
+//! dataset into `nlist` cells; a query scans only the `nprobe` nearest
+//! cells. The classic recall/latency dial of Faiss/Milvus-style systems.
+
+use crate::flat::FlatIndex;
+use crate::kmeans::kmeans;
+use crate::{check_query, l2_sq, Hit, VectorIndex};
+use fstore_common::{FsError, Result};
+
+/// IVF build/search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IvfConfig {
+    /// Number of k-means cells.
+    pub nlist: usize,
+    /// Cells scanned per query.
+    pub nprobe: usize,
+    /// k-means iterations at build time.
+    pub train_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig { nlist: 64, nprobe: 8, train_iters: 15, seed: 42 }
+    }
+}
+
+/// The inverted-file index.
+pub struct IvfIndex {
+    dim: usize,
+    config: IvfConfig,
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<usize>>,
+    data: Vec<Vec<f32>>,
+}
+
+impl IvfIndex {
+    pub fn build(data: Vec<Vec<f32>>, config: IvfConfig) -> Result<Self> {
+        let dim = data.first().map_or(0, Vec::len);
+        if dim == 0 {
+            return Err(FsError::Index("IVF needs non-empty vectors".into()));
+        }
+        if data.iter().any(|v| v.len() != dim) {
+            return Err(FsError::Index("ragged vectors".into()));
+        }
+        if config.nprobe == 0 || config.nlist == 0 {
+            return Err(FsError::Index("nlist and nprobe must be positive".into()));
+        }
+        let nlist = config.nlist.min(data.len());
+        let (centroids, assignment) = kmeans(&data, nlist, config.train_iters, config.seed)?;
+        let mut lists = vec![Vec::new(); nlist];
+        for (id, &cell) in assignment.iter().enumerate() {
+            lists[cell].push(id);
+        }
+        Ok(IvfIndex { dim, config, centroids, lists, data })
+    }
+
+    /// Search with an explicit probe count (overrides the configured one) —
+    /// the sweep axis of E9.
+    pub fn search_with_probes(&self, query: &[f32], k: usize, nprobe: usize) -> Result<Vec<Hit>> {
+        check_query(self.dim, self.len(), query, k)?;
+        if nprobe == 0 {
+            return Err(FsError::Index("nprobe must be positive".into()));
+        }
+        // rank cells by centroid distance
+        let mut cells: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(c, cent)| (c, l2_sq(cent, query)))
+            .collect();
+        cells.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut candidates = Vec::new();
+        for &(cell, _) in cells.iter().take(nprobe.min(cells.len())) {
+            candidates.extend_from_slice(&self.lists[cell]);
+        }
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(FlatIndex::top_k(&self.data, Some(&candidates), query, k))
+    }
+
+    /// Fraction of the dataset a probe setting scans on average (cost model).
+    pub fn expected_scan_fraction(&self, nprobe: usize) -> f64 {
+        let probed = nprobe.min(self.lists.len()) as f64;
+        probed / self.lists.len() as f64
+    }
+
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
+        self.search_with_probes(query, k, self.config.nprobe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::{Rng, Xoshiro256};
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Xoshiro256::seeded(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()).collect()
+    }
+
+    #[test]
+    fn build_validation() {
+        assert!(IvfIndex::build(vec![], IvfConfig::default()).is_err());
+        let data = random_data(10, 4, 1);
+        assert!(IvfIndex::build(data.clone(), IvfConfig { nprobe: 0, ..IvfConfig::default() })
+            .is_err());
+        // nlist larger than n is clamped
+        let idx = IvfIndex::build(data, IvfConfig { nlist: 100, ..IvfConfig::default() }).unwrap();
+        assert!(idx.nlist() <= 10);
+    }
+
+    #[test]
+    fn full_probe_equals_flat() {
+        let data = random_data(300, 8, 2);
+        let flat = FlatIndex::build(data.clone()).unwrap();
+        let ivf =
+            IvfIndex::build(data.clone(), IvfConfig { nlist: 16, ..IvfConfig::default() }).unwrap();
+        let mut rng = Xoshiro256::seeded(3);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..8).map(|_| rng.normal() as f32).collect();
+            let exact = flat.search(&q, 5).unwrap();
+            let probed = ivf.search_with_probes(&q, 5, 16).unwrap();
+            assert_eq!(
+                exact.iter().map(|h| h.0).collect::<Vec<_>>(),
+                probed.iter().map(|h| h.0).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_probes() {
+        let data = random_data(2_000, 16, 4);
+        let flat = FlatIndex::build(data.clone()).unwrap();
+        let ivf =
+            IvfIndex::build(data.clone(), IvfConfig { nlist: 64, ..IvfConfig::default() }).unwrap();
+        let mut rng = Xoshiro256::seeded(5);
+        let queries: Vec<Vec<f32>> =
+            (0..30).map(|_| (0..16).map(|_| rng.normal() as f32).collect()).collect();
+        let recall = |nprobe: usize| {
+            let mut hit = 0;
+            let mut total = 0;
+            for q in &queries {
+                let truth: Vec<usize> =
+                    flat.search(q, 10).unwrap().iter().map(|h| h.0).collect();
+                let got: Vec<usize> =
+                    ivf.search_with_probes(q, 10, nprobe).unwrap().iter().map(|h| h.0).collect();
+                hit += truth.iter().filter(|t| got.contains(t)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+        let r1 = recall(1);
+        let r8 = recall(8);
+        let r64 = recall(64);
+        assert!(r1 < r8 && r8 <= r64, "recall must rise with probes: {r1} {r8} {r64}");
+        assert!((r64 - 1.0).abs() < 1e-9, "full probe is exact");
+    }
+
+    #[test]
+    fn scan_fraction_model() {
+        let data = random_data(100, 4, 6);
+        let ivf = IvfIndex::build(data, IvfConfig { nlist: 10, ..IvfConfig::default() }).unwrap();
+        assert!((ivf.expected_scan_fraction(1) - 0.1).abs() < 1e-9);
+        assert!((ivf.expected_scan_fraction(100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_zero_rejected() {
+        let data = random_data(20, 4, 7);
+        let ivf = IvfIndex::build(data, IvfConfig::default()).unwrap();
+        assert!(ivf.search_with_probes(&[0.0; 4], 3, 0).is_err());
+    }
+}

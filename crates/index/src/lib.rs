@@ -1,0 +1,97 @@
+//! # fstore-index
+//!
+//! Vector similarity indexes — the serving substrate for embeddings at
+//! scale (paper §4: "users need tools for searching and querying these
+//! embeddings … at industrial scale"). Three index families cover the
+//! recall/latency/build-cost trade-off surface experiment **E9** sweeps:
+//!
+//! * [`FlatIndex`] — exact brute-force scan (recall 1.0, O(n) per query);
+//! * [`IvfIndex`] — k-means inverted file with `nprobe` search;
+//! * [`HnswIndex`] — hierarchical navigable small world graph.
+//!
+//! All indexes speak squared-L2 over `f32` vectors; cosine search is L2
+//! over unit-normalized vectors (see [`normalize_all`]).
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod kmeans;
+pub mod recall;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::kmeans;
+pub use recall::recall_at_k;
+
+use fstore_common::{FsError, Result};
+
+/// A search hit: dataset row id and squared-L2 distance.
+pub type Hit = (usize, f32);
+
+/// Common interface over all index families.
+pub trait VectorIndex {
+    fn len(&self) -> usize;
+    fn dim(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// `k` nearest neighbours of `query`, ascending by distance.
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>>;
+}
+
+/// Squared L2 distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Unit-normalize every vector (cosine search = L2 on the result).
+pub fn normalize_all(data: &mut [Vec<f32>]) {
+    for v in data {
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if n > 0.0 {
+            for x in v.iter_mut() {
+                *x /= n;
+            }
+        }
+    }
+}
+
+pub(crate) fn check_query(dim: usize, len: usize, query: &[f32], k: usize) -> Result<()> {
+    if query.len() != dim {
+        return Err(FsError::Index(format!("query dim {} != index dim {dim}", query.len())));
+    }
+    if k == 0 {
+        return Err(FsError::Index("k must be positive".into()));
+    }
+    if len == 0 {
+        return Err(FsError::Index("index is empty".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_sq_known() {
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_all_units_and_zeros() {
+        let mut data = vec![vec![3.0, 4.0], vec![0.0, 0.0]];
+        normalize_all(&mut data);
+        assert!((l2_sq(&data[0], &[0.6, 0.8])).abs() < 1e-12);
+        assert_eq!(data[1], vec![0.0, 0.0]);
+    }
+}

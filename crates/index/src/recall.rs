@@ -1,0 +1,104 @@
+//! Recall measurement harness: compares any index against exact ground
+//! truth — the quality axis of experiment E9.
+
+use crate::flat::FlatIndex;
+use crate::{VectorIndex};
+use fstore_common::{FsError, Result};
+
+/// Mean recall@k of `index` against exact search over the same data.
+///
+/// `ground_truth` must be a [`FlatIndex`] built over the identical dataset
+/// (same ids). Recall@k = |approx top-k ∩ exact top-k| / k, averaged over
+/// queries.
+pub fn recall_at_k(
+    index: &dyn VectorIndex,
+    ground_truth: &FlatIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> Result<f64> {
+    if queries.is_empty() {
+        return Err(FsError::Index("recall needs at least one query".into()));
+    }
+    if index.len() != ground_truth.len() {
+        return Err(FsError::Index(format!(
+            "index ({}) and ground truth ({}) sizes differ",
+            index.len(),
+            ground_truth.len()
+        )));
+    }
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for q in queries {
+        let truth = ground_truth.search(q, k)?;
+        let approx = index.search(q, k)?;
+        let approx_ids: Vec<usize> = approx.iter().map(|h| h.0).collect();
+        hit += truth.iter().filter(|(id, _)| approx_ids.contains(id)).count();
+        total += truth.len();
+    }
+    Ok(hit as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::{IvfConfig, IvfIndex};
+    use fstore_common::{Rng, Xoshiro256};
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Xoshiro256::seeded(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()).collect()
+    }
+
+    #[test]
+    fn flat_recall_is_one() {
+        let data = random_data(500, 8, 1);
+        let flat = FlatIndex::build(data.clone()).unwrap();
+        let probe = FlatIndex::build(data).unwrap();
+        let queries = random_data(10, 8, 2);
+        assert!((recall_at_k(&probe, &flat, &queries, 10).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ivf_recall_is_partial_but_positive() {
+        let data = random_data(1_000, 8, 3);
+        let flat = FlatIndex::build(data.clone()).unwrap();
+        let ivf = IvfIndex::build(
+            data,
+            IvfConfig { nlist: 32, nprobe: 2, ..IvfConfig::default() },
+        )
+        .unwrap();
+        let queries = random_data(20, 8, 4);
+        let r = recall_at_k(&ivf, &flat, &queries, 10).unwrap();
+        assert!(r > 0.2 && r <= 1.0, "recall {r}");
+    }
+
+    #[test]
+    fn validation() {
+        let data = random_data(10, 4, 5);
+        let flat = FlatIndex::build(data.clone()).unwrap();
+        let small = FlatIndex::build(data[..5].to_vec()).unwrap();
+        assert!(recall_at_k(&small, &flat, &random_data(2, 4, 6), 3).is_err());
+        assert!(recall_at_k(&flat, &flat, &[], 3).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// Flat search always returns exactly min(k, n) ascending hits.
+            #[test]
+            fn flat_search_sorted_and_sized(n in 1usize..60, k in 1usize..20, seed in 0u64..100) {
+                let data = random_data(n, 4, seed);
+                let flat = FlatIndex::build(data).unwrap();
+                let q = random_data(1, 4, seed + 1).pop().unwrap();
+                let hits = flat.search(&q, k).unwrap();
+                prop_assert_eq!(hits.len(), k.min(n));
+                for w in hits.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].1);
+                }
+            }
+        }
+    }
+}

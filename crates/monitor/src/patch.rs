@@ -1,0 +1,436 @@
+//! Patching: acting on what monitoring found (paper §3.1.3 and §4,
+//! "End-to-End Model Patching Through Data").
+//!
+//! Three data-management levers from Orr et al.'s proof of concept:
+//!
+//! * **targeted augmentation** — oversample an underperforming slice with
+//!   feature-space jitter (ARDA/model-patching style);
+//! * **slice reweighting** — per-example weights for trainers that support
+//!   them (slice-based learning's cheap cousin);
+//! * **weak supervision** — a Snorkel-style label model that denoises
+//!   multiple noisy labeling sources into training labels;
+//!
+//! plus the embedding-ecosystem lever the paper argues is special:
+//! **embedding patching** — correct the embedding rows of the bad slice
+//! once and republish, so *every* downstream consumer heals together
+//! (product consistency, E12).
+
+use fstore_common::{FsError, Result, Rng, Timestamp, Xoshiro256};
+use fstore_embed::store::EmbeddingProvenance;
+use fstore_embed::EmbeddingStore;
+
+/// Oversample `slice` rows `factor`× with Gaussian jitter of `jitter` per
+/// dimension; returns the augmented `(xs, ys)` (originals first).
+pub fn augment_slice(
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    slice: &[usize],
+    factor: usize,
+    jitter: f64,
+    seed: u64,
+) -> Result<(Vec<Vec<f64>>, Vec<usize>)> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return Err(FsError::Monitor("aligned non-empty training data required".into()));
+    }
+    if factor == 0 {
+        return Err(FsError::Monitor("augmentation factor must be positive".into()));
+    }
+    if jitter < 0.0 {
+        return Err(FsError::Monitor("jitter must be non-negative".into()));
+    }
+    let mut rng = Xoshiro256::seeded(seed);
+    let mut out_x = xs.to_vec();
+    let mut out_y = ys.to_vec();
+    for &i in slice {
+        if i >= xs.len() {
+            return Err(FsError::Monitor(format!("slice index {i} out of range")));
+        }
+        for _ in 0..factor {
+            let x: Vec<f64> = xs[i].iter().map(|&v| v + rng.normal() * jitter).collect();
+            out_x.push(x);
+            out_y.push(ys[i]);
+        }
+    }
+    Ok((out_x, out_y))
+}
+
+/// Per-example weights: `weight` on slice rows, 1.0 elsewhere.
+pub fn reweight_slice(n: usize, slice: &[usize], weight: f64) -> Result<Vec<f64>> {
+    if weight <= 0.0 || !weight.is_finite() {
+        return Err(FsError::Monitor("weight must be positive and finite".into()));
+    }
+    let mut w = vec![1.0; n];
+    for &i in slice {
+        if i >= n {
+            return Err(FsError::Monitor(format!("slice index {i} out of range")));
+        }
+        w[i] = weight;
+    }
+    Ok(w)
+}
+
+/// A Snorkel-style label model over noisy binary labeling sources.
+///
+/// Sources vote `Some(class)` or abstain (`None`). The model estimates
+/// per-source accuracies from agreement with the current consensus
+/// (hard-EM for a few rounds, initialized at majority vote) and produces
+/// weighted-vote probabilistic labels.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    pub source_accuracy: Vec<f64>,
+    num_classes: usize,
+}
+
+impl LabelModel {
+    /// Fit on a votes matrix: `votes[source][example]`.
+    pub fn fit(votes: &[Vec<Option<usize>>], num_classes: usize, rounds: usize) -> Result<Self> {
+        if votes.is_empty() || votes[0].is_empty() {
+            return Err(FsError::Monitor("label model needs sources and examples".into()));
+        }
+        let n = votes[0].len();
+        if votes.iter().any(|v| v.len() != n) {
+            return Err(FsError::Monitor("ragged votes matrix".into()));
+        }
+        if num_classes < 2 {
+            return Err(FsError::Monitor("need at least 2 classes".into()));
+        }
+        for v in votes.iter().flatten().flatten() {
+            if *v >= num_classes {
+                return Err(FsError::Monitor(format!("vote {v} out of class range")));
+            }
+        }
+
+        let mut model =
+            LabelModel { source_accuracy: vec![0.7; votes.len()], num_classes };
+        for _ in 0..rounds.max(1) {
+            let consensus: Vec<Option<usize>> =
+                (0..n).map(|i| model.predict_one(votes, i).map(|(c, _)| c)).collect();
+            for (s, svotes) in votes.iter().enumerate() {
+                let mut agree = 1.0f64; // +1 smoothing
+                let mut total = 2.0f64;
+                for (v, c) in svotes.iter().zip(&consensus) {
+                    if let (Some(v), Some(c)) = (v, c) {
+                        total += 1.0;
+                        if v == c {
+                            agree += 1.0;
+                        }
+                    }
+                }
+                // clamp away from 0.5 degeneracy and 1.0 overconfidence
+                model.source_accuracy[s] = (agree / total).clamp(0.05, 0.95);
+            }
+        }
+        Ok(model)
+    }
+
+    /// Weighted-vote label for example `i`: `(class, confidence)`; `None`
+    /// when every source abstained.
+    fn predict_one(&self, votes: &[Vec<Option<usize>>], i: usize) -> Option<(usize, f64)> {
+        let mut scores = vec![0.0f64; self.num_classes];
+        let mut any = false;
+        for (s, svotes) in votes.iter().enumerate() {
+            if let Some(c) = svotes[i] {
+                any = true;
+                let a = self.source_accuracy[s];
+                // log-odds weight of a source with accuracy a
+                let w = (a / (1.0 - a)).ln();
+                scores[c] += w;
+            }
+        }
+        if !any {
+            return None;
+        }
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)
+            .unwrap();
+        let total: f64 = scores.iter().map(|s| s.exp()).sum();
+        Some((best, scores[best].exp() / total))
+    }
+
+    /// Probabilistic labels for the whole matrix.
+    pub fn predict(&self, votes: &[Vec<Option<usize>>]) -> Result<Vec<Option<(usize, f64)>>> {
+        if votes.len() != self.source_accuracy.len() {
+            return Err(FsError::Monitor("source count mismatch".into()));
+        }
+        let n = votes[0].len();
+        Ok((0..n).map(|i| self.predict_one(votes, i)).collect())
+    }
+
+    /// Plain majority vote baseline (`None` on full abstention; ties to the
+    /// lower class id).
+    pub fn majority_vote(votes: &[Vec<Option<usize>>], num_classes: usize) -> Vec<Option<usize>> {
+        let n = votes.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|i| {
+                let mut counts = vec![0usize; num_classes];
+                let mut any = false;
+                for svotes in votes {
+                    if let Some(c) = svotes[i] {
+                        counts[c] += 1;
+                        any = true;
+                    }
+                }
+                any.then(|| {
+                    counts
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                        .map(|(c, _)| c)
+                        .unwrap()
+                })
+            })
+            .collect()
+    }
+}
+
+/// Patches embedding rows and republishes — the §3.1.3 / E12 mechanism.
+pub struct EmbeddingPatcher {
+    /// Blend factor: patched = (1−α)·old + α·target.
+    pub alpha: f32,
+}
+
+impl Default for EmbeddingPatcher {
+    fn default() -> Self {
+        EmbeddingPatcher { alpha: 0.8 }
+    }
+}
+
+impl EmbeddingPatcher {
+    /// Move each `bad_keys` row toward the centroid of `exemplar_keys`
+    /// (well-behaved entities of the same semantic class) and publish the
+    /// result as a new version of `name` with `parent` provenance.
+    ///
+    /// Returns the new qualified version (`name@vN`).
+    pub fn patch_toward_exemplars(
+        &self,
+        store: &mut EmbeddingStore,
+        name: &str,
+        bad_keys: &[String],
+        exemplar_keys: &[String],
+        now: Timestamp,
+    ) -> Result<String> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(FsError::Monitor("alpha must be in [0,1]".into()));
+        }
+        if bad_keys.is_empty() || exemplar_keys.is_empty() {
+            return Err(FsError::Monitor("need both bad keys and exemplar keys".into()));
+        }
+        let current = store.latest(name)?;
+        let parent_version = current.version;
+        let table = &current.table;
+        let dim = table.dim();
+
+        // exemplar centroid
+        let mut centroid = vec![0.0f32; dim];
+        for k in exemplar_keys {
+            let v = table
+                .get(k)
+                .ok_or_else(|| FsError::not_found("exemplar embedding", k.clone()))?;
+            for (c, &x) in centroid.iter_mut().zip(v) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= exemplar_keys.len() as f32;
+        }
+
+        // copy-on-write patch
+        let mut patched = table.clone();
+        for k in bad_keys {
+            let old = patched
+                .get(k)
+                .ok_or_else(|| FsError::not_found("embedding to patch", k.clone()))?
+                .to_vec();
+            let new: Vec<f32> = old
+                .iter()
+                .zip(&centroid)
+                .map(|(&o, &c)| (1.0 - self.alpha) * o + self.alpha * c)
+                .collect();
+            patched.replace(k, new)?;
+        }
+
+        let provenance = EmbeddingProvenance {
+            trainer: "patch".into(),
+            config: format!("{{\"alpha\":{}}}", self.alpha),
+            corpus_hash: current.provenance.corpus_hash,
+            seed: current.provenance.seed,
+            parent: Some(parent_version),
+            notes: format!(
+                "patched {} rows toward {} exemplars",
+                bad_keys.len(),
+                exemplar_keys.len()
+            ),
+        };
+        store.publish(name, patched, provenance, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_embed::EmbeddingTable;
+
+    #[test]
+    fn augment_grows_only_the_slice() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![0, 1, 1];
+        let (ax, ay) = augment_slice(&xs, &ys, &[2], 3, 0.0, 1).unwrap();
+        assert_eq!(ax.len(), 6);
+        assert_eq!(&ax[3..], &[vec![2.0], vec![2.0], vec![2.0]]);
+        assert_eq!(&ay[3..], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn augment_jitters_deterministically() {
+        let xs = vec![vec![0.0; 4]];
+        let ys = vec![0];
+        let (a, _) = augment_slice(&xs, &ys, &[0], 2, 0.5, 9).unwrap();
+        let (b, _) = augment_slice(&xs, &ys, &[0], 2, 0.5, 9).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a[1], a[2], "distinct jitter per copy");
+        assert!(a[1].iter().all(|x| x.abs() < 5.0));
+    }
+
+    #[test]
+    fn augment_validation() {
+        let xs = vec![vec![0.0]];
+        assert!(augment_slice(&xs, &[0, 1], &[0], 1, 0.1, 0).is_err());
+        assert!(augment_slice(&xs, &[0], &[5], 1, 0.1, 0).is_err());
+        assert!(augment_slice(&xs, &[0], &[0], 0, 0.1, 0).is_err());
+        assert!(augment_slice(&xs, &[0], &[0], 1, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn reweight_basics() {
+        let w = reweight_slice(4, &[1, 3], 5.0).unwrap();
+        assert_eq!(w, vec![1.0, 5.0, 1.0, 5.0]);
+        assert!(reweight_slice(2, &[9], 2.0).is_err());
+        assert!(reweight_slice(2, &[0], 0.0).is_err());
+    }
+
+    /// 3 sources over 60 examples: two 90%-accurate, one adversarial (30%).
+    fn noisy_votes(seed: u64) -> (Vec<Vec<Option<usize>>>, Vec<usize>) {
+        let mut rng = Xoshiro256::seeded(seed);
+        let truth: Vec<usize> = (0..60).map(|_| rng.below(2) as usize).collect();
+        let source = |acc: f64, rng: &mut Xoshiro256| -> Vec<Option<usize>> {
+            truth
+                .iter()
+                .map(|&t| {
+                    if rng.chance(0.1) {
+                        None // abstain
+                    } else if rng.chance(acc) {
+                        Some(t)
+                    } else {
+                        Some(1 - t)
+                    }
+                })
+                .collect()
+        };
+        let votes = vec![source(0.9, &mut rng), source(0.9, &mut rng), source(0.3, &mut rng)];
+        (votes, truth)
+    }
+
+    #[test]
+    fn label_model_learns_source_quality() {
+        let (votes, truth) = noisy_votes(3);
+        let model = LabelModel::fit(&votes, 2, 5).unwrap();
+        assert!(model.source_accuracy[0] > 0.75, "{:?}", model.source_accuracy);
+        assert!(model.source_accuracy[1] > 0.75);
+        assert!(model.source_accuracy[2] < 0.5, "adversarial source must be downweighted");
+
+        let labels = model.predict(&votes).unwrap();
+        let mut lm_correct = 0;
+        let mut mv_correct = 0;
+        let mv = LabelModel::majority_vote(&votes, 2);
+        let mut n = 0;
+        for i in 0..truth.len() {
+            if let (Some((c, conf)), Some(m)) = (labels[i], mv[i]) {
+                n += 1;
+                assert!((0.0..=1.0).contains(&conf));
+                if c == truth[i] {
+                    lm_correct += 1;
+                }
+                if m == truth[i] {
+                    mv_correct += 1;
+                }
+            }
+        }
+        assert!(n > 30);
+        assert!(
+            lm_correct >= mv_correct,
+            "label model ({lm_correct}) must not lose to majority vote ({mv_correct})"
+        );
+        assert!(lm_correct as f64 / n as f64 > 0.8);
+    }
+
+    #[test]
+    fn label_model_validation() {
+        assert!(LabelModel::fit(&[], 2, 3).is_err());
+        assert!(LabelModel::fit(&[vec![]], 2, 3).is_err());
+        assert!(LabelModel::fit(&[vec![Some(0)], vec![Some(0), Some(1)]], 2, 3).is_err());
+        assert!(LabelModel::fit(&[vec![Some(5)]], 2, 3).is_err());
+        assert!(LabelModel::fit(&[vec![Some(0)]], 1, 3).is_err());
+        let m = LabelModel::fit(&[vec![Some(0), None]], 2, 1).unwrap();
+        assert_eq!(m.predict(&[vec![Some(0), None]]).unwrap()[1], None);
+        assert!(m.predict(&[vec![Some(0)], vec![Some(0)]]).is_err());
+    }
+
+    #[test]
+    fn embedding_patch_publishes_new_version() {
+        let mut store = EmbeddingStore::new();
+        let mut t = EmbeddingTable::new(2).unwrap();
+        t.insert("bad", vec![-1.0, 0.0]).unwrap();
+        t.insert("good1", vec![1.0, 0.0]).unwrap();
+        t.insert("good2", vec![1.0, 0.2]).unwrap();
+        store
+            .publish("ent", t, EmbeddingProvenance::default(), Timestamp::EPOCH)
+            .unwrap();
+
+        let patcher = EmbeddingPatcher { alpha: 1.0 };
+        let q = patcher
+            .patch_toward_exemplars(
+                &mut store,
+                "ent",
+                &["bad".into()],
+                &["good1".into(), "good2".into()],
+                Timestamp::millis(5),
+            )
+            .unwrap();
+        assert_eq!(q, "ent@v2");
+        let v2 = store.latest("ent").unwrap();
+        assert_eq!(v2.provenance.parent, Some(1));
+        assert_eq!(v2.provenance.trainer, "patch");
+        let patched = v2.table.get("bad").unwrap();
+        assert!((patched[0] - 1.0).abs() < 1e-6);
+        assert!((patched[1] - 0.1).abs() < 1e-6);
+        // v1 untouched (copy-on-write)
+        assert_eq!(store.get("ent", 1).unwrap().table.get("bad"), Some(&[-1.0, 0.0][..]));
+        // unchanged rows carried over
+        assert_eq!(v2.table.get("good1"), Some(&[1.0, 0.0][..]));
+    }
+
+    #[test]
+    fn embedding_patch_validation() {
+        let mut store = EmbeddingStore::new();
+        let mut t = EmbeddingTable::new(2).unwrap();
+        t.insert("a", vec![0.0, 0.0]).unwrap();
+        store.publish("e", t, EmbeddingProvenance::default(), Timestamp::EPOCH).unwrap();
+        let p = EmbeddingPatcher::default();
+        assert!(p
+            .patch_toward_exemplars(&mut store, "e", &[], &["a".into()], Timestamp::EPOCH)
+            .is_err());
+        assert!(p
+            .patch_toward_exemplars(&mut store, "e", &["ghost".into()], &["a".into()], Timestamp::EPOCH)
+            .is_err());
+        assert!(p
+            .patch_toward_exemplars(&mut store, "ghost", &["a".into()], &["a".into()], Timestamp::EPOCH)
+            .is_err());
+        let bad_alpha = EmbeddingPatcher { alpha: 2.0 };
+        assert!(bad_alpha
+            .patch_toward_exemplars(&mut store, "e", &["a".into()], &["a".into()], Timestamp::EPOCH)
+            .is_err());
+    }
+}

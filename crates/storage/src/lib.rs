@@ -1,0 +1,27 @@
+//! # fstore-storage
+//!
+//! The dual datastore at the heart of a feature store (paper §2.2.2):
+//!
+//! * an **offline store** — an embedded columnar warehouse with date
+//!   partitioning, per-segment zone maps and predicate pushdown, used for
+//!   training-set construction and batch feature computation; and
+//! * an **online store** — a sharded in-memory key-value store with per-write
+//!   freshness timestamps and TTL expiry, used to serve features to deployed
+//!   models at point-lookup latency.
+//!
+//! The two stores deliberately expose different access grains (scans vs.
+//! lookups); experiment **E1** measures the latency contrast that motivates
+//! keeping both.
+
+pub mod column;
+pub mod offline;
+pub mod online;
+pub mod predicate;
+pub mod segment;
+pub mod snapshot;
+
+pub use column::{Column, NullBitmap};
+pub use offline::{OfflineStore, ScanRequest, ScanResult, ScanStats, TableConfig};
+pub use online::{OnlineEntry, OnlineStore, OnlineStoreStats};
+pub use predicate::{CmpOp, Predicate};
+pub use segment::{Segment, SegmentBuilder, ZoneMap};

@@ -1,0 +1,334 @@
+//! The online store: a sharded in-memory feature KV with freshness tracking.
+//!
+//! Deployed models read feature vectors from here at point-lookup latency
+//! (paper §2.2.2, "Online Feature Serving"). Every write records the
+//! timestamp it happened at, so the serving layer can enforce staleness
+//! policies and the monitors can measure feature freshness (§2.2.3).
+//! Shards are guarded by `parking_lot::RwLock`, routed by a fast hash of
+//! `(group, entity)`.
+
+use fstore_common::hash::{fx_hash_one, FxHashMap};
+use fstore_common::{Duration, EntityKey, Timestamp, Value};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One stored feature value and the instant it was written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineEntry {
+    pub value: Value,
+    pub written_at: Timestamp,
+}
+
+impl OnlineEntry {
+    /// Age of this entry at `now`.
+    pub fn age(&self, now: Timestamp) -> Duration {
+        now - self.written_at
+    }
+}
+
+type EntityRow = FxHashMap<String, OnlineEntry>;
+type Shard = FxHashMap<(String, String), EntityRow>;
+
+/// Hit/miss/write counters (monotonic, lock-free).
+#[derive(Debug, Default)]
+pub struct OnlineStoreStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub writes: AtomicU64,
+    pub expired: AtomicU64,
+}
+
+impl OnlineStoreStats {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+            self.expired.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The sharded in-memory store. Keys are `(feature group, entity)`; each
+/// entity row maps feature name → [`OnlineEntry`].
+#[derive(Debug)]
+pub struct OnlineStore {
+    shards: Vec<RwLock<Shard>>,
+    stats: OnlineStoreStats,
+}
+
+impl Default for OnlineStore {
+    fn default() -> Self {
+        OnlineStore::new(16)
+    }
+}
+
+impl OnlineStore {
+    /// `shards` is rounded up to a power of two so routing is a mask.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        OnlineStore {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            stats: OnlineStoreStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &OnlineStoreStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn shard_for(&self, group: &str, entity: &EntityKey) -> &RwLock<Shard> {
+        let h = fx_hash_one(&(group, entity.as_str()));
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Write one feature value for an entity.
+    pub fn put(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        feature: &str,
+        value: Value,
+        now: Timestamp,
+    ) {
+        let shard = self.shard_for(group, entity);
+        let mut guard = shard.write();
+        let row = guard.entry((group.to_string(), entity.as_str().to_string())).or_default();
+        row.insert(feature.to_string(), OnlineEntry { value, written_at: now });
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Write several features of one entity under a single shard lock.
+    pub fn put_row(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        values: &[(&str, Value)],
+        now: Timestamp,
+    ) {
+        let shard = self.shard_for(group, entity);
+        let mut guard = shard.write();
+        let row = guard.entry((group.to_string(), entity.as_str().to_string())).or_default();
+        for (feature, value) in values {
+            row.insert(feature.to_string(), OnlineEntry { value: value.clone(), written_at: now });
+        }
+        self.stats.writes.fetch_add(values.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Point lookup of one feature.
+    pub fn get(&self, group: &str, entity: &EntityKey, feature: &str) -> Option<OnlineEntry> {
+        let shard = self.shard_for(group, entity);
+        let guard = shard.read();
+        let found = guard
+            .get(&(group.to_string(), entity.as_str().to_string()))
+            .and_then(|row| row.get(feature))
+            .cloned();
+        match &found {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Fetch several features of one entity under a single shard lock.
+    /// Missing features come back as `None` in the same positions.
+    pub fn get_many(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        features: &[&str],
+    ) -> Vec<Option<OnlineEntry>> {
+        let shard = self.shard_for(group, entity);
+        let guard = shard.read();
+        let row = guard.get(&(group.to_string(), entity.as_str().to_string()));
+        let out: Vec<Option<OnlineEntry>> = features
+            .iter()
+            .map(|f| row.and_then(|r| r.get(*f)).cloned())
+            .collect();
+        let hits = out.iter().filter(|e| e.is_some()).count() as u64;
+        self.stats.hits.fetch_add(hits, Ordering::Relaxed);
+        self.stats.misses.fetch_add(features.len() as u64 - hits, Ordering::Relaxed);
+        out
+    }
+
+    /// All feature entries of an entity (for skew monitors and debugging).
+    pub fn get_row(&self, group: &str, entity: &EntityKey) -> Option<Vec<(String, OnlineEntry)>> {
+        let shard = self.shard_for(group, entity);
+        let guard = shard.read();
+        guard.get(&(group.to_string(), entity.as_str().to_string())).map(|row| {
+            let mut v: Vec<(String, OnlineEntry)> =
+                row.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        })
+    }
+
+    /// Delete entries written before `now - ttl`; returns how many were
+    /// evicted. Called by the materialization scheduler's housekeeping tick.
+    pub fn sweep_expired(&self, now: Timestamp, ttl: Duration) -> usize {
+        let cutoff = now - ttl;
+        let mut evicted = 0usize;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            for row in guard.values_mut() {
+                let before = row.len();
+                row.retain(|_, e| e.written_at >= cutoff);
+                evicted += before - row.len();
+            }
+            guard.retain(|_, row| !row.is_empty());
+        }
+        self.stats.expired.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Total number of stored feature entries (O(entities); for tests/metrics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().values().map(|r| r.len()).sum::<usize>()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all current values of one feature across entities in a
+    /// group — the "live" side of training/serving-skew monitoring.
+    pub fn feature_snapshot(&self, group: &str, feature: &str) -> Vec<(EntityKey, OnlineEntry)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            for ((g, entity), row) in guard.iter() {
+                if g == group {
+                    if let Some(e) = row.get(feature) {
+                        out.push((EntityKey::new(entity.clone()), e.clone()));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> EntityKey {
+        EntityKey::new(s)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = OnlineStore::new(4);
+        store.put("user", &k("u1"), "trips", Value::Int(5), Timestamp::millis(100));
+        let e = store.get("user", &k("u1"), "trips").unwrap();
+        assert_eq!(e.value, Value::Int(5));
+        assert_eq!(e.written_at, Timestamp::millis(100));
+        assert!(store.get("user", &k("u1"), "ghost").is_none());
+        assert!(store.get("user", &k("u2"), "trips").is_none());
+        assert!(store.get("driver", &k("u1"), "trips").is_none(), "groups are namespaces");
+    }
+
+    #[test]
+    fn overwrite_updates_value_and_freshness() {
+        let store = OnlineStore::new(1);
+        store.put("g", &k("e"), "f", Value::Int(1), Timestamp::millis(10));
+        store.put("g", &k("e"), "f", Value::Int(2), Timestamp::millis(20));
+        let e = store.get("g", &k("e"), "f").unwrap();
+        assert_eq!(e.value, Value::Int(2));
+        assert_eq!(e.written_at, Timestamp::millis(20));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn put_row_and_get_many_align() {
+        let store = OnlineStore::default();
+        store.put_row(
+            "g",
+            &k("e"),
+            &[("a", Value::Int(1)), ("b", Value::Float(2.0))],
+            Timestamp::millis(5),
+        );
+        let got = store.get_many("g", &k("e"), &["b", "ghost", "a"]);
+        assert_eq!(got[0].as_ref().unwrap().value, Value::Float(2.0));
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_ref().unwrap().value, Value::Int(1));
+    }
+
+    #[test]
+    fn get_row_sorted() {
+        let store = OnlineStore::default();
+        store.put_row("g", &k("e"), &[("z", Value::Int(1)), ("a", Value::Int(2))], Timestamp::EPOCH);
+        let row = store.get_row("g", &k("e")).unwrap();
+        assert_eq!(row[0].0, "a");
+        assert_eq!(row[1].0, "z");
+        assert!(store.get_row("g", &k("nope")).is_none());
+    }
+
+    #[test]
+    fn sweep_evicts_only_stale_entries() {
+        let store = OnlineStore::new(2);
+        store.put("g", &k("old"), "f", Value::Int(1), Timestamp::millis(0));
+        store.put("g", &k("new"), "f", Value::Int(2), Timestamp::millis(900));
+        let evicted = store.sweep_expired(Timestamp::millis(1000), Duration::millis(500));
+        assert_eq!(evicted, 1);
+        assert!(store.get("g", &k("old"), "f").is_none());
+        assert!(store.get("g", &k("new"), "f").is_some());
+        assert_eq!(store.stats().snapshot().3, 1);
+    }
+
+    #[test]
+    fn entry_age() {
+        let e = OnlineEntry { value: Value::Int(0), written_at: Timestamp::millis(100) };
+        assert_eq!(e.age(Timestamp::millis(350)), Duration::millis(250));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let store = OnlineStore::default();
+        store.put("g", &k("e"), "f", Value::Int(1), Timestamp::EPOCH);
+        store.get("g", &k("e"), "f");
+        store.get("g", &k("e"), "nope");
+        store.get_many("g", &k("e"), &["f", "nope"]);
+        let (hits, misses, writes, _) = store.stats().snapshot();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 2);
+        assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn feature_snapshot_filters_group_and_feature() {
+        let store = OnlineStore::new(8);
+        for i in 0..10 {
+            store.put("user", &k(&format!("u{i}")), "score", Value::Int(i), Timestamp::EPOCH);
+        }
+        store.put("driver", &k("d1"), "score", Value::Int(99), Timestamp::EPOCH);
+        store.put("user", &k("u0"), "other", Value::Int(5), Timestamp::EPOCH);
+        let snap = store.feature_snapshot("user", "score");
+        assert_eq!(snap.len(), 10);
+        assert!(snap.iter().all(|(_, e)| e.value != Value::Int(99)));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        use std::sync::Arc;
+        let store = Arc::new(OnlineStore::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let entity = k(&format!("e{}", i % 50));
+                    s.put("g", &entity, &format!("f{t}"), Value::Int(i), Timestamp::millis(i));
+                    s.get("g", &entity, &format!("f{t}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 50 entities × 4 features
+        assert_eq!(store.len(), 200);
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline-store durability: JSON snapshots.
+//!
+//! The embedded warehouse is in-memory; snapshots give it a durable,
+//! human-inspectable form (the same pragmatic choice the model store
+//! makes). A snapshot captures every table's configuration and rows;
+//! restoring replays them through the normal `create_table`/`append`
+//! path, so all invariants (schema checks, partition routing, zone maps)
+//! are re-established rather than trusted from the file.
+
+use crate::offline::{OfflineStore, ScanRequest, TableConfig};
+use fstore_common::{FieldDef, FsError, Result, Schema, Value, ValueType};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FieldRepr {
+    name: String,
+    ty: ValueType,
+    nullable: bool,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TableSnapshot {
+    name: String,
+    fields: Vec<FieldRepr>,
+    time_column: Option<String>,
+    segment_rows: usize,
+    rows: Vec<Vec<Value>>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct StoreSnapshot {
+    format_version: u32,
+    tables: Vec<TableSnapshot>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+impl OfflineStore {
+    /// Serialize the whole store (schemas + data) to JSON.
+    pub fn snapshot_json(&self) -> Result<String> {
+        let mut tables = Vec::new();
+        for name in self.table_names() {
+            let schema = self.schema(name)?;
+            let fields = schema
+                .fields()
+                .iter()
+                .map(|f| FieldRepr { name: f.name.clone(), ty: f.ty, nullable: f.nullable })
+                .collect();
+            let scan = self.scan(name, &ScanRequest::all())?;
+            tables.push(TableSnapshot {
+                name: name.to_string(),
+                fields,
+                time_column: self.time_column(name)?,
+                segment_rows: self.segment_rows(name)?,
+                rows: scan.rows,
+            });
+        }
+        serde_json::to_string(&StoreSnapshot { format_version: FORMAT_VERSION, tables })
+            .map_err(|e| FsError::Serde(e.to_string()))
+    }
+
+    /// Rebuild a store from a snapshot produced by [`Self::snapshot_json`].
+    /// Every row is re-validated through the normal append path.
+    pub fn from_snapshot_json(json: &str) -> Result<OfflineStore> {
+        let snap: StoreSnapshot =
+            serde_json::from_str(json).map_err(|e| FsError::Serde(e.to_string()))?;
+        if snap.format_version != FORMAT_VERSION {
+            return Err(FsError::Storage(format!(
+                "unsupported snapshot format v{} (expected v{FORMAT_VERSION})",
+                snap.format_version
+            )));
+        }
+        let mut store = OfflineStore::new();
+        for t in snap.tables {
+            let schema = Schema::new(
+                t.fields
+                    .into_iter()
+                    .map(|f| FieldDef { name: f.name, ty: f.ty, nullable: f.nullable })
+                    .collect(),
+            )?;
+            let mut config = TableConfig::new(schema).with_segment_rows(t.segment_rows);
+            if let Some(col) = t.time_column {
+                config = config.with_time_column(col);
+            }
+            store.create_table(&t.name, config)?;
+            for row in &t.rows {
+                store.append(&t.name, row)?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Write a snapshot to `path`.
+    pub fn save_to_file(&self, path: &std::path::Path) -> Result<()> {
+        let json = self.snapshot_json()?;
+        std::fs::write(path, json).map_err(|e| FsError::Storage(format!("write snapshot: {e}")))
+    }
+
+    /// Load a store from a snapshot file.
+    pub fn load_from_file(path: &std::path::Path) -> Result<OfflineStore> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| FsError::Storage(format!("read snapshot: {e}")))?;
+        Self::from_snapshot_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::Timestamp;
+
+    fn sample_store() -> OfflineStore {
+        let mut s = OfflineStore::new();
+        s.create_table(
+            "trips",
+            TableConfig::new(Schema::of(&[
+                ("user", ValueType::Str),
+                ("ts", ValueType::Timestamp),
+                ("fare", ValueType::Float),
+            ]))
+            .with_time_column("ts")
+            .with_segment_rows(4),
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            s.append(
+                "trips",
+                &[
+                    Value::from(format!("u{}", i % 3)),
+                    Value::Timestamp(Timestamp::millis(i * 3_600_000)),
+                    if i == 5 { Value::Null } else { Value::Float(i as f64) },
+                ],
+            )
+            .unwrap();
+        }
+        s.create_table("plain", TableConfig::new(Schema::of(&[("x", ValueType::Int)]))).unwrap();
+        s.append("plain", &[Value::Int(7)]).unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let original = sample_store();
+        let json = original.snapshot_json().unwrap();
+        let restored = OfflineStore::from_snapshot_json(&json).unwrap();
+
+        assert_eq!(restored.table_names(), original.table_names());
+        for t in original.table_names() {
+            assert_eq!(restored.num_rows(t).unwrap(), original.num_rows(t).unwrap());
+            assert_eq!(restored.schema(t).unwrap(), original.schema(t).unwrap());
+            assert_eq!(
+                restored.partition_dates(t).unwrap(),
+                original.partition_dates(t).unwrap()
+            );
+            let a = original.scan(t, &ScanRequest::all()).unwrap().rows;
+            let b = restored.scan(t, &ScanRequest::all()).unwrap().rows;
+            assert_eq!(a, b, "table {t}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let original = sample_store();
+        let dir = std::env::temp_dir().join("fstore_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        original.save_to_file(&path).unwrap();
+        let restored = OfflineStore::load_from_file(&path).unwrap();
+        assert_eq!(restored.num_rows("trips").unwrap(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(OfflineStore::from_snapshot_json("not json").is_err());
+        assert!(OfflineStore::from_snapshot_json("{\"format_version\":99,\"tables\":[]}").is_err());
+        assert!(OfflineStore::load_from_file(std::path::Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        // Regression: without serde_json's `float_roundtrip` feature, this
+        // value came back as ...898 instead of ...894 — a silent corruption
+        // a storage snapshot must never allow.
+        let hostile = 27.912_789_275_389_894_f64;
+        let mut s = OfflineStore::new();
+        s.create_table("t", TableConfig::new(Schema::of(&[("x", ValueType::Float)]))).unwrap();
+        s.append("t", &[Value::Float(hostile)]).unwrap();
+        let restored = OfflineStore::from_snapshot_json(&s.snapshot_json().unwrap()).unwrap();
+        let rows = restored.scan("t", &ScanRequest::all()).unwrap().rows;
+        assert_eq!(rows[0][0], Value::Float(hostile), "bit-exact float persistence");
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = OfflineStore::new();
+        let restored = OfflineStore::from_snapshot_json(&s.snapshot_json().unwrap()).unwrap();
+        assert!(restored.table_names().is_empty());
+    }
+}

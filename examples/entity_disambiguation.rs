@@ -1,0 +1,177 @@
+//! Bootleg-style named entity disambiguation (paper §3.1.1).
+//!
+//! The task: given a *mention* (a bag of context entities from one topic)
+//! and a candidate set (the true entity + distractors), pick the right
+//! candidate by embedding similarity. Orr et al. showed structured
+//! knowledge-graph signals lift rare-entity F1 by tens of points while
+//! barely moving the popular head; this example reproduces that shape by
+//! comparing plain SGNS embeddings against KG-augmented ones, sliced by
+//! popularity band.
+//!
+//! Run with: `cargo run --example entity_disambiguation --release`
+
+use fstore::embed::kg::train_kg_sgns;
+use fstore::embed::sgns::train_sgns;
+use fstore::prelude::*;
+
+/// A disambiguation example: context entity ids, candidates, gold index.
+struct Mention {
+    context: Vec<usize>,
+    candidates: Vec<usize>,
+    gold: usize, // index into candidates
+}
+
+/// Generate mentions: gold entity sampled Zipf-style, context = same-topic
+/// entities, distractors = other-topic entities.
+fn make_mentions(corpus: &Corpus, n: usize, seed: u64) -> Vec<Mention> {
+    let mut rng = Xoshiro256::seeded(seed);
+    let zipf = Zipf::new(corpus.config.vocab, corpus.config.zipf_alpha);
+    let vocab = corpus.config.vocab;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let gold_entity = zipf.sample(&mut rng);
+        let topic = corpus.topic_of[gold_entity];
+        // 4 context entities from the same topic (excluding the gold)
+        let peers: Vec<usize> =
+            (0..vocab).filter(|&e| corpus.topic_of[e] == topic && e != gold_entity).collect();
+        if peers.len() < 4 {
+            continue;
+        }
+        let context: Vec<usize> = (0..4).map(|_| *rng.choose(&peers)).collect();
+        // 4 distractors from other topics
+        let mut candidates = vec![gold_entity];
+        while candidates.len() < 5 {
+            let d = rng.below(vocab as u64) as usize;
+            if corpus.topic_of[d] != topic {
+                candidates.push(d);
+            }
+        }
+        rng.shuffle(&mut candidates);
+        let gold = candidates.iter().position(|&c| c == gold_entity).unwrap();
+        out.push(Mention { context, candidates, gold });
+    }
+    out
+}
+
+/// Disambiguate by cosine(candidate, mean(context)); returns accuracy per
+/// popularity band (band 0 = head) and overall.
+fn evaluate(
+    table: &EmbeddingTable,
+    corpus: &Corpus,
+    mentions: &[Mention],
+    bands: usize,
+) -> (Vec<f64>, f64) {
+    let band_of = {
+        let popularity = corpus.popularity_bands(bands);
+        let mut map = vec![0usize; corpus.config.vocab];
+        for (b, members) in popularity.iter().enumerate() {
+            for &e in members {
+                map[e] = b;
+            }
+        }
+        map
+    };
+    let mut hit = vec![0usize; bands];
+    let mut tot = vec![0usize; bands];
+    for m in mentions {
+        // mean context vector
+        let dim = table.dim();
+        let mut ctx = vec![0.0f64; dim];
+        for &c in &m.context {
+            for (x, &v) in ctx.iter_mut().zip(table.get(&Corpus::entity_name(c)).unwrap()) {
+                *x += f64::from(v);
+            }
+        }
+        let best = m
+            .candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                let ca = cosine_to(table, a, &ctx);
+                let cb = cosine_to(table, b, &ctx);
+                ca.total_cmp(&cb)
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let gold_entity = m.candidates[m.gold];
+        let band = band_of[gold_entity];
+        tot[band] += 1;
+        if best == m.gold {
+            hit[band] += 1;
+        }
+    }
+    let per_band: Vec<f64> = hit
+        .iter()
+        .zip(&tot)
+        .map(|(&h, &t)| if t == 0 { f64::NAN } else { h as f64 / t as f64 })
+        .collect();
+    let overall = hit.iter().sum::<usize>() as f64 / tot.iter().sum::<usize>().max(1) as f64;
+    (per_band, overall)
+}
+
+fn cosine_to(table: &EmbeddingTable, entity: usize, ctx: &[f64]) -> f64 {
+    let v = table.get(&Corpus::entity_name(entity)).unwrap();
+    let (mut dot, mut nv, mut nc) = (0.0, 0.0, 0.0);
+    for (&x, &c) in v.iter().zip(ctx) {
+        dot += f64::from(x) * c;
+        nv += f64::from(x) * f64::from(x);
+        nc += c * c;
+    }
+    if nv == 0.0 || nc == 0.0 {
+        0.0
+    } else {
+        dot / (nv.sqrt() * nc.sqrt())
+    }
+}
+
+fn main() -> Result<()> {
+    // A starved tail: few sentences, strong skew — co-occurrence alone
+    // cannot place rare entities.
+    let corpus = Corpus::generate(CorpusConfig {
+        vocab: 500,
+        topics: 10,
+        sentences: 400,
+        sentence_len: 8,
+        zipf_alpha: 1.4,
+        topic_coherence: 0.9,
+        seed: 33,
+    })?;
+    let mentions = make_mentions(&corpus, 3_000, 77);
+    println!("NED task: {} mentions, 5 candidates each, 5 popularity bands\n", mentions.len());
+
+    let base = SgnsConfig { dim: 32, epochs: 4, seed: 3, ..SgnsConfig::default() };
+    let (plain, _) = train_sgns(&corpus, base.clone())?;
+    let (kg, _) = train_kg_sgns(
+        &corpus,
+        KgSgnsConfig { base, kg_pairs_per_entity: 8, ..KgSgnsConfig::default() },
+    )?;
+
+    let bands = 5;
+    let (acc_plain, overall_plain) = evaluate(&plain, &corpus, &mentions, bands);
+    let (acc_kg, overall_kg) = evaluate(&kg, &corpus, &mentions, bands);
+
+    println!("{:<18} {:>10} {:>10} {:>8}", "popularity band", "SGNS", "KG-SGNS", "lift");
+    for b in 0..bands {
+        let name = match b {
+            0 => "0 (head)".to_string(),
+            b if b == bands - 1 => format!("{b} (tail)"),
+            b => b.to_string(),
+        };
+        println!(
+            "{:<18} {:>10.3} {:>10.3} {:>+8.3}",
+            name,
+            acc_plain[b],
+            acc_kg[b],
+            acc_kg[b] - acc_plain[b]
+        );
+    }
+    println!(
+        "{:<18} {:>10.3} {:>10.3} {:>+8.3}",
+        "overall", overall_plain, overall_kg, overall_kg - overall_plain
+    );
+    println!(
+        "\nThe paper's claim (Orr et al.): structured KG signals rescue the tail\n\
+         — the lift concentrates in the rare bands, as shown above."
+    );
+    Ok(())
+}

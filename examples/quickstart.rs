@@ -1,0 +1,157 @@
+//! Quickstart: one pass through Figure 1 of the paper.
+//!
+//! The figure shows the modern ML pipeline — (1) Training Data →
+//! (2) Model Training & Deployment → (3) Model Maintenance & Monitoring —
+//! with the feature-store challenges on top and the embedding-ecosystem
+//! challenges on the bottom. This example drives a single record of data
+//! through every stage and prints what each subsystem did.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fstore::prelude::*;
+
+fn main() -> Result<()> {
+    println!("== Figure 1 walkthrough: the modern ML pipeline ==\n");
+
+    // ------------------------------------------------------------------
+    // Stage 1 — Training Data: ingest raw data, author & publish features
+    // ------------------------------------------------------------------
+    println!("[1] Training Data");
+    let mut fs = FeatureStore::new(Timestamp::EPOCH);
+    fs.create_source_table(
+        "trips",
+        TableConfig::new(Schema::of(&[
+            ("user_id", ValueType::Str),
+            ("ts", ValueType::Timestamp),
+            ("fare", ValueType::Float),
+            ("surge", ValueType::Float),
+        ]))
+        .with_time_column("ts"),
+    )?;
+    let mut rng = Xoshiro256::seeded(7);
+    let mut rows = Vec::new();
+    for i in 0..2000 {
+        let user = format!("u{}", i % 100);
+        let ts = Timestamp::millis(i * 15_000); // a trip every 15 s
+        let fare = 8.0 + rng.normal().abs() * 12.0;
+        let surge = if rng.chance(0.2) { 1.5 } else { 1.0 };
+        rows.push(vec![
+            Value::from(user),
+            Value::Timestamp(ts),
+            Value::Float(fare),
+            Value::Float(surge),
+        ]);
+    }
+    fs.ingest("trips", &rows)?;
+    println!("    ingested 2000 raw trips for 100 users");
+
+    // Feature authoring & publishing: definitional metadata + expression.
+    let def = fs.publish(
+        FeatureSpec::new("avg_effective_fare_1d", "user_id", "trips", "fare * surge")
+            .aggregated(AggFunc::Avg, Duration::days(1))
+            .cadence(Duration::hours(1))
+            .owner("pricing-team")
+            .describe("1-day average surge-adjusted fare")
+            .tag("pricing"),
+    )?;
+    println!("    published feature {} (type {}, inputs {:?})", def.qualified_name(), def.value_type, def.inputs);
+
+    // ------------------------------------------------------------------
+    // Stage 2 — Model Training & Deployment
+    // ------------------------------------------------------------------
+    println!("\n[2] Model Training & Deployment");
+    // Advance the simulated clock past the data; the scheduler materializes.
+    fs.advance(Duration::hours(9))?;
+    let now = fs.now();
+    let runs = fs.materialize_now("avg_effective_fare_1d")?;
+    println!("    materialized `{}` for {} entities at {}", runs.feature, runs.entities, runs.ran_at);
+
+    // Leakage-free training set via point-in-time join.
+    let set_now = fs.now();
+    fs.registry_mut().register_set("churn_v1", &["avg_effective_fare_1d"], set_now)?;
+    let labels: Vec<LabelEvent> = (0..100)
+        .map(|i| LabelEvent::new(format!("u{i}"), now, f64::from(u8::from(i % 3 == 0))))
+        .collect();
+    let training = fs.training_set("churn_v1", &labels)?;
+    let (xs, ys) = training.feature_matrix(0.0);
+    let ys: Vec<usize> = ys.iter().map(|v| v.as_f64().unwrap_or(0.0) as usize).collect();
+    println!("    built PIT training set: {} rows × {} features", xs.len(), xs[0].len());
+
+    let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default())?;
+    println!("    trained churn model, train accuracy {:.2}", model.accuracy(&xs, &ys)?);
+
+    // Store the artifact for provenance.
+    let mut artifact = fstore::core::modelstore::artifact("churn", model.to_json()?);
+    artifact.feature_set = "churn_v1".into();
+    artifact.training_range = (Timestamp::EPOCH, now);
+    let saved = fs.models_mut().save(artifact)?;
+    println!("    stored model artifact {}", saved.qualified_name());
+
+    // Online serving.
+    let vector = fs.server().serve("user_id", &EntityKey::new("u3"), &["avg_effective_fare_1d"], now)?;
+    println!(
+        "    served u3 features {:?} (age {:?} ms)",
+        vector.values,
+        vector.ages[0].map(|a| a.as_millis())
+    );
+
+    // ------------------------------------------------------------------
+    // Stage 3 — Model Maintenance & Monitoring
+    // ------------------------------------------------------------------
+    println!("\n[3] Model Maintenance & Monitoring");
+    let offline = fs.offline();
+    let online = fs.online();
+    let report = {
+        let off = offline.lock();
+        skew_report(
+            &off,
+            &online,
+            "avg_effective_fare_1d",
+            1,
+            "user_id",
+            fstore::monitor::drift::DriftThresholds::default(),
+        )?
+    };
+    println!(
+        "    training/serving skew: {:?} (train rows {}, serving rows {})",
+        report.alert, report.training_rows, report.serving_rows
+    );
+
+    // ------------------------------------------------------------------
+    // Bottom row of Figure 1 — the embedding ecosystem, in miniature
+    // ------------------------------------------------------------------
+    println!("\n[embedding ecosystem] self-supervised pretraining → versioned store → quality metrics");
+    let corpus = Corpus::generate(CorpusConfig {
+        vocab: 300,
+        topics: 6,
+        sentences: 800,
+        sentence_len: 10,
+        seed: 11,
+        ..CorpusConfig::default()
+    })?;
+    let (table_v1, prov) = fstore::embed::sgns::train_sgns(
+        &corpus,
+        SgnsConfig { dim: 24, epochs: 2, seed: 1, ..SgnsConfig::default() },
+    )?;
+    let mut emb_store = EmbeddingStore::new();
+    let q1 = emb_store.publish("entities", table_v1, prov, now)?;
+    println!("    published {q1} over a {}-entity corpus", corpus.config.vocab);
+
+    // retrain (seed change) → new version → measure version churn
+    let (table_v2, prov2) = fstore::embed::sgns::train_sgns(
+        &corpus,
+        SgnsConfig { dim: 24, epochs: 2, seed: 2, ..SgnsConfig::default() },
+    )?;
+    let q2 = emb_store.publish("entities", table_v2, prov2, now)?;
+    let v1 = &emb_store.get("entities", 1)?.table;
+    let v2 = &emb_store.get("entities", 2)?.table;
+    println!(
+        "    {q2}: knn-overlap@10 vs v1 = {:.3}, eigenspace overlap = {:.3}, displacement = {:.3}",
+        knn_overlap(v1, v2, 10, None)?,
+        eigenspace_overlap(v1, v2)?,
+        semantic_displacement(v1, v2)?
+    );
+
+    println!("\nPipeline complete — every Figure-1 stage exercised.");
+    Ok(())
+}

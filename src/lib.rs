@@ -1,0 +1,98 @@
+//! # fstore
+//!
+//! A feature store with first-class embedding support — a working
+//! implementation of the system described in *"Managing ML Pipelines:
+//! Feature Stores and the Coming Wave of Embedding Ecosystems"* (VLDB 2021).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`common`] | values, schemas, time, deterministic RNG, statistics |
+//! | [`storage`] | offline columnar store + online KV store |
+//! | [`query`] | the feature expression language |
+//! | [`stream`] | windowed streaming features with dual-write sink |
+//! | [`core`] | registry, materialization, PIT joins, serving, model store |
+//! | [`embed`] | embedding store, trainers, compression, quality metrics |
+//! | [`index`] | Flat / IVF / HNSW vector indexes |
+//! | [`models`] | downstream classifiers + evaluation metrics |
+//! | [`monitor`] | drift, skew, slice finding, patching |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fstore::prelude::*;
+//!
+//! // a feature store on a simulated clock
+//! let mut fs = FeatureStore::new(Timestamp::EPOCH);
+//! fs.create_source_table(
+//!     "trips",
+//!     TableConfig::new(Schema::of(&[
+//!         ("user_id", ValueType::Str),
+//!         ("ts", ValueType::Timestamp),
+//!         ("fare", ValueType::Float),
+//!     ]))
+//!     .with_time_column("ts"),
+//! )
+//! .unwrap();
+//! fs.ingest(
+//!     "trips",
+//!     &[vec![Value::from("u1"), Value::Timestamp(Timestamp::millis(1_000)), Value::Float(12.5)]],
+//! )
+//! .unwrap();
+//!
+//! // author + publish a feature, let the scheduler materialize it
+//! fs.publish(FeatureSpec::new("last_fare", "user_id", "trips", "fare")).unwrap();
+//! fs.advance(Duration::minutes(1)).unwrap();
+//!
+//! // serve it online
+//! let v = fs
+//!     .server()
+//!     .serve("user_id", &EntityKey::new("u1"), &["last_fare"], fs.now())
+//!     .unwrap();
+//! assert_eq!(v.values[0], Value::Float(12.5));
+//! ```
+
+pub use fstore_common as common;
+pub use fstore_core as core;
+pub use fstore_embed as embed;
+pub use fstore_index as index;
+pub use fstore_models as models;
+pub use fstore_monitor as monitor;
+pub use fstore_query as query;
+pub use fstore_storage as storage;
+pub use fstore_stream as stream;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use fstore_common::{
+        Date, Duration, EntityKey, FieldDef, FsError, Result, Rng, Schema, SimClock, Timestamp,
+        Value, ValueType, Xoshiro256, Zipf,
+    };
+    pub use fstore_core::{
+        naive_latest_join, point_in_time_join, FeatureServer, FeatureSpec, FeatureStore,
+        LabelEvent, MaterializationScheduler, Materializer, ModelArtifact, ModelStore, PitFeature,
+        StalenessPolicy,
+    };
+    pub use fstore_embed::{
+        eigenspace_overlap, knn_overlap, semantic_displacement, Corpus, CorpusConfig,
+        EmbeddingStore, EmbeddingTable, KgSgnsConfig, PcaModel, PpmiConfig, QuantizedTable,
+        SgnsConfig,
+    };
+    pub use fstore_index::{
+        recall_at_k, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex,
+    };
+    pub use fstore_models::{
+        prediction_flips, ClassificationReport, Classifier, LogisticRegression, Mlp,
+        SoftmaxRegression, TrainConfig,
+    };
+    pub use fstore_monitor::{
+        augment_slice, discover_slices, mmd_rbf, reweight_slice, skew_report, DriftAlert,
+        DriftMonitor, EmbeddingDriftMonitor, EmbeddingPatcher, LabelModel, SliceSpec,
+    };
+    pub use fstore_query::{AggFunc, Program};
+    pub use fstore_storage::{
+        CmpOp, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
+    };
+    pub use fstore_stream::{Event, StreamAggregator, StreamPipeline, StreamRuntime, WindowSpec};
+}

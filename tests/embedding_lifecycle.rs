@@ -1,0 +1,178 @@
+//! Cross-crate integration test: the embedding-ecosystem lifecycle —
+//! pretrain → publish → consume downstream → retrain → measure instability
+//! → find a bad slice → patch the embedding → verify *all* downstream
+//! consumers heal (the paper's product-consistency claim, §3.1.3).
+
+use fstore::embed::sgns::train_sgns;
+use fstore::prelude::*;
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        vocab: 300,
+        topics: 6,
+        sentences: 1_200,
+        sentence_len: 10,
+        topic_coherence: 0.9,
+        seed: 55,
+        ..CorpusConfig::default()
+    })
+    .unwrap()
+}
+
+fn embedding_features(table: &EmbeddingTable, c: &Corpus) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for e in 0..c.config.vocab {
+        xs.push(table.get_f64(&Corpus::entity_name(e)).unwrap());
+        ys.push(c.topic_of[e]);
+    }
+    (xs, ys)
+}
+
+#[test]
+fn versioned_lifecycle_with_instability_metrics() {
+    let c = corpus();
+    let mut store = EmbeddingStore::new();
+
+    let cfg = SgnsConfig { dim: 16, epochs: 2, seed: 1, ..SgnsConfig::default() };
+    let (t1, p1) = train_sgns(&c, cfg.clone()).unwrap();
+    let q1 = store.publish("ent", t1, p1, Timestamp::EPOCH).unwrap();
+    let (t2, p2) = train_sgns(&c, SgnsConfig { seed: 2, ..cfg }).unwrap();
+    let q2 = store.publish("ent", t2, p2, Timestamp::millis(1)).unwrap();
+    assert_eq!((q1.as_str(), q2.as_str()), ("ent@v1", "ent@v2"));
+
+    let v1 = &store.get("ent", 1).unwrap().table;
+    let v2 = &store.get("ent", 2).unwrap().table;
+
+    // Version-churn metrics are in sane ranges: retrains are neither
+    // identical nor unrelated.
+    let knn = knn_overlap(v1, v2, 10, None).unwrap();
+    assert!((0.2..0.98).contains(&knn), "knn overlap {knn}");
+    let eig = eigenspace_overlap(v1, v2).unwrap();
+    assert!((0.2..=1.0).contains(&eig), "eigenspace {eig}");
+
+    // Downstream instability: same model family trained on both versions.
+    let (x1, ys) = embedding_features(v1, &c);
+    let (x2, _) = embedding_features(v2, &c);
+    let m1 = SoftmaxRegression::train(&x1, &ys, 6, &TrainConfig::default()).unwrap();
+    let m2 = SoftmaxRegression::train(&x2, &ys, 6, &TrainConfig::default()).unwrap();
+    let flips =
+        prediction_flips(&m1.predict_batch(&x1).unwrap(), &m2.predict_batch(&x2).unwrap())
+            .unwrap();
+    assert!(flips < 0.5, "retrain instability should be bounded: {flips}");
+
+    // Consumer lineage is queryable.
+    store.register_consumer("ent@v2", "topic_model").unwrap();
+    assert_eq!(store.consumers("ent@v2").unwrap(), &["topic_model".to_string()]);
+}
+
+#[test]
+fn embedding_patch_heals_all_downstream_consumers() {
+    let c = corpus();
+    let mut store = EmbeddingStore::new();
+    let (table, prov) = train_sgns(
+        &c,
+        SgnsConfig { dim: 16, epochs: 3, seed: 9, ..SgnsConfig::default() },
+    )
+    .unwrap();
+    let mut sabotaged = table.clone();
+
+    // Sabotage a slice: corrupt the vectors of 12 topic-0 entities (as a
+    // bad upstream retrain would).
+    let victims: Vec<String> = (0..c.config.vocab)
+        .filter(|&e| c.topic_of[e] == 0)
+        .take(12)
+        .map(Corpus::entity_name)
+        .collect();
+    let mut rng = Xoshiro256::seeded(13);
+    for k in &victims {
+        let noise: Vec<f32> = (0..16).map(|_| rng.normal() as f32 * 2.0).collect();
+        sabotaged.replace(k, noise).unwrap();
+    }
+    store.publish("ent", sabotaged, prov, Timestamp::EPOCH).unwrap();
+
+    // Three independent downstream consumers on the sabotaged embedding.
+    let (xs, ys) = embedding_features(&store.latest("ent").unwrap().table, &c);
+    let victim_idx: Vec<usize> = victims
+        .iter()
+        .map(|k| k.trim_start_matches('e').parse::<usize>().unwrap())
+        .collect();
+    let consumers: Vec<SoftmaxRegression> = (0..3)
+        .map(|s| {
+            SoftmaxRegression::train(&xs, &ys, 6, &TrainConfig::default().with_seed(s)).unwrap()
+        })
+        .collect();
+    let slice_acc = |m: &SoftmaxRegression, xs: &[Vec<f64>]| {
+        let preds = m.predict_batch(xs).unwrap();
+        let hit = victim_idx.iter().filter(|&&i| preds[i] == ys[i]).count();
+        hit as f64 / victim_idx.len() as f64
+    };
+    let before: Vec<f64> = consumers.iter().map(|m| slice_acc(m, &xs)).collect();
+
+    // Patch once, centrally: move victims toward healthy topic-0 exemplars.
+    let exemplars: Vec<String> = (0..c.config.vocab)
+        .filter(|&e| c.topic_of[e] == 0 && !victim_idx.contains(&e))
+        .take(8)
+        .map(Corpus::entity_name)
+        .collect();
+    let patched_q = EmbeddingPatcher { alpha: 0.9 }
+        .patch_toward_exemplars(&mut store, "ent", &victims, &exemplars, Timestamp::millis(1))
+        .unwrap();
+    let patched = &store.resolve(&patched_q).unwrap().table;
+
+    // Every consumer re-reads the patched embedding; all heal at once.
+    let (xp, _) = embedding_features(patched, &c);
+    for (i, _m) in consumers.iter().enumerate() {
+        let retrained =
+            SoftmaxRegression::train(&xp, &ys, 6, &TrainConfig::default().with_seed(i as u64))
+                .unwrap();
+        let after = slice_acc(&retrained, &xp);
+        assert!(
+            after > before[i] + 0.2,
+            "consumer {i}: slice accuracy must jump after the central patch \
+             (before {:.2}, after {after:.2})",
+            before[i]
+        );
+    }
+
+    // Provenance trail: the patch knows its parent.
+    let v = store.resolve(&patched_q).unwrap();
+    assert_eq!(v.provenance.parent, Some(1));
+    assert_eq!(v.provenance.trainer, "patch");
+}
+
+#[test]
+fn compression_quality_ladder() {
+    // More bits ⇒ higher eigenspace overlap with the original (E7's axis).
+    let c = corpus();
+    let (table, _) =
+        train_sgns(&c, SgnsConfig { dim: 16, epochs: 2, seed: 3, ..SgnsConfig::default() })
+            .unwrap();
+    let mut last = 0.0;
+    for bits in [1u8, 2, 4, 8] {
+        let q = QuantizedTable::quantize(&table, bits).unwrap();
+        let overlap = eigenspace_overlap(&table, &q.dequantize().unwrap()).unwrap();
+        assert!(
+            overlap >= last - 0.05,
+            "overlap should be non-decreasing in bits: {bits}-bit gave {overlap} after {last}"
+        );
+        last = overlap;
+    }
+    assert!(last > 0.95, "8-bit should nearly preserve the space: {last}");
+}
+
+#[test]
+fn ann_indexes_serve_embedding_tables() {
+    let c = corpus();
+    let (table, _) =
+        train_sgns(&c, SgnsConfig { dim: 16, epochs: 2, seed: 4, ..SgnsConfig::default() })
+            .unwrap();
+    let keys = table.keys();
+    let mut data: Vec<Vec<f32>> = keys.iter().map(|k| table.get(k).unwrap().to_vec()).collect();
+    fstore::index::normalize_all(&mut data);
+    let flat = FlatIndex::build(data.clone()).unwrap();
+    let hnsw = HnswIndex::build(data.clone(), HnswConfig::default()).unwrap();
+    let queries: Vec<Vec<f32>> = data.iter().step_by(20).cloned().collect();
+    let recall = recall_at_k(&hnsw, &flat, &queries, 10).unwrap();
+    assert!(recall > 0.7, "HNSW recall over embedding table: {recall}");
+}

@@ -1,0 +1,254 @@
+//! Cross-crate integration test: the full Figure-1 pipeline — ingest →
+//! author → materialize on cadence → PIT training set → train → deploy →
+//! serve → monitor → detect an injected fault → locate the offending
+//! feature via lineage.
+
+use fstore::core::quality::{ColumnProfile, FeatureQualityReport, QualityThresholds};
+use fstore::monitor::drift::DriftThresholds;
+use fstore::prelude::*;
+
+fn trips_schema() -> Schema {
+    Schema::of(&[
+        ("user_id", ValueType::Str),
+        ("ts", ValueType::Timestamp),
+        ("fare", ValueType::Float),
+        ("distance_km", ValueType::Float),
+    ])
+}
+
+/// Deterministic synthetic trips: fare correlates with distance; label is
+/// "fare above user's long-run average".
+fn make_store(users: usize, trips_per_user: usize) -> FeatureStore {
+    let fs = FeatureStore::new(Timestamp::EPOCH);
+    fs.create_source_table("trips", TableConfig::new(trips_schema()).with_time_column("ts"))
+        .unwrap();
+    let mut rng = Xoshiro256::seeded(101);
+    let mut rows = Vec::new();
+    for u in 0..users {
+        for t in 0..trips_per_user {
+            let ts = Timestamp::millis((t * users + u) as i64 * 10_000);
+            let dist = 1.0 + rng.exponential(0.3);
+            let fare = 2.5 + 1.8 * dist + rng.normal() * 0.5;
+            rows.push(vec![
+                Value::from(format!("u{u}")),
+                Value::Timestamp(ts),
+                Value::Float(fare),
+                Value::Float(dist),
+            ]);
+        }
+    }
+    fs.ingest("trips", &rows).unwrap();
+    fs
+}
+
+#[test]
+fn full_pipeline_ingest_to_monitoring() {
+    let mut fs = make_store(50, 40);
+
+    // --- author & publish two features ---
+    fs.publish(
+        FeatureSpec::new("avg_fare_1d", "user_id", "trips", "fare")
+            .aggregated(AggFunc::Avg, Duration::days(1))
+            .cadence(Duration::hours(1)),
+    )
+    .unwrap();
+    fs.publish(
+        FeatureSpec::new("fare_per_km", "user_id", "trips", "fare / distance_km")
+            .cadence(Duration::hours(1)),
+    )
+    .unwrap();
+
+    // --- cadence-driven materialization as the clock advances ---
+    let mut total_runs = 0;
+    for _ in 0..8 {
+        total_runs += fs.advance(Duration::hours(1)).unwrap().len();
+    }
+    assert!(total_runs >= 8, "both features should rerun across 8 hours, got {total_runs}");
+
+    // --- training set via PIT join ---
+    let now = fs.now();
+    fs.registry_mut().register_set("fare_model", &["avg_fare_1d", "fare_per_km"], now).unwrap();
+    let labels: Vec<LabelEvent> =
+        (0..50).map(|u| LabelEvent::new(format!("u{u}"), now, f64::from(u8::from(u % 2 == 0)))).collect();
+    let training = fs.training_set("fare_model", &labels).unwrap();
+    assert_eq!(training.rows.len(), 50);
+    assert_eq!(training.schema.len(), 5); // entity, ts, 2 features, label
+    let (xs, ys_vals) = training.feature_matrix(0.0);
+    assert!(xs.iter().all(|r| r.len() == 2));
+    let ys: Vec<usize> = ys_vals.iter().map(|v| v.as_f64().unwrap() as usize).collect();
+
+    // --- train, store artifact, serve ---
+    let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
+    let mut artifact = fstore::core::modelstore::artifact("fare_clf", model.to_json().unwrap());
+    artifact.feature_set = "fare_model".into();
+    artifact.features = fs.registry().get_set("fare_model").unwrap().features.clone();
+    let saved = fs.models_mut().save(artifact).unwrap();
+    assert_eq!(saved.version, 1);
+
+    let served = fs
+        .server()
+        .serve("user_id", &EntityKey::new("u7"), &["avg_fare_1d", "fare_per_km"], fs.now())
+        .unwrap();
+    assert!(served.stale.is_empty());
+    let _pred = model.predict(&served.dense(0.0)).unwrap();
+
+    // --- monitoring: skew is quiet on the healthy system ---
+    let offline = fs.offline();
+    let online = fs.online();
+    {
+        let off = offline.lock();
+        let report =
+            skew_report(&off, &online, "avg_fare_1d", 1, "user_id", DriftThresholds::default())
+                .unwrap();
+        // The rolling 1-day window legitimately evolves across the first
+        // hours (it sees more data each run), so early history may drift
+        // mildly from the final serving snapshot — but never critically.
+        assert!(report.alert < DriftAlert::Critical, "healthy pipeline must not go critical: {report:?}");
+    }
+
+    // --- inject a fault: the distance feed starts emitting nulls ---
+    let mut bad_rows = Vec::new();
+    let base = fs.now();
+    for u in 0..50 {
+        bad_rows.push(vec![
+            Value::from(format!("u{u}")),
+            Value::Timestamp(base + Duration::minutes(u)),
+            Value::Float(10.0),
+            Value::Null, // broken upstream join
+        ]);
+    }
+    fs.ingest("trips", &bad_rows).unwrap();
+    fs.advance(Duration::hours(2)).unwrap();
+
+    // null-spike detector fires on the source column…
+    let offline = fs.offline();
+    let (reference, live) = {
+        let off = offline.lock();
+        let all = off
+            .column_values("trips", "distance_km", &fstore::storage::ScanRequest::all())
+            .unwrap();
+        let healthy: Vec<Value> = all[..2000].to_vec();
+        let recent: Vec<Value> = all[all.len() - 50..].to_vec();
+        (
+            vec![ColumnProfile::of_values("distance_km", &healthy)],
+            vec![ColumnProfile::of_values("distance_km", &recent)],
+        )
+    };
+    let mut issues = Vec::new();
+    FeatureQualityReport::check_null_spikes(
+        &reference,
+        &live,
+        &QualityThresholds::default(),
+        &mut issues,
+    );
+    assert_eq!(issues.len(), 1, "null storm must be detected");
+
+    // …and lineage identifies exactly the impacted feature.
+    let impacted = fs.registry().impacted_by("trips", "distance_km");
+    assert_eq!(impacted.len(), 1);
+    assert_eq!(impacted[0].name, "fare_per_km");
+}
+
+#[test]
+fn pit_prevents_leakage_that_naive_join_suffers() {
+    // Feature whose value drifts upward over time; labels placed mid-history.
+    let fs = FeatureStore::new(Timestamp::EPOCH);
+    let offline = fs.offline();
+    {
+        let mut off = offline.lock();
+        off.create_table(
+            "feat__score_v1",
+            TableConfig::new(
+                Schema::new(vec![
+                    FieldDef::not_null("entity", ValueType::Str),
+                    FieldDef::not_null("ts", ValueType::Timestamp),
+                    FieldDef::new("value", ValueType::Float),
+                ])
+                .unwrap(),
+            )
+            .with_time_column("ts"),
+        )
+        .unwrap();
+        for day in 0..20 {
+            for u in 0..30 {
+                off.append(
+                    "feat__score_v1",
+                    &[
+                        Value::from(format!("u{u}")),
+                        Value::Timestamp(Date::from_days(day).start()),
+                        Value::Float(day as f64), // strictly increasing
+                    ],
+                )
+                .unwrap();
+            }
+        }
+    }
+    let labels: Vec<LabelEvent> =
+        (0..30).map(|u| LabelEvent::new(format!("u{u}"), Date::from_days(10).start(), 1.0)).collect();
+    let feats = [PitFeature::materialized("score", 1)];
+    let off = offline.lock();
+    let pit = point_in_time_join(&off, &labels, &feats).unwrap();
+    let naive = naive_latest_join(&off, &labels, &feats).unwrap();
+    for row in &pit.rows {
+        assert_eq!(row[2], Value::Float(10.0), "PIT sees exactly day-10 value");
+    }
+    for row in &naive.rows {
+        assert_eq!(row[2], Value::Float(19.0), "naive join leaks the final value");
+    }
+}
+
+#[test]
+fn streaming_features_flow_into_training_sets() {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let online = Arc::new(OnlineStore::default());
+    let offline = Arc::new(Mutex::new(OfflineStore::new()));
+    let agg = StreamAggregator::new(
+        "clicks_1h",
+        AggFunc::Count,
+        WindowSpec::tumbling(Duration::hours(1)),
+        Duration::ZERO,
+    )
+    .unwrap();
+    let mut pipeline =
+        StreamPipeline::new(agg, "user", Arc::clone(&online), Arc::clone(&offline)).unwrap();
+
+    for hour in 0..5i64 {
+        for i in 0..=hour {
+            pipeline
+                .push(&Event::new(
+                    "u1",
+                    Timestamp::EPOCH + Duration::hours(hour) + Duration::minutes(i),
+                    1.0,
+                ))
+                .unwrap();
+        }
+    }
+    pipeline.flush().unwrap();
+
+    // The offline log of the stream is PIT-joinable like any feature table.
+    let off = offline.lock();
+    let labels = vec![
+        LabelEvent::new("u1", Timestamp::EPOCH + Duration::hours(3), 1.0),
+        LabelEvent::new("u1", Timestamp::EPOCH + Duration::hours(5), 0.0),
+    ];
+    let feat = PitFeature {
+        feature: "clicks_1h".into(),
+        table: "stream_log_clicks_1h".into(),
+        entity_column: "entity".into(),
+        time_column: "window_end".into(),
+        value_column: "value".into(),
+        max_age: None,
+    };
+    let ts = point_in_time_join(&off, &labels, &[feat]).unwrap();
+    // label at hour 3 sees the window that closed at hour 3 (hour-2 window, 3 events)
+    // (the stream log stores window values in a Float column)
+    assert_eq!(ts.rows[0][2], Value::Float(3.0));
+    // label at hour 5 sees the hour-4 window (5 events)
+    assert_eq!(ts.rows[1][2], Value::Float(5.0));
+
+    // And the online side serves the latest closed window.
+    let e = online.get("user", &EntityKey::new("u1"), "clicks_1h").unwrap();
+    assert_eq!(e.value, Value::Int(5));
+}
