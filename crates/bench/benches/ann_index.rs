@@ -11,7 +11,10 @@ const DIM: usize = 64;
 
 /// This box is small; cap criterion's appetite so `cargo bench` finishes in
 /// minutes, not hours.
-fn quick_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(5));
@@ -27,12 +30,19 @@ fn search_latency(c: &mut Criterion) {
     let flat = FlatIndex::build(data.clone()).unwrap();
     let ivf = IvfIndex::build(
         data.clone(),
-        IvfConfig { nlist: 128, nprobe: 8, ..IvfConfig::default() },
+        IvfConfig {
+            nlist: 128,
+            nprobe: 8,
+            ..IvfConfig::default()
+        },
     )
     .unwrap();
     let hnsw = HnswIndex::build(
         data.clone(),
-        HnswConfig { ef_construction: 32, ..HnswConfig::default() },
+        HnswConfig {
+            ef_construction: 32,
+            ..HnswConfig::default()
+        },
     )
     .unwrap();
 
@@ -71,7 +81,11 @@ fn build_cost(c: &mut Criterion) {
             black_box(
                 IvfIndex::build(
                     data.clone(),
-                    IvfConfig { nlist: 64, train_iters: 5, ..IvfConfig::default() },
+                    IvfConfig {
+                        nlist: 64,
+                        train_iters: 5,
+                        ..IvfConfig::default()
+                    },
                 )
                 .unwrap()
                 .len(),
@@ -83,7 +97,10 @@ fn build_cost(c: &mut Criterion) {
             black_box(
                 HnswIndex::build(
                     data.clone(),
-                    HnswConfig { ef_construction: 32, ..HnswConfig::default() },
+                    HnswConfig {
+                        ef_construction: 32,
+                        ..HnswConfig::default()
+                    },
                 )
                 .unwrap()
                 .len(),

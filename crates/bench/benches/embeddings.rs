@@ -20,7 +20,11 @@ fn trainers(c: &mut Criterion) {
         b.iter(|| {
             let mut t = SgnsTrainer::new(
                 &corpus,
-                SgnsConfig { dim: 32, epochs: 1, ..SgnsConfig::default() },
+                SgnsConfig {
+                    dim: 32,
+                    epochs: 1,
+                    ..SgnsConfig::default()
+                },
             )
             .unwrap();
             t.train(&corpus).unwrap();
@@ -35,12 +39,22 @@ fn quality_metrics(c: &mut Criterion) {
     // (metric benches are fast; default criterion settings are fine)
     let (a, _) = fstore_embed::sgns::train_sgns(
         &corpus,
-        SgnsConfig { dim: 32, epochs: 1, seed: 1, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 32,
+            epochs: 1,
+            seed: 1,
+            ..SgnsConfig::default()
+        },
     )
     .unwrap();
     let (bt, _) = fstore_embed::sgns::train_sgns(
         &corpus,
-        SgnsConfig { dim: 32, epochs: 1, seed: 2, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 32,
+            epochs: 1,
+            seed: 2,
+            ..SgnsConfig::default()
+        },
     )
     .unwrap();
 
@@ -59,7 +73,11 @@ fn compression(c: &mut Criterion) {
     let corpus = Corpus::generate(corpus_preset(true, 3)).unwrap();
     let (t, _) = fstore_embed::sgns::train_sgns(
         &corpus,
-        SgnsConfig { dim: 32, epochs: 1, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 32,
+            epochs: 1,
+            ..SgnsConfig::default()
+        },
     )
     .unwrap();
     c.bench_function("embed/quantize_4bit_300x32", |b| {

@@ -17,10 +17,12 @@ fn drift_detectors(c: &mut Criterion) {
         b.iter(|| black_box(monitor.check(&live).unwrap()))
     });
 
-    let emb_ref: Vec<Vec<f64>> =
-        (0..200).map(|_| (0..16).map(|_| rng.normal()).collect()).collect();
-    let emb_live: Vec<Vec<f64>> =
-        (0..200).map(|_| (0..16).map(|_| rng.normal() + 0.5).collect()).collect();
+    let emb_ref: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..16).map(|_| rng.normal()).collect())
+        .collect();
+    let emb_live: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..16).map(|_| rng.normal() + 0.5).collect())
+        .collect();
     c.bench_function("monitor/mmd_rbf_200x16", |b| {
         b.iter(|| black_box(mmd_rbf(&emb_ref, &emb_live, None).unwrap()))
     });
@@ -33,13 +35,24 @@ fn slice_discovery(c: &mut Criterion) {
     let times = ["day", "night"];
     let devices = ["ios", "android", "web"];
     let meta = vec![
-        ("city".to_string(), (0..n).map(|_| rng.choose(&cities).to_string()).collect()),
-        ("time".to_string(), (0..n).map(|_| rng.choose(&times).to_string()).collect()),
-        ("device".to_string(), (0..n).map(|_| rng.choose(&devices).to_string()).collect()),
+        (
+            "city".to_string(),
+            (0..n).map(|_| rng.choose(&cities).to_string()).collect(),
+        ),
+        (
+            "time".to_string(),
+            (0..n).map(|_| rng.choose(&times).to_string()).collect(),
+        ),
+        (
+            "device".to_string(),
+            (0..n).map(|_| rng.choose(&devices).to_string()).collect(),
+        ),
     ];
     let truth: Vec<usize> = (0..n).map(|_| rng.below(2) as usize).collect();
-    let preds: Vec<usize> =
-        truth.iter().map(|&t| if rng.chance(0.85) { t } else { 1 - t }).collect();
+    let preds: Vec<usize> = truth
+        .iter()
+        .map(|&t| if rng.chance(0.85) { t } else { 1 - t })
+        .collect();
     c.bench_function("monitor/discover_slices_5k_3cols", |b| {
         b.iter(|| black_box(discover_slices(&meta, &truth, &preds, 50).unwrap().len()))
     });

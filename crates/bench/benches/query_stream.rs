@@ -21,8 +21,12 @@ fn expression_eval(c: &mut Criterion) {
     .unwrap();
     let row = vec![Value::Float(20.0), Value::Float(1.5), Value::from("sf")];
 
-    c.bench_function("query/eval_simple", |b| b.iter(|| black_box(simple.eval(&row).unwrap())));
-    c.bench_function("query/eval_complex", |b| b.iter(|| black_box(complex.eval(&row).unwrap())));
+    c.bench_function("query/eval_simple", |b| {
+        b.iter(|| black_box(simple.eval(&row).unwrap()))
+    });
+    c.bench_function("query/eval_complex", |b| {
+        b.iter(|| black_box(complex.eval(&row).unwrap()))
+    });
     c.bench_function("query/compile_complex", |b| {
         b.iter(|| {
             black_box(
@@ -61,7 +65,10 @@ fn window_aggregation(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_secs(1));
     for (name, spec) in [
         ("tumbling_1m", WindowSpec::tumbling(Duration::minutes(1))),
-        ("sliding_5m_1m", WindowSpec::sliding(Duration::minutes(5), Duration::minutes(1))),
+        (
+            "sliding_5m_1m",
+            WindowSpec::sliding(Duration::minutes(5), Duration::minutes(1)),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

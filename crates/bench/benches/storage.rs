@@ -51,11 +51,21 @@ fn offline_store(c: &mut Criterion) {
     store.flush("feat__score_v1").unwrap();
 
     c.bench_function("offline/full_scan_30k", |b| {
-        b.iter(|| black_box(store.scan("feat__score_v1", &ScanRequest::all()).unwrap().rows.len()))
+        b.iter(|| {
+            black_box(
+                store
+                    .scan("feat__score_v1", &ScanRequest::all())
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
     });
     c.bench_function("offline/date_pruned_scan_1_of_30", |b| {
-        let req = ScanRequest::all()
-            .with_dates(fstore_common::Date::from_days(10), fstore_common::Date::from_days(10));
+        let req = ScanRequest::all().with_dates(
+            fstore_common::Date::from_days(10),
+            fstore_common::Date::from_days(10),
+        );
         b.iter(|| black_box(store.scan("feat__score_v1", &req).unwrap().rows.len()))
     });
     c.bench_function("offline/zone_map_pruned_predicate", |b| {

@@ -77,9 +77,11 @@ pub fn run(quick: bool) -> Result<()> {
         let start = Instant::now();
         let mut scanned = 0usize;
         for i in 0..per_read_cap {
-            let req = ScanRequest::all()
-                .as_of(as_of)
-                .filter(Predicate::new("entity", CmpOp::Eq, format!("u{}", i % entities)));
+            let req = ScanRequest::all().as_of(as_of).filter(Predicate::new(
+                "entity",
+                CmpOp::Eq,
+                format!("u{}", i % entities),
+            ));
             let res = offline.scan("feat__score_v1", &req)?;
             scanned += res.stats.rows_scanned;
         }
@@ -100,7 +102,10 @@ pub fn run(quick: bool) -> Result<()> {
     let start = Instant::now();
     let mut online_rows = 0usize;
     for e in 0..entities {
-        if online.get_row("user", &EntityKey::new(format!("u{e}"))).is_some() {
+        if online
+            .get_row("user", &EntityKey::new(format!("u{e}")))
+            .is_some()
+        {
             online_rows += 1;
         }
     }

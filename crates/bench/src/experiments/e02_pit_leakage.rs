@@ -46,7 +46,11 @@ pub fn run(quick: bool) -> Result<()> {
             };
             offline.append(
                 "feat__engagement_v1",
-                &[Value::from(format!("u{u}")), Value::Timestamp(ts), Value::Float(value)],
+                &[
+                    Value::from(format!("u{u}")),
+                    Value::Timestamp(ts),
+                    Value::Float(value),
+                ],
             )?;
         }
     }
@@ -96,7 +100,12 @@ pub fn run(quick: bool) -> Result<()> {
         let offline_acc = model.accuracy(&train_x, &train_y)?;
         let deployed_acc = model.accuracy(&test_x, &test_y)?;
         table.row(vec![
-            if naive { "naive latest join" } else { "point-in-time join" }.into(),
+            if naive {
+                "naive latest join"
+            } else {
+                "point-in-time join"
+            }
+            .into(),
             pct(leaked as f64 / train_x.len() as f64),
             f3(offline_acc),
             f3(deployed_acc),

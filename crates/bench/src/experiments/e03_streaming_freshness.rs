@@ -63,7 +63,14 @@ pub fn run(quick: bool) -> Result<()> {
     }
     let elapsed = start.elapsed();
     let report = pipeline.report();
-    push_row(&mut table, "streaming (1m slide)", report.online_writes, &staleness, events.len(), elapsed);
+    push_row(
+        &mut table,
+        "streaming (1m slide)",
+        report.online_writes,
+        &staleness,
+        events.len(),
+        elapsed,
+    );
 
     // --- batch path: recompute every `cadence` ---
     for cadence_min in [15i64, 60, 240] {
@@ -87,7 +94,13 @@ pub fn run(quick: bool) -> Result<()> {
                     }
                 }
                 for (user, c) in counts {
-                    online.put("user", &EntityKey::new(user), "events_15m", Value::Int(c), next_run);
+                    online.put(
+                        "user",
+                        &EntityKey::new(user),
+                        "events_15m",
+                        Value::Int(c),
+                        next_run,
+                    );
                     updates += 1;
                 }
                 next_run += cadence;
@@ -135,5 +148,11 @@ fn push_row(
     } else {
         "-".to_string()
     };
-    table.row(vec![name.into(), updates.to_string(), f1(mean), f1(p95), throughput]);
+    table.row(vec![
+        name.into(),
+        updates.to_string(),
+        f1(mean),
+        f1(p95),
+        throughput,
+    ]);
 }

@@ -16,20 +16,37 @@ pub fn run(quick: bool) -> Result<()> {
     let thresholds = QualityThresholds::default();
     let mut rng = Xoshiro256::seeded(41);
 
-    let mut table = Table::new(&["detector", "fault injected", "detection rate", "false-positive rate"]);
+    let mut table = Table::new(&[
+        "detector",
+        "fault injected",
+        "detection rate",
+        "false-positive rate",
+    ]);
 
     // ---------------- null spike ----------------
     let mut hits = 0;
     let mut false_pos = 0;
     for _ in 0..trials {
         let healthy: Vec<Value> = (0..rows)
-            .map(|_| if rng.chance(0.02) { Value::Null } else { Value::Float(rng.normal()) })
+            .map(|_| {
+                if rng.chance(0.02) {
+                    Value::Null
+                } else {
+                    Value::Float(rng.normal())
+                }
+            })
             .collect();
         let reference = vec![ColumnProfile::of_values("f", &healthy)];
 
         // faulty window: 30% nulls
         let faulty: Vec<Value> = (0..rows)
-            .map(|_| if rng.chance(0.30) { Value::Null } else { Value::Float(rng.normal()) })
+            .map(|_| {
+                if rng.chance(0.30) {
+                    Value::Null
+                } else {
+                    Value::Float(rng.normal())
+                }
+            })
             .collect();
         let mut issues = Vec::new();
         FeatureQualityReport::check_null_spikes(
@@ -42,7 +59,13 @@ pub fn run(quick: bool) -> Result<()> {
 
         // healthy window again: should stay quiet
         let quiet: Vec<Value> = (0..rows)
-            .map(|_| if rng.chance(0.02) { Value::Null } else { Value::Float(rng.normal()) })
+            .map(|_| {
+                if rng.chance(0.02) {
+                    Value::Null
+                } else {
+                    Value::Float(rng.normal())
+                }
+            })
             .collect();
         let mut issues = Vec::new();
         FeatureQualityReport::check_null_spikes(
@@ -69,8 +92,20 @@ pub fn run(quick: bool) -> Result<()> {
         let cadence = Duration::hours(1);
         // fresh feature updated within cadence; frozen one stuck for 8h
         let jitter = Duration::minutes(trial as i64 % 50);
-        online.put("g", &EntityKey::new("e"), "fresh", Value::Int(1), now - jitter);
-        online.put("g", &EntityKey::new("e"), "stuck", Value::Int(1), now - Duration::hours(8));
+        online.put(
+            "g",
+            &EntityKey::new("e"),
+            "fresh",
+            Value::Int(1),
+            now - jitter,
+        );
+        online.put(
+            "g",
+            &EntityKey::new("e"),
+            "stuck",
+            Value::Int(1),
+            now - Duration::hours(8),
+        );
         let mut issues = Vec::new();
         FeatureQualityReport::check_frozen_feeds(
             &online,
@@ -80,8 +115,14 @@ pub fn run(quick: bool) -> Result<()> {
             &thresholds,
             &mut issues,
         );
-        hits += usize::from(issues.iter().any(|i| matches!(i, QualityIssue::FrozenFeed { feature, .. } if feature == "stuck")));
-        false_pos += usize::from(issues.iter().any(|i| matches!(i, QualityIssue::FrozenFeed { feature, .. } if feature == "fresh")));
+        hits +=
+            usize::from(issues.iter().any(
+                |i| matches!(i, QualityIssue::FrozenFeed { feature, .. } if feature == "stuck"),
+            ));
+        false_pos +=
+            usize::from(issues.iter().any(
+                |i| matches!(i, QualityIssue::FrozenFeed { feature, .. } if feature == "fresh"),
+            ));
     }
     table.row(vec![
         "frozen feed (freshness)".into(),
@@ -99,7 +140,11 @@ pub fn run(quick: bool) -> Result<()> {
         let indep: Vec<f64> = (0..rows).map(|_| rng.normal()).collect();
         let mut issues = Vec::new();
         FeatureQualityReport::check_redundancy(
-            &[("a".into(), a.clone()), ("dup".into(), dup), ("indep".into(), indep)],
+            &[
+                ("a".into(), a.clone()),
+                ("dup".into(), dup),
+                ("indep".into(), indep),
+            ],
             &thresholds,
             &mut issues,
         )?;

@@ -18,11 +18,20 @@ pub fn run(quick: bool) -> Result<()> {
     let mentions = make_mentions(&corpus, if quick { 1_500 } else { 5_000 }, 52);
     let bands = 5;
 
-    let base = SgnsConfig { dim: 32, epochs: 4, seed: 3, ..SgnsConfig::default() };
+    let base = SgnsConfig {
+        dim: 32,
+        epochs: 4,
+        seed: 3,
+        ..SgnsConfig::default()
+    };
     let (plain, _) = train_sgns(&corpus, base.clone())?;
     let (kg_full, _) = train_kg_sgns(
         &corpus,
-        KgSgnsConfig { base: base.clone(), kg_pairs_per_entity: 8, ..KgSgnsConfig::default() },
+        KgSgnsConfig {
+            base: base.clone(),
+            kg_pairs_per_entity: 8,
+            ..KgSgnsConfig::default()
+        },
     )?;
     // ablations: types only / relations only
     let (kg_types, _) = train_kg_sgns(

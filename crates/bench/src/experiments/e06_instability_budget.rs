@@ -17,7 +17,11 @@ use fstore_models::{prediction_flips, Classifier, SoftmaxRegression, TrainConfig
 
 pub fn run(quick: bool) -> Result<()> {
     let corpus = Corpus::generate(corpus_preset(quick, 61))?;
-    let dims: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64] };
+    let dims: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 64]
+    };
     let bits: &[u8] = &[2, 4, 8];
     let topics = corpus.kg.num_types();
 
@@ -25,8 +29,18 @@ pub fn run(quick: bool) -> Result<()> {
 
     for &dim in dims {
         // two independently pretrained versions of the same embedding
-        let cfg = SgnsConfig { dim, epochs: 2, ..SgnsConfig::default() };
-        let (v1, _) = train_sgns(&corpus, SgnsConfig { seed: 101, ..cfg.clone() })?;
+        let cfg = SgnsConfig {
+            dim,
+            epochs: 2,
+            ..SgnsConfig::default()
+        };
+        let (v1, _) = train_sgns(
+            &corpus,
+            SgnsConfig {
+                seed: 101,
+                ..cfg.clone()
+            },
+        )?;
         let (v2, _) = train_sgns(&corpus, SgnsConfig { seed: 202, ..cfg })?;
 
         for &b in bits {
@@ -54,8 +68,7 @@ pub fn run(quick: bool) -> Result<()> {
         let (x2, _) = topic_features(&v2, &corpus);
         let m1 = SoftmaxRegression::train(&x1, &ys, topics, &TrainConfig::default())?;
         let m2 = SoftmaxRegression::train(&x2, &ys, topics, &TrainConfig::default())?;
-        let instability =
-            prediction_flips(&m1.predict_batch(&x1)?, &m2.predict_batch(&x2)?)?;
+        let instability = prediction_flips(&m1.predict_batch(&x1)?, &m2.predict_batch(&x2)?)?;
         let acc = (m1.accuracy(&x1, &ys)? + m2.accuracy(&x2, &ys)?) / 2.0;
         table.row(vec![
             dim.to_string(),
@@ -67,7 +80,12 @@ pub fn run(quick: bool) -> Result<()> {
     }
 
     // baseline: seed-only noise of the downstream trainer (same embedding)
-    let cfg = SgnsConfig { dim: 32, epochs: 2, seed: 101, ..SgnsConfig::default() };
+    let cfg = SgnsConfig {
+        dim: 32,
+        epochs: 2,
+        seed: 101,
+        ..SgnsConfig::default()
+    };
     let (v, _) = train_sgns(&corpus, cfg)?;
     let (x, ys) = topic_features(&v, &corpus);
     let ma = SoftmaxRegression::train(&x, &ys, topics, &TrainConfig::default().with_seed(1))?;

@@ -22,7 +22,12 @@ pub fn run(quick: bool) -> Result<()> {
     let dim = 32;
     let (base, _) = train_sgns(
         &corpus,
-        SgnsConfig { dim, epochs: if quick { 2 } else { 3 }, seed: 5, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim,
+            epochs: if quick { 2 } else { 3 },
+            seed: 5,
+            ..SgnsConfig::default()
+        },
     )?;
 
     // Held-out split for honest downstream accuracy.
@@ -47,12 +52,8 @@ pub fn run(quick: bool) -> Result<()> {
     for (name, variant) in &variants {
         let overlap = eigenspace_overlap(&base, variant)?;
         let (vx, _) = topic_features(variant, &corpus);
-        let model = SoftmaxRegression::train(
-            &vx[..split],
-            &ys[..split],
-            topics,
-            &TrainConfig::default(),
-        )?;
+        let model =
+            SoftmaxRegression::train(&vx[..split], &ys[..split], topics, &TrainConfig::default())?;
         let acc = model.accuracy(&vx[split..], &ys[split..])?;
         overlaps.push(overlap);
         accs.push(acc);

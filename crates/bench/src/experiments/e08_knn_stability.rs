@@ -10,7 +10,11 @@ use fstore_embed::{knn_overlap, Corpus, CorpusConfig, SgnsConfig};
 
 pub fn run(quick: bool) -> Result<()> {
     let bands = 5;
-    let sentence_counts: &[usize] = if quick { &[200, 800] } else { &[200, 800, 3_000] };
+    let sentence_counts: &[usize] = if quick {
+        &[200, 800]
+    } else {
+        &[200, 800, 3_000]
+    };
 
     let mut table = Table::new(&[
         "corpus sentences",
@@ -32,8 +36,18 @@ pub fn run(quick: bool) -> Result<()> {
             topic_coherence: 0.9,
             seed: 81,
         })?;
-        let cfg = SgnsConfig { dim: 32, epochs: 3, ..SgnsConfig::default() };
-        let (a, _) = train_sgns(&corpus, SgnsConfig { seed: 1, ..cfg.clone() })?;
+        let cfg = SgnsConfig {
+            dim: 32,
+            epochs: 3,
+            ..SgnsConfig::default()
+        };
+        let (a, _) = train_sgns(
+            &corpus,
+            SgnsConfig {
+                seed: 1,
+                ..cfg.clone()
+            },
+        )?;
         let (b, _) = train_sgns(&corpus, SgnsConfig { seed: 2, ..cfg })?;
 
         let popularity = corpus.popularity_bands(bands);

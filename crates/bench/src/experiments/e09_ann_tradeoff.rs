@@ -25,7 +25,9 @@ pub fn run(quick: bool) -> Result<()> {
     let mut data = clustered_vectors(n + n_queries, dim, clusters, 0.4, 91);
     let queries = data.split_off(n);
 
-    println!("{n} vectors × {dim} dims ({clusters} latent clusters), {n_queries} queries, recall@{k}\n");
+    println!(
+        "{n} vectors × {dim} dims ({clusters} latent clusters), {n_queries} queries, recall@{k}\n"
+    );
 
     let build_start = Instant::now();
     let flat = FlatIndex::build(data.clone())?;
@@ -34,18 +36,33 @@ pub fn run(quick: bool) -> Result<()> {
     let build_start = Instant::now();
     let ivf = IvfIndex::build(
         data.clone(),
-        IvfConfig { nlist: (n as f64).sqrt() as usize, train_iters: 10, ..IvfConfig::default() },
+        IvfConfig {
+            nlist: (n as f64).sqrt() as usize,
+            train_iters: 10,
+            ..IvfConfig::default()
+        },
     )?;
     let ivf_build = build_start.elapsed();
 
     let build_start = Instant::now();
     let hnsw = HnswIndex::build(
         data.clone(),
-        HnswConfig { m: 16, ef_construction: if quick { 64 } else { 100 }, ..HnswConfig::default() },
+        HnswConfig {
+            m: 16,
+            ef_construction: if quick { 64 } else { 100 },
+            ..HnswConfig::default()
+        },
     )?;
     let hnsw_build = build_start.elapsed();
 
-    let mut table = Table::new(&["index", "param", "recall@10", "query µs", "speedup", "build s"]);
+    let mut table = Table::new(&[
+        "index",
+        "param",
+        "recall@10",
+        "query µs",
+        "speedup",
+        "build s",
+    ]);
 
     // exact baseline latency
     let start = Instant::now();

@@ -29,7 +29,11 @@ fn sample(n: usize, rotate: bool, flip_mean: bool, shift: f64, seed: u64) -> Vec
             let b = rng.normal() * 0.05;
             // dims (0,1): along (1,1), or along (1,−1) when rotated —
             // x and y are exchangeable, so both marginals are unchanged.
-            let (x, y) = if rotate { (a + b, -(a - b)) } else { (a + b, a - b) };
+            let (x, y) = if rotate {
+                (a + b, -(a - b))
+            } else {
+                (a + b, a - b)
+            };
             let mut v = vec![x + shift, y + shift];
             let sign = if flip_mean { -1.0 } else { 1.0 };
             for _ in 2..DIMS {
@@ -86,7 +90,10 @@ pub fn run(quick: bool) -> Result<()> {
             worst = worst.max(m.alert_level(&col)?);
         }
         let reports = embedding.check(live)?;
-        let cos = reports.iter().find(|r| r.detector == "mean_cosine").unwrap();
+        let cos = reports
+            .iter()
+            .find(|r| r.detector == "mean_cosine")
+            .unwrap();
         let mmd = reports.iter().find(|r| r.detector == "mmd").unwrap();
         table.row(vec![
             name.to_string(),

@@ -37,7 +37,11 @@ fn make_data(n: usize, seed: u64) -> Dataset {
         let x0 = rng.normal() * 1.2;
         let x1 = rng.normal();
         let in_slice = is_nyc && is_night;
-        let y = if in_slice { usize::from(x0 < 0.0) } else { usize::from(x0 > 0.0) };
+        let y = if in_slice {
+            usize::from(x0 < 0.0)
+        } else {
+            usize::from(x0 > 0.0)
+        };
         // metadata is also visible to the model as indicator features
         xs.push(vec![x0, x1, f64::from(is_nyc), f64::from(is_night)]);
         ys.push(y);
@@ -62,8 +66,7 @@ fn slice_and_overall(
     slice: &[usize],
 ) -> Result<(f64, f64)> {
     let preds = model.predict_batch(xs)?;
-    let overall =
-        preds.iter().zip(ys).filter(|(p, y)| p == y).count() as f64 / ys.len() as f64;
+    let overall = preds.iter().zip(ys).filter(|(p, y)| p == y).count() as f64 / ys.len() as f64;
     let hit = slice.iter().filter(|&&i| preds[i] == ys[i]).count();
     Ok((hit as f64 / slice.len() as f64, overall))
 }
@@ -75,7 +78,11 @@ pub fn run(quick: bool) -> Result<()> {
     // A short optimization budget (the realistic regime for large models):
     // the majority pattern wins the gradient race and the minority slice is
     // left behind unless patched.
-    let cfg = TrainConfig { epochs: if quick { 4 } else { 6 }, learning_rate: 0.15, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: if quick { 4 } else { 6 },
+        learning_rate: 0.15,
+        ..TrainConfig::default()
+    };
 
     // --- base model ---
     let base = Mlp::train(&train.xs, &train.ys, 2, 12, &cfg)?;
@@ -90,12 +97,7 @@ pub fn run(quick: bool) -> Result<()> {
     );
 
     // --- step 2: patch ---
-    let mut table = Table::new(&[
-        "model",
-        "slice acc",
-        "overall acc",
-        "subgroup gap",
-    ]);
+    let mut table = Table::new(&["model", "slice acc", "overall acc", "subgroup gap"]);
     let (s, o) = slice_and_overall(&base, &test.xs, &test.ys, &test.slice_idx)?;
     table.row(vec!["base".into(), f3(s), f3(o), pct(o - s)]);
 
@@ -103,7 +105,12 @@ pub fn run(quick: bool) -> Result<()> {
     let (ax, ay) = augment_slice(&train.xs, &train.ys, &train.slice_idx, 8, 0.05, 7)?;
     let patched_aug = Mlp::train(&ax, &ay, 2, 12, &cfg)?;
     let (s, o) = slice_and_overall(&patched_aug, &test.xs, &test.ys, &test.slice_idx)?;
-    table.row(vec!["patched: augmentation ×8".into(), f3(s), f3(o), pct(o - s)]);
+    table.row(vec![
+        "patched: augmentation ×8".into(),
+        f3(s),
+        f3(o),
+        pct(o - s),
+    ]);
 
     // (b) slice reweighting — the Mlp trainer has no weight hook, so apply
     // reweighting by replication (weight 8 ≈ 8 copies), the standard trick.
@@ -118,7 +125,12 @@ pub fn run(quick: bool) -> Result<()> {
     }
     let patched_rw = Mlp::train(&rx, &ry, 2, 12, &cfg)?;
     let (s, o) = slice_and_overall(&patched_rw, &test.xs, &test.ys, &test.slice_idx)?;
-    table.row(vec!["patched: reweight ×8".into(), f3(s), f3(o), pct(o - s)]);
+    table.row(vec![
+        "patched: reweight ×8".into(),
+        f3(s),
+        f3(o),
+        pct(o - s),
+    ]);
 
     println!("{n} train rows, planted slice = city=nyc & time=night (~5%, inverted rule)\n");
     table.print();

@@ -21,7 +21,12 @@ pub fn run(quick: bool) -> Result<()> {
     let topics = corpus.kg.num_types();
     let (clean, prov) = train_sgns(
         &corpus,
-        SgnsConfig { dim: 24, epochs: if quick { 2 } else { 3 }, seed: 9, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 24,
+            epochs: if quick { 2 } else { 3 },
+            seed: 9,
+            ..SgnsConfig::default()
+        },
     )?;
 
     // Corrupt a slice: 10% of topic-0 entities get garbage vectors (a bad
@@ -31,8 +36,10 @@ pub fn run(quick: bool) -> Result<()> {
         .take(corpus.config.vocab / topics / 2)
         .map(Corpus::entity_name)
         .collect();
-    let victim_idx: Vec<usize> =
-        victims.iter().map(|k| k.trim_start_matches('e').parse().unwrap()).collect();
+    let victim_idx: Vec<usize> = victims
+        .iter()
+        .map(|k| k.trim_start_matches('e').parse().unwrap())
+        .collect();
     let mut corrupted = clean.clone();
     let mut rng = Xoshiro256::seeded(13);
     for k in &victims {
@@ -93,8 +100,12 @@ pub fn run(quick: bool) -> Result<()> {
     for (name, _, truth) in &before {
         let (ax, ay) = augment_slice(&xs, truth, &victim_idx, 6, 0.02, 3)?;
         let consumer = match name.as_str() {
-            "softmax topic model" => Consumer::Soft(SoftmaxRegression::train(&ax, &ay, topics, &cfg)?),
-            "binary topic-group detector" => Consumer::Log(LogisticRegression::train(&ax, &ay, &cfg)?),
+            "softmax topic model" => {
+                Consumer::Soft(SoftmaxRegression::train(&ax, &ay, topics, &cfg)?)
+            }
+            "binary topic-group detector" => {
+                Consumer::Log(LogisticRegression::train(&ax, &ay, &cfg)?)
+            }
             _ => Consumer::Net(Mlp::train(&ax, &ay, topics, 16, &cfg)?),
         };
         per_model_rows.push(slice_acc(&predict(&consumer, &xs)?, truth));

@@ -19,10 +19,20 @@ use fstore_models::{Classifier, SoftmaxRegression, TrainConfig};
 pub fn run(quick: bool) -> Result<()> {
     let corpus = Corpus::generate(corpus_preset(quick, 131))?;
     let topics = corpus.kg.num_types();
-    let cfg = SgnsConfig { dim: 32, epochs: if quick { 2 } else { 3 }, ..SgnsConfig::default() };
+    let cfg = SgnsConfig {
+        dim: 32,
+        epochs: if quick { 2 } else { 3 },
+        ..SgnsConfig::default()
+    };
 
     // v1 and the frozen downstream head.
-    let (v1, _) = train_sgns(&corpus, SgnsConfig { seed: 1, ..cfg.clone() })?;
+    let (v1, _) = train_sgns(
+        &corpus,
+        SgnsConfig {
+            seed: 1,
+            ..cfg.clone()
+        },
+    )?;
     let (x1, ys) = topic_features(&v1, &corpus);
     let head = SoftmaxRegression::train(&x1, &ys, topics, &TrainConfig::default())?;
     let v1_acc = head.accuracy(&x1, &ys)?;
@@ -37,7 +47,13 @@ pub fn run(quick: bool) -> Result<()> {
 
     let seeds: &[u64] = if quick { &[2, 3, 4] } else { &[2, 3, 4, 5, 6] };
     for &seed in seeds {
-        let (vn, _) = train_sgns(&corpus, SgnsConfig { seed, ..cfg.clone() })?;
+        let (vn, _) = train_sgns(
+            &corpus,
+            SgnsConfig {
+                seed,
+                ..cfg.clone()
+            },
+        )?;
         let (xn, _) = topic_features(&vn, &corpus);
         let raw_acc = head.accuracy(&xn, &ys)?;
         let (aligned, report) = align_to_reference(&vn, &v1)?;

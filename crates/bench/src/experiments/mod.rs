@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E12 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E14 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -15,6 +15,7 @@ pub mod e10_embedding_drift;
 pub mod e11_slice_patching;
 pub mod e12_patch_propagation;
 pub mod e13_version_alignment;
+pub mod e14_network_serving;
 
 use fstore_common::Result;
 
@@ -93,6 +94,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E13 Version alignment keeps deployed models working (§4)",
             run: e13_version_alignment::run,
         },
+        Experiment {
+            id: "e14",
+            title: "E14 Network serving under open-loop load (§2.2.2)",
+            run: e14_network_serving::run,
+        },
     ]
 }
 
@@ -103,7 +109,11 @@ pub fn run_selected(ids: &[String], quick: bool) -> Result<()> {
             println!("\n=== {} ===\n", e.title);
             let start = std::time::Instant::now();
             (e.run)(quick)?;
-            println!("\n[{} finished in {:.1}s]", e.id, start.elapsed().as_secs_f64());
+            println!(
+                "\n[{} finished in {:.1}s]",
+                e.id,
+                start.elapsed().as_secs_f64()
+            );
         }
     }
     Ok(())
@@ -114,10 +124,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 13);
+        assert_eq!(exps.len(), 14);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
     }
 }

@@ -28,7 +28,10 @@ pub fn load_trips(
     per_day: usize,
     seed: u64,
 ) -> Result<usize> {
-    offline.create_table("trips", TableConfig::new(trips_schema()).with_time_column("ts"))?;
+    offline.create_table(
+        "trips",
+        TableConfig::new(trips_schema()).with_time_column("ts"),
+    )?;
     let mut rng = Xoshiro256::seeded(seed);
     let zipf = Zipf::new(users, 1.0);
     let cities = ["sf", "nyc", "la", "chi"];
@@ -144,8 +147,9 @@ pub fn make_mentions(corpus: &Corpus, n: usize, seed: u64) -> Vec<Mention> {
     while out.len() < n {
         let gold_entity = zipf.sample(&mut rng);
         let topic = corpus.topic_of[gold_entity];
-        let peers: Vec<usize> =
-            (0..vocab).filter(|&e| corpus.topic_of[e] == topic && e != gold_entity).collect();
+        let peers: Vec<usize> = (0..vocab)
+            .filter(|&e| corpus.topic_of[e] == topic && e != gold_entity)
+            .collect();
         if peers.len() < 4 {
             continue;
         }
@@ -159,7 +163,11 @@ pub fn make_mentions(corpus: &Corpus, n: usize, seed: u64) -> Vec<Mention> {
         }
         rng.shuffle(&mut candidates);
         let gold = candidates.iter().position(|&c| c == gold_entity).unwrap();
-        out.push(Mention { context, candidates, gold });
+        out.push(Mention {
+            context,
+            candidates,
+            gold,
+        });
     }
     out
 }
@@ -189,7 +197,10 @@ pub fn ned_accuracy(
     for m in mentions {
         let mut ctx = vec![0.0f64; dim];
         for &c in &m.context {
-            for (x, &v) in ctx.iter_mut().zip(table.get(&Corpus::entity_name(c)).unwrap()) {
+            for (x, &v) in ctx
+                .iter_mut()
+                .zip(table.get(&Corpus::entity_name(c)).unwrap())
+            {
                 *x += f64::from(v);
             }
         }
@@ -220,8 +231,17 @@ pub fn ned_accuracy(
             hit[band] += 1;
         }
     }
-    let per_band =
-        hit.iter().zip(&tot).map(|(&h, &t)| if t == 0 { f64::NAN } else { h as f64 / t as f64 }).collect();
+    let per_band = hit
+        .iter()
+        .zip(&tot)
+        .map(|(&h, &t)| {
+            if t == 0 {
+                f64::NAN
+            } else {
+                h as f64 / t as f64
+            }
+        })
+        .collect();
     let overall = hit.iter().sum::<usize>() as f64 / tot.iter().sum::<usize>().max(1) as f64;
     (per_band, overall)
 }
@@ -240,7 +260,9 @@ pub fn topic_features(table: &EmbeddingTable, corpus: &Corpus) -> (Vec<Vec<f64>>
 /// Random unit-ish f32 vectors for index benchmarks.
 pub fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = Xoshiro256::seeded(seed);
-    (0..n).map(|_| (0..dim).map(|_| rng.normal() as f32).collect()).collect()
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.normal() as f32).collect())
+        .collect()
 }
 
 /// Clustered vectors (mixture of Gaussians) — the shape real embedding
@@ -259,7 +281,9 @@ pub fn clustered_vectors(
     (0..n)
         .map(|_| {
             let c = &centroids[rng.below(centers as u64) as usize];
-            c.iter().map(|&m| (m + rng.normal() * sigma) as f32).collect()
+            c.iter()
+                .map(|&m| (m + rng.normal() * sigma) as f32)
+                .collect()
         })
         .collect()
 }
@@ -320,7 +344,10 @@ mod tests {
         }
         let ms = make_mentions(&corpus, 200, 6);
         let (_, overall) = ned_accuracy(&table, &corpus, &ms, 5);
-        assert!((overall - 1.0).abs() < 1e-12, "oracle must score 1.0, got {overall}");
+        assert!(
+            (overall - 1.0).abs() < 1e-12,
+            "oracle must score 1.0, got {overall}"
+        );
     }
 
     #[test]
@@ -328,7 +355,11 @@ mod tests {
         let corpus = Corpus::generate(corpus_preset(true, 7)).unwrap();
         let (t, _) = train_sgns(
             &corpus,
-            SgnsConfig { dim: 8, epochs: 1, ..SgnsConfig::default() },
+            SgnsConfig {
+                dim: 8,
+                epochs: 1,
+                ..SgnsConfig::default()
+            },
         )
         .unwrap();
         let (xs, ys) = topic_features(&t, &corpus);

@@ -13,7 +13,11 @@ pub type Result<T> = std::result::Result<T, FsError>;
 #[derive(Debug, Clone, PartialEq)]
 pub enum FsError {
     /// A schema/type mismatch: expected vs. found.
-    TypeMismatch { expected: String, found: String, context: String },
+    TypeMismatch {
+        expected: String,
+        found: String,
+        context: String,
+    },
     /// A named object (table, feature, embedding, model…) was not found.
     NotFound { kind: &'static str, name: String },
     /// An attempt to register a name that already exists.
@@ -45,12 +49,18 @@ pub enum FsError {
 impl FsError {
     /// Shorthand for a [`FsError::NotFound`].
     pub fn not_found(kind: &'static str, name: impl Into<String>) -> Self {
-        FsError::NotFound { kind, name: name.into() }
+        FsError::NotFound {
+            kind,
+            name: name.into(),
+        }
     }
 
     /// Shorthand for a [`FsError::AlreadyExists`].
     pub fn already_exists(kind: &'static str, name: impl Into<String>) -> Self {
-        FsError::AlreadyExists { kind, name: name.into() }
+        FsError::AlreadyExists {
+            kind,
+            name: name.into(),
+        }
     }
 
     /// Shorthand for a [`FsError::TypeMismatch`].
@@ -70,8 +80,15 @@ impl FsError {
 impl fmt::Display for FsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FsError::TypeMismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            FsError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             FsError::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
             FsError::AlreadyExists { kind, name } => write!(f, "{kind} already exists: {name}"),
@@ -102,7 +119,10 @@ mod tests {
     fn display_includes_context() {
         let e = FsError::type_mismatch("Int", "Str", "column `age`");
         let s = e.to_string();
-        assert!(s.contains("Int") && s.contains("Str") && s.contains("age"), "{s}");
+        assert!(
+            s.contains("Int") && s.contains("Str") && s.contains("age"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -125,7 +145,10 @@ mod tests {
 
     #[test]
     fn parse_error_reports_position() {
-        let e = FsError::Parse { message: "unexpected `)`".into(), position: 17 };
+        let e = FsError::Parse {
+            message: "unexpected `)`".into(),
+            position: 17,
+        };
         assert!(e.to_string().contains("byte 17"));
     }
 }

@@ -114,6 +114,9 @@ mod tests {
 
     #[test]
     fn partial_tail_bytes_differ() {
-        assert_ne!(fx_hash_one(&[1u8, 2, 3][..]), fx_hash_one(&[1u8, 2, 3, 0][..]));
+        assert_ne!(
+            fx_hash_one(&[1u8, 2, 3][..]),
+            fx_hash_one(&[1u8, 2, 3, 0][..])
+        );
     }
 }

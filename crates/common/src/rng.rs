@@ -153,7 +153,9 @@ impl Xoshiro256 {
     /// Seed via SplitMix64 per the reference implementation's recommendation.
     pub fn seeded(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256 { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Derive an independent child stream (for parallel generators that must
@@ -269,7 +271,10 @@ mod tests {
             counts[r.below(7) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 
@@ -296,7 +301,10 @@ mod tests {
             let n = 20_000;
             let total: u64 = (0..n).map(|_| r.poisson(lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() < 0.15 * lambda.max(1.0), "λ={lambda} mean={mean}");
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "λ={lambda} mean={mean}"
+            );
         }
     }
 
@@ -316,7 +324,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input untouched");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input untouched"
+        );
     }
 
     #[test]
@@ -347,7 +359,10 @@ mod tests {
             }
         }
         let expected: f64 = (0..10).map(|i| z.pmf(i)).sum::<f64>() * n as f64;
-        assert!((head as f64 - expected).abs() < 0.1 * expected, "head={head} exp={expected}");
+        assert!(
+            (head as f64 - expected).abs() < 0.1 * expected,
+            "head={head} exp={expected}"
+        );
     }
 
     #[test]

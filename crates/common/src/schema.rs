@@ -15,11 +15,19 @@ pub struct FieldDef {
 
 impl FieldDef {
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        FieldDef { name: name.into(), ty, nullable: true }
+        FieldDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 
     pub fn not_null(name: impl Into<String>, ty: ValueType) -> Self {
-        FieldDef { name: name.into(), ty, nullable: false }
+        FieldDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 }
 
@@ -53,7 +61,10 @@ impl Schema {
                 )));
             }
         }
-        Ok(Schema { fields: fields.into(), by_name: Arc::new(by_name) })
+        Ok(Schema {
+            fields: fields.into(),
+            by_name: Arc::new(by_name),
+        })
     }
 
     /// Convenience constructor from `(name, type)` pairs (all nullable).
@@ -122,7 +133,9 @@ impl Schema {
         let fields = names
             .iter()
             .map(|n| {
-                self.field(n).cloned().ok_or_else(|| FsError::not_found("field", n.to_string()))
+                self.field(n)
+                    .cloned()
+                    .ok_or_else(|| FsError::not_found("field", n.to_string()))
             })
             .collect::<Result<Vec<_>>>()?;
         Schema::new(fields)
@@ -162,17 +175,20 @@ mod tests {
     #[test]
     fn check_row_accepts_valid() {
         let s = demo();
-        s.check_row(&[Value::from("u1"), Value::Int(3), Value::Float(4.5)]).unwrap();
+        s.check_row(&[Value::from("u1"), Value::Int(3), Value::Float(4.5)])
+            .unwrap();
         // Int widens to Float; nulls allowed when nullable.
-        s.check_row(&[Value::from("u1"), Value::Null, Value::Int(4)]).unwrap();
+        s.check_row(&[Value::from("u1"), Value::Null, Value::Int(4)])
+            .unwrap();
     }
 
     #[test]
     fn check_row_rejects_bad_arity_and_types() {
         let s = demo();
         assert!(s.check_row(&[Value::from("u1")]).is_err());
-        let err =
-            s.check_row(&[Value::from("u1"), Value::from("three"), Value::Null]).unwrap_err();
+        let err = s
+            .check_row(&[Value::from("u1"), Value::from("three"), Value::Null])
+            .unwrap_err();
         assert!(err.to_string().contains("trips"));
     }
 
@@ -186,9 +202,13 @@ mod tests {
     #[test]
     fn extend_and_project() {
         let s = demo();
-        let s2 = s.extend(vec![FieldDef::new("label", ValueType::Bool)]).unwrap();
+        let s2 = s
+            .extend(vec![FieldDef::new("label", ValueType::Bool)])
+            .unwrap();
         assert_eq!(s2.len(), 4);
-        assert!(s2.extend(vec![FieldDef::new("trips", ValueType::Int)]).is_err());
+        assert!(s2
+            .extend(vec![FieldDef::new("trips", ValueType::Int)])
+            .is_err());
 
         let p = s2.project(&["label", "user_id"]).unwrap();
         assert_eq!(p.fields()[0].name, "label");

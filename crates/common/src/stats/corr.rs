@@ -24,7 +24,9 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
         syy += dy * dy;
     }
     if sxx == 0.0 || syy == 0.0 {
-        return Err(FsError::InvalidArgument("pearson undefined for constant input".into()));
+        return Err(FsError::InvalidArgument(
+            "pearson undefined for constant input".into(),
+        ));
     }
     Ok(sxy / (sxx * syy).sqrt())
 }

@@ -19,12 +19,23 @@ pub struct Histogram {
 impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self> {
         if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
-            return Err(FsError::InvalidArgument(format!("bad histogram range [{lo}, {hi})")));
+            return Err(FsError::InvalidArgument(format!(
+                "bad histogram range [{lo}, {hi})"
+            )));
         }
         if buckets == 0 {
-            return Err(FsError::InvalidArgument("histogram needs at least 1 bucket".into()));
+            return Err(FsError::InvalidArgument(
+                "histogram needs at least 1 bucket".into(),
+            ));
         }
-        Ok(Histogram { lo, hi, counts: vec![0; buckets], underflow: 0, overflow: 0, total: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
     }
 
     /// Build from reference data with the range taken from its min/max
@@ -38,7 +49,9 @@ impl Histogram {
             }
         }
         if !lo.is_finite() {
-            return Err(FsError::InvalidArgument("histogram fit on empty/non-finite data".into()));
+            return Err(FsError::InvalidArgument(
+                "histogram fit on empty/non-finite data".into(),
+            ));
         }
         if lo == hi {
             hi = lo + 1.0;
@@ -110,12 +123,18 @@ impl Histogram {
     /// log-ratios finite (standard PSI practice).
     pub fn proportions_with_tails(&self, eps: f64) -> Vec<f64> {
         let n = self.total.max(1) as f64;
-        self.counts_with_tails().iter().map(|&c| (c as f64 / n).max(eps)).collect()
+        self.counts_with_tails()
+            .iter()
+            .map(|&c| (c as f64 / n).max(eps))
+            .collect()
     }
 
     pub fn bucket_edges(&self, bucket: usize) -> (f64, f64) {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        (self.lo + bucket as f64 * w, self.lo + (bucket + 1) as f64 * w)
+        (
+            self.lo + bucket as f64 * w,
+            self.lo + (bucket + 1) as f64 * w,
+        )
     }
 }
 

@@ -36,7 +36,11 @@ pub fn discretize_equal_width(xs: &[f64], spec: DiscretizeSpec) -> Result<Vec<us
         // All values non-finite: everything goes to the sentinel bin.
         return Ok(vec![spec.bins; xs.len()]);
     }
-    let width = if hi > lo { (hi - lo) / spec.bins as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / spec.bins as f64
+    } else {
+        1.0
+    };
     Ok(xs
         .iter()
         .map(|&x| {

@@ -17,7 +17,13 @@ pub struct OnlineMoments {
 
 impl OnlineMoments {
     pub fn new() -> Self {
-        OnlineMoments { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineMoments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     pub fn push(&mut self, x: f64) {
@@ -150,7 +156,11 @@ mod tests {
     fn stable_for_large_offsets() {
         // Classic catastrophic-cancellation case: huge mean, tiny variance.
         let m: OnlineMoments = (0..1000).map(|i| 1e9 + (i % 2) as f64).collect();
-        assert!((m.variance() - 0.25).abs() < 1e-6, "variance {}", m.variance());
+        assert!(
+            (m.variance() - 0.25).abs() < 1e-6,
+            "variance {}",
+            m.variance()
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         h + d / (np - nm)
             * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
     }
@@ -175,7 +179,10 @@ mod tests {
         }
         let exact = exact_quantile(&all, 0.99).unwrap();
         let est = p.estimate().unwrap();
-        assert!((est - exact).abs() / exact < 0.1, "p99 est {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() / exact < 0.1,
+            "p99 est {est} vs exact {exact}"
+        );
     }
 
     #[test]
@@ -185,7 +192,10 @@ mod tests {
             p.push(i as f64);
         }
         let est = p.estimate().unwrap();
-        assert!((est - 5000.0).abs() < 300.0, "median of 0..10000 estimated {est}");
+        assert!(
+            (est - 5000.0).abs() < 300.0,
+            "median of 0..10000 estimated {est}"
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::error::{FsError, Result};
 /// empirical CDFs. Returns a value in `[0, 1]`.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.is_empty() || b.is_empty() {
-        return Err(FsError::InvalidArgument("KS test requires non-empty samples".into()));
+        return Err(FsError::InvalidArgument(
+            "KS test requires non-empty samples".into(),
+        ));
     }
     let mut xa = a.to_vec();
     let mut xb = b.to_vec();
@@ -86,12 +88,16 @@ pub fn population_stability_index(reference: &[f64], live: &[f64]) -> Result<f64
 /// are skipped. Also returns the degrees of freedom used.
 pub fn chi_square_stat(reference: &[u64], observed: &[u64]) -> Result<(f64, usize)> {
     if reference.len() != observed.len() || reference.is_empty() {
-        return Err(FsError::InvalidArgument("chi-square category mismatch".into()));
+        return Err(FsError::InvalidArgument(
+            "chi-square category mismatch".into(),
+        ));
     }
     let ref_total: u64 = reference.iter().sum();
     let obs_total: u64 = observed.iter().sum();
     if ref_total == 0 || obs_total == 0 {
-        return Err(FsError::InvalidArgument("chi-square requires non-empty samples".into()));
+        return Err(FsError::InvalidArgument(
+            "chi-square requires non-empty samples".into(),
+        ));
     }
     let mut stat = 0.0;
     let mut dof = 0usize;
@@ -251,7 +257,11 @@ mod tests {
         let (s0, dof) = chi_square_stat(&reference, &same).unwrap();
         let (s1, _) = chi_square_stat(&reference, &shifted).unwrap();
         assert_eq!(dof, 3);
-        assert!(chi_square_p_value(s0, dof) > 0.05, "null p too small: {}", s0);
+        assert!(
+            chi_square_p_value(s0, dof) > 0.05,
+            "null p too small: {}",
+            s0
+        );
         assert!(chi_square_p_value(s1, dof) < 1e-6);
     }
 

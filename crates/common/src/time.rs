@@ -11,11 +11,35 @@ use std::ops::{Add, AddAssign, Sub};
 
 /// Milliseconds since the Unix epoch (UTC). Negative values are allowed and
 /// represent pre-1970 instants, though the store never generates them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Timestamp(pub i64);
 
 /// A span of time in milliseconds. Used for cadences, windows and TTLs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Duration(pub i64);
 
 pub const MILLIS_PER_SECOND: i64 = 1_000;
@@ -123,7 +147,19 @@ impl fmt::Display for Timestamp {
 /// A calendar date used as the offline-store partition key, stored as whole
 /// days since the Unix epoch. Display formats as ISO `YYYY-MM-DD` using the
 /// proleptic Gregorian calendar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Date(pub i32);
 
 impl Date {
@@ -208,13 +244,22 @@ impl SimClock {
     /// Advance the clock by `d`; panics on a negative span (time cannot
     /// run backwards in a simulation, and silently allowing it hides bugs).
     pub fn advance(&mut self, d: Duration) {
-        assert!(d.0 >= 0, "SimClock cannot move backwards (advance by {} ms)", d.0);
+        assert!(
+            d.0 >= 0,
+            "SimClock cannot move backwards (advance by {} ms)",
+            d.0
+        );
         self.now += d;
     }
 
     /// Jump directly to `t` (must not be earlier than the current instant).
     pub fn advance_to(&mut self, t: Timestamp) {
-        assert!(t >= self.now, "SimClock cannot move backwards (to {} from {})", t.0, self.now.0);
+        assert!(
+            t >= self.now,
+            "SimClock cannot move backwards (to {} from {})",
+            t.0,
+            self.now.0
+        );
         self.now = t;
     }
 }
@@ -263,7 +308,10 @@ mod tests {
     #[test]
     fn duration_constructors() {
         assert_eq!(Duration::days(1).as_millis(), 86_400_000);
-        assert_eq!(Duration::hours(2) + Duration::minutes(30), Duration::minutes(150));
+        assert_eq!(
+            Duration::hours(2) + Duration::minutes(30),
+            Duration::minutes(150)
+        );
     }
 
     #[test]

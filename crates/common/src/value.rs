@@ -108,9 +108,8 @@ impl Value {
 
     /// Strict numeric extraction with a contextual error, for engine internals.
     pub fn expect_f64(&self, context: &str) -> Result<f64> {
-        self.as_f64().ok_or_else(|| {
-            FsError::type_mismatch("numeric", type_name(self), context.to_string())
-        })
+        self.as_f64()
+            .ok_or_else(|| FsError::type_mismatch("numeric", type_name(self), context.to_string()))
     }
 
     /// Total ordering for sorting mixed columns: Null < Bool < Int/Float < Str < Timestamp.
@@ -142,7 +141,9 @@ impl Value {
 }
 
 fn type_name(v: &Value) -> String {
-    v.value_type().map(|t| t.to_string()).unwrap_or_else(|| "Null".to_string())
+    v.value_type()
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "Null".to_string())
 }
 
 impl fmt::Display for Value {
@@ -196,7 +197,9 @@ impl<T: Into<Value>> From<Option<T>> for Value {
 
 /// The key of an entity a feature or embedding is about (a user id, a driver
 /// id, a token…). Kept as a small wrapper so signatures stay self-describing.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct EntityKey(pub String);
 
 impl EntityKey {
@@ -258,7 +261,9 @@ mod tests {
 
     #[test]
     fn expect_f64_error_carries_context() {
-        let err = Value::Str("a".into()).expect_f64("feature `fare`").unwrap_err();
+        let err = Value::Str("a".into())
+            .expect_f64("feature `fare`")
+            .unwrap_err();
         assert!(err.to_string().contains("fare"));
     }
 
@@ -286,8 +291,14 @@ mod tests {
 
     #[test]
     fn total_cmp_mixed_numerics() {
-        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), std::cmp::Ordering::Less);
-        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Value::Int(2).total_cmp(&Value::Float(2.5)),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(2.0).total_cmp(&Value::Int(2)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

@@ -11,9 +11,7 @@
 
 use crate::registry::FeatureDef;
 use fstore_common::hash::FxHashMap;
-use fstore_common::{
-    EntityKey, FieldDef, FsError, Result, Schema, Timestamp, Value, ValueType,
-};
+use fstore_common::{EntityKey, FieldDef, FsError, Result, Schema, Timestamp, Value, ValueType};
 use fstore_query::Program;
 use fstore_storage::{OfflineStore, OnlineStore, ScanRequest, TableConfig};
 use std::collections::BTreeMap;
@@ -56,7 +54,10 @@ impl Materializer {
     ) -> Result<MaterializationRun> {
         let source_schema = offline.schema(&def.source_table)?.clone();
         let entity_idx = source_schema.index_of(&def.entity).ok_or_else(|| {
-            FsError::Plan(format!("entity column `{}` vanished from source", def.entity))
+            FsError::Plan(format!(
+                "entity column `{}` vanished from source",
+                def.entity
+            ))
         })?;
         let program = Program::compile(&def.expression, &source_schema)?;
         let agg = def.agg_func()?;
@@ -122,7 +123,13 @@ impl Materializer {
                     }
                 }
             };
-            online.put(def.online_group(), &EntityKey::new(entity.clone()), &def.name, value.clone(), now);
+            online.put(
+                def.online_group(),
+                &EntityKey::new(entity.clone()),
+                &def.name,
+                value.clone(),
+                now,
+            );
             offline.append(
                 &log_table,
                 &[Value::Str(entity), Value::Timestamp(now), value],
@@ -164,7 +171,9 @@ impl Materializer {
             )));
         }
         if !every.is_positive() {
-            return Err(FsError::InvalidArgument("backfill step must be positive".into()));
+            return Err(FsError::InvalidArgument(
+                "backfill step must be positive".into(),
+            ));
         }
         let mut runs = Vec::new();
         let mut t = from;
@@ -195,7 +204,13 @@ impl MaterializationScheduler {
 
     /// Register (or replace) the job for a feature definition.
     pub fn schedule(&mut self, def: FeatureDef) {
-        self.jobs.insert(def.name.clone(), ScheduledJob { def, last_run: None });
+        self.jobs.insert(
+            def.name.clone(),
+            ScheduledJob {
+                def,
+                last_run: None,
+            },
+        );
     }
 
     pub fn unschedule(&mut self, feature: &str) -> bool {
@@ -257,8 +272,11 @@ mod tests {
     }
 
     fn add_trip(off: &mut OfflineStore, user: &str, t: Timestamp, fare: f64) {
-        off.append("trips", &[Value::from(user), Value::Timestamp(t), Value::Float(fare)])
-            .unwrap();
+        off.append(
+            "trips",
+            &[Value::from(user), Value::Timestamp(t), Value::Float(fare)],
+        )
+        .unwrap();
     }
 
     #[test]
@@ -280,10 +298,14 @@ mod tests {
         assert_eq!(run.entities, 2);
         assert_eq!(run.source_rows, 3);
 
-        let e = online.get("user_id", &EntityKey::new("u1"), "last_fare").unwrap();
+        let e = online
+            .get("user_id", &EntityKey::new("u1"), "last_fare")
+            .unwrap();
         assert_eq!(e.value, Value::Float(60.0));
         assert_eq!(e.written_at, now);
-        let e2 = online.get("user_id", &EntityKey::new("u2"), "last_fare").unwrap();
+        let e2 = online
+            .get("user_id", &EntityKey::new("u2"), "last_fare")
+            .unwrap();
         assert_eq!(e2.value, Value::Float(40.0));
 
         // offline log got one row per entity
@@ -296,7 +318,11 @@ mod tests {
         add_trip(&mut off, "u1", Timestamp::millis(1_000), 10.0);
         add_trip(&mut off, "u1", Timestamp::millis(99_000), 999.0);
         let def = reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "fare"),
+                &off,
+                Timestamp::EPOCH,
+            )
             .unwrap();
         Materializer::run(&def, &mut off, &online, Timestamp::millis(50_000)).unwrap();
         let e = online.get("user_id", &EntityKey::new("u1"), "f").unwrap();
@@ -321,7 +347,9 @@ mod tests {
             )
             .unwrap();
         Materializer::run(&def, &mut off, &online, day2 + Duration::hours(1)).unwrap();
-        let e = online.get("user_id", &EntityKey::new("u1"), "avg_fare_1d").unwrap();
+        let e = online
+            .get("user_id", &EntityKey::new("u1"), "avg_fare_1d")
+            .unwrap();
         assert_eq!(e.value, Value::Float(15.0));
     }
 
@@ -330,12 +358,20 @@ mod tests {
         let (mut off, online, mut reg) = setup();
         off.append(
             "trips",
-            &[Value::Null, Value::Timestamp(Timestamp::millis(1)), Value::Float(5.0)],
+            &[
+                Value::Null,
+                Value::Timestamp(Timestamp::millis(1)),
+                Value::Float(5.0),
+            ],
         )
         .unwrap();
         add_trip(&mut off, "u1", Timestamp::millis(2), 7.0);
         let def = reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "fare"),
+                &off,
+                Timestamp::EPOCH,
+            )
             .unwrap();
         let run = Materializer::run(&def, &mut off, &online, Timestamp::millis(10)).unwrap();
         assert_eq!(run.entities, 1);
@@ -385,7 +421,11 @@ mod tests {
             );
         }
         let def = reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "fare"),
+                &off,
+                Timestamp::EPOCH,
+            )
             .unwrap();
         let runs = Materializer::backfill(
             &def,
@@ -420,7 +460,11 @@ mod tests {
         let (mut off, online, mut reg) = setup();
         add_trip(&mut off, "u1", Timestamp::millis(1), 1.0);
         let def = reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "fare"),
+                &off,
+                Timestamp::EPOCH,
+            )
             .unwrap();
         assert!(Materializer::backfill(
             &def,
@@ -447,7 +491,11 @@ mod tests {
         let (mut off, online, mut reg) = setup();
         add_trip(&mut off, "u1", Timestamp::millis(1), 5.0);
         let def = reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "fare"),
+                &off,
+                Timestamp::EPOCH,
+            )
             .unwrap();
         Materializer::run(&def, &mut off, &online, Timestamp::millis(100)).unwrap();
         add_trip(&mut off, "u1", Timestamp::millis(200), 9.0);

@@ -86,8 +86,10 @@ impl ModelStore {
 
     /// Export one model's full version history as JSON.
     pub fn export_json(&self, name: &str) -> Result<String> {
-        let versions =
-            self.models.get(name).ok_or_else(|| FsError::not_found("model", name.to_string()))?;
+        let versions = self
+            .models
+            .get(name)
+            .ok_or_else(|| FsError::not_found("model", name.to_string()))?;
         serde_json::to_string_pretty(versions).map_err(|e| FsError::Serde(e.to_string()))
     }
 

@@ -24,7 +24,11 @@ pub struct LabelEvent {
 
 impl LabelEvent {
     pub fn new(entity: impl Into<EntityKey>, ts: Timestamp, label: impl Into<Value>) -> Self {
-        LabelEvent { entity: entity.into(), ts, label: label.into() }
+        LabelEvent {
+            entity: entity.into(),
+            ts,
+            label: label.into(),
+        }
     }
 }
 
@@ -141,7 +145,10 @@ impl FeatureHistory {
 
     /// Latest value overall — the leaky baseline.
     fn latest(&self, entity: &str) -> Option<&Value> {
-        self.by_entity.get(entity).and_then(|h| h.last()).map(|(_, v)| v)
+        self.by_entity
+            .get(entity)
+            .and_then(|h| h.last())
+            .map(|(_, v)| v)
     }
 }
 
@@ -164,11 +171,15 @@ fn join_impl(
     point_in_time: bool,
 ) -> Result<TrainingSet> {
     if features.is_empty() {
-        return Err(FsError::InvalidArgument("PIT join needs at least one feature".into()));
+        return Err(FsError::InvalidArgument(
+            "PIT join needs at least one feature".into(),
+        ));
     }
     let schema = training_schema(features)?;
-    let histories: Vec<FeatureHistory> =
-        features.iter().map(|f| load_history(offline, f)).collect::<Result<_>>()?;
+    let histories: Vec<FeatureHistory> = features
+        .iter()
+        .map(|f| load_history(offline, f))
+        .collect::<Result<_>>()?;
 
     let mut rows = Vec::with_capacity(labels.len());
     let mut misses = vec![0usize; features.len()];
@@ -193,9 +204,16 @@ fn join_impl(
         row.push(label.label.clone());
         rows.push(row);
     }
-    let misses =
-        features.iter().map(|f| f.feature.clone()).zip(misses).collect::<Vec<(String, usize)>>();
-    Ok(TrainingSet { schema, rows, misses })
+    let misses = features
+        .iter()
+        .map(|f| f.feature.clone())
+        .zip(misses)
+        .collect::<Vec<(String, usize)>>();
+    Ok(TrainingSet {
+        schema,
+        rows,
+        misses,
+    })
 }
 
 /// Leakage-free training set: each label row joins the latest feature value
@@ -255,8 +273,13 @@ mod tests {
             LabelEvent::new("u1", ms(200), 0.0),
             LabelEvent::new("u1", ms(50), 1.0),
         ];
-        let ts = point_in_time_join(&off, &labels, &[PitFeature::materialized("score", 1)]).unwrap();
-        assert_eq!(ts.rows[0][2], Value::Float(2.0), "value at 200 for label at 250");
+        let ts =
+            point_in_time_join(&off, &labels, &[PitFeature::materialized("score", 1)]).unwrap();
+        assert_eq!(
+            ts.rows[0][2],
+            Value::Float(2.0),
+            "value at 200 for label at 250"
+        );
         assert_eq!(ts.rows[1][2], Value::Float(2.0), "ties are inclusive");
         assert_eq!(ts.rows[2][2], Value::Null, "no history before 50");
         assert_eq!(ts.misses, vec![("score".to_string(), 1)]);
@@ -270,7 +293,11 @@ mod tests {
         let pit = point_in_time_join(&off, &labels, &feat).unwrap();
         let naive = naive_latest_join(&off, &labels, &feat).unwrap();
         assert_eq!(pit.rows[0][2], Value::Float(1.0));
-        assert_eq!(naive.rows[0][2], Value::Float(9.0), "naive join sees the future");
+        assert_eq!(
+            naive.rows[0][2],
+            Value::Float(9.0),
+            "naive join sees the future"
+        );
     }
 
     #[test]
@@ -290,7 +317,8 @@ mod tests {
     fn unknown_entities_join_null() {
         let off = offline_with_history(&[("u1", 100, 1.0)]);
         let labels = vec![LabelEvent::new("stranger", ms(500), 0.0)];
-        let ts = point_in_time_join(&off, &labels, &[PitFeature::materialized("score", 1)]).unwrap();
+        let ts =
+            point_in_time_join(&off, &labels, &[PitFeature::materialized("score", 1)]).unwrap();
         assert_eq!(ts.rows[0][2], Value::Null);
     }
 
@@ -304,15 +332,24 @@ mod tests {
         .unwrap();
         off.append(
             "feat__other_v1",
-            &[Value::from("u1"), Value::Timestamp(ms(100)), Value::Float(7.0)],
+            &[
+                Value::from("u1"),
+                Value::Timestamp(ms(100)),
+                Value::Float(7.0),
+            ],
         )
         .unwrap();
-        let labels =
-            vec![LabelEvent::new("u1", ms(200), 1.0), LabelEvent::new("u2", ms(200), 0.0)];
+        let labels = vec![
+            LabelEvent::new("u1", ms(200), 1.0),
+            LabelEvent::new("u2", ms(200), 0.0),
+        ];
         let ts = point_in_time_join(
             &off,
             &labels,
-            &[PitFeature::materialized("score", 1), PitFeature::materialized("other", 1)],
+            &[
+                PitFeature::materialized("score", 1),
+                PitFeature::materialized("other", 1),
+            ],
         )
         .unwrap();
         assert_eq!(ts.schema.len(), 5);

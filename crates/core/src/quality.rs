@@ -64,9 +64,17 @@ impl ColumnProfile {
 #[derive(Debug, Clone, PartialEq)]
 pub enum QualityIssue {
     /// Null rate jumped relative to the reference profile.
-    NullSpike { feature: String, reference_rate: f64, live_rate: f64 },
+    NullSpike {
+        feature: String,
+        reference_rate: f64,
+        live_rate: f64,
+    },
     /// Online value is older than `tolerance × cadence`.
-    FrozenFeed { feature: String, age: Duration, cadence: Duration },
+    FrozenFeed {
+        feature: String,
+        age: Duration,
+        cadence: Duration,
+    },
     /// Two features are near-duplicates (high normalized MI).
     RedundantPair { a: String, b: String, nmi: f64 },
 }
@@ -84,7 +92,11 @@ pub struct QualityThresholds {
 
 impl Default for QualityThresholds {
     fn default() -> Self {
-        QualityThresholds { null_rate_jump: 0.10, freshness_tolerance: 3.0, redundancy_nmi: 0.95 }
+        QualityThresholds {
+            null_rate_jump: 0.10,
+            freshness_tolerance: 3.0,
+            redundancy_nmi: 0.95,
+        }
     }
 }
 
@@ -158,7 +170,9 @@ impl FeatureQualityReport {
         }
         let len = columns[0].1.len();
         if columns.iter().any(|(_, c)| c.len() != len) {
-            return Err(FsError::InvalidArgument("redundancy check needs aligned columns".into()));
+            return Err(FsError::InvalidArgument(
+                "redundancy check needs aligned columns".into(),
+            ));
         }
         let spec = DiscretizeSpec::default();
         let discretized: Vec<Vec<usize>> = columns
@@ -198,8 +212,12 @@ mod tests {
 
     #[test]
     fn profile_stats() {
-        let values: Vec<Value> =
-            vec![Value::Float(1.0), Value::Float(3.0), Value::Null, Value::from("junk")];
+        let values: Vec<Value> = vec![
+            Value::Float(1.0),
+            Value::Float(3.0),
+            Value::Null,
+            Value::from("junk"),
+        ];
         let p = ColumnProfile::of_values("f", &values);
         assert_eq!(p.rows, 4);
         assert_eq!(p.nulls, 1);
@@ -230,7 +248,9 @@ mod tests {
         FeatureQualityReport::check_null_spikes(&reference, &spiking, &th, &mut issues);
         assert_eq!(issues.len(), 1);
         match &issues[0] {
-            QualityIssue::NullSpike { feature, live_rate, .. } => {
+            QualityIssue::NullSpike {
+                feature, live_rate, ..
+            } => {
                 assert_eq!(feature, "f");
                 assert!((live_rate - 0.4).abs() < 1e-12);
             }
@@ -242,19 +262,37 @@ mod tests {
     fn frozen_feed_detection() {
         let online = OnlineStore::default();
         let now = Timestamp::millis(10 * 3_600_000);
-        online.put("g", &EntityKey::new("u1"), "fresh", Value::Int(1), now - Duration::hours(1));
-        online.put("g", &EntityKey::new("u1"), "frozen", Value::Int(1), now - Duration::hours(9));
+        online.put(
+            "g",
+            &EntityKey::new("u1"),
+            "fresh",
+            Value::Int(1),
+            now - Duration::hours(1),
+        );
+        online.put(
+            "g",
+            &EntityKey::new("u1"),
+            "frozen",
+            Value::Int(1),
+            now - Duration::hours(9),
+        );
         let mut issues = Vec::new();
         FeatureQualityReport::check_frozen_feeds(
             &online,
             "g",
-            &[("fresh", Duration::hours(1)), ("frozen", Duration::hours(1)), ("absent", Duration::hours(1))],
+            &[
+                ("fresh", Duration::hours(1)),
+                ("frozen", Duration::hours(1)),
+                ("absent", Duration::hours(1)),
+            ],
             now,
             &QualityThresholds::default(),
             &mut issues,
         );
         assert_eq!(issues.len(), 1);
-        assert!(matches!(&issues[0], QualityIssue::FrozenFeed { feature, .. } if feature == "frozen"));
+        assert!(
+            matches!(&issues[0], QualityIssue::FrozenFeed { feature, .. } if feature == "frozen")
+        );
     }
 
     #[test]
@@ -264,13 +302,19 @@ mod tests {
         let noise: Vec<f64> = (0..500).map(|i| ((i * 7919) % 500) as f64).collect();
         let mut issues = Vec::new();
         let m = FeatureQualityReport::check_redundancy(
-            &[("a".into(), a), ("dup".into(), dup), ("noise".into(), noise)],
+            &[
+                ("a".into(), a),
+                ("dup".into(), dup),
+                ("noise".into(), noise),
+            ],
             &QualityThresholds::default(),
             &mut issues,
         )
         .unwrap();
         assert_eq!(issues.len(), 1);
-        assert!(matches!(&issues[0], QualityIssue::RedundantPair { a, b, .. } if a == "a" && b == "dup"));
+        assert!(
+            matches!(&issues[0], QualityIssue::RedundantPair { a, b, .. } if a == "a" && b == "dup")
+        );
         assert!(m[0][1] > 0.95);
         assert!(m[0][2] < 0.5);
         assert_eq!(m[1][0], m[0][1], "matrix is symmetric");

@@ -201,7 +201,10 @@ impl FeatureRegistry {
             let numeric_ok = matches!(value_type, ValueType::Int | ValueType::Float)
                 || matches!(
                     func,
-                    AggFunc::Count | AggFunc::CountAll | AggFunc::CountDistinct | AggFunc::Last
+                    AggFunc::Count
+                        | AggFunc::CountAll
+                        | AggFunc::CountDistinct
+                        | AggFunc::Last
                         | AggFunc::Min
                         | AggFunc::Max
                 );
@@ -227,10 +230,10 @@ impl FeatureRegistry {
             entity: spec.entity,
             source_table: spec.source_table,
             expression: spec.expression,
-            aggregation: spec
-                .aggregation
-                .as_ref()
-                .map(|(f, w)| AggregationDef { func: agg_spec_string(f), window: *w }),
+            aggregation: spec.aggregation.as_ref().map(|(f, w)| AggregationDef {
+                func: agg_spec_string(f),
+                window: *w,
+            }),
             cadence: spec.cadence,
             owner: spec.owner,
             description: spec.description,
@@ -267,7 +270,10 @@ impl FeatureRegistry {
 
     /// Latest-version features carrying `tag`.
     pub fn find_by_tag(&self, tag: &str) -> Vec<&FeatureDef> {
-        self.list().into_iter().filter(|d| d.tags.iter().any(|t| t == tag)).collect()
+        self.list()
+            .into_iter()
+            .filter(|d| d.tags.iter().any(|t| t == tag))
+            .collect()
     }
 
     /// Mark the latest version of `name` deprecated (it stays resolvable).
@@ -276,12 +282,20 @@ impl FeatureRegistry {
             .features
             .get_mut(name)
             .ok_or_else(|| FsError::not_found("feature", name.to_string()))?;
-        versions.last_mut().expect("non-empty version list").deprecated = true;
+        versions
+            .last_mut()
+            .expect("non-empty version list")
+            .deprecated = true;
         Ok(())
     }
 
     /// Register a feature set (resolves every member to its latest version).
-    pub fn register_set(&mut self, name: impl Into<String>, features: &[&str], now: Timestamp) -> Result<FeatureSetDef> {
+    pub fn register_set(
+        &mut self,
+        name: impl Into<String>,
+        features: &[&str],
+        now: Timestamp,
+    ) -> Result<FeatureSetDef> {
         let name = name.into();
         if self.sets.contains_key(&name) {
             return Err(FsError::already_exists("feature set", name));
@@ -296,13 +310,19 @@ impl FeatureRegistry {
             }
             resolved.push((def.name.clone(), def.version));
         }
-        let set = FeatureSetDef { name: name.clone(), features: resolved, created_at: now };
+        let set = FeatureSetDef {
+            name: name.clone(),
+            features: resolved,
+            created_at: now,
+        };
         self.sets.insert(name, set.clone());
         Ok(set)
     }
 
     pub fn get_set(&self, name: &str) -> Result<&FeatureSetDef> {
-        self.sets.get(name).ok_or_else(|| FsError::not_found("feature set", name.to_string()))
+        self.sets
+            .get(name)
+            .ok_or_else(|| FsError::not_found("feature set", name.to_string()))
     }
 
     /// Resolve a set to its pinned feature definitions.
@@ -374,7 +394,10 @@ mod tests {
         let d2 = reg.publish(spec(), &off, Timestamp::millis(2)).unwrap();
         assert_eq!(d2.version, 2);
         assert_eq!(reg.get("avg_fare_7d").unwrap().version, 2);
-        assert_eq!(reg.get_version("avg_fare_7d", 1).unwrap().created_at, Timestamp::millis(1));
+        assert_eq!(
+            reg.get_version("avg_fare_7d", 1).unwrap().created_at,
+            Timestamp::millis(1)
+        );
     }
 
     #[test]
@@ -383,23 +406,43 @@ mod tests {
         let mut reg = FeatureRegistry::new();
         // unknown table
         assert!(reg
-            .publish(FeatureSpec::new("f", "user_id", "ghost", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "ghost", "fare"),
+                &off,
+                Timestamp::EPOCH
+            )
             .is_err());
         // unknown entity column
         assert!(reg
-            .publish(FeatureSpec::new("f", "rider_id", "trips", "fare"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "rider_id", "trips", "fare"),
+                &off,
+                Timestamp::EPOCH
+            )
             .is_err());
         // bad expression
         assert!(reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "fare +"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "fare +"),
+                &off,
+                Timestamp::EPOCH
+            )
             .is_err());
         // type error
         assert!(reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "city * 2"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "city * 2"),
+                &off,
+                Timestamp::EPOCH
+            )
             .is_err());
         // constant NULL
         assert!(reg
-            .publish(FeatureSpec::new("f", "user_id", "trips", "NULL"), &off, Timestamp::EPOCH)
+            .publish(
+                FeatureSpec::new("f", "user_id", "trips", "NULL"),
+                &off,
+                Timestamp::EPOCH
+            )
             .is_err());
         // sum over a string expression
         assert!(reg
@@ -465,16 +508,29 @@ mod tests {
             Timestamp::EPOCH,
         )
         .unwrap();
-        let set = reg.register_set("eta_model_v1", &["avg_fare_7d", "fare_now"], Timestamp::EPOCH).unwrap();
-        assert_eq!(set.features, vec![("avg_fare_7d".to_string(), 1), ("fare_now".to_string(), 1)]);
+        let set = reg
+            .register_set(
+                "eta_model_v1",
+                &["avg_fare_7d", "fare_now"],
+                Timestamp::EPOCH,
+            )
+            .unwrap();
+        assert_eq!(
+            set.features,
+            vec![("avg_fare_7d".to_string(), 1), ("fare_now".to_string(), 1)]
+        );
 
         // republish: set keeps pointing at v1
         reg.publish(spec(), &off, Timestamp::millis(9)).unwrap();
         let defs = reg.resolve_set("eta_model_v1").unwrap();
         assert_eq!(defs[0].version, 1);
 
-        assert!(reg.register_set("eta_model_v1", &["fare_now"], Timestamp::EPOCH).is_err());
-        assert!(reg.register_set("other", &["ghost"], Timestamp::EPOCH).is_err());
+        assert!(reg
+            .register_set("eta_model_v1", &["fare_now"], Timestamp::EPOCH)
+            .is_err());
+        assert!(reg
+            .register_set("other", &["ghost"], Timestamp::EPOCH)
+            .is_err());
     }
 
     #[test]
@@ -484,7 +540,9 @@ mod tests {
         reg.publish(spec(), &off, Timestamp::EPOCH).unwrap();
         reg.deprecate("avg_fare_7d").unwrap();
         assert!(reg.get("avg_fare_7d").unwrap().deprecated);
-        assert!(reg.register_set("s", &["avg_fare_7d"], Timestamp::EPOCH).is_err());
+        assert!(reg
+            .register_set("s", &["avg_fare_7d"], Timestamp::EPOCH)
+            .is_err());
         assert!(reg.deprecate("ghost").is_err());
     }
 

@@ -35,7 +35,10 @@ pub struct FeatureVector {
 impl FeatureVector {
     /// Dense numeric view for model input; NULL/non-numeric → `null_fill`.
     pub fn dense(&self, null_fill: f64) -> Vec<f64> {
-        self.values.iter().map(|v| v.as_f64().unwrap_or(null_fill)).collect()
+        self.values
+            .iter()
+            .map(|v| v.as_f64().unwrap_or(null_fill))
+            .collect()
     }
 }
 
@@ -49,7 +52,11 @@ pub struct FeatureServer {
 
 impl FeatureServer {
     pub fn new(online: Arc<OnlineStore>) -> Self {
-        FeatureServer { online, max_age: None, policy: StalenessPolicy::default() }
+        FeatureServer {
+            online,
+            max_age: None,
+            policy: StalenessPolicy::default(),
+        }
     }
 
     /// Set the maximum tolerated feature age.
@@ -119,7 +126,10 @@ impl FeatureServer {
         features: &[&str],
         now: Timestamp,
     ) -> Result<Vec<FeatureVector>> {
-        entities.iter().map(|e| self.serve(group, e, features, now)).collect()
+        entities
+            .iter()
+            .map(|e| self.serve(group, e, features, now))
+            .collect()
     }
 }
 
@@ -138,9 +148,19 @@ mod tests {
     #[test]
     fn serves_values_with_ages() {
         let srv = FeatureServer::new(store());
-        let v = srv.serve("user", &EntityKey::new("u1"), &["a", "b"], Timestamp::millis(6_000)).unwrap();
+        let v = srv
+            .serve(
+                "user",
+                &EntityKey::new("u1"),
+                &["a", "b"],
+                Timestamp::millis(6_000),
+            )
+            .unwrap();
         assert_eq!(v.values, vec![Value::Float(1.0), Value::Int(7)]);
-        assert_eq!(v.ages, vec![Some(Duration::millis(5_000)), Some(Duration::millis(1_000))]);
+        assert_eq!(
+            v.ages,
+            vec![Some(Duration::millis(5_000)), Some(Duration::millis(1_000))]
+        );
         assert!(v.stale.is_empty());
         assert_eq!(v.dense(0.0), vec![1.0, 7.0]);
     }
@@ -148,7 +168,14 @@ mod tests {
     #[test]
     fn missing_features_are_null_and_flagged() {
         let srv = FeatureServer::new(store());
-        let v = srv.serve("user", &EntityKey::new("u1"), &["a", "ghost"], Timestamp::millis(6_000)).unwrap();
+        let v = srv
+            .serve(
+                "user",
+                &EntityKey::new("u1"),
+                &["a", "ghost"],
+                Timestamp::millis(6_000),
+            )
+            .unwrap();
         assert_eq!(v.values[1], Value::Null);
         assert_eq!(v.ages[1], None);
         assert_eq!(v.stale, vec!["ghost".to_string()]);
@@ -159,7 +186,14 @@ mod tests {
         let srv = FeatureServer::new(store())
             .with_max_age(Duration::millis(2_000))
             .with_policy(StalenessPolicy::NullOnStale);
-        let v = srv.serve("user", &EntityKey::new("u1"), &["a", "b"], Timestamp::millis(6_000)).unwrap();
+        let v = srv
+            .serve(
+                "user",
+                &EntityKey::new("u1"),
+                &["a", "b"],
+                Timestamp::millis(6_000),
+            )
+            .unwrap();
         assert_eq!(v.values[0], Value::Null, "a is 5s old > 2s max age");
         assert_eq!(v.values[1], Value::Int(7));
         assert_eq!(v.stale, vec!["a".to_string()]);
@@ -168,7 +202,14 @@ mod tests {
     #[test]
     fn serve_anyway_keeps_stale_values_but_flags_them() {
         let srv = FeatureServer::new(store()).with_max_age(Duration::millis(2_000));
-        let v = srv.serve("user", &EntityKey::new("u1"), &["a"], Timestamp::millis(6_000)).unwrap();
+        let v = srv
+            .serve(
+                "user",
+                &EntityKey::new("u1"),
+                &["a"],
+                Timestamp::millis(6_000),
+            )
+            .unwrap();
         assert_eq!(v.values[0], Value::Float(1.0));
         assert_eq!(v.stale, vec!["a".to_string()]);
     }
@@ -179,17 +220,34 @@ mod tests {
             .with_max_age(Duration::millis(2_000))
             .with_policy(StalenessPolicy::FailOnStale);
         let err = srv
-            .serve("user", &EntityKey::new("u1"), &["a", "b"], Timestamp::millis(6_000))
+            .serve(
+                "user",
+                &EntityKey::new("u1"),
+                &["a", "b"],
+                Timestamp::millis(6_000),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("a"));
         // fresh-only request succeeds
-        srv.serve("user", &EntityKey::new("u1"), &["b"], Timestamp::millis(6_000)).unwrap();
+        srv.serve(
+            "user",
+            &EntityKey::new("u1"),
+            &["b"],
+            Timestamp::millis(6_000),
+        )
+        .unwrap();
     }
 
     #[test]
     fn batch_serving() {
         let s = store();
-        s.put("user", &EntityKey::new("u2"), "a", Value::Float(2.0), Timestamp::millis(1));
+        s.put(
+            "user",
+            &EntityKey::new("u2"),
+            "a",
+            Value::Float(2.0),
+            Timestamp::millis(1),
+        );
         let srv = FeatureServer::new(s);
         let vs = srv
             .serve_batch(

@@ -50,7 +50,8 @@ impl FeatureStore {
     /// Run due materialization jobs at the current instant.
     pub fn tick(&mut self) -> Result<Vec<MaterializationRun>> {
         let mut offline = self.offline.lock();
-        self.scheduler.tick(&mut offline, &self.online, self.clock.now())
+        self.scheduler
+            .tick(&mut offline, &self.online, self.clock.now())
     }
 
     // ---- raw data ------------------------------------------------------
@@ -99,7 +100,14 @@ impl FeatureStore {
     pub fn backfill(&mut self, feature: &str, from: Timestamp) -> Result<Vec<MaterializationRun>> {
         let def = self.registry.get(feature)?.clone();
         let mut offline = self.offline.lock();
-        Materializer::backfill(&def, &mut offline, &self.online, from, self.clock.now(), def.cadence)
+        Materializer::backfill(
+            &def,
+            &mut offline,
+            &self.online,
+            from,
+            self.clock.now(),
+            def.cadence,
+        )
     }
 
     pub fn registry(&self) -> &FeatureRegistry {
@@ -122,8 +130,10 @@ impl FeatureStore {
     /// Build a leakage-free training set for a registered feature set.
     pub fn training_set(&self, feature_set: &str, labels: &[LabelEvent]) -> Result<TrainingSet> {
         let defs = self.registry.resolve_set(feature_set)?;
-        let feats: Vec<PitFeature> =
-            defs.iter().map(|d| PitFeature::materialized(&d.name, d.version)).collect();
+        let feats: Vec<PitFeature> = defs
+            .iter()
+            .map(|d| PitFeature::materialized(&d.name, d.version))
+            .collect();
         let offline = self.offline.lock();
         point_in_time_join(&offline, labels, &feats)
     }
@@ -211,11 +221,15 @@ mod tests {
     #[test]
     fn training_set_via_feature_set() {
         let mut fs = base_store();
-        fs.ingest("trips", &[trip_row("u1", Timestamp::millis(1_000), 10.0)]).unwrap();
-        fs.publish(FeatureSpec::new("fare_last", "user_id", "trips", "fare")).unwrap();
+        fs.ingest("trips", &[trip_row("u1", Timestamp::millis(1_000), 10.0)])
+            .unwrap();
+        fs.publish(FeatureSpec::new("fare_last", "user_id", "trips", "fare"))
+            .unwrap();
         fs.advance(Duration::minutes(1)).unwrap(); // materializes at t=60s
         let now = fs.now();
-        fs.registry_mut().register_set("s", &["fare_last"], now).unwrap();
+        fs.registry_mut()
+            .register_set("s", &["fare_last"], now)
+            .unwrap();
 
         let labels = vec![
             LabelEvent::new("u1", fs.now() + Duration::minutes(1), 1.0),
@@ -229,14 +243,18 @@ mod tests {
     #[test]
     fn materialize_now_is_out_of_cadence() {
         let mut fs = base_store();
-        fs.ingest("trips", &[trip_row("u1", Timestamp::millis(100), 3.0)]).unwrap();
+        fs.ingest("trips", &[trip_row("u1", Timestamp::millis(100), 3.0)])
+            .unwrap();
         fs.clock.advance(Duration::seconds(1)); // trips at t=100ms are now in the past
-        fs.publish(FeatureSpec::new("f", "user_id", "trips", "fare * 10")).unwrap();
+        fs.publish(FeatureSpec::new("f", "user_id", "trips", "fare * 10"))
+            .unwrap();
         fs.scheduler.unschedule("f"); // isolate materialize_now from the scheduler
         let run = fs.materialize_now("f").unwrap();
         assert_eq!(run.entities, 1);
-        let v =
-            fs.server().serve("user_id", &EntityKey::new("u1"), &["f"], fs.now()).unwrap();
+        let v = fs
+            .server()
+            .serve("user_id", &EntityKey::new("u1"), &["f"], fs.now())
+            .unwrap();
         assert_eq!(v.values[0], Value::Float(30.0));
         assert!(fs.materialize_now("ghost").is_err());
     }
@@ -270,17 +288,22 @@ mod tests {
         )
         .unwrap();
         fs.clock.advance(Duration::hours(6));
-        fs.publish(
-            FeatureSpec::new("f", "user_id", "trips", "fare").cadence(Duration::hours(2)),
-        )
-        .unwrap();
+        fs.publish(FeatureSpec::new("f", "user_id", "trips", "fare").cadence(Duration::hours(2)))
+            .unwrap();
         let runs = fs.backfill("f", Timestamp::EPOCH).unwrap();
         assert_eq!(runs.len(), 4, "0h, 2h, 4h, 6h");
         // history now answers PIT queries at hour 2 (only the 5.0 trip existed)
         let now = fs.now();
         fs.registry_mut().register_set("s", &["f"], now).unwrap();
         let ts = fs
-            .training_set("s", &[LabelEvent::new("u1", Timestamp::EPOCH + Duration::hours(2), 1.0)])
+            .training_set(
+                "s",
+                &[LabelEvent::new(
+                    "u1",
+                    Timestamp::EPOCH + Duration::hours(2),
+                    1.0,
+                )],
+            )
             .unwrap();
         assert_eq!(ts.rows[0][2], Value::Float(5.0));
     }

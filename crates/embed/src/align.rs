@@ -84,7 +84,14 @@ pub fn align_to_reference(
         }
         out.insert(key.to_string(), rotated)?;
     }
-    Ok((out, AlignmentReport { msd_before, msd_after, fitted_on: keys.len() }))
+    Ok((
+        out,
+        AlignmentReport {
+            msd_before,
+            msd_after,
+            fitted_on: keys.len(),
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -96,8 +103,11 @@ mod tests {
         let mut rng = Xoshiro256::seeded(seed);
         let mut t = EmbeddingTable::new(d).unwrap();
         for i in 0..n {
-            t.insert(format!("e{i}"), (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>())
-                .unwrap();
+            t.insert(
+                format!("e{i}"),
+                (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>(),
+            )
+            .unwrap();
         }
         t
     }
@@ -107,8 +117,9 @@ mod tests {
         let d = t.dim();
         let mut rng = Xoshiro256::seeded(seed);
         // random rotation via Gram-Schmidt
-        let mut cols: Vec<Vec<f64>> =
-            (0..d).map(|_| (0..d).map(|_| rng.normal()).collect()).collect();
+        let mut cols: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..d).map(|_| rng.normal()).collect())
+            .collect();
         for i in 0..d {
             for j in 0..i {
                 let p: f64 = cols[i].iter().zip(&cols[j]).map(|(a, b)| a * b).sum();
@@ -142,8 +153,16 @@ mod tests {
         let reference = random_table(80, 6, 1);
         let new = rotated_noisy_copy(&reference, 0.0, 2);
         let (aligned, report) = align_to_reference(&new, &reference).unwrap();
-        assert!(report.msd_before > 0.5, "rotation moved the rows: {}", report.msd_before);
-        assert!(report.msd_after < 1e-9, "alignment must undo it: {}", report.msd_after);
+        assert!(
+            report.msd_before > 0.5,
+            "rotation moved the rows: {}",
+            report.msd_before
+        );
+        assert!(
+            report.msd_after < 1e-9,
+            "alignment must undo it: {}",
+            report.msd_after
+        );
         assert_eq!(report.fitted_on, 80);
         for k in reference.keys() {
             let a = aligned.get_f64(k).unwrap();
@@ -180,7 +199,10 @@ mod tests {
         let b = random_table(50, 5, 8);
         assert!(align_to_reference(&a, &b).is_err(), "dim mismatch");
         let tiny = random_table(2, 4, 9);
-        assert!(align_to_reference(&tiny, &tiny).is_err(), "too few common keys");
+        assert!(
+            align_to_reference(&tiny, &tiny).is_err(),
+            "too few common keys"
+        );
     }
 
     #[test]
@@ -200,7 +222,9 @@ mod tests {
             labels.push(y);
         }
         let feats = |t: &EmbeddingTable| -> Vec<Vec<f64>> {
-            (0..200).map(|i| t.get_f64(&format!("e{i}")).unwrap()).collect()
+            (0..200)
+                .map(|i| t.get_f64(&format!("e{i}")).unwrap())
+                .collect()
         };
         let head =
             SoftmaxRegression::train(&feats(&v1), &labels, 2, &TrainConfig::default()).unwrap();
@@ -212,7 +236,10 @@ mod tests {
         let mut v2 = EmbeddingTable::new(d).unwrap();
         for k in v1.keys() {
             let v = v1.get_f64(k).unwrap();
-            let mut r: Vec<f32> = v.iter().map(|&x| (x + 0.05 * rng.normal()) as f32).collect();
+            let mut r: Vec<f32> = v
+                .iter()
+                .map(|&x| (x + 0.05 * rng.normal()) as f32)
+                .collect();
             let (x0, x1) = (r[0], r[1]);
             r[0] = -x1;
             r[1] = x0;
@@ -221,7 +248,10 @@ mod tests {
         let raw_acc = head.accuracy(&feats(&v2), &labels).unwrap();
         let (aligned, _) = align_to_reference(&v2, &v1).unwrap();
         let aligned_acc = head.accuracy(&feats(&aligned), &labels).unwrap();
-        assert!(raw_acc < 0.75, "the stale head must break on the raw update: {raw_acc}");
+        assert!(
+            raw_acc < 0.75,
+            "the stale head must break on the raw update: {raw_acc}"
+        );
         assert!(
             aligned_acc > 0.95,
             "alignment must rescue the deployed head (raw {raw_acc}, aligned {aligned_acc})"

@@ -24,7 +24,9 @@ impl QuantizedTable {
     /// Quantize `table` to `bits` bits per dimension (1..=16).
     pub fn quantize(table: &EmbeddingTable, bits: u8) -> Result<QuantizedTable> {
         if !(1..=16).contains(&bits) {
-            return Err(FsError::Embedding(format!("bits must be 1..=16, got {bits}")));
+            return Err(FsError::Embedding(format!(
+                "bits must be 1..=16, got {bits}"
+            )));
         }
         if table.is_empty() {
             return Err(FsError::Embedding("cannot quantize an empty table".into()));
@@ -60,7 +62,13 @@ impl QuantizedTable {
                 (k.to_string(), c)
             })
             .collect();
-        Ok(QuantizedTable { bits, dim, lo, step, codes })
+        Ok(QuantizedTable {
+            bits,
+            dim,
+            lo,
+            step,
+            codes,
+        })
     }
 
     pub fn bits(&self) -> u8 {
@@ -115,7 +123,9 @@ impl PcaModel {
     pub fn fit(table: &EmbeddingTable, k: usize) -> Result<PcaModel> {
         let d = table.dim();
         if k == 0 || k > d {
-            return Err(FsError::Embedding(format!("PCA k must be in 1..={d}, got {k}")));
+            return Err(FsError::Embedding(format!(
+                "PCA k must be in 1..={d}, got {k}"
+            )));
         }
         let keys = table.keys();
         let n = keys.len();
@@ -175,8 +185,11 @@ impl PcaModel {
         if v.len() != self.mean.len() {
             return Err(FsError::Embedding("PCA transform dim mismatch".into()));
         }
-        let centered: Vec<f64> =
-            v.iter().zip(&self.mean).map(|(&x, m)| f64::from(x) - m).collect();
+        let centered: Vec<f64> = v
+            .iter()
+            .zip(&self.mean)
+            .map(|(&x, m)| f64::from(x) - m)
+            .collect();
         let k = self.components.cols();
         let mut out = vec![0.0f32; k];
         for (c, o) in out.iter_mut().enumerate() {
@@ -288,14 +301,19 @@ mod tests {
         for i in 0..200 {
             let a = rng.normal() as f32 * 5.0;
             let eps = rng.normal() as f32 * 0.1;
-            t.insert(format!("e{i}"), vec![a + eps, a - eps, eps]).unwrap();
+            t.insert(format!("e{i}"), vec![a + eps, a - eps, eps])
+                .unwrap();
         }
         let pca = PcaModel::fit(&t, 1).unwrap();
         assert!(pca.explained_variance > 0.95, "{}", pca.explained_variance);
         let proj = pca.transform_table(&t).unwrap();
         assert_eq!(proj.dim(), 1);
         // projected coordinate correlates with a: spread preserved
-        let spread: Vec<f32> = proj.keys().iter().map(|k| proj.get(k).unwrap()[0]).collect();
+        let spread: Vec<f32> = proj
+            .keys()
+            .iter()
+            .map(|k| proj.get(k).unwrap()[0])
+            .collect();
         let max = spread.iter().fold(f32::MIN, |m, &x| m.max(x));
         let min = spread.iter().fold(f32::MAX, |m, &x| m.min(x));
         assert!(max - min > 10.0, "projection collapsed");

@@ -95,7 +95,9 @@ impl Corpus {
             ));
         }
         if !(0.0..=1.0).contains(&config.topic_coherence) {
-            return Err(FsError::InvalidArgument("topic_coherence must be in [0,1]".into()));
+            return Err(FsError::InvalidArgument(
+                "topic_coherence must be in [0,1]".into(),
+            ));
         }
         let mut rng = Xoshiro256::seeded(config.seed);
 
@@ -110,8 +112,10 @@ impl Corpus {
         // Per-topic Zipf over the topic's members (by global rank), plus a
         // global Zipf for noise tokens.
         let global = Zipf::new(config.vocab, config.zipf_alpha);
-        let per_topic: Vec<Zipf> =
-            members.iter().map(|m| Zipf::new(m.len(), config.zipf_alpha)).collect();
+        let per_topic: Vec<Zipf> = members
+            .iter()
+            .map(|m| Zipf::new(m.len(), config.zipf_alpha))
+            .collect();
 
         let mut sentences = Vec::with_capacity(config.sentences);
         let mut frequency = vec![0u64; config.vocab];
@@ -151,8 +155,18 @@ impl Corpus {
             }
         }
 
-        let kg = KnowledgeGraph { entity_type: topic_of.clone(), relations, adjacency };
-        Ok(Corpus { config, sentences, topic_of, kg, frequency })
+        let kg = KnowledgeGraph {
+            entity_type: topic_of.clone(),
+            relations,
+            adjacency,
+        };
+        Ok(Corpus {
+            config,
+            sentences,
+            topic_of,
+            kg,
+            frequency,
+        })
     }
 
     /// Entity name used in embedding tables (`"e<rank>"`).
@@ -225,17 +239,36 @@ mod tests {
         let b = small();
         assert_eq!(a.sentences, b.sentences);
         assert_eq!(a.hash(), b.hash());
-        let c = Corpus::generate(CorpusConfig { seed: 99, vocab: 100, topics: 5, sentences: 500, sentence_len: 10, ..CorpusConfig::default() }).unwrap();
+        let c = Corpus::generate(CorpusConfig {
+            seed: 99,
+            vocab: 100,
+            topics: 5,
+            sentences: 500,
+            sentence_len: 10,
+            ..CorpusConfig::default()
+        })
+        .unwrap();
         assert_ne!(a.sentences, c.sentences);
     }
 
     #[test]
     fn config_validation() {
-        assert!(Corpus::generate(CorpusConfig { vocab: 0, ..CorpusConfig::default() }).is_err());
-        assert!(Corpus::generate(CorpusConfig { vocab: 5, topics: 10, ..CorpusConfig::default() })
-            .is_err());
-        assert!(Corpus::generate(CorpusConfig { topic_coherence: 1.5, ..CorpusConfig::default() })
-            .is_err());
+        assert!(Corpus::generate(CorpusConfig {
+            vocab: 0,
+            ..CorpusConfig::default()
+        })
+        .is_err());
+        assert!(Corpus::generate(CorpusConfig {
+            vocab: 5,
+            topics: 10,
+            ..CorpusConfig::default()
+        })
+        .is_err());
+        assert!(Corpus::generate(CorpusConfig {
+            topic_coherence: 1.5,
+            ..CorpusConfig::default()
+        })
+        .is_err());
     }
 
     #[test]

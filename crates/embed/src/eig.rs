@@ -141,7 +141,9 @@ pub fn thin_svd(a: &Matrix, k: usize) -> Result<(Matrix, Vec<f64>, Matrix)> {
 /// `‖A·W − B‖_F`, via `W = U Vᵀ` where `AᵀB = U Σ Vᵀ`.
 pub fn procrustes(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.rows() != b.rows() || a.cols() != b.cols() {
-        return Err(FsError::Embedding("Procrustes needs same-shape matrices".into()));
+        return Err(FsError::Embedding(
+            "Procrustes needs same-shape matrices".into(),
+        ));
     }
     let m = a.transpose().matmul(b)?; // d×d
     let (u, _sigma, v) = thin_svd_square(&m)?;
@@ -319,12 +321,7 @@ mod tests {
 
     #[test]
     fn svd_truncation_keeps_top_energy() {
-        let a = Matrix::from_rows(vec![
-            vec![10.0, 0.0],
-            vec![0.0, 0.1],
-            vec![10.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![10.0, 0.0], vec![0.0, 0.1], vec![10.0, 0.0]]).unwrap();
         let (_, s, _) = thin_svd(&a, 1).unwrap();
         assert_eq!(s.len(), 1);
         assert!(s[0] > 10.0, "must keep the dominant direction");

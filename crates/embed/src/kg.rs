@@ -156,11 +156,19 @@ mod tests {
     #[test]
     fn kg_signals_pull_tail_toward_types() {
         let c = corpus();
-        let base_cfg = SgnsConfig { dim: 24, epochs: 3, ..SgnsConfig::default() };
+        let base_cfg = SgnsConfig {
+            dim: 24,
+            epochs: 3,
+            ..SgnsConfig::default()
+        };
         let (plain, _) = crate::sgns::train_sgns(&c, base_cfg.clone()).unwrap();
         let (kg, prov) = train_kg_sgns(
             &c,
-            KgSgnsConfig { base: base_cfg, kg_pairs_per_entity: 8, ..KgSgnsConfig::default() },
+            KgSgnsConfig {
+                base: base_cfg,
+                kg_pairs_per_entity: 8,
+                ..KgSgnsConfig::default()
+            },
         )
         .unwrap();
         let plain_align = tail_type_alignment(&plain, &c);
@@ -175,7 +183,11 @@ mod tests {
     #[test]
     fn disabled_signals_rejected() {
         let c = corpus();
-        let cfg = KgSgnsConfig { use_types: false, use_relations: false, ..KgSgnsConfig::default() };
+        let cfg = KgSgnsConfig {
+            use_types: false,
+            use_relations: false,
+            ..KgSgnsConfig::default()
+        };
         assert!(train_kg_sgns(&c, cfg).is_err());
     }
 
@@ -183,7 +195,11 @@ mod tests {
     fn deterministic() {
         let c = corpus();
         let cfg = KgSgnsConfig {
-            base: SgnsConfig { epochs: 1, dim: 8, ..SgnsConfig::default() },
+            base: SgnsConfig {
+                epochs: 1,
+                dim: 8,
+                ..SgnsConfig::default()
+            },
             ..KgSgnsConfig::default()
         };
         let (a, _) = train_kg_sgns(&c, cfg.clone()).unwrap();
@@ -194,7 +210,11 @@ mod tests {
     #[test]
     fn type_only_and_relation_only_variants_run() {
         let c = corpus();
-        let base = SgnsConfig { epochs: 1, dim: 8, ..SgnsConfig::default() };
+        let base = SgnsConfig {
+            epochs: 1,
+            dim: 8,
+            ..SgnsConfig::default()
+        };
         for (ty, rel) in [(true, false), (false, true)] {
             let cfg = KgSgnsConfig {
                 base: base.clone(),

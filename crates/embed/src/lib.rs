@@ -45,4 +45,4 @@ pub use kg::KgSgnsConfig;
 pub use ppmi::PpmiConfig;
 pub use quality::{eigenspace_overlap, knn_overlap, semantic_displacement};
 pub use sgns::{SgnsConfig, SgnsTrainer};
-pub use store::{EmbeddingStore, EmbeddingTable, EmbeddingVersion};
+pub use store::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable, EmbeddingVersion};

@@ -21,12 +21,21 @@ pub struct PpmiConfig {
 
 impl Default for PpmiConfig {
     fn default() -> Self {
-        PpmiConfig { dim: 32, window: 3, shift_k: 1.0, iterations: 30, seed: 23 }
+        PpmiConfig {
+            dim: 32,
+            window: 3,
+            shift_k: 1.0,
+            iterations: 30,
+            seed: 23,
+        }
     }
 }
 
 /// Train PPMI-SVD embeddings over `corpus`.
-pub fn train_ppmi(corpus: &Corpus, config: PpmiConfig) -> Result<(EmbeddingTable, EmbeddingProvenance)> {
+pub fn train_ppmi(
+    corpus: &Corpus,
+    config: PpmiConfig,
+) -> Result<(EmbeddingTable, EmbeddingProvenance)> {
     let v = corpus.config.vocab;
     if config.dim == 0 || config.dim > v {
         return Err(FsError::Embedding(format!(
@@ -64,7 +73,9 @@ pub fn train_ppmi(corpus: &Corpus, config: PpmiConfig) -> Result<(EmbeddingTable
     // Orthogonal (block power) iteration for the top-`dim` eigenpairs.
     let k = config.dim;
     let mut rng = Xoshiro256::seeded(config.seed);
-    let mut q: Vec<Vec<f64>> = (0..k).map(|_| (0..v).map(|_| rng.normal()).collect()).collect();
+    let mut q: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..v).map(|_| rng.normal()).collect())
+        .collect();
     gram_schmidt(&mut q);
     for _ in 0..config.iterations.max(1) {
         let mut z: Vec<Vec<f64>> = q.iter().map(|col| matvec_sym(&m, v, col)).collect();
@@ -83,7 +94,9 @@ pub fn train_ppmi(corpus: &Corpus, config: PpmiConfig) -> Result<(EmbeddingTable
     // Embedding rows: e_i[j] = q_j[i] * sqrt(λ_j)
     let mut table = EmbeddingTable::new(k)?;
     for e in 0..v {
-        let vec: Vec<f32> = (0..k).map(|j| (q[j][e] * lambda[j].sqrt()) as f32).collect();
+        let vec: Vec<f32> = (0..k)
+            .map(|j| (q[j][e] * lambda[j].sqrt()) as f32)
+            .collect();
         table.insert(Corpus::entity_name(e), vec)?;
     }
     let prov = EmbeddingProvenance {
@@ -147,7 +160,14 @@ mod tests {
     #[test]
     fn learns_topic_structure() {
         let c = corpus();
-        let (t, prov) = train_ppmi(&c, PpmiConfig { dim: 16, ..PpmiConfig::default() }).unwrap();
+        let (t, prov) = train_ppmi(
+            &c,
+            PpmiConfig {
+                dim: 16,
+                ..PpmiConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(prov.trainer, "ppmi-svd");
         let mut rng = Xoshiro256::seeded(9);
         let (mut same, mut diff) = (0.0, 0.0);
@@ -158,7 +178,9 @@ mod tests {
             if a == b {
                 continue;
             }
-            let cos = t.cosine(&Corpus::entity_name(a), &Corpus::entity_name(b)).unwrap();
+            let cos = t
+                .cosine(&Corpus::entity_name(a), &Corpus::entity_name(b))
+                .unwrap();
             if c.same_topic(a, b) && ns < 200 {
                 same += cos;
                 ns += 1;
@@ -174,15 +196,40 @@ mod tests {
     #[test]
     fn validation() {
         let c = corpus();
-        assert!(train_ppmi(&c, PpmiConfig { dim: 0, ..PpmiConfig::default() }).is_err());
-        assert!(train_ppmi(&c, PpmiConfig { dim: 500, ..PpmiConfig::default() }).is_err());
-        assert!(train_ppmi(&c, PpmiConfig { shift_k: 0.5, ..PpmiConfig::default() }).is_err());
+        assert!(train_ppmi(
+            &c,
+            PpmiConfig {
+                dim: 0,
+                ..PpmiConfig::default()
+            }
+        )
+        .is_err());
+        assert!(train_ppmi(
+            &c,
+            PpmiConfig {
+                dim: 500,
+                ..PpmiConfig::default()
+            }
+        )
+        .is_err());
+        assert!(train_ppmi(
+            &c,
+            PpmiConfig {
+                shift_k: 0.5,
+                ..PpmiConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic() {
         let c = corpus();
-        let cfg = PpmiConfig { dim: 8, iterations: 10, ..PpmiConfig::default() };
+        let cfg = PpmiConfig {
+            dim: 8,
+            iterations: 10,
+            ..PpmiConfig::default()
+        };
         let (a, _) = train_ppmi(&c, cfg.clone()).unwrap();
         let (b, _) = train_ppmi(&c, cfg).unwrap();
         assert_eq!(a.get("e7"), b.get("e7"));
@@ -191,8 +238,15 @@ mod tests {
     #[test]
     fn dims_and_coverage() {
         let c = corpus();
-        let (t, _) = train_ppmi(&c, PpmiConfig { dim: 12, iterations: 5, ..PpmiConfig::default() })
-            .unwrap();
+        let (t, _) = train_ppmi(
+            &c,
+            PpmiConfig {
+                dim: 12,
+                iterations: 5,
+                ..PpmiConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(t.dim(), 12);
         assert_eq!(t.len(), 100);
         assert!(t.get("e0").unwrap().iter().all(|x| x.is_finite()));

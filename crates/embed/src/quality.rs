@@ -19,7 +19,11 @@ use fstore_models::Matrix;
 
 /// Entities present in both tables, sorted (the aligned evaluation set).
 pub fn common_keys(a: &EmbeddingTable, b: &EmbeddingTable) -> Vec<String> {
-    a.keys().into_iter().filter(|k| b.contains(k)).map(str::to_string).collect()
+    a.keys()
+        .into_iter()
+        .filter(|k| b.contains(k))
+        .map(str::to_string)
+        .collect()
 }
 
 /// Mean k-NN overlap between versions over `keys` (or all common keys):
@@ -71,7 +75,9 @@ pub fn knn_overlap(
         n += 1;
     }
     if n == 0 {
-        return Err(FsError::Embedding("no evaluation keys present in both tables".into()));
+        return Err(FsError::Embedding(
+            "no evaluation keys present in both tables".into(),
+        ));
     }
     Ok(total / n as f64)
 }
@@ -81,7 +87,8 @@ pub fn table_matrix(t: &EmbeddingTable, keys: &[String]) -> Result<Matrix> {
     let rows: Vec<Vec<f64>> = keys
         .iter()
         .map(|k| {
-            t.get_f64(k).ok_or_else(|| FsError::not_found("embedding", k.clone()))
+            t.get_f64(k)
+                .ok_or_else(|| FsError::not_found("embedding", k.clone()))
         })
         .collect::<Result<_>>()?;
     Matrix::from_rows(rows)
@@ -139,8 +146,11 @@ mod tests {
         let mut rng = Xoshiro256::seeded(seed);
         let mut t = EmbeddingTable::new(d).unwrap();
         for i in 0..n {
-            t.insert(format!("e{i}"), (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>())
-                .unwrap();
+            t.insert(
+                format!("e{i}"),
+                (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>(),
+            )
+            .unwrap();
         }
         t
     }
@@ -149,8 +159,9 @@ mod tests {
         // random rotation via Gram-Schmidt of a random matrix
         let d = t.dim();
         let mut rng = Xoshiro256::seeded(seed);
-        let mut cols: Vec<Vec<f64>> =
-            (0..d).map(|_| (0..d).map(|_| rng.normal()).collect()).collect();
+        let mut cols: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..d).map(|_| rng.normal()).collect())
+            .collect();
         for i in 0..d {
             for j in 0..i {
                 let p: f64 = cols[i].iter().zip(&cols[j]).map(|(a, b)| a * b).sum();
@@ -206,7 +217,8 @@ mod tests {
         // keys e0.. overlap actually; build a disjoint one
         let mut d2 = EmbeddingTable::new(4).unwrap();
         for k in disjoint.keys() {
-            d2.insert(format!("x_{k}"), disjoint.get(k).unwrap().to_vec()).unwrap();
+            d2.insert(format!("x_{k}"), disjoint.get(k).unwrap().to_vec())
+                .unwrap();
         }
         assert!(knn_overlap(&a, &d2, 2, None).is_err());
         // subset keys evaluated only
@@ -274,8 +286,12 @@ mod tests {
         let mut rng = Xoshiro256::seeded(19);
         let mut b = EmbeddingTable::new(5).unwrap();
         for k in a.keys() {
-            let v: Vec<f32> =
-                a.get(k).unwrap().iter().map(|&x| x + rng.normal() as f32 * 0.05).collect();
+            let v: Vec<f32> = a
+                .get(k)
+                .unwrap()
+                .iter()
+                .map(|&x| x + rng.normal() as f32 * 0.05)
+                .collect();
             b.insert(k.to_string(), v).unwrap();
         }
         let d = semantic_displacement(&a, &b).unwrap();

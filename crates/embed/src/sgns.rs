@@ -51,13 +51,16 @@ pub struct SgnsTrainer {
 impl SgnsTrainer {
     pub fn new(corpus: &Corpus, config: SgnsConfig) -> Result<Self> {
         if config.dim == 0 || config.window == 0 {
-            return Err(FsError::Embedding("SGNS dim and window must be positive".into()));
+            return Err(FsError::Embedding(
+                "SGNS dim and window must be positive".into(),
+            ));
         }
         let vocab = corpus.config.vocab;
         let mut rng = Xoshiro256::seeded(config.seed);
         let scale = 0.5 / config.dim as f32;
-        let input: Vec<f32> =
-            (0..vocab * config.dim).map(|_| (rng.next_f64() as f32 - 0.5) * 2.0 * scale).collect();
+        let input: Vec<f32> = (0..vocab * config.dim)
+            .map(|_| (rng.next_f64() as f32 - 0.5) * 2.0 * scale)
+            .collect();
         let output = vec![0.0f32; vocab * config.dim];
 
         // negative-sampling distribution ∝ freq^0.75
@@ -86,7 +89,15 @@ impl SgnsTrainer {
             })
             .collect();
 
-        Ok(SgnsTrainer { config, vocab, input, output, neg_cdf, keep_prob, rng })
+        Ok(SgnsTrainer {
+            config,
+            vocab,
+            input,
+            output,
+            neg_cdf,
+            keep_prob,
+            rng,
+        })
     }
 
     fn sample_negative(&mut self) -> usize {
@@ -126,7 +137,9 @@ impl SgnsTrainer {
     /// Train on `corpus` (re-entrant: call again to continue training).
     pub fn train(&mut self, corpus: &Corpus) -> Result<()> {
         if corpus.config.vocab != self.vocab {
-            return Err(FsError::Embedding("corpus vocab changed under trainer".into()));
+            return Err(FsError::Embedding(
+                "corpus vocab changed under trainer".into(),
+            ));
         }
         let window = self.config.window;
         let negatives = self.config.negatives;
@@ -213,7 +226,10 @@ impl SgnsTrainer {
 }
 
 /// Convenience: train SGNS end-to-end and return the table.
-pub fn train_sgns(corpus: &Corpus, config: SgnsConfig) -> Result<(EmbeddingTable, EmbeddingProvenance)> {
+pub fn train_sgns(
+    corpus: &Corpus,
+    config: SgnsConfig,
+) -> Result<(EmbeddingTable, EmbeddingProvenance)> {
     let mut t = SgnsTrainer::new(corpus, config)?;
     t.train(corpus)?;
     let prov = t.provenance(corpus);
@@ -238,7 +254,12 @@ mod tests {
         .unwrap()
     }
 
-    fn mean_cosine(t: &EmbeddingTable, corpus: &Corpus, same_topic: bool, rng: &mut Xoshiro256) -> f64 {
+    fn mean_cosine(
+        t: &EmbeddingTable,
+        corpus: &Corpus,
+        same_topic: bool,
+        rng: &mut Xoshiro256,
+    ) -> f64 {
         let mut total = 0.0;
         let mut n = 0;
         let vocab = corpus.config.vocab;
@@ -259,7 +280,14 @@ mod tests {
     #[test]
     fn learns_topic_structure() {
         let corpus = tiny_corpus(1);
-        let (table, _) = train_sgns(&corpus, SgnsConfig { dim: 24, ..SgnsConfig::default() }).unwrap();
+        let (table, _) = train_sgns(
+            &corpus,
+            SgnsConfig {
+                dim: 24,
+                ..SgnsConfig::default()
+            },
+        )
+        .unwrap();
         let mut rng = Xoshiro256::seeded(5);
         let same = mean_cosine(&table, &corpus, true, &mut rng);
         let diff = mean_cosine(&table, &corpus, false, &mut rng);
@@ -272,7 +300,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let corpus = tiny_corpus(2);
-        let cfg = SgnsConfig { epochs: 1, ..SgnsConfig::default() };
+        let cfg = SgnsConfig {
+            epochs: 1,
+            ..SgnsConfig::default()
+        };
         let (a, _) = train_sgns(&corpus, cfg.clone()).unwrap();
         let (b, _) = train_sgns(&corpus, cfg.clone()).unwrap();
         assert_eq!(a.get("e0"), b.get("e0"));
@@ -283,8 +314,15 @@ mod tests {
     #[test]
     fn table_has_all_entities_and_dim() {
         let corpus = tiny_corpus(3);
-        let (table, prov) =
-            train_sgns(&corpus, SgnsConfig { dim: 16, epochs: 1, ..SgnsConfig::default() }).unwrap();
+        let (table, prov) = train_sgns(
+            &corpus,
+            SgnsConfig {
+                dim: 16,
+                epochs: 1,
+                ..SgnsConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(table.len(), 120);
         assert_eq!(table.dim(), 16);
         assert!(table.get("e119").is_some());
@@ -295,10 +333,22 @@ mod tests {
     #[test]
     fn config_validation() {
         let corpus = tiny_corpus(4);
-        assert!(SgnsTrainer::new(&corpus, SgnsConfig { dim: 0, ..SgnsConfig::default() }).is_err());
-        assert!(
-            SgnsTrainer::new(&corpus, SgnsConfig { window: 0, ..SgnsConfig::default() }).is_err()
-        );
+        assert!(SgnsTrainer::new(
+            &corpus,
+            SgnsConfig {
+                dim: 0,
+                ..SgnsConfig::default()
+            }
+        )
+        .is_err());
+        assert!(SgnsTrainer::new(
+            &corpus,
+            SgnsConfig {
+                window: 0,
+                ..SgnsConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -312,7 +362,14 @@ mod tests {
     #[test]
     fn extra_pair_training_pulls_vectors_together() {
         let corpus = tiny_corpus(6);
-        let mut t = SgnsTrainer::new(&corpus, SgnsConfig { epochs: 1, ..SgnsConfig::default() }).unwrap();
+        let mut t = SgnsTrainer::new(
+            &corpus,
+            SgnsConfig {
+                epochs: 1,
+                ..SgnsConfig::default()
+            },
+        )
+        .unwrap();
         t.train(&corpus).unwrap();
         // pick two cross-topic entities and hammer them together
         let (a, b) = (0usize, 1usize);
@@ -320,7 +377,10 @@ mod tests {
         let pairs: Vec<(usize, usize)> = std::iter::repeat_n((a, b), 500).collect();
         t.train_pairs(&pairs, 0.05).unwrap();
         let after = t.to_table().unwrap().cosine("e0", "e1").unwrap();
-        assert!(after > before, "pair training must increase similarity ({before} → {after})");
+        assert!(
+            after > before,
+            "pair training must increase similarity ({before} → {after})"
+        );
     }
 
     #[test]
@@ -328,7 +388,11 @@ mod tests {
         let corpus = tiny_corpus(7);
         let (table, _) = train_sgns(
             &corpus,
-            SgnsConfig { subsample: 1e-3, epochs: 1, ..SgnsConfig::default() },
+            SgnsConfig {
+                subsample: 1e-3,
+                epochs: 1,
+                ..SgnsConfig::default()
+            },
         )
         .unwrap();
         // vectors stay finite

@@ -34,9 +34,14 @@ pub struct EmbeddingTable {
 impl EmbeddingTable {
     pub fn new(dim: usize) -> Result<Self> {
         if dim == 0 {
-            return Err(FsError::Embedding("embedding dimension must be positive".into()));
+            return Err(FsError::Embedding(
+                "embedding dimension must be positive".into(),
+            ));
         }
-        Ok(EmbeddingTable { dim, vectors: FxHashMap::default() })
+        Ok(EmbeddingTable {
+            dim,
+            vectors: FxHashMap::default(),
+        })
     }
 
     pub fn dim(&self) -> usize {
@@ -80,20 +85,27 @@ impl EmbeddingTable {
 
     /// f64 copy of one vector (model-input boundary).
     pub fn get_f64(&self, key: &str) -> Option<Vec<f64>> {
-        self.get(key).map(|v| v.iter().map(|&x| f64::from(x)).collect())
+        self.get(key)
+            .map(|v| v.iter().map(|&x| f64::from(x)).collect())
     }
 
     /// Cosine similarity between two stored entities.
     pub fn cosine(&self, a: &str, b: &str) -> Result<f64> {
-        let va = self.get(a).ok_or_else(|| FsError::not_found("embedding", a.to_string()))?;
-        let vb = self.get(b).ok_or_else(|| FsError::not_found("embedding", b.to_string()))?;
+        let va = self
+            .get(a)
+            .ok_or_else(|| FsError::not_found("embedding", a.to_string()))?;
+        let vb = self
+            .get(b)
+            .ok_or_else(|| FsError::not_found("embedding", b.to_string()))?;
         Ok(cosine32(va, vb))
     }
 
     /// Exact k-nearest neighbours of `key` by cosine (brute force — the ANN
     /// indexes in `fstore-index` are the scale path).
     pub fn nearest(&self, key: &str, k: usize) -> Result<Vec<(String, f64)>> {
-        let q = self.get(key).ok_or_else(|| FsError::not_found("embedding", key.to_string()))?;
+        let q = self
+            .get(key)
+            .ok_or_else(|| FsError::not_found("embedding", key.to_string()))?;
         let mut scored: Vec<(String, f64)> = self
             .vectors
             .iter()
@@ -109,7 +121,9 @@ impl EmbeddingTable {
     /// note the *store* keeps tables immutable — patch a copy, then publish.
     pub fn replace(&mut self, key: &str, vector: Vec<f32>) -> Result<Option<Vec<f32>>> {
         if vector.len() != self.dim {
-            return Err(FsError::Embedding("replacement vector has wrong dim".into()));
+            return Err(FsError::Embedding(
+                "replacement vector has wrong dim".into(),
+            ));
         }
         Ok(self.vectors.insert(key.to_string(), vector))
     }
@@ -169,7 +183,9 @@ impl EmbeddingStore {
         now: Timestamp,
     ) -> Result<String> {
         if table.is_empty() {
-            return Err(FsError::Embedding("refusing to publish an empty embedding".into()));
+            return Err(FsError::Embedding(
+                "refusing to publish an empty embedding".into(),
+            ));
         }
         let name = name.into();
         let versions = self.embeddings.entry(name.clone()).or_default();
@@ -315,17 +331,30 @@ mod tests {
         let mut store = EmbeddingStore::new();
         let t1 = table(&[("a", vec![1.0, 0.0])]);
         let q1 = store
-            .publish("words", t1, EmbeddingProvenance::default(), Timestamp::millis(1))
+            .publish(
+                "words",
+                t1,
+                EmbeddingProvenance::default(),
+                Timestamp::millis(1),
+            )
             .unwrap();
         assert_eq!(q1, "words@v1");
         let t2 = table(&[("a", vec![0.0, 1.0])]);
         let q2 = store
-            .publish("words", t2, EmbeddingProvenance::default(), Timestamp::millis(2))
+            .publish(
+                "words",
+                t2,
+                EmbeddingProvenance::default(),
+                Timestamp::millis(2),
+            )
             .unwrap();
         assert_eq!(q2, "words@v2");
 
         assert_eq!(store.latest("words").unwrap().version, 2);
-        assert_eq!(store.get("words", 1).unwrap().table.get("a"), Some(&[1.0, 0.0][..]));
+        assert_eq!(
+            store.get("words", 1).unwrap().table.get("a"),
+            Some(&[1.0, 0.0][..])
+        );
         assert_eq!(store.resolve("words@v1").unwrap().version, 1);
         assert_eq!(store.resolve("words").unwrap().version, 2);
         assert_eq!(store.versions_of("words").unwrap(), vec![1, 2]);
@@ -346,13 +375,21 @@ mod tests {
     fn consumer_lineage() {
         let mut store = EmbeddingStore::new();
         store
-            .publish("ent", table(&[("a", vec![1.0])]), EmbeddingProvenance::default(), Timestamp::EPOCH)
+            .publish(
+                "ent",
+                table(&[("a", vec![1.0])]),
+                EmbeddingProvenance::default(),
+                Timestamp::EPOCH,
+            )
             .unwrap();
         store.register_consumer("ent@v1", "search_ranker").unwrap();
         store.register_consumer("ent@v1", "dedup_model").unwrap();
         assert_eq!(store.consumers("ent@v1").unwrap().len(), 2);
         assert!(store.register_consumer("ent@v9", "m").is_err());
-        assert!(store.register_consumer("ent", "m").is_err(), "must pin a version");
+        assert!(
+            store.register_consumer("ent", "m").is_err(),
+            "must pin a version"
+        );
     }
 
     #[test]
@@ -367,7 +404,12 @@ mod tests {
             notes: "initial".into(),
         };
         store
-            .publish("e", table(&[("a", vec![1.0])]), prov.clone(), Timestamp::millis(5))
+            .publish(
+                "e",
+                table(&[("a", vec![1.0])]),
+                prov.clone(),
+                Timestamp::millis(5),
+            )
             .unwrap();
         let v = store.latest("e").unwrap();
         assert_eq!(v.provenance, prov);

@@ -45,7 +45,12 @@ impl FlatIndex {
     }
 
     /// Top-k via a bounded max-heap (O(n log k)).
-    pub(crate) fn top_k(data: &[Vec<f32>], ids: Option<&[usize]>, query: &[f32], k: usize) -> Vec<Hit> {
+    pub(crate) fn top_k(
+        data: &[Vec<f32>],
+        ids: Option<&[usize]>,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<Hit> {
         let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(k + 1);
         let push = |heap: &mut BinaryHeap<HeapHit>, id: usize, v: &[f32]| {
             let d = l2_sq(v, query);

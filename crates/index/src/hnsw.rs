@@ -21,7 +21,12 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        HnswConfig { m: 16, ef_construction: 100, ef_search: 32, seed: 77 }
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 32,
+            seed: 77,
+        }
     }
 }
 
@@ -90,7 +95,9 @@ impl HnswIndex {
             return Err(FsError::Index("ragged vectors".into()));
         }
         if config.m < 2 || config.ef_construction == 0 || config.ef_search == 0 {
-            return Err(FsError::Index("HNSW params must be positive (m >= 2)".into()));
+            return Err(FsError::Index(
+                "HNSW params must be positive (m >= 2)".into(),
+            ));
         }
         let mut index = HnswIndex {
             dim,
@@ -112,7 +119,9 @@ impl HnswIndex {
     fn insert(&mut self, vector: Vec<f32>, level: usize) {
         let id = self.data.len() as u32;
         self.data.push(vector);
-        self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
+        self.nodes.push(Node {
+            neighbors: vec![Vec::new(); level + 1],
+        });
         if id == 0 {
             self.entry = 0;
             self.max_level = level;
@@ -129,7 +138,11 @@ impl HnswIndex {
         // phase 2: beam search + connect at each layer from min(level, max) down
         for l in (0..=level.min(self.max_level)).rev() {
             let found = self.search_layer(&query, ep, l, self.config.ef_construction);
-            let max_links = if l == 0 { self.config.m * 2 } else { self.config.m };
+            let max_links = if l == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
             let candidates: Vec<(u32, f32)> =
                 found.iter().map(|&(node, d)| (node as u32, d)).collect();
             let selected = self.select_neighbors(&candidates, max_links);
@@ -166,9 +179,9 @@ impl HnswIndex {
             if selected.len() >= max_links {
                 break;
             }
-            let diverse = selected.iter().all(|&(s, _)| {
-                l2_sq(&self.data[cand as usize], &self.data[s as usize]) > d_base
-            });
+            let diverse = selected
+                .iter()
+                .all(|&(s, _)| l2_sq(&self.data[cand as usize], &self.data[s as usize]) > d_base);
             if diverse {
                 selected.push((cand, d_base));
             } else {
@@ -192,8 +205,10 @@ impl HnswIndex {
         let mut nbrs = std::mem::take(&mut self.nodes[node as usize].neighbors[l]);
         nbrs.sort_unstable();
         nbrs.dedup();
-        let mut cands: Vec<(u32, f32)> =
-            nbrs.into_iter().map(|n| (n, l2_sq(&self.data[n as usize], &v))).collect();
+        let mut cands: Vec<(u32, f32)> = nbrs
+            .into_iter()
+            .map(|n| (n, l2_sq(&self.data[n as usize], &v)))
+            .collect();
         cands.sort_by(|a, b| a.1.total_cmp(&b.1));
         self.nodes[node as usize].neighbors[l] = self.select_neighbors(&cands, max_links);
     }
@@ -249,8 +264,10 @@ impl HnswIndex {
                 }
             }
         }
-        let mut hits: Vec<Hit> =
-            results.into_iter().map(|Farthest(d, n)| (n as usize, d)).collect();
+        let mut hits: Vec<Hit> = results
+            .into_iter()
+            .map(|Farthest(d, n)| (n as usize, d))
+            .collect();
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         hits
     }
@@ -296,15 +313,31 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = Xoshiro256::seeded(seed);
-        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()).collect()
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+            .collect()
     }
 
     #[test]
     fn build_validation() {
         assert!(HnswIndex::build(vec![], HnswConfig::default()).is_err());
         let d = random_data(5, 4, 1);
-        assert!(HnswIndex::build(d.clone(), HnswConfig { m: 1, ..HnswConfig::default() }).is_err());
-        assert!(HnswIndex::build(d, HnswConfig { ef_search: 0, ..HnswConfig::default() }).is_err());
+        assert!(HnswIndex::build(
+            d.clone(),
+            HnswConfig {
+                m: 1,
+                ..HnswConfig::default()
+            }
+        )
+        .is_err());
+        assert!(HnswIndex::build(
+            d,
+            HnswConfig {
+                ef_search: 0,
+                ..HnswConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -328,8 +361,12 @@ mod tests {
         for _ in 0..30 {
             let q: Vec<f32> = (0..16).map(|_| rng.normal() as f32).collect();
             let truth: Vec<usize> = flat.search(&q, 10).unwrap().iter().map(|h| h.0).collect();
-            let got: Vec<usize> =
-                hnsw.search_with_ef(&q, 10, 64).unwrap().iter().map(|h| h.0).collect();
+            let got: Vec<usize> = hnsw
+                .search_with_ef(&q, 10, 64)
+                .unwrap()
+                .iter()
+                .map(|h| h.0)
+                .collect();
             hit += truth.iter().filter(|t| got.contains(t)).count();
             total += truth.len();
         }
@@ -341,18 +378,29 @@ mod tests {
     fn recall_improves_with_ef() {
         let data = random_data(1_500, 12, 4);
         let flat = FlatIndex::build(data.clone()).unwrap();
-        let hnsw = HnswIndex::build(data, HnswConfig { m: 8, ..HnswConfig::default() }).unwrap();
+        let hnsw = HnswIndex::build(
+            data,
+            HnswConfig {
+                m: 8,
+                ..HnswConfig::default()
+            },
+        )
+        .unwrap();
         let mut rng = Xoshiro256::seeded(5);
-        let queries: Vec<Vec<f32>> =
-            (0..25).map(|_| (0..12).map(|_| rng.normal() as f32).collect()).collect();
+        let queries: Vec<Vec<f32>> = (0..25)
+            .map(|_| (0..12).map(|_| rng.normal() as f32).collect())
+            .collect();
         let recall = |ef: usize| {
             let mut hit = 0;
             let mut total = 0;
             for q in &queries {
-                let truth: Vec<usize> =
-                    flat.search(q, 10).unwrap().iter().map(|h| h.0).collect();
-                let got: Vec<usize> =
-                    hnsw.search_with_ef(q, 10, ef).unwrap().iter().map(|h| h.0).collect();
+                let truth: Vec<usize> = flat.search(q, 10).unwrap().iter().map(|h| h.0).collect();
+                let got: Vec<usize> = hnsw
+                    .search_with_ef(q, 10, ef)
+                    .unwrap()
+                    .iter()
+                    .map(|h| h.0)
+                    .collect();
                 hit += truth.iter().filter(|t| got.contains(t)).count();
                 total += truth.len();
             }

@@ -21,7 +21,12 @@ pub struct IvfConfig {
 
 impl Default for IvfConfig {
     fn default() -> Self {
-        IvfConfig { nlist: 64, nprobe: 8, train_iters: 15, seed: 42 }
+        IvfConfig {
+            nlist: 64,
+            nprobe: 8,
+            train_iters: 15,
+            seed: 42,
+        }
     }
 }
 
@@ -52,7 +57,13 @@ impl IvfIndex {
         for (id, &cell) in assignment.iter().enumerate() {
             lists[cell].push(id);
         }
-        Ok(IvfIndex { dim, config, centroids, lists, data })
+        Ok(IvfIndex {
+            dim,
+            config,
+            centroids,
+            lists,
+            data,
+        })
     }
 
     /// Search with an explicit probe count (overrides the configured one) —
@@ -112,17 +123,32 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = Xoshiro256::seeded(seed);
-        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()).collect()
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+            .collect()
     }
 
     #[test]
     fn build_validation() {
         assert!(IvfIndex::build(vec![], IvfConfig::default()).is_err());
         let data = random_data(10, 4, 1);
-        assert!(IvfIndex::build(data.clone(), IvfConfig { nprobe: 0, ..IvfConfig::default() })
-            .is_err());
+        assert!(IvfIndex::build(
+            data.clone(),
+            IvfConfig {
+                nprobe: 0,
+                ..IvfConfig::default()
+            }
+        )
+        .is_err());
         // nlist larger than n is clamped
-        let idx = IvfIndex::build(data, IvfConfig { nlist: 100, ..IvfConfig::default() }).unwrap();
+        let idx = IvfIndex::build(
+            data,
+            IvfConfig {
+                nlist: 100,
+                ..IvfConfig::default()
+            },
+        )
+        .unwrap();
         assert!(idx.nlist() <= 10);
     }
 
@@ -130,8 +156,14 @@ mod tests {
     fn full_probe_equals_flat() {
         let data = random_data(300, 8, 2);
         let flat = FlatIndex::build(data.clone()).unwrap();
-        let ivf =
-            IvfIndex::build(data.clone(), IvfConfig { nlist: 16, ..IvfConfig::default() }).unwrap();
+        let ivf = IvfIndex::build(
+            data.clone(),
+            IvfConfig {
+                nlist: 16,
+                ..IvfConfig::default()
+            },
+        )
+        .unwrap();
         let mut rng = Xoshiro256::seeded(3);
         for _ in 0..20 {
             let q: Vec<f32> = (0..8).map(|_| rng.normal() as f32).collect();
@@ -148,19 +180,29 @@ mod tests {
     fn recall_improves_with_probes() {
         let data = random_data(2_000, 16, 4);
         let flat = FlatIndex::build(data.clone()).unwrap();
-        let ivf =
-            IvfIndex::build(data.clone(), IvfConfig { nlist: 64, ..IvfConfig::default() }).unwrap();
+        let ivf = IvfIndex::build(
+            data.clone(),
+            IvfConfig {
+                nlist: 64,
+                ..IvfConfig::default()
+            },
+        )
+        .unwrap();
         let mut rng = Xoshiro256::seeded(5);
-        let queries: Vec<Vec<f32>> =
-            (0..30).map(|_| (0..16).map(|_| rng.normal() as f32).collect()).collect();
+        let queries: Vec<Vec<f32>> = (0..30)
+            .map(|_| (0..16).map(|_| rng.normal() as f32).collect())
+            .collect();
         let recall = |nprobe: usize| {
             let mut hit = 0;
             let mut total = 0;
             for q in &queries {
-                let truth: Vec<usize> =
-                    flat.search(q, 10).unwrap().iter().map(|h| h.0).collect();
-                let got: Vec<usize> =
-                    ivf.search_with_probes(q, 10, nprobe).unwrap().iter().map(|h| h.0).collect();
+                let truth: Vec<usize> = flat.search(q, 10).unwrap().iter().map(|h| h.0).collect();
+                let got: Vec<usize> = ivf
+                    .search_with_probes(q, 10, nprobe)
+                    .unwrap()
+                    .iter()
+                    .map(|h| h.0)
+                    .collect();
                 hit += truth.iter().filter(|t| got.contains(t)).count();
                 total += truth.len();
             }
@@ -169,14 +211,24 @@ mod tests {
         let r1 = recall(1);
         let r8 = recall(8);
         let r64 = recall(64);
-        assert!(r1 < r8 && r8 <= r64, "recall must rise with probes: {r1} {r8} {r64}");
+        assert!(
+            r1 < r8 && r8 <= r64,
+            "recall must rise with probes: {r1} {r8} {r64}"
+        );
         assert!((r64 - 1.0).abs() < 1e-9, "full probe is exact");
     }
 
     #[test]
     fn scan_fraction_model() {
         let data = random_data(100, 4, 6);
-        let ivf = IvfIndex::build(data, IvfConfig { nlist: 10, ..IvfConfig::default() }).unwrap();
+        let ivf = IvfIndex::build(
+            data,
+            IvfConfig {
+                nlist: 10,
+                ..IvfConfig::default()
+            },
+        )
+        .unwrap();
         assert!((ivf.expected_scan_fraction(1) - 0.1).abs() < 1e-9);
         assert!((ivf.expected_scan_fraction(100) - 1.0).abs() < 1e-9);
     }

@@ -28,7 +28,10 @@ pub fn kmeans(
     // k-means++ seeding
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
     centroids.push(data[rng.below(data.len() as u64) as usize].clone());
-    let mut dist2: Vec<f64> = data.iter().map(|v| f64::from(l2_sq(v, &centroids[0]))).collect();
+    let mut dist2: Vec<f64> = data
+        .iter()
+        .map(|v| f64::from(l2_sq(v, &centroids[0])))
+        .collect();
     while centroids.len() < k {
         let total: f64 = dist2.iter().sum();
         let next = if total <= 0.0 {
@@ -133,7 +136,9 @@ mod tests {
         for blob in 0..3 {
             let first = assign[blob * 50];
             assert!(
-                assign[blob * 50..(blob + 1) * 50].iter().all(|&a| a == first),
+                assign[blob * 50..(blob + 1) * 50]
+                    .iter()
+                    .all(|&a| a == first),
                 "blob {blob} split across clusters"
             );
         }

@@ -66,7 +66,10 @@ pub fn normalize_all(data: &mut [Vec<f32>]) {
 
 pub(crate) fn check_query(dim: usize, len: usize, query: &[f32], k: usize) -> Result<()> {
     if query.len() != dim {
-        return Err(FsError::Index(format!("query dim {} != index dim {dim}", query.len())));
+        return Err(FsError::Index(format!(
+            "query dim {} != index dim {dim}",
+            query.len()
+        )));
     }
     if k == 0 {
         return Err(FsError::Index("k must be positive".into()));

@@ -2,7 +2,7 @@
 //! truth — the quality axis of experiment E9.
 
 use crate::flat::FlatIndex;
-use crate::{VectorIndex};
+use crate::VectorIndex;
 use fstore_common::{FsError, Result};
 
 /// Mean recall@k of `index` against exact search over the same data.
@@ -32,7 +32,10 @@ pub fn recall_at_k(
         let truth = ground_truth.search(q, k)?;
         let approx = index.search(q, k)?;
         let approx_ids: Vec<usize> = approx.iter().map(|h| h.0).collect();
-        hit += truth.iter().filter(|(id, _)| approx_ids.contains(id)).count();
+        hit += truth
+            .iter()
+            .filter(|(id, _)| approx_ids.contains(id))
+            .count();
         total += truth.len();
     }
     Ok(hit as f64 / total as f64)
@@ -46,7 +49,9 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = Xoshiro256::seeded(seed);
-        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()).collect()
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+            .collect()
     }
 
     #[test]
@@ -64,7 +69,11 @@ mod tests {
         let flat = FlatIndex::build(data.clone()).unwrap();
         let ivf = IvfIndex::build(
             data,
-            IvfConfig { nlist: 32, nprobe: 2, ..IvfConfig::default() },
+            IvfConfig {
+                nlist: 32,
+                nprobe: 2,
+                ..IvfConfig::default()
+            },
         )
         .unwrap();
         let queries = random_data(20, 8, 4);

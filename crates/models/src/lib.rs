@@ -43,7 +43,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 30, learning_rate: 0.1, l2: 1e-4, batch_size: 32, seed: 7 }
+        TrainConfig {
+            epochs: 30,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch_size: 32,
+            seed: 7,
+        }
     }
 }
 

@@ -15,7 +15,11 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn from_rows(rows_data: Vec<Vec<f64>>) -> Result<Self> {
@@ -24,7 +28,11 @@ impl Matrix {
         if rows_data.iter().any(|r| r.len() != cols) {
             return Err(FsError::Model("ragged rows in Matrix::from_rows".into()));
         }
-        Ok(Matrix { rows, cols, data: rows_data.into_iter().flatten().collect() })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: rows_data.into_iter().flatten().collect(),
+        })
     }
 
     /// Gaussian init scaled by `scale` — deterministic given the RNG state.
@@ -218,7 +226,10 @@ mod tests {
         let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
         assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
     }
 
@@ -258,7 +269,10 @@ mod tests {
     fn randn_is_seeded() {
         let mut r1 = Xoshiro256::seeded(5);
         let mut r2 = Xoshiro256::seeded(5);
-        assert_eq!(Matrix::randn(3, 3, 0.1, &mut r1), Matrix::randn(3, 3, 0.1, &mut r2));
+        assert_eq!(
+            Matrix::randn(3, 3, 0.1, &mut r1),
+            Matrix::randn(3, 3, 0.1, &mut r2)
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl LogisticRegression {
                 b -= lr * gb;
             }
         }
-        Ok(LogisticRegression { weights: w, bias: b })
+        Ok(LogisticRegression {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Probability of the positive class.
@@ -149,10 +152,12 @@ mod tests {
 
     #[test]
     fn rejects_non_binary_labels() {
-        assert!(
-            LogisticRegression::train(&[vec![1.0], vec![2.0]], &[0, 2], &TrainConfig::default())
-                .is_err()
-        );
+        assert!(LogisticRegression::train(
+            &[vec![1.0], vec![2.0]],
+            &[0, 2],
+            &TrainConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

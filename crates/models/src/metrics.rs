@@ -47,20 +47,45 @@ impl ClassificationReport {
         let mut per_class = Vec::with_capacity(num_classes);
         for c in 0..num_classes {
             let tp = confusion[c][c];
-            let fp: usize = (0..num_classes).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
-            let fn_: usize = (0..num_classes).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
+            let fp: usize = (0..num_classes)
+                .filter(|&t| t != c)
+                .map(|t| confusion[t][c])
+                .sum();
+            let fn_: usize = (0..num_classes)
+                .filter(|&p| p != c)
+                .map(|p| confusion[c][p])
+                .sum();
             let support = tp + fn_;
-            let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-            let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+            let precision = if tp + fp == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            };
+            let recall = if support == 0 {
+                0.0
+            } else {
+                tp as f64 / support as f64
+            };
             let f1 = if precision + recall == 0.0 {
                 0.0
             } else {
                 2.0 * precision * recall / (precision + recall)
             };
-            per_class.push(ClassMetrics { class: c, precision, recall, f1, support });
+            per_class.push(ClassMetrics {
+                class: c,
+                precision,
+                recall,
+                f1,
+                support,
+            });
         }
         let macro_f1 = per_class.iter().map(|m| m.f1).sum::<f64>() / num_classes as f64;
-        Ok(ClassificationReport { accuracy, per_class, macro_f1, confusion })
+        Ok(ClassificationReport {
+            accuracy,
+            per_class,
+            macro_f1,
+            confusion,
+        })
     }
 
     /// Accuracy over a subset of indices (slice metrics).

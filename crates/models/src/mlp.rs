@@ -154,12 +154,15 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (xs, ys) = xor_data(400, 1);
-        let cfg = TrainConfig { epochs: 120, learning_rate: 0.5, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 120,
+            learning_rate: 0.5,
+            ..TrainConfig::default()
+        };
         let m = Mlp::train(&xs, &ys, 2, 8, &cfg).unwrap();
         assert!(m.accuracy(&xs, &ys).unwrap() > 0.95, "MLP must solve XOR");
         // sanity: a linear model cannot
-        let lin =
-            crate::LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        let lin = crate::LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
         assert!(lin.accuracy(&xs, &ys).unwrap() < 0.8);
     }
 
@@ -187,7 +190,10 @@ mod tests {
         let (xs, ys) = xor_data(50, 4);
         let m = Mlp::train(&xs, &ys, 2, 4, &TrainConfig::default().with_epochs(3)).unwrap();
         let m2 = Mlp::from_json(&m.to_json().unwrap()).unwrap();
-        assert_eq!(m.predict_batch(&xs).unwrap(), m2.predict_batch(&xs).unwrap());
+        assert_eq!(
+            m.predict_batch(&xs).unwrap(),
+            m2.predict_batch(&xs).unwrap()
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl SoftmaxRegression {
                 return Err(FsError::Model("sample weight length mismatch".into()));
             }
             if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
-                return Err(FsError::Model("sample weights must be finite and >= 0".into()));
+                return Err(FsError::Model(
+                    "sample weights must be finite and >= 0".into(),
+                ));
             }
         }
         let d = xs[0].len();
@@ -140,7 +142,9 @@ pub(crate) fn validate_training_input(
         return Err(FsError::Model("need at least 2 classes".into()));
     }
     if let Some(&bad) = ys.iter().find(|&&y| y >= num_classes) {
-        return Err(FsError::Model(format!("label {bad} out of range 0..{num_classes}")));
+        return Err(FsError::Model(format!(
+            "label {bad} out of range 0..{num_classes}"
+        )));
     }
     Ok(())
 }
@@ -179,7 +183,10 @@ mod tests {
         let mut ys = Vec::new();
         for (c, center) in centers.iter().enumerate() {
             for _ in 0..n_per {
-                xs.push(vec![center[0] + rng.normal() * 0.5, center[1] + rng.normal() * 0.5]);
+                xs.push(vec![
+                    center[0] + rng.normal() * 0.5,
+                    center[1] + rng.normal() * 0.5,
+                ]);
                 ys.push(c);
             }
         }
@@ -256,8 +263,7 @@ mod tests {
         let cfg = TrainConfig::default();
         let plain = SoftmaxRegression::train(&xs, &ys, 2, &cfg).unwrap();
         let weights: Vec<f64> = ys.iter().map(|&y| if y == 1 { 5.0 } else { 1.0 }).collect();
-        let tilted =
-            SoftmaxRegression::train_weighted(&xs, &ys, Some(&weights), 2, &cfg).unwrap();
+        let tilted = SoftmaxRegression::train_weighted(&xs, &ys, Some(&weights), 2, &cfg).unwrap();
         let recall = |m: &SoftmaxRegression| {
             let mut hit = 0;
             let mut tot = 0;
@@ -271,16 +277,19 @@ mod tests {
             }
             hit as f64 / tot as f64
         };
-        assert!(recall(&tilted) > recall(&plain), "upweighting must raise recall");
+        assert!(
+            recall(&tilted) > recall(&plain),
+            "upweighting must raise recall"
+        );
     }
 
     #[test]
     fn loss_decreases_with_training() {
         let (xs, ys) = blobs(60, 7);
-        let short = SoftmaxRegression::train(&xs, &ys, 3, &TrainConfig::default().with_epochs(1))
-            .unwrap();
-        let long = SoftmaxRegression::train(&xs, &ys, 3, &TrainConfig::default().with_epochs(40))
-            .unwrap();
+        let short =
+            SoftmaxRegression::train(&xs, &ys, 3, &TrainConfig::default().with_epochs(1)).unwrap();
+        let long =
+            SoftmaxRegression::train(&xs, &ys, 3, &TrainConfig::default().with_epochs(40)).unwrap();
         assert!(long.loss(&xs, &ys).unwrap() < short.loss(&xs, &ys).unwrap());
     }
 
@@ -290,6 +299,9 @@ mod tests {
         let m = SoftmaxRegression::train(&xs, &ys, 3, &TrainConfig::default()).unwrap();
         let j = m.to_json().unwrap();
         let m2 = SoftmaxRegression::from_json(&j).unwrap();
-        assert_eq!(m.predict_batch(&xs).unwrap(), m2.predict_batch(&xs).unwrap());
+        assert_eq!(
+            m.predict_batch(&xs).unwrap(),
+            m2.predict_batch(&xs).unwrap()
+        );
     }
 }

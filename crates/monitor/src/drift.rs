@@ -42,7 +42,12 @@ pub struct DriftThresholds {
 
 impl Default for DriftThresholds {
     fn default() -> Self {
-        DriftThresholds { ks_warn_p: 0.05, ks_critical_p: 0.001, psi_warn: 0.1, psi_critical: 0.25 }
+        DriftThresholds {
+            ks_warn_p: 0.05,
+            ks_critical_p: 0.001,
+            psi_warn: 0.1,
+            psi_critical: 0.25,
+        }
     }
 }
 
@@ -56,7 +61,11 @@ pub struct DriftMonitor {
 
 impl DriftMonitor {
     /// Fit on the reference sample (≥ 20 points to be meaningful).
-    pub fn fit(feature: impl Into<String>, reference: &[f64], thresholds: DriftThresholds) -> Result<Self> {
+    pub fn fit(
+        feature: impl Into<String>,
+        reference: &[f64],
+        thresholds: DriftThresholds,
+    ) -> Result<Self> {
         if reference.len() < 20 {
             return Err(FsError::Monitor(format!(
                 "reference window too small ({} < 20)",
@@ -122,7 +131,12 @@ impl DriftMonitor {
 
     /// Worst alert across detectors for a live window.
     pub fn alert_level(&self, live: &[f64]) -> Result<DriftAlert> {
-        Ok(self.check(live)?.into_iter().map(|r| r.alert).max().unwrap_or(DriftAlert::Ok))
+        Ok(self
+            .check(live)?
+            .into_iter()
+            .map(|r| r.alert)
+            .max()
+            .unwrap_or(DriftAlert::Ok))
     }
 }
 
@@ -166,7 +180,9 @@ impl EmbeddingDriftMonitor {
         thresholds: EmbeddingDriftThresholds,
     ) -> Result<Self> {
         if reference.len() < 10 {
-            return Err(FsError::Monitor("embedding reference window too small".into()));
+            return Err(FsError::Monitor(
+                "embedding reference window too small".into(),
+            ));
         }
         let d = reference[0].len();
         if d == 0 || reference.iter().any(|v| v.len() != d) {
@@ -241,7 +257,12 @@ impl EmbeddingDriftMonitor {
     }
 
     pub fn alert_level(&self, live: &[Vec<f64>]) -> Result<DriftAlert> {
-        Ok(self.check(live)?.into_iter().map(|r| r.alert).max().unwrap_or(DriftAlert::Ok))
+        Ok(self
+            .check(live)?
+            .into_iter()
+            .map(|r| r.alert)
+            .max()
+            .unwrap_or(DriftAlert::Ok))
     }
 }
 
@@ -257,20 +278,30 @@ mod tests {
 
     #[test]
     fn tabular_quiet_on_same_distribution() {
-        let m = DriftMonitor::fit("fare", &normals(500, 0.0, 1), DriftThresholds::default())
-            .unwrap();
-        assert_eq!(m.alert_level(&normals(500, 0.0, 2)).unwrap(), DriftAlert::Ok);
+        let m =
+            DriftMonitor::fit("fare", &normals(500, 0.0, 1), DriftThresholds::default()).unwrap();
+        assert_eq!(
+            m.alert_level(&normals(500, 0.0, 2)).unwrap(),
+            DriftAlert::Ok
+        );
     }
 
     #[test]
     fn tabular_alarms_on_shift() {
-        let m = DriftMonitor::fit("fare", &normals(500, 0.0, 3), DriftThresholds::default())
-            .unwrap();
-        assert_eq!(m.alert_level(&normals(500, 2.0, 4)).unwrap(), DriftAlert::Critical);
+        let m =
+            DriftMonitor::fit("fare", &normals(500, 0.0, 3), DriftThresholds::default()).unwrap();
+        assert_eq!(
+            m.alert_level(&normals(500, 2.0, 4)).unwrap(),
+            DriftAlert::Critical
+        );
         let reports = m.check(&normals(500, 2.0, 4)).unwrap();
         assert_eq!(reports.len(), 2);
-        assert!(reports.iter().any(|r| r.detector == "ks" && r.p_value.unwrap() < 0.001));
-        assert!(reports.iter().any(|r| r.detector == "psi" && r.statistic > 0.25));
+        assert!(reports
+            .iter()
+            .any(|r| r.detector == "ks" && r.p_value.unwrap() < 0.001));
+        assert!(reports
+            .iter()
+            .any(|r| r.detector == "psi" && r.statistic > 0.25));
     }
 
     #[test]
@@ -278,7 +309,10 @@ mod tests {
         let m = DriftMonitor::fit("f", &normals(2000, 0.0, 5), DriftThresholds::default()).unwrap();
         // modest shift → at least a warning, exact level depends on power
         let lvl = m.alert_level(&normals(2000, 0.15, 6)).unwrap();
-        assert!(lvl >= DriftAlert::Warning, "small shift should at least warn: {lvl:?}");
+        assert!(
+            lvl >= DriftAlert::Warning,
+            "small shift should at least warn: {lvl:?}"
+        );
     }
 
     #[test]
@@ -308,7 +342,10 @@ mod tests {
             EmbeddingDriftThresholds::default(),
         )
         .unwrap();
-        assert_eq!(m.alert_level(&embed_sample(100, 4, 0.0, 9)).unwrap(), DriftAlert::Ok);
+        assert_eq!(
+            m.alert_level(&embed_sample(100, 4, 0.0, 9)).unwrap(),
+            DriftAlert::Ok
+        );
     }
 
     #[test]
@@ -320,7 +357,9 @@ mod tests {
         )
         .unwrap();
         // rotate the dominant direction 90°
-        let lvl = m.alert_level(&embed_sample(100, 4, std::f64::consts::FRAC_PI_2, 11)).unwrap();
+        let lvl = m
+            .alert_level(&embed_sample(100, 4, std::f64::consts::FRAC_PI_2, 11))
+            .unwrap();
         assert_eq!(lvl, DriftAlert::Critical);
     }
 

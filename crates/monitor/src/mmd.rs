@@ -13,7 +13,9 @@ pub fn mmd_rbf(x: &[Vec<f64>], y: &[Vec<f64>], bandwidth: Option<f64>) -> Result
     }
     let d = x[0].len();
     if d == 0 || x.iter().chain(y).any(|v| v.len() != d) {
-        return Err(FsError::Monitor("MMD requires aligned non-empty dimensions".into()));
+        return Err(FsError::Monitor(
+            "MMD requires aligned non-empty dimensions".into(),
+        ));
     }
 
     let gamma = match bandwidth {
@@ -78,7 +80,9 @@ mod tests {
 
     fn gaussian_sample(n: usize, d: usize, mean: f64, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = Xoshiro256::seeded(seed);
-        (0..n).map(|_| (0..d).map(|_| rng.normal() + mean).collect()).collect()
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.normal() + mean).collect())
+            .collect()
     }
 
     #[test]
@@ -102,7 +106,10 @@ mod tests {
         let x = gaussian_sample(100, 4, 0.0, 5);
         let small = mmd_rbf(&x, &gaussian_sample(100, 4, 0.5, 6), Some(1.0)).unwrap();
         let large = mmd_rbf(&x, &gaussian_sample(100, 4, 3.0, 7), Some(1.0)).unwrap();
-        assert!(large > small, "MMD must grow with shift: {small} vs {large}");
+        assert!(
+            large > small,
+            "MMD must grow with shift: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -30,10 +30,14 @@ pub fn augment_slice(
     seed: u64,
 ) -> Result<(Vec<Vec<f64>>, Vec<usize>)> {
     if xs.len() != ys.len() || xs.is_empty() {
-        return Err(FsError::Monitor("aligned non-empty training data required".into()));
+        return Err(FsError::Monitor(
+            "aligned non-empty training data required".into(),
+        ));
     }
     if factor == 0 {
-        return Err(FsError::Monitor("augmentation factor must be positive".into()));
+        return Err(FsError::Monitor(
+            "augmentation factor must be positive".into(),
+        ));
     }
     if jitter < 0.0 {
         return Err(FsError::Monitor("jitter must be non-negative".into()));
@@ -57,7 +61,9 @@ pub fn augment_slice(
 /// Per-example weights: `weight` on slice rows, 1.0 elsewhere.
 pub fn reweight_slice(n: usize, slice: &[usize], weight: f64) -> Result<Vec<f64>> {
     if weight <= 0.0 || !weight.is_finite() {
-        return Err(FsError::Monitor("weight must be positive and finite".into()));
+        return Err(FsError::Monitor(
+            "weight must be positive and finite".into(),
+        ));
     }
     let mut w = vec![1.0; n];
     for &i in slice {
@@ -85,7 +91,9 @@ impl LabelModel {
     /// Fit on a votes matrix: `votes[source][example]`.
     pub fn fit(votes: &[Vec<Option<usize>>], num_classes: usize, rounds: usize) -> Result<Self> {
         if votes.is_empty() || votes[0].is_empty() {
-            return Err(FsError::Monitor("label model needs sources and examples".into()));
+            return Err(FsError::Monitor(
+                "label model needs sources and examples".into(),
+            ));
         }
         let n = votes[0].len();
         if votes.iter().any(|v| v.len() != n) {
@@ -100,11 +108,14 @@ impl LabelModel {
             }
         }
 
-        let mut model =
-            LabelModel { source_accuracy: vec![0.7; votes.len()], num_classes };
+        let mut model = LabelModel {
+            source_accuracy: vec![0.7; votes.len()],
+            num_classes,
+        };
         for _ in 0..rounds.max(1) {
-            let consensus: Vec<Option<usize>> =
-                (0..n).map(|i| model.predict_one(votes, i).map(|(c, _)| c)).collect();
+            let consensus: Vec<Option<usize>> = (0..n)
+                .map(|i| model.predict_one(votes, i).map(|(c, _)| c))
+                .collect();
             for (s, svotes) in votes.iter().enumerate() {
                 let mut agree = 1.0f64; // +1 smoothing
                 let mut total = 2.0f64;
@@ -216,7 +227,9 @@ impl EmbeddingPatcher {
             return Err(FsError::Monitor("alpha must be in [0,1]".into()));
         }
         if bad_keys.is_empty() || exemplar_keys.is_empty() {
-            return Err(FsError::Monitor("need both bad keys and exemplar keys".into()));
+            return Err(FsError::Monitor(
+                "need both bad keys and exemplar keys".into(),
+            ));
         }
         let current = store.latest(name)?;
         let parent_version = current.version;
@@ -329,7 +342,11 @@ mod tests {
                 })
                 .collect()
         };
-        let votes = vec![source(0.9, &mut rng), source(0.9, &mut rng), source(0.3, &mut rng)];
+        let votes = vec![
+            source(0.9, &mut rng),
+            source(0.9, &mut rng),
+            source(0.3, &mut rng),
+        ];
         (votes, truth)
     }
 
@@ -337,9 +354,16 @@ mod tests {
     fn label_model_learns_source_quality() {
         let (votes, truth) = noisy_votes(3);
         let model = LabelModel::fit(&votes, 2, 5).unwrap();
-        assert!(model.source_accuracy[0] > 0.75, "{:?}", model.source_accuracy);
+        assert!(
+            model.source_accuracy[0] > 0.75,
+            "{:?}",
+            model.source_accuracy
+        );
         assert!(model.source_accuracy[1] > 0.75);
-        assert!(model.source_accuracy[2] < 0.5, "adversarial source must be downweighted");
+        assert!(
+            model.source_accuracy[2] < 0.5,
+            "adversarial source must be downweighted"
+        );
 
         let labels = model.predict(&votes).unwrap();
         let mut lm_correct = 0;
@@ -407,7 +431,10 @@ mod tests {
         assert!((patched[0] - 1.0).abs() < 1e-6);
         assert!((patched[1] - 0.1).abs() < 1e-6);
         // v1 untouched (copy-on-write)
-        assert_eq!(store.get("ent", 1).unwrap().table.get("bad"), Some(&[-1.0, 0.0][..]));
+        assert_eq!(
+            store.get("ent", 1).unwrap().table.get("bad"),
+            Some(&[-1.0, 0.0][..])
+        );
         // unchanged rows carried over
         assert_eq!(v2.table.get("good1"), Some(&[1.0, 0.0][..]));
     }
@@ -417,20 +444,40 @@ mod tests {
         let mut store = EmbeddingStore::new();
         let mut t = EmbeddingTable::new(2).unwrap();
         t.insert("a", vec![0.0, 0.0]).unwrap();
-        store.publish("e", t, EmbeddingProvenance::default(), Timestamp::EPOCH).unwrap();
+        store
+            .publish("e", t, EmbeddingProvenance::default(), Timestamp::EPOCH)
+            .unwrap();
         let p = EmbeddingPatcher::default();
         assert!(p
             .patch_toward_exemplars(&mut store, "e", &[], &["a".into()], Timestamp::EPOCH)
             .is_err());
         assert!(p
-            .patch_toward_exemplars(&mut store, "e", &["ghost".into()], &["a".into()], Timestamp::EPOCH)
+            .patch_toward_exemplars(
+                &mut store,
+                "e",
+                &["ghost".into()],
+                &["a".into()],
+                Timestamp::EPOCH
+            )
             .is_err());
         assert!(p
-            .patch_toward_exemplars(&mut store, "ghost", &["a".into()], &["a".into()], Timestamp::EPOCH)
+            .patch_toward_exemplars(
+                &mut store,
+                "ghost",
+                &["a".into()],
+                &["a".into()],
+                Timestamp::EPOCH
+            )
             .is_err());
         let bad_alpha = EmbeddingPatcher { alpha: 2.0 };
         assert!(bad_alpha
-            .patch_toward_exemplars(&mut store, "e", &["a".into()], &["a".into()], Timestamp::EPOCH)
+            .patch_toward_exemplars(
+                &mut store,
+                "e",
+                &["a".into()],
+                &["a".into()],
+                Timestamp::EPOCH
+            )
             .is_err());
     }
 }

@@ -44,11 +44,17 @@ pub fn skew_report(
         .filter_map(|(_, e)| e.value.as_f64())
         .collect();
     if serving.is_empty() {
-        return Err(FsError::Monitor(format!("feature `{feature}` is not being served")));
+        return Err(FsError::Monitor(format!(
+            "feature `{feature}` is not being served"
+        )));
     }
     let monitor = DriftMonitor::fit(feature, &training, thresholds)?;
     let reports = monitor.check(&serving)?;
-    let alert = reports.iter().map(|r| r.alert).max().unwrap_or(DriftAlert::Ok);
+    let alert = reports
+        .iter()
+        .map(|r| r.alert)
+        .max()
+        .unwrap_or(DriftAlert::Ok);
     Ok(SkewReport {
         feature: feature.to_string(),
         training_rows: training.len(),
@@ -105,11 +111,18 @@ mod tests {
         (off, online)
     }
 
-
     #[test]
     fn no_skew_is_quiet() {
         let (off, online) = setup(5.0, 5.0);
-        let r = skew_report(&off, &online, "score", 1, "user", DriftThresholds::default()).unwrap();
+        let r = skew_report(
+            &off,
+            &online,
+            "score",
+            1,
+            "user",
+            DriftThresholds::default(),
+        )
+        .unwrap();
         assert_eq!(r.alert, DriftAlert::Ok);
         assert_eq!(r.training_rows, 1000);
         assert_eq!(r.serving_rows, 800);
@@ -118,7 +131,15 @@ mod tests {
     #[test]
     fn skew_is_flagged() {
         let (off, online) = setup(5.0, 9.0);
-        let r = skew_report(&off, &online, "score", 1, "user", DriftThresholds::default()).unwrap();
+        let r = skew_report(
+            &off,
+            &online,
+            "score",
+            1,
+            "user",
+            DriftThresholds::default(),
+        )
+        .unwrap();
         assert_eq!(r.alert, DriftAlert::Critical);
     }
 
@@ -126,18 +147,28 @@ mod tests {
     fn missing_serving_side_errors() {
         let (off, _unused) = setup(5.0, 5.0);
         let empty = OnlineStore::default();
-        assert!(
-            skew_report(&off, &empty, "score", 1, "user", DriftThresholds::default()).is_err()
-        );
+        assert!(skew_report(&off, &empty, "score", 1, "user", DriftThresholds::default()).is_err());
     }
 
     #[test]
     fn missing_training_side_errors() {
         let online = OnlineStore::default();
-        online.put("user", &EntityKey::new("u"), "score", Value::Float(1.0), Timestamp::EPOCH);
-        let off = OfflineStore::new();
-        assert!(
-            skew_report(&off, &online, "score", 1, "user", DriftThresholds::default()).is_err()
+        online.put(
+            "user",
+            &EntityKey::new("u"),
+            "score",
+            Value::Float(1.0),
+            Timestamp::EPOCH,
         );
+        let off = OfflineStore::new();
+        assert!(skew_report(
+            &off,
+            &online,
+            "score",
+            1,
+            "user",
+            DriftThresholds::default()
+        )
+        .is_err());
     }
 }

@@ -15,7 +15,11 @@ pub struct SliceSpec {
 
 impl SliceSpec {
     /// Build from a predicate over per-row metadata.
-    pub fn from_predicate<T>(name: impl Into<String>, rows: &[T], pred: impl Fn(&T) -> bool) -> Self {
+    pub fn from_predicate<T>(
+        name: impl Into<String>,
+        rows: &[T],
+        pred: impl Fn(&T) -> bool,
+    ) -> Self {
         SliceSpec {
             name: name.into(),
             indices: rows
@@ -45,7 +49,9 @@ pub fn slice_metrics(
     slices: &[SliceSpec],
 ) -> Result<Vec<SliceMetrics>> {
     if truth.len() != preds.len() || truth.is_empty() {
-        return Err(FsError::Monitor("aligned non-empty truth/preds required".into()));
+        return Err(FsError::Monitor(
+            "aligned non-empty truth/preds required".into(),
+        ));
     }
     let overall =
         truth.iter().zip(preds).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64;
@@ -93,7 +99,9 @@ pub fn discover_slices(
     }
     let n = truth.len();
     if n == 0 || preds.len() != n || metadata.iter().any(|(_, col)| col.len() != n) {
-        return Err(FsError::Monitor("metadata/labels must align and be non-empty".into()));
+        return Err(FsError::Monitor(
+            "metadata/labels must align and be non-empty".into(),
+        ));
     }
     if min_support == 0 {
         return Err(FsError::Monitor("min_support must be positive".into()));
@@ -108,7 +116,10 @@ pub fn discover_slices(
         }
         for (value, indices) in groups {
             if indices.len() >= min_support {
-                specs.push(SliceSpec { name: format!("{name}={value}"), indices });
+                specs.push(SliceSpec {
+                    name: format!("{name}={value}"),
+                    indices,
+                });
             }
         }
     }
@@ -146,10 +157,18 @@ mod tests {
 
     fn fixture() -> Fixture {
         let n = 100;
-        let city: Vec<String> =
-            (0..n).map(|i| if i < 50 { "sf".into() } else { "nyc".into() }).collect();
-        let time: Vec<String> =
-            (0..n).map(|i| if i % 2 == 0 { "day".into() } else { "night".into() }).collect();
+        let city: Vec<String> = (0..n)
+            .map(|i| if i < 50 { "sf".into() } else { "nyc".into() })
+            .collect();
+        let time: Vec<String> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "day".into()
+                } else {
+                    "night".into()
+                }
+            })
+            .collect();
         let truth = vec![1usize; n];
         let preds: Vec<usize> = (0..n)
             .map(|i| {
@@ -161,15 +180,25 @@ mod tests {
                 }
             })
             .collect();
-        (vec![("city".into(), city), ("time".into(), time)], truth, preds)
+        (
+            vec![("city".into(), city), ("time".into(), time)],
+            truth,
+            preds,
+        )
     }
 
     #[test]
     fn explicit_slice_metrics() {
         let (_, truth, preds) = fixture();
         let slices = vec![
-            SliceSpec { name: "first_half".into(), indices: (0..50).collect() },
-            SliceSpec { name: "second_half".into(), indices: (50..100).collect() },
+            SliceSpec {
+                name: "first_half".into(),
+                indices: (0..50).collect(),
+            },
+            SliceSpec {
+                name: "second_half".into(),
+                indices: (50..100).collect(),
+            },
         ];
         let m = slice_metrics(&truth, &preds, &slices).unwrap();
         assert_eq!(m[0].accuracy, 1.0);
@@ -203,7 +232,10 @@ mod tests {
         let (meta, truth, preds) = fixture();
         let found = discover_slices(&meta, &truth, &preds, 30).unwrap();
         assert!(found.iter().all(|m| m.support >= 30));
-        assert!(!found.iter().any(|m| m.name.contains('&')), "conjunctions have support 25");
+        assert!(
+            !found.iter().any(|m| m.name.contains('&')),
+            "conjunctions have support 25"
+        );
     }
 
     #[test]
@@ -212,12 +244,22 @@ mod tests {
         assert!(discover_slices(&[], &truth, &preds, 5).is_err());
         assert!(discover_slices(&meta, &truth, &preds, 0).is_err());
         assert!(discover_slices(&meta, &truth[..50], &preds, 5).is_err());
-        assert!(slice_metrics(&truth, &preds, &[SliceSpec { name: "e".into(), indices: vec![] }])
-            .is_err());
         assert!(slice_metrics(
             &truth,
             &preds,
-            &[SliceSpec { name: "oob".into(), indices: vec![999] }]
+            &[SliceSpec {
+                name: "e".into(),
+                indices: vec![]
+            }]
+        )
+        .is_err());
+        assert!(slice_metrics(
+            &truth,
+            &preds,
+            &[SliceSpec {
+                name: "oob".into(),
+                indices: vec![999]
+            }]
         )
         .is_err());
     }

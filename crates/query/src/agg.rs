@@ -50,8 +50,9 @@ impl AggFunc {
                         }
                     }
                 }
-                if let Some(inner) =
-                    t.strip_prefix("quantile(").and_then(|x| x.strip_suffix(')'))
+                if let Some(inner) = t
+                    .strip_prefix("quantile(")
+                    .and_then(|x| x.strip_suffix(')'))
                 {
                     if let Ok(q) = inner.parse::<f64>() {
                         if q > 0.0 && q < 1.0 {
@@ -69,10 +70,19 @@ impl AggFunc {
         match self {
             AggFunc::Count => AggAccumulator::Count(0),
             AggFunc::CountAll => AggAccumulator::CountAll(0),
-            AggFunc::Sum => AggAccumulator::Sum { total: 0.0, seen: false },
+            AggFunc::Sum => AggAccumulator::Sum {
+                total: 0.0,
+                seen: false,
+            },
             AggFunc::Avg => AggAccumulator::Moments(OnlineMoments::new(), MomentsOut::Mean),
-            AggFunc::Min => AggAccumulator::Extreme { best: None, want_max: false },
-            AggFunc::Max => AggAccumulator::Extreme { best: None, want_max: true },
+            AggFunc::Min => AggAccumulator::Extreme {
+                best: None,
+                want_max: false,
+            },
+            AggFunc::Max => AggAccumulator::Extreme {
+                best: None,
+                want_max: true,
+            },
             AggFunc::StdDev => AggAccumulator::Moments(OnlineMoments::new(), MomentsOut::StdDev),
             AggFunc::Quantile(q) => AggAccumulator::Quantile(P2Quantile::new(*q)),
             AggFunc::CountDistinct => AggAccumulator::Distinct(HashSet::new()),
@@ -201,7 +211,10 @@ mod tests {
         assert_eq!(AggFunc::parse("SUM").unwrap(), AggFunc::Sum);
         assert_eq!(AggFunc::parse("mean").unwrap(), AggFunc::Avg);
         assert_eq!(AggFunc::parse("p95").unwrap(), AggFunc::Quantile(0.95));
-        assert_eq!(AggFunc::parse("quantile(0.5)").unwrap(), AggFunc::Quantile(0.5));
+        assert_eq!(
+            AggFunc::parse("quantile(0.5)").unwrap(),
+            AggFunc::Quantile(0.5)
+        );
         assert!(AggFunc::parse("p0").is_err());
         assert!(AggFunc::parse("p100").is_err());
         assert!(AggFunc::parse("wat").is_err());
@@ -224,7 +237,11 @@ mod tests {
         assert_eq!(AggFunc::Count.apply(&vs), Value::Int(2));
         assert_eq!(AggFunc::CountAll.apply(&vs), Value::Int(4));
         assert_eq!(AggFunc::Avg.apply(&vs), Value::Float(3.0));
-        assert_eq!(AggFunc::Last.apply(&vs), Value::Int(4), "null is not a new observation");
+        assert_eq!(
+            AggFunc::Last.apply(&vs),
+            Value::Int(4),
+            "null is not a new observation"
+        );
     }
 
     #[test]
@@ -247,7 +264,12 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let vs = vec![Value::from("a"), Value::from("b"), Value::from("a"), Value::Null];
+        let vs = vec![
+            Value::from("a"),
+            Value::from("b"),
+            Value::from("a"),
+            Value::Null,
+        ];
         assert_eq!(AggFunc::CountDistinct.apply(&vs), Value::Int(2));
     }
 

@@ -23,10 +23,16 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
     }
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
     pub fn is_logical(self) -> bool {
         matches!(self, BinOp::And | BinOp::Or)
@@ -68,12 +74,25 @@ pub enum UnOp {
 pub enum Expr {
     Literal(Value),
     Column(String),
-    Unary { op: UnOp, expr: Box<Expr> },
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `CASE WHEN c1 THEN e1 … [ELSE e] END`
-    Case { branches: Vec<(Expr, Expr)>, otherwise: Option<Box<Expr>> },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        otherwise: Option<Box<Expr>>,
+    },
     /// Built-in scalar function call.
-    Call { func: String, args: Vec<Expr> },
+    Call {
+        func: String,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
@@ -100,7 +119,10 @@ impl Expr {
                 left.walk(f);
                 right.walk(f);
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, e) in branches {
                     c.walk(f);
                     e.walk(f);
@@ -132,7 +154,10 @@ mod tests {
                 args: vec![Expr::Column("a".into()), Expr::Column("b".into())],
             }),
         };
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

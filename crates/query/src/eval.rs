@@ -25,7 +25,9 @@ impl Env for RowEnv<'_> {
     fn get(&self, column: &str) -> Result<Value> {
         match self.schema.index_of(column) {
             Some(i) => Ok(self.row[i].clone()),
-            None => Err(FsError::Eval(format!("unknown column `{column}` at eval time"))),
+            None => Err(FsError::Eval(format!(
+                "unknown column `{column}` at eval time"
+            ))),
         }
     }
 }
@@ -54,7 +56,10 @@ pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value> {
             })
         }
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             for (cond, val) in branches {
                 if matches!(eval(cond, env)?, Value::Bool(true)) {
                     return eval(val, env);
@@ -155,7 +160,11 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, env: &dyn Env) -> Result<Va
                 }
                 _ => unreachable!(),
             };
-            Ok(if out.is_nan() { Value::Null } else { Value::Float(out) })
+            Ok(if out.is_nan() {
+                Value::Null
+            } else {
+                Value::Float(out)
+            })
         }
     }
 }
@@ -204,7 +213,13 @@ fn eval_call(func: &str, args: &[Expr], env: &dyn Env) -> Result<Value> {
     }
 
     let num = |i: usize| vals[i].expect_f64(func);
-    let finite = |x: f64| if x.is_finite() { Value::Float(x) } else { Value::Null };
+    let finite = |x: f64| {
+        if x.is_finite() {
+            Value::Float(x)
+        } else {
+            Value::Null
+        }
+    };
     Ok(match func {
         "abs" => match &vals[0] {
             Value::Int(i) => i.checked_abs().map_or(Value::Null, Value::Int),
@@ -268,9 +283,7 @@ fn eval_call(func: &str, args: &[Expr], env: &dyn Env) -> Result<Value> {
             v => return Err(eval_type_err("uppercase", v)),
         },
         "hour_of_day" => match &vals[0] {
-            Value::Timestamp(t) => {
-                Value::Int(t.as_millis().rem_euclid(MILLIS_PER_DAY) / 3_600_000)
-            }
+            Value::Timestamp(t) => Value::Int(t.as_millis().rem_euclid(MILLIS_PER_DAY) / 3_600_000),
             v => return Err(eval_type_err("take hour of", v)),
         },
         "day_of_week" => match &vals[0] {
@@ -292,7 +305,9 @@ pub fn fold_constants(expr: Expr) -> Expr {
     struct EmptyEnv;
     impl Env for EmptyEnv {
         fn get(&self, column: &str) -> Result<Value> {
-            Err(FsError::Eval(format!("column `{column}` in constant context")))
+            Err(FsError::Eval(format!(
+                "column `{column}` in constant context"
+            )))
         }
     }
     fn is_const(e: &Expr) -> bool {
@@ -301,7 +316,10 @@ pub fn fold_constants(expr: Expr) -> Expr {
             Expr::Column(_) => false,
             Expr::Unary { expr, .. } => is_const(expr),
             Expr::Binary { left, right, .. } => is_const(left) && is_const(right),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 branches.iter().all(|(c, v)| is_const(c) && is_const(v))
                     && otherwise.as_deref().is_none_or(is_const)
             }
@@ -315,17 +333,29 @@ pub fn fold_constants(expr: Expr) -> Expr {
             }
         }
         match e {
-            Expr::Unary { op, expr } => Expr::Unary { op, expr: Box::new(fold(*expr)) },
-            Expr::Binary { op, left, right } => {
-                Expr::Binary { op, left: Box::new(fold(*left)), right: Box::new(fold(*right)) }
-            }
-            Expr::Case { branches, otherwise } => Expr::Case {
-                branches: branches.into_iter().map(|(c, v)| (fold(c), fold(v))).collect(),
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(fold(*expr)),
+            },
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(fold(*left)),
+                right: Box::new(fold(*right)),
+            },
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| (fold(c), fold(v)))
+                    .collect(),
                 otherwise: otherwise.map(|e| Box::new(fold(*e))),
             },
-            Expr::Call { func, args } => {
-                Expr::Call { func, args: args.into_iter().map(fold).collect() }
-            }
+            Expr::Call { func, args } => Expr::Call {
+                func,
+                args: args.into_iter().map(fold).collect(),
+            },
             other => other,
         }
     }
@@ -424,7 +454,10 @@ mod tests {
     fn case_semantics() {
         let r = default_row();
         assert_eq!(
-            run("CASE WHEN fare > 100 THEN 'high' WHEN fare > 10 THEN 'mid' ELSE 'low' END", &r),
+            run(
+                "CASE WHEN fare > 100 THEN 'high' WHEN fare > 10 THEN 'mid' ELSE 'low' END",
+                &r
+            ),
             Value::from("mid")
         );
         assert_eq!(run("CASE WHEN fare > 100 THEN 1 END", &r), Value::Null);
@@ -472,7 +505,11 @@ mod tests {
         let fold = |src: &str| fold_constants(parse(src).unwrap());
         assert_eq!(fold("1 + 2 * 3"), Expr::Literal(Value::Int(7)));
         assert_eq!(fold("upper('ab')"), Expr::Literal(Value::from("AB")));
-        assert_eq!(fold("1 / 0"), Expr::Literal(Value::Null), "total: folds to NULL");
+        assert_eq!(
+            fold("1 / 0"),
+            Expr::Literal(Value::Null),
+            "total: folds to NULL"
+        );
         assert_eq!(
             fold("CASE WHEN TRUE THEN 5 ELSE 6 END"),
             Expr::Literal(Value::Int(5))
@@ -507,6 +544,13 @@ mod tests {
     fn unknown_column_at_eval_is_error() {
         let s = Schema::of(&[("a", ValueType::Int)]);
         let e = parse("ghost").unwrap();
-        assert!(eval(&e, &RowEnv { schema: &s, row: &[Value::Int(1)] }).is_err());
+        assert!(eval(
+            &e,
+            &RowEnv {
+                schema: &s,
+                row: &[Value::Int(1)]
+            }
+        )
+        .is_err());
     }
 }

@@ -102,7 +102,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     i += 2;
                     TokenKind::Ne
                 } else {
-                    return Err(FsError::Parse { message: "expected `!=`".into(), position: pos });
+                    return Err(FsError::Parse {
+                        message: "expected `!=`".into(),
+                        position: pos,
+                    });
                 }
             }
             '<' => {
@@ -225,7 +228,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
         };
         out.push(Token { kind, pos });
     }
-    out.push(Token { kind: TokenKind::Eof, pos: src.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
     Ok(out)
 }
 
@@ -255,7 +261,11 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             kinds("'it''s' 'sf'"),
-            vec![TokenKind::Str("it's".into()), TokenKind::Str("sf".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("sf".into()),
+                TokenKind::Eof
+            ]
         );
         assert!(lex("'oops").is_err());
     }
@@ -277,7 +287,10 @@ mod tests {
 
     #[test]
     fn identifiers_keep_case() {
-        assert_eq!(kinds("fare_USD"), vec![TokenKind::Ident("fare_USD".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("fare_USD"),
+            vec![TokenKind::Ident("fare_USD".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ struct Parser {
 
 fn maybe_not(e: Expr, negated: bool) -> Expr {
     if negated {
-        Expr::Unary { op: UnOp::Not, expr: Box::new(e) }
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e),
+        }
     } else {
         e
     }
@@ -63,14 +66,21 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> FsError {
-        FsError::Parse { message, position: self.peek_pos() }
+        FsError::Parse {
+            message,
+            position: self.peek_pos(),
+        }
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
         let mut left = self.and_expr()?;
         while self.eat(&TokenKind::Or) {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -79,7 +89,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat(&TokenKind::And) {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -87,7 +101,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Not) {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.cmp_expr()
     }
@@ -98,12 +115,24 @@ impl Parser {
         if self.eat(&TokenKind::Is) {
             let negated = self.eat(&TokenKind::Not);
             self.expect(TokenKind::Null)?;
-            let op = if negated { UnOp::IsNotNull } else { UnOp::IsNull };
-            return Ok(Expr::Unary { op, expr: Box::new(left) });
+            let op = if negated {
+                UnOp::IsNotNull
+            } else {
+                UnOp::IsNull
+            };
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(left),
+            });
         }
         // [NOT] IN (…) / [NOT] BETWEEN lo AND hi — desugared here so the
         // type checker and evaluator never see them.
-        let negated = if self.peek() == &TokenKind::Not { self.bump(); true } else { false };
+        let negated = if self.peek() == &TokenKind::Not {
+            self.bump();
+            true
+        } else {
+            false
+        };
         if self.eat(&TokenKind::In) {
             let e = self.in_list(left)?;
             return Ok(maybe_not(e, negated));
@@ -126,7 +155,11 @@ impl Parser {
         };
         self.bump();
         let right = self.add_expr()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     /// `left IN (e1, e2, …)` → `left = e1 OR left = e2 OR …`.
@@ -191,7 +224,11 @@ impl Parser {
             };
             self.bump();
             let right = self.mul_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -207,7 +244,11 @@ impl Parser {
             };
             self.bump();
             let right = self.unary_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -215,7 +256,10 @@ impl Parser {
     fn unary_expr(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Minus) {
             let inner = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -246,7 +290,10 @@ impl Parser {
                             self.expect(TokenKind::Comma)?;
                         }
                     }
-                    Ok(Expr::Call { func: name.to_ascii_lowercase(), args })
+                    Ok(Expr::Call {
+                        func: name.to_ascii_lowercase(),
+                        args,
+                    })
                 } else {
                     Ok(Expr::Column(name))
                 }
@@ -267,9 +314,16 @@ impl Parser {
                 break;
             }
         }
-        let otherwise = if self.eat(&TokenKind::Else) { Some(Box::new(self.or_expr()?)) } else { None };
+        let otherwise = if self.eat(&TokenKind::Else) {
+            Some(Box::new(self.or_expr()?))
+        } else {
+            None
+        };
         self.expect(TokenKind::End)?;
-        Ok(Expr::Case { branches, otherwise })
+        Ok(Expr::Case {
+            branches,
+            otherwise,
+        })
     }
 }
 
@@ -282,10 +336,22 @@ mod tests {
         // a + b * 2 > 3 AND NOT c
         let e = parse("a + b * 2 > 3 AND NOT c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::And, left, right } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 match *left {
-                    Expr::Binary { op: BinOp::Gt, left: add, .. } => match *add {
-                        Expr::Binary { op: BinOp::Add, right: mul, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Gt,
+                        left: add,
+                        ..
+                    } => match *add {
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            right: mul,
+                            ..
+                        } => {
                             assert!(matches!(*mul, Expr::Binary { op: BinOp::Mul, .. }))
                         }
                         other => panic!("expected Add, got {other:?}"),
@@ -308,7 +374,11 @@ mod tests {
     fn parens_override() {
         let e = parse("(a + b) * c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Mul, left, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Add, .. }))
             }
             other => panic!("{other:?}"),
@@ -319,11 +389,17 @@ mod tests {
     fn is_null_postfix() {
         assert_eq!(
             parse("x IS NULL").unwrap(),
-            Expr::Unary { op: UnOp::IsNull, expr: Box::new(Expr::Column("x".into())) }
+            Expr::Unary {
+                op: UnOp::IsNull,
+                expr: Box::new(Expr::Column("x".into()))
+            }
         );
         assert_eq!(
             parse("x IS NOT NULL").unwrap(),
-            Expr::Unary { op: UnOp::IsNotNull, expr: Box::new(Expr::Column("x".into())) }
+            Expr::Unary {
+                op: UnOp::IsNotNull,
+                expr: Box::new(Expr::Column("x".into()))
+            }
         );
     }
 
@@ -331,14 +407,23 @@ mod tests {
     fn case_with_and_without_else() {
         let e = parse("CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END").unwrap();
         match e {
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 assert_eq!(branches.len(), 2);
                 assert!(otherwise.is_some());
             }
             other => panic!("{other:?}"),
         }
         let e = parse("CASE WHEN a THEN 1 END").unwrap();
-        assert!(matches!(e, Expr::Case { otherwise: None, .. }));
+        assert!(matches!(
+            e,
+            Expr::Case {
+                otherwise: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -351,14 +436,24 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert_eq!(parse("now()").unwrap(), Expr::Call { func: "now".into(), args: vec![] });
+        assert_eq!(
+            parse("now()").unwrap(),
+            Expr::Call {
+                func: "now".into(),
+                args: vec![]
+            }
+        );
     }
 
     #[test]
     fn or_and_chains_left_associate() {
         let e = parse("a OR b OR c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Or, left, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }))
             }
             other => panic!("{other:?}"),
@@ -419,6 +514,9 @@ mod tests {
     fn literals() {
         assert_eq!(parse("NULL").unwrap(), Expr::Literal(Value::Null));
         assert_eq!(parse("true").unwrap(), Expr::Literal(Value::Bool(true)));
-        assert_eq!(parse("'x''y'").unwrap(), Expr::Literal(Value::Str("x'y".into())));
+        assert_eq!(
+            parse("'x''y'").unwrap(),
+            Expr::Literal(Value::Str("x'y".into()))
+        );
     }
 }

@@ -57,7 +57,13 @@ impl Program {
 
     /// Evaluate over one schema-ordered row.
     pub fn eval(&self, row: &[Value]) -> Result<Value> {
-        eval(&self.expr, &RowEnv { schema: &self.schema, row })
+        eval(
+            &self.expr,
+            &RowEnv {
+                schema: &self.schema,
+                row,
+            },
+        )
     }
 
     /// Evaluate over many rows.
@@ -100,10 +106,25 @@ mod tests {
     fn eval_batch() {
         let p = Program::compile("trips * 2", &schema()).unwrap();
         let rows = vec![
-            vec![Value::Null, Value::Int(1), Value::from("a"), Value::Bool(false), Value::Timestamp(Timestamp::EPOCH)],
-            vec![Value::Null, Value::Int(3), Value::from("b"), Value::Bool(true), Value::Timestamp(Timestamp::EPOCH)],
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::from("a"),
+                Value::Bool(false),
+                Value::Timestamp(Timestamp::EPOCH),
+            ],
+            vec![
+                Value::Null,
+                Value::Int(3),
+                Value::from("b"),
+                Value::Bool(true),
+                Value::Timestamp(Timestamp::EPOCH),
+            ],
         ];
-        assert_eq!(p.eval_batch(&rows).unwrap(), vec![Value::Int(2), Value::Int(6)]);
+        assert_eq!(
+            p.eval_batch(&rows).unwrap(),
+            vec![Value::Int(2), Value::Int(6)]
+        );
     }
 
     mod properties {
@@ -121,14 +142,15 @@ mod tests {
             ];
             leaf.prop_recursive(4, 32, 3, |inner| {
                 prop_oneof![
-                    (inner.clone(), inner.clone(), prop_oneof![
-                        Just("+"), Just("-"), Just("*"), Just("/"), Just("%")
-                    ])
+                    (
+                        inner.clone(),
+                        inner.clone(),
+                        prop_oneof![Just("+"), Just("-"), Just("*"), Just("/"), Just("%")]
+                    )
                         .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
                     inner.clone().prop_map(|a| format!("abs({a})")),
                     inner.clone().prop_map(|a| format!("(-{a})")),
-                    (inner.clone(), inner.clone())
-                        .prop_map(|(a, b)| format!("coalesce({a}, {b})")),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("coalesce({a}, {b})")),
                     (inner.clone(), inner.clone(), inner)
                         .prop_map(|(c, a, b)| format!("if({c} > 0, {a}, {b})")),
                 ]

@@ -37,8 +37,9 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<InferredType> {
             let lt = infer_type(left, schema)?;
             let rt = infer_type(right, schema)?;
             if op.is_arithmetic() {
-                let unified = unify_numeric(lt, rt)
-                    .ok_or_else(|| FsError::Plan(format!("operator {op} requires numeric operands")))?;
+                let unified = unify_numeric(lt, rt).ok_or_else(|| {
+                    FsError::Plan(format!("operator {op} requires numeric operands"))
+                })?;
                 if *op == BinOp::Div {
                     return Ok(Some(ValueType::Float));
                 }
@@ -66,7 +67,10 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<InferredType> {
                 Ok(Some(ValueType::Bool))
             }
         }
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let mut result: InferredType = None;
             for (cond, val) in branches {
                 let ct = infer_type(cond, schema)?;
@@ -77,9 +81,8 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<InferredType> {
                     )));
                 }
                 let vt = infer_type(val, schema)?;
-                result = unify(result, vt).ok_or_else(|| {
-                    FsError::Plan("CASE branches have incompatible types".into())
-                })?;
+                result = unify(result, vt)
+                    .ok_or_else(|| FsError::Plan("CASE branches have incompatible types".into()))?;
             }
             if let Some(e) = otherwise {
                 let et = infer_type(e, schema)?;
@@ -93,27 +96,35 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<InferredType> {
 }
 
 fn infer_call(func: &str, args: &[Expr], schema: &Schema) -> Result<InferredType> {
-    let tys: Vec<InferredType> =
-        args.iter().map(|a| infer_type(a, schema)).collect::<Result<_>>()?;
+    let tys: Vec<InferredType> = args
+        .iter()
+        .map(|a| infer_type(a, schema))
+        .collect::<Result<_>>()?;
     let arity = |n: usize| -> Result<()> {
         if tys.len() == n {
             Ok(())
         } else {
-            Err(FsError::Plan(format!("{func} expects {n} argument(s), got {}", tys.len())))
+            Err(FsError::Plan(format!(
+                "{func} expects {n} argument(s), got {}",
+                tys.len()
+            )))
         }
     };
     let numeric = |i: usize| -> Result<()> {
         match tys[i] {
             Some(ValueType::Int) | Some(ValueType::Float) | None => Ok(()),
-            Some(other) => {
-                Err(FsError::Plan(format!("{func} argument {} must be numeric, found {other}", i + 1)))
-            }
+            Some(other) => Err(FsError::Plan(format!(
+                "{func} argument {} must be numeric, found {other}",
+                i + 1
+            ))),
         }
     };
     match func {
         "coalesce" | "least" | "greatest" => {
             if tys.is_empty() {
-                return Err(FsError::Plan(format!("{func} requires at least one argument")));
+                return Err(FsError::Plan(format!(
+                    "{func} requires at least one argument"
+                )));
             }
             let mut t = tys[0];
             for &u in &tys[1..] {
@@ -187,7 +198,9 @@ fn infer_call(func: &str, args: &[Expr], schema: &Schema) -> Result<InferredType
         }
         "concat" => {
             if tys.is_empty() {
-                return Err(FsError::Plan("concat requires at least one argument".into()));
+                return Err(FsError::Plan(
+                    "concat requires at least one argument".into(),
+                ));
             }
             Ok(Some(ValueType::Str))
         }
@@ -195,9 +208,9 @@ fn infer_call(func: &str, args: &[Expr], schema: &Schema) -> Result<InferredType
             arity(1)?;
             match tys[0] {
                 Some(ValueType::Timestamp) | None => Ok(Some(ValueType::Int)),
-                Some(other) => {
-                    Err(FsError::Plan(format!("{func} requires a Timestamp, found {other}")))
-                }
+                Some(other) => Err(FsError::Plan(format!(
+                    "{func} requires a Timestamp, found {other}"
+                ))),
             }
         }
         other => Err(FsError::Plan(format!("unknown function `{other}`"))),
@@ -207,7 +220,9 @@ fn infer_call(func: &str, args: &[Expr], schema: &Schema) -> Result<InferredType
 fn expect_str(func: &str, t: InferredType) -> Result<()> {
     match t {
         Some(ValueType::Str) | None => Ok(()),
-        Some(other) => Err(FsError::Plan(format!("{func} requires a Str, found {other}"))),
+        Some(other) => Err(FsError::Plan(format!(
+            "{func} requires a Str, found {other}"
+        ))),
     }
 }
 
@@ -270,7 +285,11 @@ mod tests {
     fn arithmetic_widening() {
         assert_eq!(ty("trips + 1").unwrap(), Some(ValueType::Int));
         assert_eq!(ty("trips + 1.5").unwrap(), Some(ValueType::Float));
-        assert_eq!(ty("trips / 2").unwrap(), Some(ValueType::Float), "division is Float");
+        assert_eq!(
+            ty("trips / 2").unwrap(),
+            Some(ValueType::Float),
+            "division is Float"
+        );
         assert_eq!(ty("fare * trips").unwrap(), Some(ValueType::Float));
     }
 
@@ -310,8 +329,14 @@ mod tests {
             Some(ValueType::Float)
         );
         assert!(ty("CASE WHEN vip THEN 1 ELSE 'x' END").is_err());
-        assert!(ty("CASE WHEN trips THEN 1 END").is_err(), "non-bool condition");
-        assert_eq!(ty("CASE WHEN vip THEN 1 END").unwrap(), Some(ValueType::Int));
+        assert!(
+            ty("CASE WHEN trips THEN 1 END").is_err(),
+            "non-bool condition"
+        );
+        assert_eq!(
+            ty("CASE WHEN vip THEN 1 END").unwrap(),
+            Some(ValueType::Int)
+        );
     }
 
     #[test]

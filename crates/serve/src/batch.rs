@@ -1,0 +1,137 @@
+//! Opportunistic request batching.
+//!
+//! When a worker claims a job it also drains whatever else is already
+//! queued (up to a cap) and coalesces single-entity `GetFeatures` lookups
+//! that share a `(group, feature-list)` key into one
+//! `FeatureServer::serve_batch` call — one pass over the online store's
+//! shard locks instead of N. Under light load the drain comes back empty
+//! and requests run singly with no added latency; no timers are involved.
+
+use crate::protocol::{Request, Response};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One admitted request plus the channel its response travels back on.
+pub struct Job {
+    pub request: Request,
+    pub reply: Sender<Response>,
+    /// When admission accepted the job; latency is measured from here so
+    /// queue wait shows up in the percentiles.
+    pub accepted_at: Instant,
+}
+
+/// A coalesced group of single-entity lookups: same group, same features.
+pub struct FeatureBatch {
+    pub group: String,
+    pub features: Vec<String>,
+    /// The member jobs; every request is `GetFeatures` for this key.
+    pub jobs: Vec<Job>,
+}
+
+/// The worker's execution plan for one drain.
+pub struct Plan {
+    /// Coalesced `GetFeatures` groups of two or more.
+    pub batches: Vec<FeatureBatch>,
+    /// Everything else, executed one by one.
+    pub singles: Vec<Job>,
+}
+
+/// Claim up to `max - 1` additional queued jobs without blocking.
+pub fn drain(rx: &Receiver<Job>, first: Job, max: usize) -> Vec<Job> {
+    let mut jobs = vec![first];
+    while jobs.len() < max {
+        match rx.try_recv() {
+            Ok(job) => jobs.push(job),
+            Err(_) => break,
+        }
+    }
+    jobs
+}
+
+/// Partition drained jobs into coalesced feature batches and singles.
+/// Order within each output bucket follows arrival order.
+pub fn plan(jobs: Vec<Job>) -> Plan {
+    let mut by_key: BTreeMap<(String, Vec<String>), Vec<Job>> = BTreeMap::new();
+    let mut singles = Vec::new();
+    for job in jobs {
+        match &job.request {
+            Request::GetFeatures {
+                group, features, ..
+            } => {
+                by_key
+                    .entry((group.clone(), features.clone()))
+                    .or_default()
+                    .push(job);
+            }
+            _ => singles.push(job),
+        }
+    }
+    let mut batches = Vec::new();
+    for ((group, features), jobs) in by_key {
+        if jobs.len() >= 2 {
+            batches.push(FeatureBatch {
+                group,
+                features,
+                jobs,
+            });
+        } else {
+            // A batch of one gains nothing; keep the single-request path.
+            singles.extend(jobs);
+        }
+    }
+    Plan { batches, singles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn job(request: Request) -> Job {
+        // The receiver side is dropped; these tests only inspect requests.
+        let (reply, _) = bounded(1);
+        Job {
+            request,
+            reply,
+            accepted_at: Instant::now(),
+        }
+    }
+
+    fn get(group: &str, entity: &str, features: &[&str]) -> Request {
+        Request::GetFeatures {
+            group: group.into(),
+            entity: entity.into(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn coalesces_matching_lookups_and_keeps_mismatches_single() {
+        let jobs = vec![
+            job(get("user", "u1", &["a", "b"])),
+            job(get("user", "u2", &["a", "b"])),
+            job(get("user", "u3", &["a"])), // different feature list
+            job(get("item", "i1", &["a", "b"])), // different group
+            job(Request::Health),
+        ];
+        let plan = plan(jobs);
+        assert_eq!(plan.batches.len(), 1);
+        assert_eq!(plan.batches[0].group, "user");
+        assert_eq!(plan.batches[0].features, vec!["a", "b"]);
+        assert_eq!(plan.batches[0].jobs.len(), 2);
+        assert_eq!(plan.singles.len(), 3);
+    }
+
+    #[test]
+    fn drain_takes_queued_jobs_up_to_cap() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            assert!(tx.send(job(get("user", &format!("u{i}"), &["a"]))).is_ok());
+        }
+        let first = job(Request::Health);
+        let jobs = drain(&rx, first, 4);
+        assert_eq!(jobs.len(), 4, "first + three drained");
+        assert_eq!(rx.len(), 2, "two left queued");
+    }
+}

@@ -1,0 +1,146 @@
+//! A blocking client for the wire protocol. One request in flight per
+//! connection; open several clients for concurrency (the load generator
+//! in E14 does exactly that).
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireError, WireVector,
+};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode.
+    Wire(WireError),
+    /// The server refused or failed the request.
+    Server {
+        code: ErrorCode,
+        message: String,
+    },
+    /// The server closed the connection mid-exchange.
+    ConnectionClosed,
+    /// The server answered with a different response type than the
+    /// request calls for.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::ConnectionClosed => write!(f, "connection closed by server"),
+            ClientError::UnexpectedResponse(expected) => {
+                write!(f, "unexpected response type, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, if this failure carries one.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a feature server.
+pub struct FeatureClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl FeatureClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(FeatureClient { writer, reader })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::ConnectionClosed)?;
+        Response::decode(&payload).map_err(ClientError::Wire)
+    }
+
+    /// Liveness probe; returns `(queue_depth, draining)`.
+    pub fn health(&mut self) -> Result<(u32, bool), ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health {
+                queue_depth,
+                draining,
+            } => Ok((queue_depth, draining)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Health")),
+        }
+    }
+
+    /// One entity's feature vector.
+    pub fn get_features(
+        &mut self,
+        group: &str,
+        entity: &str,
+        features: &[&str],
+    ) -> Result<WireVector, ClientError> {
+        let request = Request::GetFeatures {
+            group: group.to_string(),
+            entity: entity.to_string(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.call(&request)? {
+            Response::Features(v) => Ok(v),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Features")),
+        }
+    }
+
+    /// Many entities, one group and feature list.
+    pub fn get_features_batch(
+        &mut self,
+        group: &str,
+        entities: &[&str],
+        features: &[&str],
+    ) -> Result<Vec<WireVector>, ClientError> {
+        let request = Request::GetFeaturesBatch {
+            group: group.to_string(),
+            entities: entities.iter().map(|s| s.to_string()).collect(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.call(&request)? {
+            Response::FeaturesBatch(vs) => Ok(vs),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("FeaturesBatch")),
+        }
+    }
+
+    /// One embedding vector; `table` is `"name"` (latest) or `"name@vN"`.
+    pub fn get_embedding(&mut self, table: &str, key: &str) -> Result<Vec<f32>, ClientError> {
+        let request = Request::GetEmbedding {
+            table: table.to_string(),
+            key: key.to_string(),
+        };
+        match self.call(&request)? {
+            Response::Embedding { vector, .. } => Ok(vector),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Embedding")),
+        }
+    }
+}

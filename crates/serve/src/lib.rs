@@ -1,0 +1,35 @@
+//! `fstore-serve` — the network serving layer (paper §2.2.2: online
+//! feature serving under production traffic).
+//!
+//! The feature store's `FeatureServer` answers in-process calls; this
+//! crate puts it behind a socket with the properties a production serving
+//! tier needs:
+//!
+//! * [`protocol`] — a compact length-prefixed binary wire protocol with
+//!   typed error responses; decoding is total (no panics on hostile
+//!   input) and oversized frames are refused before allocation.
+//! * [`server`] — a std-only threaded TCP server: connection threads do
+//!   framing, a bounded crossbeam channel feeds a worker pool.
+//! * [`batch`] — workers opportunistically coalesce queued single-entity
+//!   lookups that share `(group, features)` into one batch serve.
+//! * [`admission`] — the bounded queue *is* the admission limit; overflow
+//!   is shed immediately with a distinct `Overloaded` error, and shutdown
+//!   drains admitted work before the pool exits.
+//! * [`metrics`] — per-endpoint counters and p50/p95/p99 latency from
+//!   streaming P² estimators, dumpable as JSON.
+//! * [`client`] — a blocking client, also used by the E14 load generator.
+
+pub mod admission;
+pub mod batch;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{AdmissionController, AdmitReject};
+pub use client::{ClientError, FeatureClient};
+pub use metrics::{Endpoint, EndpointSnapshot, MetricsSnapshot, ServingMetrics};
+pub use protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireError, WireVector, MAX_FRAME_LEN,
+};
+pub use server::{atomic_clock, fixed_clock, start, Clock, ServeConfig, ServeEngine, ServerHandle};

@@ -1,0 +1,268 @@
+//! Serving metrics: per-endpoint request/error counters and streaming
+//! latency quantiles (p50/p95/p99 via the P² estimator), plus admission
+//! and batching counters. Snapshots render to JSON for dashboards and the
+//! E14 bench artifact.
+
+use fstore_common::stats::P2Quantile;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The four wire endpoints, used as metric labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Health = 0,
+    GetFeatures = 1,
+    GetFeaturesBatch = 2,
+    GetEmbedding = 3,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 4] = [
+        Endpoint::Health,
+        Endpoint::GetFeatures,
+        Endpoint::GetFeaturesBatch,
+        Endpoint::GetEmbedding,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Health => "health",
+            Endpoint::GetFeatures => "get_features",
+            Endpoint::GetFeaturesBatch => "get_features_batch",
+            Endpoint::GetEmbedding => "get_embedding",
+        }
+    }
+}
+
+/// Streaming latency state for one endpoint. The P² estimators hold five
+/// markers each, so memory stays constant no matter the request count.
+struct Latency {
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+    total_ms: f64,
+    max_ms: f64,
+}
+
+impl Latency {
+    fn new() -> Self {
+        Latency {
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            total_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    fn push(&mut self, ms: f64) {
+        self.p50.push(ms);
+        self.p95.push(ms);
+        self.p99.push(ms);
+        self.total_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+    }
+}
+
+struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<Latency>,
+}
+
+impl EndpointMetrics {
+    fn new() -> Self {
+        EndpointMetrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new(Latency::new()),
+        }
+    }
+}
+
+/// Shared serving metrics; every handle clones an `Arc` of this.
+pub struct ServingMetrics {
+    endpoints: [EndpointMetrics; 4],
+    /// Requests refused by admission control (queue full).
+    shed: AtomicU64,
+    /// Requests refused because the server was draining.
+    rejected_draining: AtomicU64,
+    /// Batches executed and single requests carried inside them.
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl Default for ServingMetrics {
+    fn default() -> Self {
+        ServingMetrics {
+            endpoints: [
+                EndpointMetrics::new(),
+                EndpointMetrics::new(),
+                EndpointMetrics::new(),
+                EndpointMetrics::new(),
+            ],
+            shed: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServingMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one finished request with its end-to-end latency (queue wait
+    /// plus handling), in milliseconds.
+    pub fn record(&self, endpoint: Endpoint, latency_ms: f64, ok: bool) {
+        let m = &self.endpoints[endpoint as usize];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.lock().push(latency_ms);
+    }
+
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected_draining(&self) {
+        self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that one coalesced batch carried `size` single requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint as usize]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    pub fn total_requests(&self) -> u64 {
+        Endpoint::ALL.iter().map(|&e| self.requests(e)).sum()
+    }
+
+    /// Point-in-time copy of everything, for JSON rendering and asserts.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut endpoints = BTreeMap::new();
+        for &e in &Endpoint::ALL {
+            let m = &self.endpoints[e as usize];
+            let lat = m.latency.lock();
+            let count = lat.p50.count();
+            endpoints.insert(
+                e.as_str().to_string(),
+                EndpointSnapshot {
+                    requests: m.requests.load(Ordering::Relaxed),
+                    errors: m.errors.load(Ordering::Relaxed),
+                    p50_ms: lat.p50.estimate(),
+                    p95_ms: lat.p95.estimate(),
+                    p99_ms: lat.p99.estimate(),
+                    mean_ms: if count > 0 {
+                        Some(lat.total_ms / count as f64)
+                    } else {
+                        None
+                    },
+                    max_ms: if count > 0 { Some(lat.max_ms) } else { None },
+                },
+            );
+        }
+        MetricsSnapshot {
+            endpoints,
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The snapshot as a pretty-printed JSON document.
+    pub fn dump_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("metrics snapshot serializes")
+    }
+}
+
+/// One endpoint's counters and latency summary at snapshot time.
+#[derive(Debug, Clone, Serialize)]
+pub struct EndpointSnapshot {
+    pub requests: u64,
+    pub errors: u64,
+    pub p50_ms: Option<f64>,
+    pub p95_ms: Option<f64>,
+    pub p99_ms: Option<f64>,
+    pub mean_ms: Option<f64>,
+    pub max_ms: Option<f64>,
+}
+
+/// Full metrics snapshot; serializes to the JSON dumped by
+/// [`ServingMetrics::dump_json`].
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    pub endpoints: BTreeMap<String, EndpointSnapshot>,
+    pub shed: u64,
+    pub rejected_draining: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let m = ServingMetrics::new();
+        for i in 1..=1000 {
+            m.record(Endpoint::GetFeatures, i as f64, true);
+        }
+        let snap = m.snapshot();
+        let ep = &snap.endpoints["get_features"];
+        assert_eq!(ep.requests, 1000);
+        assert_eq!(ep.errors, 0);
+        let p50 = ep.p50_ms.unwrap();
+        let p99 = ep.p99_ms.unwrap();
+        assert!((p50 - 500.0).abs() < 50.0, "p50 {p50}");
+        assert!((p99 - 990.0).abs() < 30.0, "p99 {p99}");
+        assert!(ep.mean_ms.unwrap() > 0.0);
+        assert_eq!(ep.max_ms, Some(1000.0));
+    }
+
+    #[test]
+    fn shed_and_batch_counters() {
+        let m = ServingMetrics::new();
+        m.record_shed();
+        m.record_shed();
+        m.record_batch(8);
+        let snap = m.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batched_requests, 8);
+        assert_eq!(m.shed_count(), 2);
+    }
+
+    #[test]
+    fn json_dump_is_parseable_and_carries_counters() {
+        let m = ServingMetrics::new();
+        m.record(Endpoint::Health, 0.1, true);
+        m.record(Endpoint::GetEmbedding, 2.0, false);
+        m.record_shed();
+        let dump = m.dump_json();
+        let v: serde_json::Value = serde_json::from_str(&dump).unwrap();
+        assert_eq!(v["shed"].as_u64(), Some(1));
+        assert_eq!(v["endpoints"]["health"]["requests"].as_u64(), Some(1));
+        assert_eq!(v["endpoints"]["get_embedding"]["errors"].as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,565 @@
+//! The wire protocol: a compact length-prefixed binary encoding for
+//! feature-serving requests and responses.
+//!
+//! Framing is a 4-byte big-endian payload length followed by the payload;
+//! frames above [`MAX_FRAME_LEN`] are rejected before allocation so a
+//! corrupt or hostile peer cannot balloon server memory. Payloads are
+//! tag-prefixed structs: `u8` discriminant, then fields in order. Strings
+//! and sequences carry a `u32` length. All integers are big-endian.
+//!
+//! Decoding is total: every error is a typed [`WireError`], never a panic,
+//! and a payload must be consumed exactly (trailing bytes are an error) so
+//! a round-trip is byte-identical.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fstore_common::{Duration, Timestamp, Value};
+use fstore_core::FeatureVector;
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame payload (16 MiB).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Decode-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended before the structure was complete.
+    Truncated,
+    /// Structure complete but bytes were left over.
+    TrailingBytes(usize),
+    /// Unknown discriminant for the named type.
+    BadTag { ty: &'static str, tag: u8 },
+    /// A declared length exceeds the frame ceiling.
+    Oversized(usize),
+    /// String field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-structure"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after structure"),
+            WireError::BadTag { ty, tag } => write!(f, "unknown {ty} tag {tag}"),
+            WireError::Oversized(n) => write!(f, "declared length {n} exceeds frame ceiling"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why a request was refused, carried on the wire inside
+/// [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or unsupported request.
+    BadRequest = 1,
+    /// Entity group, embedding table, or key does not exist.
+    NotFound = 2,
+    /// The staleness policy refused to serve over-age features.
+    Stale = 3,
+    /// Admission control shed the request: the queue is full.
+    Overloaded = 4,
+    /// The server is draining and no longer admits work.
+    ShuttingDown = 5,
+    /// Anything else that went wrong while handling the request.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::NotFound,
+            3 => ErrorCode::Stale,
+            4 => ErrorCode::Overloaded,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Internal,
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "ErrorCode",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; also reports queue depth.
+    Health,
+    /// One entity's feature vector from a group.
+    GetFeatures {
+        group: String,
+        entity: String,
+        features: Vec<String>,
+    },
+    /// Many entities, same group and feature list (batch scoring).
+    GetFeaturesBatch {
+        group: String,
+        entities: Vec<String>,
+        features: Vec<String>,
+    },
+    /// One embedding vector; `table` is `"name"` (latest) or `"name@vN"`.
+    GetEmbedding { table: String, key: String },
+}
+
+impl Request {
+    /// Endpoint label for metrics.
+    pub fn endpoint(&self) -> crate::metrics::Endpoint {
+        use crate::metrics::Endpoint;
+        match self {
+            Request::Health => Endpoint::Health,
+            Request::GetFeatures { .. } => Endpoint::GetFeatures,
+            Request::GetFeaturesBatch { .. } => Endpoint::GetFeaturesBatch,
+            Request::GetEmbedding { .. } => Endpoint::GetEmbedding,
+        }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Health => buf.put_u8(0),
+            Request::GetFeatures {
+                group,
+                entity,
+                features,
+            } => {
+                buf.put_u8(1);
+                put_str(&mut buf, group);
+                put_str(&mut buf, entity);
+                put_str_seq(&mut buf, features);
+            }
+            Request::GetFeaturesBatch {
+                group,
+                entities,
+                features,
+            } => {
+                buf.put_u8(2);
+                put_str(&mut buf, group);
+                put_str_seq(&mut buf, entities);
+                put_str_seq(&mut buf, features);
+            }
+            Request::GetEmbedding { table, key } => {
+                buf.put_u8(3);
+                put_str(&mut buf, table);
+                put_str(&mut buf, key);
+            }
+        }
+        buf.freeze()
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = payload;
+        let request = match take_u8(&mut r)? {
+            0 => Request::Health,
+            1 => Request::GetFeatures {
+                group: take_str(&mut r)?,
+                entity: take_str(&mut r)?,
+                features: take_str_seq(&mut r)?,
+            },
+            2 => Request::GetFeaturesBatch {
+                group: take_str(&mut r)?,
+                entities: take_str_seq(&mut r)?,
+                features: take_str_seq(&mut r)?,
+            },
+            3 => Request::GetEmbedding {
+                table: take_str(&mut r)?,
+                key: take_str(&mut r)?,
+            },
+            tag => return Err(WireError::BadTag { ty: "Request", tag }),
+        };
+        finish(r)?;
+        Ok(request)
+    }
+}
+
+/// A served feature vector in wire form (ages in milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireVector {
+    pub entity: String,
+    pub features: Vec<String>,
+    pub values: Vec<Value>,
+    pub ages_ms: Vec<Option<i64>>,
+    pub stale: Vec<String>,
+}
+
+impl From<&FeatureVector> for WireVector {
+    fn from(v: &FeatureVector) -> Self {
+        WireVector {
+            entity: v.entity.0.clone(),
+            features: v.features.clone(),
+            values: v.values.clone(),
+            ages_ms: v.ages.iter().map(|a| a.map(Duration::as_millis)).collect(),
+            stale: v.stale.clone(),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Health { queue_depth: u32, draining: bool },
+    Features(WireVector),
+    FeaturesBatch(Vec<WireVector>),
+    Embedding { dim: u32, vector: Vec<f32> },
+    Error { code: ErrorCode, message: String },
+}
+
+impl Response {
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Health {
+                queue_depth,
+                draining,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32(*queue_depth);
+                buf.put_u8(u8::from(*draining));
+            }
+            Response::Features(v) => {
+                buf.put_u8(1);
+                put_vector(&mut buf, v);
+            }
+            Response::FeaturesBatch(vs) => {
+                buf.put_u8(2);
+                buf.put_u32(vs.len() as u32);
+                for v in vs {
+                    put_vector(&mut buf, v);
+                }
+            }
+            Response::Embedding { dim, vector } => {
+                buf.put_u8(3);
+                buf.put_u32(*dim);
+                buf.put_u32(vector.len() as u32);
+                for &x in vector {
+                    buf.put_f32(x);
+                }
+            }
+            Response::Error { code, message } => {
+                buf.put_u8(4);
+                buf.put_u8(*code as u8);
+                put_str(&mut buf, message);
+            }
+        }
+        buf.freeze()
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = payload;
+        let response = match take_u8(&mut r)? {
+            0 => Response::Health {
+                queue_depth: take_u32(&mut r)?,
+                draining: take_u8(&mut r)? != 0,
+            },
+            1 => Response::Features(take_vector(&mut r)?),
+            2 => {
+                let n = take_len(&mut r)?;
+                let mut vs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    vs.push(take_vector(&mut r)?);
+                }
+                Response::FeaturesBatch(vs)
+            }
+            3 => {
+                let dim = take_u32(&mut r)?;
+                let n = take_len(&mut r)?;
+                let mut vector = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    vector.push(take_f32(&mut r)?);
+                }
+                Response::Embedding { dim, vector }
+            }
+            4 => {
+                let code = ErrorCode::from_u8(take_u8(&mut r)?)?;
+                Response::Error {
+                    code,
+                    message: take_str(&mut r)?,
+                }
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "Response",
+                    tag,
+                })
+            }
+        };
+        finish(r)?;
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Write `payload` as one frame: `u32` big-endian length, then bytes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame exceeds MAX_FRAME_LEN"
+    );
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary; oversized
+/// declared lengths error out before any allocation.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversized(len),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ------------------------------------------------------------- primitives
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_str_seq(buf: &mut BytesMut, items: &[String]) {
+    buf.put_u32(items.len() as u32);
+    for s in items {
+        put_str(buf, s);
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64(*f);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(3);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+        Value::Timestamp(t) => {
+            buf.put_u8(5);
+            buf.put_i64(t.as_millis());
+        }
+    }
+}
+
+fn put_vector(buf: &mut BytesMut, v: &WireVector) {
+    put_str(buf, &v.entity);
+    put_str_seq(buf, &v.features);
+    buf.put_u32(v.values.len() as u32);
+    for value in &v.values {
+        put_value(buf, value);
+    }
+    buf.put_u32(v.ages_ms.len() as u32);
+    for age in &v.ages_ms {
+        match age {
+            None => buf.put_u8(0),
+            Some(ms) => {
+                buf.put_u8(1);
+                buf.put_i64(*ms);
+            }
+        }
+    }
+    put_str_seq(buf, &v.stale);
+}
+
+fn take_u8(r: &mut &[u8]) -> Result<u8, WireError> {
+    if r.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(r.get_u8())
+}
+
+fn take_u32(r: &mut &[u8]) -> Result<u32, WireError> {
+    if r.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(r.get_u32())
+}
+
+fn take_i64(r: &mut &[u8]) -> Result<i64, WireError> {
+    if r.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(r.get_i64())
+}
+
+fn take_f64(r: &mut &[u8]) -> Result<f64, WireError> {
+    if r.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(r.get_f64())
+}
+
+fn take_f32(r: &mut &[u8]) -> Result<f32, WireError> {
+    if r.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(r.get_f32())
+}
+
+/// A `u32` length that must still be plausible within one frame.
+fn take_len(r: &mut &[u8]) -> Result<usize, WireError> {
+    let n = take_u32(r)? as usize;
+    if n > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(n));
+    }
+    Ok(n)
+}
+
+fn take_str(r: &mut &[u8]) -> Result<String, WireError> {
+    let len = take_len(r)?;
+    if r.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let bytes = r[..len].to_vec();
+    r.advance(len);
+    String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+}
+
+fn take_str_seq(r: &mut &[u8]) -> Result<Vec<String>, WireError> {
+    let n = take_len(r)?;
+    let mut items = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        items.push(take_str(r)?);
+    }
+    Ok(items)
+}
+
+fn take_value(r: &mut &[u8]) -> Result<Value, WireError> {
+    Ok(match take_u8(r)? {
+        0 => Value::Null,
+        1 => Value::Int(take_i64(r)?),
+        2 => Value::Float(take_f64(r)?),
+        3 => Value::Bool(take_u8(r)? != 0),
+        4 => Value::Str(take_str(r)?),
+        5 => Value::Timestamp(Timestamp::millis(take_i64(r)?)),
+        tag => return Err(WireError::BadTag { ty: "Value", tag }),
+    })
+}
+
+fn take_vector(r: &mut &[u8]) -> Result<WireVector, WireError> {
+    let entity = take_str(r)?;
+    let features = take_str_seq(r)?;
+    let n_values = take_len(r)?;
+    let mut values = Vec::with_capacity(n_values.min(1024));
+    for _ in 0..n_values {
+        values.push(take_value(r)?);
+    }
+    let n_ages = take_len(r)?;
+    let mut ages_ms = Vec::with_capacity(n_ages.min(1024));
+    for _ in 0..n_ages {
+        ages_ms.push(match take_u8(r)? {
+            0 => None,
+            _ => Some(take_i64(r)?),
+        });
+    }
+    let stale = take_str_seq(r)?;
+    Ok(WireVector {
+        entity,
+        features,
+        values,
+        ages_ms,
+        stale,
+    })
+}
+
+fn finish(r: &[u8]) -> Result<(), WireError> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::TrailingBytes(r.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::GetFeatures {
+            group: "user".into(),
+            entity: "u1".into(),
+            features: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_error_round_trips() {
+        let resp = Response::error(ErrorCode::Overloaded, "queue full");
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Health.encode().to_vec();
+        payload.push(0);
+        assert_eq!(Request::decode(&payload), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(matches!(
+            Request::decode(&[9]),
+            Err(WireError::BadTag {
+                ty: "Request",
+                tag: 9
+            })
+        ));
+        assert!(matches!(
+            Response::decode(&[9]),
+            Err(WireError::BadTag { .. })
+        ));
+    }
+}

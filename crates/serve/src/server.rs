@@ -1,0 +1,505 @@
+//! The TCP feature-serving server.
+//!
+//! Architecture (std threads only — no async runtime):
+//!
+//! ```text
+//!   acceptor ──spawns──▶ connection threads (frame I/O, one per socket)
+//!       │                        │ submit (admission: bounded, non-blocking)
+//!       │                        ▼
+//!       │               bounded crossbeam channel
+//!       │                        │ recv + opportunistic drain
+//!       │                        ▼
+//!       └──────────────▶ worker pool (batch coalescing, FeatureServer /
+//!                                     EmbeddingStore, metrics)
+//! ```
+//!
+//! Connection threads never execute store code; they frame bytes and wait
+//! on a per-request reply channel. Workers claim a job plus whatever else
+//! is queued and coalesce compatible lookups into one batch serve.
+//! Shutdown is graceful: admission flips to draining, open sockets are
+//! shut down, and workers finish every admitted job before exiting.
+
+use crate::admission::{AdmissionController, AdmitReject};
+use crate::batch::{self, Job};
+use crate::metrics::ServingMetrics;
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, WireVector};
+use crossbeam::channel::{bounded, Receiver};
+use fstore_common::{EntityKey, FsError, Timestamp};
+use fstore_core::FeatureServer;
+use fstore_embed::EmbeddingStore;
+use parking_lot::{Mutex, RwLock};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue depth between connections and workers — the admission
+    /// control limit. Submissions beyond this are shed as `Overloaded`.
+    pub queue_depth: usize,
+    /// Most jobs one worker claims per drain (batch ceiling).
+    pub max_batch: usize,
+    /// Artificial per-claim delay — fault injection for load-shedding
+    /// tests and experiments. `None` in production configurations.
+    pub handler_delay: Option<std::time::Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 256,
+            max_batch: 32,
+            handler_delay: None,
+        }
+    }
+}
+
+/// The clock requests are served at (the workspace simulates time; wall
+/// clocks would make freshness nondeterministic).
+pub type Clock = Arc<dyn Fn() -> Timestamp + Send + Sync>;
+
+/// A clock pinned to one instant.
+pub fn fixed_clock(now: Timestamp) -> Clock {
+    Arc::new(move || now)
+}
+
+/// A clock backed by a shared atomic; advance it from outside the server.
+pub fn atomic_clock(millis: Arc<AtomicI64>) -> Clock {
+    Arc::new(move || Timestamp::millis(millis.load(Ordering::Acquire)))
+}
+
+/// Everything a worker needs to answer requests.
+pub struct ServeEngine {
+    server: FeatureServer,
+    embeddings: Option<Arc<RwLock<EmbeddingStore>>>,
+    clock: Clock,
+}
+
+impl ServeEngine {
+    pub fn new(server: FeatureServer, clock: Clock) -> Self {
+        ServeEngine {
+            server,
+            embeddings: None,
+            clock,
+        }
+    }
+
+    /// Attach an embedding catalog for `GetEmbedding`.
+    pub fn with_embeddings(mut self, embeddings: Arc<RwLock<EmbeddingStore>>) -> Self {
+        self.embeddings = Some(embeddings);
+        self
+    }
+
+    /// Convenience for a catalog the server owns outright.
+    pub fn with_embedding_catalog(self, catalog: EmbeddingStore) -> Self {
+        self.with_embeddings(Arc::new(RwLock::new(catalog)))
+    }
+
+    pub fn now(&self) -> Timestamp {
+        (self.clock)()
+    }
+
+    /// Answer one request. Total: every failure becomes a wire error.
+    pub fn handle(&self, request: &Request, queue_depth: u32, draining: bool) -> Response {
+        match request {
+            Request::Health => Response::Health {
+                queue_depth,
+                draining,
+            },
+            Request::GetFeatures {
+                group,
+                entity,
+                features,
+            } => {
+                let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+                match self
+                    .server
+                    .serve(group, &EntityKey::new(entity.clone()), &refs, self.now())
+                {
+                    Ok(v) => Response::Features(WireVector::from(&v)),
+                    Err(e) => fs_error_response(&e),
+                }
+            }
+            Request::GetFeaturesBatch {
+                group,
+                entities,
+                features,
+            } => {
+                let keys: Vec<EntityKey> =
+                    entities.iter().map(|e| EntityKey::new(e.clone())).collect();
+                let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+                match self.server.serve_batch(group, &keys, &refs, self.now()) {
+                    Ok(vs) => Response::FeaturesBatch(vs.iter().map(WireVector::from).collect()),
+                    Err(e) => fs_error_response(&e),
+                }
+            }
+            Request::GetEmbedding { table, key } => {
+                let Some(embeddings) = &self.embeddings else {
+                    return Response::error(
+                        ErrorCode::NotFound,
+                        "no embedding catalog attached to this server",
+                    );
+                };
+                let catalog = embeddings.read();
+                match catalog.resolve(table) {
+                    Ok(version) => match version.table.get(key) {
+                        Some(vector) => Response::Embedding {
+                            dim: version.table.dim() as u32,
+                            vector: vector.to_vec(),
+                        },
+                        None => Response::error(
+                            ErrorCode::NotFound,
+                            format!(
+                                "key `{key}` not in embedding `{}`",
+                                version.qualified_name()
+                            ),
+                        ),
+                    },
+                    Err(e) => fs_error_response(&e),
+                }
+            }
+        }
+    }
+}
+
+/// Map a store error onto a wire error code.
+fn fs_error_response(e: &FsError) -> Response {
+    let code = match e {
+        FsError::NotFound { .. } => ErrorCode::NotFound,
+        FsError::InvalidArgument(_) => ErrorCode::BadRequest,
+        // The serving path's only Storage error is the FailOnStale refusal.
+        FsError::Storage(_) => ErrorCode::Stale,
+        _ => ErrorCode::Internal,
+    };
+    Response::error(code, e.to_string())
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts ungracefully (threads detach).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServingMetrics>,
+    admission: Option<AdmissionController>,
+    draining: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn metrics(&self) -> Arc<ServingMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Jobs admitted but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.admission
+            .as_ref()
+            .map_or(0, AdmissionController::queue_depth)
+    }
+
+    /// Graceful shutdown: refuse new work, finish every admitted job, then
+    /// join the acceptor, all connection threads, and all workers.
+    pub fn shutdown(mut self) {
+        self.draining.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        // Shut sockets down so connection threads fall out of read_frame.
+        for (_, conn) in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let conn_threads: Vec<_> = std::mem::take(&mut *self.conn_threads.lock());
+        for t in conn_threads {
+            t.join().expect("connection thread panicked");
+        }
+        // Last senders go away here; workers drain the queue and exit.
+        drop(self.admission.take());
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+/// Bind, spawn the acceptor and worker pool, and return a handle.
+pub fn start(engine: ServeEngine, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(ServingMetrics::new());
+    let draining = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
+    let admission = AdmissionController::new(tx, Arc::clone(&draining), Arc::clone(&metrics));
+    let engine = Arc::new(engine);
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let rx = rx.clone();
+            let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
+            let draining = Arc::clone(&draining);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name(format!("fstore-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &engine, &metrics, &draining, &config))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let draining = Arc::clone(&draining);
+        let admission = admission.clone();
+        let conn_threads = Arc::clone(&conn_threads);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("fstore-serve-acceptor".to_string())
+            .spawn(move || {
+                let mut next_conn_id: u64 = 0;
+                for stream in listener.incoming() {
+                    if draining.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Small request/response frames: Nagle + delayed ACK
+                    // would add milliseconds per round trip.
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    if let Ok(registered) = stream.try_clone() {
+                        conns.lock().push((conn_id, registered));
+                    }
+                    let admission = admission.clone();
+                    let draining = Arc::clone(&draining);
+                    let conns = Arc::clone(&conns);
+                    let handle = std::thread::Builder::new()
+                        .name("fstore-serve-conn".to_string())
+                        .spawn(move || {
+                            connection_loop(stream, &admission, &draining);
+                            // Deregister so the clone doesn't hold the fd
+                            // open after the connection is done — the peer
+                            // must see EOF, and dead sockets must not pile
+                            // up until shutdown.
+                            conns.lock().retain(|(id, _)| *id != conn_id);
+                        })
+                        .expect("spawn connection thread");
+                    conn_threads.lock().push(handle);
+                }
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        metrics,
+        admission: Some(admission),
+        draining,
+        acceptor: Some(acceptor),
+        workers,
+        conn_threads,
+        conns,
+    })
+}
+
+/// Per-socket loop: read a frame, admit it, wait for the reply, write it.
+fn connection_loop(mut stream: TcpStream, admission: &AdmissionController, draining: &AtomicBool) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => std::io::BufReader::new(s),
+        Err(_) => return,
+    };
+    loop {
+        if draining.load(Ordering::Acquire) {
+            break;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => break,
+        };
+        let response = match Request::decode(&payload) {
+            Err(e) => Response::error(ErrorCode::BadRequest, e.to_string()),
+            Ok(request) => {
+                let (reply_tx, reply_rx) = bounded(1);
+                let job = Job {
+                    request,
+                    reply: reply_tx,
+                    accepted_at: Instant::now(),
+                };
+                match admission.submit(job) {
+                    Ok(()) => match reply_rx.recv() {
+                        Ok(response) => response,
+                        Err(_) => {
+                            Response::error(ErrorCode::Internal, "worker dropped the request")
+                        }
+                    },
+                    Err(AdmitReject::Overloaded) => {
+                        Response::error(ErrorCode::Overloaded, "serving queue is full")
+                    }
+                    Err(AdmitReject::Draining) => {
+                        Response::error(ErrorCode::ShuttingDown, "server is draining")
+                    }
+                }
+            }
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Worker: claim one job, drain the queue opportunistically, coalesce,
+/// execute, reply, record.
+fn worker_loop(
+    rx: &Receiver<Job>,
+    engine: &ServeEngine,
+    metrics: &ServingMetrics,
+    draining: &AtomicBool,
+    config: &ServeConfig,
+) {
+    while let Ok(first) = rx.recv() {
+        if let Some(delay) = config.handler_delay {
+            std::thread::sleep(delay);
+        }
+        let jobs = batch::drain(rx, first, config.max_batch.max(1));
+        let plan = batch::plan(jobs);
+        let is_draining = draining.load(Ordering::Acquire);
+
+        for batch in plan.batches {
+            metrics.record_batch(batch.jobs.len());
+            let keys: Vec<EntityKey> = batch
+                .jobs
+                .iter()
+                .map(|j| match &j.request {
+                    Request::GetFeatures { entity, .. } => EntityKey::new(entity.clone()),
+                    _ => unreachable!("plan() only batches GetFeatures"),
+                })
+                .collect();
+            let refs: Vec<&str> = batch.features.iter().map(String::as_str).collect();
+            match engine
+                .server
+                .serve_batch(&batch.group, &keys, &refs, engine.now())
+            {
+                Ok(vectors) => {
+                    for (job, vector) in batch.jobs.into_iter().zip(&vectors) {
+                        finish(metrics, job, Response::Features(WireVector::from(vector)));
+                    }
+                }
+                // A batch fails as a unit (e.g. FailOnStale tripped by one
+                // member); re-serve singly to preserve per-request answers.
+                Err(_) => {
+                    for job in batch.jobs {
+                        let response = engine.handle(&job.request, rx.len() as u32, is_draining);
+                        finish(metrics, job, response);
+                    }
+                }
+            }
+        }
+        for job in plan.singles {
+            let response = engine.handle(&job.request, rx.len() as u32, is_draining);
+            finish(metrics, job, response);
+        }
+    }
+}
+
+/// Reply and record one finished job.
+fn finish(metrics: &ServingMetrics, job: Job, response: Response) {
+    let ok = !matches!(response, Response::Error { .. });
+    let latency_ms = job.accepted_at.elapsed().as_secs_f64() * 1e3;
+    metrics.record(job.request.endpoint(), latency_ms, ok);
+    // The connection may already be gone; its loss is not the worker's
+    // problem.
+    let _ = job.reply.send(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::Value;
+    use fstore_storage::OnlineStore;
+
+    fn engine() -> ServeEngine {
+        let online = Arc::new(OnlineStore::default());
+        online.put(
+            "user",
+            &EntityKey::new("u1"),
+            "score",
+            Value::Float(0.5),
+            Timestamp::millis(100),
+        );
+        ServeEngine::new(
+            FeatureServer::new(online),
+            fixed_clock(Timestamp::millis(1_000)),
+        )
+    }
+
+    #[test]
+    fn engine_serves_features_and_maps_missing_groups_to_nulls() {
+        let e = engine();
+        let resp = e.handle(
+            &Request::GetFeatures {
+                group: "user".into(),
+                entity: "u1".into(),
+                features: vec!["score".into()],
+            },
+            0,
+            false,
+        );
+        match resp {
+            Response::Features(v) => {
+                assert_eq!(v.values, vec![Value::Float(0.5)]);
+                assert_eq!(v.ages_ms, vec![Some(900)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_reports_missing_embedding_catalog() {
+        let e = engine();
+        let resp = e.handle(
+            &Request::GetEmbedding {
+                table: "emb".into(),
+                key: "k".into(),
+            },
+            0,
+            false,
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::NotFound,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn health_reflects_queue_and_drain_state() {
+        let e = engine();
+        let resp = e.handle(&Request::Health, 7, true);
+        assert_eq!(
+            resp,
+            Response::Health {
+                queue_depth: 7,
+                draining: true
+            }
+        );
+    }
+}

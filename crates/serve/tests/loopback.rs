@@ -1,0 +1,326 @@
+//! End-to-end loopback tests: a real server on 127.0.0.1, concurrent
+//! clients over real sockets, responses checked against direct in-process
+//! `FeatureServer` / `EmbeddingTable` calls.
+
+use fstore_common::{EntityKey, Timestamp, Value};
+use fstore_core::FeatureServer;
+use fstore_embed::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable};
+use fstore_serve::{fixed_clock, start, ErrorCode, FeatureClient, ServeConfig, ServeEngine};
+use fstore_storage::OnlineStore;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+const ENTITIES: usize = 100;
+const EMBED_KEYS: usize = 20;
+const EMBED_DIM: usize = 8;
+const NOW: Timestamp = Timestamp(10_000);
+
+fn online_store() -> Arc<OnlineStore> {
+    let online = Arc::new(OnlineStore::default());
+    for i in 0..ENTITIES {
+        let key = EntityKey::new(format!("u{i}"));
+        online.put(
+            "user",
+            &key,
+            "score",
+            Value::Float(i as f64 * 0.5),
+            Timestamp::millis(100 + i as i64),
+        );
+        online.put(
+            "user",
+            &key,
+            "clicks",
+            Value::Int(i as i64),
+            Timestamp::millis(200 + i as i64),
+        );
+    }
+    online
+}
+
+fn embedding_store() -> EmbeddingStore {
+    let mut table = EmbeddingTable::new(EMBED_DIM).unwrap();
+    for i in 0..EMBED_KEYS {
+        let v: Vec<f32> = (0..EMBED_DIM)
+            .map(|d| (i * EMBED_DIM + d) as f32 * 0.25)
+            .collect();
+        table.insert(format!("u{i}"), v).unwrap();
+    }
+    let mut store = EmbeddingStore::new();
+    store
+        .publish("emb", table, EmbeddingProvenance::default(), NOW)
+        .unwrap();
+    store
+}
+
+#[test]
+fn concurrent_clients_match_direct_calls_and_shutdown_is_graceful() {
+    let online = online_store();
+    let direct = FeatureServer::new(Arc::clone(&online));
+    let embeddings = Arc::new(RwLock::new(embedding_store()));
+    let engine = ServeEngine::new(FeatureServer::new(online), fixed_clock(NOW))
+        .with_embeddings(Arc::clone(&embeddings));
+    let handle = start(
+        engine,
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            max_batch: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 125; // 8 × 125 = 1000 requests
+
+    let direct = Arc::new(direct);
+    let embeddings_ref = Arc::clone(&embeddings);
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let direct = Arc::clone(&direct);
+            let embeddings = Arc::clone(&embeddings_ref);
+            std::thread::spawn(move || {
+                let mut client = FeatureClient::connect(addr).unwrap();
+                for i in 0..PER_THREAD {
+                    let pick = (t * PER_THREAD + i) % 5;
+                    match pick {
+                        0 | 1 => {
+                            // Single-entity lookup, both feature orders;
+                            // includes entities that do not exist.
+                            let id = (t * 31 + i * 7) % (ENTITIES + 5);
+                            let entity = format!("u{id}");
+                            let features: &[&str] = if pick == 0 {
+                                &["score", "clicks"]
+                            } else {
+                                &["clicks"]
+                            };
+                            let got = client.get_features("user", &entity, features).unwrap();
+                            let want = direct
+                                .serve("user", &EntityKey::new(entity.clone()), features, NOW)
+                                .unwrap();
+                            assert_eq!(got.entity, entity);
+                            assert_eq!(got.values, want.values);
+                            assert_eq!(
+                                got.ages_ms,
+                                want.ages
+                                    .iter()
+                                    .map(|a| a.map(|d| d.as_millis()))
+                                    .collect::<Vec<_>>()
+                            );
+                            assert_eq!(got.stale, want.stale);
+                        }
+                        2 => {
+                            let ids = [
+                                (t + i) % ENTITIES,
+                                (t + i + 1) % ENTITIES,
+                                (t + i + 2) % ENTITIES,
+                            ];
+                            let names: Vec<String> =
+                                ids.iter().map(|id| format!("u{id}")).collect();
+                            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                            let got = client
+                                .get_features_batch("user", &refs, &["score"])
+                                .unwrap();
+                            let keys: Vec<EntityKey> =
+                                names.iter().map(|n| EntityKey::new(n.clone())).collect();
+                            let want = direct.serve_batch("user", &keys, &["score"], NOW).unwrap();
+                            assert_eq!(got.len(), want.len());
+                            for (g, w) in got.iter().zip(&want) {
+                                assert_eq!(g.values, w.values);
+                            }
+                        }
+                        3 => {
+                            let id = (t + i) % EMBED_KEYS;
+                            let key = format!("u{id}");
+                            let got = client.get_embedding("emb", &key).unwrap();
+                            let catalog = embeddings.read();
+                            let want = catalog
+                                .latest("emb")
+                                .unwrap()
+                                .table
+                                .get(&key)
+                                .unwrap()
+                                .to_vec();
+                            assert_eq!(got, want);
+                        }
+                        _ => {
+                            let (_depth, draining) = client.health().unwrap();
+                            assert!(!draining);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let metrics = handle.metrics();
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        metrics.total_requests(),
+        (THREADS * PER_THREAD) as u64,
+        "every request was handled exactly once: {snapshot:?}"
+    );
+    assert_eq!(snapshot.shed, 0, "no shedding expected at this queue depth");
+    for (name, ep) in &snapshot.endpoints {
+        assert_eq!(ep.errors, 0, "endpoint {name} saw errors");
+        if ep.requests > 0 {
+            assert!(ep.p50_ms.is_some(), "endpoint {name} has latency quantiles");
+        }
+    }
+
+    // Graceful shutdown joins the acceptor, connection threads and
+    // workers; reaching the next line is the assertion.
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_embedding_and_bad_requests_get_typed_errors() {
+    let online = online_store();
+    let engine = ServeEngine::new(FeatureServer::new(online), fixed_clock(NOW));
+    let handle = start(engine, ServeConfig::default()).unwrap();
+    let mut client = FeatureClient::connect(handle.addr()).unwrap();
+
+    let err = client.get_embedding("nope", "k").unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::NotFound));
+
+    // The connection survives a typed error and keeps serving.
+    let v = client.get_features("user", "u1", &["score"]).unwrap();
+    assert_eq!(v.values, vec![Value::Float(0.5)]);
+
+    handle.shutdown();
+}
+
+#[test]
+fn load_shedding_returns_overloaded_and_counts_sheds() {
+    let online = online_store();
+    let engine = ServeEngine::new(FeatureServer::new(online), fixed_clock(NOW));
+    // Queue depth 1, a single slow worker: concurrent clients must
+    // overflow admission and get Overloaded immediately instead of
+    // queuing or hanging.
+    let handle = start(
+        engine,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_batch: 1,
+            handler_delay: Some(std::time::Duration::from_millis(25)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 4;
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = FeatureClient::connect(addr).unwrap();
+                let mut ok = 0u64;
+                let mut overloaded = 0u64;
+                for i in 0..PER_THREAD {
+                    match client.get_features("user", &format!("u{i}"), &["score"]) {
+                        Ok(_) => ok += 1,
+                        Err(e) => {
+                            assert_eq!(
+                                e.code(),
+                                Some(ErrorCode::Overloaded),
+                                "only Overloaded is acceptable here: {e}"
+                            );
+                            overloaded += 1;
+                        }
+                    }
+                }
+                (ok, overloaded)
+            })
+        })
+        .collect();
+
+    let mut ok_total = 0;
+    let mut overloaded_total = 0;
+    for t in threads {
+        let (ok, overloaded) = t.join().unwrap();
+        ok_total += ok;
+        overloaded_total += overloaded;
+    }
+    assert_eq!(ok_total + overloaded_total, (THREADS * PER_THREAD) as u64);
+    assert!(
+        overloaded_total > 0,
+        "6 concurrent clients must overflow a depth-1 queue"
+    );
+
+    let metrics = handle.metrics();
+    assert_eq!(
+        metrics.shed_count(),
+        overloaded_total,
+        "every Overloaded reply is one shed"
+    );
+    let dump = metrics.dump_json();
+    let parsed: serde_json::Value = serde_json::from_str(&dump).unwrap();
+    assert_eq!(
+        parsed["shed"].as_u64(),
+        Some(overloaded_total),
+        "shed count in the JSON dump"
+    );
+
+    handle.shutdown();
+}
+
+/// Malformed input at the raw socket: oversized declared lengths must close
+/// the connection promptly (the registered shutdown handle must not keep the
+/// fd open after the connection thread exits), garbage payloads must get a
+/// typed error frame, and a half-written frame followed by disconnect must
+/// not wedge the server.
+#[test]
+fn malformed_frames_close_or_error_without_wedging_the_server() {
+    use fstore_serve::{read_frame, write_frame, Response};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration as StdDuration;
+
+    let online = online_store();
+    let engine = ServeEngine::new(FeatureServer::new(online), fixed_clock(NOW));
+    let handle = start(engine, ServeConfig::default()).unwrap();
+    let addr = handle.addr();
+    let timeout = Some(StdDuration::from_secs(5));
+
+    // Oversized declared length: refused before allocation, connection
+    // closed — the client must observe EOF, not a hang.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(timeout).unwrap();
+    s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let mut buf = [0u8; 16];
+    let n = s.read(&mut buf).expect("read after oversized prefix");
+    assert_eq!(
+        n, 0,
+        "server must close the connection on an oversized frame"
+    );
+
+    // Well-framed garbage payload: a typed BadRequest error frame back on
+    // the same connection.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(timeout).unwrap();
+    write_frame(&mut s, &[0xde, 0xad, 0xbe, 0xef, 0x42]).unwrap();
+    let mut r = std::io::BufReader::new(s.try_clone().unwrap());
+    let payload = read_frame(&mut r).unwrap().expect("error frame");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected error response, got {other:?}"),
+    }
+
+    // Half-written frame then disconnect: the server must shrug it off.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[0, 0, 0, 10, 1, 2]).unwrap();
+    drop(s);
+
+    // And a fresh client is still served after all of that.
+    let mut client = FeatureClient::connect(addr).unwrap();
+    let v = client.get_features("user", "u1", &["score"]).unwrap();
+    assert_eq!(v.values, vec![Value::Float(0.5)]);
+
+    handle.shutdown();
+}

@@ -1,0 +1,176 @@
+//! Property tests for the wire protocol: every request/response variant
+//! round-trips byte-exactly, strict prefixes of a valid payload never
+//! decode (and never panic), and oversized frames are refused.
+
+use fstore_common::{Timestamp, Value};
+use fstore_serve::protocol::{read_frame, write_frame, MAX_FRAME_LEN};
+use fstore_serve::{ErrorCode, Request, Response, WireError, WireVector};
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("plain".to_string()),
+        Just("with spaces and \"quotes\"".to_string()),
+        Just("unicodé → 🦀".to_string()),
+        (0u32..10_000).prop_map(|i| format!("entity-{i}")),
+    ]
+}
+
+fn arb_strings() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_string(), 0..4)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        Just(Value::Bool(true)),
+        Just(Value::Bool(false)),
+        arb_string().prop_map(Value::Str),
+        (-1_000_000i64..1_000_000).prop_map(|ms| Value::Timestamp(Timestamp::millis(ms))),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Health),
+        (arb_string(), arb_string(), arb_strings()).prop_map(|(group, entity, features)| {
+            Request::GetFeatures {
+                group,
+                entity,
+                features,
+            }
+        }),
+        (arb_string(), arb_strings(), arb_strings()).prop_map(|(group, entities, features)| {
+            Request::GetFeaturesBatch {
+                group,
+                entities,
+                features,
+            }
+        }),
+        (arb_string(), arb_string()).prop_map(|(table, key)| Request::GetEmbedding { table, key }),
+    ]
+}
+
+fn arb_vector() -> impl Strategy<Value = WireVector> {
+    (
+        arb_string(),
+        arb_strings(),
+        proptest::collection::vec(arb_value(), 0..5),
+        proptest::collection::vec(
+            prop_oneof![Just(None), (0i64..1_000_000).prop_map(Some)],
+            0..5,
+        ),
+        arb_strings(),
+    )
+        .prop_map(|(entity, features, values, ages_ms, stale)| WireVector {
+            entity,
+            features,
+            values,
+            ages_ms,
+            stale,
+        })
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::BadRequest),
+        Just(ErrorCode::NotFound),
+        Just(ErrorCode::Stale),
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::ShuttingDown),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u32..1024, prop_oneof![Just(false), Just(true)]).prop_map(|(queue_depth, draining)| {
+            Response::Health {
+                queue_depth,
+                draining,
+            }
+        }),
+        arb_vector().prop_map(Response::Features),
+        proptest::collection::vec(arb_vector(), 0..4).prop_map(Response::FeaturesBatch),
+        (1u32..64, proptest::collection::vec(-100f32..100.0, 0..16))
+            .prop_map(|(dim, vector)| Response::Embedding { dim, vector }),
+        (arb_error_code(), arb_string())
+            .prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let encoded = req.encode();
+        prop_assert_eq!(Request::decode(&encoded).unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trips(resp in arb_response()) {
+        let encoded = resp.encode();
+        prop_assert_eq!(Response::decode(&encoded).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_requests_never_decode(req in arb_request(), cut in 0usize..1000) {
+        let encoded = req.encode();
+        // Any strict prefix of a canonical encoding is incomplete.
+        let cut = cut % encoded.len().max(1);
+        if cut < encoded.len() {
+            prop_assert!(Request::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_responses_never_decode(resp in arb_response(), cut in 0usize..1000) {
+        let encoded = resp.encode();
+        let cut = cut % encoded.len().max(1);
+        if cut < encoded.len() {
+            prop_assert!(Response::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u16..256, 0..64)
+        .prop_map(|v| v.into_iter().map(|x| x as u8).collect::<Vec<u8>>()))
+    {
+        // Either outcome is fine; panicking is not.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn framing_round_trips(req in arb_request()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let payload = read_frame(&mut &wire[..]).unwrap().unwrap();
+        prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+}
+
+#[test]
+fn oversized_declared_frame_is_refused() {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    let err = read_frame(&mut &wire[..]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn oversized_inner_length_is_refused() {
+    // A GetEmbedding whose string claims to be ~4 GiB long.
+    let mut payload = vec![3u8];
+    payload.extend_from_slice(&u32::MAX.to_be_bytes());
+    payload.extend_from_slice(b"tiny");
+    assert!(matches!(
+        Request::decode(&payload),
+        Err(WireError::Oversized(_))
+    ));
+}

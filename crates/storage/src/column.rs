@@ -51,23 +51,51 @@ impl NullBitmap {
 /// bit in the bitmap, so dense numeric scans never branch on an enum.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
-    Int { data: Vec<i64>, nulls: NullBitmap },
-    Float { data: Vec<f64>, nulls: NullBitmap },
-    Bool { data: Vec<bool>, nulls: NullBitmap },
-    Str { data: Vec<String>, nulls: NullBitmap },
-    Timestamp { data: Vec<i64>, nulls: NullBitmap },
+    Int {
+        data: Vec<i64>,
+        nulls: NullBitmap,
+    },
+    Float {
+        data: Vec<f64>,
+        nulls: NullBitmap,
+    },
+    Bool {
+        data: Vec<bool>,
+        nulls: NullBitmap,
+    },
+    Str {
+        data: Vec<String>,
+        nulls: NullBitmap,
+    },
+    Timestamp {
+        data: Vec<i64>,
+        nulls: NullBitmap,
+    },
 }
 
 impl Column {
     pub fn new(ty: ValueType) -> Self {
         match ty {
-            ValueType::Int => Column::Int { data: Vec::new(), nulls: NullBitmap::new() },
-            ValueType::Float => Column::Float { data: Vec::new(), nulls: NullBitmap::new() },
-            ValueType::Bool => Column::Bool { data: Vec::new(), nulls: NullBitmap::new() },
-            ValueType::Str => Column::Str { data: Vec::new(), nulls: NullBitmap::new() },
-            ValueType::Timestamp => {
-                Column::Timestamp { data: Vec::new(), nulls: NullBitmap::new() }
-            }
+            ValueType::Int => Column::Int {
+                data: Vec::new(),
+                nulls: NullBitmap::new(),
+            },
+            ValueType::Float => Column::Float {
+                data: Vec::new(),
+                nulls: NullBitmap::new(),
+            },
+            ValueType::Bool => Column::Bool {
+                data: Vec::new(),
+                nulls: NullBitmap::new(),
+            },
+            ValueType::Str => Column::Str {
+                data: Vec::new(),
+                nulls: NullBitmap::new(),
+            },
+            ValueType::Timestamp => Column::Timestamp {
+                data: Vec::new(),
+                nulls: NullBitmap::new(),
+            },
         }
     }
 
@@ -243,7 +271,10 @@ mod tests {
             (ValueType::Float, Value::Float(2.5)),
             (ValueType::Bool, Value::Bool(true)),
             (ValueType::Str, Value::from("hey")),
-            (ValueType::Timestamp, Value::Timestamp(Timestamp::millis(99))),
+            (
+                ValueType::Timestamp,
+                Value::Timestamp(Timestamp::millis(99)),
+            ),
         ];
         for (ty, v) in cases {
             let mut c = Column::new(ty);

@@ -28,7 +28,11 @@ pub struct TableConfig {
 
 impl TableConfig {
     pub fn new(schema: Schema) -> Self {
-        TableConfig { schema, time_column: None, segment_rows: DEFAULT_SEGMENT_ROWS }
+        TableConfig {
+            schema,
+            time_column: None,
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+        }
     }
 
     pub fn with_time_column(mut self, col: impl Into<String>) -> Self {
@@ -151,7 +155,15 @@ impl OfflineStore {
             }
             None => None,
         };
-        self.tables.insert(name, Table { config, time_idx, partitions: BTreeMap::new(), rows: 0 });
+        self.tables.insert(
+            name,
+            Table {
+                config,
+                time_idx,
+                partitions: BTreeMap::new(),
+                rows: 0,
+            },
+        );
         Ok(())
     }
 
@@ -193,11 +205,15 @@ impl OfflineStore {
     }
 
     fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| FsError::not_found("table", name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| FsError::not_found("table", name.to_string()))
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| FsError::not_found("table", name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| FsError::not_found("table", name.to_string()))
     }
 
     /// Append one row; routes to the partition of the time column's date.
@@ -267,7 +283,9 @@ impl OfflineStore {
             }
         }
         if req.as_of.is_some() && t.time_idx.is_none() {
-            return Err(FsError::Plan(format!("as_of scan on `{table}` which has no time column")));
+            return Err(FsError::Plan(format!(
+                "as_of scan on `{table}` which has no time column"
+            )));
         }
 
         // Fold as_of into the predicate set and the date range.
@@ -335,14 +353,28 @@ impl OfflineStore {
                 }
             }
         }
-        Ok(ScanResult { schema: out_schema, rows, stats })
+        Ok(ScanResult {
+            schema: out_schema,
+            rows,
+            stats,
+        })
     }
 
     /// Convenience: all values of one column (post-filter), for profilers.
-    pub fn column_values(&self, table: &str, column: &str, req: &ScanRequest) -> Result<Vec<Value>> {
+    pub fn column_values(
+        &self,
+        table: &str,
+        column: &str,
+        req: &ScanRequest,
+    ) -> Result<Vec<Value>> {
         let mut req = req.clone();
         req.projection = Some(vec![column.to_string()]);
-        Ok(self.scan(table, &req)?.rows.into_iter().map(|mut r| r.pop().unwrap()).collect())
+        Ok(self
+            .scan(table, &req)?
+            .rows
+            .into_iter()
+            .map(|mut r| r.pop().unwrap())
+            .collect())
     }
 }
 
@@ -363,7 +395,9 @@ mod tests {
         let mut s = OfflineStore::new();
         s.create_table(
             "trips",
-            TableConfig::new(trip_schema()).with_time_column("ts").with_segment_rows(8),
+            TableConfig::new(trip_schema())
+                .with_time_column("ts")
+                .with_segment_rows(8),
         )
         .unwrap();
         let mut id = 0i64;
@@ -373,7 +407,11 @@ mod tests {
                 let ts = base + Duration::minutes(i as i64);
                 s.append(
                     "trips",
-                    &[Value::Int(id), Value::Timestamp(ts), Value::Float(id as f64)],
+                    &[
+                        Value::Int(id),
+                        Value::Timestamp(ts),
+                        Value::Float(id as f64),
+                    ],
                 )
                 .unwrap();
                 id += 1;
@@ -386,13 +424,24 @@ mod tests {
     fn create_validates_time_column() {
         let mut s = OfflineStore::new();
         assert!(s
-            .create_table("t", TableConfig::new(trip_schema()).with_time_column("ghost"))
+            .create_table(
+                "t",
+                TableConfig::new(trip_schema()).with_time_column("ghost")
+            )
             .is_err());
         assert!(s
-            .create_table("t", TableConfig::new(trip_schema()).with_time_column("fare"))
+            .create_table(
+                "t",
+                TableConfig::new(trip_schema()).with_time_column("fare")
+            )
             .is_err());
-        s.create_table("t", TableConfig::new(trip_schema()).with_time_column("ts")).unwrap();
-        assert!(s.create_table("t", TableConfig::new(trip_schema())).is_err(), "duplicate");
+        s.create_table("t", TableConfig::new(trip_schema()).with_time_column("ts"))
+            .unwrap();
+        assert!(
+            s.create_table("t", TableConfig::new(trip_schema()))
+                .is_err(),
+            "duplicate"
+        );
     }
 
     #[test]
@@ -408,8 +457,9 @@ mod tests {
     #[test]
     fn append_rejects_null_time() {
         let mut s = store_with_days(1, 1);
-        let err =
-            s.append("trips", &[Value::Int(9), Value::Null, Value::Float(0.0)]).unwrap_err();
+        let err = s
+            .append("trips", &[Value::Int(9), Value::Null, Value::Float(0.0)])
+            .unwrap_err();
         assert!(err.to_string().contains("null time column"));
     }
 
@@ -439,7 +489,10 @@ mod tests {
         let res = s.scan("trips", &ScanRequest::all().as_of(as_of)).unwrap();
         // day 0: all 4 rows; day 1: minutes 0 and 1 → 2 rows
         assert_eq!(res.rows.len(), 6);
-        assert!(res.stats.partitions_scanned <= 2, "future partitions must be pruned");
+        assert!(
+            res.stats.partitions_scanned <= 2,
+            "future partitions must be pruned"
+        );
         for row in &res.rows {
             assert!(row[1].as_timestamp().unwrap() <= as_of);
         }
@@ -448,8 +501,14 @@ mod tests {
     #[test]
     fn as_of_requires_time_column() {
         let mut s = OfflineStore::new();
-        s.create_table("plain", TableConfig::new(Schema::of(&[("x", ValueType::Int)]))).unwrap();
-        let err = s.scan("plain", &ScanRequest::all().as_of(Timestamp::EPOCH)).unwrap_err();
+        s.create_table(
+            "plain",
+            TableConfig::new(Schema::of(&[("x", ValueType::Int)])),
+        )
+        .unwrap();
+        let err = s
+            .scan("plain", &ScanRequest::all().as_of(Timestamp::EPOCH))
+            .unwrap_err();
         assert!(err.to_string().contains("no time column"));
     }
 
@@ -470,25 +529,36 @@ mod tests {
     #[test]
     fn unknown_predicate_column_is_a_plan_error() {
         let s = store_with_days(1, 2);
-        let err =
-            s.scan("trips", &ScanRequest::all().filter(Predicate::new("ghost", CmpOp::Eq, 1i64)));
+        let err = s.scan(
+            "trips",
+            &ScanRequest::all().filter(Predicate::new("ghost", CmpOp::Eq, 1i64)),
+        );
         assert!(err.is_err());
     }
 
     #[test]
     fn projection_orders_columns() {
         let s = store_with_days(1, 2);
-        let res = s.scan("trips", &ScanRequest::all().project(&["fare", "trip_id"])).unwrap();
+        let res = s
+            .scan("trips", &ScanRequest::all().project(&["fare", "trip_id"]))
+            .unwrap();
         assert_eq!(res.schema.fields()[0].name, "fare");
         assert_eq!(res.rows[0], vec![Value::Float(0.0), Value::Int(0)]);
-        assert!(s.scan("trips", &ScanRequest::all().project(&["ghost"])).is_err());
+        assert!(s
+            .scan("trips", &ScanRequest::all().project(&["ghost"]))
+            .is_err());
     }
 
     #[test]
     fn column_values_helper() {
         let s = store_with_days(1, 3);
-        let vals = s.column_values("trips", "fare", &ScanRequest::all()).unwrap();
-        assert_eq!(vals, vec![Value::Float(0.0), Value::Float(1.0), Value::Float(2.0)]);
+        let vals = s
+            .column_values("trips", "fare", &ScanRequest::all())
+            .unwrap();
+        assert_eq!(
+            vals,
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Float(2.0)]
+        );
     }
 
     #[test]

@@ -94,8 +94,16 @@ impl OnlineStore {
     ) {
         let shard = self.shard_for(group, entity);
         let mut guard = shard.write();
-        let row = guard.entry((group.to_string(), entity.as_str().to_string())).or_default();
-        row.insert(feature.to_string(), OnlineEntry { value, written_at: now });
+        let row = guard
+            .entry((group.to_string(), entity.as_str().to_string()))
+            .or_default();
+        row.insert(
+            feature.to_string(),
+            OnlineEntry {
+                value,
+                written_at: now,
+            },
+        );
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -109,11 +117,21 @@ impl OnlineStore {
     ) {
         let shard = self.shard_for(group, entity);
         let mut guard = shard.write();
-        let row = guard.entry((group.to_string(), entity.as_str().to_string())).or_default();
+        let row = guard
+            .entry((group.to_string(), entity.as_str().to_string()))
+            .or_default();
         for (feature, value) in values {
-            row.insert(feature.to_string(), OnlineEntry { value: value.clone(), written_at: now });
+            row.insert(
+                feature.to_string(),
+                OnlineEntry {
+                    value: value.clone(),
+                    written_at: now,
+                },
+            );
         }
-        self.stats.writes.fetch_add(values.len() as u64, Ordering::Relaxed);
+        self.stats
+            .writes
+            .fetch_add(values.len() as u64, Ordering::Relaxed);
     }
 
     /// Point lookup of one feature.
@@ -148,7 +166,9 @@ impl OnlineStore {
             .collect();
         let hits = out.iter().filter(|e| e.is_some()).count() as u64;
         self.stats.hits.fetch_add(hits, Ordering::Relaxed);
-        self.stats.misses.fetch_add(features.len() as u64 - hits, Ordering::Relaxed);
+        self.stats
+            .misses
+            .fetch_add(features.len() as u64 - hits, Ordering::Relaxed);
         out
     }
 
@@ -156,12 +176,14 @@ impl OnlineStore {
     pub fn get_row(&self, group: &str, entity: &EntityKey) -> Option<Vec<(String, OnlineEntry)>> {
         let shard = self.shard_for(group, entity);
         let guard = shard.read();
-        guard.get(&(group.to_string(), entity.as_str().to_string())).map(|row| {
-            let mut v: Vec<(String, OnlineEntry)> =
-                row.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0));
-            v
-        })
+        guard
+            .get(&(group.to_string(), entity.as_str().to_string()))
+            .map(|row| {
+                let mut v: Vec<(String, OnlineEntry)> =
+                    row.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            })
     }
 
     /// Delete entries written before `now - ttl`; returns how many were
@@ -178,13 +200,18 @@ impl OnlineStore {
             }
             guard.retain(|_, row| !row.is_empty());
         }
-        self.stats.expired.fetch_add(evicted as u64, Ordering::Relaxed);
+        self.stats
+            .expired
+            .fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
     }
 
     /// Total number of stored feature entries (O(entities); for tests/metrics).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().values().map(|r| r.len()).sum::<usize>()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|r| r.len()).sum::<usize>())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -221,13 +248,22 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let store = OnlineStore::new(4);
-        store.put("user", &k("u1"), "trips", Value::Int(5), Timestamp::millis(100));
+        store.put(
+            "user",
+            &k("u1"),
+            "trips",
+            Value::Int(5),
+            Timestamp::millis(100),
+        );
         let e = store.get("user", &k("u1"), "trips").unwrap();
         assert_eq!(e.value, Value::Int(5));
         assert_eq!(e.written_at, Timestamp::millis(100));
         assert!(store.get("user", &k("u1"), "ghost").is_none());
         assert!(store.get("user", &k("u2"), "trips").is_none());
-        assert!(store.get("driver", &k("u1"), "trips").is_none(), "groups are namespaces");
+        assert!(
+            store.get("driver", &k("u1"), "trips").is_none(),
+            "groups are namespaces"
+        );
     }
 
     #[test]
@@ -259,7 +295,12 @@ mod tests {
     #[test]
     fn get_row_sorted() {
         let store = OnlineStore::default();
-        store.put_row("g", &k("e"), &[("z", Value::Int(1)), ("a", Value::Int(2))], Timestamp::EPOCH);
+        store.put_row(
+            "g",
+            &k("e"),
+            &[("z", Value::Int(1)), ("a", Value::Int(2))],
+            Timestamp::EPOCH,
+        );
         let row = store.get_row("g", &k("e")).unwrap();
         assert_eq!(row[0].0, "a");
         assert_eq!(row[1].0, "z");
@@ -280,7 +321,10 @@ mod tests {
 
     #[test]
     fn entry_age() {
-        let e = OnlineEntry { value: Value::Int(0), written_at: Timestamp::millis(100) };
+        let e = OnlineEntry {
+            value: Value::Int(0),
+            written_at: Timestamp::millis(100),
+        };
         assert_eq!(e.age(Timestamp::millis(350)), Duration::millis(250));
     }
 
@@ -301,9 +345,21 @@ mod tests {
     fn feature_snapshot_filters_group_and_feature() {
         let store = OnlineStore::new(8);
         for i in 0..10 {
-            store.put("user", &k(&format!("u{i}")), "score", Value::Int(i), Timestamp::EPOCH);
+            store.put(
+                "user",
+                &k(&format!("u{i}")),
+                "score",
+                Value::Int(i),
+                Timestamp::EPOCH,
+            );
         }
-        store.put("driver", &k("d1"), "score", Value::Int(99), Timestamp::EPOCH);
+        store.put(
+            "driver",
+            &k("d1"),
+            "score",
+            Value::Int(99),
+            Timestamp::EPOCH,
+        );
         store.put("user", &k("u0"), "other", Value::Int(5), Timestamp::EPOCH);
         let snap = store.feature_snapshot("user", "score");
         assert_eq!(snap.len(), 10);
@@ -320,7 +376,13 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..500 {
                     let entity = k(&format!("e{}", i % 50));
-                    s.put("g", &entity, &format!("f{t}"), Value::Int(i), Timestamp::millis(i));
+                    s.put(
+                        "g",
+                        &entity,
+                        &format!("f{t}"),
+                        Value::Int(i),
+                        Timestamp::millis(i),
+                    );
                     s.get("g", &entity, &format!("f{t}"));
                 }
             }));

@@ -38,7 +38,11 @@ pub struct Predicate {
 
 impl Predicate {
     pub fn new(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
-        Predicate { column: column.into(), op, value: value.into() }
+        Predicate {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Row-level evaluation.
@@ -61,7 +65,9 @@ impl Predicate {
     /// Conservative — returns `true` when unsure (e.g. `Ne`, or missing
     /// zone-map bounds).
     pub fn may_match_range(&self, min: Option<&Value>, max: Option<&Value>) -> bool {
-        let (Some(min), Some(max)) = (min, max) else { return true };
+        let (Some(min), Some(max)) = (min, max) else {
+            return true;
+        };
         if self.value.is_null() {
             return false;
         }
@@ -123,7 +129,10 @@ mod tests {
     fn range_pruning_eq() {
         let p = Predicate::new("x", CmpOp::Eq, 10i64);
         let (min, max) = (Value::Int(0), Value::Int(5));
-        assert!(!p.may_match_range(Some(&min), Some(&max)), "10 outside [0,5]");
+        assert!(
+            !p.may_match_range(Some(&min), Some(&max)),
+            "10 outside [0,5]"
+        );
         let max2 = Value::Int(15);
         assert!(p.may_match_range(Some(&min), Some(&max2)));
     }

@@ -54,13 +54,15 @@ impl Segment {
     /// Can this segment possibly contain a row matching all `predicates`?
     /// Unknown predicate columns are ignored (conservative).
     pub fn may_match(&self, predicates: &[Predicate]) -> bool {
-        predicates.iter().all(|p| match self.schema.index_of(&p.column) {
-            Some(i) => {
-                let zm = &self.zone_maps[i];
-                p.may_match_range(zm.min.as_ref(), zm.max.as_ref())
-            }
-            None => true,
-        })
+        predicates
+            .iter()
+            .all(|p| match self.schema.index_of(&p.column) {
+                Some(i) => {
+                    let zm = &self.zone_maps[i];
+                    p.may_match_range(zm.min.as_ref(), zm.max.as_ref())
+                }
+                None => true,
+            })
     }
 
     /// Indices of rows matching all predicates (row-level evaluation).
@@ -75,7 +77,11 @@ impl Segment {
             return Vec::new();
         }
         (0..self.rows)
-            .filter(|&r| bound.iter().all(|(ci, p)| p.matches(&self.columns[*ci].get(r))))
+            .filter(|&r| {
+                bound
+                    .iter()
+                    .all(|(ci, p)| p.matches(&self.columns[*ci].get(r)))
+            })
             .collect()
     }
 }
@@ -91,7 +97,11 @@ pub struct SegmentBuilder {
 impl SegmentBuilder {
     pub fn new(schema: Schema) -> Self {
         let columns = schema.fields().iter().map(|f| Column::new(f.ty)).collect();
-        SegmentBuilder { schema, columns, rows: 0 }
+        SegmentBuilder {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     pub fn num_rows(&self) -> usize {
@@ -143,10 +153,19 @@ impl SegmentBuilder {
                         _ => max = Some(v),
                     }
                 }
-                ZoneMap { min, max, null_count: col.null_count() }
+                ZoneMap {
+                    min,
+                    max,
+                    null_count: col.null_count(),
+                }
             })
             .collect();
-        Ok(Segment { schema: self.schema, columns: self.columns, zone_maps, rows: self.rows })
+        Ok(Segment {
+            schema: self.schema,
+            columns: self.columns,
+            zone_maps,
+            rows: self.rows,
+        })
     }
 }
 
@@ -157,14 +176,21 @@ mod tests {
     use fstore_common::ValueType;
 
     fn schema() -> Schema {
-        Schema::of(&[("id", ValueType::Int), ("fare", ValueType::Float), ("city", ValueType::Str)])
+        Schema::of(&[
+            ("id", ValueType::Int),
+            ("fare", ValueType::Float),
+            ("city", ValueType::Str),
+        ])
     }
 
     fn sample_segment() -> Segment {
         let mut b = SegmentBuilder::new(schema());
-        b.push_row(&[Value::Int(1), Value::Float(10.0), Value::from("sf")]).unwrap();
-        b.push_row(&[Value::Int(2), Value::Null, Value::from("nyc")]).unwrap();
-        b.push_row(&[Value::Int(3), Value::Float(30.0), Value::from("sf")]).unwrap();
+        b.push_row(&[Value::Int(1), Value::Float(10.0), Value::from("sf")])
+            .unwrap();
+        b.push_row(&[Value::Int(2), Value::Null, Value::from("nyc")])
+            .unwrap();
+        b.push_row(&[Value::Int(3), Value::Float(30.0), Value::from("sf")])
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -172,14 +198,19 @@ mod tests {
     fn builder_round_trip() {
         let s = sample_segment();
         assert_eq!(s.num_rows(), 3);
-        assert_eq!(s.row(1), vec![Value::Int(2), Value::Null, Value::from("nyc")]);
+        assert_eq!(
+            s.row(1),
+            vec![Value::Int(2), Value::Null, Value::from("nyc")]
+        );
     }
 
     #[test]
     fn rejects_bad_rows_atomically() {
         let mut b = SegmentBuilder::new(schema());
         assert!(b.push_row(&[Value::Int(1)]).is_err());
-        assert!(b.push_row(&[Value::from("x"), Value::Null, Value::Null]).is_err());
+        assert!(b
+            .push_row(&[Value::from("x"), Value::Null, Value::Null])
+            .is_err());
         assert_eq!(b.num_rows(), 0);
     }
 
@@ -229,7 +260,9 @@ mod tests {
     #[test]
     fn matching_rows_unknown_column_matches_nothing() {
         let s = sample_segment();
-        assert!(s.matching_rows(&[Predicate::new("ghost", CmpOp::Eq, 1i64)]).is_empty());
+        assert!(s
+            .matching_rows(&[Predicate::new("ghost", CmpOp::Eq, 1i64)])
+            .is_empty());
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl OfflineStore {
             let fields = schema
                 .fields()
                 .iter()
-                .map(|f| FieldRepr { name: f.name.clone(), ty: f.ty, nullable: f.nullable })
+                .map(|f| FieldRepr {
+                    name: f.name.clone(),
+                    ty: f.ty,
+                    nullable: f.nullable,
+                })
                 .collect();
             let scan = self.scan(name, &ScanRequest::all())?;
             tables.push(TableSnapshot {
@@ -55,8 +59,11 @@ impl OfflineStore {
                 rows: scan.rows,
             });
         }
-        serde_json::to_string(&StoreSnapshot { format_version: FORMAT_VERSION, tables })
-            .map_err(|e| FsError::Serde(e.to_string()))
+        serde_json::to_string(&StoreSnapshot {
+            format_version: FORMAT_VERSION,
+            tables,
+        })
+        .map_err(|e| FsError::Serde(e.to_string()))
     }
 
     /// Rebuild a store from a snapshot produced by [`Self::snapshot_json`].
@@ -75,7 +82,11 @@ impl OfflineStore {
             let schema = Schema::new(
                 t.fields
                     .into_iter()
-                    .map(|f| FieldDef { name: f.name, ty: f.ty, nullable: f.nullable })
+                    .map(|f| FieldDef {
+                        name: f.name,
+                        ty: f.ty,
+                        nullable: f.nullable,
+                    })
                     .collect(),
             )?;
             let mut config = TableConfig::new(schema).with_segment_rows(t.segment_rows);
@@ -128,12 +139,20 @@ mod tests {
                 &[
                     Value::from(format!("u{}", i % 3)),
                     Value::Timestamp(Timestamp::millis(i * 3_600_000)),
-                    if i == 5 { Value::Null } else { Value::Float(i as f64) },
+                    if i == 5 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64)
+                    },
                 ],
             )
             .unwrap();
         }
-        s.create_table("plain", TableConfig::new(Schema::of(&[("x", ValueType::Int)]))).unwrap();
+        s.create_table(
+            "plain",
+            TableConfig::new(Schema::of(&[("x", ValueType::Int)])),
+        )
+        .unwrap();
         s.append("plain", &[Value::Int(7)]).unwrap();
         s
     }
@@ -184,11 +203,19 @@ mod tests {
         // a storage snapshot must never allow.
         let hostile = 27.912_789_275_389_894_f64;
         let mut s = OfflineStore::new();
-        s.create_table("t", TableConfig::new(Schema::of(&[("x", ValueType::Float)]))).unwrap();
+        s.create_table(
+            "t",
+            TableConfig::new(Schema::of(&[("x", ValueType::Float)])),
+        )
+        .unwrap();
         s.append("t", &[Value::Float(hostile)]).unwrap();
         let restored = OfflineStore::from_snapshot_json(&s.snapshot_json().unwrap()).unwrap();
         let rows = restored.scan("t", &ScanRequest::all()).unwrap().rows;
-        assert_eq!(rows[0][0], Value::Float(hostile), "bit-exact float persistence");
+        assert_eq!(
+            rows[0][0],
+            Value::Float(hostile),
+            "bit-exact float persistence"
+        );
     }
 
     #[test]

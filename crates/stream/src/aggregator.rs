@@ -86,7 +86,12 @@ impl StreamAggregator {
         self.events_seen += 1;
         // Drop events already behind the watermark's closed windows.
         if let Some(w) = self.watermark() {
-            if self.window.assign(event.event_time).iter().all(|&s| self.window.end_of(s) <= w) {
+            if self
+                .window
+                .assign(event.event_time)
+                .iter()
+                .all(|&s| self.window.end_of(s) <= w)
+            {
                 self.late_dropped += 1;
                 return Vec::new();
             }
@@ -97,10 +102,9 @@ impl StreamAggregator {
             if self.watermark().is_some_and(|w| end <= w) {
                 continue;
             }
-            let win = self
-                .open
-                .entry((end, start))
-                .or_insert_with(|| OpenWindow { accs: FxHashMap::default() });
+            let win = self.open.entry((end, start)).or_insert_with(|| OpenWindow {
+                accs: FxHashMap::default(),
+            });
             let (acc, n) = win
                 .accs
                 .entry(event.entity.clone())
@@ -117,7 +121,9 @@ impl StreamAggregator {
     }
 
     fn finalize_up_to_watermark(&mut self) -> Vec<WindowEmit> {
-        let Some(wm) = self.watermark() else { return Vec::new() };
+        let Some(wm) = self.watermark() else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         while let Some((&(end, start), _)) = self.open.first_key_value() {
             if end > wm {
@@ -195,7 +201,10 @@ mod tests {
         assert_eq!(emits[0].events, 2);
         assert_eq!(emits[1].entity.as_str(), "u2");
         assert_eq!(emits[1].value, Value::Float(2.0));
-        assert_eq!((emits[0].window_start, emits[0].window_end), (ms(0), ms(10)));
+        assert_eq!(
+            (emits[0].window_start, emits[0].window_end),
+            (ms(0), ms(10))
+        );
     }
 
     #[test]

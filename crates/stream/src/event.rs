@@ -12,8 +12,16 @@ pub struct Event {
 }
 
 impl Event {
-    pub fn new(entity: impl Into<EntityKey>, event_time: Timestamp, value: impl Into<Value>) -> Self {
-        Event { entity: entity.into(), event_time, value: value.into() }
+    pub fn new(
+        entity: impl Into<EntityKey>,
+        event_time: Timestamp,
+        value: impl Into<Value>,
+    ) -> Self {
+        Event {
+            entity: entity.into(),
+            event_time,
+            value: value.into(),
+        }
     }
 }
 

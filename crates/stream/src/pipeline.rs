@@ -105,7 +105,13 @@ impl StreamPipeline {
         }
         let mut off = self.offline.lock();
         for e in emits {
-            self.online.put(&self.group, &e.entity, &e.feature, e.value.clone(), e.window_end);
+            self.online.put(
+                &self.group,
+                &e.entity,
+                &e.feature,
+                e.value.clone(),
+                e.window_end,
+            );
             self.report.online_writes += 1;
             off.append(
                 &self.log_table,
@@ -163,13 +169,18 @@ mod tests {
         assert_eq!(emits.len(), 1);
 
         // online: value servable, freshness = window end
-        let e = p.online.get("user", &EntityKey::new("u1"), "trip_count_1m").unwrap();
+        let e = p
+            .online
+            .get("user", &EntityKey::new("u1"), "trip_count_1m")
+            .unwrap();
         assert_eq!(e.value, Value::Int(2));
         assert_eq!(e.written_at, ms(60_000));
 
         // offline: one log row
         let off = p.offline.lock();
-        let res = off.scan("stream_log_trip_count_1m", &ScanRequest::all()).unwrap();
+        let res = off
+            .scan("stream_log_trip_count_1m", &ScanRequest::all())
+            .unwrap();
         assert_eq!(res.rows.len(), 1);
         assert_eq!(res.rows[0][0], Value::from("u1"));
         assert_eq!(res.rows[0][4], Value::Int(2));
@@ -193,12 +204,20 @@ mod tests {
         let mut p = pipeline();
         for minute in 0..3 {
             for i in 0..=minute {
-                p.push(&Event::new("u", ms(minute * 60_000 + i * 100), 1.0)).unwrap();
+                p.push(&Event::new("u", ms(minute * 60_000 + i * 100), 1.0))
+                    .unwrap();
             }
         }
         p.push(&Event::new("u", ms(200_000), 1.0)).unwrap();
-        let e = p.online.get("user", &EntityKey::new("u"), "trip_count_1m").unwrap();
-        assert_eq!(e.value, Value::Int(3), "latest closed window (minute 2) serves");
+        let e = p
+            .online
+            .get("user", &EntityKey::new("u"), "trip_count_1m")
+            .unwrap();
+        assert_eq!(
+            e.value,
+            Value::Int(3),
+            "latest closed window (minute 2) serves"
+        );
         assert_eq!(e.written_at, ms(180_000));
     }
 

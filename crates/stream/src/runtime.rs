@@ -47,12 +47,19 @@ impl StreamRuntime {
             pipeline.flush()?;
             Ok(pipeline.report())
         });
-        StreamRuntime { sender: Some(tx), stop, worker: Some(worker) }
+        StreamRuntime {
+            sender: Some(tx),
+            stop,
+            worker: Some(worker),
+        }
     }
 
     /// A cloneable sender for producers.
     pub fn sender(&self) -> Sender<Event> {
-        self.sender.as_ref().expect("runtime already shut down").clone()
+        self.sender
+            .as_ref()
+            .expect("runtime already shut down")
+            .clone()
     }
 
     /// Send one event from this handle.
@@ -123,7 +130,8 @@ mod tests {
         let tx = rt.sender();
         let producer = std::thread::spawn(move || {
             for i in 0..120 {
-                tx.send(Event::new("u1", Timestamp::millis(i * 1_000), 1.0)).unwrap();
+                tx.send(Event::new("u1", Timestamp::millis(i * 1_000), 1.0))
+                    .unwrap();
             }
             // producer drops its sender when done
         });
@@ -133,7 +141,9 @@ mod tests {
         assert_eq!(report.events_in, 120);
         assert_eq!(report.windows_emitted, 2, "two minutes of data");
         assert_eq!(report.late_dropped, 0);
-        let e = online.get("user", &EntityKey::new("u1"), "clicks_1m").unwrap();
+        let e = online
+            .get("user", &EntityKey::new("u1"), "clicks_1m")
+            .unwrap();
         assert_eq!(e.value, Value::Int(60));
     }
 
@@ -162,7 +172,10 @@ mod tests {
             rt.send(Event::new("u", Timestamp::millis(i), 1.0)).unwrap();
         }
         let report = rt.shutdown().unwrap();
-        assert_eq!(report.events_in, 10, "everything queued before shutdown is processed");
+        assert_eq!(
+            report.events_in, 10,
+            "everything queued before shutdown is processed"
+        );
         assert_eq!(report.windows_emitted, 1);
     }
 }

@@ -84,12 +84,20 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(WindowSpec::tumbling(Duration::millis(10)).validate().is_ok());
-        assert!(WindowSpec::tumbling(Duration::ZERO).validate().is_err());
-        assert!(WindowSpec::sliding(Duration::millis(10), Duration::millis(5)).validate().is_ok());
-        assert!(WindowSpec::sliding(Duration::millis(5), Duration::millis(10))
+        assert!(WindowSpec::tumbling(Duration::millis(10))
             .validate()
-            .is_err());
+            .is_ok());
+        assert!(WindowSpec::tumbling(Duration::ZERO).validate().is_err());
+        assert!(
+            WindowSpec::sliding(Duration::millis(10), Duration::millis(5))
+                .validate()
+                .is_ok()
+        );
+        assert!(
+            WindowSpec::sliding(Duration::millis(5), Duration::millis(10))
+                .validate()
+                .is_err()
+        );
     }
 
     #[test]
@@ -129,7 +137,11 @@ mod tests {
             let starts = w.assign(ms(t));
             assert!(!starts.is_empty());
             for s in starts {
-                assert!(s <= ms(t) && ms(t) < w.end_of(s), "t={t} start={}", s.as_millis());
+                assert!(
+                    s <= ms(t) && ms(t) < w.end_of(s),
+                    "t={t} start={}",
+                    s.as_millis()
+                );
             }
         }
     }

@@ -21,11 +21,20 @@ fn main() -> Result<()> {
         seed: 5,
         ..CorpusConfig::default()
     })?;
-    let cfg = SgnsConfig { dim: 32, epochs: 3, seed: 1, ..SgnsConfig::default() };
+    let cfg = SgnsConfig {
+        dim: 32,
+        epochs: 3,
+        seed: 1,
+        ..SgnsConfig::default()
+    };
     let (v1, prov) = train_sgns(&corpus, cfg.clone())?;
     let mut store = EmbeddingStore::new();
     let q1 = store.publish("ent", v1, prov, Timestamp::EPOCH)?;
-    println!("    published {q1}: {} entities × {} dims", store.latest("ent")?.table.len(), 32);
+    println!(
+        "    published {q1}: {} entities × {} dims",
+        store.latest("ent")?.table.len(),
+        32
+    );
 
     // ------------------------------------------------------------------
     // Serve at scale: ANN indexes over the table
@@ -33,12 +42,21 @@ fn main() -> Result<()> {
     println!("\n== similarity serving (E9 in miniature) ==");
     let table = &store.latest("ent")?.table;
     let keys = table.keys();
-    let mut data: Vec<Vec<f32>> =
-        keys.iter().map(|k| table.get(k).unwrap().to_vec()).collect();
+    let mut data: Vec<Vec<f32>> = keys
+        .iter()
+        .map(|k| table.get(k).unwrap().to_vec())
+        .collect();
     fstore::index::normalize_all(&mut data); // cosine = L2 on unit vectors
     let flat = FlatIndex::build(data.clone())?;
     let hnsw = HnswIndex::build(data.clone(), HnswConfig::default())?;
-    let ivf = IvfIndex::build(data.clone(), IvfConfig { nlist: 32, nprobe: 4, ..IvfConfig::default() })?;
+    let ivf = IvfIndex::build(
+        data.clone(),
+        IvfConfig {
+            nlist: 32,
+            nprobe: 4,
+            ..IvfConfig::default()
+        },
+    )?;
     let queries: Vec<Vec<f32>> = data.iter().step_by(40).cloned().collect();
     println!(
         "    recall@10  flat {:.3}  hnsw {:.3}  ivf(nprobe=4) {:.3}",
@@ -63,27 +81,48 @@ fn main() -> Result<()> {
     let t1_ref = store.latest("ent")?.table.clone();
     let (xs, ys) = features(&t1_ref);
     let model_v1 = SoftmaxRegression::train(&xs, &ys, 16, &TrainConfig::default())?;
-    println!("    topic classifier on {q1}: accuracy {:.3}", model_v1.accuracy(&xs, &ys)?);
+    println!(
+        "    topic classifier on {q1}: accuracy {:.3}",
+        model_v1.accuracy(&xs, &ys)?
+    );
     store.register_consumer(&q1, "topic_classifier")?;
 
     // ------------------------------------------------------------------
     // Retrain → version churn → downstream instability (Leszczynski)
     // ------------------------------------------------------------------
     println!("\n== retrain & measure churn ==");
-    let (v2, prov2) = train_sgns(&corpus, SgnsConfig { seed: 2, ..cfg.clone() })?;
+    let (v2, prov2) = train_sgns(
+        &corpus,
+        SgnsConfig {
+            seed: 2,
+            ..cfg.clone()
+        },
+    )?;
     let q2 = store.publish("ent", v2, prov2, Timestamp::millis(1))?;
     let t1 = store.get("ent", 1)?.table.clone();
     let t2 = store.get("ent", 2)?.table.clone();
     println!("    {q2} vs {q1}:");
-    println!("      knn overlap@10        {:.3}", knn_overlap(&t1, &t2, 10, None)?);
-    println!("      eigenspace overlap    {:.3}", eigenspace_overlap(&t1, &t2)?);
-    println!("      semantic displacement {:.3}", semantic_displacement(&t1, &t2)?);
+    println!(
+        "      knn overlap@10        {:.3}",
+        knn_overlap(&t1, &t2, 10, None)?
+    );
+    println!(
+        "      eigenspace overlap    {:.3}",
+        eigenspace_overlap(&t1, &t2)?
+    );
+    println!(
+        "      semantic displacement {:.3}",
+        semantic_displacement(&t1, &t2)?
+    );
 
     let (xs2, _) = features(&t2);
     let model_v2 = SoftmaxRegression::train(&xs2, &ys, 16, &TrainConfig::default())?;
     let p1 = model_v1.predict_batch(&xs)?;
     let p2 = model_v2.predict_batch(&xs2)?;
-    println!("      downstream instability (prediction flips): {:.3}", prediction_flips(&p1, &p2)?);
+    println!(
+        "      downstream instability (prediction flips): {:.3}",
+        prediction_flips(&p1, &p2)?
+    );
 
     // ------------------------------------------------------------------
     // Compression under a memory budget (May et al.)
@@ -128,12 +167,22 @@ fn main() -> Result<()> {
             v
         })
         .collect();
-    println!("    drift vs same entities:      {:?}", monitor.alert_level(&sample)?);
-    println!("    drift vs shifted population: {:?}", monitor.alert_level(&live)?);
+    println!(
+        "    drift vs same entities:      {:?}",
+        monitor.alert_level(&sample)?
+    );
+    println!(
+        "    drift vs shifted population: {:?}",
+        monitor.alert_level(&live)?
+    );
 
     // patch the 5 least-stable tail entities toward their topic exemplars
     let tail_band = corpus.popularity_bands(10).pop().unwrap();
-    let bad: Vec<String> = tail_band.iter().take(5).map(|&e| Corpus::entity_name(e)).collect();
+    let bad: Vec<String> = tail_band
+        .iter()
+        .take(5)
+        .map(|&e| Corpus::entity_name(e))
+        .collect();
     let topic = corpus.topic_of[tail_band[0]];
     let exemplars: Vec<String> = (0..corpus.config.vocab)
         .filter(|&e| corpus.topic_of[e] == topic)

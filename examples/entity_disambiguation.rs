@@ -32,8 +32,9 @@ fn make_mentions(corpus: &Corpus, n: usize, seed: u64) -> Vec<Mention> {
         let gold_entity = zipf.sample(&mut rng);
         let topic = corpus.topic_of[gold_entity];
         // 4 context entities from the same topic (excluding the gold)
-        let peers: Vec<usize> =
-            (0..vocab).filter(|&e| corpus.topic_of[e] == topic && e != gold_entity).collect();
+        let peers: Vec<usize> = (0..vocab)
+            .filter(|&e| corpus.topic_of[e] == topic && e != gold_entity)
+            .collect();
         if peers.len() < 4 {
             continue;
         }
@@ -48,7 +49,11 @@ fn make_mentions(corpus: &Corpus, n: usize, seed: u64) -> Vec<Mention> {
         }
         rng.shuffle(&mut candidates);
         let gold = candidates.iter().position(|&c| c == gold_entity).unwrap();
-        out.push(Mention { context, candidates, gold });
+        out.push(Mention {
+            context,
+            candidates,
+            gold,
+        });
     }
     out
 }
@@ -78,7 +83,10 @@ fn evaluate(
         let dim = table.dim();
         let mut ctx = vec![0.0f64; dim];
         for &c in &m.context {
-            for (x, &v) in ctx.iter_mut().zip(table.get(&Corpus::entity_name(c)).unwrap()) {
+            for (x, &v) in ctx
+                .iter_mut()
+                .zip(table.get(&Corpus::entity_name(c)).unwrap())
+            {
                 *x += f64::from(v);
             }
         }
@@ -103,7 +111,13 @@ fn evaluate(
     let per_band: Vec<f64> = hit
         .iter()
         .zip(&tot)
-        .map(|(&h, &t)| if t == 0 { f64::NAN } else { h as f64 / t as f64 })
+        .map(|(&h, &t)| {
+            if t == 0 {
+                f64::NAN
+            } else {
+                h as f64 / t as f64
+            }
+        })
         .collect();
     let overall = hit.iter().sum::<usize>() as f64 / tot.iter().sum::<usize>().max(1) as f64;
     (per_band, overall)
@@ -137,20 +151,35 @@ fn main() -> Result<()> {
         seed: 33,
     })?;
     let mentions = make_mentions(&corpus, 3_000, 77);
-    println!("NED task: {} mentions, 5 candidates each, 5 popularity bands\n", mentions.len());
+    println!(
+        "NED task: {} mentions, 5 candidates each, 5 popularity bands\n",
+        mentions.len()
+    );
 
-    let base = SgnsConfig { dim: 32, epochs: 4, seed: 3, ..SgnsConfig::default() };
+    let base = SgnsConfig {
+        dim: 32,
+        epochs: 4,
+        seed: 3,
+        ..SgnsConfig::default()
+    };
     let (plain, _) = train_sgns(&corpus, base.clone())?;
     let (kg, _) = train_kg_sgns(
         &corpus,
-        KgSgnsConfig { base, kg_pairs_per_entity: 8, ..KgSgnsConfig::default() },
+        KgSgnsConfig {
+            base,
+            kg_pairs_per_entity: 8,
+            ..KgSgnsConfig::default()
+        },
     )?;
 
     let bands = 5;
     let (acc_plain, overall_plain) = evaluate(&plain, &corpus, &mentions, bands);
     let (acc_kg, overall_kg) = evaluate(&kg, &corpus, &mentions, bands);
 
-    println!("{:<18} {:>10} {:>10} {:>8}", "popularity band", "SGNS", "KG-SGNS", "lift");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "popularity band", "SGNS", "KG-SGNS", "lift"
+    );
     for b in 0..bands {
         let name = match b {
             0 => "0 (head)".to_string(),
@@ -167,7 +196,10 @@ fn main() -> Result<()> {
     }
     println!(
         "{:<18} {:>10.3} {:>10.3} {:>+8.3}",
-        "overall", overall_plain, overall_kg, overall_kg - overall_plain
+        "overall",
+        overall_plain,
+        overall_kg,
+        overall_kg - overall_plain
     );
     println!(
         "\nThe paper's claim (Orr et al.): structured KG signals rescue the tail\n\

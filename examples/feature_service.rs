@@ -1,0 +1,113 @@
+//! Feature serving over the network: put the in-process `FeatureServer`
+//! behind a TCP socket, query it concurrently, and read the serving
+//! metrics.
+//!
+//! The server is the production-shaped stack from `fstore::serve`:
+//! connection threads frame a compact binary protocol, a bounded queue
+//! applies admission control, and a worker pool coalesces concurrent
+//! single-entity lookups into batch serves.
+//!
+//! Run with: `cargo run --example feature_service`
+
+use fstore::embed::EmbeddingProvenance;
+use fstore::prelude::*;
+use fstore::serve::{fixed_clock, start};
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    println!("== fstore-serve: the network serving layer ==\n");
+
+    // ------------------------------------------------------------------
+    // Populate an online store and an embedding catalog.
+    // ------------------------------------------------------------------
+    let online = Arc::new(OnlineStore::new(64));
+    let mut rng = Xoshiro256::seeded(42);
+    for i in 0..1_000 {
+        let key = EntityKey::new(format!("u{i}"));
+        online.put(
+            "user",
+            &key,
+            "score",
+            Value::Float(rng.normal()),
+            Timestamp::millis(9_000),
+        );
+        online.put(
+            "user",
+            &key,
+            "clicks",
+            Value::Int(i % 50),
+            Timestamp::millis(9_500),
+        );
+    }
+    let mut table = EmbeddingTable::new(16)?;
+    for i in 0..200 {
+        let v: Vec<f32> = (0..16).map(|_| rng.normal() as f32).collect();
+        table.insert(format!("u{i}"), v)?;
+    }
+    let mut catalog = EmbeddingStore::new();
+    let qualified = catalog.publish(
+        "user_emb",
+        table,
+        EmbeddingProvenance::default(),
+        Timestamp::millis(9_000),
+    )?;
+    println!("online store: 1000 entities × 2 features; embeddings: {qualified}");
+
+    // ------------------------------------------------------------------
+    // Start the server on a loopback port.
+    // ------------------------------------------------------------------
+    let engine = ServeEngine::new(
+        FeatureServer::new(Arc::clone(&online)).with_max_age(Duration::seconds(5)),
+        fixed_clock(Timestamp::millis(10_000)),
+    )
+    .with_embedding_catalog(catalog);
+    let handle = start(
+        engine,
+        ServeConfig {
+            workers: 4,
+            queue_depth: 128,
+            max_batch: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!("serving on {addr} (4 workers, queue depth 128)\n");
+
+    // ------------------------------------------------------------------
+    // Hit it from concurrent client threads.
+    // ------------------------------------------------------------------
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = FeatureClient::connect(addr).expect("connect");
+                for i in 0..250 {
+                    let id = (t * 250 + i) % 1_000;
+                    let v = client
+                        .get_features("user", &format!("u{id}"), &["score", "clicks"])
+                        .expect("serve");
+                    assert_eq!(v.values.len(), 2);
+                    if id < 200 && i % 10 == 0 {
+                        let e = client
+                            .get_embedding("user_emb", &format!("u{id}"))
+                            .expect("embed");
+                        assert_eq!(e.len(), 16);
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let metrics = handle.metrics();
+    println!(
+        "server-side metrics after 1000+ requests:\n{}",
+        metrics.dump_json()
+    );
+
+    handle.shutdown();
+    println!("\ngraceful shutdown: queue drained, workers joined");
+    Ok(())
+}

@@ -65,12 +65,17 @@ fn main() -> Result<()> {
     // ------------------------------------------------------------------
     println!("\n== model store round trip ==");
     let now = fs.now();
-    fs.registry_mut().register_set("ltv_v1", &["avg_order_1d"], now)?;
-    let labels: Vec<LabelEvent> =
-        (0..30).map(|c| LabelEvent::new(format!("c{c}"), now, f64::from(u8::from(c % 2 == 0)))).collect();
+    fs.registry_mut()
+        .register_set("ltv_v1", &["avg_order_1d"], now)?;
+    let labels: Vec<LabelEvent> = (0..30)
+        .map(|c| LabelEvent::new(format!("c{c}"), now, f64::from(u8::from(c % 2 == 0))))
+        .collect();
     let training = fs.training_set("ltv_v1", &labels)?;
     let (xs, ys_vals) = training.feature_matrix(0.0);
-    let ys: Vec<usize> = ys_vals.iter().map(|v| v.as_f64().unwrap() as usize).collect();
+    let ys: Vec<usize> = ys_vals
+        .iter()
+        .map(|v| v.as_f64().unwrap() as usize)
+        .collect();
     let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default().with_seed(42))?;
 
     let mut artifact = fstore::core::modelstore::artifact("ltv", model.to_json()?);
@@ -78,16 +83,24 @@ fn main() -> Result<()> {
     artifact.features = fs.registry().get_set("ltv_v1")?.features.clone();
     artifact.training_range = (Timestamp::EPOCH, now);
     artifact.seed = 42;
-    artifact.metrics.insert("train_acc".into(), model.accuracy(&xs, &ys)?);
+    artifact
+        .metrics
+        .insert("train_acc".into(), model.accuracy(&xs, &ys)?);
     let saved = fs.models_mut().save(artifact)?;
-    println!("    saved {} (feature pins {:?})", saved.qualified_name(), saved.features);
+    println!(
+        "    saved {} (feature pins {:?})",
+        saved.qualified_name(),
+        saved.features
+    );
 
     let exported = fs.models().export_json("ltv")?;
     let mut other_store = fstore::core::ModelStore::new();
     other_store.import_json(&exported)?;
-    let restored_model =
-        LogisticRegression::from_json(&other_store.latest("ltv")?.params)?;
-    assert_eq!(restored_model.predict_batch(&xs)?, model.predict_batch(&xs)?);
+    let restored_model = LogisticRegression::from_json(&other_store.latest("ltv")?.params)?;
+    assert_eq!(
+        restored_model.predict_batch(&xs)?,
+        model.predict_batch(&xs)?
+    );
     println!("    re-imported artifact reproduces identical predictions ✓");
 
     // ------------------------------------------------------------------
@@ -101,7 +114,10 @@ fn main() -> Result<()> {
     };
     println!("    snapshot: {} bytes covering {:?}", snapshot.len(), {
         let off = offline.lock();
-        off.table_names().iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        off.table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
     });
     // "disaster": a brand-new process restores the warehouse…
     let restored = OfflineStore::from_snapshot_json(&snapshot)?;
@@ -123,7 +139,14 @@ fn main() -> Result<()> {
         seed: 7,
         ..CorpusConfig::default()
     })?;
-    let (table, prov) = train_sgns(&corpus, SgnsConfig { dim: 16, epochs: 1, ..SgnsConfig::default() })?;
+    let (table, prov) = train_sgns(
+        &corpus,
+        SgnsConfig {
+            dim: 16,
+            epochs: 1,
+            ..SgnsConfig::default()
+        },
+    )?;
     let mut store = EmbeddingStore::new();
     store.publish("cust_emb", table, prov, now)?;
     store.register_consumer("cust_emb@v1", "ltv")?;

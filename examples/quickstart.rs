@@ -54,7 +54,12 @@ fn main() -> Result<()> {
             .describe("1-day average surge-adjusted fare")
             .tag("pricing"),
     )?;
-    println!("    published feature {} (type {}, inputs {:?})", def.qualified_name(), def.value_type, def.inputs);
+    println!(
+        "    published feature {} (type {}, inputs {:?})",
+        def.qualified_name(),
+        def.value_type,
+        def.inputs
+    );
 
     // ------------------------------------------------------------------
     // Stage 2 — Model Training & Deployment
@@ -64,21 +69,35 @@ fn main() -> Result<()> {
     fs.advance(Duration::hours(9))?;
     let now = fs.now();
     let runs = fs.materialize_now("avg_effective_fare_1d")?;
-    println!("    materialized `{}` for {} entities at {}", runs.feature, runs.entities, runs.ran_at);
+    println!(
+        "    materialized `{}` for {} entities at {}",
+        runs.feature, runs.entities, runs.ran_at
+    );
 
     // Leakage-free training set via point-in-time join.
     let set_now = fs.now();
-    fs.registry_mut().register_set("churn_v1", &["avg_effective_fare_1d"], set_now)?;
+    fs.registry_mut()
+        .register_set("churn_v1", &["avg_effective_fare_1d"], set_now)?;
     let labels: Vec<LabelEvent> = (0..100)
         .map(|i| LabelEvent::new(format!("u{i}"), now, f64::from(u8::from(i % 3 == 0))))
         .collect();
     let training = fs.training_set("churn_v1", &labels)?;
     let (xs, ys) = training.feature_matrix(0.0);
-    let ys: Vec<usize> = ys.iter().map(|v| v.as_f64().unwrap_or(0.0) as usize).collect();
-    println!("    built PIT training set: {} rows × {} features", xs.len(), xs[0].len());
+    let ys: Vec<usize> = ys
+        .iter()
+        .map(|v| v.as_f64().unwrap_or(0.0) as usize)
+        .collect();
+    println!(
+        "    built PIT training set: {} rows × {} features",
+        xs.len(),
+        xs[0].len()
+    );
 
     let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default())?;
-    println!("    trained churn model, train accuracy {:.2}", model.accuracy(&xs, &ys)?);
+    println!(
+        "    trained churn model, train accuracy {:.2}",
+        model.accuracy(&xs, &ys)?
+    );
 
     // Store the artifact for provenance.
     let mut artifact = fstore::core::modelstore::artifact("churn", model.to_json()?);
@@ -88,7 +107,12 @@ fn main() -> Result<()> {
     println!("    stored model artifact {}", saved.qualified_name());
 
     // Online serving.
-    let vector = fs.server().serve("user_id", &EntityKey::new("u3"), &["avg_effective_fare_1d"], now)?;
+    let vector = fs.server().serve(
+        "user_id",
+        &EntityKey::new("u3"),
+        &["avg_effective_fare_1d"],
+        now,
+    )?;
     println!(
         "    served u3 features {:?} (age {:?} ms)",
         vector.values,
@@ -120,7 +144,9 @@ fn main() -> Result<()> {
     // ------------------------------------------------------------------
     // Bottom row of Figure 1 — the embedding ecosystem, in miniature
     // ------------------------------------------------------------------
-    println!("\n[embedding ecosystem] self-supervised pretraining → versioned store → quality metrics");
+    println!(
+        "\n[embedding ecosystem] self-supervised pretraining → versioned store → quality metrics"
+    );
     let corpus = Corpus::generate(CorpusConfig {
         vocab: 300,
         topics: 6,
@@ -131,16 +157,29 @@ fn main() -> Result<()> {
     })?;
     let (table_v1, prov) = fstore::embed::sgns::train_sgns(
         &corpus,
-        SgnsConfig { dim: 24, epochs: 2, seed: 1, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 24,
+            epochs: 2,
+            seed: 1,
+            ..SgnsConfig::default()
+        },
     )?;
     let mut emb_store = EmbeddingStore::new();
     let q1 = emb_store.publish("entities", table_v1, prov, now)?;
-    println!("    published {q1} over a {}-entity corpus", corpus.config.vocab);
+    println!(
+        "    published {q1} over a {}-entity corpus",
+        corpus.config.vocab
+    );
 
     // retrain (seed change) → new version → measure version churn
     let (table_v2, prov2) = fstore::embed::sgns::train_sgns(
         &corpus,
-        SgnsConfig { dim: 24, epochs: 2, seed: 2, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 24,
+            epochs: 2,
+            seed: 2,
+            ..SgnsConfig::default()
+        },
     )?;
     let q2 = emb_store.publish("entities", table_v2, prov2, now)?;
     let v1 = &emb_store.get("entities", 1)?.table;

@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run --example ride_sharing`
 
+use fstore::core::quality::ColumnProfile;
 use fstore::core::quality::{FeatureQualityReport, QualityThresholds};
 use fstore::monitor::drift::DriftThresholds;
 use fstore::prelude::*;
-use fstore::core::quality::ColumnProfile;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -39,7 +39,8 @@ fn main() -> Result<()> {
     for _ in 0..4_000 {
         t += Duration::seconds(rng.exponential(1.0 / 30.0) as i64 + 1); // ~1 trip / 30 s
         let driver = format!("d{}", rng.below(40));
-        tx.send(Event::new(driver, t, 1.0)).map_err(|_| FsError::Stream("send".into()))?;
+        tx.send(Event::new(driver, t, 1.0))
+            .map_err(|_| FsError::Stream("send".into()))?;
     }
     drop(tx);
     let report = rt.shutdown()?;
@@ -102,8 +103,14 @@ fn main() -> Result<()> {
         xs.iter().map(|r| r[0]).sum::<f64>() / xs.len() as f64
     };
     println!("    mean joined rating at day-10 labels:");
-    println!("      PIT   join: {:.3}  (values as of day 10 — correct)", mean(&pit));
-    println!("      naive join: {:.3}  (day-29 values leaked into day-10 rows!)", mean(&naive));
+    println!(
+        "      PIT   join: {:.3}  (values as of day 10 — correct)",
+        mean(&pit)
+    );
+    println!(
+        "      naive join: {:.3}  (day-29 values leaked into day-10 rows!)",
+        mean(&naive)
+    );
     drop(off);
 
     // ------------------------------------------------------------------
@@ -118,15 +125,29 @@ fn main() -> Result<()> {
     let reference = vec![ColumnProfile::of_values("eta_gps_quality", &healthy)];
     let live = vec![ColumnProfile::of_values("eta_gps_quality", &storm)];
     let mut issues = Vec::new();
-    FeatureQualityReport::check_null_spikes(&reference, &live, &QualityThresholds::default(), &mut issues);
+    FeatureQualityReport::check_null_spikes(
+        &reference,
+        &live,
+        &QualityThresholds::default(),
+        &mut issues,
+    );
 
     // frozen feed: one feature stopped updating 12 hours ago
     let now = Timestamp::EPOCH + Duration::hours(24);
-    online.put("driver", &EntityKey::new("d0"), "license_check", Value::Bool(true), now - Duration::hours(12));
+    online.put(
+        "driver",
+        &EntityKey::new("d0"),
+        "license_check",
+        Value::Bool(true),
+        now - Duration::hours(12),
+    );
     FeatureQualityReport::check_frozen_feeds(
         &online,
         "driver",
-        &[("license_check", Duration::hours(1)), ("trips_15m", Duration::days(30))],
+        &[
+            ("license_check", Duration::hours(1)),
+            ("trips_15m", Duration::days(30)),
+        ],
         now,
         &QualityThresholds::default(),
         &mut issues,
@@ -139,8 +160,14 @@ fn main() -> Result<()> {
     let ref_vals: Vec<f64> = (0..500).map(|i| f64::from(i % 50)).collect();
     let drifted: Vec<f64> = ref_vals.iter().map(|v| v * 1.8 + 10.0).collect();
     let monitor = DriftMonitor::fit("eta_gps_quality", &ref_vals, DriftThresholds::default())?;
-    println!("    drift on healthy window:  {:?}", monitor.alert_level(&ref_vals)?);
-    println!("    drift on drifted window:  {:?}", monitor.alert_level(&drifted)?);
+    println!(
+        "    drift on healthy window:  {:?}",
+        monitor.alert_level(&ref_vals)?
+    );
+    println!(
+        "    drift on drifted window:  {:?}",
+        monitor.alert_level(&drifted)?
+    );
 
     Ok(())
 }

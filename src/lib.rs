@@ -17,6 +17,7 @@
 //! | [`index`] | Flat / IVF / HNSW vector indexes |
 //! | [`models`] | downstream classifiers + evaluation metrics |
 //! | [`monitor`] | drift, skew, slice finding, patching |
+//! | [`serve`] | TCP serving layer: wire protocol, batching, admission control |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use fstore_index as index;
 pub use fstore_models as models;
 pub use fstore_monitor as monitor;
 pub use fstore_query as query;
+pub use fstore_serve as serve;
 pub use fstore_storage as storage;
 pub use fstore_stream as stream;
 
@@ -91,6 +93,7 @@ pub mod prelude {
         DriftMonitor, EmbeddingDriftMonitor, EmbeddingPatcher, LabelModel, SliceSpec,
     };
     pub use fstore_query::{AggFunc, Program};
+    pub use fstore_serve::{FeatureClient, ServeConfig, ServeEngine, ServingMetrics, WireVector};
     pub use fstore_storage::{
         CmpOp, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
     };

@@ -34,7 +34,12 @@ fn versioned_lifecycle_with_instability_metrics() {
     let c = corpus();
     let mut store = EmbeddingStore::new();
 
-    let cfg = SgnsConfig { dim: 16, epochs: 2, seed: 1, ..SgnsConfig::default() };
+    let cfg = SgnsConfig {
+        dim: 16,
+        epochs: 2,
+        seed: 1,
+        ..SgnsConfig::default()
+    };
     let (t1, p1) = train_sgns(&c, cfg.clone()).unwrap();
     let q1 = store.publish("ent", t1, p1, Timestamp::EPOCH).unwrap();
     let (t2, p2) = train_sgns(&c, SgnsConfig { seed: 2, ..cfg }).unwrap();
@@ -56,14 +61,22 @@ fn versioned_lifecycle_with_instability_metrics() {
     let (x2, _) = embedding_features(v2, &c);
     let m1 = SoftmaxRegression::train(&x1, &ys, 6, &TrainConfig::default()).unwrap();
     let m2 = SoftmaxRegression::train(&x2, &ys, 6, &TrainConfig::default()).unwrap();
-    let flips =
-        prediction_flips(&m1.predict_batch(&x1).unwrap(), &m2.predict_batch(&x2).unwrap())
-            .unwrap();
-    assert!(flips < 0.5, "retrain instability should be bounded: {flips}");
+    let flips = prediction_flips(
+        &m1.predict_batch(&x1).unwrap(),
+        &m2.predict_batch(&x2).unwrap(),
+    )
+    .unwrap();
+    assert!(
+        flips < 0.5,
+        "retrain instability should be bounded: {flips}"
+    );
 
     // Consumer lineage is queryable.
     store.register_consumer("ent@v2", "topic_model").unwrap();
-    assert_eq!(store.consumers("ent@v2").unwrap(), &["topic_model".to_string()]);
+    assert_eq!(
+        store.consumers("ent@v2").unwrap(),
+        &["topic_model".to_string()]
+    );
 }
 
 #[test]
@@ -72,7 +85,12 @@ fn embedding_patch_heals_all_downstream_consumers() {
     let mut store = EmbeddingStore::new();
     let (table, prov) = train_sgns(
         &c,
-        SgnsConfig { dim: 16, epochs: 3, seed: 9, ..SgnsConfig::default() },
+        SgnsConfig {
+            dim: 16,
+            epochs: 3,
+            seed: 9,
+            ..SgnsConfig::default()
+        },
     )
     .unwrap();
     let mut sabotaged = table.clone();
@@ -89,7 +107,9 @@ fn embedding_patch_heals_all_downstream_consumers() {
         let noise: Vec<f32> = (0..16).map(|_| rng.normal() as f32 * 2.0).collect();
         sabotaged.replace(k, noise).unwrap();
     }
-    store.publish("ent", sabotaged, prov, Timestamp::EPOCH).unwrap();
+    store
+        .publish("ent", sabotaged, prov, Timestamp::EPOCH)
+        .unwrap();
 
     // Three independent downstream consumers on the sabotaged embedding.
     let (xs, ys) = embedding_features(&store.latest("ent").unwrap().table, &c);
@@ -116,7 +136,13 @@ fn embedding_patch_heals_all_downstream_consumers() {
         .map(Corpus::entity_name)
         .collect();
     let patched_q = EmbeddingPatcher { alpha: 0.9 }
-        .patch_toward_exemplars(&mut store, "ent", &victims, &exemplars, Timestamp::millis(1))
+        .patch_toward_exemplars(
+            &mut store,
+            "ent",
+            &victims,
+            &exemplars,
+            Timestamp::millis(1),
+        )
         .unwrap();
     let patched = &store.resolve(&patched_q).unwrap().table;
 
@@ -145,9 +171,16 @@ fn embedding_patch_heals_all_downstream_consumers() {
 fn compression_quality_ladder() {
     // More bits ⇒ higher eigenspace overlap with the original (E7's axis).
     let c = corpus();
-    let (table, _) =
-        train_sgns(&c, SgnsConfig { dim: 16, epochs: 2, seed: 3, ..SgnsConfig::default() })
-            .unwrap();
+    let (table, _) = train_sgns(
+        &c,
+        SgnsConfig {
+            dim: 16,
+            epochs: 2,
+            seed: 3,
+            ..SgnsConfig::default()
+        },
+    )
+    .unwrap();
     let mut last = 0.0;
     for bits in [1u8, 2, 4, 8] {
         let q = QuantizedTable::quantize(&table, bits).unwrap();
@@ -158,17 +191,30 @@ fn compression_quality_ladder() {
         );
         last = overlap;
     }
-    assert!(last > 0.95, "8-bit should nearly preserve the space: {last}");
+    assert!(
+        last > 0.95,
+        "8-bit should nearly preserve the space: {last}"
+    );
 }
 
 #[test]
 fn ann_indexes_serve_embedding_tables() {
     let c = corpus();
-    let (table, _) =
-        train_sgns(&c, SgnsConfig { dim: 16, epochs: 2, seed: 4, ..SgnsConfig::default() })
-            .unwrap();
+    let (table, _) = train_sgns(
+        &c,
+        SgnsConfig {
+            dim: 16,
+            epochs: 2,
+            seed: 4,
+            ..SgnsConfig::default()
+        },
+    )
+    .unwrap();
     let keys = table.keys();
-    let mut data: Vec<Vec<f32>> = keys.iter().map(|k| table.get(k).unwrap().to_vec()).collect();
+    let mut data: Vec<Vec<f32>> = keys
+        .iter()
+        .map(|k| table.get(k).unwrap().to_vec())
+        .collect();
     fstore::index::normalize_all(&mut data);
     let flat = FlatIndex::build(data.clone()).unwrap();
     let hnsw = HnswIndex::build(data.clone(), HnswConfig::default()).unwrap();

@@ -20,8 +20,11 @@ fn trips_schema() -> Schema {
 /// "fare above user's long-run average".
 fn make_store(users: usize, trips_per_user: usize) -> FeatureStore {
     let fs = FeatureStore::new(Timestamp::EPOCH);
-    fs.create_source_table("trips", TableConfig::new(trips_schema()).with_time_column("ts"))
-        .unwrap();
+    fs.create_source_table(
+        "trips",
+        TableConfig::new(trips_schema()).with_time_column("ts"),
+    )
+    .unwrap();
     let mut rng = Xoshiro256::seeded(101);
     let mut rows = Vec::new();
     for u in 0..users {
@@ -63,31 +66,50 @@ fn full_pipeline_ingest_to_monitoring() {
     for _ in 0..8 {
         total_runs += fs.advance(Duration::hours(1)).unwrap().len();
     }
-    assert!(total_runs >= 8, "both features should rerun across 8 hours, got {total_runs}");
+    assert!(
+        total_runs >= 8,
+        "both features should rerun across 8 hours, got {total_runs}"
+    );
 
     // --- training set via PIT join ---
     let now = fs.now();
-    fs.registry_mut().register_set("fare_model", &["avg_fare_1d", "fare_per_km"], now).unwrap();
-    let labels: Vec<LabelEvent> =
-        (0..50).map(|u| LabelEvent::new(format!("u{u}"), now, f64::from(u8::from(u % 2 == 0)))).collect();
+    fs.registry_mut()
+        .register_set("fare_model", &["avg_fare_1d", "fare_per_km"], now)
+        .unwrap();
+    let labels: Vec<LabelEvent> = (0..50)
+        .map(|u| LabelEvent::new(format!("u{u}"), now, f64::from(u8::from(u % 2 == 0))))
+        .collect();
     let training = fs.training_set("fare_model", &labels).unwrap();
     assert_eq!(training.rows.len(), 50);
     assert_eq!(training.schema.len(), 5); // entity, ts, 2 features, label
     let (xs, ys_vals) = training.feature_matrix(0.0);
     assert!(xs.iter().all(|r| r.len() == 2));
-    let ys: Vec<usize> = ys_vals.iter().map(|v| v.as_f64().unwrap() as usize).collect();
+    let ys: Vec<usize> = ys_vals
+        .iter()
+        .map(|v| v.as_f64().unwrap() as usize)
+        .collect();
 
     // --- train, store artifact, serve ---
     let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
     let mut artifact = fstore::core::modelstore::artifact("fare_clf", model.to_json().unwrap());
     artifact.feature_set = "fare_model".into();
-    artifact.features = fs.registry().get_set("fare_model").unwrap().features.clone();
+    artifact.features = fs
+        .registry()
+        .get_set("fare_model")
+        .unwrap()
+        .features
+        .clone();
     let saved = fs.models_mut().save(artifact).unwrap();
     assert_eq!(saved.version, 1);
 
     let served = fs
         .server()
-        .serve("user_id", &EntityKey::new("u7"), &["avg_fare_1d", "fare_per_km"], fs.now())
+        .serve(
+            "user_id",
+            &EntityKey::new("u7"),
+            &["avg_fare_1d", "fare_per_km"],
+            fs.now(),
+        )
         .unwrap();
     assert!(served.stale.is_empty());
     let _pred = model.predict(&served.dense(0.0)).unwrap();
@@ -97,13 +119,22 @@ fn full_pipeline_ingest_to_monitoring() {
     let online = fs.online();
     {
         let off = offline.lock();
-        let report =
-            skew_report(&off, &online, "avg_fare_1d", 1, "user_id", DriftThresholds::default())
-                .unwrap();
+        let report = skew_report(
+            &off,
+            &online,
+            "avg_fare_1d",
+            1,
+            "user_id",
+            DriftThresholds::default(),
+        )
+        .unwrap();
         // The rolling 1-day window legitimately evolves across the first
         // hours (it sees more data each run), so early history may drift
         // mildly from the final serving snapshot — but never critically.
-        assert!(report.alert < DriftAlert::Critical, "healthy pipeline must not go critical: {report:?}");
+        assert!(
+            report.alert < DriftAlert::Critical,
+            "healthy pipeline must not go critical: {report:?}"
+        );
     }
 
     // --- inject a fault: the distance feed starts emitting nulls ---
@@ -183,8 +214,9 @@ fn pit_prevents_leakage_that_naive_join_suffers() {
             }
         }
     }
-    let labels: Vec<LabelEvent> =
-        (0..30).map(|u| LabelEvent::new(format!("u{u}"), Date::from_days(10).start(), 1.0)).collect();
+    let labels: Vec<LabelEvent> = (0..30)
+        .map(|u| LabelEvent::new(format!("u{u}"), Date::from_days(10).start(), 1.0))
+        .collect();
     let feats = [PitFeature::materialized("score", 1)];
     let off = offline.lock();
     let pit = point_in_time_join(&off, &labels, &feats).unwrap();
@@ -193,7 +225,11 @@ fn pit_prevents_leakage_that_naive_join_suffers() {
         assert_eq!(row[2], Value::Float(10.0), "PIT sees exactly day-10 value");
     }
     for row in &naive.rows {
-        assert_eq!(row[2], Value::Float(19.0), "naive join leaks the final value");
+        assert_eq!(
+            row[2],
+            Value::Float(19.0),
+            "naive join leaks the final value"
+        );
     }
 }
 
@@ -249,6 +285,8 @@ fn streaming_features_flow_into_training_sets() {
     assert_eq!(ts.rows[1][2], Value::Float(5.0));
 
     // And the online side serves the latest closed window.
-    let e = online.get("user", &EntityKey::new("u1"), "clicks_1h").unwrap();
+    let e = online
+        .get("user", &EntityKey::new("u1"), "clicks_1h")
+        .unwrap();
     assert_eq!(e.value, Value::Int(5));
 }

@@ -1,0 +1,298 @@
+//! The JSON-shaped data model shared by `serde` and `serde_json`.
+
+/// A JSON number. Integers keep exact 64-bit representations; floats
+/// round-trip through their shortest decimal form (Rust's `{:?}`
+/// formatting is correctly rounded both ways).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::U64(v) => Some(v),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I64(v) => v as f64,
+            Number::U64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    pub fn is_integer(&self) -> bool {
+        !matches!(self, Number::F64(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            // Integers compare across signedness; floats only with floats
+            // (serde_json semantics: 1 != 1.0).
+            (Number::F64(a), Number::F64(b)) => a == b,
+            (a, b) if a.is_integer() && b.is_integer() => match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => x == y,
+                (None, None) => a.as_u64() == b.as_u64(),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// A JSON-shaped tree: the single data model every `Serialize` impl
+/// renders into. `serde_json` re-exports this as its `Value`.
+#[derive(Debug, Clone, Default)]
+pub enum Content {
+    #[default]
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order. Equality is order-insensitive,
+    /// matching `serde_json::Value` object semantics.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::Num(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "an array",
+            Content::Map(_) => "an object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup; `None` out of range or non-array.
+    pub fn get_index(&self, index: usize) -> Option<&Content> {
+        match self {
+            Content::Seq(items) => items.get(index),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, index: usize) -> &Content {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq for Content {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Content::Null, Content::Null) => true,
+            (Content::Bool(a), Content::Bool(b)) => a == b,
+            (Content::Num(a), Content::Num(b)) => a == b,
+            (Content::Str(a), Content::Str(b)) => a == b,
+            (Content::Seq(a), Content::Seq(b)) => a == b,
+            (Content::Map(a), Content::Map(b)) => {
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter()
+                            .find(|(bk, _)| bk == k)
+                            .is_some_and(|(_, bv)| bv == v)
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Append `s` JSON-escaped (quoted) onto `out`.
+pub fn escape_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float as JSON: shortest round-trip decimal (Rust's `{:?}` is
+/// correctly rounded both directions, giving `float_roundtrip` fidelity);
+/// non-finite values have no JSON form and degrade to `null`.
+pub fn format_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(content: &Content, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::Num(Number::I64(v)) => out.push_str(&v.to_string()),
+        Content::Num(Number::U64(v)) => out.push_str(&v.to_string()),
+        Content::Num(Number::F64(v)) => format_f64(*v, out),
+        Content::Str(s) => escape_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_json_string(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON rendering (what `serde_json::to_string` emits).
+impl std::fmt::Display for Content {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Content {
+    fn from(v: bool) -> Self {
+        Content::Bool(v)
+    }
+}
+
+impl From<i64> for Content {
+    fn from(v: i64) -> Self {
+        Content::Num(Number::I64(v))
+    }
+}
+
+impl From<f64> for Content {
+    fn from(v: f64) -> Self {
+        Content::Num(Number::F64(v))
+    }
+}
+
+impl From<&str> for Content {
+    fn from(v: &str) -> Self {
+        Content::Str(v.to_string())
+    }
+}
+
+impl From<String> for Content {
+    fn from(v: String) -> Self {
+        Content::Str(v)
+    }
+}

@@ -1,0 +1,345 @@
+//! `Serialize`/`Deserialize` impls for std types, mirroring serde's JSON
+//! conventions: `Option` as null-or-value, tuples as fixed arrays, maps
+//! with string keys as objects.
+
+use crate::content::{Content, Number};
+use crate::{DeError, Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::invalid_type("a boolean", content))
+    }
+}
+
+macro_rules! signed_int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Content {
+                Content::Num(Number::I64(*self as i64))
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let n = content.as_i64().ok_or_else(|| DeError::invalid_type("an integer", content))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+signed_int_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Content {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Content::Num(Number::I64(i)),
+                    Err(_) => Content::Num(Number::U64(v)),
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let n = content
+                    .as_u64()
+                    .ok_or_else(|| DeError::invalid_type("an unsigned integer", content))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_int_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::Num(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::invalid_type("a number", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::Num(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(content
+            .as_f64()
+            .ok_or_else(|| DeError::invalid_type("a number", content))? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::invalid_type("a string", content))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| DeError::invalid_type("a string", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected a single character, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_array()
+            .ok_or_else(|| DeError::invalid_type("an array", content))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($len:expr => $($idx:tt $name:ident),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let items = crate::__private::expect_seq(content, "tuple", $len)?;
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (1 => 0 A),
+    (2 => 0 A, 1 B),
+    (3 => 0 A, 1 B, 2 C),
+    (4 => 0 A, 1 B, 2 C, 3 D)
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_object()
+            .ok_or_else(|| DeError::invalid_type("an object", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_object()
+            .ok_or_else(|| DeError::invalid_type("an object", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(None::<i64>.serialize(), Content::Null);
+        assert_eq!(Option::<i64>::deserialize(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<i64>::deserialize(&Content::from(3i64)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn int_range_checks() {
+        let big = Content::from(300i64);
+        assert!(u8::deserialize(&big).is_err());
+        assert_eq!(u16::deserialize(&big).unwrap(), 300);
+        let neg = Content::from(-1i64);
+        assert!(u64::deserialize(&neg).is_err());
+        assert_eq!(i32::deserialize(&neg).unwrap(), -1);
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let v = (1i64, "x".to_string()).serialize();
+        assert_eq!(
+            <(i64, String)>::deserialize(&v).unwrap(),
+            (1, "x".to_string())
+        );
+        let xs = vec![1.5f64, 2.5].serialize();
+        assert_eq!(Vec::<f64>::deserialize(&xs).unwrap(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        let c = m.serialize();
+        assert_eq!(BTreeMap::<String, i64>::deserialize(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn map_equality_is_order_insensitive() {
+        let a = Content::Map(vec![
+            ("x".into(), Content::from(1i64)),
+            ("y".into(), Content::from(2i64)),
+        ]);
+        let b = Content::Map(vec![
+            ("y".into(), Content::from(2i64)),
+            ("x".into(), Content::from(1i64)),
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn numbers_cross_variant_equality() {
+        assert_eq!(Content::Num(Number::I64(1)), Content::Num(Number::U64(1)));
+        assert_ne!(Content::Num(Number::I64(1)), Content::Num(Number::F64(1.0)));
+    }
+}

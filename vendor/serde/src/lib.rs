@@ -1,0 +1,129 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde abstracts over data formats with visitor-based
+//! serializers; this workspace only ever serializes to and from JSON, so
+//! the stand-in collapses the data model to a single JSON-shaped tree,
+//! [`Content`]. [`Serialize`] converts a value *into* content,
+//! [`Deserialize`] reconstructs a value *from* content, and `serde_json`
+//! supplies the text round-trip on top.
+//!
+//! The `derive` feature re-exports `#[derive(Serialize, Deserialize)]`
+//! proc-macros generating the same externally-tagged representation real
+//! serde uses (unit variants as strings, data variants as single-entry
+//! maps, newtype structs transparent).
+
+mod content;
+mod impls;
+
+pub use content::{escape_json_string, format_f64, Content, Number};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when content cannot be reshaped into the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Standard "wrong shape" error, mirroring serde's invalid_type message.
+    pub fn invalid_type(expected: &str, found: &Content) -> Self {
+        DeError(format!(
+            "invalid type: expected {expected}, found {}",
+            found.kind()
+        ))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be rendered into JSON-shaped [`Content`].
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+/// A value that can be rebuilt from JSON-shaped [`Content`].
+pub trait Deserialize: Sized {
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Runtime support for the derive macros; not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Content, DeError};
+
+    /// Field lookup for derived struct deserializers. Missing keys resolve
+    /// to `Null` so `Option` fields default to `None`.
+    pub fn field<'a>(content: &'a Content, key: &str) -> &'a Content {
+        static NULL: Content = Content::Null;
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    pub fn expect_map<'a>(
+        content: &'a Content,
+        ty: &str,
+    ) -> Result<&'a [(String, Content)], DeError> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError(format!(
+                "invalid type: {ty} expects a map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_seq<'a>(
+        content: &'a Content,
+        ty: &str,
+        len: usize,
+    ) -> Result<&'a [Content], DeError> {
+        match content {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(DeError(format!(
+                "invalid length: {ty} expects {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(DeError(format!(
+                "invalid type: {ty} expects a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decode an externally-tagged enum: either `"Variant"` or
+    /// `{"Variant": payload}`. Returns the tag and the payload (`Null` for
+    /// unit variants).
+    pub fn variant<'a>(content: &'a Content, ty: &str) -> Result<(&'a str, &'a Content), DeError> {
+        static NULL: Content = Content::Null;
+        match content {
+            Content::Str(tag) => Ok((tag, &NULL)),
+            Content::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            other => Err(DeError(format!(
+                "invalid type: enum {ty} expects a string or single-entry map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn unknown_variant(ty: &str, tag: &str) -> DeError {
+        DeError(format!("unknown variant `{tag}` for enum {ty}"))
+    }
+}

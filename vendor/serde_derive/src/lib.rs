@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` over the
+//! compiler's `proc_macro` API alone (no `syn`/`quote` available offline).
+//! Supports the shapes this workspace uses — non-generic named structs,
+//! tuple/newtype structs, and enums with unit/tuple/named variants — and
+//! emits the same externally-tagged layout real serde produces. Generated
+//! code never needs field *types*: struct literals and enum constructors
+//! let inference pick the right `Deserialize` impl per field.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+/// Field layout of a struct or enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            // `extern crate serde as _serde` keeps the generated code
+            // immune to local `Result`/`String` aliases and shadowed paths.
+            format!(
+                "const _: () = {{ extern crate serde as _serde; {} }};",
+                gen(&item)
+            )
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    shape: Shape::Tuple(count_tuple_fields(g.stream())),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                shape: Shape::Unit,
+            }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// `name: Type, ...` — returns field names; types are skipped by walking to
+/// the next comma outside `<...>` nesting (delimited groups are atomic
+/// token trees, so only angle brackets need depth tracking).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping after the comma that ends it (if any).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Shape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Discriminant (`= expr`) would appear here; none in this workspace.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => return Err(format!("expected `,` after variant, found {other:?}")),
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+/// Expression serializing `expr_prefix.field` pairs into a Content::Map.
+fn map_literal(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| {
+            format!("(::std::string::String::from({k:?}), _serde::Serialize::serialize({v}))")
+        })
+        .collect();
+    format!("_serde::Content::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "_serde::Content::Null".to_string(),
+                // Newtype structs are transparent, like real serde.
+                Shape::Tuple(1) => "_serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("_serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("_serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let pairs: Vec<(String, String)> = fields
+                        .iter()
+                        .map(|f| (f.clone(), format!("&self.{f}")))
+                        .collect();
+                    map_literal(&pairs)
+                }
+            };
+            format!(
+                "impl _serde::Serialize for {name} {{ \
+                     fn serialize(&self) -> _serde::Content {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => _serde::Content::Str(::std::string::String::from({v:?}))"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => _serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         _serde::Serialize::serialize(f0))])"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("_serde::Serialize::serialize(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => _serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             _serde::Content::Seq(::std::vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<(String, String)> =
+                            fields.iter().map(|f| (f.clone(), f.clone())).collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => _serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), {})])",
+                            map_literal(&pairs)
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl _serde::Serialize for {name} {{ \
+                     fn serialize(&self) -> _serde::Content {{ \
+                         match self {{ {} }} \
+                     }} \
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+/// `field:` initializer reading `key` out of `src` content.
+fn field_init(ty: &str, src: &str, field: &str) -> String {
+    format!(
+        "{field}: _serde::Deserialize::deserialize(_serde::__private::field({src}, {field:?})) \
+             .map_err(|e| _serde::DeError(::std::format!(\"{ty}.{field}: {{e}}\")))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, shape } => match shape {
+            Shape::Unit => format!("{{ let _ = content; ::std::result::Result::Ok({name}) }}"),
+            Shape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(_serde::Deserialize::deserialize(content)?))"
+            ),
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("_serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "{{ let __items = _serde::__private::expect_seq(content, {name:?}, {n})?; \
+                       ::std::result::Result::Ok({name}({})) }}",
+                    inits.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| field_init(name, "content", f))
+                    .collect();
+                format!(
+                    "{{ _serde::__private::expect_map(content, {name:?})?; \
+                       ::std::result::Result::Ok({name} {{ {} }}) }}",
+                    inits.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => {
+                        format!("{v:?} => ::std::result::Result::Ok({name}::{v})")
+                    }
+                    Shape::Tuple(1) => format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         _serde::Deserialize::deserialize(__payload).map_err(|e| \
+                         _serde::DeError(::std::format!(\"{name}::{v}: {{e}}\")))?))"
+                    ),
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("_serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{ let __items = _serde::__private::expect_seq(\
+                             __payload, \"{name}::{v}\", {n})?; \
+                             ::std::result::Result::Ok({name}::{v}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_init(&format!("{name}::{v}"), "__payload", f))
+                            .collect();
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let (__tag, __payload) = _serde::__private::variant(content, {name:?})?; \
+                   match __tag {{ {}, __other => ::std::result::Result::Err(\
+                   _serde::__private::unknown_variant({name:?}, __other)) }} }}",
+                arms.join(", ")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl _serde::Deserialize for {name} {{ \
+             fn deserialize(content: &_serde::Content) \
+                 -> ::std::result::Result<Self, _serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

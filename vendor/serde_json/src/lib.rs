@@ -1,0 +1,457 @@
+//! Offline stand-in for `serde_json`, over the `serde` stand-in's
+//! [`Content`](serde::Content) model (re-exported here as [`Value`]).
+//!
+//! Provides the workspace's used surface: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], [`from_value`], the
+//! [`json!`] macro, and `Value` itself with object/array accessors.
+//! Floats print in shortest round-trip form and parse correctly rounded,
+//! so the `float_roundtrip` behavior of the real crate always holds.
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::Content as Value;
+pub use serde::Number;
+
+/// Serialization/deserialization failure (parse errors, shape mismatches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render any serializable value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_string())
+}
+
+/// Render any serializable value as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.serialize(), 0, &mut out);
+    Ok(out)
+}
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parse JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from a JSON literal.
+///
+/// Implemented by parsing the stringified tokens, which covers every JSON
+/// literal shape; interpolating runtime expressions is not supported (use
+/// `Value` constructors for that).
+#[macro_export]
+macro_rules! json {
+    ($($tokens:tt)+) => {
+        $crate::from_str::<$crate::Value>(stringify!($($tokens)+))
+            .expect("invalid json! literal")
+    };
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(depth + 1, out);
+                serde::escape_json_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                char::from(byte),
+                self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at offset {}",
+                char::from(c),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            // Surrogate pairs: decode the low half if present.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                let rest = &self.bytes[self.pos + 5..];
+                                if rest.len() >= 6 && rest[0] == b'\\' && rest[1] == b'u' {
+                                    let lo_hex = std::str::from_utf8(&rest[2..6])
+                                        .map_err(|_| Error::new("invalid \\u escape"))?;
+                                    let lo = u32::from_str_radix(lo_hex, 16)
+                                        .map_err(|_| Error::new("invalid \\u escape"))?;
+                                    self.pos += 6;
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("invalid unicode escape"))?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+            // Leniency for `json!`: stringified token streams separate `-`
+            // from the digits (`- 0.5`).
+            self.skip_ws();
+        }
+        let digits_start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        if self.pos == digits_start {
+            return Err(Error::new(format!("invalid number at offset {start}")));
+        }
+        let body = std::str::from_utf8(&self.bytes[digits_start..self.pos]).unwrap();
+        let text = if negative {
+            format!("-{body}")
+        } else {
+            body.to_string()
+        };
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::I64(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Num(Number::U64(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Num(Number::F64(v)))
+            .map_err(|_| Error::new(format!("invalid number `{text}` at offset {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&1i64).unwrap(), "1");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<String>("\"hi\\nthere\"").unwrap(), "hi\nthere");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for &x in &[
+            0.1f64,
+            0.2,
+            0.1 + 0.2,
+            1.0 / 3.0,
+            6.02214076e23,
+            -0.0,
+            5e-324,
+        ] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        let v: Value = from_str("1.0").unwrap();
+        assert_eq!(v, Value::Num(Number::F64(1.0)));
+        let i: Value = from_str("1").unwrap();
+        assert_eq!(i, Value::Num(Number::I64(1)));
+    }
+
+    #[test]
+    fn nested_value_round_trip() {
+        let v =
+            json!({"name": "fstore", "versions": [1, 2, 3], "meta": {"ok": true, "score": 0.5}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(v["name"].as_str(), Some("fstore"));
+        assert_eq!(v["versions"][2].as_i64(), Some(3));
+        assert_eq!(v["meta"]["score"].as_f64(), Some(0.5));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3), Value::Num(Number::I64(3)));
+        assert_eq!(json!({}), Value::Map(vec![]));
+        assert_eq!(json!([0.5, -0.5])[1].as_f64(), Some(-0.5));
+        assert_eq!(json!({"w": [1.0]})["w"][0].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn pretty_printing() {
+        let v = json!({"a": 1, "b": [1, 2]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+        assert_eq!(to_string_pretty(&json!({})).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Vec<i64>>("{}").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+}
