@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fstore_bench::workloads::random_vectors;
-use fstore_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex};
+use fstore_index::{
+    FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchParams, VectorIndex,
+};
 use std::hint::black_box;
 
 const N: usize = 10_000;
@@ -46,13 +48,16 @@ fn search_latency(c: &mut Criterion) {
     )
     .unwrap();
 
+    // All three go through the one generic trait entry point with default
+    // params — each family falls back to its configured knobs.
+    let params = SearchParams::default();
     let mut qi = 0usize;
     let mut next = move || {
         qi = (qi + 1) % 64;
         qi
     };
     c.bench_function("flat_search_k10_10k", |b| {
-        b.iter(|| black_box(flat.search(&queries[next()], 10).unwrap()))
+        b.iter(|| black_box(VectorIndex::search(&flat, &queries[next()], 10, &params).unwrap()))
     });
     let mut qi2 = 0usize;
     let mut next2 = move || {
@@ -60,7 +65,7 @@ fn search_latency(c: &mut Criterion) {
         qi2
     };
     c.bench_function("ivf_nprobe8_k10_10k", |b| {
-        b.iter(|| black_box(ivf.search(&queries[next2()], 10).unwrap()))
+        b.iter(|| black_box(VectorIndex::search(&ivf, &queries[next2()], 10, &params).unwrap()))
     });
     let mut qi3 = 0usize;
     let mut next3 = move || {
@@ -68,7 +73,7 @@ fn search_latency(c: &mut Criterion) {
         qi3
     };
     c.bench_function("hnsw_ef32_k10_10k", |b| {
-        b.iter(|| black_box(hnsw.search(&queries[next3()], 10).unwrap()))
+        b.iter(|| black_box(VectorIndex::search(&hnsw, &queries[next3()], 10, &params).unwrap()))
     });
 }
 

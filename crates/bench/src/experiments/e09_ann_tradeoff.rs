@@ -3,15 +3,32 @@
 //! these operations at industrial scale will be non-trivial").
 //!
 //! The classic recall/latency frontier: Flat (exact) vs IVF (nprobe sweep)
-//! vs HNSW (ef sweep) on one vector set.
+//! vs HNSW (ef sweep) on one vector set. Every sweep point goes through
+//! the one generic entry point — `VectorIndex::search` with
+//! [`SearchParams`] — so the harness below never names a concrete index
+//! type after construction.
 
 use crate::table::{f1, f3, Table};
 use crate::workloads::clustered_vectors;
 use fstore_common::Result;
 use fstore_index::{
-    recall_at_k, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex,
+    recall_at_k, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchParams, VectorIndex,
 };
 use std::time::Instant;
+
+/// Mean per-query latency (µs) of one `(index, params)` sweep point.
+fn mean_query_us(
+    index: &dyn VectorIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+    params: &SearchParams,
+) -> Result<f64> {
+    let start = Instant::now();
+    for q in queries {
+        index.search(q, k, params)?;
+    }
+    Ok(start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64)
+}
 
 pub fn run(quick: bool) -> Result<()> {
     let n = if quick { 20_000 } else { 100_000 };
@@ -65,11 +82,7 @@ pub fn run(quick: bool) -> Result<()> {
     ]);
 
     // exact baseline latency
-    let start = Instant::now();
-    for q in &queries {
-        flat.search(q, k)?;
-    }
-    let flat_us = start.elapsed().as_secs_f64() * 1e6 / n_queries as f64;
+    let flat_us = mean_query_us(&flat, &queries, k, &SearchParams::default())?;
     table.row(vec![
         "flat (exact)".into(),
         "-".into(),
@@ -79,59 +92,45 @@ pub fn run(quick: bool) -> Result<()> {
         f1(flat_build.as_secs_f64()),
     ]);
 
+    // Every sweep point is the same generic (index, params) pair; only the
+    // knob differs. Label and build time ride along per family.
+    let mut sweep: Vec<(&dyn VectorIndex, SearchParams, String, f64)> = Vec::new();
     for nprobe in [1usize, 2, 4, 8, 16, 32] {
-        let start = Instant::now();
-        for q in &queries {
-            ivf.search_with_probes(q, k, nprobe)?;
-        }
-        let us = start.elapsed().as_secs_f64() * 1e6 / n_queries as f64;
-        // recall measured via a thin adapter running the probe setting
-        let mut hit = 0usize;
-        let mut total = 0usize;
-        for q in &queries {
-            let truth = flat.search(q, k)?;
-            let got = ivf.search_with_probes(q, k, nprobe)?;
-            let ids: Vec<usize> = got.iter().map(|h| h.0).collect();
-            hit += truth.iter().filter(|(id, _)| ids.contains(id)).count();
-            total += truth.len();
-        }
-        table.row(vec![
-            "ivf".into(),
+        sweep.push((
+            &ivf,
+            SearchParams::with_nprobe(nprobe),
             format!("nprobe={nprobe}"),
-            f3(hit as f64 / total as f64),
-            f1(us),
-            format!("{:.1}x", flat_us / us),
-            f1(ivf_build.as_secs_f64()),
-        ]);
+            ivf_build.as_secs_f64(),
+        ));
+    }
+    for ef in [16usize, 32, 64, 128, 256] {
+        sweep.push((
+            &hnsw,
+            SearchParams::with_ef(ef),
+            format!("ef={ef}"),
+            hnsw_build.as_secs_f64(),
+        ));
     }
 
-    for ef in [16usize, 32, 64, 128, 256] {
-        let start = Instant::now();
-        for q in &queries {
-            hnsw.search_with_ef(q, k, ef)?;
-        }
-        let us = start.elapsed().as_secs_f64() * 1e6 / n_queries as f64;
-        let mut hit = 0usize;
-        let mut total = 0usize;
-        for q in &queries {
-            let truth = flat.search(q, k)?;
-            let got = hnsw.search_with_ef(q, k, ef)?;
-            let ids: Vec<usize> = got.iter().map(|h| h.0).collect();
-            hit += truth.iter().filter(|(id, _)| ids.contains(id)).count();
-            total += truth.len();
-        }
+    for (index, params, label, build_s) in sweep {
+        let us = mean_query_us(index, &queries, k, &params)?;
+        let recall = recall_at_k(index, &flat, &queries, k, &params)?;
+        let family = if label.starts_with("nprobe") {
+            "ivf"
+        } else {
+            "hnsw"
+        };
         table.row(vec![
-            "hnsw".into(),
-            format!("ef={ef}"),
-            f3(hit as f64 / total as f64),
+            family.into(),
+            label,
+            f3(recall),
             f1(us),
             format!("{:.1}x", flat_us / us),
-            f1(hnsw_build.as_secs_f64()),
+            f1(build_s),
         ]);
     }
 
     table.print();
-    let _ = recall_at_k(&hnsw, &flat, &queries, k)?; // exported API smoke-use
     println!(
         "\nShape check: both ANN families sweep out a recall/latency frontier —\n\
          ~0.9+ recall at a large speedup over exact scan; recall → 1 as\n\

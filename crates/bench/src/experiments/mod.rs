@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E14 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E15 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -16,6 +16,7 @@ pub mod e11_slice_patching;
 pub mod e12_patch_propagation;
 pub mod e13_version_alignment;
 pub mod e14_network_serving;
+pub mod e15_ann_serving;
 
 use fstore_common::Result;
 
@@ -99,6 +100,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E14 Network serving under open-loop load (§2.2.2)",
             run: e14_network_serving::run,
         },
+        Experiment {
+            id: "e15",
+            title: "E15 ANN serving over the wire with hot index swap (§4)",
+            run: e15_ann_serving::run,
+        },
     ]
 }
 
@@ -124,10 +130,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 14);
+        assert_eq!(exps.len(), 15);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
     }
 }

@@ -1,6 +1,6 @@
 //! Knowledge-graph-augmented SGNS (paper §3.1.1).
 //!
-//! Orr et al. [Bootleg] showed that adding *structured* signals — an
+//! Orr et al. (Bootleg) showed that adding *structured* signals — an
 //! entity's type and its knowledge-graph relations — to self-supervised
 //! pretraining rescues the tail: rare entities get most of their signal
 //! from structure rather than (scarce) co-occurrence. This trainer

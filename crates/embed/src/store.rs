@@ -117,6 +117,16 @@ impl EmbeddingTable {
         Ok(scored)
     }
 
+    /// All rows as parallel `(keys, vectors)` in sorted-key order — the
+    /// deterministic export an ANN index build consumes (row id `i` in the
+    /// index is `keys[i]` here).
+    pub fn export_rows(&self) -> (Vec<String>, Vec<Vec<f32>>) {
+        let mut keys: Vec<&String> = self.vectors.keys().collect();
+        keys.sort_unstable();
+        let vectors = keys.iter().map(|k| self.vectors[*k].clone()).collect();
+        (keys.into_iter().cloned().collect(), vectors)
+    }
+
     /// Overwrite a row (returns the previous vector). Used by patching;
     /// note the *store* keeps tables immutable — patch a copy, then publish.
     pub fn replace(&mut self, key: &str, vector: Vec<f32>) -> Result<Option<Vec<f32>>> {
@@ -318,6 +328,20 @@ mod tests {
         assert_eq!(nn[1].0, "orth");
         assert!(t.nearest("ghost", 1).is_err());
         assert!(t.cosine("x", "ghost").is_err());
+    }
+
+    #[test]
+    fn export_rows_is_sorted_and_aligned() {
+        let t = table(&[
+            ("b", vec![2.0, 0.0]),
+            ("a", vec![1.0, 0.0]),
+            ("c", vec![3.0, 0.0]),
+        ]);
+        let (keys, vectors) = t.export_rows();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+        for (k, v) in keys.iter().zip(&vectors) {
+            assert_eq!(t.get(k), Some(v.as_slice()));
+        }
     }
 
     #[test]

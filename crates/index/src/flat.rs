@@ -1,7 +1,7 @@
 //! Exact brute-force index: the recall-1.0 baseline every ANN index is
 //! measured against.
 
-use crate::{check_query, l2_sq, Hit, VectorIndex};
+use crate::{check_query, l2_sq, Hit, SearchParams, VectorIndex};
 use fstore_common::{FsError, Result};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -77,6 +77,12 @@ impl FlatIndex {
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         hits
     }
+
+    /// Two-argument form kept one release for source compatibility; new
+    /// code should call [`VectorIndex::search`] with [`SearchParams`].
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
+        VectorIndex::search(self, query, k, &SearchParams::default())
+    }
 }
 
 impl VectorIndex for FlatIndex {
@@ -88,7 +94,12 @@ impl VectorIndex for FlatIndex {
         self.dim
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
+    fn vector(&self, id: usize) -> Option<&[f32]> {
+        self.data.get(id).map(Vec::as_slice)
+    }
+
+    // Flat is already exact, so every param set means the same scan.
+    fn search(&self, query: &[f32], k: usize, _params: &SearchParams) -> Result<Vec<Hit>> {
         check_query(self.dim, self.len(), query, k)?;
         Ok(Self::top_k(&self.data, None, query, k))
     }

@@ -2,7 +2,8 @@
 //! the graph-index family of the E9 sweep. Greedy descent through sparse
 //! upper layers, beam (`ef`) search in the base layer.
 
-use crate::{check_query, l2_sq, Hit, VectorIndex};
+use crate::flat::FlatIndex;
+use crate::{check_query, l2_sq, Hit, SearchParams, VectorIndex};
 use fstore_common::{FsError, Result, Rng, Xoshiro256};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -272,8 +273,19 @@ impl HnswIndex {
         hits
     }
 
-    /// Search with an explicit beam width (the E9 sweep axis).
+    /// Two-argument form kept one release for source compatibility; new
+    /// code should call [`VectorIndex::search`] with [`SearchParams`].
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
+        VectorIndex::search(self, query, k, &SearchParams::default())
+    }
+
+    /// Explicit-beam form kept one release for source compatibility; new
+    /// code should pass [`SearchParams::with_ef`] to [`VectorIndex::search`].
     pub fn search_with_ef(&self, query: &[f32], k: usize, ef: usize) -> Result<Vec<Hit>> {
+        VectorIndex::search(self, query, k, &SearchParams::with_ef(ef))
+    }
+
+    fn search_beam(&self, query: &[f32], k: usize, ef: usize) -> Result<Vec<Hit>> {
         check_query(self.dim, self.len(), query, k)?;
         if ef == 0 {
             return Err(FsError::Index("ef must be positive".into()));
@@ -301,8 +313,16 @@ impl VectorIndex for HnswIndex {
         self.dim
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
-        self.search_with_ef(query, k, self.config.ef_search)
+    fn vector(&self, id: usize) -> Option<&[f32]> {
+        self.data.get(id).map(Vec::as_slice)
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Hit>> {
+        if params.exhaustive {
+            check_query(self.dim, self.len(), query, k)?;
+            return Ok(FlatIndex::top_k(&self.data, None, query, k));
+        }
+        self.search_beam(query, k, params.ef.unwrap_or(self.config.ef_search))
     }
 }
 

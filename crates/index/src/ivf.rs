@@ -4,7 +4,7 @@
 
 use crate::flat::FlatIndex;
 use crate::kmeans::kmeans;
-use crate::{check_query, l2_sq, Hit, VectorIndex};
+use crate::{check_query, l2_sq, Hit, SearchParams, VectorIndex};
 use fstore_common::{FsError, Result};
 
 /// IVF build/search parameters.
@@ -66,9 +66,20 @@ impl IvfIndex {
         })
     }
 
-    /// Search with an explicit probe count (overrides the configured one) —
-    /// the sweep axis of E9.
+    /// Two-argument form kept one release for source compatibility; new
+    /// code should call [`VectorIndex::search`] with [`SearchParams`].
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
+        VectorIndex::search(self, query, k, &SearchParams::default())
+    }
+
+    /// Explicit-probe form kept one release for source compatibility; new
+    /// code should pass [`SearchParams::with_nprobe`] to
+    /// [`VectorIndex::search`].
     pub fn search_with_probes(&self, query: &[f32], k: usize, nprobe: usize) -> Result<Vec<Hit>> {
+        VectorIndex::search(self, query, k, &SearchParams::with_nprobe(nprobe))
+    }
+
+    fn search_probes(&self, query: &[f32], k: usize, nprobe: usize) -> Result<Vec<Hit>> {
         check_query(self.dim, self.len(), query, k)?;
         if nprobe == 0 {
             return Err(FsError::Index("nprobe must be positive".into()));
@@ -111,8 +122,16 @@ impl VectorIndex for IvfIndex {
         self.dim
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>> {
-        self.search_with_probes(query, k, self.config.nprobe)
+    fn vector(&self, id: usize) -> Option<&[f32]> {
+        self.data.get(id).map(Vec::as_slice)
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Hit>> {
+        if params.exhaustive {
+            check_query(self.dim, self.len(), query, k)?;
+            return Ok(FlatIndex::top_k(&self.data, None, query, k));
+        }
+        self.search_probes(query, k, params.nprobe.unwrap_or(self.config.nprobe))
     }
 }
 

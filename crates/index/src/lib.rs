@@ -29,6 +29,50 @@ use fstore_common::{FsError, Result};
 /// A search hit: dataset row id and squared-L2 distance.
 pub type Hit = (usize, f32);
 
+/// Per-query search knobs accepted by every index family.
+///
+/// `None` falls back to the index's configured default; knobs an index
+/// family has no use for are ignored (`ef` by IVF, `nprobe` by HNSW, both
+/// by Flat). This is what lets one generic call site — the recall harness,
+/// the serving catalog, the experiment sweeps — drive any family without
+/// matching on concrete types. `exhaustive` forces an exact scan on any
+/// index: the recall-1.0 escape hatch when correctness beats latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SearchParams {
+    /// HNSW beam width; `None` uses the index's `ef_search`.
+    pub ef: Option<usize>,
+    /// IVF cells scanned; `None` uses the index's `nprobe`.
+    pub nprobe: Option<usize>,
+    /// Bypass the approximate structure and scan everything.
+    pub exhaustive: bool,
+}
+
+impl SearchParams {
+    /// Params that pin the HNSW beam width.
+    pub fn with_ef(ef: usize) -> Self {
+        SearchParams {
+            ef: Some(ef),
+            ..SearchParams::default()
+        }
+    }
+
+    /// Params that pin the IVF probe count.
+    pub fn with_nprobe(nprobe: usize) -> Self {
+        SearchParams {
+            nprobe: Some(nprobe),
+            ..SearchParams::default()
+        }
+    }
+
+    /// Params that force an exact scan on any index family.
+    pub fn exact() -> Self {
+        SearchParams {
+            exhaustive: true,
+            ..SearchParams::default()
+        }
+    }
+}
+
 /// Common interface over all index families.
 pub trait VectorIndex {
     fn len(&self) -> usize;
@@ -36,8 +80,12 @@ pub trait VectorIndex {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
-    /// `k` nearest neighbours of `query`, ascending by distance.
-    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>>;
+    /// The stored vector for a dataset row id, if `id` is in range.
+    fn vector(&self, id: usize) -> Option<&[f32]>;
+    /// `k` nearest neighbours of `query` under `params`, ascending by
+    /// distance. The single search entry point: every family interprets
+    /// the knobs it understands and ignores the rest.
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Hit>>;
 }
 
 /// Squared L2 distance.

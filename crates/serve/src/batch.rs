@@ -4,10 +4,14 @@
 //! queued (up to a cap) and coalesces single-entity `GetFeatures` lookups
 //! that share a `(group, feature-list)` key into one
 //! `FeatureServer::serve_batch` call — one pass over the online store's
-//! shard locks instead of N. Under light load the drain comes back empty
-//! and requests run singly with no added latency; no timers are involved.
+//! shard locks instead of N. `SearchNearest` requests coalesce the same
+//! way on `(table, k, options)`: the worker resolves the index snapshot
+//! `Arc` once and runs the whole group as one multi-query pass, so a swap
+//! cannot land between members of a batch. Under light load the drain
+//! comes back empty and requests run singly with no added latency; no
+//! timers are involved.
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, SearchOptions};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -29,10 +33,23 @@ pub struct FeatureBatch {
     pub jobs: Vec<Job>,
 }
 
+/// A coalesced group of vector searches: same table, same k, same options.
+/// Every member resolves one index snapshot and runs as one multi-query
+/// pass against it.
+pub struct SearchBatch {
+    pub table: String,
+    pub k: u32,
+    pub options: SearchOptions,
+    /// The member jobs; every request is `SearchNearest` on this table.
+    pub jobs: Vec<Job>,
+}
+
 /// The worker's execution plan for one drain.
 pub struct Plan {
     /// Coalesced `GetFeatures` groups of two or more.
     pub batches: Vec<FeatureBatch>,
+    /// Coalesced `SearchNearest` groups of two or more.
+    pub searches: Vec<SearchBatch>,
     /// Everything else, executed one by one.
     pub singles: Vec<Job>,
 }
@@ -53,6 +70,7 @@ pub fn drain(rx: &Receiver<Job>, first: Job, max: usize) -> Vec<Job> {
 /// Order within each output bucket follows arrival order.
 pub fn plan(jobs: Vec<Job>) -> Plan {
     let mut by_key: BTreeMap<(String, Vec<String>), Vec<Job>> = BTreeMap::new();
+    let mut by_search: BTreeMap<(String, u32, SearchOptions), Vec<Job>> = BTreeMap::new();
     let mut singles = Vec::new();
     for job in jobs {
         match &job.request {
@@ -61,6 +79,14 @@ pub fn plan(jobs: Vec<Job>) -> Plan {
             } => {
                 by_key
                     .entry((group.clone(), features.clone()))
+                    .or_default()
+                    .push(job);
+            }
+            Request::SearchNearest {
+                table, k, options, ..
+            } => {
+                by_search
+                    .entry((table.clone(), *k, *options))
                     .or_default()
                     .push(job);
             }
@@ -80,7 +106,24 @@ pub fn plan(jobs: Vec<Job>) -> Plan {
             singles.extend(jobs);
         }
     }
-    Plan { batches, singles }
+    let mut searches = Vec::new();
+    for ((table, k, options), jobs) in by_search {
+        if jobs.len() >= 2 {
+            searches.push(SearchBatch {
+                table,
+                k,
+                options,
+                jobs,
+            });
+        } else {
+            singles.extend(jobs);
+        }
+    }
+    Plan {
+        batches,
+        searches,
+        singles,
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +164,44 @@ mod tests {
         assert_eq!(plan.batches[0].features, vec!["a", "b"]);
         assert_eq!(plan.batches[0].jobs.len(), 2);
         assert_eq!(plan.singles.len(), 3);
+    }
+
+    fn search(table: &str, k: u32, options: SearchOptions) -> Request {
+        Request::SearchNearest {
+            table: table.into(),
+            query: vec![0.0, 0.0],
+            k,
+            options,
+        }
+    }
+
+    #[test]
+    fn coalesces_searches_on_table_k_and_options() {
+        let ef = SearchOptions {
+            ef: 64,
+            ..SearchOptions::default()
+        };
+        let jobs = vec![
+            job(search("emb", 10, ef)),
+            job(search("emb", 10, ef)),
+            job(search("emb", 10, SearchOptions::default())), // different options
+            job(search("emb", 5, ef)),                        // different k
+            job(search("other", 10, ef)),                     // different table
+            job(Request::SearchNearestByKey {
+                table: "emb".into(),
+                key: "a".into(),
+                k: 10,
+                options: ef,
+            }), // by-key never coalesces
+        ];
+        let plan = plan(jobs);
+        assert_eq!(plan.searches.len(), 1);
+        assert_eq!(plan.searches[0].table, "emb");
+        assert_eq!(plan.searches[0].k, 10);
+        assert_eq!(plan.searches[0].options, ef);
+        assert_eq!(plan.searches[0].jobs.len(), 2);
+        assert_eq!(plan.singles.len(), 4);
+        assert!(plan.batches.is_empty());
     }
 
     #[test]

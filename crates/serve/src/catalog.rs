@@ -1,0 +1,562 @@
+//! The serving-side ANN index catalog (paper §4: searching and querying
+//! embeddings at industrial scale, without stopping the world to reindex).
+//!
+//! Each embedding table gets an immutable [`IndexSnapshot`]: an ANN index
+//! built from one published table version, plus the row-id ↔ entity-key
+//! mapping search answers travel through. Snapshots live behind an
+//! atomically swappable `Arc` — readers clone the `Arc` under a brief read
+//! lock and search lock-free from then on, while a background build thread
+//! constructs a replacement from the *current* store version and swaps it
+//! in. Traffic in flight keeps its old snapshot; nothing blocks, nothing
+//! drops. Every snapshot carries a monotone generation counter so clients
+//! (and the E15 experiment) can observe exactly when a swap landed, and
+//! staleness — how far the live table has advanced past the snapshot — is
+//! reported into [`ServingMetrics`].
+
+use crate::metrics::{IndexStatus, ServingMetrics};
+use crate::protocol::WireHit;
+use fstore_common::hash::FxHashMap;
+use fstore_common::FsError;
+use fstore_embed::EmbeddingStore;
+use fstore_index::{
+    FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchParams, VectorIndex,
+};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which index family to build over a table, with its build-time knobs.
+#[derive(Debug, Clone)]
+pub enum IndexSpec {
+    /// Exact brute-force scan (recall 1.0; O(n) per query).
+    Flat,
+    /// k-means inverted file.
+    Ivf(IvfConfig),
+    /// Hierarchical navigable small world graph.
+    Hnsw(HnswConfig),
+}
+
+impl IndexSpec {
+    /// Family label, as reported in metrics and bench artifacts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::Ivf(_) => "ivf",
+            IndexSpec::Hnsw(_) => "hnsw",
+        }
+    }
+}
+
+/// One immutable, swappable unit: an index over one table version plus the
+/// key mapping. Shared by `Arc`; a swap replaces the `Arc`, never mutates.
+pub struct IndexSnapshot {
+    /// The table name this snapshot serves (unqualified).
+    pub table: String,
+    /// The embedding-table version the rows were exported from.
+    pub built_from_version: u32,
+    /// Monotone catalog-wide generation; larger = swapped in later.
+    pub generation: u64,
+    /// Index family label (`"flat"`, `"ivf"`, `"hnsw"`).
+    pub kind: &'static str,
+    /// Row id `i` in the index is entity `keys[i]`.
+    keys: Vec<String>,
+    key_to_row: FxHashMap<String, usize>,
+    index: Box<dyn VectorIndex + Send + Sync>,
+}
+
+impl IndexSnapshot {
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    /// The entity key behind a dataset row id.
+    pub fn key_of(&self, row: usize) -> Option<&str> {
+        self.keys.get(row).map(String::as_str)
+    }
+}
+
+/// Why a catalog search could not be answered. Each variant maps onto a
+/// distinct wire [`ErrorCode`](crate::protocol::ErrorCode) in the server.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// No snapshot is live for the table (never built, or first build
+    /// still in flight).
+    IndexNotReady { table: String },
+    /// Query vector dimension does not match the snapshot's index.
+    DimensionMismatch { expected: usize, got: usize },
+    /// `search_by_key` named an entity the snapshot does not hold.
+    KeyNotFound { table: String, key: String },
+    /// The underlying index refused the search (k = 0, …).
+    Failed(FsError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::IndexNotReady { table } => {
+                write!(f, "no index snapshot is live for table `{table}`")
+            }
+            CatalogError::DimensionMismatch { expected, got } => {
+                write!(f, "query dim {got} != index dim {expected}")
+            }
+            CatalogError::KeyNotFound { table, key } => {
+                write!(f, "key `{key}` not in index snapshot for `{table}`")
+            }
+            CatalogError::Failed(e) => write!(f, "search failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A successful search, stamped with the snapshot identity it ran against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The embedding-table version the snapshot was built from.
+    pub table_version: u32,
+    /// The snapshot's swap generation.
+    pub index_generation: u64,
+    /// Ascending by squared-L2 distance.
+    pub hits: Vec<WireHit>,
+}
+
+/// Per-table ANN index snapshots over a shared [`EmbeddingStore`], with
+/// atomic swap and background rebuild.
+pub struct IndexCatalog {
+    store: Arc<RwLock<EmbeddingStore>>,
+    snapshots: RwLock<FxHashMap<String, Arc<IndexSnapshot>>>,
+    /// Catalog-wide generation source; incremented per successful swap.
+    generation: AtomicU64,
+    metrics: Mutex<Option<Arc<ServingMetrics>>>,
+}
+
+impl IndexCatalog {
+    pub fn new(store: Arc<RwLock<EmbeddingStore>>) -> Self {
+        IndexCatalog {
+            store,
+            snapshots: RwLock::new(FxHashMap::default()),
+            generation: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// The embedding store this catalog indexes.
+    pub fn store(&self) -> Arc<RwLock<EmbeddingStore>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Wire swap/staleness reporting into the server's metrics. Called by
+    /// `server::start`; harmless to call again (last attachment wins).
+    pub fn attach_metrics(&self, metrics: Arc<ServingMetrics>) {
+        *self.metrics.lock() = Some(metrics);
+        // Back-publish snapshots built before the server started.
+        let tables: Vec<String> = self.snapshots.read().keys().cloned().collect();
+        for table in tables {
+            self.publish_status(&table);
+        }
+    }
+
+    /// Build an index over the current version of `table` and swap it in.
+    ///
+    /// The store read lock is held only while exporting rows; the build —
+    /// the expensive part — runs with no locks held, and the swap itself
+    /// is a single map insert under a brief write lock. `table` may be
+    /// `"name"` (latest) or `"name@vN"` (pinned); the snapshot is keyed
+    /// and served under the *unqualified* name either way.
+    pub fn build(&self, table: &str, spec: &IndexSpec) -> Result<Arc<IndexSnapshot>, FsError> {
+        let (name, version, keys, vectors) = {
+            let store = self.store.read();
+            let v = store.resolve(table)?;
+            let (keys, vectors) = v.table.export_rows();
+            (v.name.clone(), v.version, keys, vectors)
+        };
+        let index: Box<dyn VectorIndex + Send + Sync> = match spec {
+            IndexSpec::Flat => Box::new(FlatIndex::build(vectors)?),
+            IndexSpec::Ivf(cfg) => Box::new(IvfIndex::build(vectors, *cfg)?),
+            IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::build(vectors, *cfg)?),
+        };
+        let key_to_row: FxHashMap<String, usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(row, k)| (k.clone(), row))
+            .collect();
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let snapshot = Arc::new(IndexSnapshot {
+            table: name.clone(),
+            built_from_version: version,
+            generation,
+            kind: spec.kind(),
+            keys,
+            key_to_row,
+            index,
+        });
+        self.snapshots
+            .write()
+            .insert(name.clone(), Arc::clone(&snapshot));
+        if let Some(metrics) = self.metrics.lock().clone() {
+            metrics.record_index_swap();
+        }
+        self.publish_status(&name);
+        Ok(snapshot)
+    }
+
+    /// Kick off [`IndexCatalog::build`] on a background thread and return
+    /// its handle; search traffic keeps hitting the old snapshot until the
+    /// swap lands. The handle yields the new snapshot's generation.
+    pub fn rebuild_in_background(
+        self: &Arc<Self>,
+        table: impl Into<String>,
+        spec: IndexSpec,
+    ) -> JoinHandle<Result<u64, FsError>> {
+        let catalog = Arc::clone(self);
+        let table = table.into();
+        std::thread::Builder::new()
+            .name(format!("fstore-index-build-{table}"))
+            .spawn(move || catalog.build(&table, &spec).map(|s| s.generation))
+            .expect("spawn index build thread")
+    }
+
+    /// The live snapshot for a table, if one has been built. The returned
+    /// `Arc` stays valid across any number of subsequent swaps.
+    pub fn snapshot(&self, table: &str) -> Option<Arc<IndexSnapshot>> {
+        let name = table.rsplit_once("@v").map_or(table, |(n, _)| n);
+        self.snapshots.read().get(name).cloned()
+    }
+
+    /// Total successful swaps across all tables.
+    pub fn swap_count(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// `k` nearest stored entities to an explicit query vector.
+    pub fn search(
+        &self,
+        table: &str,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, CatalogError> {
+        let snapshot = self
+            .snapshot(table)
+            .ok_or_else(|| CatalogError::IndexNotReady {
+                table: table.to_string(),
+            })?;
+        if query.len() != snapshot.dim() {
+            return Err(CatalogError::DimensionMismatch {
+                expected: snapshot.dim(),
+                got: query.len(),
+            });
+        }
+        let hits = snapshot
+            .index
+            .search(query, k, params)
+            .map_err(CatalogError::Failed)?;
+        Ok(outcome(&snapshot, hits, None))
+    }
+
+    /// One multi-query pass for a coalesced search batch: the snapshot
+    /// `Arc` is resolved once, so every member answers from the same
+    /// generation even if a swap lands mid-batch. The outer error is the
+    /// table-level failure (no snapshot); inner results are per-query.
+    #[allow(clippy::type_complexity)]
+    pub fn search_many(
+        &self,
+        table: &str,
+        queries: &[Vec<f32>],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Result<SearchOutcome, CatalogError>>, CatalogError> {
+        let snapshot = self
+            .snapshot(table)
+            .ok_or_else(|| CatalogError::IndexNotReady {
+                table: table.to_string(),
+            })?;
+        Ok(queries
+            .iter()
+            .map(|query| {
+                if query.len() != snapshot.dim() {
+                    return Err(CatalogError::DimensionMismatch {
+                        expected: snapshot.dim(),
+                        got: query.len(),
+                    });
+                }
+                snapshot
+                    .index
+                    .search(query, k, params)
+                    .map(|hits| outcome(&snapshot, hits, None))
+                    .map_err(CatalogError::Failed)
+            })
+            .collect())
+    }
+
+    /// `k` nearest stored entities to the vector stored under `key`; the
+    /// key itself is excluded from the hits.
+    pub fn search_by_key(
+        &self,
+        table: &str,
+        key: &str,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, CatalogError> {
+        let snapshot = self
+            .snapshot(table)
+            .ok_or_else(|| CatalogError::IndexNotReady {
+                table: table.to_string(),
+            })?;
+        let &row = snapshot
+            .key_to_row
+            .get(key)
+            .ok_or_else(|| CatalogError::KeyNotFound {
+                table: table.to_string(),
+                key: key.to_string(),
+            })?;
+        let query: Vec<f32> = snapshot
+            .index
+            .vector(row)
+            .expect("key_to_row rows are in range")
+            .to_vec();
+        // Ask for one extra: the query's own row comes back at distance 0.
+        let hits = snapshot
+            .index
+            .search(&query, k.saturating_add(1), params)
+            .map_err(CatalogError::Failed)?;
+        Ok(outcome(&snapshot, hits, Some(row)))
+    }
+
+    /// Per-table status (generation, staleness vs. the live store) for one
+    /// table, freshly computed.
+    pub fn status(&self, table: &str) -> Option<IndexStatus> {
+        let snapshot = self.snapshot(table)?;
+        let live_version = {
+            let store = self.store.read();
+            store
+                .latest(&snapshot.table)
+                .map(|v| v.version)
+                .unwrap_or(snapshot.built_from_version)
+        };
+        Some(IndexStatus {
+            kind: snapshot.kind.to_string(),
+            generation: snapshot.generation,
+            built_from_version: snapshot.built_from_version,
+            staleness: live_version.saturating_sub(snapshot.built_from_version),
+            len: snapshot.len(),
+            dim: snapshot.dim(),
+        })
+    }
+
+    /// Recompute and push one table's status into the attached metrics.
+    /// No-op when metrics are not attached or the table has no snapshot.
+    pub fn publish_status(&self, table: &str) {
+        let Some(metrics) = self.metrics.lock().clone() else {
+            return;
+        };
+        if let Some(status) = self.status(table) {
+            metrics.set_index_status(table, status);
+        }
+    }
+
+    /// Refresh every table's staleness in the attached metrics — call
+    /// after publishing new table versions so dashboards see the drift.
+    pub fn publish_all_statuses(&self) {
+        let tables: Vec<String> = self.snapshots.read().keys().cloned().collect();
+        for table in tables {
+            self.publish_status(&table);
+        }
+    }
+}
+
+/// Translate row-id hits into keyed wire hits, dropping `exclude` and
+/// trimming the k+1 over-fetch from [`IndexCatalog::search_by_key`].
+fn outcome(
+    snapshot: &IndexSnapshot,
+    hits: Vec<(usize, f32)>,
+    exclude: Option<usize>,
+) -> SearchOutcome {
+    let k = match exclude {
+        Some(_) => hits.len().saturating_sub(1),
+        None => hits.len(),
+    };
+    let wire: Vec<WireHit> = hits
+        .into_iter()
+        .filter(|&(row, _)| Some(row) != exclude)
+        .take(k)
+        .map(|(row, distance)| WireHit {
+            key: snapshot.keys[row].clone(),
+            distance,
+        })
+        .collect();
+    SearchOutcome {
+        table_version: snapshot.built_from_version,
+        index_generation: snapshot.generation,
+        hits: wire,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::Timestamp;
+    use fstore_embed::{EmbeddingProvenance, EmbeddingTable};
+
+    fn store_with(name: &str, rows: &[(&str, Vec<f32>)]) -> Arc<RwLock<EmbeddingStore>> {
+        let store = Arc::new(RwLock::new(EmbeddingStore::new()));
+        publish(&store, name, rows);
+        store
+    }
+
+    fn publish(store: &Arc<RwLock<EmbeddingStore>>, name: &str, rows: &[(&str, Vec<f32>)]) {
+        let mut t = EmbeddingTable::new(rows[0].1.len()).unwrap();
+        for (k, v) in rows {
+            t.insert(*k, v.clone()).unwrap();
+        }
+        store
+            .write()
+            .publish(name, t, EmbeddingProvenance::default(), Timestamp::EPOCH)
+            .unwrap();
+    }
+
+    fn grid_rows() -> Vec<(String, Vec<f32>)> {
+        (0..20)
+            .map(|i| (format!("e{i:02}"), vec![i as f32, 0.0]))
+            .collect()
+    }
+
+    fn grid_store() -> Arc<RwLock<EmbeddingStore>> {
+        let rows = grid_rows();
+        let borrowed: Vec<(&str, Vec<f32>)> =
+            rows.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        store_with("emb", &borrowed)
+    }
+
+    #[test]
+    fn build_then_search_maps_rows_to_keys() {
+        let catalog = IndexCatalog::new(grid_store());
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        let out = catalog
+            .search("emb", &[3.1, 0.0], 3, &SearchParams::default())
+            .unwrap();
+        assert_eq!(out.table_version, 1);
+        assert_eq!(out.index_generation, 1);
+        let keys: Vec<&str> = out.hits.iter().map(|h| h.key.as_str()).collect();
+        assert_eq!(keys, vec!["e03", "e04", "e02"]);
+        for w in out.hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn search_by_key_excludes_self() {
+        let catalog = IndexCatalog::new(grid_store());
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        let out = catalog
+            .search_by_key("emb", "e05", 2, &SearchParams::default())
+            .unwrap();
+        let keys: Vec<&str> = out.hits.iter().map(|h| h.key.as_str()).collect();
+        assert_eq!(keys, vec!["e04", "e06"], "self excluded, neighbours kept");
+        assert!(matches!(
+            catalog.search_by_key("emb", "ghost", 2, &SearchParams::default()),
+            Err(CatalogError::KeyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_snapshot_and_bad_dim_are_typed() {
+        let catalog = IndexCatalog::new(grid_store());
+        assert!(matches!(
+            catalog.search("emb", &[0.0, 0.0], 1, &SearchParams::default()),
+            Err(CatalogError::IndexNotReady { .. })
+        ));
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        assert!(matches!(
+            catalog.search("emb", &[0.0; 5], 1, &SearchParams::default()),
+            Err(CatalogError::DimensionMismatch {
+                expected: 2,
+                got: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn swap_advances_generation_and_old_arcs_stay_valid() {
+        let catalog = Arc::new(IndexCatalog::new(grid_store()));
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        let old = catalog.snapshot("emb").unwrap();
+        let handle = catalog.rebuild_in_background(
+            "emb",
+            IndexSpec::Hnsw(HnswConfig {
+                ef_search: 32,
+                ..HnswConfig::default()
+            }),
+        );
+        let new_gen = handle.join().unwrap().unwrap();
+        assert_eq!(new_gen, 2);
+        assert_eq!(catalog.snapshot("emb").unwrap().generation, 2);
+        assert_eq!(catalog.snapshot("emb").unwrap().kind, "hnsw");
+        // The pre-swap Arc still answers searches.
+        assert_eq!(old.generation, 1);
+        assert_eq!(old.len(), 20);
+        assert_eq!(catalog.swap_count(), 2);
+    }
+
+    #[test]
+    fn staleness_tracks_store_versions() {
+        let store = grid_store();
+        let catalog = IndexCatalog::new(Arc::clone(&store));
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        assert_eq!(catalog.status("emb").unwrap().staleness, 0);
+        // Publish v2; the snapshot is now one version behind.
+        let rows = grid_rows();
+        let borrowed: Vec<(&str, Vec<f32>)> =
+            rows.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        publish(&store, "emb", &borrowed);
+        let status = catalog.status("emb").unwrap();
+        assert_eq!(status.built_from_version, 1);
+        assert_eq!(status.staleness, 1);
+        // Rebuilding catches up.
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        assert_eq!(catalog.status("emb").unwrap().staleness, 0);
+    }
+
+    #[test]
+    fn metrics_receive_swaps_and_status() {
+        let catalog = IndexCatalog::new(grid_store());
+        let metrics = Arc::new(ServingMetrics::new());
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        // Attaching after a build back-publishes existing snapshots.
+        catalog.attach_metrics(Arc::clone(&metrics));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.indexes["emb"].kind, "flat");
+        assert_eq!(snap.indexes["emb"].generation, 1);
+        catalog
+            .build("emb", &IndexSpec::Ivf(IvfConfig::default()))
+            .unwrap();
+        assert_eq!(metrics.index_swaps(), 1, "only post-attach swaps counted");
+        assert_eq!(metrics.snapshot().indexes["emb"].kind, "ivf");
+    }
+
+    #[test]
+    fn qualified_names_pin_the_build_version_but_share_the_key() {
+        let store = grid_store();
+        let rows = grid_rows();
+        let borrowed: Vec<(&str, Vec<f32>)> =
+            rows.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        publish(&store, "emb", &borrowed); // v2
+        let catalog = IndexCatalog::new(store);
+        catalog.build("emb@v1", &IndexSpec::Flat).unwrap();
+        let snap = catalog.snapshot("emb").unwrap();
+        assert_eq!(snap.built_from_version, 1);
+        // Searching with a qualified name resolves to the same snapshot.
+        assert!(catalog
+            .search("emb@v1", &[0.0, 0.0], 1, &SearchParams::default())
+            .is_ok());
+    }
+}

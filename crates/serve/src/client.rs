@@ -3,10 +3,36 @@
 //! in E14 does exactly that).
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireError, WireVector,
+    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireError, WireHit,
+    WireVector,
 };
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// One embedding vector read over the wire, carrying the table version it
+/// was served from — without the version a client cannot tell whether two
+/// reads straddled a republish (the paper's §4 cross-version dot-product
+/// hazard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingRead {
+    pub vector: Vec<f32>,
+    pub dim: usize,
+    /// The embedding-table version that answered the read.
+    pub version: u32,
+}
+
+/// A nearest-neighbour answer, stamped with the snapshot identity that
+/// produced it (see [`Response::Neighbors`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbors {
+    /// The embedding-table version the index snapshot was built from.
+    pub table_version: u32,
+    /// The snapshot's swap generation; a jump between calls means an
+    /// index rebuild landed in between.
+    pub index_generation: u64,
+    /// Hits ascending by squared-L2 distance.
+    pub hits: Vec<WireHit>,
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -132,15 +158,75 @@ impl FeatureClient {
     }
 
     /// One embedding vector; `table` is `"name"` (latest) or `"name@vN"`.
-    pub fn get_embedding(&mut self, table: &str, key: &str) -> Result<Vec<f32>, ClientError> {
+    pub fn get_embedding(&mut self, table: &str, key: &str) -> Result<EmbeddingRead, ClientError> {
         let request = Request::GetEmbedding {
             table: table.to_string(),
             key: key.to_string(),
         };
         match self.call(&request)? {
-            Response::Embedding { vector, .. } => Ok(vector),
+            Response::Embedding {
+                dim,
+                version,
+                vector,
+            } => Ok(EmbeddingRead {
+                vector,
+                dim: dim as usize,
+                version,
+            }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::UnexpectedResponse("Embedding")),
+        }
+    }
+
+    /// `k` nearest stored entities to an explicit query vector, via the
+    /// server's ANN index snapshot for `table`.
+    pub fn search_nearest(
+        &mut self,
+        table: &str,
+        query: &[f32],
+        k: u32,
+        options: SearchOptions,
+    ) -> Result<Neighbors, ClientError> {
+        let request = Request::SearchNearest {
+            table: table.to_string(),
+            query: query.to_vec(),
+            k,
+            options,
+        };
+        self.neighbors(&request)
+    }
+
+    /// `k` nearest stored entities to the vector stored under `key` (the
+    /// key itself is excluded from the hits).
+    pub fn search_nearest_by_key(
+        &mut self,
+        table: &str,
+        key: &str,
+        k: u32,
+        options: SearchOptions,
+    ) -> Result<Neighbors, ClientError> {
+        let request = Request::SearchNearestByKey {
+            table: table.to_string(),
+            key: key.to_string(),
+            k,
+            options,
+        };
+        self.neighbors(&request)
+    }
+
+    fn neighbors(&mut self, request: &Request) -> Result<Neighbors, ClientError> {
+        match self.call(request)? {
+            Response::Neighbors {
+                table_version,
+                index_generation,
+                hits,
+            } => Ok(Neighbors {
+                table_version,
+                index_generation,
+                hits,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Neighbors")),
         }
     }
 }

@@ -10,8 +10,13 @@
 //!   input) and oversized frames are refused before allocation.
 //! * [`server`] — a std-only threaded TCP server: connection threads do
 //!   framing, a bounded crossbeam channel feeds a worker pool.
+//! * [`catalog`] — per-table ANN index snapshots behind atomically
+//!   swappable `Arc`s: background rebuild + swap while search traffic
+//!   keeps flowing, with generation counters and staleness metrics.
 //! * [`batch`] — workers opportunistically coalesce queued single-entity
-//!   lookups that share `(group, features)` into one batch serve.
+//!   lookups that share `(group, features)` into one batch serve, and
+//!   vector searches that share `(table, k, options)` into one
+//!   multi-query pass.
 //! * [`admission`] — the bounded queue *is* the admission limit; overflow
 //!   is shed immediately with a distinct `Overloaded` error, and shutdown
 //!   drains admitted work before the pool exits.
@@ -21,15 +26,21 @@
 
 pub mod admission;
 pub mod batch;
+pub mod catalog;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmitReject};
-pub use client::{ClientError, FeatureClient};
-pub use metrics::{Endpoint, EndpointSnapshot, MetricsSnapshot, ServingMetrics};
+pub use catalog::{CatalogError, IndexCatalog, IndexSnapshot, IndexSpec, SearchOutcome};
+pub use client::{ClientError, EmbeddingRead, FeatureClient, Neighbors};
+pub use metrics::{Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics};
 pub use protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireError, WireVector, MAX_FRAME_LEN,
+    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireError, WireHit,
+    WireVector, MAX_FRAME_LEN,
 };
-pub use server::{atomic_clock, fixed_clock, start, Clock, ServeConfig, ServeEngine, ServerHandle};
+pub use server::{
+    atomic_clock, fixed_clock, start, Clock, ServeConfig, ServeConfigBuilder, ServeEngine,
+    ServerHandle,
+};

@@ -9,21 +9,25 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The four wire endpoints, used as metric labels.
+/// The six wire endpoints, used as metric labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     Health = 0,
     GetFeatures = 1,
     GetFeaturesBatch = 2,
     GetEmbedding = 3,
+    SearchNearest = 4,
+    SearchNearestByKey = 5,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 4] = [
+    pub const ALL: [Endpoint; 6] = [
         Endpoint::Health,
         Endpoint::GetFeatures,
         Endpoint::GetFeaturesBatch,
         Endpoint::GetEmbedding,
+        Endpoint::SearchNearest,
+        Endpoint::SearchNearestByKey,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -32,6 +36,8 @@ impl Endpoint {
             Endpoint::GetFeatures => "get_features",
             Endpoint::GetFeaturesBatch => "get_features_batch",
             Endpoint::GetEmbedding => "get_embedding",
+            Endpoint::SearchNearest => "search_nearest",
+            Endpoint::SearchNearestByKey => "search_nearest_by_key",
         }
     }
 }
@@ -82,9 +88,26 @@ impl EndpointMetrics {
     }
 }
 
+/// One live index snapshot's identity, reported into the metrics stream by
+/// the catalog on every build/swap (and refreshable on demand).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct IndexStatus {
+    /// Index family: `"flat"`, `"ivf"`, or `"hnsw"`.
+    pub kind: String,
+    /// Monotone swap generation (increments on every successful swap).
+    pub generation: u64,
+    /// The embedding-table version the snapshot was built from.
+    pub built_from_version: u32,
+    /// How many versions the live store has advanced past the snapshot
+    /// (0 = the snapshot is fresh).
+    pub staleness: u32,
+    pub len: usize,
+    pub dim: usize,
+}
+
 /// Shared serving metrics; every handle clones an `Arc` of this.
 pub struct ServingMetrics {
-    endpoints: [EndpointMetrics; 4],
+    endpoints: [EndpointMetrics; 6],
     /// Requests refused by admission control (queue full).
     shed: AtomicU64,
     /// Requests refused because the server was draining.
@@ -92,6 +115,10 @@ pub struct ServingMetrics {
     /// Batches executed and single requests carried inside them.
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    /// Successful index snapshot swaps across all tables.
+    index_swaps: AtomicU64,
+    /// Per-table live index snapshot status (generation, staleness).
+    index_status: Mutex<BTreeMap<String, IndexStatus>>,
 }
 
 impl Default for ServingMetrics {
@@ -102,11 +129,15 @@ impl Default for ServingMetrics {
                 EndpointMetrics::new(),
                 EndpointMetrics::new(),
                 EndpointMetrics::new(),
+                EndpointMetrics::new(),
+                EndpointMetrics::new(),
             ],
             shed: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            index_swaps: AtomicU64::new(0),
+            index_status: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -140,6 +171,20 @@ impl ServingMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Record one successful index snapshot swap.
+    pub fn record_index_swap(&self) {
+        self.index_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish (or refresh) one table's live index status.
+    pub fn set_index_status(&self, table: impl Into<String>, status: IndexStatus) {
+        self.index_status.lock().insert(table.into(), status);
+    }
+
+    pub fn index_swaps(&self) -> u64 {
+        self.index_swaps.load(Ordering::Relaxed)
     }
 
     pub fn shed_count(&self) -> u64 {
@@ -186,6 +231,8 @@ impl ServingMetrics {
             rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            index_swaps: self.index_swaps.load(Ordering::Relaxed),
+            indexes: self.index_status.lock().clone(),
         }
     }
 
@@ -216,6 +263,8 @@ pub struct MetricsSnapshot {
     pub rejected_draining: u64,
     pub batches: u64,
     pub batched_requests: u64,
+    pub index_swaps: u64,
+    pub indexes: BTreeMap<String, IndexStatus>,
 }
 
 #[cfg(test)]

@@ -64,6 +64,11 @@ pub enum ErrorCode {
     ShuttingDown = 5,
     /// Anything else that went wrong while handling the request.
     Internal = 6,
+    /// No ANN index snapshot is live for the requested table (not built
+    /// yet, or still building for the first time).
+    IndexNotReady = 7,
+    /// The query vector's dimension does not match the index.
+    DimensionMismatch = 8,
 }
 
 impl ErrorCode {
@@ -75,12 +80,52 @@ impl ErrorCode {
             4 => ErrorCode::Overloaded,
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::IndexNotReady,
+            8 => ErrorCode::DimensionMismatch,
             tag => {
                 return Err(WireError::BadTag {
                     ty: "ErrorCode",
                     tag,
                 })
             }
+        })
+    }
+}
+
+/// Per-query ANN search knobs in wire form; `0` means "use the index's
+/// configured default". Mirrors [`fstore_index::SearchParams`] but stays
+/// fixed-width and totally ordered so batch coalescing can key on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SearchOptions {
+    /// HNSW beam width (0 = index default).
+    pub ef: u32,
+    /// IVF cells scanned (0 = index default).
+    pub nprobe: u32,
+    /// Force an exact scan regardless of index family.
+    pub exhaustive: bool,
+}
+
+impl SearchOptions {
+    /// The engine-side param struct this wire form denotes.
+    pub fn to_params(self) -> fstore_index::SearchParams {
+        fstore_index::SearchParams {
+            ef: (self.ef > 0).then_some(self.ef as usize),
+            nprobe: (self.nprobe > 0).then_some(self.nprobe as usize),
+            exhaustive: self.exhaustive,
+        }
+    }
+
+    fn encode(self, buf: &mut BytesMut) {
+        buf.put_u32(self.ef);
+        buf.put_u32(self.nprobe);
+        buf.put_u8(u8::from(self.exhaustive));
+    }
+
+    fn decode(r: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SearchOptions {
+            ef: take_u32(r)?,
+            nprobe: take_u32(r)?,
+            exhaustive: take_u8(r)? != 0,
         })
     }
 }
@@ -104,6 +149,22 @@ pub enum Request {
     },
     /// One embedding vector; `table` is `"name"` (latest) or `"name@vN"`.
     GetEmbedding { table: String, key: String },
+    /// `k` nearest stored entities to an explicit query vector, via the
+    /// server's ANN index snapshot for `table`.
+    SearchNearest {
+        table: String,
+        query: Vec<f32>,
+        k: u32,
+        options: SearchOptions,
+    },
+    /// `k` nearest stored entities to the vector stored under `key`
+    /// (the key itself is excluded from the hits).
+    SearchNearestByKey {
+        table: String,
+        key: String,
+        k: u32,
+        options: SearchOptions,
+    },
 }
 
 impl Request {
@@ -115,6 +176,8 @@ impl Request {
             Request::GetFeatures { .. } => Endpoint::GetFeatures,
             Request::GetFeaturesBatch { .. } => Endpoint::GetFeaturesBatch,
             Request::GetEmbedding { .. } => Endpoint::GetEmbedding,
+            Request::SearchNearest { .. } => Endpoint::SearchNearest,
+            Request::SearchNearestByKey { .. } => Endpoint::SearchNearestByKey,
         }
     }
 
@@ -147,6 +210,33 @@ impl Request {
                 put_str(&mut buf, table);
                 put_str(&mut buf, key);
             }
+            Request::SearchNearest {
+                table,
+                query,
+                k,
+                options,
+            } => {
+                buf.put_u8(4);
+                put_str(&mut buf, table);
+                buf.put_u32(query.len() as u32);
+                for &x in query {
+                    buf.put_f32(x);
+                }
+                buf.put_u32(*k);
+                options.encode(&mut buf);
+            }
+            Request::SearchNearestByKey {
+                table,
+                key,
+                k,
+                options,
+            } => {
+                buf.put_u8(5);
+                put_str(&mut buf, table);
+                put_str(&mut buf, key);
+                buf.put_u32(*k);
+                options.encode(&mut buf);
+            }
         }
         buf.freeze()
     }
@@ -168,6 +258,18 @@ impl Request {
             3 => Request::GetEmbedding {
                 table: take_str(&mut r)?,
                 key: take_str(&mut r)?,
+            },
+            4 => Request::SearchNearest {
+                table: take_str(&mut r)?,
+                query: take_f32_seq(&mut r)?,
+                k: take_u32(&mut r)?,
+                options: SearchOptions::decode(&mut r)?,
+            },
+            5 => Request::SearchNearestByKey {
+                table: take_str(&mut r)?,
+                key: take_str(&mut r)?,
+                k: take_u32(&mut r)?,
+                options: SearchOptions::decode(&mut r)?,
             },
             tag => return Err(WireError::BadTag { ty: "Request", tag }),
         };
@@ -198,14 +300,43 @@ impl From<&FeatureVector> for WireVector {
     }
 }
 
+/// One nearest-neighbour hit on the wire: entity key plus squared-L2
+/// distance, ascending by distance within a [`Response::Neighbors`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHit {
+    pub key: String,
+    pub distance: f32,
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    Health { queue_depth: u32, draining: bool },
+    Health {
+        queue_depth: u32,
+        draining: bool,
+    },
     Features(WireVector),
     FeaturesBatch(Vec<WireVector>),
-    Embedding { dim: u32, vector: Vec<f32> },
-    Error { code: ErrorCode, message: String },
+    /// One embedding vector plus the table version it was served from, so
+    /// clients can detect cross-version reads during snapshot swaps (§4's
+    /// "dot product loses meaning" hazard).
+    Embedding {
+        dim: u32,
+        version: u32,
+        vector: Vec<f32>,
+    },
+    /// Nearest-neighbour hits, stamped with the embedding-table version
+    /// the index snapshot was built from and the snapshot's generation
+    /// counter — enough for a client to notice a mid-stream index swap.
+    Neighbors {
+        table_version: u32,
+        index_generation: u64,
+        hits: Vec<WireHit>,
+    },
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
 }
 
 impl Response {
@@ -238,9 +369,14 @@ impl Response {
                     put_vector(&mut buf, v);
                 }
             }
-            Response::Embedding { dim, vector } => {
+            Response::Embedding {
+                dim,
+                version,
+                vector,
+            } => {
                 buf.put_u8(3);
                 buf.put_u32(*dim);
+                buf.put_u32(*version);
                 buf.put_u32(vector.len() as u32);
                 for &x in vector {
                     buf.put_f32(x);
@@ -250,6 +386,20 @@ impl Response {
                 buf.put_u8(4);
                 buf.put_u8(*code as u8);
                 put_str(&mut buf, message);
+            }
+            Response::Neighbors {
+                table_version,
+                index_generation,
+                hits,
+            } => {
+                buf.put_u8(5);
+                buf.put_u32(*table_version);
+                buf.put_u64(*index_generation);
+                buf.put_u32(hits.len() as u32);
+                for hit in hits {
+                    put_str(&mut buf, &hit.key);
+                    buf.put_f32(hit.distance);
+                }
             }
         }
         buf.freeze()
@@ -273,18 +423,36 @@ impl Response {
             }
             3 => {
                 let dim = take_u32(&mut r)?;
-                let n = take_len(&mut r)?;
-                let mut vector = Vec::with_capacity(n.min(65_536));
-                for _ in 0..n {
-                    vector.push(take_f32(&mut r)?);
+                let version = take_u32(&mut r)?;
+                let vector = take_f32_seq(&mut r)?;
+                Response::Embedding {
+                    dim,
+                    version,
+                    vector,
                 }
-                Response::Embedding { dim, vector }
             }
             4 => {
                 let code = ErrorCode::from_u8(take_u8(&mut r)?)?;
                 Response::Error {
                     code,
                     message: take_str(&mut r)?,
+                }
+            }
+            5 => {
+                let table_version = take_u32(&mut r)?;
+                let index_generation = take_u64(&mut r)?;
+                let n = take_len(&mut r)?;
+                let mut hits = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    hits.push(WireHit {
+                        key: take_str(&mut r)?,
+                        distance: take_f32(&mut r)?,
+                    });
+                }
+                Response::Neighbors {
+                    table_version,
+                    index_generation,
+                    hits,
                 }
             }
             tag => {
@@ -428,6 +596,22 @@ fn take_f32(r: &mut &[u8]) -> Result<f32, WireError> {
     Ok(r.get_f32())
 }
 
+fn take_u64(r: &mut &[u8]) -> Result<u64, WireError> {
+    if r.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(r.get_u64())
+}
+
+fn take_f32_seq(r: &mut &[u8]) -> Result<Vec<f32>, WireError> {
+    let n = take_len(r)?;
+    let mut items = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        items.push(take_f32(r)?);
+    }
+    Ok(items)
+}
+
 /// A `u32` length that must still be plausible within one frame.
 fn take_len(r: &mut &[u8]) -> Result<usize, WireError> {
     let n = take_u32(r)? as usize;
@@ -539,6 +723,57 @@ mod tests {
     fn response_error_round_trips() {
         let resp = Response::error(ErrorCode::Overloaded, "queue full");
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn search_request_and_neighbors_round_trip() {
+        let req = Request::SearchNearest {
+            table: "emb".into(),
+            query: vec![0.5, -1.25, 3.0],
+            k: 10,
+            options: SearchOptions {
+                ef: 64,
+                nprobe: 0,
+                exhaustive: false,
+            },
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+
+        let by_key = Request::SearchNearestByKey {
+            table: "emb@v2".into(),
+            key: "u7".into(),
+            k: 5,
+            options: SearchOptions {
+                ef: 0,
+                nprobe: 16,
+                exhaustive: true,
+            },
+        };
+        assert_eq!(Request::decode(&by_key.encode()).unwrap(), by_key);
+
+        let resp = Response::Neighbors {
+            table_version: 3,
+            index_generation: u64::MAX,
+            hits: vec![
+                WireHit {
+                    key: "a".into(),
+                    distance: 0.0,
+                },
+                WireHit {
+                    key: "b".into(),
+                    distance: 1.5,
+                },
+            ],
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn index_error_codes_round_trip() {
+        for code in [ErrorCode::IndexNotReady, ErrorCode::DimensionMismatch] {
+            let resp = Response::error(code, "index");
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::admission::{AdmissionController, AdmitReject};
 use crate::batch::{self, Job};
+use crate::catalog::{CatalogError, IndexCatalog, SearchOutcome};
 use crate::metrics::ServingMetrics;
 use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, WireVector};
 use crossbeam::channel::{bounded, Receiver};
@@ -63,6 +64,73 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// A validated builder seeded with the defaults. Unlike struct-literal
+    /// construction, the builder refuses configurations that would
+    /// silently degenerate (zero workers, zero queue depth, zero batch).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]; see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    pub fn handler_delay(mut self, delay: std::time::Duration) -> Self {
+        self.config.handler_delay = Some(delay);
+        self
+    }
+
+    /// Validate and produce the config. Zero workers, zero queue depth,
+    /// and zero max batch are each rejected: a server built from them
+    /// would deadlock (no workers), shed everything (no queue), or stall
+    /// its drain loop (no batch budget).
+    pub fn build(self) -> fstore_common::Result<ServeConfig> {
+        if self.config.workers == 0 {
+            return Err(FsError::InvalidArgument(
+                "serve config needs at least one worker".into(),
+            ));
+        }
+        if self.config.queue_depth == 0 {
+            return Err(FsError::InvalidArgument(
+                "serve config needs a positive queue depth".into(),
+            ));
+        }
+        if self.config.max_batch == 0 {
+            return Err(FsError::InvalidArgument(
+                "serve config needs a positive max batch".into(),
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
 /// The clock requests are served at (the workspace simulates time; wall
 /// clocks would make freshness nondeterministic).
 pub type Clock = Arc<dyn Fn() -> Timestamp + Send + Sync>;
@@ -81,6 +149,7 @@ pub fn atomic_clock(millis: Arc<AtomicI64>) -> Clock {
 pub struct ServeEngine {
     server: FeatureServer,
     embeddings: Option<Arc<RwLock<EmbeddingStore>>>,
+    indexes: Option<Arc<IndexCatalog>>,
     clock: Clock,
 }
 
@@ -89,6 +158,7 @@ impl ServeEngine {
         ServeEngine {
             server,
             embeddings: None,
+            indexes: None,
             clock,
         }
     }
@@ -102,6 +172,22 @@ impl ServeEngine {
     /// Convenience for a catalog the server owns outright.
     pub fn with_embedding_catalog(self, catalog: EmbeddingStore) -> Self {
         self.with_embeddings(Arc::new(RwLock::new(catalog)))
+    }
+
+    /// Attach an ANN index catalog for the `SearchNearest` endpoints; also
+    /// attaches the catalog's embedding store for `GetEmbedding` if none
+    /// was set yet.
+    pub fn with_index_catalog(mut self, catalog: Arc<IndexCatalog>) -> Self {
+        if self.embeddings.is_none() {
+            self.embeddings = Some(catalog.store());
+        }
+        self.indexes = Some(catalog);
+        self
+    }
+
+    /// The attached index catalog, if any.
+    pub fn index_catalog(&self) -> Option<&Arc<IndexCatalog>> {
+        self.indexes.as_ref()
     }
 
     pub fn now(&self) -> Timestamp {
@@ -154,6 +240,7 @@ impl ServeEngine {
                     Ok(version) => match version.table.get(key) {
                         Some(vector) => Response::Embedding {
                             dim: version.table.dim() as u32,
+                            version: version.version,
                             vector: vector.to_vec(),
                         },
                         None => Response::error(
@@ -167,6 +254,60 @@ impl ServeEngine {
                     Err(e) => fs_error_response(&e),
                 }
             }
+            Request::SearchNearest {
+                table,
+                query,
+                k,
+                options,
+            } => {
+                let Some(catalog) = &self.indexes else {
+                    return no_index_catalog();
+                };
+                search_response(catalog.search(table, query, *k as usize, &options.to_params()))
+            }
+            Request::SearchNearestByKey {
+                table,
+                key,
+                k,
+                options,
+            } => {
+                let Some(catalog) = &self.indexes else {
+                    return no_index_catalog();
+                };
+                search_response(catalog.search_by_key(
+                    table,
+                    key,
+                    *k as usize,
+                    &options.to_params(),
+                ))
+            }
+        }
+    }
+}
+
+fn no_index_catalog() -> Response {
+    Response::error(
+        ErrorCode::IndexNotReady,
+        "no index catalog attached to this server",
+    )
+}
+
+/// Map a catalog search result onto the wire.
+fn search_response(result: Result<SearchOutcome, CatalogError>) -> Response {
+    match result {
+        Ok(outcome) => Response::Neighbors {
+            table_version: outcome.table_version,
+            index_generation: outcome.index_generation,
+            hits: outcome.hits,
+        },
+        Err(e) => {
+            let code = match &e {
+                CatalogError::IndexNotReady { .. } => ErrorCode::IndexNotReady,
+                CatalogError::DimensionMismatch { .. } => ErrorCode::DimensionMismatch,
+                CatalogError::KeyNotFound { .. } => ErrorCode::NotFound,
+                CatalogError::Failed(_) => ErrorCode::BadRequest,
+            };
+            Response::error(code, e.to_string())
         }
     }
 }
@@ -247,6 +388,9 @@ pub fn start(engine: ServeEngine, config: ServeConfig) -> std::io::Result<Server
     let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
     let admission = AdmissionController::new(tx, Arc::clone(&draining), Arc::clone(&metrics));
     let engine = Arc::new(engine);
+    if let Some(catalog) = engine.index_catalog() {
+        catalog.attach_metrics(Arc::clone(&metrics));
+    }
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|i| {
@@ -411,6 +555,42 @@ fn worker_loop(
                 }
             }
         }
+        for batch in plan.searches {
+            metrics.record_batch(batch.jobs.len());
+            let outcome = engine.index_catalog().and_then(|catalog| {
+                let queries: Vec<Vec<f32>> = batch
+                    .jobs
+                    .iter()
+                    .map(|j| match &j.request {
+                        Request::SearchNearest { query, .. } => query.clone(),
+                        _ => unreachable!("plan() only batches SearchNearest"),
+                    })
+                    .collect();
+                catalog
+                    .search_many(
+                        &batch.table,
+                        &queries,
+                        batch.k as usize,
+                        &batch.options.to_params(),
+                    )
+                    .ok()
+            });
+            match outcome {
+                Some(results) => {
+                    for (job, result) in batch.jobs.into_iter().zip(results) {
+                        finish(metrics, job, search_response(result));
+                    }
+                }
+                // No catalog or no snapshot: re-serve singly so each job
+                // gets the same typed error the single path produces.
+                None => {
+                    for job in batch.jobs {
+                        let response = engine.handle(&job.request, rx.len() as u32, is_draining);
+                        finish(metrics, job, response);
+                    }
+                }
+            }
+        }
         for job in plan.singles {
             let response = engine.handle(&job.request, rx.len() as u32, is_draining);
             finish(metrics, job, response);
@@ -488,6 +668,152 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs_and_keeps_defaults() {
+        assert!(ServeConfig::builder().workers(0).build().is_err());
+        assert!(ServeConfig::builder().queue_depth(0).build().is_err());
+        assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .queue_depth(8)
+            .max_batch(4)
+            .handler_delay(std::time::Duration::from_millis(1))
+            .build()
+            .unwrap();
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_depth, 8);
+        assert_eq!(config.max_batch, 4);
+        assert!(config.handler_delay.is_some());
+        // Default-seeded builder passes validation untouched.
+        assert!(ServeConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn engine_without_index_catalog_reports_index_not_ready() {
+        let e = engine();
+        let resp = e.handle(
+            &Request::SearchNearest {
+                table: "emb".into(),
+                query: vec![0.0],
+                k: 1,
+                options: crate::protocol::SearchOptions::default(),
+            },
+            0,
+            false,
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::IndexNotReady,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn engine_serves_search_through_an_attached_catalog() {
+        use crate::catalog::IndexSpec;
+        use fstore_common::Timestamp;
+        use fstore_embed::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable};
+
+        let mut table = EmbeddingTable::new(2).unwrap();
+        for i in 0..8 {
+            table.insert(format!("e{i}"), vec![i as f32, 0.0]).unwrap();
+        }
+        let mut store = EmbeddingStore::new();
+        store
+            .publish(
+                "emb",
+                table,
+                EmbeddingProvenance::default(),
+                Timestamp::EPOCH,
+            )
+            .unwrap();
+        let catalog = Arc::new(crate::catalog::IndexCatalog::new(Arc::new(RwLock::new(
+            store,
+        ))));
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        let e = engine().with_index_catalog(Arc::clone(&catalog));
+
+        let resp = e.handle(
+            &Request::SearchNearest {
+                table: "emb".into(),
+                query: vec![2.2, 0.0],
+                k: 2,
+                options: crate::protocol::SearchOptions::default(),
+            },
+            0,
+            false,
+        );
+        match resp {
+            Response::Neighbors {
+                table_version,
+                index_generation,
+                hits,
+            } => {
+                assert_eq!(table_version, 1);
+                assert_eq!(index_generation, 1);
+                assert_eq!(hits[0].key, "e2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // By-key excludes the query entity; wrong dim is typed.
+        let resp = e.handle(
+            &Request::SearchNearestByKey {
+                table: "emb".into(),
+                key: "e3".into(),
+                k: 2,
+                options: crate::protocol::SearchOptions::default(),
+            },
+            0,
+            false,
+        );
+        match resp {
+            Response::Neighbors { hits, .. } => {
+                assert!(hits.iter().all(|h| h.key != "e3"));
+                assert_eq!(hits.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let resp = e.handle(
+            &Request::SearchNearest {
+                table: "emb".into(),
+                query: vec![0.0; 7],
+                k: 1,
+                options: crate::protocol::SearchOptions::default(),
+            },
+            0,
+            false,
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::DimensionMismatch,
+                ..
+            }
+        ));
+
+        // GetEmbedding rides the catalog's store and reports the version.
+        let resp = e.handle(
+            &Request::GetEmbedding {
+                table: "emb".into(),
+                key: "e1".into(),
+            },
+            0,
+            false,
+        );
+        assert_eq!(
+            resp,
+            Response::Embedding {
+                dim: 2,
+                version: 1,
+                vector: vec![1.0, 0.0],
+            }
+        );
     }
 
     #[test]

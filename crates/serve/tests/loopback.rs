@@ -142,7 +142,9 @@ fn concurrent_clients_match_direct_calls_and_shutdown_is_graceful() {
                                 .get(&key)
                                 .unwrap()
                                 .to_vec();
-                            assert_eq!(got, want);
+                            assert_eq!(got.vector, want);
+                            assert_eq!(got.dim, EMBED_DIM);
+                            assert_eq!(got.version, 1, "served from emb@v1");
                         }
                         _ => {
                             let (_depth, draining) = client.health().unwrap();

@@ -4,7 +4,7 @@
 
 use fstore_common::{Timestamp, Value};
 use fstore_serve::protocol::{read_frame, write_frame, MAX_FRAME_LEN};
-use fstore_serve::{ErrorCode, Request, Response, WireError, WireVector};
+use fstore_serve::{ErrorCode, Request, Response, SearchOptions, WireError, WireHit, WireVector};
 use proptest::prelude::*;
 
 fn arb_string() -> impl Strategy<Value = String> {
@@ -51,7 +51,44 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }
         }),
         (arb_string(), arb_string()).prop_map(|(table, key)| Request::GetEmbedding { table, key }),
+        (arb_string(), arb_query(), 0u32..64, arb_options()).prop_map(
+            |(table, query, k, options)| Request::SearchNearest {
+                table,
+                query,
+                k,
+                options,
+            }
+        ),
+        (arb_string(), arb_string(), 0u32..64, arb_options()).prop_map(
+            |(table, key, k, options)| Request::SearchNearestByKey {
+                table,
+                key,
+                k,
+                options,
+            }
+        ),
     ]
+}
+
+fn arb_query() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100f32..100.0, 0..16)
+}
+
+fn arb_options() -> impl Strategy<Value = SearchOptions> {
+    (0u32..512, 0u32..512, prop_oneof![Just(false), Just(true)]).prop_map(
+        |(ef, nprobe, exhaustive)| SearchOptions {
+            ef,
+            nprobe,
+            exhaustive,
+        },
+    )
+}
+
+fn arb_hits() -> impl Strategy<Value = Vec<WireHit>> {
+    proptest::collection::vec(
+        (arb_string(), 0f32..1e6).prop_map(|(key, distance)| WireHit { key, distance }),
+        0..8,
+    )
 }
 
 fn arb_vector() -> impl Strategy<Value = WireVector> {
@@ -82,6 +119,8 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Overloaded),
         Just(ErrorCode::ShuttingDown),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::IndexNotReady),
+        Just(ErrorCode::DimensionMismatch),
     ]
 }
 
@@ -95,8 +134,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
         }),
         arb_vector().prop_map(Response::Features),
         proptest::collection::vec(arb_vector(), 0..4).prop_map(Response::FeaturesBatch),
-        (1u32..64, proptest::collection::vec(-100f32..100.0, 0..16))
-            .prop_map(|(dim, vector)| Response::Embedding { dim, vector }),
+        (1u32..64, 1u32..16, arb_query()).prop_map(|(dim, version, vector)| {
+            Response::Embedding {
+                dim,
+                version,
+                vector,
+            }
+        }),
+        (1u32..16, 0u64..1_000_000_000u64, arb_hits()).prop_map(
+            |(table_version, index_generation, hits)| Response::Neighbors {
+                table_version,
+                index_generation,
+                hits,
+            }
+        ),
         (arb_error_code(), arb_string())
             .prop_map(|(code, message)| Response::Error { code, message }),
     ]

@@ -60,9 +60,9 @@ fn main() -> Result<()> {
     let queries: Vec<Vec<f32>> = data.iter().step_by(40).cloned().collect();
     println!(
         "    recall@10  flat {:.3}  hnsw {:.3}  ivf(nprobe=4) {:.3}",
-        recall_at_k(&flat, &flat, &queries, 10)?,
-        recall_at_k(&hnsw, &flat, &queries, 10)?,
-        recall_at_k(&ivf, &flat, &queries, 10)?
+        recall_at_k(&flat, &flat, &queries, 10, &SearchParams::default())?,
+        recall_at_k(&hnsw, &flat, &queries, 10, &SearchParams::default())?,
+        recall_at_k(&ivf, &flat, &queries, 10, &SearchParams::default())?
     );
 
     // ------------------------------------------------------------------

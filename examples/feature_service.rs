@@ -91,7 +91,8 @@ fn main() -> Result<()> {
                         let e = client
                             .get_embedding("user_emb", &format!("u{id}"))
                             .expect("embed");
-                        assert_eq!(e.len(), 16);
+                        assert_eq!(e.vector.len(), 16);
+                        assert_eq!(e.version, 1);
                     }
                 }
             })

@@ -82,7 +82,8 @@ pub mod prelude {
         SgnsConfig,
     };
     pub use fstore_index::{
-        recall_at_k, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex,
+        recall_at_k, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchParams,
+        VectorIndex,
     };
     pub use fstore_models::{
         prediction_flips, ClassificationReport, Classifier, LogisticRegression, Mlp,
@@ -93,7 +94,10 @@ pub mod prelude {
         DriftMonitor, EmbeddingDriftMonitor, EmbeddingPatcher, LabelModel, SliceSpec,
     };
     pub use fstore_query::{AggFunc, Program};
-    pub use fstore_serve::{FeatureClient, ServeConfig, ServeEngine, ServingMetrics, WireVector};
+    pub use fstore_serve::{
+        FeatureClient, IndexCatalog, IndexSpec, SearchOptions, ServeConfig, ServeEngine,
+        ServingMetrics, WireVector,
+    };
     pub use fstore_storage::{
         CmpOp, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
     };

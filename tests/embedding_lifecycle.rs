@@ -219,6 +219,6 @@ fn ann_indexes_serve_embedding_tables() {
     let flat = FlatIndex::build(data.clone()).unwrap();
     let hnsw = HnswIndex::build(data.clone(), HnswConfig::default()).unwrap();
     let queries: Vec<Vec<f32>> = data.iter().step_by(20).cloned().collect();
-    let recall = recall_at_k(&hnsw, &flat, &queries, 10).unwrap();
+    let recall = recall_at_k(&hnsw, &flat, &queries, 10, &SearchParams::default()).unwrap();
     assert!(recall > 0.7, "HNSW recall over embedding table: {recall}");
 }
