@@ -9,9 +9,8 @@
 use crate::table::{f1, Table};
 use fstore_common::{Duration, EntityKey, Result, Rng, Timestamp, Value, Xoshiro256};
 use fstore_query::AggFunc;
-use fstore_storage::{OfflineStore, OnlineStore};
+use fstore_storage::{OfflineDb, OnlineStore};
 use fstore_stream::{Event, StreamAggregator, StreamPipeline, WindowSpec};
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,7 +39,7 @@ pub fn run(quick: bool) -> Result<()> {
 
     // --- streaming path: sliding 15m window, 1m slide ---
     let online = Arc::new(OnlineStore::default());
-    let offline = Arc::new(Mutex::new(OfflineStore::new()));
+    let offline = OfflineDb::new();
     let agg = StreamAggregator::new(
         "events_15m",
         AggFunc::Count,

@@ -23,14 +23,13 @@ use crate::table::{f1, f3, Table};
 use crate::workloads::clustered_vectors;
 use fstore_common::{Result, Rng, Timestamp, Xoshiro256};
 use fstore_core::FeatureServer;
-use fstore_embed::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable};
+use fstore_embed::{EmbeddingDb, EmbeddingProvenance, EmbeddingTable};
 use fstore_index::{HnswConfig, IvfConfig};
 use fstore_serve::{
     fixed_clock, start, ErrorCode, FeatureClient, IndexCatalog, IndexSpec, SearchOptions,
     ServeConfig, ServeEngine, WireHit,
 };
 use fstore_storage::OnlineStore;
-use parking_lot::RwLock;
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -76,14 +75,12 @@ struct Artifact {
 
 /// Clustered vectors published as `emb@v1`, keys `e{row}` aligned with
 /// `export_rows` order (row i ↔ `keys[i]` is checked by construction).
-fn publish_table(store: &RwLock<EmbeddingStore>, data: &[Vec<f32>], dim: usize) -> Result<()> {
+fn publish_table(store: &EmbeddingDb, data: &[Vec<f32>], dim: usize) -> Result<()> {
     let mut table = EmbeddingTable::new(dim)?;
     for (i, v) in data.iter().enumerate() {
         table.insert(format!("e{i:06}"), v.clone())?;
     }
-    store
-        .write()
-        .publish("emb", table, EmbeddingProvenance::default(), NOW)?;
+    store.publish("emb", table, EmbeddingProvenance::default(), NOW)?;
     Ok(())
 }
 
@@ -207,9 +204,9 @@ pub fn run(quick: bool) -> Result<()> {
     let mut family_results: Vec<FamilyResult> = Vec::new();
     let mut flat_wall: Option<f64> = None;
     for (spec, params_label) in &families {
-        let store = Arc::new(RwLock::new(EmbeddingStore::new()));
+        let store = EmbeddingDb::new();
         publish_table(&store, &data, dim)?;
-        let catalog = Arc::new(IndexCatalog::new(Arc::clone(&store)));
+        let catalog = Arc::new(IndexCatalog::new(store.clone()));
         catalog.build("emb", spec)?;
         let engine = ServeEngine::new(
             FeatureServer::new(Arc::new(OnlineStore::default())),
@@ -257,9 +254,9 @@ pub fn run(quick: bool) -> Result<()> {
     // Phase 2: hot swap under continuous traffic.
     // ------------------------------------------------------------------
     println!("\n-- hot swap under load --");
-    let store = Arc::new(RwLock::new(EmbeddingStore::new()));
+    let store = EmbeddingDb::new();
     publish_table(&store, &data, dim)?;
-    let catalog = Arc::new(IndexCatalog::new(Arc::clone(&store)));
+    let catalog = Arc::new(IndexCatalog::new(store.clone()));
     // Deliberately degraded baseline: nprobe=1 leaves recall headroom the
     // post-swap index must recover.
     catalog.build(

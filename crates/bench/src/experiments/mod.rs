@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E15 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E16 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -17,6 +17,7 @@ pub mod e12_patch_propagation;
 pub mod e13_version_alignment;
 pub mod e14_network_serving;
 pub mod e15_ann_serving;
+pub mod e16_epoch_reads;
 
 use fstore_common::Result;
 
@@ -105,6 +106,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E15 ANN serving over the wire with hot index swap (§4)",
             run: e15_ann_serving::run,
         },
+        Experiment {
+            id: "e16",
+            title: "E16 Epoch snapshot reads vs locks under republish (§2.2.2, §4)",
+            run: e16_epoch_reads::run,
+        },
     ]
 }
 
@@ -130,10 +136,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 15);
+        assert_eq!(exps.len(), 16);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
     }
 }

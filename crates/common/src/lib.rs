@@ -14,6 +14,7 @@ pub mod error;
 pub mod hash;
 pub mod rng;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod value;
@@ -21,5 +22,6 @@ pub mod value;
 pub use error::{FsError, Result};
 pub use rng::{Rng, SplitMix64, Xoshiro256, Zipf};
 pub use schema::{FieldDef, Schema};
+pub use snapshot::{ReadEpoch, SnapshotCell, Versioned};
 pub use time::{Date, Duration, SimClock, Timestamp};
 pub use value::{EntityKey, Value, ValueType};

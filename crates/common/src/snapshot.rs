@@ -1,0 +1,298 @@
+//! Epoch-versioned snapshot cells — the workspace-wide publication primitive.
+//!
+//! A [`SnapshotCell<T>`] holds an atomically swappable [`Arc`] to an immutable
+//! snapshot of some state, plus a monotone [`ReadEpoch`] counter that ticks on
+//! every publication. Readers resolve one `Arc` (and the epoch it was
+//! published at) up front and then run entirely lock-free: a concurrent
+//! publication swaps the cell to a new snapshot but never touches the one a
+//! reader is already holding. Writers serialize among themselves on a
+//! dedicated mutex so read-copy-update sequences ([`SnapshotCell::update`])
+//! never lose updates, but they never block readers for longer than the
+//! pointer swap itself.
+//!
+//! This is the shape `IndexCatalog` pioneered for ANN index hot-swaps;
+//! hoisting it here lets the offline store, the embedding catalog, and the
+//! index catalog all share one concurrency model (see DESIGN.md
+//! "Concurrency model").
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+/// A monotone publication counter. Epoch `0` is the state a cell was
+/// constructed with; every successful publication increments it by one.
+///
+/// Epochs are per-cell: comparing epochs from different cells is meaningless,
+/// but within one cell `a < b` means snapshot `a` was published strictly
+/// before snapshot `b`. Serving layers that aggregate several cells sum the
+/// component epochs — the sum is still monotone under any publication.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ReadEpoch(pub u64);
+
+impl ReadEpoch {
+    /// The epoch of a freshly constructed cell (its initial value).
+    pub const ZERO: ReadEpoch = ReadEpoch(0);
+
+    /// The raw counter value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch the *next* publication will be stamped with.
+    pub fn next(self) -> ReadEpoch {
+        ReadEpoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ReadEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A snapshot `Arc` paired with the epoch it was published at. The pair is
+/// resolved atomically: `value` is exactly the snapshot that publication
+/// `epoch` installed.
+#[derive(Debug)]
+pub struct Versioned<T> {
+    pub value: Arc<T>,
+    pub epoch: ReadEpoch,
+}
+
+// Manual impl: `Arc<T>` clones without `T: Clone`, and the derive would
+// wrongly require it.
+impl<T> Clone for Versioned<T> {
+    fn clone(&self) -> Self {
+        Versioned {
+            value: Arc::clone(&self.value),
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// An atomically swappable `Arc` to an immutable snapshot, plus a monotone
+/// epoch counter.
+///
+/// * Readers call [`load`](Self::load) or [`read`](Self::read); both take the
+///   internal lock only long enough to clone an `Arc` and never block on a
+///   writer building a new snapshot.
+/// * Writers call [`publish`](Self::publish) to swap in a fully built value,
+///   or [`update`](Self::update) / [`try_update`](Self::try_update) for
+///   read-copy-update against the current snapshot. Writers are serialized on
+///   a dedicated mutex, so an `update` closure always sees the latest
+///   published value.
+///
+/// Snapshots must be immutable once published — the type system cannot
+/// enforce this (readers get `Arc<T>`, not `&T`), so by convention `T`
+/// exposes no interior mutability.
+pub struct SnapshotCell<T> {
+    /// The current snapshot and the epoch it was published at, swapped as a
+    /// unit so readers always observe a consistent pair.
+    current: RwLock<Versioned<T>>,
+    /// Serializes writers (publication order == epoch order, and
+    /// read-copy-update never loses a concurrent writer's work).
+    writer: Mutex<()>,
+    /// Mirror of the current epoch for lock-free [`epoch`](Self::epoch)
+    /// queries; written only while holding the `current` write lock.
+    epoch: AtomicU64,
+}
+
+impl<T> SnapshotCell<T> {
+    /// Create a cell holding `value` at [`ReadEpoch::ZERO`].
+    pub fn new(value: T) -> Self {
+        Self::from_arc(Arc::new(value))
+    }
+
+    /// Like [`new`](Self::new) but adopts an existing `Arc`.
+    pub fn from_arc(value: Arc<T>) -> Self {
+        SnapshotCell {
+            current: RwLock::new(Versioned {
+                value,
+                epoch: ReadEpoch::ZERO,
+            }),
+            writer: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolve the current snapshot. O(1): an `Arc` clone under a read lock
+    /// held for the duration of the clone only.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read().value)
+    }
+
+    /// Resolve the current snapshot together with the epoch it was published
+    /// at, as one consistent pair.
+    pub fn read(&self) -> Versioned<T> {
+        self.current.read().clone()
+    }
+
+    /// The epoch of the most recent publication (lock-free).
+    pub fn epoch(&self) -> ReadEpoch {
+        ReadEpoch(self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Publish a fully built snapshot, returning the epoch it was stamped
+    /// with. Readers that resolved the previous snapshot keep it; new readers
+    /// see the new one.
+    pub fn publish(&self, value: T) -> ReadEpoch {
+        self.publish_arc(Arc::new(value))
+    }
+
+    /// Like [`publish`](Self::publish) but adopts an existing `Arc`.
+    pub fn publish_arc(&self, value: Arc<T>) -> ReadEpoch {
+        let _writer = self.writer.lock();
+        self.install(value)
+    }
+
+    /// Read-copy-update: build a replacement snapshot from the current one
+    /// and publish it, all under the writer mutex. The closure receives the
+    /// current snapshot and the epoch the replacement *will* be published at
+    /// (so snapshots can embed their own epoch), and returns the replacement
+    /// plus an arbitrary result.
+    pub fn update<R>(&self, f: impl FnOnce(&T, ReadEpoch) -> (T, R)) -> (ReadEpoch, R) {
+        let _writer = self.writer.lock();
+        let cur = self.current.read().clone();
+        let (next, out) = f(&cur.value, cur.epoch.next());
+        (self.install(Arc::new(next)), out)
+    }
+
+    /// Fallible [`update`](Self::update): if the closure errors, nothing is
+    /// published and the epoch does not advance.
+    pub fn try_update<R, E>(
+        &self,
+        f: impl FnOnce(&T, ReadEpoch) -> Result<(T, R), E>,
+    ) -> Result<(ReadEpoch, R), E> {
+        let _writer = self.writer.lock();
+        let cur = self.current.read().clone();
+        let (next, out) = f(&cur.value, cur.epoch.next())?;
+        Ok((self.install(Arc::new(next)), out))
+    }
+
+    /// Swap in `value` at the next epoch. Caller must hold the writer mutex.
+    fn install(&self, value: Arc<T>) -> ReadEpoch {
+        let mut cur = self.current.write();
+        let epoch = cur.epoch.next();
+        *cur = Versioned { value, epoch };
+        self.epoch.store(epoch.0, Ordering::Release);
+        epoch
+    }
+}
+
+impl<T: Default> Default for SnapshotCell<T> {
+    fn default() -> Self {
+        SnapshotCell::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for SnapshotCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn starts_at_epoch_zero_and_ticks_on_publish() {
+        let cell = SnapshotCell::new(10u32);
+        assert_eq!(cell.epoch(), ReadEpoch::ZERO);
+        assert_eq!(*cell.load(), 10);
+
+        assert_eq!(cell.publish(11), ReadEpoch(1));
+        assert_eq!(cell.publish(12), ReadEpoch(2));
+        assert_eq!(cell.epoch(), ReadEpoch(2));
+        assert_eq!(*cell.load(), 12);
+    }
+
+    #[test]
+    fn read_returns_a_consistent_pair() {
+        let cell = SnapshotCell::new(0u64);
+        for _ in 0..5 {
+            let v = cell.read();
+            // Value was constructed to equal the epoch it was published at.
+            assert_eq!(*v.value, v.epoch.as_u64());
+            let e = cell.epoch();
+            cell.publish(e.as_u64() + 1);
+        }
+    }
+
+    #[test]
+    fn old_snapshots_survive_publication() {
+        let cell = SnapshotCell::new(vec![1, 2, 3]);
+        let old = cell.load();
+        cell.publish(vec![9]);
+        assert_eq!(*old, vec![1, 2, 3]);
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn update_sees_next_epoch_and_current_value() {
+        let cell = SnapshotCell::new(100u64);
+        let (epoch, prev) = cell.update(|cur, next| {
+            assert_eq!(next, ReadEpoch(1));
+            (cur + 1, *cur)
+        });
+        assert_eq!(epoch, ReadEpoch(1));
+        assert_eq!(prev, 100);
+        assert_eq!(*cell.load(), 101);
+    }
+
+    #[test]
+    fn failed_try_update_publishes_nothing() {
+        let cell = SnapshotCell::new(7u32);
+        let r = cell.try_update(|_, _| Err::<(u32, ()), &str>("nope"));
+        assert!(r.is_err());
+        assert_eq!(cell.epoch(), ReadEpoch::ZERO);
+        assert_eq!(*cell.load(), 7);
+
+        let r: Result<_, &str> = cell.try_update(|cur, _| Ok((cur + 1, ())));
+        assert_eq!(r.unwrap().0, ReadEpoch(1));
+        assert_eq!(*cell.load(), 8);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_pairs() {
+        // Each published value equals its epoch; readers assert the pair
+        // matches and that epochs are monotone per thread.
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        cell.update(|_, next| (next.as_u64(), ()));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last = ReadEpoch::ZERO;
+                    for _ in 0..2000 {
+                        let v = cell.read();
+                        assert_eq!(*v.value, v.epoch.as_u64(), "torn snapshot/epoch pair");
+                        assert!(v.epoch >= last, "epoch went backwards");
+                        last = v.epoch;
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        assert_eq!(cell.epoch(), ReadEpoch(1000));
+    }
+}

@@ -13,7 +13,7 @@ use crate::registry::FeatureDef;
 use fstore_common::hash::FxHashMap;
 use fstore_common::{EntityKey, FieldDef, FsError, Result, Schema, Timestamp, Value, ValueType};
 use fstore_query::Program;
-use fstore_storage::{OfflineStore, OnlineStore, ScanRequest, TableConfig};
+use fstore_storage::{OfflineDb, OfflineStore, OnlineStore, ScanRequest, TableConfig};
 use std::collections::BTreeMap;
 
 /// Outcome of one materialization run.
@@ -36,22 +36,79 @@ pub fn feature_log_schema(value_type: ValueType) -> Schema {
     .expect("static schema is valid")
 }
 
+/// The computed (but not yet published) output of one materialization: one
+/// value per entity, plus enough of the feature definition to publish it.
+///
+/// Splitting compute from publication is what lets the facade materialize
+/// from a lock-free snapshot and take the offline writer lock only for the
+/// append-and-publish step — see [`Materializer::run_db`].
+#[derive(Debug, Clone)]
+pub struct MaterializationPlan {
+    def: FeatureDef,
+    ran_at: Timestamp,
+    source_rows: usize,
+    /// `(entity, value)` in deterministic (entity-sorted) order.
+    values: Vec<(String, Value)>,
+}
+
+impl MaterializationPlan {
+    /// Publish the plan: write-through each value to the online store and
+    /// append it to the feature's offline log table (created on first use).
+    pub fn apply(
+        &self,
+        offline: &mut OfflineStore,
+        online: &OnlineStore,
+    ) -> Result<MaterializationRun> {
+        let log_table = self.def.log_table();
+        if !offline.has_table(&log_table) {
+            offline.create_table(
+                &log_table,
+                TableConfig::new(feature_log_schema(self.def.value_type)).with_time_column("ts"),
+            )?;
+        }
+        for (entity, value) in &self.values {
+            online.put(
+                self.def.online_group(),
+                &EntityKey::new(entity.clone()),
+                &self.def.name,
+                value.clone(),
+                self.ran_at,
+            );
+            offline.append(
+                &log_table,
+                &[
+                    Value::Str(entity.clone()),
+                    Value::Timestamp(self.ran_at),
+                    value.clone(),
+                ],
+            )?;
+        }
+        Ok(MaterializationRun {
+            feature: self.def.name.clone(),
+            version: self.def.version,
+            ran_at: self.ran_at,
+            entities: self.values.len(),
+            source_rows: self.source_rows,
+        })
+    }
+}
+
 /// Stateless executor of single materialization runs.
 pub struct Materializer;
 
 impl Materializer {
-    /// Run one materialization of `def` as of `now`.
+    /// Compute one materialization of `def` as of `now` from a read-only
+    /// view of the offline store, without publishing anything.
     ///
     /// * Latest-row features: for each entity, evaluate the expression on
     ///   the most recent source row at or before `now`.
     /// * Aggregated features: evaluate the expression on every source row
     ///   in `(now - window, now]` and fold with the aggregate function.
-    pub fn run(
+    pub fn plan(
         def: &FeatureDef,
-        offline: &mut OfflineStore,
-        online: &OnlineStore,
+        offline: &OfflineStore,
         now: Timestamp,
-    ) -> Result<MaterializationRun> {
+    ) -> Result<MaterializationPlan> {
         let source_schema = offline.schema(&def.source_table)?.clone();
         let entity_idx = source_schema.index_of(&def.entity).ok_or_else(|| {
             FsError::Plan(format!(
@@ -81,18 +138,9 @@ impl Materializer {
             by_entity.entry(key).or_default().push(row);
         }
 
-        // Ensure the log table exists.
-        let log_table = def.log_table();
-        if !offline.has_table(&log_table) {
-            offline.create_table(
-                &log_table,
-                TableConfig::new(feature_log_schema(def.value_type)).with_time_column("ts"),
-            )?;
-        }
-
         // Deterministic output order.
         let by_entity: BTreeMap<String, Vec<&Vec<Value>>> = by_entity.into_iter().collect();
-        let mut entities = 0usize;
+        let mut values = Vec::with_capacity(by_entity.len());
         for (entity, mut rows) in by_entity {
             let value = match &agg {
                 Some((func, window)) => {
@@ -123,27 +171,39 @@ impl Materializer {
                     }
                 }
             };
-            online.put(
-                def.online_group(),
-                &EntityKey::new(entity.clone()),
-                &def.name,
-                value.clone(),
-                now,
-            );
-            offline.append(
-                &log_table,
-                &[Value::Str(entity), Value::Timestamp(now), value],
-            )?;
-            entities += 1;
+            values.push((entity, value));
         }
 
-        Ok(MaterializationRun {
-            feature: def.name.clone(),
-            version: def.version,
+        Ok(MaterializationPlan {
+            def: def.clone(),
             ran_at: now,
-            entities,
             source_rows: scan.rows.len(),
+            values,
         })
+    }
+
+    /// Compute and publish in one call against an exclusively held store.
+    pub fn run(
+        def: &FeatureDef,
+        offline: &mut OfflineStore,
+        online: &OnlineStore,
+        now: Timestamp,
+    ) -> Result<MaterializationRun> {
+        Materializer::plan(def, offline, now)?.apply(offline, online)
+    }
+
+    /// Run one materialization against a shared [`OfflineDb`]: the compute
+    /// phase scans a lock-free snapshot; the writer lock is held only for
+    /// the append-and-publish step. Concurrent readers are never blocked by
+    /// the scan-and-evaluate work.
+    pub fn run_db(
+        def: &FeatureDef,
+        offline: &OfflineDb,
+        online: &OnlineStore,
+        now: Timestamp,
+    ) -> Result<MaterializationRun> {
+        let plan = Materializer::plan(def, &offline.snapshot(), now)?;
+        offline.write(|off| plan.apply(off, online))
     }
 }
 
@@ -163,18 +223,7 @@ impl Materializer {
         to: Timestamp,
         every: fstore_common::Duration,
     ) -> Result<Vec<MaterializationRun>> {
-        if from > to {
-            return Err(FsError::InvalidArgument(format!(
-                "backfill range is empty ({} > {})",
-                from.as_millis(),
-                to.as_millis()
-            )));
-        }
-        if !every.is_positive() {
-            return Err(FsError::InvalidArgument(
-                "backfill step must be positive".into(),
-            ));
-        }
+        check_backfill_range(from, to, every)?;
         let mut runs = Vec::new();
         let mut t = from;
         while t <= to {
@@ -183,6 +232,47 @@ impl Materializer {
         }
         Ok(runs)
     }
+
+    /// [`Materializer::backfill`] against a shared [`OfflineDb`]: each step
+    /// plans from a fresh snapshot and locks only to publish, so readers can
+    /// interleave with a long backfill instead of stalling behind it.
+    pub fn backfill_db(
+        def: &FeatureDef,
+        offline: &OfflineDb,
+        online: &OnlineStore,
+        from: Timestamp,
+        to: Timestamp,
+        every: fstore_common::Duration,
+    ) -> Result<Vec<MaterializationRun>> {
+        check_backfill_range(from, to, every)?;
+        let mut runs = Vec::new();
+        let mut t = from;
+        while t <= to {
+            runs.push(Materializer::run_db(def, offline, online, t)?);
+            t += every;
+        }
+        Ok(runs)
+    }
+}
+
+fn check_backfill_range(
+    from: Timestamp,
+    to: Timestamp,
+    every: fstore_common::Duration,
+) -> Result<()> {
+    if from > to {
+        return Err(FsError::InvalidArgument(format!(
+            "backfill range is empty ({} > {})",
+            from.as_millis(),
+            to.as_millis()
+        )));
+    }
+    if !every.is_positive() {
+        return Err(FsError::InvalidArgument(
+            "backfill step must be positive".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Tracks per-feature last-run times and executes due jobs on `tick`.
@@ -236,16 +326,38 @@ impl MaterializationScheduler {
     ) -> Result<Vec<MaterializationRun>> {
         let mut runs = Vec::new();
         for job in self.jobs.values_mut() {
-            let due = match job.last_run {
-                None => true,
-                Some(last) => now - last >= job.def.cadence,
-            };
-            if due {
+            if Self::due(job, now) {
                 runs.push(Materializer::run(&job.def, offline, online, now)?);
                 job.last_run = Some(now);
             }
         }
         Ok(runs)
+    }
+
+    /// [`MaterializationScheduler::tick`] against a shared [`OfflineDb`]:
+    /// each due job computes from a lock-free snapshot and takes the writer
+    /// lock only to publish its results.
+    pub fn tick_db(
+        &mut self,
+        offline: &OfflineDb,
+        online: &OnlineStore,
+        now: Timestamp,
+    ) -> Result<Vec<MaterializationRun>> {
+        let mut runs = Vec::new();
+        for job in self.jobs.values_mut() {
+            if Self::due(job, now) {
+                runs.push(Materializer::run_db(&job.def, offline, online, now)?);
+                job.last_run = Some(now);
+            }
+        }
+        Ok(runs)
+    }
+
+    fn due(job: &ScheduledJob, now: Timestamp) -> bool {
+        match job.last_run {
+            None => true,
+            Some(last) => now - last >= job.def.cadence,
+        }
     }
 }
 

@@ -2,9 +2,14 @@
 //! must be "continuously provided to deployed models even as the feature
 //! data is updated over time").
 
-use fstore_common::{Duration, EntityKey, FsError, Result, Timestamp, Value};
+use fstore_common::{Duration, EntityKey, FsError, ReadEpoch, Result, Timestamp, Value};
 use fstore_storage::OnlineStore;
 use std::sync::Arc;
+
+/// Supplies the publication epoch a served vector should be stamped with —
+/// typically the offline store's [`fstore_storage::OfflineDb::epoch`], or a
+/// serving stack's aggregate epoch.
+pub type EpochSource = Arc<dyn Fn() -> ReadEpoch + Send + Sync>;
 
 /// What to do when a requested feature is missing or older than the
 /// configured maximum age.
@@ -30,6 +35,10 @@ pub struct FeatureVector {
     pub ages: Vec<Option<Duration>>,
     /// Names of features that were missing or over max age.
     pub stale: Vec<String>,
+    /// Publication epoch this vector was answered at. Resolved once per
+    /// request (once per *batch* for [`FeatureServer::serve_batch`]), so
+    /// every value in one response belongs to a single consistent epoch.
+    pub epoch: ReadEpoch,
 }
 
 impl FeatureVector {
@@ -43,11 +52,22 @@ impl FeatureVector {
 }
 
 /// The serving layer over the online store.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FeatureServer {
     online: Arc<OnlineStore>,
     max_age: Option<Duration>,
     policy: StalenessPolicy,
+    epoch_source: Option<EpochSource>,
+}
+
+impl std::fmt::Debug for FeatureServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureServer")
+            .field("max_age", &self.max_age)
+            .field("policy", &self.policy)
+            .field("has_epoch_source", &self.epoch_source.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl FeatureServer {
@@ -56,6 +76,7 @@ impl FeatureServer {
             online,
             max_age: None,
             policy: StalenessPolicy::default(),
+            epoch_source: None,
         }
     }
 
@@ -70,13 +91,40 @@ impl FeatureServer {
         self
     }
 
-    /// Assemble a feature vector for `entity` at `now`.
+    /// Stamp served vectors with an epoch from this source (resolved once
+    /// per `serve` call and once per `serve_batch` call). Without a source,
+    /// vectors carry [`ReadEpoch::ZERO`].
+    pub fn with_epoch_source(mut self, source: EpochSource) -> Self {
+        self.epoch_source = Some(source);
+        self
+    }
+
+    fn current_epoch(&self) -> ReadEpoch {
+        self.epoch_source.as_ref().map_or(ReadEpoch::ZERO, |f| f())
+    }
+
+    /// Assemble a feature vector for `entity` at `now`, stamped with the
+    /// configured epoch source's current epoch.
     pub fn serve(
         &self,
         group: &str,
         entity: &EntityKey,
         features: &[&str],
         now: Timestamp,
+    ) -> Result<FeatureVector> {
+        self.serve_at(group, entity, features, now, self.current_epoch())
+    }
+
+    /// Like [`serve`](Self::serve) but answered at an explicitly supplied
+    /// epoch — the entry point serving layers use to keep one network
+    /// response's parts on a single epoch.
+    pub fn serve_at(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        features: &[&str],
+        now: Timestamp,
+        epoch: ReadEpoch,
     ) -> Result<FeatureVector> {
         let entries = self.online.get_many(group, entity, features);
         let mut values = Vec::with_capacity(features.len());
@@ -115,10 +163,12 @@ impl FeatureServer {
             values,
             ages,
             stale,
+            epoch,
         })
     }
 
-    /// Serve many entities (batch scoring path).
+    /// Serve many entities (batch scoring path). The epoch is resolved once,
+    /// so every vector in the batch carries the same one.
     pub fn serve_batch(
         &self,
         group: &str,
@@ -126,9 +176,21 @@ impl FeatureServer {
         features: &[&str],
         now: Timestamp,
     ) -> Result<Vec<FeatureVector>> {
+        self.serve_batch_at(group, entities, features, now, self.current_epoch())
+    }
+
+    /// [`serve_batch`](Self::serve_batch) at an explicitly supplied epoch.
+    pub fn serve_batch_at(
+        &self,
+        group: &str,
+        entities: &[EntityKey],
+        features: &[&str],
+        now: Timestamp,
+        epoch: ReadEpoch,
+    ) -> Result<Vec<FeatureVector>> {
         entities
             .iter()
-            .map(|e| self.serve(group, e, features, now))
+            .map(|e| self.serve_at(group, e, features, now, epoch))
             .collect()
     }
 }

@@ -8,14 +8,19 @@ use crate::pit::{point_in_time_join, LabelEvent, PitFeature, TrainingSet};
 use crate::quality::ColumnProfile;
 use crate::registry::{FeatureDef, FeatureRegistry, FeatureSpec};
 use crate::serving::FeatureServer;
-use fstore_common::{Duration, Result, SimClock, Timestamp, Value};
-use fstore_storage::{OfflineStore, OnlineStore, TableConfig};
-use parking_lot::Mutex;
+use fstore_common::{Duration, ReadEpoch, Result, SimClock, Timestamp, Value};
+use fstore_storage::{OfflineDb, OfflineStore, OnlineStore, TableConfig};
 use std::sync::Arc;
 
 /// An embedded feature store instance driven by a simulated clock.
+///
+/// The offline side is epoch-versioned: every ingest, materialization, and
+/// backfill publishes a new immutable snapshot through [`OfflineDb`], and
+/// readers ([`FeatureStore::training_set`], [`FeatureStore::profile`], any
+/// holder of [`FeatureStore::offline_snapshot`]) run lock-free against the
+/// snapshot they resolved.
 pub struct FeatureStore {
-    offline: Arc<Mutex<OfflineStore>>,
+    offline: OfflineDb,
     online: Arc<OnlineStore>,
     registry: FeatureRegistry,
     models: ModelStore,
@@ -26,7 +31,7 @@ pub struct FeatureStore {
 impl FeatureStore {
     pub fn new(start: Timestamp) -> Self {
         FeatureStore {
-            offline: Arc::new(Mutex::new(OfflineStore::new())),
+            offline: OfflineDb::new(),
             online: Arc::new(OnlineStore::default()),
             registry: FeatureRegistry::new(),
             models: ModelStore::new(),
@@ -47,28 +52,43 @@ impl FeatureStore {
         self.tick()
     }
 
-    /// Run due materialization jobs at the current instant.
+    /// Run due materialization jobs at the current instant. Each job
+    /// computes from a lock-free snapshot and takes the writer lock only to
+    /// publish its results.
     pub fn tick(&mut self) -> Result<Vec<MaterializationRun>> {
-        let mut offline = self.offline.lock();
         self.scheduler
-            .tick(&mut offline, &self.online, self.clock.now())
+            .tick_db(&self.offline, &self.online, self.clock.now())
     }
 
     // ---- raw data ------------------------------------------------------
 
     /// Create a raw source table in the offline store.
     pub fn create_source_table(&self, name: &str, config: TableConfig) -> Result<()> {
-        self.offline.lock().create_table(name, config)
+        self.offline.write(|off| off.create_table(name, config))
     }
 
-    /// Ingest raw rows into a source table.
+    /// Ingest raw rows into a source table (one snapshot publication per
+    /// batch: readers see either none or all of these rows).
     pub fn ingest(&self, table: &str, rows: &[Vec<Value>]) -> Result<()> {
-        self.offline.lock().append_all(table, rows)
+        self.offline.write(|off| off.append_all(table, rows))
     }
 
-    /// Shared handles (streaming pipelines attach to these).
-    pub fn offline(&self) -> Arc<Mutex<OfflineStore>> {
-        Arc::clone(&self.offline)
+    /// The shared offline handle (streaming pipelines and serving layers
+    /// attach to this). Readers should prefer
+    /// [`FeatureStore::offline_snapshot`].
+    pub fn offline(&self) -> OfflineDb {
+        self.offline.clone()
+    }
+
+    /// Resolve the current immutable offline snapshot; scans, joins, and
+    /// profiles against it never block (and are never blocked by) writers.
+    pub fn offline_snapshot(&self) -> Arc<OfflineStore> {
+        self.offline.snapshot()
+    }
+
+    /// The offline store's current publication epoch.
+    pub fn read_epoch(&self) -> ReadEpoch {
+        self.offline.epoch()
     }
 
     pub fn online(&self) -> Arc<OnlineStore> {
@@ -79,30 +99,29 @@ impl FeatureStore {
 
     /// Publish a feature and schedule its materialization job.
     pub fn publish(&mut self, spec: FeatureSpec) -> Result<FeatureDef> {
-        let def = {
-            let offline = self.offline.lock();
-            self.registry.publish(spec, &offline, self.clock.now())?
-        };
+        let snapshot = self.offline.snapshot();
+        let def = self.registry.publish(spec, &snapshot, self.clock.now())?;
         self.scheduler.schedule(def.clone());
         Ok(def)
     }
 
-    /// Materialize one feature immediately (out of cadence).
+    /// Materialize one feature immediately (out of cadence). Computes from a
+    /// snapshot; the offline writer lock is held only to publish.
     pub fn materialize_now(&mut self, feature: &str) -> Result<MaterializationRun> {
         let def = self.registry.get(feature)?.clone();
-        let mut offline = self.offline.lock();
-        Materializer::run(&def, &mut offline, &self.online, self.clock.now())
+        Materializer::run_db(&def, &self.offline, &self.online, self.clock.now())
     }
 
     /// Backfill a newly published feature's history from `from` to the
     /// current instant at the feature's own cadence, so point-in-time joins
-    /// against past label events find values.
+    /// against past label events find values. Each backfill step computes
+    /// from a snapshot and locks only to publish, so concurrent readers
+    /// interleave with the backfill instead of stalling behind it.
     pub fn backfill(&mut self, feature: &str, from: Timestamp) -> Result<Vec<MaterializationRun>> {
         let def = self.registry.get(feature)?.clone();
-        let mut offline = self.offline.lock();
-        Materializer::backfill(
+        Materializer::backfill_db(
             &def,
-            &mut offline,
+            &self.offline,
             &self.online,
             from,
             self.clock.now(),
@@ -120,30 +139,34 @@ impl FeatureStore {
 
     // ---- serving -------------------------------------------------------
 
-    /// A serving handle over this store's online side.
+    /// A serving handle over this store's online side. Served vectors are
+    /// stamped with the offline store's publication epoch at serve time.
     pub fn server(&self) -> FeatureServer {
-        FeatureServer::new(Arc::clone(&self.online))
+        let db = self.offline.clone();
+        FeatureServer::new(Arc::clone(&self.online)).with_epoch_source(Arc::new(move || db.epoch()))
     }
 
     // ---- training sets -------------------------------------------------
 
-    /// Build a leakage-free training set for a registered feature set.
+    /// Build a leakage-free training set for a registered feature set. Runs
+    /// against one consistent snapshot, lock-free.
     pub fn training_set(&self, feature_set: &str, labels: &[LabelEvent]) -> Result<TrainingSet> {
         let defs = self.registry.resolve_set(feature_set)?;
         let feats: Vec<PitFeature> = defs
             .iter()
             .map(|d| PitFeature::materialized(&d.name, d.version))
             .collect();
-        let offline = self.offline.lock();
-        point_in_time_join(&offline, labels, &feats)
+        let snapshot = self.offline.snapshot();
+        point_in_time_join(&snapshot, labels, &feats)
     }
 
     // ---- quality -------------------------------------------------------
 
-    /// Batch profile of one column of an offline table.
+    /// Batch profile of one column of an offline table (lock-free snapshot
+    /// read).
     pub fn profile(&self, table: &str, column: &str) -> Result<ColumnProfile> {
-        let offline = self.offline.lock();
-        ColumnProfile::of_column(&offline, table, column)
+        let snapshot = self.offline.snapshot();
+        ColumnProfile::of_column(&snapshot, table, column)
     }
 
     // ---- models --------------------------------------------------------

@@ -31,6 +31,7 @@
 pub mod align;
 pub mod compress;
 pub mod corpus;
+pub mod db;
 pub mod eig;
 pub mod kg;
 pub mod ppmi;
@@ -41,6 +42,7 @@ pub mod store;
 pub use align::{align_to_reference, AlignmentReport};
 pub use compress::{PcaModel, QuantizedTable};
 pub use corpus::{Corpus, CorpusConfig, KnowledgeGraph};
+pub use db::EmbeddingDb;
 pub use kg::KgSgnsConfig;
 pub use ppmi::PpmiConfig;
 pub use quality::{eigenspace_overlap, knn_overlap, semantic_displacement};

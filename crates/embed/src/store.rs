@@ -6,6 +6,7 @@ use fstore_common::hash::FxHashMap;
 use fstore_common::{FsError, Result, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Provenance carried by every published embedding version.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
@@ -174,9 +175,14 @@ impl EmbeddingVersion {
 }
 
 /// The versioned catalog of embeddings.
-#[derive(Debug, Default)]
+///
+/// Versions are immutable once published and shared via `Arc`, so `Clone`
+/// is O(#versions) pointer bumps — cheap enough that the serving layer
+/// republishes the whole store as an immutable snapshot on every change
+/// (see [`crate::EmbeddingDb`]).
+#[derive(Debug, Default, Clone)]
 pub struct EmbeddingStore {
-    embeddings: BTreeMap<String, Vec<EmbeddingVersion>>,
+    embeddings: BTreeMap<String, Vec<Arc<EmbeddingVersion>>>,
 }
 
 impl EmbeddingStore {
@@ -216,7 +222,7 @@ impl EmbeddingStore {
             consumers: Vec::new(),
         };
         let qualified = v.qualified_name();
-        versions.push(v);
+        versions.push(Arc::new(v));
         Ok(qualified)
     }
 
@@ -224,6 +230,7 @@ impl EmbeddingStore {
         self.embeddings
             .get(name)
             .and_then(|v| v.last())
+            .map(|v| v.as_ref())
             .ok_or_else(|| FsError::not_found("embedding", name.to_string()))
     }
 
@@ -231,6 +238,7 @@ impl EmbeddingStore {
         self.embeddings
             .get(name)
             .and_then(|v| v.iter().find(|e| e.version == version))
+            .map(|v| v.as_ref())
             .ok_or_else(|| FsError::not_found("embedding version", format!("{name}@v{version}")))
     }
 
@@ -248,7 +256,11 @@ impl EmbeddingStore {
     }
 
     pub fn list(&self) -> Vec<&EmbeddingVersion> {
-        self.embeddings.values().filter_map(|v| v.last()).collect()
+        self.embeddings
+            .values()
+            .filter_map(|v| v.last())
+            .map(|v| v.as_ref())
+            .collect()
     }
 
     pub fn versions_of(&self, name: &str) -> Result<Vec<u32>> {
@@ -269,7 +281,9 @@ impl EmbeddingStore {
             .iter_mut()
             .find(|e| e.version == version)
             .ok_or_else(|| FsError::not_found("embedding version", qualified.to_string()))?;
-        v.consumers.push(model.into());
+        // Copy-on-write: snapshots sharing this version keep their original
+        // consumer list.
+        Arc::make_mut(v).consumers.push(model.into());
         Ok(())
     }
 

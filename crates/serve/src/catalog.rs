@@ -3,26 +3,26 @@
 //!
 //! Each embedding table gets an immutable [`IndexSnapshot`]: an ANN index
 //! built from one published table version, plus the row-id ↔ entity-key
-//! mapping search answers travel through. Snapshots live behind an
-//! atomically swappable `Arc` — readers clone the `Arc` under a brief read
-//! lock and search lock-free from then on, while a background build thread
-//! constructs a replacement from the *current* store version and swaps it
+//! mapping search answers travel through. The whole per-table snapshot map
+//! lives in a [`SnapshotCell`] — readers resolve one `Arc` to the map and
+//! search lock-free from then on, while a background build thread
+//! constructs a replacement from the *current* store snapshot and swaps it
 //! in. Traffic in flight keeps its old snapshot; nothing blocks, nothing
-//! drops. Every snapshot carries a monotone generation counter so clients
-//! (and the E15 experiment) can observe exactly when a swap landed, and
+//! drops. Every swap is a cell publication, so the snapshot's generation
+//! *is* the catalog's [`ReadEpoch`] at publication time — clients (and the
+//! E15/E16 experiments) can observe exactly when a swap landed, and
 //! staleness — how far the live table has advanced past the snapshot — is
 //! reported into [`ServingMetrics`].
 
 use crate::metrics::{IndexStatus, ServingMetrics};
 use crate::protocol::WireHit;
 use fstore_common::hash::FxHashMap;
-use fstore_common::FsError;
-use fstore_embed::EmbeddingStore;
+use fstore_common::{FsError, ReadEpoch, SnapshotCell};
+use fstore_embed::{EmbeddingDb, EmbeddingStore};
 use fstore_index::{
     FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchParams, VectorIndex,
 };
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -55,7 +55,8 @@ pub struct IndexSnapshot {
     pub table: String,
     /// The embedding-table version the rows were exported from.
     pub built_from_version: u32,
-    /// Monotone catalog-wide generation; larger = swapped in later.
+    /// The catalog [`ReadEpoch`] this snapshot was published at; larger =
+    /// swapped in later.
     pub generation: u64,
     /// Index family label (`"flat"`, `"ivf"`, `"hnsw"`).
     pub kind: &'static str,
@@ -123,35 +124,38 @@ impl std::error::Error for CatalogError {}
 pub struct SearchOutcome {
     /// The embedding-table version the snapshot was built from.
     pub table_version: u32,
-    /// The snapshot's swap generation.
+    /// The snapshot's swap generation — the catalog [`ReadEpoch`] it was
+    /// published at.
     pub index_generation: u64,
     /// Ascending by squared-L2 distance.
     pub hits: Vec<WireHit>,
 }
 
-/// Per-table ANN index snapshots over a shared [`EmbeddingStore`], with
+/// Per-table ANN index snapshots over a shared [`EmbeddingDb`], with
 /// atomic swap and background rebuild.
+///
+/// The map of live snapshots is itself an epoch-versioned snapshot: every
+/// swap publishes a new map through a [`SnapshotCell`], and the publication
+/// epoch doubles as the new snapshot's generation. Readers never take a
+/// lock the builder holds.
 pub struct IndexCatalog {
-    store: Arc<RwLock<EmbeddingStore>>,
-    snapshots: RwLock<FxHashMap<String, Arc<IndexSnapshot>>>,
-    /// Catalog-wide generation source; incremented per successful swap.
-    generation: AtomicU64,
+    store: EmbeddingDb,
+    snapshots: SnapshotCell<FxHashMap<String, Arc<IndexSnapshot>>>,
     metrics: Mutex<Option<Arc<ServingMetrics>>>,
 }
 
 impl IndexCatalog {
-    pub fn new(store: Arc<RwLock<EmbeddingStore>>) -> Self {
+    pub fn new(store: EmbeddingDb) -> Self {
         IndexCatalog {
             store,
-            snapshots: RwLock::new(FxHashMap::default()),
-            generation: AtomicU64::new(0),
+            snapshots: SnapshotCell::new(FxHashMap::default()),
             metrics: Mutex::new(None),
         }
     }
 
     /// The embedding store this catalog indexes.
-    pub fn store(&self) -> Arc<RwLock<EmbeddingStore>> {
-        Arc::clone(&self.store)
+    pub fn store(&self) -> EmbeddingDb {
+        self.store.clone()
     }
 
     /// Wire swap/staleness reporting into the server's metrics. Called by
@@ -159,22 +163,20 @@ impl IndexCatalog {
     pub fn attach_metrics(&self, metrics: Arc<ServingMetrics>) {
         *self.metrics.lock() = Some(metrics);
         // Back-publish snapshots built before the server started.
-        let tables: Vec<String> = self.snapshots.read().keys().cloned().collect();
-        for table in tables {
-            self.publish_status(&table);
-        }
+        self.publish_all_statuses();
     }
 
     /// Build an index over the current version of `table` and swap it in.
     ///
-    /// The store read lock is held only while exporting rows; the build —
+    /// Rows are exported from one lock-free store snapshot; the build —
     /// the expensive part — runs with no locks held, and the swap itself
-    /// is a single map insert under a brief write lock. `table` may be
-    /// `"name"` (latest) or `"name@vN"` (pinned); the snapshot is keyed
-    /// and served under the *unqualified* name either way.
+    /// is one cell publication (concurrent builds serialize only there).
+    /// `table` may be `"name"` (latest) or `"name@vN"` (pinned); the
+    /// snapshot is keyed and served under the *unqualified* name either
+    /// way.
     pub fn build(&self, table: &str, spec: &IndexSpec) -> Result<Arc<IndexSnapshot>, FsError> {
         let (name, version, keys, vectors) = {
-            let store = self.store.read();
+            let store = self.store.snapshot();
             let v = store.resolve(table)?;
             let (keys, vectors) = v.table.export_rows();
             (v.name.clone(), v.version, keys, vectors)
@@ -189,19 +191,24 @@ impl IndexCatalog {
             .enumerate()
             .map(|(row, k)| (k.clone(), row))
             .collect();
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        let snapshot = Arc::new(IndexSnapshot {
-            table: name.clone(),
-            built_from_version: version,
-            generation,
-            kind: spec.kind(),
-            keys,
-            key_to_row,
-            index,
+        let kind = spec.kind();
+        // The publication epoch is the generation: the update closure is
+        // handed the epoch the new map will be stamped with, so the
+        // snapshot can carry its own generation before it becomes visible.
+        let (_, snapshot) = self.snapshots.update(|map, next_epoch| {
+            let snapshot = Arc::new(IndexSnapshot {
+                table: name.clone(),
+                built_from_version: version,
+                generation: next_epoch.as_u64(),
+                kind,
+                keys,
+                key_to_row,
+                index,
+            });
+            let mut next = map.clone();
+            next.insert(name.clone(), Arc::clone(&snapshot));
+            (next, snapshot)
         });
-        self.snapshots
-            .write()
-            .insert(name.clone(), Arc::clone(&snapshot));
         if let Some(metrics) = self.metrics.lock().clone() {
             metrics.record_index_swap();
         }
@@ -229,12 +236,17 @@ impl IndexCatalog {
     /// `Arc` stays valid across any number of subsequent swaps.
     pub fn snapshot(&self, table: &str) -> Option<Arc<IndexSnapshot>> {
         let name = table.rsplit_once("@v").map_or(table, |(n, _)| n);
-        self.snapshots.read().get(name).cloned()
+        self.snapshots.load().get(name).cloned()
     }
 
-    /// Total successful swaps across all tables.
+    /// The catalog's publication epoch; bumps once per successful swap.
+    pub fn epoch(&self) -> ReadEpoch {
+        self.snapshots.epoch()
+    }
+
+    /// Total successful swaps across all tables (the epoch, as a count).
     pub fn swap_count(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.epoch().as_u64()
     }
 
     /// `k` nearest stored entities to an explicit query vector.
@@ -333,24 +345,10 @@ impl IndexCatalog {
     }
 
     /// Per-table status (generation, staleness vs. the live store) for one
-    /// table, freshly computed.
+    /// table, freshly computed from one store snapshot.
     pub fn status(&self, table: &str) -> Option<IndexStatus> {
         let snapshot = self.snapshot(table)?;
-        let live_version = {
-            let store = self.store.read();
-            store
-                .latest(&snapshot.table)
-                .map(|v| v.version)
-                .unwrap_or(snapshot.built_from_version)
-        };
-        Some(IndexStatus {
-            kind: snapshot.kind.to_string(),
-            generation: snapshot.generation,
-            built_from_version: snapshot.built_from_version,
-            staleness: live_version.saturating_sub(snapshot.built_from_version),
-            len: snapshot.len(),
-            dim: snapshot.dim(),
-        })
+        Some(status_of(&snapshot, &self.store.snapshot()))
     }
 
     /// Recompute and push one table's status into the attached metrics.
@@ -366,11 +364,46 @@ impl IndexCatalog {
 
     /// Refresh every table's staleness in the attached metrics — call
     /// after publishing new table versions so dashboards see the drift.
+    ///
+    /// All statuses are computed against *one* map snapshot and *one*
+    /// store snapshot, so a swap or republish landing mid-publication
+    /// cannot produce a status set that mixes two views (the old
+    /// collect-names-then-relookup scheme could drop or tear a table that
+    /// swapped between the two steps).
     pub fn publish_all_statuses(&self) {
-        let tables: Vec<String> = self.snapshots.read().keys().cloned().collect();
-        for table in tables {
-            self.publish_status(&table);
+        let Some(metrics) = self.metrics.lock().clone() else {
+            return;
+        };
+        let map = self.snapshots.load();
+        let store = self.store.snapshot();
+        for (table, snapshot) in map.iter() {
+            metrics.set_index_status(table, status_of(snapshot, &store));
         }
+    }
+}
+
+impl std::fmt::Debug for IndexCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexCatalog")
+            .field("epoch", &self.epoch())
+            .field("tables", &self.snapshots.load().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One table's status against one consistent store snapshot.
+fn status_of(snapshot: &IndexSnapshot, store: &EmbeddingStore) -> IndexStatus {
+    let live_version = store
+        .latest(&snapshot.table)
+        .map(|v| v.version)
+        .unwrap_or(snapshot.built_from_version);
+    IndexStatus {
+        kind: snapshot.kind.to_string(),
+        generation: snapshot.generation,
+        built_from_version: snapshot.built_from_version,
+        staleness: live_version.saturating_sub(snapshot.built_from_version),
+        len: snapshot.len(),
+        dim: snapshot.dim(),
     }
 }
 
@@ -407,19 +440,18 @@ mod tests {
     use fstore_common::Timestamp;
     use fstore_embed::{EmbeddingProvenance, EmbeddingTable};
 
-    fn store_with(name: &str, rows: &[(&str, Vec<f32>)]) -> Arc<RwLock<EmbeddingStore>> {
-        let store = Arc::new(RwLock::new(EmbeddingStore::new()));
+    fn store_with(name: &str, rows: &[(&str, Vec<f32>)]) -> EmbeddingDb {
+        let store = EmbeddingDb::new();
         publish(&store, name, rows);
         store
     }
 
-    fn publish(store: &Arc<RwLock<EmbeddingStore>>, name: &str, rows: &[(&str, Vec<f32>)]) {
+    fn publish(store: &EmbeddingDb, name: &str, rows: &[(&str, Vec<f32>)]) {
         let mut t = EmbeddingTable::new(rows[0].1.len()).unwrap();
         for (k, v) in rows {
             t.insert(*k, v.clone()).unwrap();
         }
         store
-            .write()
             .publish(name, t, EmbeddingProvenance::default(), Timestamp::EPOCH)
             .unwrap();
     }
@@ -430,7 +462,7 @@ mod tests {
             .collect()
     }
 
-    fn grid_store() -> Arc<RwLock<EmbeddingStore>> {
+    fn grid_store() -> EmbeddingDb {
         let rows = grid_rows();
         let borrowed: Vec<(&str, Vec<f32>)> =
             rows.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
@@ -505,12 +537,13 @@ mod tests {
         assert_eq!(old.generation, 1);
         assert_eq!(old.len(), 20);
         assert_eq!(catalog.swap_count(), 2);
+        assert_eq!(catalog.epoch(), ReadEpoch(2));
     }
 
     #[test]
     fn staleness_tracks_store_versions() {
         let store = grid_store();
-        let catalog = IndexCatalog::new(Arc::clone(&store));
+        let catalog = IndexCatalog::new(store.clone());
         catalog.build("emb", &IndexSpec::Flat).unwrap();
         assert_eq!(catalog.status("emb").unwrap().staleness, 0);
         // Publish v2; the snapshot is now one version behind.
@@ -558,5 +591,35 @@ mod tests {
         assert!(catalog
             .search("emb@v1", &[0.0, 0.0], 1, &SearchParams::default())
             .is_ok());
+    }
+
+    #[test]
+    fn statuses_come_from_one_consistent_view() {
+        // publish_all_statuses racing a swapper must always publish a
+        // generation the catalog actually swapped in, computed against one
+        // map view (the old collect-names-then-relookup scheme could mix
+        // views).
+        let store = grid_store();
+        let catalog = Arc::new(IndexCatalog::new(store.clone()));
+        let metrics = Arc::new(ServingMetrics::new());
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        catalog.attach_metrics(Arc::clone(&metrics));
+
+        let swapper = {
+            let catalog = Arc::clone(&catalog);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    catalog.build("emb", &IndexSpec::Flat).unwrap();
+                }
+            })
+        };
+        for _ in 0..50 {
+            catalog.publish_all_statuses();
+            let snap = metrics.snapshot();
+            let status = &snap.indexes["emb"];
+            assert!(status.generation >= 1 && status.generation <= 21);
+            assert_eq!(status.len, 20);
+        }
+        swapper.join().unwrap();
     }
 }

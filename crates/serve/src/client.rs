@@ -19,6 +19,11 @@ pub struct EmbeddingRead {
     pub dim: usize,
     /// The embedding-table version that answered the read.
     pub version: u32,
+    /// The embedding store's publication epoch at serve time; version and
+    /// vector were resolved from that single snapshot, so an epoch that
+    /// never decreases across reads proves the server's snapshot swaps are
+    /// monotone.
+    pub epoch: u64,
 }
 
 /// A nearest-neighbour answer, stamped with the snapshot identity that
@@ -27,8 +32,8 @@ pub struct EmbeddingRead {
 pub struct Neighbors {
     /// The embedding-table version the index snapshot was built from.
     pub table_version: u32,
-    /// The snapshot's swap generation; a jump between calls means an
-    /// index rebuild landed in between.
+    /// The snapshot's swap generation (the catalog's publication epoch);
+    /// a jump between calls means an index rebuild landed in between.
     pub index_generation: u64,
     /// Hits ascending by squared-L2 distance.
     pub hits: Vec<WireHit>,
@@ -167,11 +172,13 @@ impl FeatureClient {
             Response::Embedding {
                 dim,
                 version,
+                epoch,
                 vector,
             } => Ok(EmbeddingRead {
                 vector,
                 dim: dim as usize,
                 version,
+                epoch,
             }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::UnexpectedResponse("Embedding")),

@@ -286,6 +286,10 @@ pub struct WireVector {
     pub values: Vec<Value>,
     pub ages_ms: Vec<Option<i64>>,
     pub stale: Vec<String>,
+    /// The store publication epoch the vector was served at. Every member
+    /// of a batch carries the same epoch (the server resolves it once per
+    /// batch), so clients can assert a response is internally consistent.
+    pub epoch: u64,
 }
 
 impl From<&FeatureVector> for WireVector {
@@ -296,6 +300,7 @@ impl From<&FeatureVector> for WireVector {
             values: v.values.clone(),
             ages_ms: v.ages.iter().map(|a| a.map(Duration::as_millis)).collect(),
             stale: v.stale.clone(),
+            epoch: v.epoch.as_u64(),
         }
     }
 }
@@ -319,15 +324,19 @@ pub enum Response {
     FeaturesBatch(Vec<WireVector>),
     /// One embedding vector plus the table version it was served from, so
     /// clients can detect cross-version reads during snapshot swaps (§4's
-    /// "dot product loses meaning" hazard).
+    /// "dot product loses meaning" hazard). `epoch` is the embedding
+    /// store's publication epoch at serve time — version and vector come
+    /// from that single snapshot.
     Embedding {
         dim: u32,
         version: u32,
+        epoch: u64,
         vector: Vec<f32>,
     },
     /// Nearest-neighbour hits, stamped with the embedding-table version
     /// the index snapshot was built from and the snapshot's generation
-    /// counter — enough for a client to notice a mid-stream index swap.
+    /// counter (the catalog's publication epoch) — enough for a client to
+    /// notice a mid-stream index swap.
     Neighbors {
         table_version: u32,
         index_generation: u64,
@@ -372,11 +381,13 @@ impl Response {
             Response::Embedding {
                 dim,
                 version,
+                epoch,
                 vector,
             } => {
                 buf.put_u8(3);
                 buf.put_u32(*dim);
                 buf.put_u32(*version);
+                buf.put_u64(*epoch);
                 buf.put_u32(vector.len() as u32);
                 for &x in vector {
                     buf.put_f32(x);
@@ -424,10 +435,12 @@ impl Response {
             3 => {
                 let dim = take_u32(&mut r)?;
                 let version = take_u32(&mut r)?;
+                let epoch = take_u64(&mut r)?;
                 let vector = take_f32_seq(&mut r)?;
                 Response::Embedding {
                     dim,
                     version,
+                    epoch,
                     vector,
                 }
             }
@@ -543,6 +556,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
 
 fn put_vector(buf: &mut BytesMut, v: &WireVector) {
     put_str(buf, &v.entity);
+    buf.put_u64(v.epoch);
     put_str_seq(buf, &v.features);
     buf.put_u32(v.values.len() as u32);
     for value in &v.values {
@@ -654,6 +668,7 @@ fn take_value(r: &mut &[u8]) -> Result<Value, WireError> {
 
 fn take_vector(r: &mut &[u8]) -> Result<WireVector, WireError> {
     let entity = take_str(r)?;
+    let epoch = take_u64(r)?;
     let features = take_str_seq(r)?;
     let n_values = take_len(r)?;
     let mut values = Vec::with_capacity(n_values.min(1024));
@@ -675,6 +690,7 @@ fn take_vector(r: &mut &[u8]) -> Result<WireVector, WireError> {
         values,
         ages_ms,
         stale,
+        epoch,
     })
 }
 

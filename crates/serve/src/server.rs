@@ -27,8 +27,8 @@ use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, Wir
 use crossbeam::channel::{bounded, Receiver};
 use fstore_common::{EntityKey, FsError, Timestamp};
 use fstore_core::FeatureServer;
-use fstore_embed::EmbeddingStore;
-use parking_lot::{Mutex, RwLock};
+use fstore_embed::{EmbeddingDb, EmbeddingStore};
+use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -148,7 +148,7 @@ pub fn atomic_clock(millis: Arc<AtomicI64>) -> Clock {
 /// Everything a worker needs to answer requests.
 pub struct ServeEngine {
     server: FeatureServer,
-    embeddings: Option<Arc<RwLock<EmbeddingStore>>>,
+    embeddings: Option<EmbeddingDb>,
     indexes: Option<Arc<IndexCatalog>>,
     clock: Clock,
 }
@@ -163,15 +163,17 @@ impl ServeEngine {
         }
     }
 
-    /// Attach an embedding catalog for `GetEmbedding`.
-    pub fn with_embeddings(mut self, embeddings: Arc<RwLock<EmbeddingStore>>) -> Self {
+    /// Attach an embedding catalog for `GetEmbedding`. Each read resolves
+    /// one immutable snapshot — a republish never blocks it — and the
+    /// response is stamped with that snapshot's epoch.
+    pub fn with_embeddings(mut self, embeddings: EmbeddingDb) -> Self {
         self.embeddings = Some(embeddings);
         self
     }
 
     /// Convenience for a catalog the server owns outright.
     pub fn with_embedding_catalog(self, catalog: EmbeddingStore) -> Self {
-        self.with_embeddings(Arc::new(RwLock::new(catalog)))
+        self.with_embeddings(EmbeddingDb::from_store(catalog))
     }
 
     /// Attach an ANN index catalog for the `SearchNearest` endpoints; also
@@ -235,12 +237,15 @@ impl ServeEngine {
                         "no embedding catalog attached to this server",
                     );
                 };
-                let catalog = embeddings.read();
-                match catalog.resolve(table) {
+                // One consistent (snapshot, epoch) pair answers the whole
+                // request; a concurrent republish cannot tear it.
+                let view = embeddings.read();
+                match view.value.resolve(table) {
                     Ok(version) => match version.table.get(key) {
                         Some(vector) => Response::Embedding {
                             dim: version.table.dim() as u32,
                             version: version.version,
+                            epoch: view.epoch.as_u64(),
                             vector: vector.to_vec(),
                         },
                         None => Response::error(
@@ -732,9 +737,9 @@ mod tests {
                 Timestamp::EPOCH,
             )
             .unwrap();
-        let catalog = Arc::new(crate::catalog::IndexCatalog::new(Arc::new(RwLock::new(
+        let catalog = Arc::new(crate::catalog::IndexCatalog::new(EmbeddingDb::from_store(
             store,
-        ))));
+        )));
         catalog.build("emb", &IndexSpec::Flat).unwrap();
         let e = engine().with_index_catalog(Arc::clone(&catalog));
 
@@ -811,6 +816,7 @@ mod tests {
             Response::Embedding {
                 dim: 2,
                 version: 1,
+                epoch: 0,
                 vector: vec![1.0, 0.0],
             }
         );

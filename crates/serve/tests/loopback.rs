@@ -4,10 +4,9 @@
 
 use fstore_common::{EntityKey, Timestamp, Value};
 use fstore_core::FeatureServer;
-use fstore_embed::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable};
+use fstore_embed::{EmbeddingDb, EmbeddingProvenance, EmbeddingTable};
 use fstore_serve::{fixed_clock, start, ErrorCode, FeatureClient, ServeConfig, ServeEngine};
 use fstore_storage::OnlineStore;
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 const ENTITIES: usize = 100;
@@ -37,7 +36,7 @@ fn online_store() -> Arc<OnlineStore> {
     online
 }
 
-fn embedding_store() -> EmbeddingStore {
+fn embedding_db() -> EmbeddingDb {
     let mut table = EmbeddingTable::new(EMBED_DIM).unwrap();
     for i in 0..EMBED_KEYS {
         let v: Vec<f32> = (0..EMBED_DIM)
@@ -45,7 +44,7 @@ fn embedding_store() -> EmbeddingStore {
             .collect();
         table.insert(format!("u{i}"), v).unwrap();
     }
-    let mut store = EmbeddingStore::new();
+    let store = EmbeddingDb::new();
     store
         .publish("emb", table, EmbeddingProvenance::default(), NOW)
         .unwrap();
@@ -56,9 +55,9 @@ fn embedding_store() -> EmbeddingStore {
 fn concurrent_clients_match_direct_calls_and_shutdown_is_graceful() {
     let online = online_store();
     let direct = FeatureServer::new(Arc::clone(&online));
-    let embeddings = Arc::new(RwLock::new(embedding_store()));
+    let embeddings = embedding_db();
     let engine = ServeEngine::new(FeatureServer::new(online), fixed_clock(NOW))
-        .with_embeddings(Arc::clone(&embeddings));
+        .with_embeddings(embeddings.clone());
     let handle = start(
         engine,
         ServeConfig {
@@ -75,11 +74,11 @@ fn concurrent_clients_match_direct_calls_and_shutdown_is_graceful() {
     const PER_THREAD: usize = 125; // 8 × 125 = 1000 requests
 
     let direct = Arc::new(direct);
-    let embeddings_ref = Arc::clone(&embeddings);
+    let embeddings_ref = embeddings.clone();
     let threads: Vec<_> = (0..THREADS)
         .map(|t| {
             let direct = Arc::clone(&direct);
-            let embeddings = Arc::clone(&embeddings_ref);
+            let embeddings = embeddings_ref.clone();
             std::thread::spawn(move || {
                 let mut client = FeatureClient::connect(addr).unwrap();
                 for i in 0..PER_THREAD {
@@ -134,7 +133,7 @@ fn concurrent_clients_match_direct_calls_and_shutdown_is_graceful() {
                             let id = (t + i) % EMBED_KEYS;
                             let key = format!("u{id}");
                             let got = client.get_embedding("emb", &key).unwrap();
-                            let catalog = embeddings.read();
+                            let catalog = embeddings.snapshot();
                             let want = catalog
                                 .latest("emb")
                                 .unwrap()
@@ -145,6 +144,7 @@ fn concurrent_clients_match_direct_calls_and_shutdown_is_graceful() {
                             assert_eq!(got.vector, want);
                             assert_eq!(got.dim, EMBED_DIM);
                             assert_eq!(got.version, 1, "served from emb@v1");
+                            assert_eq!(got.epoch, 1, "one publication before serving");
                         }
                         _ => {
                             let (_depth, draining) = client.health().unwrap();

@@ -100,15 +100,18 @@ fn arb_vector() -> impl Strategy<Value = WireVector> {
             prop_oneof![Just(None), (0i64..1_000_000).prop_map(Some)],
             0..5,
         ),
-        arb_strings(),
+        (arb_strings(), 0u64..1_000_000u64),
     )
-        .prop_map(|(entity, features, values, ages_ms, stale)| WireVector {
-            entity,
-            features,
-            values,
-            ages_ms,
-            stale,
-        })
+        .prop_map(
+            |(entity, features, values, ages_ms, (stale, epoch))| WireVector {
+                entity,
+                features,
+                values,
+                ages_ms,
+                stale,
+                epoch,
+            },
+        )
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
@@ -134,13 +137,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
         }),
         arb_vector().prop_map(Response::Features),
         proptest::collection::vec(arb_vector(), 0..4).prop_map(Response::FeaturesBatch),
-        (1u32..64, 1u32..16, arb_query()).prop_map(|(dim, version, vector)| {
-            Response::Embedding {
-                dim,
-                version,
-                vector,
+        (1u32..64, 1u32..16, 0u64..1_000_000u64, arb_query()).prop_map(
+            |(dim, version, epoch, vector)| {
+                Response::Embedding {
+                    dim,
+                    version,
+                    epoch,
+                    vector,
+                }
             }
-        }),
+        ),
         (1u32..16, 0u64..1_000_000_000u64, arb_hits()).prop_map(
             |(table_version, index_generation, hits)| Response::Neighbors {
                 table_version,

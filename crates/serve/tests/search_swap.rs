@@ -7,14 +7,13 @@
 
 use fstore_common::{Rng, Timestamp, Xoshiro256};
 use fstore_core::FeatureServer;
-use fstore_embed::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable};
+use fstore_embed::{EmbeddingDb, EmbeddingProvenance, EmbeddingTable};
 use fstore_index::{HnswConfig, IvfConfig};
 use fstore_serve::{
     fixed_clock, start, ErrorCode, FeatureClient, IndexCatalog, IndexSpec, SearchOptions,
     ServeConfig, ServeEngine,
 };
 use fstore_storage::OnlineStore;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -39,13 +38,12 @@ fn make_table(seed: u64) -> EmbeddingTable {
     table
 }
 
-fn serving_stack() -> (Arc<RwLock<EmbeddingStore>>, Arc<IndexCatalog>, ServeEngine) {
-    let mut store = EmbeddingStore::new();
+fn serving_stack() -> (EmbeddingDb, Arc<IndexCatalog>, ServeEngine) {
+    let store = EmbeddingDb::new();
     store
         .publish("emb", make_table(42), EmbeddingProvenance::default(), NOW)
         .unwrap();
-    let store = Arc::new(RwLock::new(store));
-    let catalog = Arc::new(IndexCatalog::new(Arc::clone(&store)));
+    let catalog = Arc::new(IndexCatalog::new(store.clone()));
     let engine = ServeEngine::new(
         FeatureServer::new(Arc::new(OnlineStore::default())),
         fixed_clock(NOW),
@@ -55,9 +53,9 @@ fn serving_stack() -> (Arc<RwLock<EmbeddingStore>>, Arc<IndexCatalog>, ServeEngi
 }
 
 /// Exact top-k keys for `query` against the live table, for recall checks.
-fn exact_top_k(store: &RwLock<EmbeddingStore>, query: &[f32], k: usize) -> Vec<String> {
-    let guard = store.read();
-    let version = guard.latest("emb").unwrap();
+fn exact_top_k(store: &EmbeddingDb, query: &[f32], k: usize) -> Vec<String> {
+    let snapshot = store.snapshot();
+    let version = snapshot.latest("emb").unwrap();
     let (keys, vectors) = version.table.export_rows();
     let mut scored: Vec<(usize, f32)> = vectors
         .iter()
@@ -75,11 +73,11 @@ fn exact_top_k(store: &RwLock<EmbeddingStore>, query: &[f32], k: usize) -> Vec<S
         .collect()
 }
 
-fn query_points(seed: u64, count: usize, store: &RwLock<EmbeddingStore>) -> Vec<Vec<f32>> {
+fn query_points(seed: u64, count: usize, store: &EmbeddingDb) -> Vec<Vec<f32>> {
     // Perturbed copies of stored rows: queries that have meaningful
     // neighbours under every index family.
-    let guard = store.read();
-    let (_, vectors) = guard.latest("emb").unwrap().table.export_rows();
+    let snapshot = store.snapshot();
+    let (_, vectors) = snapshot.latest("emb").unwrap().table.export_rows();
     let mut rng = Xoshiro256::seeded(seed);
     (0..count)
         .map(|_| {

@@ -14,6 +14,7 @@
 //! keeping both.
 
 pub mod column;
+pub mod db;
 pub mod offline;
 pub mod online;
 pub mod predicate;
@@ -21,6 +22,7 @@ pub mod segment;
 pub mod snapshot;
 
 pub use column::{Column, NullBitmap};
+pub use db::OfflineDb;
 pub use offline::{OfflineStore, ScanRequest, ScanResult, ScanStats, TableConfig};
 pub use online::{OnlineEntry, OnlineStore, OnlineStoreStats};
 pub use predicate::{CmpOp, Predicate};

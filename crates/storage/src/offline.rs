@@ -11,6 +11,7 @@ use crate::predicate::{CmpOp, Predicate};
 use crate::segment::{Segment, SegmentBuilder};
 use fstore_common::{Date, FsError, Result, Schema, Timestamp, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Default number of rows per sealed segment.
 pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
@@ -46,13 +47,17 @@ impl TableConfig {
     }
 }
 
-#[derive(Debug, Default)]
+/// Sealed segments are shared (`Arc`) between the writer's working copy and
+/// every published snapshot; cloning a partition is O(#segments) pointer
+/// bumps plus — only when a snapshot still references the open builder — one
+/// copy-on-write clone of the open rows (bounded by `segment_rows`).
+#[derive(Debug, Default, Clone)]
 struct Partition {
-    sealed: Vec<Segment>,
-    open: Option<SegmentBuilder>,
+    sealed: Vec<Arc<Segment>>,
+    open: Option<Arc<SegmentBuilder>>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Table {
     config: TableConfig,
     time_idx: Option<usize>,
@@ -120,10 +125,22 @@ pub struct ScanResult {
     pub stats: ScanStats,
 }
 
+/// Reclaim a builder from its `Arc` for sealing: moves it out when the writer
+/// holds the only reference, clones otherwise (a snapshot is still reading it).
+fn take_builder(b: Arc<SegmentBuilder>) -> SegmentBuilder {
+    Arc::try_unwrap(b).unwrap_or_else(|shared| (*shared).clone())
+}
+
 /// The embedded offline warehouse: a catalog of partitioned columnar tables.
-#[derive(Debug, Default)]
+///
+/// Internally every table is behind an `Arc` and sealed segments are shared,
+/// so `Clone` is cheap (O(#tables) pointer bumps) — that is what makes
+/// copy-on-write snapshot publication through [`crate::OfflineDb`] viable.
+/// Mutation goes through [`Arc::make_mut`], so a writer never disturbs rows a
+/// published snapshot already references.
+#[derive(Debug, Default, Clone)]
 pub struct OfflineStore {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl OfflineStore {
@@ -157,12 +174,12 @@ impl OfflineStore {
         };
         self.tables.insert(
             name,
-            Table {
+            Arc::new(Table {
                 config,
                 time_idx,
                 partitions: BTreeMap::new(),
                 rows: 0,
-            },
+            }),
         );
         Ok(())
     }
@@ -207,12 +224,17 @@ impl OfflineStore {
     fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(|t| t.as_ref())
             .ok_or_else(|| FsError::not_found("table", name.to_string()))
     }
 
+    /// Copy-on-write access to a table: if a published snapshot still shares
+    /// this table's `Arc`, `make_mut` clones it first so the snapshot is
+    /// never disturbed.
     fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| FsError::not_found("table", name.to_string()))
     }
 
@@ -235,11 +257,16 @@ impl OfflineStore {
         let schema = t.config.schema.clone();
         let seg_rows = t.config.segment_rows;
         let part = t.partitions.entry(date).or_default();
-        let builder = part.open.get_or_insert_with(|| SegmentBuilder::new(schema));
+        // Copy-on-write: if a snapshot still shares the open builder, clone
+        // it (cost bounded by `segment_rows`) before mutating.
+        let builder = Arc::make_mut(
+            part.open
+                .get_or_insert_with(|| Arc::new(SegmentBuilder::new(schema))),
+        );
         builder.push_row(row)?;
         if builder.num_rows() >= seg_rows {
-            let sealed = part.open.take().unwrap().finish()?;
-            part.sealed.push(sealed);
+            let sealed = take_builder(part.open.take().unwrap()).finish()?;
+            part.sealed.push(Arc::new(sealed));
         }
         t.rows += 1;
         Ok(())
@@ -262,7 +289,7 @@ impl OfflineStore {
                 if b.is_empty() {
                     continue;
                 }
-                part.sealed.push(b.finish()?);
+                part.sealed.push(Arc::new(take_builder(b).finish()?));
             }
         }
         Ok(())

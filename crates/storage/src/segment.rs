@@ -87,7 +87,11 @@ impl Segment {
 }
 
 /// Accumulates rows and seals them into a [`Segment`].
-#[derive(Debug)]
+///
+/// `Clone` exists for the offline store's copy-on-write publication: a
+/// snapshot may share the open builder with the writer, which then clones it
+/// before mutating (cost bounded by the table's `segment_rows`).
+#[derive(Debug, Clone)]
 pub struct SegmentBuilder {
     schema: Schema,
     columns: Vec<Column>,

@@ -5,8 +5,7 @@
 use crate::aggregator::{StreamAggregator, WindowEmit};
 use crate::event::Event;
 use fstore_common::{FieldDef, Result, Schema, Value, ValueType};
-use fstore_storage::{OfflineStore, OnlineStore, TableConfig};
-use parking_lot::Mutex;
+use fstore_storage::{OfflineDb, OnlineStore, TableConfig};
 use std::sync::Arc;
 
 /// Schema of the offline log every streaming feature writes to.
@@ -43,7 +42,7 @@ pub struct StreamPipeline {
     group: String,
     log_table: String,
     online: Arc<OnlineStore>,
-    offline: Arc<Mutex<OfflineStore>>,
+    offline: OfflineDb,
     report: StreamPipelineReport,
 }
 
@@ -52,17 +51,19 @@ impl StreamPipeline {
         aggregator: StreamAggregator,
         group: impl Into<String>,
         online: Arc<OnlineStore>,
-        offline: Arc<Mutex<OfflineStore>>,
+        offline: OfflineDb,
     ) -> Result<Self> {
         let log_table = format!("stream_log_{}", aggregator.feature());
-        {
-            let mut off = offline.lock();
-            if !off.has_table(&log_table) {
+        if !offline.snapshot().has_table(&log_table) {
+            offline.write(|off| {
+                if off.has_table(&log_table) {
+                    return Ok(());
+                }
                 off.create_table(
                     &log_table,
                     TableConfig::new(stream_log_schema()).with_time_column("window_end"),
-                )?;
-            }
+                )
+            })?;
         }
         Ok(StreamPipeline {
             aggregator,
@@ -103,7 +104,6 @@ impl StreamPipeline {
         if emits.is_empty() {
             return Ok(());
         }
-        let mut off = self.offline.lock();
         for e in emits {
             self.online.put(
                 &self.group,
@@ -113,19 +113,26 @@ impl StreamPipeline {
                 e.window_end,
             );
             self.report.online_writes += 1;
-            off.append(
-                &self.log_table,
-                &[
-                    Value::Str(e.entity.as_str().to_string()),
-                    Value::Timestamp(e.window_start),
-                    Value::Timestamp(e.window_end),
-                    e.value.clone(),
-                    Value::Int(e.events as i64),
-                ],
-            )?;
-            self.report.offline_rows += 1;
-            self.report.windows_emitted += 1;
         }
+        // One publication per emit batch: readers see either none or all of
+        // this batch's log rows.
+        self.offline.write(|off| {
+            for e in emits {
+                off.append(
+                    &self.log_table,
+                    &[
+                        Value::Str(e.entity.as_str().to_string()),
+                        Value::Timestamp(e.window_start),
+                        Value::Timestamp(e.window_end),
+                        e.value.clone(),
+                        Value::Int(e.events as i64),
+                    ],
+                )?;
+            }
+            Ok(())
+        })?;
+        self.report.offline_rows += emits.len() as u64;
+        self.report.windows_emitted += emits.len() as u64;
         Ok(())
     }
 }
@@ -154,7 +161,7 @@ mod tests {
             agg,
             "user",
             Arc::new(OnlineStore::default()),
-            Arc::new(Mutex::new(OfflineStore::new())),
+            OfflineDb::new(),
         )
         .unwrap()
     }
@@ -177,7 +184,7 @@ mod tests {
         assert_eq!(e.written_at, ms(60_000));
 
         // offline: one log row
-        let off = p.offline.lock();
+        let off = p.offline.snapshot();
         let res = off
             .scan("stream_log_trip_count_1m", &ScanRequest::all())
             .unwrap();
@@ -224,7 +231,7 @@ mod tests {
     #[test]
     fn reuses_existing_log_table() {
         let online = Arc::new(OnlineStore::default());
-        let offline = Arc::new(Mutex::new(OfflineStore::new()));
+        let offline = OfflineDb::new();
         let mk = || {
             StreamAggregator::new(
                 "f",
@@ -234,8 +241,7 @@ mod tests {
             )
             .unwrap()
         };
-        let _p1 =
-            StreamPipeline::new(mk(), "g", Arc::clone(&online), Arc::clone(&offline)).unwrap();
+        let _p1 = StreamPipeline::new(mk(), "g", Arc::clone(&online), offline.clone()).unwrap();
         // second pipeline on the same feature shares the log table
         let _p2 = StreamPipeline::new(mk(), "g", online, offline).unwrap();
     }

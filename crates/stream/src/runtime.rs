@@ -101,13 +101,12 @@ mod tests {
     use crate::window::WindowSpec;
     use fstore_common::{Duration, EntityKey, Timestamp, Value};
     use fstore_query::AggFunc;
-    use fstore_storage::{OfflineStore, OnlineStore};
-    use parking_lot::Mutex;
+    use fstore_storage::{OfflineDb, OnlineStore};
     use std::sync::Arc;
 
     fn make_pipeline(
         online: &Arc<OnlineStore>,
-        offline: &Arc<Mutex<OfflineStore>>,
+        offline: &OfflineDb,
         feature: &str,
     ) -> StreamPipeline {
         let agg = StreamAggregator::new(
@@ -117,13 +116,13 @@ mod tests {
             Duration::ZERO,
         )
         .unwrap();
-        StreamPipeline::new(agg, "user", Arc::clone(online), Arc::clone(offline)).unwrap()
+        StreamPipeline::new(agg, "user", Arc::clone(online), offline.clone()).unwrap()
     }
 
     #[test]
     fn runtime_drains_flushes_and_reports() {
         let online = Arc::new(OnlineStore::default());
-        let offline = Arc::new(Mutex::new(OfflineStore::new()));
+        let offline = OfflineDb::new();
         let pipeline = make_pipeline(&online, &offline, "clicks_1m");
         let rt = StreamRuntime::spawn(pipeline, 64);
 
@@ -150,7 +149,7 @@ mod tests {
     #[test]
     fn shutdown_with_live_external_senders_does_not_hang() {
         let online = Arc::new(OnlineStore::default());
-        let offline = Arc::new(Mutex::new(OfflineStore::new()));
+        let offline = OfflineDb::new();
         let pipeline = make_pipeline(&online, &offline, "f");
         let rt = StreamRuntime::spawn(pipeline, 4);
         // an external producer handle that outlives the runtime
@@ -165,7 +164,7 @@ mod tests {
     #[test]
     fn queued_events_survive_shutdown() {
         let online = Arc::new(OnlineStore::default());
-        let offline = Arc::new(Mutex::new(OfflineStore::new()));
+        let offline = OfflineDb::new();
         let pipeline = make_pipeline(&online, &offline, "g");
         let rt = StreamRuntime::spawn(pipeline, 64);
         for i in 0..10 {

@@ -107,18 +107,16 @@ fn main() -> Result<()> {
     // 3. Warehouse snapshot → disaster → restore → identical training set
     // ------------------------------------------------------------------
     println!("\n== offline snapshot & restore ==");
-    let offline = fs.offline();
-    let snapshot = {
-        let off = offline.lock();
-        off.snapshot_json()?
-    };
-    println!("    snapshot: {} bytes covering {:?}", snapshot.len(), {
-        let off = offline.lock();
+    let off = fs.offline_snapshot();
+    let snapshot = off.snapshot_json()?;
+    println!(
+        "    snapshot: {} bytes covering {:?}",
+        snapshot.len(),
         off.table_names()
             .iter()
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
-    });
+    );
     // "disaster": a brand-new process restores the warehouse…
     let restored = OfflineStore::from_snapshot_json(&snapshot)?;
     // …and rebuilds the exact same PIT training set from the pins.

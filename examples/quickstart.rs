@@ -123,10 +123,10 @@ fn main() -> Result<()> {
     // Stage 3 — Model Maintenance & Monitoring
     // ------------------------------------------------------------------
     println!("\n[3] Model Maintenance & Monitoring");
-    let offline = fs.offline();
     let online = fs.online();
     let report = {
-        let off = offline.lock();
+        // one immutable snapshot of the warehouse; no lock held while scanning
+        let off = fs.offline_snapshot();
         skew_report(
             &off,
             &online,

@@ -14,7 +14,6 @@ use fstore::core::quality::ColumnProfile;
 use fstore::core::quality::{FeatureQualityReport, QualityThresholds};
 use fstore::monitor::drift::DriftThresholds;
 use fstore::prelude::*;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn main() -> Result<()> {
@@ -23,14 +22,14 @@ fn main() -> Result<()> {
     // ------------------------------------------------------------------
     println!("== streaming features ==");
     let online = Arc::new(OnlineStore::default());
-    let offline = Arc::new(Mutex::new(OfflineStore::new()));
+    let offline = OfflineDb::new();
     let agg = StreamAggregator::new(
         "trips_15m",
         AggFunc::Count,
         WindowSpec::sliding(Duration::minutes(15), Duration::minutes(5)),
         Duration::minutes(1),
     )?;
-    let pipeline = StreamPipeline::new(agg, "driver", Arc::clone(&online), Arc::clone(&offline))?;
+    let pipeline = StreamPipeline::new(agg, "driver", Arc::clone(&online), offline.clone())?;
     let rt = StreamRuntime::spawn(pipeline, 256);
 
     let mut rng = Xoshiro256::seeded(42);
@@ -55,8 +54,7 @@ fn main() -> Result<()> {
     // 2. PIT vs naive join: a feature that drifts upward over time
     // ------------------------------------------------------------------
     println!("\n== point-in-time join vs naive latest join ==");
-    {
-        let mut off = offline.lock();
+    offline.write(|off| {
         off.create_table(
             "feat__driver_rating_v1",
             TableConfig::new(
@@ -83,7 +81,8 @@ fn main() -> Result<()> {
                 )?;
             }
         }
-    }
+        Ok(())
+    })?;
     // labels live at day 10; "future" ratings exist up to day 29
     let labels: Vec<LabelEvent> = (0..40)
         .map(|d| {
@@ -95,7 +94,7 @@ fn main() -> Result<()> {
         })
         .collect();
     let feats = [PitFeature::materialized("driver_rating", 1)];
-    let off = offline.lock();
+    let off = offline.snapshot();
     let pit = point_in_time_join(&off, &labels, &feats)?;
     let naive = naive_latest_join(&off, &labels, &feats)?;
     let mean = |ts: &fstore::core::TrainingSet| {

@@ -68,8 +68,8 @@ pub use fstore_stream as stream;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use fstore_common::{
-        Date, Duration, EntityKey, FieldDef, FsError, Result, Rng, Schema, SimClock, Timestamp,
-        Value, ValueType, Xoshiro256, Zipf,
+        Date, Duration, EntityKey, FieldDef, FsError, ReadEpoch, Result, Rng, Schema, SimClock,
+        SnapshotCell, Timestamp, Value, ValueType, Xoshiro256, Zipf,
     };
     pub use fstore_core::{
         naive_latest_join, point_in_time_join, FeatureServer, FeatureSpec, FeatureStore,
@@ -77,7 +77,7 @@ pub mod prelude {
         StalenessPolicy,
     };
     pub use fstore_embed::{
-        eigenspace_overlap, knn_overlap, semantic_displacement, Corpus, CorpusConfig,
+        eigenspace_overlap, knn_overlap, semantic_displacement, Corpus, CorpusConfig, EmbeddingDb,
         EmbeddingStore, EmbeddingTable, KgSgnsConfig, PcaModel, PpmiConfig, QuantizedTable,
         SgnsConfig,
     };
@@ -99,7 +99,7 @@ pub mod prelude {
         ServingMetrics, WireVector,
     };
     pub use fstore_storage::{
-        CmpOp, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
+        CmpOp, OfflineDb, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
     };
     pub use fstore_stream::{Event, StreamAggregator, StreamPipeline, StreamRuntime, WindowSpec};
 }

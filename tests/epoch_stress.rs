@@ -1,0 +1,237 @@
+//! Multi-threaded stress tests for the epoch-versioned read path.
+//!
+//! Two scenarios the concurrency model (DESIGN.md) must survive:
+//!
+//! 1. offline scans and PIT joins running concurrently with continuous
+//!    materialization — every reader resolves one snapshot and must see
+//!    each materialization run either completely or not at all (no torn
+//!    reads), with the publication epoch monotone across reads;
+//! 2. embedding lookups over real sockets while the table is republished
+//!    repeatedly — every response must carry a vector, version, and epoch
+//!    from one consistent snapshot.
+
+use fstore::embed::EmbeddingProvenance;
+use fstore::prelude::*;
+use fstore::serve::{fixed_clock, start};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const ENTITIES: usize = 20;
+
+#[test]
+fn offline_scans_and_pit_joins_survive_continuous_materialization() {
+    let mut fs = FeatureStore::new(Timestamp::EPOCH);
+    fs.create_source_table(
+        "trips",
+        TableConfig::new(Schema::of(&[
+            ("user_id", ValueType::Str),
+            ("ts", ValueType::Timestamp),
+            ("fare", ValueType::Float),
+        ]))
+        .with_time_column("ts"),
+    )
+    .unwrap();
+    let seed_rows: Vec<Vec<Value>> = (0..ENTITIES)
+        .map(|u| {
+            vec![
+                Value::from(format!("u{u}")),
+                Value::Timestamp(Timestamp::millis(u as i64)),
+                Value::Float(u as f64),
+            ]
+        })
+        .collect();
+    fs.ingest("trips", &seed_rows).unwrap();
+    fs.publish(
+        FeatureSpec::new("last_fare", "user_id", "trips", "fare").cadence(Duration::hours(1)),
+    )
+    .unwrap();
+
+    let offline = fs.offline();
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let db = offline.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut last_epoch = ReadEpoch::ZERO;
+                let mut reads = 0u64;
+                let labels: Vec<LabelEvent> = (0..ENTITIES)
+                    .map(|u| LabelEvent::new(format!("u{u}"), Timestamp::millis(1 << 40), 1.0))
+                    .collect();
+                let feats = [PitFeature::materialized("last_fare", 1)];
+                while !done.load(Ordering::Relaxed) || reads == 0 {
+                    let view = db.read();
+                    assert!(
+                        view.epoch >= last_epoch,
+                        "reader {r}: epoch went backwards ({:?} after {last_epoch:?})",
+                        view.epoch
+                    );
+                    last_epoch = view.epoch;
+                    if !view.value.has_table("feat__last_fare_v1") {
+                        continue;
+                    }
+                    // Each materialization run publishes atomically, so in
+                    // any snapshot every run timestamp carries one row per
+                    // entity — a partial run is a torn read.
+                    let ts_col = view
+                        .value
+                        .column_values("feat__last_fare_v1", "ts", &ScanRequest::all())
+                        .unwrap();
+                    let mut per_run = std::collections::BTreeMap::new();
+                    for ts in &ts_col {
+                        let Value::Timestamp(t) = ts else {
+                            panic!("reader {r}: non-timestamp in ts column: {ts:?}")
+                        };
+                        *per_run.entry(*t).or_insert(0usize) += 1;
+                    }
+                    for (ts, n) in &per_run {
+                        assert_eq!(
+                            *n, ENTITIES,
+                            "reader {r}: torn read — run at {ts:?} has {n} of {ENTITIES} rows"
+                        );
+                    }
+                    // And a PIT join over the same snapshot is complete.
+                    let pit = point_in_time_join(&view.value, &labels, &feats).unwrap();
+                    assert_eq!(pit.rows.len(), ENTITIES);
+                    reads += 1;
+                }
+                (reads, last_epoch)
+            })
+        })
+        .collect();
+
+    // Writer: keep ingesting fresh fares and re-materializing on cadence.
+    let mut now = Timestamp::EPOCH;
+    for step in 0..12i64 {
+        now += Duration::minutes(10);
+        let rows: Vec<Vec<Value>> = (0..ENTITIES)
+            .map(|u| {
+                vec![
+                    Value::from(format!("u{u}")),
+                    Value::Timestamp(now),
+                    Value::Float(step as f64 * 100.0 + u as f64),
+                ]
+            })
+            .collect();
+        fs.ingest("trips", &rows).unwrap();
+        fs.advance(Duration::hours(1)).unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let final_epoch = offline.epoch();
+    for t in readers {
+        let (reads, seen) = t.join().unwrap();
+        assert!(reads > 0, "every reader completed at least one full pass");
+        assert!(seen <= final_epoch);
+    }
+    // 12 ingests + 12 materialization runs all published.
+    assert!(
+        final_epoch.as_u64() >= 24,
+        "expected at least 24 publications, saw {final_epoch:?}"
+    );
+}
+
+#[test]
+fn embedding_reads_stay_consistent_under_republish() {
+    const DIM: usize = 4;
+    const KEYS: usize = 10;
+    const VERSIONS: u32 = 20;
+
+    // Version v's table holds vectors whose every element is v, so a torn
+    // read (mixing two versions) or a version/vector mismatch is detectable
+    // from a single response.
+    fn table_for(version: u32) -> EmbeddingTable {
+        let mut t = EmbeddingTable::new(DIM).unwrap();
+        for k in 0..KEYS {
+            t.insert(format!("k{k}"), vec![version as f32; DIM])
+                .unwrap();
+        }
+        t
+    }
+
+    let db = EmbeddingDb::new();
+    db.publish(
+        "emb",
+        table_for(1),
+        EmbeddingProvenance::default(),
+        Timestamp::EPOCH,
+    )
+    .unwrap();
+
+    let engine = ServeEngine::new(
+        fstore::core::FeatureServer::new(Arc::new(OnlineStore::default())),
+        fixed_clock(Timestamp::EPOCH),
+    )
+    .with_embeddings(db.clone());
+    let handle = start(
+        engine,
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut client = FeatureClient::connect(addr).unwrap();
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                while !done.load(Ordering::Relaxed) || reads == 0 {
+                    let key = format!("k{}", reads as usize % KEYS);
+                    let got = client.get_embedding("emb", &key).unwrap();
+                    let want = got.version as f32;
+                    assert!(
+                        got.vector.iter().all(|&x| x == want),
+                        "client {c}: torn read — version {} but vector {:?}",
+                        got.version,
+                        got.vector
+                    );
+                    // Publishing through the db bumps version and epoch in
+                    // lockstep from 1, so a consistent response has equal
+                    // counters; a mismatch means the vector and the epoch
+                    // came from different snapshots.
+                    assert_eq!(
+                        got.epoch,
+                        u64::from(got.version),
+                        "client {c}: epoch and version from different snapshots"
+                    );
+                    assert!(
+                        got.epoch >= last_epoch,
+                        "client {c}: epoch went backwards ({} after {last_epoch})",
+                        got.epoch
+                    );
+                    last_epoch = got.epoch;
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Writer: republish the table 19 more times while clients hammer it.
+    for v in 2..=VERSIONS {
+        db.publish(
+            "emb",
+            table_for(v),
+            EmbeddingProvenance::default(),
+            Timestamp::millis(i64::from(v)),
+        )
+        .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    done.store(true, Ordering::Relaxed);
+
+    for t in clients {
+        assert!(t.join().unwrap() > 0);
+    }
+    assert_eq!(db.epoch(), ReadEpoch(u64::from(VERSIONS)));
+    let snap = db.snapshot();
+    assert_eq!(snap.latest("emb").unwrap().version, VERSIONS);
+    handle.shutdown();
+}

@@ -115,10 +115,10 @@ fn full_pipeline_ingest_to_monitoring() {
     let _pred = model.predict(&served.dense(0.0)).unwrap();
 
     // --- monitoring: skew is quiet on the healthy system ---
-    let offline = fs.offline();
     let online = fs.online();
     {
-        let off = offline.lock();
+        // lock-free monitoring read: one immutable snapshot of the offline db
+        let off = fs.offline_snapshot();
         let report = skew_report(
             &off,
             &online,
@@ -152,9 +152,8 @@ fn full_pipeline_ingest_to_monitoring() {
     fs.advance(Duration::hours(2)).unwrap();
 
     // null-spike detector fires on the source column…
-    let offline = fs.offline();
     let (reference, live) = {
-        let off = offline.lock();
+        let off = fs.offline_snapshot();
         let all = off
             .column_values("trips", "distance_km", &fstore::storage::ScanRequest::all())
             .unwrap();
@@ -185,40 +184,40 @@ fn pit_prevents_leakage_that_naive_join_suffers() {
     // Feature whose value drifts upward over time; labels placed mid-history.
     let fs = FeatureStore::new(Timestamp::EPOCH);
     let offline = fs.offline();
-    {
-        let mut off = offline.lock();
-        off.create_table(
-            "feat__score_v1",
-            TableConfig::new(
-                Schema::new(vec![
-                    FieldDef::not_null("entity", ValueType::Str),
-                    FieldDef::not_null("ts", ValueType::Timestamp),
-                    FieldDef::new("value", ValueType::Float),
-                ])
-                .unwrap(),
-            )
-            .with_time_column("ts"),
-        )
-        .unwrap();
-        for day in 0..20 {
-            for u in 0..30 {
-                off.append(
-                    "feat__score_v1",
-                    &[
-                        Value::from(format!("u{u}")),
-                        Value::Timestamp(Date::from_days(day).start()),
-                        Value::Float(day as f64), // strictly increasing
-                    ],
+    offline
+        .write(|off| {
+            off.create_table(
+                "feat__score_v1",
+                TableConfig::new(
+                    Schema::new(vec![
+                        FieldDef::not_null("entity", ValueType::Str),
+                        FieldDef::not_null("ts", ValueType::Timestamp),
+                        FieldDef::new("value", ValueType::Float),
+                    ])
+                    .unwrap(),
                 )
-                .unwrap();
+                .with_time_column("ts"),
+            )?;
+            for day in 0..20 {
+                for u in 0..30 {
+                    off.append(
+                        "feat__score_v1",
+                        &[
+                            Value::from(format!("u{u}")),
+                            Value::Timestamp(Date::from_days(day).start()),
+                            Value::Float(day as f64), // strictly increasing
+                        ],
+                    )?;
+                }
             }
-        }
-    }
+            Ok(())
+        })
+        .unwrap();
     let labels: Vec<LabelEvent> = (0..30)
         .map(|u| LabelEvent::new(format!("u{u}"), Date::from_days(10).start(), 1.0))
         .collect();
     let feats = [PitFeature::materialized("score", 1)];
-    let off = offline.lock();
+    let off = offline.snapshot();
     let pit = point_in_time_join(&off, &labels, &feats).unwrap();
     let naive = naive_latest_join(&off, &labels, &feats).unwrap();
     for row in &pit.rows {
@@ -235,11 +234,10 @@ fn pit_prevents_leakage_that_naive_join_suffers() {
 
 #[test]
 fn streaming_features_flow_into_training_sets() {
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     let online = Arc::new(OnlineStore::default());
-    let offline = Arc::new(Mutex::new(OfflineStore::new()));
+    let offline = OfflineDb::new();
     let agg = StreamAggregator::new(
         "clicks_1h",
         AggFunc::Count,
@@ -248,7 +246,7 @@ fn streaming_features_flow_into_training_sets() {
     )
     .unwrap();
     let mut pipeline =
-        StreamPipeline::new(agg, "user", Arc::clone(&online), Arc::clone(&offline)).unwrap();
+        StreamPipeline::new(agg, "user", Arc::clone(&online), offline.clone()).unwrap();
 
     for hour in 0..5i64 {
         for i in 0..=hour {
@@ -264,7 +262,7 @@ fn streaming_features_flow_into_training_sets() {
     pipeline.flush().unwrap();
 
     // The offline log of the stream is PIT-joinable like any feature table.
-    let off = offline.lock();
+    let off = offline.snapshot();
     let labels = vec![
         LabelEvent::new("u1", Timestamp::EPOCH + Duration::hours(3), 1.0),
         LabelEvent::new("u1", Timestamp::EPOCH + Duration::hours(5), 0.0),
