@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E16 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E17 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -18,6 +18,7 @@ pub mod e13_version_alignment;
 pub mod e14_network_serving;
 pub mod e15_ann_serving;
 pub mod e16_epoch_reads;
+pub mod e17_replication;
 
 use fstore_common::Result;
 
@@ -111,6 +112,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E16 Epoch snapshot reads vs locks under republish (§2.2.2, §4)",
             run: e16_epoch_reads::run,
         },
+        Experiment {
+            id: "e17",
+            title: "E17 Snapshot replication with epoch-consistent followers (§4)",
+            run: e17_replication::run,
+        },
     ]
 }
 
@@ -136,10 +142,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 16);
+        assert_eq!(exps.len(), 17);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 }

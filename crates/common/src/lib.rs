@@ -12,6 +12,7 @@
 
 pub mod error;
 pub mod hash;
+pub mod repl;
 pub mod rng;
 pub mod schema;
 pub mod snapshot;
@@ -20,8 +21,9 @@ pub mod time;
 pub mod value;
 
 pub use error::{FsError, Result};
+pub use repl::{ComponentKind, DeltaQuery, DeltaRecord, PubLog, DEFAULT_LOG_RETENTION};
 pub use rng::{Rng, SplitMix64, Xoshiro256, Zipf};
 pub use schema::{FieldDef, Schema};
-pub use snapshot::{ReadEpoch, SnapshotCell, Versioned};
+pub use snapshot::{EpochRing, ReadEpoch, SnapshotCell, Versioned};
 pub use time::{Date, Duration, SimClock, Timestamp};
 pub use value::{EntityKey, Value, ValueType};

@@ -1,0 +1,277 @@
+//! Replication substrate: epoch-tagged publication deltas and the leader's
+//! bounded publication log.
+//!
+//! Every [`SnapshotCell`](crate::SnapshotCell) publication on a leader is
+//! recorded as a [`DeltaRecord`] — which component published, the component
+//! epoch the publication was stamped with, and a component-defined serialized
+//! body describing what changed. Records live in a [`PubLog`]: an in-memory
+//! ring with a bounded retention window, keyed by a leader-wide monotone
+//! sequence number (the *replication epoch*). Followers replay records in
+//! sequence order; one that has lagged past the retention window is told so
+//! ([`DeltaQuery::Lagged`]) and re-bootstraps from a full snapshot instead.
+//!
+//! This module is deliberately payload-agnostic: bodies are opaque strings
+//! (JSON in practice), encoded and decoded by `fstore-repl`, so the bottom
+//! layer of the dependency graph stays free of storage/embedding types.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::EpochRing;
+
+/// Default number of delta records a [`PubLog`] retains.
+pub const DEFAULT_LOG_RETENTION: usize = 64;
+
+/// Which component a publication delta belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// The offline store (`OfflineDb` cell).
+    Offline,
+    /// The embedding catalog (`EmbeddingDb` cell).
+    Embeddings,
+    /// The ANN index catalog (rebuild instructions, not index bytes).
+    Index,
+    /// The online KV store (per-row puts; no snapshot cell of its own).
+    Online,
+}
+
+impl ComponentKind {
+    /// Stable wire tag.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ComponentKind::Offline => 0,
+            ComponentKind::Embeddings => 1,
+            ComponentKind::Index => 2,
+            ComponentKind::Online => 3,
+        }
+    }
+
+    /// Inverse of [`as_u8`](Self::as_u8); `None` for unknown tags.
+    pub fn from_u8(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ComponentKind::Offline),
+            1 => Some(ComponentKind::Embeddings),
+            2 => Some(ComponentKind::Index),
+            3 => Some(ComponentKind::Online),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ComponentKind::Offline => "offline",
+            ComponentKind::Embeddings => "embeddings",
+            ComponentKind::Index => "index",
+            ComponentKind::Online => "online",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One publication, as recorded in the leader's log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRecord {
+    /// Leader-wide replication sequence number (first record is `1`).
+    pub seq: u64,
+    /// Component that published.
+    pub component: ComponentKind,
+    /// The component cell epoch this publication was stamped with (`0` for
+    /// [`ComponentKind::Online`], which has no cell). Followers install at
+    /// exactly this epoch so their responses echo the leader's.
+    pub component_epoch: u64,
+    /// Component-defined serialized payload (JSON).
+    pub body: String,
+}
+
+/// Answer to "give me everything after sequence number `from`".
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaQuery {
+    /// In-window: the records with `seq > from`, in order (empty = caught up).
+    Deltas(Vec<DeltaRecord>),
+    /// The caller lagged past the retention window — records it needs were
+    /// evicted. It must re-bootstrap from a full snapshot.
+    Lagged {
+        /// Oldest sequence number still retained.
+        oldest_retained: u64,
+    },
+}
+
+struct LogInner {
+    ring: EpochRing<DeltaRecord>,
+    next_seq: u64,
+}
+
+/// The leader's in-memory publication log: a bounded ring of the most recent
+/// [`DeltaRecord`]s (the same [`EpochRing`] the snapshot cells use for
+/// history retention).
+pub struct PubLog {
+    inner: Mutex<LogInner>,
+}
+
+impl PubLog {
+    /// An empty log retaining at most `retention` records (clamped to ≥ 1).
+    pub fn new(retention: usize) -> Self {
+        PubLog {
+            inner: Mutex::new(LogInner {
+                ring: EpochRing::new(retention),
+                next_seq: 1,
+            }),
+        }
+    }
+
+    /// The retention bound (number of records).
+    pub fn retention(&self) -> usize {
+        self.inner.lock().ring.capacity()
+    }
+
+    /// Record a publication, returning the sequence number it was assigned.
+    pub fn append(&self, component: ComponentKind, component_epoch: u64, body: String) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ring.push(
+            seq,
+            DeltaRecord {
+                seq,
+                component,
+                component_epoch,
+                body,
+            },
+        );
+        seq
+    }
+
+    /// Sequence number of the most recent record (`0` if none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().next_seq - 1
+    }
+
+    /// Oldest sequence number still retained (`next` if the log is empty —
+    /// i.e. nothing older than the next record survives).
+    pub fn oldest_retained(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.ring.oldest_key().unwrap_or(inner.next_seq)
+    }
+
+    /// Everything after sequence number `from`, or [`DeltaQuery::Lagged`] if
+    /// records in `(from, oldest_retained)` have been evicted.
+    pub fn since(&self, from: u64) -> DeltaQuery {
+        let inner = self.inner.lock();
+        let last = inner.next_seq - 1;
+        if from >= last {
+            return DeltaQuery::Deltas(Vec::new());
+        }
+        let oldest = inner.ring.oldest_key().unwrap_or(inner.next_seq);
+        if from + 1 < oldest {
+            return DeltaQuery::Lagged {
+                oldest_retained: oldest,
+            };
+        }
+        DeltaQuery::Deltas(
+            inner
+                .ring
+                .iter()
+                .filter(|(seq, _)| *seq > from)
+                .map(|(_, r)| r.clone())
+                .collect(),
+        )
+    }
+
+    /// Run `f` with the log frozen (no appends can interleave), passing the
+    /// current last sequence number. Full-snapshot capture uses this so the
+    /// snapshot's replication epoch and its contents stay consistent: any
+    /// publication that installs concurrently will be re-delivered as a delta
+    /// `> last_seq`, and applies are idempotent.
+    pub fn frozen<R>(&self, f: impl FnOnce(u64) -> R) -> R {
+        let inner = self.inner.lock();
+        f(inner.next_seq - 1)
+    }
+}
+
+impl fmt::Debug for PubLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PubLog")
+            .field("last_seq", &(inner.next_seq - 1))
+            .field("retained", &inner.ring.len())
+            .field("retention", &inner.ring.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotone_seqs_from_one() {
+        let log = PubLog::new(8);
+        assert_eq!(log.last_seq(), 0);
+        assert_eq!(log.oldest_retained(), 1);
+        assert_eq!(log.append(ComponentKind::Offline, 1, "a".into()), 1);
+        assert_eq!(log.append(ComponentKind::Embeddings, 1, "b".into()), 2);
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.oldest_retained(), 1);
+    }
+
+    #[test]
+    fn since_returns_tail_in_order() {
+        let log = PubLog::new(8);
+        for i in 0..5 {
+            log.append(ComponentKind::Online, 0, format!("{i}"));
+        }
+        match log.since(2) {
+            DeltaQuery::Deltas(d) => {
+                assert_eq!(d.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+                assert_eq!(d[0].body, "2");
+            }
+            q => panic!("unexpected {q:?}"),
+        }
+        assert_eq!(log.since(5), DeltaQuery::Deltas(Vec::new()));
+        assert_eq!(log.since(99), DeltaQuery::Deltas(Vec::new()));
+    }
+
+    #[test]
+    fn lagging_past_retention_is_reported() {
+        let log = PubLog::new(3);
+        for i in 0..10 {
+            log.append(ComponentKind::Offline, i, String::new());
+        }
+        // Records 8, 9, 10 retained; a follower at 5 can't catch up.
+        assert_eq!(log.oldest_retained(), 8);
+        assert_eq!(log.since(5), DeltaQuery::Lagged { oldest_retained: 8 });
+        // At 7 the needed records (8..=10) are all still present.
+        match log.since(7) {
+            DeltaQuery::Deltas(d) => assert_eq!(d.len(), 3),
+            q => panic!("unexpected {q:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_exposes_a_stable_last_seq() {
+        let log = PubLog::new(4);
+        log.append(ComponentKind::Index, 1, String::new());
+        let seen = log.frozen(|last| last);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn component_kind_tags_round_trip() {
+        for kind in [
+            ComponentKind::Offline,
+            ComponentKind::Embeddings,
+            ComponentKind::Index,
+            ComponentKind::Online,
+        ] {
+            assert_eq!(ComponentKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(ComponentKind::from_u8(42), None);
+    }
+}

@@ -15,12 +15,104 @@
 //! index catalog all share one concurrency model (see DESIGN.md
 //! "Concurrency model").
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+
+/// How many published snapshots a [`SnapshotCell`] retains by default (the
+/// current one plus recent history) for skew monitoring and replication
+/// catch-up. Configurable per cell via
+/// [`SnapshotCell::set_history_depth`].
+pub const DEFAULT_HISTORY_DEPTH: usize = 4;
+
+/// A bounded ring of the most recent entries keyed by a monotone `u64`
+/// (a [`ReadEpoch`] for snapshot history, a replication sequence number for
+/// the publication log — both uses share this one structure).
+///
+/// Pushing past capacity evicts the oldest entry; pushing an existing key
+/// replaces that entry in place, so at-least-once producers stay idempotent.
+#[derive(Debug, Clone)]
+pub struct EpochRing<V> {
+    cap: usize,
+    items: VecDeque<(u64, V)>,
+}
+
+impl<V> EpochRing<V> {
+    /// An empty ring retaining at most `cap` entries (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        EpochRing {
+            cap: cap.max(1),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Change the retention bound, evicting oldest entries if shrinking.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        while self.items.len() > self.cap {
+            self.items.pop_front();
+        }
+    }
+
+    /// Insert `value` under `key`. Keys must be pushed in non-decreasing
+    /// order; re-pushing the newest key replaces its value.
+    pub fn push(&mut self, key: u64, value: V) {
+        if let Some(back) = self.items.back_mut() {
+            debug_assert!(key >= back.0, "EpochRing keys must be monotone");
+            if back.0 == key {
+                back.1 = value;
+                return;
+            }
+        }
+        self.items.push_back((key, value));
+        while self.items.len() > self.cap {
+            self.items.pop_front();
+        }
+    }
+
+    /// The entry published under `key`, if still retained.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.items.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Newest retained entry.
+    pub fn latest(&self) -> Option<(u64, &V)> {
+        self.items.back().map(|(k, v)| (*k, v))
+    }
+
+    /// Key of the oldest retained entry.
+    pub fn oldest_key(&self) -> Option<u64> {
+        self.items.front().map(|(k, _)| *k)
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Oldest-to-newest iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.items.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+/// A callback fired after every publication into a [`SnapshotCell`], with the
+/// just-installed snapshot/epoch pair. Hooks run under the cell's writer
+/// mutex (publication order == callback order) and must not publish back into
+/// the same cell.
+pub type PublishHook<T> = Box<dyn Fn(&Versioned<T>) + Send + Sync>;
 
 /// A monotone publication counter. Epoch `0` is the state a cell was
 /// constructed with; every successful publication increments it by one.
@@ -100,6 +192,11 @@ pub struct SnapshotCell<T> {
     /// Mirror of the current epoch for lock-free [`epoch`](Self::epoch)
     /// queries; written only while holding the `current` write lock.
     epoch: AtomicU64,
+    /// Recent publications (including the current one), keyed by epoch, for
+    /// skew monitoring across epochs without re-materializing.
+    history: Mutex<EpochRing<Arc<T>>>,
+    /// Observer notified after each publication (replication taps in here).
+    hook: Mutex<Option<PublishHook<T>>>,
 }
 
 impl<T> SnapshotCell<T> {
@@ -110,6 +207,8 @@ impl<T> SnapshotCell<T> {
 
     /// Like [`new`](Self::new) but adopts an existing `Arc`.
     pub fn from_arc(value: Arc<T>) -> Self {
+        let mut history = EpochRing::new(DEFAULT_HISTORY_DEPTH);
+        history.push(0, Arc::clone(&value));
         SnapshotCell {
             current: RwLock::new(Versioned {
                 value,
@@ -117,6 +216,8 @@ impl<T> SnapshotCell<T> {
             }),
             writer: Mutex::new(()),
             epoch: AtomicU64::new(0),
+            history: Mutex::new(history),
+            hook: Mutex::new(None),
         }
     }
 
@@ -174,12 +275,89 @@ impl<T> SnapshotCell<T> {
         Ok((self.install(Arc::new(next)), out))
     }
 
+    /// How many publications the history ring retains.
+    pub fn history_depth(&self) -> usize {
+        self.history.lock().capacity()
+    }
+
+    /// Change the history ring's retention bound (oldest entries are evicted
+    /// when shrinking).
+    pub fn set_history_depth(&self, depth: usize) {
+        self.history.lock().set_capacity(depth);
+    }
+
+    /// The retained publications, oldest to newest (the newest entry is the
+    /// current snapshot). A skew monitor can diff "the epoch the trainer saw"
+    /// against "the epoch serving sees" without re-materializing either.
+    pub fn history(&self) -> Vec<Versioned<T>> {
+        self.history
+            .lock()
+            .iter()
+            .map(|(k, v)| Versioned {
+                value: Arc::clone(v),
+                epoch: ReadEpoch(k),
+            })
+            .collect()
+    }
+
+    /// Resolve the snapshot published at exactly `epoch`, if the history ring
+    /// still retains it.
+    pub fn at_epoch(&self, epoch: ReadEpoch) -> Option<Versioned<T>> {
+        self.history.lock().get(epoch.0).map(|v| Versioned {
+            value: Arc::clone(v),
+            epoch,
+        })
+    }
+
+    /// Install an observer fired after every publication (see
+    /// [`PublishHook`]). Replaces any previous hook.
+    pub fn set_publish_hook(&self, hook: impl Fn(&Versioned<T>) + Send + Sync + 'static) {
+        *self.hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Remove the publication observer, if any.
+    pub fn clear_publish_hook(&self) {
+        *self.hook.lock() = None;
+    }
+
+    /// Adopt `value` as the snapshot at `epoch` — the replication entry
+    /// point, where the epoch is dictated by the leader rather than minted
+    /// locally. Clamped so the cell's epoch never moves backwards; re-applying
+    /// the current epoch (at-least-once delivery) replaces the snapshot in
+    /// place. Returns the epoch actually installed.
+    pub fn restore(&self, value: T, epoch: ReadEpoch) -> ReadEpoch {
+        self.restore_arc(Arc::new(value), epoch)
+    }
+
+    /// Like [`restore`](Self::restore) but adopts an existing `Arc`.
+    pub fn restore_arc(&self, value: Arc<T>, epoch: ReadEpoch) -> ReadEpoch {
+        let _writer = self.writer.lock();
+        let epoch = epoch.max(self.current.read().epoch);
+        self.install_at(value, epoch)
+    }
+
     /// Swap in `value` at the next epoch. Caller must hold the writer mutex.
     fn install(&self, value: Arc<T>) -> ReadEpoch {
-        let mut cur = self.current.write();
-        let epoch = cur.epoch.next();
-        *cur = Versioned { value, epoch };
-        self.epoch.store(epoch.0, Ordering::Release);
+        let next = self.current.read().epoch.next();
+        self.install_at(value, next)
+    }
+
+    /// Swap in `value` stamped `epoch` (non-decreasing; caller must hold the
+    /// writer mutex), record it in the history ring, then fire the publish
+    /// hook after the `current` write guard is released.
+    fn install_at(&self, value: Arc<T>, epoch: ReadEpoch) -> ReadEpoch {
+        let installed = Versioned { value, epoch };
+        {
+            let mut cur = self.current.write();
+            *cur = installed.clone();
+            self.epoch.store(epoch.0, Ordering::Release);
+        }
+        self.history
+            .lock()
+            .push(epoch.0, Arc::clone(&installed.value));
+        if let Some(hook) = self.hook.lock().as_ref() {
+            hook(&installed);
+        }
         epoch
     }
 }
@@ -259,6 +437,78 @@ mod tests {
         let r: Result<_, &str> = cell.try_update(|cur, _| Ok((cur + 1, ())));
         assert_eq!(r.unwrap().0, ReadEpoch(1));
         assert_eq!(*cell.load(), 8);
+    }
+
+    #[test]
+    fn history_ring_retains_last_n_publications() {
+        let cell = SnapshotCell::new(0u32);
+        assert_eq!(cell.history_depth(), DEFAULT_HISTORY_DEPTH);
+        for v in 1..=6u32 {
+            cell.publish(v);
+        }
+        // Default depth 4: epochs 3..=6 retained, 0..=2 evicted.
+        let hist = cell.history();
+        assert_eq!(
+            hist.iter().map(|v| v.epoch.as_u64()).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        assert_eq!(*cell.at_epoch(ReadEpoch(4)).unwrap().value, 4);
+        assert!(cell.at_epoch(ReadEpoch(2)).is_none());
+
+        cell.set_history_depth(2);
+        assert_eq!(cell.history().len(), 2);
+        assert_eq!(cell.at_epoch(ReadEpoch(6)).map(|v| *v.value), Some(6));
+    }
+
+    #[test]
+    fn publish_hook_sees_every_publication_in_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let cell = SnapshotCell::new(0u64);
+        {
+            let seen = Arc::clone(&seen);
+            cell.set_publish_hook(move |v| seen.lock().push((v.epoch.as_u64(), *v.value)));
+        }
+        cell.publish(10);
+        cell.update(|cur, _| (cur + 1, ()));
+        assert_eq!(*seen.lock(), vec![(1, 10), (2, 11)]);
+
+        cell.clear_publish_hook();
+        cell.publish(99);
+        assert_eq!(seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn restore_installs_at_explicit_epoch_and_never_regresses() {
+        let cell = SnapshotCell::new(0u32);
+        assert_eq!(cell.restore(5, ReadEpoch(7)), ReadEpoch(7));
+        assert_eq!(cell.epoch(), ReadEpoch(7));
+        assert_eq!(*cell.load(), 5);
+        // Re-applying the same epoch (at-least-once) replaces in place.
+        assert_eq!(cell.restore(6, ReadEpoch(7)), ReadEpoch(7));
+        assert_eq!(*cell.load(), 6);
+        // A stale epoch is clamped to the current one, never backwards.
+        assert_eq!(cell.restore(9, ReadEpoch(3)), ReadEpoch(7));
+        assert_eq!(cell.epoch(), ReadEpoch(7));
+        assert_eq!(*cell.load(), 9);
+        // Ordinary publication resumes from the restored epoch.
+        assert_eq!(cell.publish(1), ReadEpoch(8));
+    }
+
+    #[test]
+    fn epoch_ring_replaces_same_key_and_evicts_oldest() {
+        let mut ring = EpochRing::new(3);
+        assert!(ring.is_empty());
+        for k in 1..=4u64 {
+            ring.push(k, k * 10);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.oldest_key(), Some(2));
+        assert_eq!(ring.get(1), None);
+        ring.push(4, 99);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.latest(), Some((4, &99)));
+        ring.set_capacity(1);
+        assert_eq!(ring.iter().map(|(k, _)| k).collect::<Vec<_>>(), vec![4]);
     }
 
     #[test]

@@ -103,6 +103,62 @@ impl EmbeddingDb {
             }
         }
     }
+
+    /// Observe every publication (replication taps in here; see
+    /// [`fstore_common::snapshot::PublishHook`]).
+    pub fn set_publish_hook(
+        &self,
+        hook: impl Fn(&Versioned<EmbeddingStore>) + Send + Sync + 'static,
+    ) {
+        self.inner.cell.set_publish_hook(hook);
+    }
+
+    /// Recent publications, oldest to newest (retention defaults to
+    /// [`fstore_common::snapshot::DEFAULT_HISTORY_DEPTH`]; see
+    /// [`set_history_depth`](Self::set_history_depth)).
+    pub fn history(&self) -> Vec<Versioned<EmbeddingStore>> {
+        self.inner.cell.history()
+    }
+
+    /// The snapshot published at exactly `epoch`, if still retained.
+    pub fn at_epoch(&self, epoch: ReadEpoch) -> Option<Versioned<EmbeddingStore>> {
+        self.inner.cell.at_epoch(epoch)
+    }
+
+    /// Change the history ring's retention bound.
+    pub fn set_history_depth(&self, depth: usize) {
+        self.inner.cell.set_history_depth(depth);
+    }
+
+    /// Replication: run a mutation and publish at the explicit
+    /// (leader-dictated) `epoch` so follower responses echo the leader's
+    /// epochs exactly. On `Err` the working copy rolls back and nothing is
+    /// published.
+    pub fn apply_replica<R>(
+        &self,
+        epoch: ReadEpoch,
+        f: impl FnOnce(&mut EmbeddingStore) -> Result<R>,
+    ) -> Result<R> {
+        let mut store = self.inner.writer.lock();
+        match f(&mut store) {
+            Ok(out) => {
+                self.inner.cell.restore(store.clone(), epoch);
+                Ok(out)
+            }
+            Err(e) => {
+                *store = (*self.inner.cell.load()).clone();
+                Err(e)
+            }
+        }
+    }
+
+    /// Replication: adopt `store` wholesale as the snapshot at `epoch`
+    /// (follower bootstrap / full-snapshot fallback).
+    pub fn restore(&self, store: EmbeddingStore, epoch: ReadEpoch) {
+        let mut writer = self.inner.writer.lock();
+        *writer = store.clone();
+        self.inner.cell.restore(store, epoch);
+    }
 }
 
 impl Default for EmbeddingDb {

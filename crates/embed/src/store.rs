@@ -270,6 +270,27 @@ impl EmbeddingStore {
             .ok_or_else(|| FsError::not_found("embedding", name.to_string()))
     }
 
+    /// Replication: adopt a fully formed version — exact version number,
+    /// timestamp, provenance, and consumer list — as shipped by a leader.
+    /// Replaces the version if it already exists (idempotent re-apply) and
+    /// keeps the per-name version list ordered.
+    pub fn install_version(&mut self, version: EmbeddingVersion) -> Result<()> {
+        if version.table.is_empty() {
+            return Err(FsError::Embedding(
+                "refusing to install an empty embedding".into(),
+            ));
+        }
+        let versions = self.embeddings.entry(version.name.clone()).or_default();
+        match versions.iter().position(|v| v.version >= version.version) {
+            Some(i) if versions[i].version == version.version => {
+                versions[i] = Arc::new(version);
+            }
+            Some(i) => versions.insert(i, Arc::new(version)),
+            None => versions.push(Arc::new(version)),
+        }
+        Ok(())
+    }
+
     /// Record that `model` consumes `name@vN` (lineage for E12).
     pub fn register_consumer(&mut self, qualified: &str, model: impl Into<String>) -> Result<()> {
         let (name, version) = parse_qualified(qualified)?;
@@ -428,6 +449,38 @@ mod tests {
             store.register_consumer("ent", "m").is_err(),
             "must pin a version"
         );
+    }
+
+    #[test]
+    fn install_version_upserts_in_order() {
+        let mut store = EmbeddingStore::new();
+        let v = |n: u32, val: f32| EmbeddingVersion {
+            name: "e".into(),
+            version: n,
+            created_at: Timestamp::millis(i64::from(n)),
+            provenance: EmbeddingProvenance::default(),
+            table: table(&[("a", vec![val])]),
+            consumers: vec![format!("m{n}")],
+        };
+        store.install_version(v(2, 2.0)).unwrap();
+        store.install_version(v(1, 1.0)).unwrap();
+        assert_eq!(store.versions_of("e").unwrap(), vec![1, 2]);
+        assert_eq!(store.latest("e").unwrap().version, 2);
+        assert_eq!(store.consumers("e@v2").unwrap(), ["m2"]);
+        // Re-install replaces in place (at-least-once replay).
+        store.install_version(v(2, 9.0)).unwrap();
+        assert_eq!(store.versions_of("e").unwrap(), vec![1, 2]);
+        assert_eq!(store.latest("e").unwrap().table.get("a"), Some(&[9.0][..]));
+        // Ordinary publication continues after the installed versions.
+        let q = store
+            .publish(
+                "e",
+                table(&[("a", vec![3.0])]),
+                EmbeddingProvenance::default(),
+                Timestamp::millis(3),
+            )
+            .unwrap();
+        assert_eq!(q, "e@v3");
     }
 
     #[test]

@@ -5,11 +5,12 @@
 use crate::flat::FlatIndex;
 use crate::{check_query, l2_sq, Hit, SearchParams, VectorIndex};
 use fstore_common::{FsError, Result, Rng, Xoshiro256};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// HNSW build/search parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HnswConfig {
     /// Max neighbours per node in upper layers (base layer gets 2·M).
     pub m: usize,

@@ -6,9 +6,10 @@ use crate::flat::FlatIndex;
 use crate::kmeans::kmeans;
 use crate::{check_query, l2_sq, Hit, SearchParams, VectorIndex};
 use fstore_common::{FsError, Result};
+use serde::{Deserialize, Serialize};
 
 /// IVF build/search parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IvfConfig {
     /// Number of k-means cells.
     pub nlist: usize,

@@ -5,7 +5,7 @@
 //! of rows without per-row type errors.
 
 use crate::ast::{BinOp, Expr, UnOp};
-use fstore_common::{FsError, Result, Schema, Value, ValueType};
+use fstore_common::{FsError, Result, Schema, ValueType};
 
 /// The inferred type of an expression. `None` means "untyped null" (the
 /// literal `NULL`), which unifies with anything.
@@ -258,9 +258,6 @@ fn comparable(a: InferredType, b: InferredType) -> bool {
 pub fn infer_literal_type(expr: &Expr) -> Result<InferredType> {
     infer_type(expr, &Schema::of(&[]))
 }
-
-#[allow(dead_code)]
-fn _assert_value_unused(_: &Value) {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,364 @@
+//! The follower runtime: bootstrap from a full snapshot, then replay
+//! epoch-tagged deltas into local snapshot cells.
+//!
+//! A follower owns its own copies of the four components and keeps them
+//! converged with a leader over the ordinary wire protocol — replication
+//! needs no second transport. Its lifecycle:
+//!
+//! 1. [`Follower::bootstrap`] pulls a [`FullSnapshot`] and installs every
+//!    component at the leader's component epoch.
+//! 2. [`Follower::sync_once`] (or the [`SyncHandle`] loop from
+//!    [`Follower::start_sync`]) polls `ReplDeltas { from: applied }` and
+//!    applies records in sequence order, each at its leader-dictated
+//!    component epoch — so every response the follower serves echoes an
+//!    epoch the leader actually published.
+//! 3. A follower that lagged past the leader's retention window is told so
+//!    (`lagged`) and recovers by re-pulling a full snapshot; the fallback
+//!    is counted and exported through [`ServingMetrics`].
+//!
+//! [`FullSnapshot`]: crate::codec::FullSnapshot
+
+use crate::codec::{self, EmbeddingsDelta, FullSnapshot, IndexDelta, OfflineDelta, OnlineDelta};
+use fstore_common::{ComponentKind, DeltaRecord, FsError, ReadEpoch, Result};
+use fstore_core::FeatureServer;
+use fstore_embed::{EmbeddingDb, EmbeddingStore};
+use fstore_serve::{Clock, FeatureClient, IndexCatalog, ServeEngine, ServingMetrics};
+use fstore_storage::{OfflineDb, OfflineStore, OnlineStore};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What one [`Follower::sync_once`] round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Deltas applied this round.
+    pub applied: usize,
+    /// The round recovered from lag by re-pulling a full snapshot.
+    pub resynced: bool,
+    /// The leader's replication epoch when it answered.
+    pub leader_epoch: u64,
+    /// `leader_epoch - applied_epoch` after the round.
+    pub lag: u64,
+}
+
+/// A replica of one leader's serving state.
+pub struct Follower {
+    leader_addr: String,
+    offline: OfflineDb,
+    online: Arc<OnlineStore>,
+    embeddings: EmbeddingDb,
+    indexes: Arc<IndexCatalog>,
+    /// Replication epoch of the last applied delta (or bootstrap snapshot).
+    applied: AtomicU64,
+    /// The leader's replication epoch as of the last exchange.
+    leader_epoch: AtomicU64,
+    /// Times this follower fell past retention and re-bootstrapped.
+    fallbacks: AtomicU64,
+    metrics: Mutex<Option<Arc<ServingMetrics>>>,
+}
+
+impl Follower {
+    /// Connect to a leader and bootstrap from a full snapshot.
+    pub fn bootstrap(leader_addr: impl Into<String>) -> Result<Follower> {
+        let leader_addr = leader_addr.into();
+        let embeddings = EmbeddingDb::new();
+        let follower = Follower {
+            leader_addr,
+            offline: OfflineDb::new(),
+            online: Arc::new(OnlineStore::default()),
+            indexes: Arc::new(IndexCatalog::new(embeddings.clone())),
+            embeddings,
+            applied: AtomicU64::new(0),
+            leader_epoch: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        };
+        let mut client = follower.connect()?;
+        follower.pull_full_snapshot(&mut client)?;
+        Ok(follower)
+    }
+
+    /// Open a fresh connection to the leader (sync loops reuse one; callers
+    /// doing manual rounds can too).
+    pub fn connect(&self) -> Result<FeatureClient> {
+        FeatureClient::connect(&self.leader_addr)
+            .map_err(|e| FsError::Storage(format!("connect to leader {}: {e}", self.leader_addr)))
+    }
+
+    fn pull_full_snapshot(&self, client: &mut FeatureClient) -> Result<()> {
+        let (repl_epoch, payload) = client
+            .repl_snapshot()
+            .map_err(|e| FsError::Storage(format!("pull full snapshot: {e}")))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| FsError::Serde(format!("snapshot payload not UTF-8: {e}")))?;
+        let snapshot: FullSnapshot = codec::decode(text)?;
+        self.install_full_snapshot(&snapshot)?;
+        self.applied.store(repl_epoch, Ordering::Release);
+        self.leader_epoch.fetch_max(repl_epoch, Ordering::AcqRel);
+        self.push_metrics();
+        Ok(())
+    }
+
+    /// Install a full snapshot: every component at the leader's epoch.
+    /// Embeddings go in before indexes — index builds resolve their source
+    /// table from the local embedding catalog.
+    fn install_full_snapshot(&self, snapshot: &FullSnapshot) -> Result<()> {
+        let offline = OfflineStore::from_snapshot_json(&snapshot.offline_json)?;
+        self.offline
+            .restore(offline, ReadEpoch(snapshot.offline_epoch));
+
+        let mut store = EmbeddingStore::new();
+        codec::apply_embeddings(
+            &mut store,
+            &EmbeddingsDelta {
+                versions: snapshot.embeddings.clone(),
+            },
+        )?;
+        self.embeddings
+            .restore(store, ReadEpoch(snapshot.embeddings_epoch));
+
+        for row in &snapshot.online {
+            self.online.put(
+                &row.group,
+                &fstore_common::EntityKey::new(row.entity.clone()),
+                &row.feature,
+                row.value.clone(),
+                row.written_at,
+            );
+        }
+
+        for build in &snapshot.indexes {
+            self.indexes
+                .install_replica(
+                    &build.table,
+                    &build.spec,
+                    build.built_from_version,
+                    build.generation,
+                )
+                .map_err(|e| FsError::Storage(format!("replica index build: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Apply one delta record at its leader-dictated component epoch.
+    fn apply_delta(&self, record: &DeltaRecord) -> Result<()> {
+        let epoch = ReadEpoch(record.component_epoch);
+        match record.component {
+            ComponentKind::Offline => {
+                let delta: OfflineDelta = codec::decode(&record.body)?;
+                self.offline
+                    .apply_replica(epoch, |s| codec::apply_offline(s, &delta))
+            }
+            ComponentKind::Embeddings => {
+                let delta: EmbeddingsDelta = codec::decode(&record.body)?;
+                self.embeddings
+                    .apply_replica(epoch, |s| codec::apply_embeddings(s, &delta))
+            }
+            ComponentKind::Index => {
+                let delta: IndexDelta = codec::decode(&record.body)?;
+                for build in &delta.builds {
+                    self.indexes
+                        .install_replica(
+                            &build.table,
+                            &build.spec,
+                            build.built_from_version,
+                            build.generation,
+                        )
+                        .map_err(|e| FsError::Storage(format!("replica index build: {e}")))?;
+                }
+                Ok(())
+            }
+            ComponentKind::Online => {
+                let delta: OnlineDelta = codec::decode(&record.body)?;
+                codec::apply_online(&self.online, &delta);
+                Ok(())
+            }
+        }
+    }
+
+    /// One replication round: poll the leader for deltas past the applied
+    /// epoch and replay them in order. A `lagged` answer (or a delta that
+    /// will not apply) falls back to a fresh full snapshot.
+    pub fn sync_once(&self, client: &mut FeatureClient) -> Result<SyncReport> {
+        let batch = client
+            .repl_deltas(self.applied.load(Ordering::Acquire))
+            .map_err(|e| FsError::Storage(format!("poll deltas: {e}")))?;
+        self.leader_epoch
+            .fetch_max(batch.leader_epoch, Ordering::AcqRel);
+
+        let mut applied = 0usize;
+        let mut resynced = false;
+        if batch.lagged {
+            self.resync(client)?;
+            resynced = true;
+        } else {
+            for delta in &batch.deltas {
+                let record = delta.to_record();
+                if record.seq <= self.applied.load(Ordering::Acquire) {
+                    continue; // re-delivered; already applied
+                }
+                if let Err(e) = self.apply_delta(&record) {
+                    // A delta that cannot apply means local state diverged
+                    // (or was corrupted); a full snapshot re-grounds it.
+                    let _ = e;
+                    self.resync(client)?;
+                    resynced = true;
+                    break;
+                }
+                self.applied.store(record.seq, Ordering::Release);
+                applied += 1;
+            }
+        }
+        self.push_metrics();
+        Ok(SyncReport {
+            applied,
+            resynced,
+            leader_epoch: self.leader_epoch.load(Ordering::Acquire),
+            lag: self.lag(),
+        })
+    }
+
+    /// Recover via full-snapshot fallback (counted in the metrics).
+    fn resync(&self, client: &mut FeatureClient) -> Result<()> {
+        self.fallbacks.fetch_add(1, Ordering::AcqRel);
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.record_repl_fallback();
+        }
+        self.pull_full_snapshot(client)
+    }
+
+    /// Spawn a background loop calling [`sync_once`](Self::sync_once)
+    /// every `interval`, reconnecting on connection loss.
+    pub fn start_sync(self: &Arc<Self>, interval: Duration) -> SyncHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let follower = Arc::clone(self);
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("fstore-repl-sync".to_string())
+            .spawn(move || {
+                let mut client = None;
+                while !stop2.load(Ordering::Acquire) {
+                    if client.is_none() {
+                        client = follower.connect().ok();
+                    }
+                    if let Some(c) = client.as_mut() {
+                        if follower.sync_once(c).is_err() {
+                            client = None; // reconnect next round
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn repl sync thread");
+        SyncHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Export replication progress through a server's metrics (call with
+    /// the handle's metrics after starting the follower's server).
+    pub fn attach_metrics(&self, metrics: Arc<ServingMetrics>) {
+        *self.metrics.lock() = Some(metrics);
+        self.push_metrics();
+    }
+
+    fn push_metrics(&self) {
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.set_repl_progress(
+                self.applied.load(Ordering::Acquire),
+                self.leader_epoch.load(Ordering::Acquire),
+            );
+        }
+    }
+
+    /// Replication epoch of the last applied delta.
+    pub fn applied_epoch(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// The leader's replication epoch as of the last exchange.
+    pub fn leader_epoch(&self) -> u64 {
+        self.leader_epoch.load(Ordering::Acquire)
+    }
+
+    /// Deltas behind the leader (as of the last exchange).
+    pub fn lag(&self) -> u64 {
+        self.leader_epoch().saturating_sub(self.applied_epoch())
+    }
+
+    /// Full-snapshot fallbacks taken since bootstrap.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Acquire)
+    }
+
+    pub fn offline(&self) -> &OfflineDb {
+        &self.offline
+    }
+
+    pub fn online(&self) -> &Arc<OnlineStore> {
+        &self.online
+    }
+
+    pub fn embeddings(&self) -> &EmbeddingDb {
+        &self.embeddings
+    }
+
+    pub fn indexes(&self) -> &Arc<IndexCatalog> {
+        &self.indexes
+    }
+
+    /// A ready-to-start [`ServeEngine`] over the follower's components.
+    /// Feature vectors are stamped with the (replicated) offline epoch —
+    /// the same source the leader's engine uses, so answers at equal
+    /// epochs are byte-identical.
+    pub fn engine(&self, clock: Clock) -> ServeEngine {
+        let offline = self.offline.clone();
+        ServeEngine::new(
+            FeatureServer::new(Arc::clone(&self.online))
+                .with_epoch_source(Arc::new(move || offline.epoch())),
+            clock,
+        )
+        .with_embeddings(self.embeddings.clone())
+        .with_index_catalog(Arc::clone(&self.indexes))
+    }
+}
+
+impl std::fmt::Debug for Follower {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Follower")
+            .field("leader", &self.leader_addr)
+            .field("applied", &self.applied_epoch())
+            .field("leader_epoch", &self.leader_epoch())
+            .field("fallbacks", &self.fallbacks())
+            .finish()
+    }
+}
+
+/// Stops the background sync loop on [`stop`](Self::stop) or drop.
+pub struct SyncHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SyncHandle {
+    /// Signal the loop and join it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SyncHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

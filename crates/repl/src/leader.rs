@@ -1,0 +1,295 @@
+//! The leader side: publish hooks feeding the publication log, and the
+//! [`ReplProvider`] implementation the serving layer answers followers
+//! through.
+//!
+//! A [`ReplLeader`] wraps the four replicable components. Installing it
+//! registers a publish hook on every snapshot cell (offline store,
+//! embedding catalog, index catalog); each hook diffs the newly published
+//! snapshot against the previous one and appends the delta — stamped with
+//! the component's own cell epoch — to the shared [`PubLog`]. The online
+//! store has no cell, so replicated online writes go through
+//! [`ReplLeader::put_online`], which writes locally and logs in one step.
+//!
+//! Every publication is logged, even one whose diff is empty: the epoch
+//! bump itself is state a follower must reproduce, or its echoed epochs
+//! would drift below the leader's and byte-identity would break.
+
+use crate::codec::{self, IndexBuild, IndexDelta, OnlineDelta};
+use fstore_common::{
+    ComponentKind, DeltaQuery, EntityKey, FsError, PubLog, Timestamp, Value, DEFAULT_LOG_RETENTION,
+};
+use fstore_core::FeatureServer;
+use fstore_embed::{EmbeddingDb, EmbeddingStore};
+use fstore_serve::{Clock, IndexCatalog, IndexMap, ReplLogState, ReplProvider, ServeEngine};
+use fstore_storage::{OfflineDb, OfflineStore, OnlineStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The replicable components of one serving stack.
+#[derive(Clone)]
+pub struct LeaderParts {
+    pub offline: OfflineDb,
+    pub online: Arc<OnlineStore>,
+    pub embeddings: EmbeddingDb,
+    pub indexes: Arc<IndexCatalog>,
+}
+
+impl LeaderParts {
+    /// Fresh, empty components sharing one embedding catalog between the
+    /// embedding handle and the index catalog.
+    pub fn new() -> Self {
+        let embeddings = EmbeddingDb::new();
+        LeaderParts {
+            offline: OfflineDb::new(),
+            online: Arc::new(OnlineStore::default()),
+            indexes: Arc::new(IndexCatalog::new(embeddings.clone())),
+            embeddings,
+        }
+    }
+}
+
+impl Default for LeaderParts {
+    fn default() -> Self {
+        LeaderParts::new()
+    }
+}
+
+/// A replication leader: the publication log plus the components feeding it.
+pub struct ReplLeader {
+    log: Arc<PubLog>,
+    parts: LeaderParts,
+}
+
+impl ReplLeader {
+    /// Wrap `parts` as a leader with the default delta retention.
+    pub fn new(parts: LeaderParts) -> Arc<Self> {
+        ReplLeader::with_retention(parts, DEFAULT_LOG_RETENTION)
+    }
+
+    /// Wrap `parts` as a leader retaining at most `retention` deltas;
+    /// followers that lag further re-bootstrap from a full snapshot.
+    ///
+    /// Installs publish hooks on every component cell, so publications
+    /// *after* this call are replicated. State already present is covered
+    /// by the full snapshot a follower bootstraps from.
+    pub fn with_retention(parts: LeaderParts, retention: usize) -> Arc<Self> {
+        let log = Arc::new(PubLog::new(retention));
+
+        {
+            let log = Arc::clone(&log);
+            let base: Mutex<Arc<OfflineStore>> = Mutex::new(parts.offline.snapshot());
+            parts.offline.set_publish_hook(move |v| {
+                let mut base = base.lock();
+                let body = codec::diff_offline(&base, &v.value)
+                    .and_then(|delta| codec::encode(&delta))
+                    .unwrap_or_else(|_| String::from("{}"));
+                log.append(ComponentKind::Offline, v.epoch.as_u64(), body);
+                *base = Arc::clone(&v.value);
+            });
+        }
+        {
+            let log = Arc::clone(&log);
+            let base: Mutex<Arc<EmbeddingStore>> = Mutex::new(parts.embeddings.snapshot());
+            parts.embeddings.set_publish_hook(move |v| {
+                let mut base = base.lock();
+                let delta = codec::diff_embeddings(&base, &v.value);
+                let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
+                log.append(ComponentKind::Embeddings, v.epoch.as_u64(), body);
+                *base = Arc::clone(&v.value);
+            });
+        }
+        {
+            let log = Arc::clone(&log);
+            let base: Mutex<IndexMap> = Mutex::new(parts.indexes.current().value.as_ref().clone());
+            parts.indexes.set_publish_hook(move |v| {
+                let mut base = base.lock();
+                let delta = diff_indexes(&base, &v.value);
+                let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
+                log.append(ComponentKind::Index, v.epoch.as_u64(), body);
+                *base = v.value.as_ref().clone();
+            });
+        }
+
+        Arc::new(ReplLeader { log, parts })
+    }
+
+    pub fn log(&self) -> &Arc<PubLog> {
+        &self.log
+    }
+
+    pub fn parts(&self) -> &LeaderParts {
+        &self.parts
+    }
+
+    /// Write one entity's features to the online store *and* record the
+    /// write in the publication log. Replicated online writes must go
+    /// through here — a bare [`OnlineStore::put`] is invisible to
+    /// followers (the online store has no snapshot cell to hook).
+    pub fn put_online(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        values: &[(&str, Value)],
+        now: Timestamp,
+    ) {
+        self.parts.online.put_row(group, entity, values, now);
+        let delta = OnlineDelta {
+            group: group.to_string(),
+            entity: entity.as_str().to_string(),
+            features: values
+                .iter()
+                .map(|(f, v)| ((*f).to_string(), v.clone(), now))
+                .collect(),
+        };
+        let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
+        self.log.append(ComponentKind::Online, 0, body);
+    }
+
+    /// A ready-to-start [`ServeEngine`] over the leader's components, with
+    /// this leader answering the `Repl*` endpoints. Served feature vectors
+    /// are stamped with the offline store's epoch — the same source a
+    /// follower's engine uses, so a synced follower answers byte-identically.
+    pub fn engine(self: &Arc<Self>, clock: Clock) -> ServeEngine {
+        let offline = self.parts.offline.clone();
+        ServeEngine::new(
+            FeatureServer::new(Arc::clone(&self.parts.online))
+                .with_epoch_source(Arc::new(move || offline.epoch())),
+            clock,
+        )
+        .with_embeddings(self.parts.embeddings.clone())
+        .with_index_catalog(Arc::clone(&self.parts.indexes))
+        .with_replication(Arc::clone(self) as Arc<dyn ReplProvider>)
+    }
+}
+
+/// The index snapshots in `new` that `base` does not share (by `Arc`
+/// identity), as deterministic build instructions sorted by table.
+fn diff_indexes(base: &IndexMap, new: &IndexMap) -> IndexDelta {
+    let mut builds: Vec<IndexBuild> = new
+        .iter()
+        .filter(|(name, snap)| base.get(*name).is_none_or(|b| !Arc::ptr_eq(b, snap)))
+        .map(|(name, snap)| IndexBuild {
+            table: name.clone(),
+            spec: snap.spec.clone(),
+            built_from_version: snap.built_from_version,
+            generation: snap.generation,
+        })
+        .collect();
+    builds.sort_by(|a, b| a.table.cmp(&b.table));
+    IndexDelta { builds }
+}
+
+impl ReplProvider for ReplLeader {
+    fn log_state(&self) -> ReplLogState {
+        ReplLogState {
+            leader_epoch: self.log.last_seq(),
+            oldest_retained: self.log.oldest_retained(),
+            retention: self.log.retention() as u32,
+        }
+    }
+
+    fn full_snapshot(&self) -> Result<(u64, Vec<u8>), FsError> {
+        // Freezing the log pins `repl_epoch` while the components are
+        // captured: a publication that lands concurrently has already
+        // installed its cell (hooks fire after install) but blocks on the
+        // log, so its delta gets a seq > repl_epoch and is re-delivered.
+        // Applies are idempotent, so the follower converges either way.
+        let (repl_epoch, snapshot) = self.log.frozen(|repl_epoch| {
+            let offline = self.parts.offline.read();
+            let embeddings = self.parts.embeddings.read();
+            let indexes = self.parts.indexes.current();
+            let snapshot = offline.value.snapshot_json().map(|offline_json| {
+                let mut builds = diff_indexes(&IndexMap::default(), &indexes.value).builds;
+                builds.sort_by(|a, b| a.table.cmp(&b.table));
+                codec::FullSnapshot {
+                    repl_epoch,
+                    offline_epoch: offline.epoch.as_u64(),
+                    offline_json,
+                    embeddings_epoch: embeddings.epoch.as_u64(),
+                    embeddings: codec::diff_embeddings(&EmbeddingStore::new(), &embeddings.value)
+                        .versions,
+                    online: codec::export_online(&self.parts.online),
+                    index_epoch: indexes.epoch.as_u64(),
+                    indexes: builds,
+                }
+            });
+            (repl_epoch, snapshot)
+        });
+        let payload = codec::encode(&snapshot?)?.into_bytes();
+        Ok((repl_epoch, payload))
+    }
+
+    fn deltas_since(&self, from_epoch: u64) -> (u64, DeltaQuery) {
+        let query = self.log.since(from_epoch);
+        (self.log.last_seq(), query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::{Schema, ValueType};
+    use fstore_storage::TableConfig;
+
+    #[test]
+    fn publications_land_in_the_log_with_component_epochs() {
+        let leader = ReplLeader::new(LeaderParts::new());
+        let parts = leader.parts().clone();
+
+        parts
+            .offline
+            .write(|s| s.create_table("t", TableConfig::new(Schema::of(&[("x", ValueType::Int)]))))
+            .unwrap();
+        parts
+            .offline
+            .write(|s| s.append("t", &[Value::Int(1)]))
+            .unwrap();
+        leader.put_online(
+            "user",
+            &EntityKey::new("u1"),
+            &[("score", Value::Float(0.5))],
+            Timestamp::millis(10),
+        );
+
+        let state = leader.log_state();
+        assert_eq!(state.leader_epoch, 3);
+        match leader.deltas_since(0).1 {
+            DeltaQuery::Deltas(records) => {
+                assert_eq!(records.len(), 3);
+                assert_eq!(records[0].component, ComponentKind::Offline);
+                assert_eq!(records[0].component_epoch, 1);
+                assert_eq!(records[1].component_epoch, 2);
+                assert_eq!(records[2].component, ComponentKind::Online);
+            }
+            q => panic!("unexpected {q:?}"),
+        }
+    }
+
+    #[test]
+    fn full_snapshot_carries_every_component_and_its_epoch() {
+        let leader = ReplLeader::new(LeaderParts::new());
+        let parts = leader.parts().clone();
+        parts
+            .offline
+            .write(|s| {
+                s.create_table("t", TableConfig::new(Schema::of(&[("x", ValueType::Int)])))?;
+                s.append("t", &[Value::Int(7)])
+            })
+            .unwrap();
+        leader.put_online(
+            "user",
+            &EntityKey::new("u1"),
+            &[("score", Value::Int(3))],
+            Timestamp::millis(5),
+        );
+
+        let (repl_epoch, payload) = leader.full_snapshot().unwrap();
+        assert_eq!(repl_epoch, 2);
+        let snap: codec::FullSnapshot =
+            codec::decode(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(snap.offline_epoch, 1);
+        assert_eq!(snap.online.len(), 1);
+        let restored = OfflineStore::from_snapshot_json(&snap.offline_json).unwrap();
+        assert_eq!(restored.num_rows("t").unwrap(), 1);
+    }
+}

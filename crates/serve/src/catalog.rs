@@ -17,17 +17,21 @@
 use crate::metrics::{IndexStatus, ServingMetrics};
 use crate::protocol::WireHit;
 use fstore_common::hash::FxHashMap;
-use fstore_common::{FsError, ReadEpoch, SnapshotCell};
+use fstore_common::{FsError, ReadEpoch, SnapshotCell, Versioned};
 use fstore_embed::{EmbeddingDb, EmbeddingStore};
 use fstore_index::{
     FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchParams, VectorIndex,
 };
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Which index family to build over a table, with its build-time knobs.
-#[derive(Debug, Clone)]
+/// Serializable so replication can ship *build instructions* to followers —
+/// index bytes never cross the wire; followers rebuild deterministically
+/// (the configs carry fixed seeds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum IndexSpec {
     /// Exact brute-force scan (recall 1.0; O(n) per query).
     Flat,
@@ -60,6 +64,9 @@ pub struct IndexSnapshot {
     pub generation: u64,
     /// Index family label (`"flat"`, `"ivf"`, `"hnsw"`).
     pub kind: &'static str,
+    /// The full build instructions, so replication can ship them to a
+    /// follower for a deterministic rebuild.
+    pub spec: IndexSpec,
     /// Row id `i` in the index is entity `keys[i]`.
     keys: Vec<String>,
     key_to_row: FxHashMap<String, usize>,
@@ -131,6 +138,9 @@ pub struct SearchOutcome {
     pub hits: Vec<WireHit>,
 }
 
+/// The catalog's published map: table name → live index snapshot.
+pub type IndexMap = FxHashMap<String, Arc<IndexSnapshot>>;
+
 /// Per-table ANN index snapshots over a shared [`EmbeddingDb`], with
 /// atomic swap and background rebuild.
 ///
@@ -140,7 +150,7 @@ pub struct SearchOutcome {
 /// lock the builder holds.
 pub struct IndexCatalog {
     store: EmbeddingDb,
-    snapshots: SnapshotCell<FxHashMap<String, Arc<IndexSnapshot>>>,
+    snapshots: SnapshotCell<IndexMap>,
     metrics: Mutex<Option<Arc<ServingMetrics>>>,
 }
 
@@ -175,36 +185,13 @@ impl IndexCatalog {
     /// snapshot is keyed and served under the *unqualified* name either
     /// way.
     pub fn build(&self, table: &str, spec: &IndexSpec) -> Result<Arc<IndexSnapshot>, FsError> {
-        let (name, version, keys, vectors) = {
-            let store = self.store.snapshot();
-            let v = store.resolve(table)?;
-            let (keys, vectors) = v.table.export_rows();
-            (v.name.clone(), v.version, keys, vectors)
-        };
-        let index: Box<dyn VectorIndex + Send + Sync> = match spec {
-            IndexSpec::Flat => Box::new(FlatIndex::build(vectors)?),
-            IndexSpec::Ivf(cfg) => Box::new(IvfIndex::build(vectors, *cfg)?),
-            IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::build(vectors, *cfg)?),
-        };
-        let key_to_row: FxHashMap<String, usize> = keys
-            .iter()
-            .enumerate()
-            .map(|(row, k)| (k.clone(), row))
-            .collect();
-        let kind = spec.kind();
+        let built = construct(&self.store.snapshot(), table, spec)?;
         // The publication epoch is the generation: the update closure is
         // handed the epoch the new map will be stamped with, so the
         // snapshot can carry its own generation before it becomes visible.
+        let name = built.name.clone();
         let (_, snapshot) = self.snapshots.update(|map, next_epoch| {
-            let snapshot = Arc::new(IndexSnapshot {
-                table: name.clone(),
-                built_from_version: version,
-                generation: next_epoch.as_u64(),
-                kind,
-                keys,
-                key_to_row,
-                index,
-            });
+            let snapshot = Arc::new(built.into_snapshot(next_epoch.as_u64()));
             let mut next = map.clone();
             next.insert(name.clone(), Arc::clone(&snapshot));
             (next, snapshot)
@@ -214,6 +201,37 @@ impl IndexCatalog {
         }
         self.publish_status(&name);
         Ok(snapshot)
+    }
+
+    /// Replication: rebuild `table`'s index from the leader-shipped build
+    /// instructions — pinned table version, spec with its seeds — and
+    /// install it at the leader's exact `generation`, so follower search
+    /// responses echo the leader's `(table_version, index_generation)`
+    /// identity. The embedding version must already have been replicated.
+    pub fn install_replica(
+        &self,
+        table: &str,
+        spec: &IndexSpec,
+        built_from_version: u32,
+        generation: u64,
+    ) -> Result<Arc<IndexSnapshot>, FsError> {
+        let qualified = format!("{table}@v{built_from_version}");
+        let built = construct(&self.store.snapshot(), &qualified, spec)?;
+        let snapshot = Arc::new(built.into_snapshot(generation));
+        let mut next = (*self.snapshots.load()).clone();
+        next.insert(table.to_string(), Arc::clone(&snapshot));
+        self.snapshots.restore(next, ReadEpoch(generation));
+        if let Some(metrics) = self.metrics.lock().clone() {
+            metrics.record_index_swap();
+        }
+        self.publish_status(table);
+        Ok(snapshot)
+    }
+
+    /// Observe every map publication (replication taps in here; see
+    /// [`fstore_common::snapshot::PublishHook`]).
+    pub fn set_publish_hook(&self, hook: impl Fn(&Versioned<IndexMap>) + Send + Sync + 'static) {
+        self.snapshots.set_publish_hook(hook);
     }
 
     /// Kick off [`IndexCatalog::build`] on a background thread and return
@@ -237,6 +255,12 @@ impl IndexCatalog {
     pub fn snapshot(&self, table: &str) -> Option<Arc<IndexSnapshot>> {
         let name = table.rsplit_once("@v").map_or(table, |(n, _)| n);
         self.snapshots.load().get(name).cloned()
+    }
+
+    /// The full live map together with its publication epoch — replication
+    /// captures a consistent set of build instructions from one call.
+    pub fn current(&self) -> Versioned<IndexMap> {
+        self.snapshots.read()
     }
 
     /// The catalog's publication epoch; bumps once per successful swap.
@@ -389,6 +413,58 @@ impl std::fmt::Debug for IndexCatalog {
             .field("tables", &self.snapshots.load().len())
             .finish_non_exhaustive()
     }
+}
+
+/// A fully constructed index plus its identity, not yet assigned a
+/// generation (that happens at publication time).
+struct Built {
+    name: String,
+    version: u32,
+    spec: IndexSpec,
+    keys: Vec<String>,
+    key_to_row: FxHashMap<String, usize>,
+    index: Box<dyn VectorIndex + Send + Sync>,
+}
+
+impl Built {
+    fn into_snapshot(self, generation: u64) -> IndexSnapshot {
+        IndexSnapshot {
+            table: self.name,
+            built_from_version: self.version,
+            generation,
+            kind: self.spec.kind(),
+            spec: self.spec,
+            keys: self.keys,
+            key_to_row: self.key_to_row,
+            index: self.index,
+        }
+    }
+}
+
+/// Export rows from one store snapshot and build the index — the expensive
+/// part, run with no locks held. `table` may be `"name"` (latest) or
+/// `"name@vN"` (pinned).
+fn construct(store: &EmbeddingStore, table: &str, spec: &IndexSpec) -> Result<Built, FsError> {
+    let v = store.resolve(table)?;
+    let (keys, vectors) = v.table.export_rows();
+    let index: Box<dyn VectorIndex + Send + Sync> = match spec {
+        IndexSpec::Flat => Box::new(FlatIndex::build(vectors)?),
+        IndexSpec::Ivf(cfg) => Box::new(IvfIndex::build(vectors, *cfg)?),
+        IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::build(vectors, *cfg)?),
+    };
+    let key_to_row: FxHashMap<String, usize> = keys
+        .iter()
+        .enumerate()
+        .map(|(row, k)| (k.clone(), row))
+        .collect();
+    Ok(Built {
+        name: v.name.clone(),
+        version: v.version,
+        spec: spec.clone(),
+        keys,
+        key_to_row,
+        index,
+    })
 }
 
 /// One table's status against one consistent store snapshot.
@@ -591,6 +667,49 @@ mod tests {
         assert!(catalog
             .search("emb@v1", &[0.0, 0.0], 1, &SearchParams::default())
             .is_ok());
+    }
+
+    #[test]
+    fn install_replica_pins_version_and_generation() {
+        let store = grid_store();
+        let rows = grid_rows();
+        let borrowed: Vec<(&str, Vec<f32>)> =
+            rows.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        publish(&store, "emb", &borrowed); // v2
+        let catalog = IndexCatalog::new(store);
+        let snap = catalog
+            .install_replica("emb", &IndexSpec::Flat, 1, 5)
+            .unwrap();
+        assert_eq!(snap.built_from_version, 1);
+        assert_eq!(snap.generation, 5);
+        assert_eq!(snap.spec, IndexSpec::Flat);
+        assert_eq!(catalog.epoch(), ReadEpoch(5));
+        let out = catalog
+            .search("emb", &[3.1, 0.0], 1, &SearchParams::default())
+            .unwrap();
+        assert_eq!(out.index_generation, 5);
+        assert_eq!(out.table_version, 1);
+        // Idempotent re-install at the same generation.
+        catalog
+            .install_replica("emb", &IndexSpec::Flat, 1, 5)
+            .unwrap();
+        assert_eq!(catalog.epoch(), ReadEpoch(5));
+    }
+
+    #[test]
+    fn publish_hook_observes_swaps() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let catalog = IndexCatalog::new(grid_store());
+        {
+            let seen = Arc::clone(&seen);
+            catalog.set_publish_hook(move |v| {
+                let snap = &v.value["emb"];
+                seen.lock()
+                    .push((v.epoch.as_u64(), snap.generation, snap.built_from_version));
+            });
+        }
+        catalog.build("emb", &IndexSpec::Flat).unwrap();
+        assert_eq!(*seen.lock(), vec![(1, 1, 1)]);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! in E14 does exactly that).
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireError, WireHit,
-    WireVector,
+    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireDelta, WireError,
+    WireHit, WireVector,
 };
+use crate::repl::ReplLogState;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -37,6 +38,16 @@ pub struct Neighbors {
     pub index_generation: u64,
     /// Hits ascending by squared-L2 distance.
     pub hits: Vec<WireHit>,
+}
+
+/// One `ReplDeltas` exchange: the leader's epoch at answer time, whether
+/// the requested range had already been evicted (`lagged`), and the
+/// deltas themselves (empty when lagged — re-bootstrap instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBatch {
+    pub leader_epoch: u64,
+    pub lagged: bool,
+    pub deltas: Vec<WireDelta>,
 }
 
 /// Client-side failure.
@@ -219,6 +230,54 @@ impl FeatureClient {
             options,
         };
         self.neighbors(&request)
+    }
+
+    /// Subscribe to a replication leader: its log state, for deciding
+    /// between delta catch-up and a full-snapshot bootstrap.
+    pub fn repl_state(&mut self) -> Result<ReplLogState, ClientError> {
+        match self.call(&Request::ReplSubscribe)? {
+            Response::ReplState {
+                leader_epoch,
+                oldest_retained,
+                retention,
+            } => Ok(ReplLogState {
+                leader_epoch,
+                oldest_retained,
+                retention,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("ReplState")),
+        }
+    }
+
+    /// A full leader snapshot as `(repl_epoch, payload)`; every delta with
+    /// `seq <= repl_epoch` is already folded into the payload.
+    pub fn repl_snapshot(&mut self) -> Result<(u64, Vec<u8>), ClientError> {
+        match self.call(&Request::ReplSnapshot)? {
+            Response::ReplSnapshot {
+                repl_epoch,
+                payload,
+            } => Ok((repl_epoch, payload)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("ReplSnapshot")),
+        }
+    }
+
+    /// The deltas published after `from_epoch`.
+    pub fn repl_deltas(&mut self, from_epoch: u64) -> Result<DeltaBatch, ClientError> {
+        match self.call(&Request::ReplDeltas { from_epoch })? {
+            Response::ReplDeltas {
+                leader_epoch,
+                lagged,
+                deltas,
+            } => Ok(DeltaBatch {
+                leader_epoch,
+                lagged,
+                deltas,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("ReplDeltas")),
+        }
     }
 
     fn neighbors(&mut self, request: &Request) -> Result<Neighbors, ClientError> {

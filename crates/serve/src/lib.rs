@@ -23,6 +23,9 @@
 //! * [`metrics`] — per-endpoint counters and p50/p95/p99 latency from
 //!   streaming P² estimators, dumpable as JSON.
 //! * [`client`] — a blocking client, also used by the E14 load generator.
+//! * [`repl`] — the [`repl::ReplProvider`] seam: a leader built with
+//!   `fstore-repl` answers the `Repl*` endpoints through it, so followers
+//!   can bootstrap from a snapshot and stream epoch-tagged deltas.
 
 pub mod admission;
 pub mod batch;
@@ -30,16 +33,18 @@ pub mod catalog;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmitReject};
-pub use catalog::{CatalogError, IndexCatalog, IndexSnapshot, IndexSpec, SearchOutcome};
-pub use client::{ClientError, EmbeddingRead, FeatureClient, Neighbors};
+pub use catalog::{CatalogError, IndexCatalog, IndexMap, IndexSnapshot, IndexSpec, SearchOutcome};
+pub use client::{ClientError, DeltaBatch, EmbeddingRead, FeatureClient, Neighbors};
 pub use metrics::{Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics};
 pub use protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireError, WireHit,
-    WireVector, MAX_FRAME_LEN,
+    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireDelta, WireError,
+    WireHit, WireVector, MAX_FRAME_LEN,
 };
+pub use repl::{ReplLogState, ReplProvider};
 pub use server::{
     atomic_clock, fixed_clock, start, Clock, ServeConfig, ServeConfigBuilder, ServeEngine,
     ServerHandle,

@@ -9,7 +9,7 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The six wire endpoints, used as metric labels.
+/// The wire endpoints, used as metric labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     Health = 0,
@@ -18,16 +18,22 @@ pub enum Endpoint {
     GetEmbedding = 3,
     SearchNearest = 4,
     SearchNearestByKey = 5,
+    ReplSubscribe = 6,
+    ReplSnapshot = 7,
+    ReplDeltas = 8,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Health,
         Endpoint::GetFeatures,
         Endpoint::GetFeaturesBatch,
         Endpoint::GetEmbedding,
         Endpoint::SearchNearest,
         Endpoint::SearchNearestByKey,
+        Endpoint::ReplSubscribe,
+        Endpoint::ReplSnapshot,
+        Endpoint::ReplDeltas,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -38,6 +44,9 @@ impl Endpoint {
             Endpoint::GetEmbedding => "get_embedding",
             Endpoint::SearchNearest => "search_nearest",
             Endpoint::SearchNearestByKey => "search_nearest_by_key",
+            Endpoint::ReplSubscribe => "repl_subscribe",
+            Endpoint::ReplSnapshot => "repl_snapshot",
+            Endpoint::ReplDeltas => "repl_deltas",
         }
     }
 }
@@ -107,7 +116,7 @@ pub struct IndexStatus {
 
 /// Shared serving metrics; every handle clones an `Arc` of this.
 pub struct ServingMetrics {
-    endpoints: [EndpointMetrics; 6],
+    endpoints: [EndpointMetrics; 9],
     /// Requests refused by admission control (queue full).
     shed: AtomicU64,
     /// Requests refused because the server was draining.
@@ -119,25 +128,29 @@ pub struct ServingMetrics {
     index_swaps: AtomicU64,
     /// Per-table live index snapshot status (generation, staleness).
     index_status: Mutex<BTreeMap<String, IndexStatus>>,
+    /// Replication (follower role): last replication epoch applied locally.
+    repl_applied_epoch: AtomicU64,
+    /// Replication (follower role): leader's replication epoch as of the
+    /// last sync exchange.
+    repl_leader_epoch: AtomicU64,
+    /// Replication (follower role): full-snapshot fallbacks taken after
+    /// lagging past the leader's retention window.
+    repl_snapshot_fallbacks: AtomicU64,
 }
 
 impl Default for ServingMetrics {
     fn default() -> Self {
         ServingMetrics {
-            endpoints: [
-                EndpointMetrics::new(),
-                EndpointMetrics::new(),
-                EndpointMetrics::new(),
-                EndpointMetrics::new(),
-                EndpointMetrics::new(),
-                EndpointMetrics::new(),
-            ],
+            endpoints: std::array::from_fn(|_| EndpointMetrics::new()),
             shed: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             index_swaps: AtomicU64::new(0),
             index_status: Mutex::new(BTreeMap::new()),
+            repl_applied_epoch: AtomicU64::new(0),
+            repl_leader_epoch: AtomicU64::new(0),
+            repl_snapshot_fallbacks: AtomicU64::new(0),
         }
     }
 }
@@ -181,6 +194,28 @@ impl ServingMetrics {
     /// Publish (or refresh) one table's live index status.
     pub fn set_index_status(&self, table: impl Into<String>, status: IndexStatus) {
         self.index_status.lock().insert(table.into(), status);
+    }
+
+    /// Record the follower's replication progress after a sync exchange.
+    pub fn set_repl_progress(&self, applied_epoch: u64, leader_epoch: u64) {
+        self.repl_applied_epoch
+            .store(applied_epoch, Ordering::Relaxed);
+        self.repl_leader_epoch
+            .store(leader_epoch, Ordering::Relaxed);
+    }
+
+    /// Record one full-snapshot fallback (the follower lagged past the
+    /// leader's retention window).
+    pub fn record_repl_fallback(&self) {
+        self.repl_snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Epochs the follower is behind the leader, as of the last sync (0 when
+    /// caught up — or when this process is not a follower at all).
+    pub fn repl_lag(&self) -> u64 {
+        self.repl_leader_epoch
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.repl_applied_epoch.load(Ordering::Relaxed))
     }
 
     pub fn index_swaps(&self) -> u64 {
@@ -233,6 +268,10 @@ impl ServingMetrics {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             index_swaps: self.index_swaps.load(Ordering::Relaxed),
             indexes: self.index_status.lock().clone(),
+            repl_applied_epoch: self.repl_applied_epoch.load(Ordering::Relaxed),
+            repl_leader_epoch: self.repl_leader_epoch.load(Ordering::Relaxed),
+            repl_lag: self.repl_lag(),
+            repl_snapshot_fallbacks: self.repl_snapshot_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -265,6 +304,10 @@ pub struct MetricsSnapshot {
     pub batched_requests: u64,
     pub index_swaps: u64,
     pub indexes: BTreeMap<String, IndexStatus>,
+    pub repl_applied_epoch: u64,
+    pub repl_leader_epoch: u64,
+    pub repl_lag: u64,
+    pub repl_snapshot_fallbacks: u64,
 }
 
 #[cfg(test)]
@@ -300,6 +343,26 @@ mod tests {
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.batched_requests, 8);
         assert_eq!(m.shed_count(), 2);
+    }
+
+    #[test]
+    fn repl_gauges_report_lag_and_fallbacks() {
+        let m = ServingMetrics::new();
+        assert_eq!(m.repl_lag(), 0);
+        m.set_repl_progress(7, 12);
+        m.record_repl_fallback();
+        assert_eq!(m.repl_lag(), 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.repl_applied_epoch, 7);
+        assert_eq!(snap.repl_leader_epoch, 12);
+        assert_eq!(snap.repl_lag, 5);
+        assert_eq!(snap.repl_snapshot_fallbacks, 1);
+        // Caught-up (or ahead due to a race) never underflows.
+        m.set_repl_progress(13, 12);
+        assert_eq!(m.repl_lag(), 0);
+        // The repl endpoints are first-class metric labels.
+        m.record(Endpoint::ReplDeltas, 0.2, true);
+        assert_eq!(m.snapshot().endpoints["repl_deltas"].requests, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! a round-trip is byte-identical.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use fstore_common::{Duration, Timestamp, Value};
+use fstore_common::{ComponentKind, DeltaRecord, Duration, Timestamp, Value};
 use fstore_core::FeatureVector;
 use std::io::{Read, Write};
 
@@ -165,6 +165,14 @@ pub enum Request {
         k: u32,
         options: SearchOptions,
     },
+    /// Replication: probe the leader's publication-log state (a follower's
+    /// first call, and its heartbeat).
+    ReplSubscribe,
+    /// Replication: full state snapshot for follower bootstrap.
+    ReplSnapshot,
+    /// Replication: every publication strictly after sequence number
+    /// `from_epoch` (the replication epoch the follower has applied).
+    ReplDeltas { from_epoch: u64 },
 }
 
 impl Request {
@@ -178,6 +186,9 @@ impl Request {
             Request::GetEmbedding { .. } => Endpoint::GetEmbedding,
             Request::SearchNearest { .. } => Endpoint::SearchNearest,
             Request::SearchNearestByKey { .. } => Endpoint::SearchNearestByKey,
+            Request::ReplSubscribe => Endpoint::ReplSubscribe,
+            Request::ReplSnapshot => Endpoint::ReplSnapshot,
+            Request::ReplDeltas { .. } => Endpoint::ReplDeltas,
         }
     }
 
@@ -237,6 +248,12 @@ impl Request {
                 buf.put_u32(*k);
                 options.encode(&mut buf);
             }
+            Request::ReplSubscribe => buf.put_u8(6),
+            Request::ReplSnapshot => buf.put_u8(7),
+            Request::ReplDeltas { from_epoch } => {
+                buf.put_u8(8);
+                buf.put_u64(*from_epoch);
+            }
         }
         buf.freeze()
     }
@@ -270,6 +287,11 @@ impl Request {
                 key: take_str(&mut r)?,
                 k: take_u32(&mut r)?,
                 options: SearchOptions::decode(&mut r)?,
+            },
+            6 => Request::ReplSubscribe,
+            7 => Request::ReplSnapshot,
+            8 => Request::ReplDeltas {
+                from_epoch: take_u64(&mut r)?,
             },
             tag => return Err(WireError::BadTag { ty: "Request", tag }),
         };
@@ -313,6 +335,66 @@ pub struct WireHit {
     pub distance: f32,
 }
 
+/// One publication delta on the wire — the transport form of a
+/// [`DeltaRecord`] from the leader's publication log. The component rides as
+/// its stable `u8` tag; unknown tags are rejected at decode time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDelta {
+    /// Leader-wide replication sequence number.
+    pub seq: u64,
+    /// Which component published.
+    pub component: ComponentKind,
+    /// Component cell epoch the publication was stamped with.
+    pub component_epoch: u64,
+    /// Component-defined serialized payload.
+    pub body: String,
+}
+
+impl From<&DeltaRecord> for WireDelta {
+    fn from(r: &DeltaRecord) -> Self {
+        WireDelta {
+            seq: r.seq,
+            component: r.component,
+            component_epoch: r.component_epoch,
+            body: r.body.clone(),
+        }
+    }
+}
+
+impl WireDelta {
+    /// Back to the log-side record form.
+    pub fn to_record(&self) -> DeltaRecord {
+        DeltaRecord {
+            seq: self.seq,
+            component: self.component,
+            component_epoch: self.component_epoch,
+            body: self.body.clone(),
+        }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.seq);
+        buf.put_u8(self.component.as_u8());
+        buf.put_u64(self.component_epoch);
+        put_str(buf, &self.body);
+    }
+
+    fn decode(r: &mut &[u8]) -> Result<Self, WireError> {
+        let seq = take_u64(r)?;
+        let tag = take_u8(r)?;
+        let component = ComponentKind::from_u8(tag).ok_or(WireError::BadTag {
+            ty: "ComponentKind",
+            tag,
+        })?;
+        Ok(WireDelta {
+            seq,
+            component,
+            component_epoch: take_u64(r)?,
+            body: take_str(r)?,
+        })
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -345,6 +427,30 @@ pub enum Response {
     Error {
         code: ErrorCode,
         message: String,
+    },
+    /// Replication: the leader's publication-log state, answering
+    /// [`Request::ReplSubscribe`].
+    ReplState {
+        /// Sequence number of the leader's most recent publication.
+        leader_epoch: u64,
+        /// Oldest sequence number the delta ring still retains.
+        oldest_retained: u64,
+        /// The ring's retention bound (number of records).
+        retention: u32,
+    },
+    /// Replication: a full state snapshot (opaque, `fstore-repl`-encoded)
+    /// captured at replication epoch `repl_epoch`.
+    ReplSnapshot {
+        repl_epoch: u64,
+        payload: Vec<u8>,
+    },
+    /// Replication: publications after the requested epoch. `lagged` means
+    /// the follower fell past the retention window and `deltas` is empty —
+    /// it must re-bootstrap via [`Request::ReplSnapshot`].
+    ReplDeltas {
+        leader_epoch: u64,
+        lagged: bool,
+        deltas: Vec<WireDelta>,
     },
 }
 
@@ -412,6 +518,38 @@ impl Response {
                     buf.put_f32(hit.distance);
                 }
             }
+            Response::ReplState {
+                leader_epoch,
+                oldest_retained,
+                retention,
+            } => {
+                buf.put_u8(6);
+                buf.put_u64(*leader_epoch);
+                buf.put_u64(*oldest_retained);
+                buf.put_u32(*retention);
+            }
+            Response::ReplSnapshot {
+                repl_epoch,
+                payload,
+            } => {
+                buf.put_u8(7);
+                buf.put_u64(*repl_epoch);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload);
+            }
+            Response::ReplDeltas {
+                leader_epoch,
+                lagged,
+                deltas,
+            } => {
+                buf.put_u8(8);
+                buf.put_u64(*leader_epoch);
+                buf.put_u8(u8::from(*lagged));
+                buf.put_u32(deltas.len() as u32);
+                for d in deltas {
+                    d.encode(&mut buf);
+                }
+            }
         }
         buf.freeze()
     }
@@ -466,6 +604,29 @@ impl Response {
                     table_version,
                     index_generation,
                     hits,
+                }
+            }
+            6 => Response::ReplState {
+                leader_epoch: take_u64(&mut r)?,
+                oldest_retained: take_u64(&mut r)?,
+                retention: take_u32(&mut r)?,
+            },
+            7 => Response::ReplSnapshot {
+                repl_epoch: take_u64(&mut r)?,
+                payload: take_bytes(&mut r)?,
+            },
+            8 => {
+                let leader_epoch = take_u64(&mut r)?;
+                let lagged = take_u8(&mut r)? != 0;
+                let n = take_len(&mut r)?;
+                let mut deltas = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    deltas.push(WireDelta::decode(&mut r)?);
+                }
+                Response::ReplDeltas {
+                    leader_epoch,
+                    lagged,
+                    deltas,
                 }
             }
             tag => {
@@ -645,6 +806,16 @@ fn take_str(r: &mut &[u8]) -> Result<String, WireError> {
     String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
 }
 
+fn take_bytes(r: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = take_len(r)?;
+    if r.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let bytes = r[..len].to_vec();
+    r.advance(len);
+    Ok(bytes)
+}
+
 fn take_str_seq(r: &mut &[u8]) -> Result<Vec<String>, WireError> {
     let n = take_len(r)?;
     let mut items = Vec::with_capacity(n.min(1024));
@@ -790,6 +961,67 @@ mod tests {
             let resp = Response::error(code, "index");
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn repl_frames_round_trip() {
+        for req in [
+            Request::ReplSubscribe,
+            Request::ReplSnapshot,
+            Request::ReplDeltas { from_epoch: 42 },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        let state = Response::ReplState {
+            leader_epoch: 9,
+            oldest_retained: 3,
+            retention: 64,
+        };
+        assert_eq!(Response::decode(&state.encode()).unwrap(), state);
+        let snap = Response::ReplSnapshot {
+            repl_epoch: 5,
+            payload: vec![0, 1, 2, 255],
+        };
+        assert_eq!(Response::decode(&snap.encode()).unwrap(), snap);
+        let deltas = Response::ReplDeltas {
+            leader_epoch: 7,
+            lagged: false,
+            deltas: vec![WireDelta {
+                seq: 6,
+                component: ComponentKind::Embeddings,
+                component_epoch: 4,
+                body: "{\"versions\":[]}".into(),
+            }],
+        };
+        assert_eq!(Response::decode(&deltas.encode()).unwrap(), deltas);
+    }
+
+    #[test]
+    fn unknown_component_tag_is_rejected() {
+        let good = Response::ReplDeltas {
+            leader_epoch: 1,
+            lagged: false,
+            deltas: vec![WireDelta {
+                seq: 1,
+                component: ComponentKind::Offline,
+                component_epoch: 1,
+                body: String::new(),
+            }],
+        };
+        let mut bytes = good.encode().to_vec();
+        // The component tag sits right after the response tag (1), the
+        // leader epoch (8), the lagged flag (1), the count (4), and the
+        // delta's seq (8).
+        let tag_at = 1 + 8 + 1 + 4 + 8;
+        assert_eq!(bytes[tag_at], ComponentKind::Offline.as_u8());
+        bytes[tag_at] = 77;
+        assert_eq!(
+            Response::decode(&bytes),
+            Err(WireError::BadTag {
+                ty: "ComponentKind",
+                tag: 77
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! The serving layer's view of replication (DESIGN.md §2.12).
+//!
+//! The serve crate answers the three `Repl*` wire requests but does not
+//! know how leader state is captured or serialized — that lives in
+//! `fstore-repl`, which sits *above* this crate in the dependency graph.
+//! [`ReplProvider`] is the seam: a leader-side implementation hands the
+//! server (1) publication-log state for `ReplSubscribe`, (2) a full
+//! serialized snapshot for follower bootstrap, and (3) the epoch-tagged
+//! deltas since a given epoch for catch-up. The server stays a dumb pipe:
+//! it frames whatever the provider returns and never interprets payloads.
+
+use crate::protocol::MAX_FRAME_LEN;
+use fstore_common::{DeltaQuery, FsError};
+
+/// Leader publication-log state, as reported to a subscribing follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplLogState {
+    /// The leader's current replication epoch (its last published delta).
+    pub leader_epoch: u64,
+    /// The oldest delta epoch still retained; a follower whose applied
+    /// epoch has fallen below `oldest_retained - 1` cannot catch up from
+    /// deltas and must re-bootstrap from a full snapshot.
+    pub oldest_retained: u64,
+    /// The publication log's retention capacity, in deltas.
+    pub retention: u32,
+}
+
+/// What a leader must expose for followers to replicate from it.
+///
+/// Implementations live outside this crate (see `fstore-repl`); the
+/// server only requires that calls are safe under concurrent publishes —
+/// in particular [`full_snapshot`](Self::full_snapshot) must capture a
+/// state consistent with the epoch it reports even while writers keep
+/// publishing.
+pub trait ReplProvider: Send + Sync {
+    /// Current log state (answers `ReplSubscribe`).
+    fn log_state(&self) -> ReplLogState;
+
+    /// Serialize the full leader state; returns `(repl_epoch, payload)`
+    /// where every delta with `seq <= repl_epoch` is already reflected in
+    /// the payload (answers `ReplSnapshot`).
+    fn full_snapshot(&self) -> Result<(u64, Vec<u8>), FsError>;
+
+    /// The deltas a follower at `from_epoch` still needs; returns the
+    /// leader epoch alongside so the follower can measure its lag
+    /// (answers `ReplDeltas`).
+    fn deltas_since(&self, from_epoch: u64) -> (u64, DeltaQuery);
+}
+
+/// Guard a snapshot payload against the wire's frame ceiling. The frame
+/// adds the response tag + epoch + length prefix on top of the payload;
+/// 64 bytes of headroom covers all of it.
+pub(crate) fn check_snapshot_len(payload: &[u8]) -> Result<(), FsError> {
+    if payload.len() + 64 > MAX_FRAME_LEN {
+        return Err(FsError::InvalidArgument(format!(
+            "replication snapshot ({} bytes) exceeds the wire frame limit ({MAX_FRAME_LEN} bytes)",
+            payload.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_len_guard_trips_at_the_frame_ceiling() {
+        assert!(check_snapshot_len(&[0u8; 1024]).is_ok());
+        let oversized = vec![0u8; MAX_FRAME_LEN];
+        assert!(check_snapshot_len(&oversized).is_err());
+    }
+}

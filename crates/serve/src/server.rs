@@ -23,8 +23,12 @@ use crate::admission::{AdmissionController, AdmitReject};
 use crate::batch::{self, Job};
 use crate::catalog::{CatalogError, IndexCatalog, SearchOutcome};
 use crate::metrics::ServingMetrics;
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, WireVector};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireDelta, WireVector,
+};
+use crate::repl::{check_snapshot_len, ReplProvider};
 use crossbeam::channel::{bounded, Receiver};
+use fstore_common::DeltaQuery;
 use fstore_common::{EntityKey, FsError, Timestamp};
 use fstore_core::FeatureServer;
 use fstore_embed::{EmbeddingDb, EmbeddingStore};
@@ -150,6 +154,7 @@ pub struct ServeEngine {
     server: FeatureServer,
     embeddings: Option<EmbeddingDb>,
     indexes: Option<Arc<IndexCatalog>>,
+    repl: Option<Arc<dyn ReplProvider>>,
     clock: Clock,
 }
 
@@ -159,6 +164,7 @@ impl ServeEngine {
             server,
             embeddings: None,
             indexes: None,
+            repl: None,
             clock,
         }
     }
@@ -190,6 +196,14 @@ impl ServeEngine {
     /// The attached index catalog, if any.
     pub fn index_catalog(&self) -> Option<&Arc<IndexCatalog>> {
         self.indexes.as_ref()
+    }
+
+    /// Make this server a replication leader: the provider answers the
+    /// `ReplSubscribe` / `ReplSnapshot` / `ReplDeltas` endpoints. Without
+    /// one, those requests get a typed `BadRequest` error.
+    pub fn with_replication(mut self, provider: Arc<dyn ReplProvider>) -> Self {
+        self.repl = Some(provider);
+        self
     }
 
     pub fn now(&self) -> Timestamp {
@@ -286,8 +300,61 @@ impl ServeEngine {
                     &options.to_params(),
                 ))
             }
+            Request::ReplSubscribe => {
+                let Some(repl) = &self.repl else {
+                    return no_replication();
+                };
+                let state = repl.log_state();
+                Response::ReplState {
+                    leader_epoch: state.leader_epoch,
+                    oldest_retained: state.oldest_retained,
+                    retention: state.retention,
+                }
+            }
+            Request::ReplSnapshot => {
+                let Some(repl) = &self.repl else {
+                    return no_replication();
+                };
+                match repl.full_snapshot().and_then(|(epoch, payload)| {
+                    check_snapshot_len(&payload).map(|()| (epoch, payload))
+                }) {
+                    Ok((repl_epoch, payload)) => Response::ReplSnapshot {
+                        repl_epoch,
+                        payload,
+                    },
+                    Err(e) => Response::error(ErrorCode::Internal, e.to_string()),
+                }
+            }
+            Request::ReplDeltas { from_epoch } => {
+                let Some(repl) = &self.repl else {
+                    return no_replication();
+                };
+                let (leader_epoch, query) = repl.deltas_since(*from_epoch);
+                match query {
+                    DeltaQuery::Deltas(records) => Response::ReplDeltas {
+                        leader_epoch,
+                        lagged: false,
+                        deltas: records.iter().map(WireDelta::from).collect(),
+                    },
+                    // The follower fell past retention; an empty delta set
+                    // with `lagged` raised tells it to re-bootstrap from a
+                    // full snapshot.
+                    DeltaQuery::Lagged { .. } => Response::ReplDeltas {
+                        leader_epoch,
+                        lagged: true,
+                        deltas: Vec::new(),
+                    },
+                }
+            }
         }
     }
+}
+
+fn no_replication() -> Response {
+    Response::error(
+        ErrorCode::BadRequest,
+        "this server is not a replication leader",
+    )
 }
 
 fn no_index_catalog() -> Response {

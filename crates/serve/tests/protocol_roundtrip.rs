@@ -2,9 +2,11 @@
 //! round-trips byte-exactly, strict prefixes of a valid payload never
 //! decode (and never panic), and oversized frames are refused.
 
-use fstore_common::{Timestamp, Value};
+use fstore_common::{ComponentKind, Timestamp, Value};
 use fstore_serve::protocol::{read_frame, write_frame, MAX_FRAME_LEN};
-use fstore_serve::{ErrorCode, Request, Response, SearchOptions, WireError, WireHit, WireVector};
+use fstore_serve::{
+    ErrorCode, Request, Response, SearchOptions, WireDelta, WireError, WireHit, WireVector,
+};
 use proptest::prelude::*;
 
 fn arb_string() -> impl Strategy<Value = String> {
@@ -67,6 +69,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 options,
             }
         ),
+        Just(Request::ReplSubscribe),
+        Just(Request::ReplSnapshot),
+        (0u64..1_000_000u64).prop_map(|from_epoch| Request::ReplDeltas { from_epoch }),
     ]
 }
 
@@ -127,6 +132,38 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
     ]
 }
 
+fn arb_component() -> impl Strategy<Value = ComponentKind> {
+    prop_oneof![
+        Just(ComponentKind::Offline),
+        Just(ComponentKind::Embeddings),
+        Just(ComponentKind::Index),
+        Just(ComponentKind::Online),
+    ]
+}
+
+fn arb_deltas() -> impl Strategy<Value = Vec<WireDelta>> {
+    proptest::collection::vec(
+        (
+            0u64..1_000_000,
+            arb_component(),
+            0u64..1_000_000,
+            arb_string(),
+        )
+            .prop_map(|(seq, component, component_epoch, body)| WireDelta {
+                seq,
+                component,
+                component_epoch,
+                body,
+            }),
+        0..6,
+    )
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u16..256, 0..64)
+        .prop_map(|v| v.into_iter().map(|x| x as u8).collect())
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         (0u32..1024, prop_oneof![Just(false), Just(true)]).prop_map(|(queue_depth, draining)| {
@@ -156,6 +193,29 @@ fn arb_response() -> impl Strategy<Value = Response> {
         ),
         (arb_error_code(), arb_string())
             .prop_map(|(code, message)| Response::Error { code, message }),
+        (0u64..1_000_000, 0u64..1_000_000, 1u32..1024).prop_map(
+            |(leader_epoch, oldest_retained, retention)| Response::ReplState {
+                leader_epoch,
+                oldest_retained,
+                retention,
+            }
+        ),
+        (0u64..1_000_000, arb_payload()).prop_map(|(repl_epoch, payload)| {
+            Response::ReplSnapshot {
+                repl_epoch,
+                payload,
+            }
+        }),
+        (
+            0u64..1_000_000,
+            prop_oneof![Just(false), Just(true)],
+            arb_deltas()
+        )
+            .prop_map(|(leader_epoch, lagged, deltas)| Response::ReplDeltas {
+                leader_epoch,
+                lagged,
+                deltas,
+            }),
     ]
 }
 
@@ -209,6 +269,47 @@ proptest! {
         let payload = read_frame(&mut &wire[..]).unwrap().unwrap();
         prop_assert_eq!(Request::decode(&payload).unwrap(), req);
     }
+}
+
+#[test]
+fn unknown_frame_tags_are_rejected() {
+    // Tags 0..=8 are assigned on both sides; everything above must fail
+    // with a typed BadTag, not a panic or a misparse.
+    for tag in 9u8..=255 {
+        assert!(
+            matches!(Request::decode(&[tag]), Err(WireError::BadTag { .. })),
+            "request tag {tag} was not rejected"
+        );
+        assert!(
+            matches!(Response::decode(&[tag]), Err(WireError::BadTag { .. })),
+            "response tag {tag} was not rejected"
+        );
+    }
+}
+
+#[test]
+fn unknown_component_tag_inside_a_delta_is_rejected() {
+    // A valid ReplDeltas frame whose one delta carries component tag 9.
+    let good = Response::ReplDeltas {
+        leader_epoch: 5,
+        lagged: false,
+        deltas: vec![WireDelta {
+            seq: 5,
+            component: ComponentKind::Online,
+            component_epoch: 0,
+            body: "{}".to_string(),
+        }],
+    };
+    let mut bytes = good.encode().to_vec();
+    // Layout: tag(1) + leader_epoch(8) + lagged(1) + count(4) + seq(8),
+    // then the component tag byte.
+    let component_at = 1 + 8 + 1 + 4 + 8;
+    assert_eq!(bytes[component_at], ComponentKind::Online.as_u8());
+    bytes[component_at] = 9;
+    assert!(matches!(
+        Response::decode(&bytes),
+        Err(WireError::BadTag { .. })
+    ));
 }
 
 #[test]

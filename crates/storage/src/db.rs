@@ -87,6 +87,63 @@ impl OfflineDb {
             }
         }
     }
+
+    /// Observe every publication (replication taps in here; see
+    /// [`fstore_common::snapshot::PublishHook`]).
+    pub fn set_publish_hook(
+        &self,
+        hook: impl Fn(&Versioned<OfflineStore>) + Send + Sync + 'static,
+    ) {
+        self.inner.cell.set_publish_hook(hook);
+    }
+
+    /// How many recent publications the handle retains for
+    /// [`at_epoch`](Self::at_epoch) (default
+    /// [`fstore_common::snapshot::DEFAULT_HISTORY_DEPTH`]).
+    pub fn set_history_depth(&self, depth: usize) {
+        self.inner.cell.set_history_depth(depth);
+    }
+
+    /// Recent publications, oldest to newest — lets a skew monitor diff the
+    /// epoch a trainer saw against the one serving sees.
+    pub fn history(&self) -> Vec<Versioned<OfflineStore>> {
+        self.inner.cell.history()
+    }
+
+    /// The snapshot published at exactly `epoch`, if still retained.
+    pub fn at_epoch(&self, epoch: ReadEpoch) -> Option<Versioned<OfflineStore>> {
+        self.inner.cell.at_epoch(epoch)
+    }
+
+    /// Replication: run a mutation and publish the result at the explicit
+    /// (leader-dictated) `epoch` instead of minting the next local one, so a
+    /// follower's responses echo exactly the leader's epochs. On `Err` the
+    /// working copy rolls back and nothing is published.
+    pub fn apply_replica<R>(
+        &self,
+        epoch: ReadEpoch,
+        f: impl FnOnce(&mut OfflineStore) -> Result<R>,
+    ) -> Result<R> {
+        let mut store = self.inner.writer.lock();
+        match f(&mut store) {
+            Ok(out) => {
+                self.inner.cell.restore(store.clone(), epoch);
+                Ok(out)
+            }
+            Err(e) => {
+                *store = (*self.inner.cell.load()).clone();
+                Err(e)
+            }
+        }
+    }
+
+    /// Replication: adopt `store` wholesale as the snapshot at `epoch`
+    /// (follower bootstrap / full-snapshot fallback).
+    pub fn restore(&self, store: OfflineStore, epoch: ReadEpoch) {
+        let mut writer = self.inner.writer.lock();
+        *writer = store.clone();
+        self.inner.cell.restore(store, epoch);
+    }
 }
 
 impl Default for OfflineDb {
@@ -153,6 +210,35 @@ mod tests {
             .column_values("t", "x", &ScanRequest::all())
             .unwrap();
         assert_eq!(vals, vec![Value::Int(8)]);
+    }
+
+    #[test]
+    fn replica_apply_installs_at_leader_epochs() {
+        let db = OfflineDb::new();
+        db.apply_replica(ReadEpoch(5), |s| s.create_table("t", int_table()))
+            .unwrap();
+        assert_eq!(db.epoch(), ReadEpoch(5));
+        // Idempotent re-apply at the same epoch (at-least-once delivery).
+        db.apply_replica(ReadEpoch(5), |s| {
+            if !s.table_names().contains(&"t") {
+                s.create_table("t", int_table())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.epoch(), ReadEpoch(5));
+        db.apply_replica(ReadEpoch(7), |s| s.append("t", &[Value::Int(1)]))
+            .unwrap();
+        assert_eq!(db.epoch(), ReadEpoch(7));
+        assert_eq!(db.snapshot().num_rows("t").unwrap(), 1);
+
+        // Full-state restore (bootstrap fallback) replaces everything.
+        let other = OfflineDb::new();
+        other.write(|s| s.create_table("u", int_table())).unwrap();
+        db.restore((*other.snapshot()).clone(), ReadEpoch(9));
+        assert_eq!(db.epoch(), ReadEpoch(9));
+        assert!(db.snapshot().num_rows("t").is_err());
+        assert_eq!(db.snapshot().num_rows("u").unwrap(), 0);
     }
 
     #[test]

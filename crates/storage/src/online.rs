@@ -218,6 +218,30 @@ impl OnlineStore {
         self.len() == 0
     }
 
+    /// Export every stored entry as `(group, entity, feature, entry)`,
+    /// sorted, for replication bootstrap snapshots. Each shard is locked
+    /// briefly in turn, so concurrent writes may land before or after the
+    /// export — replication's delta replay makes that benign (puts are
+    /// idempotent overwrites).
+    pub fn export_rows(&self) -> Vec<(String, String, String, OnlineEntry)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            for ((group, entity), row) in guard.iter() {
+                for (feature, entry) in row.iter() {
+                    out.push((
+                        group.clone(),
+                        entity.clone(),
+                        feature.clone(),
+                        entry.clone(),
+                    ));
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
+        out
+    }
+
     /// Snapshot of all current values of one feature across entities in a
     /// group — the "live" side of training/serving-skew monitoring.
     pub fn feature_snapshot(&self, group: &str, feature: &str) -> Vec<(EntityKey, OnlineEntry)> {
@@ -364,6 +388,22 @@ mod tests {
         let snap = store.feature_snapshot("user", "score");
         assert_eq!(snap.len(), 10);
         assert!(snap.iter().all(|(_, e)| e.value != Value::Int(99)));
+    }
+
+    #[test]
+    fn export_rows_lists_every_entry_sorted() {
+        let store = OnlineStore::new(4);
+        store.put("g", &k("e2"), "f", Value::Int(2), Timestamp::millis(2));
+        store.put("g", &k("e1"), "f", Value::Int(1), Timestamp::millis(1));
+        store.put("h", &k("e1"), "g", Value::Int(3), Timestamp::millis(3));
+        let rows = store.export_rows();
+        assert_eq!(
+            rows.iter()
+                .map(|(g, e, f, _)| (g.as_str(), e.as_str(), f.as_str()))
+                .collect::<Vec<_>>(),
+            vec![("g", "e1", "f"), ("g", "e2", "f"), ("h", "e1", "g")]
+        );
+        assert_eq!(rows[1].3.written_at, Timestamp::millis(2));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`models`] | downstream classifiers + evaluation metrics |
 //! | [`monitor`] | drift, skew, slice finding, patching |
 //! | [`serve`] | TCP serving layer: wire protocol, batching, admission control |
+//! | [`repl`] | snapshot-based replication: leader publication log + followers |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use fstore_index as index;
 pub use fstore_models as models;
 pub use fstore_monitor as monitor;
 pub use fstore_query as query;
+pub use fstore_repl as repl;
 pub use fstore_serve as serve;
 pub use fstore_storage as storage;
 pub use fstore_stream as stream;
