@@ -1,4 +1,4 @@
-//! Runs the derived experiment suite E1–E17 (see DESIGN.md §3 and
+//! Runs the derived experiment suite E1–E18 (see DESIGN.md §3 and
 //! EXPERIMENTS.md).
 //!
 //! ```text
@@ -25,7 +25,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--list] [ids…]\n\
-                     ids: e1..e17 (default: all)"
+                     ids: e1..e18 (default: all)"
                 );
                 return;
             }

@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E17 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E18 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -19,6 +19,7 @@ pub mod e14_network_serving;
 pub mod e15_ann_serving;
 pub mod e16_epoch_reads;
 pub mod e17_replication;
+pub mod e18_chaos;
 
 use fstore_common::Result;
 
@@ -117,6 +118,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E17 Snapshot replication with epoch-consistent followers (§4)",
             run: e17_replication::run,
         },
+        Experiment {
+            id: "e18",
+            title: "E18 Chaos: client-side failover under fault injection (§2.2.2, §4)",
+            run: e18_chaos::run,
+        },
     ]
 }
 
@@ -142,10 +148,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 17);
+        assert_eq!(exps.len(), 18);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 }

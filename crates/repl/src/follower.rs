@@ -19,10 +19,11 @@
 //! [`FullSnapshot`]: crate::codec::FullSnapshot
 
 use crate::codec::{self, EmbeddingsDelta, FullSnapshot, IndexDelta, OfflineDelta, OnlineDelta};
+use fstore_common::rng::{Rng, Xoshiro256};
 use fstore_common::{ComponentKind, DeltaRecord, FsError, ReadEpoch, Result};
 use fstore_core::FeatureServer;
 use fstore_embed::{EmbeddingDb, EmbeddingStore};
-use fstore_serve::{Clock, FeatureClient, IndexCatalog, ServeEngine, ServingMetrics};
+use fstore_serve::{Clock, FeatureClient, IndexCatalog, RetryPolicy, ServeEngine, ServingMetrics};
 use fstore_storage::{OfflineDb, OfflineStore, OnlineStore};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -231,24 +232,56 @@ impl Follower {
 
     /// Spawn a background loop calling [`sync_once`](Self::sync_once)
     /// every `interval`, reconnecting on connection loss.
+    ///
+    /// Failed rounds (connect refused, sync error) back off with jittered
+    /// exponential delays instead of hammering a down leader at the poll
+    /// rate — a restarting leader would otherwise face a thundering herd
+    /// of followers all polling at the same instant. The consecutive
+    /// failure count is exported through the attached [`ServingMetrics`]
+    /// so operators can see a follower that cannot reach its leader.
     pub fn start_sync(self: &Arc<Self>, interval: Duration) -> SyncHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let follower = Arc::clone(self);
         let stop2 = Arc::clone(&stop);
+        let backoff = RetryPolicy {
+            // The loop itself is the retry budget; the policy only shapes
+            // the delay curve.
+            max_attempts: u32::MAX,
+            base_backoff: interval.max(Duration::from_millis(1)),
+            multiplier: 2.0,
+            max_backoff: (interval * 32).max(Duration::from_millis(250)),
+            jitter: 0.25,
+        };
         let thread = std::thread::Builder::new()
             .name("fstore-repl-sync".to_string())
             .spawn(move || {
+                let mut rng = Xoshiro256::seeded(0x5f0_110_3e7 ^ interval.as_nanos() as u64);
                 let mut client = None;
+                let mut failures: u32 = 0;
                 while !stop2.load(Ordering::Acquire) {
                     if client.is_none() {
                         client = follower.connect().ok();
-                    }
-                    if let Some(c) = client.as_mut() {
-                        if follower.sync_once(c).is_err() {
-                            client = None; // reconnect next round
+                        if client.is_none() {
+                            failures = failures.saturating_add(1);
                         }
                     }
-                    std::thread::sleep(interval);
+                    if let Some(c) = client.as_mut() {
+                        if follower.sync_once(c).is_ok() {
+                            failures = 0;
+                        } else {
+                            client = None; // reconnect next round
+                            failures = failures.saturating_add(1);
+                        }
+                    }
+                    if let Some(m) = follower.metrics.lock().as_ref() {
+                        m.set_repl_consecutive_failures(u64::from(failures));
+                    }
+                    let delay = if failures == 0 {
+                        interval
+                    } else {
+                        backoff.backoff(failures.saturating_sub(1), rng.next_f64())
+                    };
+                    sleep_responsive(&stop2, delay);
                 }
             })
             .expect("spawn repl sync thread");
@@ -334,6 +367,18 @@ impl std::fmt::Debug for Follower {
             .field("leader_epoch", &self.leader_epoch())
             .field("fallbacks", &self.fallbacks())
             .finish()
+    }
+}
+
+/// Sleep `total`, but wake every few milliseconds to honour a stop
+/// request — backoff delays must not stretch shutdown.
+fn sleep_responsive(stop: &AtomicBool, total: Duration) {
+    let slice = Duration::from_millis(10);
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !stop.load(Ordering::Acquire) {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
     }
 }
 

@@ -1,0 +1,112 @@
+//! Follower resilience: the background sync loop backs off while its
+//! leader is down, exports the consecutive-failure count through the
+//! serving metrics, and resumes cleanly when the leader returns on the
+//! same address.
+
+use fstore_common::{Schema, Value, ValueType};
+use fstore_repl::{Follower, LeaderParts, ReplLeader};
+use fstore_serve::{fixed_clock, start, ServeConfig, ServingMetrics};
+use fstore_storage::TableConfig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn now_ts() -> fstore_common::Timestamp {
+    fstore_common::Timestamp::millis(1_000_000)
+}
+
+fn serve_config(addr: &str) -> ServeConfig {
+    ServeConfig::builder()
+        .addr(addr)
+        .workers(2)
+        .queue_depth(64)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sync_loop_backs_off_while_leader_is_down_and_recovers_on_restart() {
+    let leader = ReplLeader::with_retention(LeaderParts::new(), 256);
+    leader
+        .parts()
+        .offline
+        .write(|s| {
+            s.create_table(
+                "events",
+                TableConfig::new(Schema::of(&[("n", ValueType::Int)])),
+            )
+        })
+        .unwrap();
+
+    let handle = start(
+        leader.engine(fixed_clock(now_ts())),
+        serve_config("127.0.0.1:0"),
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let follower = Arc::new(Follower::bootstrap(&addr).unwrap());
+    let metrics = Arc::new(ServingMetrics::new());
+    follower.attach_metrics(Arc::clone(&metrics));
+    let sync = follower.start_sync(Duration::from_millis(5));
+
+    // Healthy loop: a publish lands on the follower.
+    leader
+        .parts()
+        .offline
+        .write(|s| s.append("events", &[Value::Int(1)]))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while follower.applied_epoch() != leader.log().last_seq() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(follower.applied_epoch(), leader.log().last_seq());
+    assert_eq!(metrics.repl_consecutive_failures(), 0);
+
+    // Kill the leader's server. The loop must start failing — and the
+    // failure streak must show up in the exported metrics.
+    handle.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metrics.repl_consecutive_failures() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        metrics.repl_consecutive_failures() >= 2,
+        "failure streak never exported; loop may be wedged"
+    );
+
+    // Leader comes back on the same address with more data published
+    // while it was "down" (state survives; only the server died).
+    leader
+        .parts()
+        .offline
+        .write(|s| s.append("events", &[Value::Int(2)]))
+        .unwrap();
+    let handle = start(leader.engine(fixed_clock(now_ts())), serve_config(&addr)).unwrap();
+
+    // The backed-off loop reconnects (within its capped delay), drains
+    // the missed delta, and the failure streak resets.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (follower.applied_epoch() != leader.log().last_seq()
+        || metrics.repl_consecutive_failures() != 0)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        follower.applied_epoch(),
+        leader.log().last_seq(),
+        "follower never caught up after leader restart"
+    );
+    assert_eq!(
+        metrics.repl_consecutive_failures(),
+        0,
+        "failure streak must reset after recovery"
+    );
+    assert_eq!(
+        follower.offline().read().value.num_rows("events").unwrap(),
+        2
+    );
+
+    sync.stop();
+    handle.shutdown();
+}

@@ -64,6 +64,12 @@ impl AdmissionController {
         self.tx.len()
     }
 
+    /// The shared metrics sink (connection threads record frame-level
+    /// refusals through it).
+    pub fn metrics(&self) -> &ServingMetrics {
+        &self.metrics
+    }
+
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
     }
@@ -82,6 +88,7 @@ mod tests {
                 request: Request::Health,
                 reply: reply_tx,
                 accepted_at: Instant::now(),
+                deadline: None,
             },
             reply_rx,
         )

@@ -23,6 +23,11 @@ pub struct Job {
     /// When admission accepted the job; latency is measured from here so
     /// queue wait shows up in the percentiles.
     pub accepted_at: Instant,
+    /// The client's deadline for this job, if it sent a budget
+    /// (`Request::WithDeadline`). A worker that dequeues the job after
+    /// this instant sheds it with `DeadlineExceeded` instead of running
+    /// it — the caller has already given up.
+    pub deadline: Option<Instant>,
 }
 
 /// A coalesced group of single-entity lookups: same group, same features.
@@ -138,6 +143,7 @@ mod tests {
             request,
             reply,
             accepted_at: Instant::now(),
+            deadline: None,
         }
     }
 

@@ -9,6 +9,37 @@ use crate::protocol::{
 use crate::repl::ReplLogState;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket deadlines for a [`FeatureClient`] connection. The defaults are
+/// deliberately generous — they exist to turn a dead or wedged peer into
+/// a typed error instead of an unbounded wait, not to enforce latency
+/// SLOs (that is what [`Request::WithDeadline`] budgets are for).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect bound; `None` falls back to the OS default (which can
+    /// be minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on waiting for a response to arrive.
+    pub read_timeout: Option<Duration>,
+    /// Bound on pushing a request onto the socket.
+    pub write_timeout: Option<Duration>,
+    /// When set, every request is wrapped in a
+    /// [`Request::WithDeadline`] envelope with this budget, letting the
+    /// server shed it once the caller must have given up.
+    pub deadline_budget: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            deadline_budget: None,
+        }
+    }
+}
 
 /// One embedding vector read over the wire, carrying the table version it
 /// was served from — without the version a client cannot tell whether two
@@ -100,24 +131,94 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// Whether this failure is a connect/read/write timeout (a deadline
+    /// fired, as opposed to a refusal or a protocol violation).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            )
+        )
+    }
 }
 
 /// A blocking connection to a feature server.
 pub struct FeatureClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    deadline_budget: Option<Duration>,
 }
 
 impl FeatureClient {
+    /// Connect with the default [`ClientConfig`] — bounded connect, read,
+    /// and write, no per-request deadline budget.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(FeatureClient { writer, reader })
+        Self::connect_with(addr, &ClientConfig::default())
     }
 
-    /// Send one request and wait for its response.
+    /// Connect with explicit socket deadlines and (optionally) a
+    /// per-request deadline budget.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> std::io::Result<Self> {
+        let writer = match config.connect_timeout {
+            Some(bound) => {
+                // connect_timeout wants a resolved address; try each one
+                // and keep the last error for the caller.
+                let mut last_err = None;
+                let mut connected = None;
+                for addr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&addr, bound) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to no endpoints",
+                        )
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        writer.set_nodelay(true)?;
+        writer.set_read_timeout(config.read_timeout)?;
+        writer.set_write_timeout(config.write_timeout)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(FeatureClient {
+            writer,
+            reader,
+            deadline_budget: config.deadline_budget,
+        })
+    }
+
+    /// Change the per-request deadline budget on a live connection.
+    pub fn set_deadline_budget(&mut self, budget: Option<Duration>) {
+        self.deadline_budget = budget;
+    }
+
+    /// Send one request and wait for its response. A configured deadline
+    /// budget wraps the request in a [`Request::WithDeadline`] envelope
+    /// (unless the caller already wrapped it).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let wrapped;
+        let request = match self.deadline_budget {
+            Some(budget) if !matches!(request, Request::WithDeadline { .. }) => {
+                wrapped = Request::WithDeadline {
+                    budget_ms: u32::try_from(budget.as_millis()).unwrap_or(u32::MAX),
+                    inner: Box::new(request.clone()),
+                };
+                &wrapped
+            }
+            _ => request,
+        };
         write_frame(&mut self.writer, &request.encode())?;
         let payload = read_frame(&mut self.reader)?.ok_or(ClientError::ConnectionClosed)?;
         Response::decode(&payload).map_err(ClientError::Wire)

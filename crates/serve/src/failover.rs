@@ -1,0 +1,363 @@
+//! Client-side failover across an ordered endpoint list.
+//!
+//! A [`FailoverClient`] holds the leader first and any followers after it.
+//! Reads go to the healthiest endpoint in list order; each endpoint sits
+//! behind its own [`CircuitBreaker`], so an endpoint that keeps failing is
+//! taken out of rotation for a cooldown instead of eating a connect
+//! timeout on every call. After the cooldown the breaker goes half-open
+//! and admits a single probe: success closes the circuit, failure re-opens
+//! it. Because followers converge to byte-identical snapshot answers
+//! (PR 6's replication invariant), failing a read over to a follower can
+//! change staleness but never correctness.
+//!
+//! The breaker takes `Instant`s as arguments rather than reading the
+//! clock itself, which keeps the closed → open → half-open → closed walk
+//! unit-testable without sleeps.
+
+use crate::client::{ClientConfig, ClientError, FeatureClient};
+use crate::protocol::{Request, Response};
+use crate::retry::{classify, ErrorClass, RetryPolicy};
+use fstore_common::rng::{Rng, Xoshiro256};
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses traffic before allowing a
+    /// half-open probe.
+    pub open_cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, failures are counted.
+    Closed,
+    /// Tripped: traffic is refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe is in flight; its outcome
+    /// decides between `Closed` and `Open`.
+    HalfOpen,
+}
+
+/// A per-endpoint circuit breaker (closed → open → half-open → closed).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    consecutive_failures: u32,
+    /// `Some(when)` while open/half-open: the instant the breaker tripped.
+    opened_at: Option<Instant>,
+    /// True while a half-open probe is outstanding.
+    probing: bool,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            consecutive_failures: 0,
+            opened_at: None,
+            probing: false,
+        }
+    }
+
+    /// The state as of `now`.
+    pub fn state(&self, now: Instant) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if now.duration_since(at) >= self.config.open_cooldown => {
+                BreakerState::HalfOpen
+            }
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Whether a call may proceed at `now`. Half-open admits only one
+    /// probe at a time; callers that get `true` must report the outcome
+    /// via [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`].
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    false
+                } else {
+                    self.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// A call succeeded: close the circuit and forget past failures.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// A call failed at `now`: count it, trip the breaker at the
+    /// threshold, and re-open on a failed half-open probe.
+    pub fn record_failure(&mut self, now: Instant) {
+        self.probing = false;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.config.failure_threshold || self.opened_at.is_some() {
+            // Tripping (or re-tripping after a failed probe) restarts the
+            // cooldown from this failure.
+            self.opened_at = Some(now);
+        }
+    }
+
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+struct Endpoint {
+    addr: String,
+    breaker: CircuitBreaker,
+    conn: Option<FeatureClient>,
+}
+
+/// Counters a chaos experiment reads to show the failover actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverStats {
+    /// Calls answered by an endpoint other than the first (the leader).
+    pub failed_over_calls: u64,
+    /// Retries across all endpoints (beyond each call's first attempt).
+    pub retries: u64,
+    /// Calls that exhausted every endpoint and the retry budget.
+    pub exhausted_calls: u64,
+}
+
+/// A client over an ordered endpoint list with per-endpoint circuit
+/// breakers and retry/backoff between rounds.
+pub struct FailoverClient {
+    endpoints: Vec<Endpoint>,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    breaker_config: BreakerConfig,
+    rng: Xoshiro256,
+    stats: FailoverStats,
+}
+
+impl FailoverClient {
+    /// `addrs` in preference order — leader first, then followers.
+    pub fn connect(
+        addrs: &[&str],
+        config: ClientConfig,
+        policy: RetryPolicy,
+        breaker_config: BreakerConfig,
+    ) -> Self {
+        assert!(
+            !addrs.is_empty(),
+            "FailoverClient needs at least one endpoint"
+        );
+        FailoverClient {
+            endpoints: addrs
+                .iter()
+                .map(|addr| Endpoint {
+                    addr: addr.to_string(),
+                    breaker: CircuitBreaker::new(breaker_config),
+                    conn: None,
+                })
+                .collect(),
+            config,
+            policy,
+            breaker_config,
+            rng: Xoshiro256::seeded(0xfa11_04e2_9e37_79b9),
+            stats: FailoverStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> FailoverStats {
+        self.stats
+    }
+
+    /// The breaker state of endpoint `i` (list order), for tests and
+    /// experiment assertions.
+    pub fn breaker_state(&self, i: usize, now: Instant) -> BreakerState {
+        self.endpoints[i].breaker.state(now)
+    }
+
+    /// Pick the healthiest endpoint that will accept a call right now:
+    /// first closed breaker in list order, else first half-open breaker
+    /// willing to probe.
+    fn pick(&mut self, now: Instant) -> Option<usize> {
+        let closed = self
+            .endpoints
+            .iter()
+            .position(|e| e.breaker.state(now) == BreakerState::Closed);
+        if let Some(i) = closed {
+            // Closed breakers always allow.
+            self.endpoints[i].breaker.allow(now);
+            return Some(i);
+        }
+        (0..self.endpoints.len()).find(|&i| self.endpoints[i].breaker.allow(now))
+    }
+
+    fn call_endpoint(&mut self, i: usize, request: &Request) -> Result<Response, ClientError> {
+        let config = self.config.clone();
+        let endpoint = &mut self.endpoints[i];
+        if endpoint.conn.is_none() {
+            endpoint.conn = Some(
+                FeatureClient::connect_with(endpoint.addr.as_str(), &config)
+                    .map_err(ClientError::Io)?,
+            );
+        }
+        let result = endpoint
+            .conn
+            .as_mut()
+            .expect("just connected")
+            .call(request);
+        if let Err(e) = &result {
+            if classify(e) == ErrorClass::Transport {
+                endpoint.conn = None;
+            }
+        }
+        result
+    }
+
+    /// Send one request, walking endpoints healthiest-first with retries
+    /// and backoff. A server's definitive answer (including a typed
+    /// error) returns immediately; only transient failures move on.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt: u32 = 0;
+        let mut last_err: Option<ClientError> = None;
+        loop {
+            let now = Instant::now();
+            match self.pick(now) {
+                Some(i) => match self.call_endpoint(i, request) {
+                    Ok(response) => {
+                        self.endpoints[i].breaker.record_success();
+                        if i != 0 {
+                            self.stats.failed_over_calls += 1;
+                        }
+                        return Ok(response);
+                    }
+                    Err(error) => {
+                        self.endpoints[i].breaker.record_failure(Instant::now());
+                        if classify(&error) == ErrorClass::Fatal {
+                            // A definitive server answer; another endpoint
+                            // would (byte-identically) say the same.
+                            return Err(error);
+                        }
+                        last_err = Some(error);
+                    }
+                },
+                None => {
+                    // Every breaker is open; treat it like a shed and back
+                    // off until a cooldown admits a probe.
+                    if last_err.is_none() {
+                        last_err = Some(ClientError::Io(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionRefused,
+                            "all endpoints circuit-broken",
+                        )));
+                    }
+                }
+            }
+            if !request.is_idempotent() || attempt + 1 >= self.policy.max_attempts {
+                self.stats.exhausted_calls += 1;
+                return Err(last_err.expect("loop always records an error before exiting"));
+            }
+            let unit = self.rng.next_f64();
+            std::thread::sleep(self.policy.backoff(attempt, unit));
+            self.stats.retries += 1;
+            attempt += 1;
+        }
+    }
+
+    /// Expose the breaker config (tests construct matching breakers).
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker_config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn walks_closed_open_half_open_closed() {
+        let t0 = Instant::now();
+        let mut b = breaker(2, 100);
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        assert!(b.allow(t0));
+        b.record_failure(t0);
+        assert_eq!(
+            b.state(t0),
+            BreakerState::Closed,
+            "one failure under threshold"
+        );
+        b.record_failure(t0);
+        assert_eq!(
+            b.state(t0),
+            BreakerState::Open,
+            "threshold trips the breaker"
+        );
+        assert!(!b.allow(t0), "open refuses traffic");
+
+        let later = t0 + Duration::from_millis(100);
+        assert_eq!(b.state(later), BreakerState::HalfOpen);
+        assert!(b.allow(later), "half-open admits one probe");
+        assert!(!b.allow(later), "…but only one");
+        b.record_success();
+        assert_eq!(b.state(later), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_fresh_cooldown() {
+        let t0 = Instant::now();
+        let mut b = breaker(1, 100);
+        b.record_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+
+        let probe_at = t0 + Duration::from_millis(150);
+        assert!(b.allow(probe_at));
+        b.record_failure(probe_at);
+        assert_eq!(
+            b.state(probe_at + Duration::from_millis(60)),
+            BreakerState::Open,
+            "cooldown restarts from the failed probe, not the original trip"
+        );
+        assert_eq!(
+            b.state(probe_at + Duration::from_millis(100)),
+            BreakerState::HalfOpen
+        );
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let t0 = Instant::now();
+        let mut b = breaker(3, 100);
+        b.record_failure(t0);
+        b.record_failure(t0);
+        b.record_success();
+        b.record_failure(t0);
+        assert_eq!(
+            b.state(t0),
+            BreakerState::Closed,
+            "streak broken by a success never trips"
+        );
+    }
+}

@@ -22,7 +22,14 @@
 //!   drains admitted work before the pool exits.
 //! * [`metrics`] — per-endpoint counters and p50/p95/p99 latency from
 //!   streaming P² estimators, dumpable as JSON.
-//! * [`client`] — a blocking client, also used by the E14 load generator.
+//! * [`client`] — a blocking client with connect/read/write deadlines and
+//!   optional per-request deadline budgets; also the E14 load generator.
+//! * [`retry`] — jittered exponential backoff with idempotency-aware
+//!   failure classification, and a reconnecting [`retry::RetryingClient`].
+//! * [`failover`] — [`failover::FailoverClient`]: an ordered endpoint list
+//!   (leader first, then followers) behind per-endpoint circuit breakers.
+//! * [`fault`] (feature `testing`) — a deterministic fault-injecting TCP
+//!   proxy for chaos tests and the E18 experiment.
 //! * [`repl`] — the [`repl::ReplProvider`] seam: a leader built with
 //!   `fstore-repl` answers the `Repl*` endpoints through it, so followers
 //!   can bootstrap from a snapshot and stream epoch-tagged deltas.
@@ -31,20 +38,28 @@ pub mod admission;
 pub mod batch;
 pub mod catalog;
 pub mod client;
+pub mod failover;
+#[cfg(feature = "testing")]
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod repl;
+pub mod retry;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmitReject};
 pub use catalog::{CatalogError, IndexCatalog, IndexMap, IndexSnapshot, IndexSpec, SearchOutcome};
-pub use client::{ClientError, DeltaBatch, EmbeddingRead, FeatureClient, Neighbors};
+pub use client::{ClientConfig, ClientError, DeltaBatch, EmbeddingRead, FeatureClient, Neighbors};
+pub use failover::{BreakerConfig, BreakerState, CircuitBreaker, FailoverClient, FailoverStats};
+#[cfg(feature = "testing")]
+pub use fault::{Faults, FaultyProxy};
 pub use metrics::{Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics};
 pub use protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireDelta, WireError,
-    WireHit, WireVector, MAX_FRAME_LEN,
+    read_frame, read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response,
+    SearchOptions, WireDelta, WireError, WireHit, WireVector, MAX_FRAME_LEN,
 };
 pub use repl::{ReplLogState, ReplProvider};
+pub use retry::{classify, ErrorClass, RetryPolicy, RetryingClient};
 pub use server::{
     atomic_clock, fixed_clock, start, Clock, ServeConfig, ServeConfigBuilder, ServeEngine,
     ServerHandle,

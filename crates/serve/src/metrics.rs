@@ -136,6 +136,19 @@ pub struct ServingMetrics {
     /// Replication (follower role): full-snapshot fallbacks taken after
     /// lagging past the leader's retention window.
     repl_snapshot_fallbacks: AtomicU64,
+    /// Jobs shed at dequeue because their deadline budget had already
+    /// expired — work the caller stopped waiting for.
+    deadline_shed: AtomicU64,
+    /// Request frames refused because their declared length exceeded the
+    /// configured per-request ceiling.
+    frames_too_large: AtomicU64,
+    /// Connections cut because a started frame did not finish within the
+    /// frame read budget (slow-loris containment).
+    frame_timeouts: AtomicU64,
+    /// Replication (follower role): consecutive sync/connect failures as
+    /// of the last attempt (0 = last round succeeded). A rising value is
+    /// the first sign the leader is unreachable.
+    repl_consecutive_failures: AtomicU64,
 }
 
 impl Default for ServingMetrics {
@@ -151,6 +164,10 @@ impl Default for ServingMetrics {
             repl_applied_epoch: AtomicU64::new(0),
             repl_leader_epoch: AtomicU64::new(0),
             repl_snapshot_fallbacks: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            frames_too_large: AtomicU64::new(0),
+            frame_timeouts: AtomicU64::new(0),
+            repl_consecutive_failures: AtomicU64::new(0),
         }
     }
 }
@@ -208,6 +225,43 @@ impl ServingMetrics {
     /// leader's retention window).
     pub fn record_repl_fallback(&self) {
         self.repl_snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one job shed at dequeue because its deadline had expired.
+    pub fn record_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one frame refused for exceeding the request-frame ceiling.
+    pub fn record_frame_too_large(&self) {
+        self.frames_too_large.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection cut because a started frame stalled past the
+    /// frame read budget.
+    pub fn record_frame_timeout(&self) {
+        self.frame_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the follower's consecutive sync-failure count (0 on success).
+    pub fn set_repl_consecutive_failures(&self, n: u64) {
+        self.repl_consecutive_failures.store(n, Ordering::Relaxed);
+    }
+
+    pub fn deadline_shed_count(&self) -> u64 {
+        self.deadline_shed.load(Ordering::Relaxed)
+    }
+
+    pub fn frames_too_large_count(&self) -> u64 {
+        self.frames_too_large.load(Ordering::Relaxed)
+    }
+
+    pub fn frame_timeout_count(&self) -> u64 {
+        self.frame_timeouts.load(Ordering::Relaxed)
+    }
+
+    pub fn repl_consecutive_failures(&self) -> u64 {
+        self.repl_consecutive_failures.load(Ordering::Relaxed)
     }
 
     /// Epochs the follower is behind the leader, as of the last sync (0 when
@@ -272,6 +326,10 @@ impl ServingMetrics {
             repl_leader_epoch: self.repl_leader_epoch.load(Ordering::Relaxed),
             repl_lag: self.repl_lag(),
             repl_snapshot_fallbacks: self.repl_snapshot_fallbacks.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            frames_too_large: self.frames_too_large.load(Ordering::Relaxed),
+            frame_timeouts: self.frame_timeouts.load(Ordering::Relaxed),
+            repl_consecutive_failures: self.repl_consecutive_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -308,6 +366,10 @@ pub struct MetricsSnapshot {
     pub repl_leader_epoch: u64,
     pub repl_lag: u64,
     pub repl_snapshot_fallbacks: u64,
+    pub deadline_shed: u64,
+    pub frames_too_large: u64,
+    pub frame_timeouts: u64,
+    pub repl_consecutive_failures: u64,
 }
 
 #[cfg(test)]
@@ -363,6 +425,27 @@ mod tests {
         // The repl endpoints are first-class metric labels.
         m.record(Endpoint::ReplDeltas, 0.2, true);
         assert_eq!(m.snapshot().endpoints["repl_deltas"].requests, 1);
+    }
+
+    #[test]
+    fn robustness_counters_flow_into_the_snapshot() {
+        let m = ServingMetrics::new();
+        m.record_deadline_shed();
+        m.record_deadline_shed();
+        m.record_frame_too_large();
+        m.record_frame_timeout();
+        m.set_repl_consecutive_failures(3);
+        let snap = m.snapshot();
+        assert_eq!(snap.deadline_shed, 2);
+        assert_eq!(snap.frames_too_large, 1);
+        assert_eq!(snap.frame_timeouts, 1);
+        assert_eq!(snap.repl_consecutive_failures, 3);
+        assert_eq!(m.deadline_shed_count(), 2);
+        assert_eq!(m.frames_too_large_count(), 1);
+        assert_eq!(m.frame_timeout_count(), 1);
+        // A successful round resets the failure streak.
+        m.set_repl_consecutive_failures(0);
+        assert_eq!(m.repl_consecutive_failures(), 0);
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub enum ErrorCode {
     IndexNotReady = 7,
     /// The query vector's dimension does not match the index.
     DimensionMismatch = 8,
+    /// The request's deadline budget expired before a worker reached it;
+    /// the server shed it unexecuted rather than burn a worker on an
+    /// answer nobody is waiting for.
+    DeadlineExceeded = 9,
+    /// The request frame's declared length exceeds the server's
+    /// configured per-request ceiling.
+    FrameTooLarge = 10,
 }
 
 impl ErrorCode {
@@ -82,6 +89,8 @@ impl ErrorCode {
             6 => ErrorCode::Internal,
             7 => ErrorCode::IndexNotReady,
             8 => ErrorCode::DimensionMismatch,
+            9 => ErrorCode::DeadlineExceeded,
+            10 => ErrorCode::FrameTooLarge,
             tag => {
                 return Err(WireError::BadTag {
                     ty: "ErrorCode",
@@ -173,6 +182,12 @@ pub enum Request {
     /// Replication: every publication strictly after sequence number
     /// `from_epoch` (the replication epoch the follower has applied).
     ReplDeltas { from_epoch: u64 },
+    /// A deadline budget wrapped around another request: the client gives
+    /// the server `budget_ms` from admission to finish the inner request;
+    /// a worker that dequeues it after the budget lapsed sheds it with
+    /// [`ErrorCode::DeadlineExceeded`] instead of executing it. Wrappers
+    /// never nest.
+    WithDeadline { budget_ms: u32, inner: Box<Request> },
 }
 
 impl Request {
@@ -189,6 +204,27 @@ impl Request {
             Request::ReplSubscribe => Endpoint::ReplSubscribe,
             Request::ReplSnapshot => Endpoint::ReplSnapshot,
             Request::ReplDeltas { .. } => Endpoint::ReplDeltas,
+            Request::WithDeadline { inner, .. } => inner.endpoint(),
+        }
+    }
+
+    /// Whether re-sending this request cannot change server state — the
+    /// precondition for a client to retry it on another connection or
+    /// endpoint. Every request on the wire today is a read, but the
+    /// classification is explicit so future mutating endpoints default to
+    /// non-retryable.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            Request::Health
+            | Request::GetFeatures { .. }
+            | Request::GetFeaturesBatch { .. }
+            | Request::GetEmbedding { .. }
+            | Request::SearchNearest { .. }
+            | Request::SearchNearestByKey { .. }
+            | Request::ReplSubscribe
+            | Request::ReplSnapshot
+            | Request::ReplDeltas { .. } => true,
+            Request::WithDeadline { inner, .. } => inner.is_idempotent(),
         }
     }
 
@@ -254,48 +290,65 @@ impl Request {
                 buf.put_u8(8);
                 buf.put_u64(*from_epoch);
             }
+            Request::WithDeadline { budget_ms, inner } => {
+                buf.put_u8(9);
+                buf.put_u32(*budget_ms);
+                buf.put_slice(&inner.encode());
+            }
         }
         buf.freeze()
     }
 
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut r = payload;
-        let request = match take_u8(&mut r)? {
+        let request = Self::decode_tagged(&mut r, true)?;
+        finish(r)?;
+        Ok(request)
+    }
+
+    /// Decode one tagged request. `allow_deadline` is false inside a
+    /// [`Request::WithDeadline`] body: wrappers never nest, so a nested
+    /// tag is a [`WireError::BadTag`], not a stack hazard.
+    fn decode_tagged(r: &mut &[u8], allow_deadline: bool) -> Result<Self, WireError> {
+        let request = match take_u8(r)? {
             0 => Request::Health,
             1 => Request::GetFeatures {
-                group: take_str(&mut r)?,
-                entity: take_str(&mut r)?,
-                features: take_str_seq(&mut r)?,
+                group: take_str(r)?,
+                entity: take_str(r)?,
+                features: take_str_seq(r)?,
             },
             2 => Request::GetFeaturesBatch {
-                group: take_str(&mut r)?,
-                entities: take_str_seq(&mut r)?,
-                features: take_str_seq(&mut r)?,
+                group: take_str(r)?,
+                entities: take_str_seq(r)?,
+                features: take_str_seq(r)?,
             },
             3 => Request::GetEmbedding {
-                table: take_str(&mut r)?,
-                key: take_str(&mut r)?,
+                table: take_str(r)?,
+                key: take_str(r)?,
             },
             4 => Request::SearchNearest {
-                table: take_str(&mut r)?,
-                query: take_f32_seq(&mut r)?,
-                k: take_u32(&mut r)?,
-                options: SearchOptions::decode(&mut r)?,
+                table: take_str(r)?,
+                query: take_f32_seq(r)?,
+                k: take_u32(r)?,
+                options: SearchOptions::decode(r)?,
             },
             5 => Request::SearchNearestByKey {
-                table: take_str(&mut r)?,
-                key: take_str(&mut r)?,
-                k: take_u32(&mut r)?,
-                options: SearchOptions::decode(&mut r)?,
+                table: take_str(r)?,
+                key: take_str(r)?,
+                k: take_u32(r)?,
+                options: SearchOptions::decode(r)?,
             },
             6 => Request::ReplSubscribe,
             7 => Request::ReplSnapshot,
             8 => Request::ReplDeltas {
-                from_epoch: take_u64(&mut r)?,
+                from_epoch: take_u64(r)?,
+            },
+            9 if allow_deadline => Request::WithDeadline {
+                budget_ms: take_u32(r)?,
+                inner: Box::new(Self::decode_tagged(r, false)?),
             },
             tag => return Err(WireError::BadTag { ty: "Request", tag }),
         };
-        finish(r)?;
         Ok(request)
     }
 }
@@ -652,6 +705,107 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Outcome of a [`read_frame_bounded`] call.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The declared length exceeds the caller's ceiling; nothing past the
+    /// prefix was read, so the caller can still write a typed refusal
+    /// before closing.
+    TooLarge { declared: usize },
+    /// The peer started a frame but did not deliver the rest within the
+    /// budget (slow-loris, stall, or mid-frame death by firewall).
+    TimedOut,
+}
+
+/// Read one frame with a size ceiling and a time bound on the frame body.
+///
+/// Waiting for the *first byte* of a frame blocks indefinitely — an idle
+/// keep-alive connection is not a fault. But once a frame has started,
+/// the whole thing (rest of the length prefix plus payload) must arrive
+/// within `frame_timeout`, so a peer that drips one byte per second can
+/// hold only its own connection thread, never wedge the read loop. The
+/// timeout is enforced as a hard deadline via `set_read_timeout` on
+/// `socket` (which must be the same fd `reader` wraps).
+pub fn read_frame_bounded<R: Read>(
+    socket: &std::net::TcpStream,
+    reader: &mut R,
+    max_len: usize,
+    frame_timeout: Option<std::time::Duration>,
+) -> std::io::Result<FrameOutcome> {
+    use std::time::Instant;
+
+    // Idle phase: block until a frame begins (or clean EOF).
+    socket.set_read_timeout(None)?;
+    let mut len_bytes = [0u8; 4];
+    match read_some(reader, &mut len_bytes[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(FrameOutcome::Eof),
+        Err(e) => return Err(e),
+    }
+
+    // Frame phase: everything else races one deadline.
+    let deadline = frame_timeout.map(|t| Instant::now() + t);
+    if !read_until_deadline(socket, reader, &mut len_bytes[1..], deadline)? {
+        return Ok(FrameOutcome::TimedOut);
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_len.min(MAX_FRAME_LEN) {
+        return Ok(FrameOutcome::TooLarge { declared: len });
+    }
+    let mut payload = vec![0u8; len];
+    if !read_until_deadline(socket, reader, &mut payload, deadline)? {
+        return Ok(FrameOutcome::TimedOut);
+    }
+    Ok(FrameOutcome::Frame(payload))
+}
+
+/// Fill `buf` completely or fail; a short read mid-structure is an error.
+fn read_some<R: Read>(reader: &mut R, buf: &mut [u8]) -> std::io::Result<()> {
+    reader.read_exact(buf)
+}
+
+/// Fill `buf`, giving the socket at most the time left until `deadline`.
+/// Returns `Ok(false)` when the deadline lapsed first.
+fn read_until_deadline<R: Read>(
+    socket: &std::net::TcpStream,
+    reader: &mut R,
+    buf: &mut [u8],
+    deadline: Option<std::time::Instant>,
+) -> std::io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if let Some(d) = deadline {
+            let Some(remaining) = d.checked_duration_since(std::time::Instant::now()) else {
+                return Ok(false);
+            };
+            // set_read_timeout(Some(0)) is an error; clamp to 1 ms.
+            socket.set_read_timeout(Some(remaining.max(std::time::Duration::from_millis(1))))?;
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(false)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
 
 /// Read one frame. `Ok(None)` on clean EOF at a frame boundary; oversized
@@ -1034,15 +1188,53 @@ mod tests {
     #[test]
     fn bad_tags_are_rejected() {
         assert!(matches!(
-            Request::decode(&[9]),
+            Request::decode(&[10]),
             Err(WireError::BadTag {
                 ty: "Request",
-                tag: 9
+                tag: 10
             })
         ));
         assert!(matches!(
             Response::decode(&[9]),
             Err(WireError::BadTag { .. })
         ));
+    }
+
+    #[test]
+    fn deadline_wrapper_round_trips_and_never_nests() {
+        let req = Request::WithDeadline {
+            budget_ms: 250,
+            inner: Box::new(Request::GetEmbedding {
+                table: "emb".into(),
+                key: "k1".into(),
+            }),
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        assert_eq!(req.endpoint(), crate::metrics::Endpoint::GetEmbedding);
+        assert!(req.is_idempotent());
+
+        // A wrapper inside a wrapper is a protocol violation, not a
+        // recursion: the inner tag 9 is rejected as unknown.
+        let nested = Request::WithDeadline {
+            budget_ms: 1,
+            inner: Box::new(Request::Health),
+        };
+        let mut bytes = vec![9u8, 0, 0, 0, 5];
+        bytes.extend_from_slice(&nested.encode());
+        assert_eq!(
+            Request::decode(&bytes),
+            Err(WireError::BadTag {
+                ty: "Request",
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn new_error_codes_round_trip() {
+        for code in [ErrorCode::DeadlineExceeded, ErrorCode::FrameTooLarge] {
+            let resp = Response::error(code, "deadline/frame");
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
     }
 }

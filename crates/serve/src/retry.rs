@@ -1,0 +1,231 @@
+//! Client-side retries: jittered exponential backoff plus an
+//! idempotency-aware classification of failures.
+//!
+//! The policy is deliberately split into pure functions —
+//! [`RetryPolicy::backoff`] maps `(attempt, unit-uniform)` to a delay and
+//! [`classify`] maps a [`ClientError`] to an [`ErrorClass`] — so property
+//! tests can pin down the retry behaviour without sockets or sleeps. The
+//! [`RetryingClient`] wrapper glues them to a real connection: it
+//! reconnects after transport failures, backs off before every retry
+//! (crucially including `Overloaded`, so a shedding server is never
+//! hammered by its own rejects), and refuses to retry anything that is
+//! not idempotent or not transient.
+
+use crate::client::{ClientConfig, ClientError, FeatureClient};
+use crate::protocol::{ErrorCode, Request, Response};
+use fstore_common::rng::{Rng, Xoshiro256};
+use std::time::Duration;
+
+/// How a failed call should be treated by a retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Connection-level trouble (I/O error, peer hang-up, undecodable
+    /// bytes): the connection is poisoned, reconnect and retry.
+    Transport,
+    /// The server explicitly pushed back (`Overloaded`, `ShuttingDown`):
+    /// retry, but only after backing off — retrying immediately feeds the
+    /// very overload that caused the refusal.
+    Backoff,
+    /// A definitive answer (`NotFound`, `BadRequest`, dimension errors,
+    /// an expired deadline budget, …): retrying cannot change it.
+    Fatal,
+}
+
+/// Classify a client failure for retry purposes.
+pub fn classify(error: &ClientError) -> ErrorClass {
+    match error {
+        ClientError::Io(_) | ClientError::ConnectionClosed | ClientError::Wire(_) => {
+            ErrorClass::Transport
+        }
+        ClientError::Server { code, .. } => match code {
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown => ErrorClass::Backoff,
+            _ => ErrorClass::Fatal,
+        },
+        ClientError::UnexpectedResponse(_) => ErrorClass::Fatal,
+    }
+}
+
+/// Jittered exponential backoff with a retry budget.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries including the first (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_backoff: Duration,
+    /// Growth factor per retry (≥ 1).
+    pub multiplier: f64,
+    /// Ceiling on any single delay.
+    pub max_backoff: Duration,
+    /// Fraction of the delay that jitter may subtract, in `[0, 1]`.
+    /// `0.25` means each delay is uniform in `[0.75·d, d]` — spreading
+    /// out retries from clients that failed at the same instant.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), given a uniform
+    /// draw `unit` in `[0, 1)` for jitter. Pure: the policy never touches
+    /// a clock or an RNG itself.
+    pub fn backoff(&self, attempt: u32, unit: f64) -> Duration {
+        let unit = unit.clamp(0.0, 1.0);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // Work in float seconds and cap before constructing the Duration:
+        // multiplier^attempt overflows Duration arithmetic long before it
+        // overflows f64 (which saturates harmlessly to infinity here).
+        let exp = self
+            .multiplier
+            .max(1.0)
+            .powi(attempt.min(i32::MAX as u32) as i32);
+        let full_s = (self.base_backoff.as_secs_f64() * exp).min(self.max_backoff.as_secs_f64());
+        let full = Duration::from_secs_f64(full_s).min(self.max_backoff);
+        full.mul_f64(1.0 - jitter * unit)
+    }
+
+    /// The delay with jitter disabled — the upper envelope of
+    /// [`RetryPolicy::backoff`], useful for bounding total retry time.
+    pub fn backoff_ceiling(&self, attempt: u32) -> Duration {
+        self.backoff(attempt, 0.0)
+    }
+
+    /// Whether a retry loop should try again: the request must be
+    /// idempotent, the failure transient, and the budget not exhausted.
+    /// `attempt` is 0-based (the try that just failed).
+    pub fn should_retry(&self, request: &Request, error: &ClientError, attempt: u32) -> bool {
+        request.is_idempotent()
+            && attempt + 1 < self.max_attempts
+            && classify(error) != ErrorClass::Fatal
+    }
+}
+
+/// A [`FeatureClient`] wrapper that reconnects and retries per a
+/// [`RetryPolicy`]. One endpoint only — for an ordered endpoint list with
+/// circuit breakers see [`crate::failover::FailoverClient`].
+pub struct RetryingClient {
+    addr: String,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    conn: Option<FeatureClient>,
+    rng: Xoshiro256,
+    retries: u64,
+}
+
+impl RetryingClient {
+    pub fn new(addr: impl Into<String>, config: ClientConfig, policy: RetryPolicy) -> Self {
+        RetryingClient {
+            addr: addr.into(),
+            config,
+            policy,
+            conn: None,
+            rng: Xoshiro256::seeded(0x5e77_1e5e_ed5e_ed00),
+            retries: 0,
+        }
+    }
+
+    /// Retries performed so far (not counting first attempts).
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut FeatureClient, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(
+                FeatureClient::connect_with(self.addr.as_str(), &self.config)
+                    .map_err(ClientError::Io)?,
+            );
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Send one request, retrying transient failures of idempotent
+    /// requests with backoff. Non-idempotent requests get exactly one
+    /// try on an established connection.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self
+                .ensure_conn()
+                .and_then(|conn| conn.call(request))
+                .inspect_err(|e| {
+                    if classify(e) == ErrorClass::Transport {
+                        // The stream may hold half a frame; never reuse it.
+                        self.conn = None;
+                    }
+                });
+            match result {
+                Ok(response) => return Ok(response),
+                Err(error) => {
+                    if !self.policy.should_retry(request, &error, attempt) {
+                        return Err(error);
+                    }
+                    let unit = self.rng.next_f64();
+                    std::thread::sleep(self.policy.backoff(attempt, unit));
+                    self.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(code: ErrorCode) -> ClientError {
+        ClientError::Server {
+            code,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn classification_matches_the_failure_table() {
+        let io = ClientError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t"));
+        assert_eq!(classify(&io), ErrorClass::Transport);
+        assert_eq!(
+            classify(&ClientError::ConnectionClosed),
+            ErrorClass::Transport
+        );
+        assert_eq!(classify(&err(ErrorCode::Overloaded)), ErrorClass::Backoff);
+        assert_eq!(classify(&err(ErrorCode::ShuttingDown)), ErrorClass::Backoff);
+        assert_eq!(classify(&err(ErrorCode::NotFound)), ErrorClass::Fatal);
+        assert_eq!(
+            classify(&err(ErrorCode::DeadlineExceeded)),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            classify(&ClientError::UnexpectedResponse("x")),
+            ErrorClass::Fatal
+        );
+    }
+
+    #[test]
+    fn backoff_caps_at_the_ceiling() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ceiling(30), policy.max_backoff);
+    }
+
+    #[test]
+    fn exhausted_budget_stops_retrying() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let request = Request::Health;
+        let overload = err(ErrorCode::Overloaded);
+        assert!(policy.should_retry(&request, &overload, 0));
+        assert!(!policy.should_retry(&request, &overload, 1));
+    }
+}

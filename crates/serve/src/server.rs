@@ -24,7 +24,8 @@ use crate::batch::{self, Job};
 use crate::catalog::{CatalogError, IndexCatalog, SearchOutcome};
 use crate::metrics::ServingMetrics;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireDelta, WireVector,
+    read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response, WireDelta,
+    WireVector,
 };
 use crate::repl::{check_snapshot_len, ReplProvider};
 use crossbeam::channel::{bounded, Receiver};
@@ -54,6 +55,18 @@ pub struct ServeConfig {
     /// Artificial per-claim delay — fault injection for load-shedding
     /// tests and experiments. `None` in production configurations.
     pub handler_delay: Option<std::time::Duration>,
+    /// Once a request frame has *started*, the rest of it must arrive
+    /// within this bound or the connection is cut — a slow-loris peer can
+    /// hold only its own connection thread, never a worker. Waiting for a
+    /// frame to start (an idle keep-alive connection) is unbounded.
+    pub frame_timeout: Option<std::time::Duration>,
+    /// Write timeout on every connection socket: a peer that stops
+    /// reading its responses cannot wedge a connection thread forever.
+    pub write_timeout: Option<std::time::Duration>,
+    /// Per-request frame ceiling; frames declaring more are refused with
+    /// a typed `FrameTooLarge` error before any payload is read. Clamped
+    /// by the protocol-wide [`crate::protocol::MAX_FRAME_LEN`].
+    pub max_request_frame: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +77,9 @@ impl Default for ServeConfig {
             queue_depth: 256,
             max_batch: 32,
             handler_delay: None,
+            frame_timeout: Some(std::time::Duration::from_secs(10)),
+            write_timeout: Some(std::time::Duration::from_secs(10)),
+            max_request_frame: crate::protocol::MAX_FRAME_LEN,
         }
     }
 }
@@ -111,6 +127,25 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Bound on finishing a request frame once it has started (`None`
+    /// disables the bound — not recommended outside loopback tests).
+    pub fn frame_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.config.frame_timeout = timeout;
+        self
+    }
+
+    /// Socket write timeout per connection (`None` disables it).
+    pub fn write_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Per-request frame ceiling in bytes.
+    pub fn max_request_frame(mut self, bytes: usize) -> Self {
+        self.config.max_request_frame = bytes;
+        self
+    }
+
     /// Validate and produce the config. Zero workers, zero queue depth,
     /// and zero max batch are each rejected: a server built from them
     /// would deadlock (no workers), shed everything (no queue), or stall
@@ -130,6 +165,14 @@ impl ServeConfigBuilder {
             return Err(FsError::InvalidArgument(
                 "serve config needs a positive max batch".into(),
             ));
+        }
+        if self.config.max_request_frame == 0
+            || self.config.max_request_frame > crate::protocol::MAX_FRAME_LEN
+        {
+            return Err(FsError::InvalidArgument(format!(
+                "max_request_frame must be in 1..={}",
+                crate::protocol::MAX_FRAME_LEN
+            )));
         }
         Ok(self.config)
     }
@@ -325,6 +368,11 @@ impl ServeEngine {
                     Err(e) => Response::error(ErrorCode::Internal, e.to_string()),
                 }
             }
+            // Workers never see the envelope (the connection thread
+            // unwraps it), but `handle` stays total for direct callers:
+            // the budget is meaningless without an admission timestamp,
+            // so execute the inner request.
+            Request::WithDeadline { inner, .. } => self.handle(inner, queue_depth, draining),
             Request::ReplDeltas { from_epoch } => {
                 let Some(repl) = &self.repl else {
                     return no_replication();
@@ -486,6 +534,7 @@ pub fn start(engine: ServeEngine, config: ServeConfig) -> std::io::Result<Server
         let admission = admission.clone();
         let conn_threads = Arc::clone(&conn_threads);
         let conns = Arc::clone(&conns);
+        let config = config.clone();
         std::thread::Builder::new()
             .name("fstore-serve-acceptor".to_string())
             .spawn(move || {
@@ -506,10 +555,11 @@ pub fn start(engine: ServeEngine, config: ServeConfig) -> std::io::Result<Server
                     let admission = admission.clone();
                     let draining = Arc::clone(&draining);
                     let conns = Arc::clone(&conns);
+                    let config = config.clone();
                     let handle = std::thread::Builder::new()
                         .name("fstore-serve-conn".to_string())
                         .spawn(move || {
-                            connection_loop(stream, &admission, &draining);
+                            connection_loop(stream, &admission, &draining, &config);
                             // Deregister so the clone doesn't hold the fd
                             // open after the connection is done — the peer
                             // must see EOF, and dead sockets must not pile
@@ -535,28 +585,76 @@ pub fn start(engine: ServeEngine, config: ServeConfig) -> std::io::Result<Server
     })
 }
 
-/// Per-socket loop: read a frame, admit it, wait for the reply, write it.
-fn connection_loop(mut stream: TcpStream, admission: &AdmissionController, draining: &AtomicBool) {
-    let mut reader = match stream.try_clone() {
-        Ok(s) => std::io::BufReader::new(s),
-        Err(_) => return,
+/// Per-socket loop: read a frame (size- and time-bounded), admit it, wait
+/// for the reply, write it.
+fn connection_loop(
+    mut stream: TcpStream,
+    admission: &AdmissionController,
+    draining: &AtomicBool,
+    config: &ServeConfig,
+) {
+    // Two clones of the fd: one wrapped by the reader, one kept aside so
+    // the bounded read can adjust the shared SO_RCVTIMEO while the reader
+    // is mutably borrowed.
+    let (timeout_ctl, reader_stream) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return,
     };
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let mut reader = std::io::BufReader::new(reader_stream);
     loop {
         if draining.load(Ordering::Acquire) {
             break;
         }
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => break,
+        let outcome = read_frame_bounded(
+            &timeout_ctl,
+            &mut reader,
+            config.max_request_frame,
+            config.frame_timeout,
+        );
+        let payload = match outcome {
+            Ok(FrameOutcome::Frame(payload)) => payload,
+            Ok(FrameOutcome::TooLarge { declared }) => {
+                // Refuse with a typed error, then close: the payload was
+                // never read, so the stream position is unrecoverable.
+                admission.metrics().record_frame_too_large();
+                let refusal = Response::error(
+                    ErrorCode::FrameTooLarge,
+                    format!(
+                        "request frame of {declared} bytes exceeds the {} byte ceiling",
+                        config.max_request_frame
+                    ),
+                );
+                let _ = write_frame(&mut stream, &refusal.encode());
+                break;
+            }
+            Ok(FrameOutcome::TimedOut) => {
+                // The peer started a frame and stalled; it is not reading
+                // responses either, so cut the connection silently.
+                admission.metrics().record_frame_timeout();
+                break;
+            }
+            Ok(FrameOutcome::Eof) | Err(_) => break,
         };
         let response = match Request::decode(&payload) {
             Err(e) => Response::error(ErrorCode::BadRequest, e.to_string()),
             Ok(request) => {
+                let accepted_at = Instant::now();
+                // Unwrap the deadline envelope here so workers and the
+                // batch planner only ever see plain requests.
+                let (request, deadline) = match request {
+                    Request::WithDeadline { budget_ms, inner } => (
+                        *inner,
+                        Some(accepted_at + std::time::Duration::from_millis(u64::from(budget_ms))),
+                    ),
+                    other => (other, None),
+                };
                 let (reply_tx, reply_rx) = bounded(1);
                 let job = Job {
                     request,
                     reply: reply_tx,
-                    accepted_at: Instant::now(),
+                    accepted_at,
+                    deadline,
                 };
                 match admission.submit(job) {
                     Ok(()) => match reply_rx.recv() {
@@ -594,6 +692,24 @@ fn worker_loop(
             std::thread::sleep(delay);
         }
         let jobs = batch::drain(rx, first, config.max_batch.max(1));
+        // Deadline check at dequeue: a job whose budget lapsed while it
+        // sat in the queue is shed unexecuted — its caller has already
+        // timed out, so running it would only delay live requests.
+        let now = Instant::now();
+        let (jobs, expired): (Vec<Job>, Vec<Job>) = jobs
+            .into_iter()
+            .partition(|j| j.deadline.is_none_or(|d| d > now));
+        for job in expired {
+            metrics.record_deadline_shed();
+            finish(
+                metrics,
+                job,
+                Response::error(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline budget expired before a worker dequeued the request",
+                ),
+            );
+        }
         let plan = batch::plan(jobs);
         let is_draining = draining.load(Ordering::Acquire);
 

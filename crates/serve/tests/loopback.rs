@@ -290,16 +290,25 @@ fn malformed_frames_close_or_error_without_wedging_the_server() {
     let addr = handle.addr();
     let timeout = Some(StdDuration::from_secs(5));
 
-    // Oversized declared length: refused before allocation, connection
-    // closed — the client must observe EOF, not a hang.
+    // Oversized declared length: refused before allocation with a typed
+    // FrameTooLarge error, then the connection is closed — the client
+    // must observe the error and EOF, not a hang.
     let mut s = TcpStream::connect(addr).unwrap();
     s.set_read_timeout(timeout).unwrap();
     s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let mut r = std::io::BufReader::new(s.try_clone().unwrap());
+    let payload = read_frame(&mut r)
+        .expect("typed refusal frame")
+        .expect("refusal, not silent EOF");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+        other => panic!("expected FrameTooLarge error, got {other:?}"),
+    }
     let mut buf = [0u8; 16];
-    let n = s.read(&mut buf).expect("read after oversized prefix");
+    let n = r.read(&mut buf).expect("read after refusal");
     assert_eq!(
         n, 0,
-        "server must close the connection on an oversized frame"
+        "server must close the connection after refusing an oversized frame"
     );
 
     // Well-framed garbage payload: a typed BadRequest error frame back on

@@ -36,6 +36,22 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
+    // A bare request, or one wrapped in a deadline-budget envelope (the
+    // envelope never nests, so one layer covers the grammar).
+    (
+        arb_bare_request(),
+        prop_oneof![Just(None), (0u32..120_000).prop_map(Some)],
+    )
+        .prop_map(|(inner, budget)| match budget {
+            Some(budget_ms) => Request::WithDeadline {
+                budget_ms,
+                inner: Box::new(inner),
+            },
+            None => inner,
+        })
+}
+
+fn arb_bare_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Health),
         (arb_string(), arb_string(), arb_strings()).prop_map(|(group, entity, features)| {
@@ -129,6 +145,8 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Internal),
         Just(ErrorCode::IndexNotReady),
         Just(ErrorCode::DimensionMismatch),
+        Just(ErrorCode::DeadlineExceeded),
+        Just(ErrorCode::FrameTooLarge),
     ]
 }
 
@@ -273,13 +291,15 @@ proptest! {
 
 #[test]
 fn unknown_frame_tags_are_rejected() {
-    // Tags 0..=8 are assigned on both sides; everything above must fail
-    // with a typed BadTag, not a panic or a misparse.
-    for tag in 9u8..=255 {
+    // Request tags 0..=9 and response tags 0..=8 are assigned; everything
+    // above must fail with a typed BadTag, not a panic or a misparse.
+    for tag in 10u8..=255 {
         assert!(
             matches!(Request::decode(&[tag]), Err(WireError::BadTag { .. })),
             "request tag {tag} was not rejected"
         );
+    }
+    for tag in 9u8..=255 {
         assert!(
             matches!(Response::decode(&[tag]), Err(WireError::BadTag { .. })),
             "response tag {tag} was not rejected"

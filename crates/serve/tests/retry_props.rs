@@ -1,0 +1,104 @@
+//! Property tests for the retry policy: the backoff envelope is monotone
+//! and capped, jitter only ever shortens a delay (bounded by the jitter
+//! fraction), and the retry predicate refuses fatal errors and exhausted
+//! budgets regardless of the draw.
+
+use fstore_serve::client::ClientError;
+use fstore_serve::retry::{classify, ErrorClass, RetryPolicy};
+use fstore_serve::{ErrorCode, Request};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..8, 1u64..1_000, 1.0f64..4.0, 1u64..10_000, 0.0f64..1.0).prop_map(
+        |(max_attempts, base_ms, multiplier, max_ms, jitter)| {
+            RetryPolicy {
+                max_attempts,
+                base_backoff: Duration::from_millis(base_ms),
+                multiplier,
+                // Keep the cap at or above the base so the envelope is
+                // well-formed (the builder-level invariant).
+                max_backoff: Duration::from_millis(base_ms.max(max_ms)),
+                jitter,
+            }
+        },
+    )
+}
+
+fn server_error(code: ErrorCode) -> ClientError {
+    ClientError::Server {
+        code,
+        message: String::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Without jitter the delay sequence never decreases and never
+    /// exceeds the cap.
+    #[test]
+    fn backoff_ceiling_is_monotone_and_capped(policy in arb_policy(), attempt in 0u32..40) {
+        let here = policy.backoff_ceiling(attempt);
+        let next = policy.backoff_ceiling(attempt + 1);
+        prop_assert!(next >= here, "ceiling decreased: {here:?} -> {next:?}");
+        prop_assert!(here <= policy.max_backoff);
+        prop_assert!(next <= policy.max_backoff);
+    }
+
+    /// Jitter only shortens: every draw lands in
+    /// `[(1 - jitter) * ceiling, ceiling]`.
+    #[test]
+    fn jitter_is_bounded(policy in arb_policy(), attempt in 0u32..40, unit in 0.0f64..1.0) {
+        let ceiling = policy.backoff_ceiling(attempt);
+        let drawn = policy.backoff(attempt, unit);
+        prop_assert!(drawn <= ceiling, "jitter lengthened the delay");
+        let floor = ceiling.mul_f64(1.0 - policy.jitter.clamp(0.0, 1.0));
+        // Allow 1µs of Duration::mul_f64 rounding slack.
+        prop_assert!(
+            drawn + Duration::from_micros(1) >= floor,
+            "draw {drawn:?} fell below the jitter floor {floor:?}"
+        );
+    }
+
+    /// Fatal errors are never retried, whatever the attempt number.
+    #[test]
+    fn fatal_errors_are_never_retried(policy in arb_policy(), attempt in 0u32..10) {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::NotFound,
+            ErrorCode::Stale,
+            ErrorCode::Internal,
+            ErrorCode::IndexNotReady,
+            ErrorCode::DimensionMismatch,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::FrameTooLarge,
+        ] {
+            let error = server_error(code);
+            prop_assert_eq!(classify(&error), ErrorClass::Fatal);
+            prop_assert!(!policy.should_retry(&Request::Health, &error, attempt));
+        }
+        let unexpected = ClientError::UnexpectedResponse("Health");
+        prop_assert!(!policy.should_retry(&Request::Health, &unexpected, attempt));
+    }
+
+    /// The attempt budget is respected: once `attempt + 1` reaches
+    /// `max_attempts` nothing is retried, even transient failures.
+    #[test]
+    fn attempt_budget_is_a_hard_stop(policy in arb_policy(), extra in 0u32..10) {
+        let attempt = policy.max_attempts.saturating_sub(1) + extra;
+        let transient = ClientError::ConnectionClosed;
+        prop_assert!(!policy.should_retry(&Request::Health, &transient, attempt));
+    }
+
+    /// Transient failures of idempotent requests ARE retried while the
+    /// budget lasts — the policy must not be vacuously safe.
+    #[test]
+    fn transient_idempotent_failures_retry_within_budget(policy in arb_policy()) {
+        let policy = RetryPolicy { max_attempts: policy.max_attempts.max(2), ..policy };
+        let transient = ClientError::ConnectionClosed;
+        prop_assert!(policy.should_retry(&Request::Health, &transient, 0));
+        let overload = server_error(ErrorCode::Overloaded);
+        prop_assert!(policy.should_retry(&Request::Health, &overload, 0));
+    }
+}
