@@ -1,4 +1,4 @@
-//! Runs the derived experiment suite E1–E18 (see DESIGN.md §3 and
+//! Runs the derived experiment suite E1–E19 (see DESIGN.md §3 and
 //! EXPERIMENTS.md).
 //!
 //! ```text
@@ -7,13 +7,31 @@
 //! experiments e5 e9        # run a subset by id
 //! experiments --list       # list experiment ids and titles
 //! ```
+//!
+//! There is also a hidden `e19-victim <dir> [--quick]` subcommand: E19
+//! re-execs this binary as the crash victim it SIGKILLs mid-write-storm.
 
 use fstore_bench::experiments;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("e19-victim") {
+        let Some(dir) = args.get(1) else {
+            eprintln!("usage: experiments e19-victim <dir> [--quick]");
+            std::process::exit(2);
+        };
+        let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+        // Runs until SIGKILLed; a clean return means something went wrong.
+        if let Err(e) = experiments::e19_durability::victim(dir, quick) {
+            eprintln!("victim failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let mut quick = false;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--list" | "-l" => {
@@ -25,7 +43,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--list] [ids…]\n\
-                     ids: e1..e18 (default: all)"
+                     ids: e1..e19 (default: all)"
                 );
                 return;
             }

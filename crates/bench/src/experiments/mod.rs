@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E18 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E19 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -20,6 +20,7 @@ pub mod e15_ann_serving;
 pub mod e16_epoch_reads;
 pub mod e17_replication;
 pub mod e18_chaos;
+pub mod e19_durability;
 
 use fstore_common::Result;
 
@@ -123,6 +124,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E18 Chaos: client-side failover under fault injection (§2.2.2, §4)",
             run: e18_chaos::run,
         },
+        Experiment {
+            id: "e19",
+            title: "E19 Durability: SIGKILL mid-storm, recover the published epoch (§2.2.2)",
+            run: e19_durability::run,
+        },
     ]
 }
 
@@ -148,10 +154,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 18);
+        assert_eq!(exps.len(), 19);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 }

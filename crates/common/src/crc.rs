@@ -1,0 +1,85 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+//! guarding every durable record the workspace writes to disk (WAL frames,
+//! segment files, cached snapshots).
+//!
+//! Table-driven, one table built at compile time; no external crate, per the
+//! vendored-deps policy. The incremental form ([`crc32_update`]) lets callers
+//! checksum a header and a payload without concatenating them.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Feed `bytes` into a running checksum previously returned by
+/// [`crc32`] or `crc32_update`. Start a chain with `crc32_update(0, ..)`.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The CRC-32 of `bytes` in one shot.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"header-bytes|payload-bytes-0123456789";
+        for split in 0..data.len() {
+            let inc = crc32_update(crc32_update(0, &data[..split]), &data[split..]);
+            assert_eq!(inc, crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"durability matters";
+        let good = crc32(data);
+        let mut corrupted = data.to_vec();
+        for i in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), good, "flip byte {i} bit {bit}");
+                corrupted[i] ^= 1 << bit;
+            }
+        }
+    }
+}

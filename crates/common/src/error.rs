@@ -44,6 +44,10 @@ pub enum FsError {
     InvalidArgument(String),
     /// Serialization/deserialization failure (model store artifacts).
     Serde(String),
+    /// A durable file failed its integrity checks (bad magic, CRC mismatch,
+    /// impossible length). Distinct from [`FsError::Storage`] so recovery
+    /// paths can tell "the disk lied" from ordinary operational failures.
+    Corruption(String),
 }
 
 impl FsError {
@@ -105,6 +109,7 @@ impl fmt::Display for FsError {
             FsError::Monitor(m) => write!(f, "monitor error: {m}"),
             FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             FsError::Serde(m) => write!(f, "serialization error: {m}"),
+            FsError::Corruption(m) => write!(f, "corruption detected: {m}"),
         }
     }
 }

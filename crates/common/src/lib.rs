@@ -3,6 +3,7 @@
 //! Shared substrate for the `fstore` workspace: typed values and schemas,
 //! timestamps and partition-date arithmetic, the workspace error type, a
 //! deterministic random-number generator used by every workload generator,
+//! the CRC-32 checksum every durable file format is guarded with,
 //! and the statistics primitives (moments, histograms, quantile sketches,
 //! divergence tests, mutual information) that both the feature-quality
 //! metrics and the drift monitors are built on.
@@ -10,6 +11,7 @@
 //! Nothing in this crate knows about features, embeddings, or stores — it is
 //! the bottom layer of the dependency graph in `DESIGN.md §1`.
 
+pub mod crc;
 pub mod error;
 pub mod hash;
 pub mod repl;
@@ -20,6 +22,7 @@ pub mod stats;
 pub mod time;
 pub mod value;
 
+pub use crc::{crc32, crc32_update};
 pub use error::{FsError, Result};
 pub use repl::{ComponentKind, DeltaQuery, DeltaRecord, PubLog, DEFAULT_LOG_RETENTION};
 pub use rng::{Rng, SplitMix64, Xoshiro256, Zipf};

@@ -109,9 +109,10 @@ impl<V> EpochRing<V> {
 }
 
 /// A callback fired after every publication into a [`SnapshotCell`], with the
-/// just-installed snapshot/epoch pair. Hooks run under the cell's writer
-/// mutex (publication order == callback order) and must not publish back into
-/// the same cell.
+/// just-installed snapshot/epoch pair. A cell can carry several hooks (e.g.
+/// replication *and* durability observing the same publish path); they run in
+/// registration order under the cell's writer mutex (publication order ==
+/// callback order) and must not publish back into the same cell.
 pub type PublishHook<T> = Box<dyn Fn(&Versioned<T>) + Send + Sync>;
 
 /// A monotone publication counter. Epoch `0` is the state a cell was
@@ -195,8 +196,9 @@ pub struct SnapshotCell<T> {
     /// Recent publications (including the current one), keyed by epoch, for
     /// skew monitoring across epochs without re-materializing.
     history: Mutex<EpochRing<Arc<T>>>,
-    /// Observer notified after each publication (replication taps in here).
-    hook: Mutex<Option<PublishHook<T>>>,
+    /// Observers notified after each publication, in registration order
+    /// (replication and durability both tap in here).
+    hooks: Mutex<Vec<PublishHook<T>>>,
 }
 
 impl<T> SnapshotCell<T> {
@@ -217,7 +219,7 @@ impl<T> SnapshotCell<T> {
             writer: Mutex::new(()),
             epoch: AtomicU64::new(0),
             history: Mutex::new(history),
-            hook: Mutex::new(None),
+            hooks: Mutex::new(Vec::new()),
         }
     }
 
@@ -310,14 +312,23 @@ impl<T> SnapshotCell<T> {
     }
 
     /// Install an observer fired after every publication (see
-    /// [`PublishHook`]). Replaces any previous hook.
+    /// [`PublishHook`]). Replaces any previously installed hooks; use
+    /// [`add_publish_hook`](Self::add_publish_hook) to observe alongside
+    /// existing observers.
     pub fn set_publish_hook(&self, hook: impl Fn(&Versioned<T>) + Send + Sync + 'static) {
-        *self.hook.lock() = Some(Box::new(hook));
+        *self.hooks.lock() = vec![Box::new(hook)];
     }
 
-    /// Remove the publication observer, if any.
+    /// Install an *additional* observer without disturbing the ones already
+    /// registered. Hooks fire in registration order, so e.g. a replication
+    /// hook and a durability hook can both tap the same publish path.
+    pub fn add_publish_hook(&self, hook: impl Fn(&Versioned<T>) + Send + Sync + 'static) {
+        self.hooks.lock().push(Box::new(hook));
+    }
+
+    /// Remove every publication observer.
     pub fn clear_publish_hook(&self) {
-        *self.hook.lock() = None;
+        self.hooks.lock().clear();
     }
 
     /// Adopt `value` as the snapshot at `epoch` — the replication entry
@@ -355,7 +366,7 @@ impl<T> SnapshotCell<T> {
         self.history
             .lock()
             .push(epoch.0, Arc::clone(&installed.value));
-        if let Some(hook) = self.hook.lock().as_ref() {
+        for hook in self.hooks.lock().iter() {
             hook(&installed);
         }
         epoch
@@ -475,6 +486,27 @@ mod tests {
         cell.clear_publish_hook();
         cell.publish(99);
         assert_eq!(seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn multiple_hooks_fire_in_registration_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let cell = SnapshotCell::new(0u64);
+        for tag in ["repl", "durable"] {
+            let seen = Arc::clone(&seen);
+            cell.add_publish_hook(move |v| seen.lock().push((tag, v.epoch.as_u64())));
+        }
+        cell.publish(1);
+        assert_eq!(*seen.lock(), vec![("repl", 1), ("durable", 1)]);
+
+        // set_publish_hook replaces the whole set.
+        {
+            let seen = Arc::clone(&seen);
+            cell.set_publish_hook(move |v| seen.lock().push(("only", v.epoch.as_u64())));
+        }
+        cell.publish(2);
+        assert_eq!(seen.lock().last(), Some(&("only", 2)));
+        assert_eq!(seen.lock().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Checkpoints: the durable base state the WAL replays on top of.
+//!
+//! A checkpoint directory holds the four components in their natural
+//! at-rest forms — the offline store in the binary columnar segment format
+//! ([`OfflineStore::save_binary`]), each embedding version as a raw-vector
+//! blob, and the online rows / index build instructions as JSON. A
+//! `MANIFEST.json` names the live checkpoint and the component epochs it
+//! was captured at; it is swapped with a temp-file-plus-rename, so the
+//! manifest either names a complete checkpoint or the previous one — never
+//! a half-written directory. Stale checkpoint directories and rotated WAL
+//! files are only garbage-collected *after* the swap.
+//!
+//! Layout under the durability directory:
+//!
+//! ```text
+//! MANIFEST.json            → { repl_epoch, component epochs }
+//! checkpoint-<epoch>/      offline.bin, emb-<i>.blob, online.json, indexes.json
+//! wal-<epoch>.log          the WAL since that checkpoint
+//! ```
+
+use crate::codec::{IndexBuild, OnlineRow, VersionRepr};
+use fstore_common::{FsError, Result, Timestamp};
+use fstore_embed::EmbeddingProvenance;
+use fstore_storage::OfflineStore;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+const MANIFEST_VERSION: u32 = 1;
+const BLOB_MAGIC: &[u8; 4] = b"FSEB";
+
+/// The durable root's commit record: which checkpoint is live and the
+/// epochs its components were captured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    pub version: u32,
+    /// The WAL sequence number the checkpoint covers: recovery loads the
+    /// checkpoint, then replays `wal-<repl_epoch>.log` past it.
+    pub repl_epoch: u64,
+    pub offline_epoch: u64,
+    pub embeddings_epoch: u64,
+    pub index_epoch: u64,
+}
+
+/// Everything a checkpoint persists (and recovery loads back).
+#[derive(Debug, Clone)]
+pub struct CheckpointData {
+    pub repl_epoch: u64,
+    pub offline: OfflineStore,
+    pub offline_epoch: u64,
+    pub embeddings: Vec<VersionRepr>,
+    pub embeddings_epoch: u64,
+    pub online: Vec<OnlineRow>,
+    pub indexes: Vec<IndexBuild>,
+    pub index_epoch: u64,
+}
+
+/// The checkpoint half of an embedding version: everything but the
+/// vectors, which follow the JSON header as raw little-endian `f32`s.
+#[derive(Debug, Serialize, Deserialize)]
+struct BlobHeader {
+    name: String,
+    version: u32,
+    created_at: Timestamp,
+    provenance: EmbeddingProvenance,
+    consumers: Vec<String>,
+    dim: usize,
+    keys: Vec<String>,
+}
+
+/// Serialize one embedding version as a blob: `"FSEB" | crc u32 |
+/// header_len u32 | header JSON | keys.len()*dim raw f32s`. The CRC covers
+/// everything after itself.
+fn encode_blob(v: &VersionRepr) -> Result<Vec<u8>> {
+    let header = serde_json::to_string(&BlobHeader {
+        name: v.name.clone(),
+        version: v.version,
+        created_at: v.created_at,
+        provenance: v.provenance.clone(),
+        consumers: v.consumers.clone(),
+        dim: v.dim,
+        keys: v.keys.clone(),
+    })
+    .map_err(|e| FsError::Serde(e.to_string()))?
+    .into_bytes();
+    let mut body = Vec::with_capacity(8 + header.len() + v.vectors.len() * v.dim * 4);
+    body.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    body.extend_from_slice(&header);
+    for vector in &v.vectors {
+        if vector.len() != v.dim {
+            return Err(FsError::Serde(format!(
+                "embedding `{}@v{}` has a {}-dim vector in a {}-dim table",
+                v.name,
+                v.version,
+                vector.len(),
+                v.dim
+            )));
+        }
+        for x in vector {
+            body.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(BLOB_MAGIC);
+    out.extend_from_slice(&fstore_common::crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+fn decode_blob(bytes: &[u8]) -> Result<VersionRepr> {
+    if bytes.len() < 12 || &bytes[..4] != BLOB_MAGIC {
+        return Err(FsError::Corruption("bad magic in embedding blob".into()));
+    }
+    let want_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let body = &bytes[8..];
+    let got_crc = fstore_common::crc32(body);
+    if got_crc != want_crc {
+        return Err(FsError::Corruption(format!(
+            "embedding blob checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+        )));
+    }
+    let header_len = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    if body.len() < 4 + header_len {
+        return Err(FsError::Corruption(
+            "truncated embedding blob header".into(),
+        ));
+    }
+    let header: BlobHeader = serde_json::from_slice(&body[4..4 + header_len])
+        .map_err(|e| FsError::Corruption(format!("unparseable embedding blob header: {e}")))?;
+    let vec_bytes = &body[4 + header_len..];
+    if vec_bytes.len() != header.keys.len() * header.dim * 4 {
+        return Err(FsError::Corruption(format!(
+            "embedding blob `{}@v{}` has {} vector bytes, expected {}",
+            header.name,
+            header.version,
+            vec_bytes.len(),
+            header.keys.len() * header.dim * 4
+        )));
+    }
+    let vectors = vec_bytes
+        .chunks_exact(header.dim * 4)
+        .map(|row| {
+            row.chunks_exact(4)
+                .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+                .collect()
+        })
+        .collect();
+    Ok(VersionRepr {
+        name: header.name,
+        version: header.version,
+        created_at: header.created_at,
+        provenance: header.provenance,
+        dim: header.dim,
+        keys: header.keys,
+        vectors,
+        consumers: header.consumers,
+    })
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<()> {
+    std::fs::write(path, bytes)
+        .map_err(|e| FsError::Storage(format!("write {}: {e}", path.display())))
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>> {
+    std::fs::read(path).map_err(|e| FsError::Storage(format!("read {}: {e}", path.display())))
+}
+
+/// The on-disk root: manifest, checkpoint directories, WAL files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a durability directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| FsError::Storage(format!("create {}: {e}", dir.display())))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The WAL file paired with the checkpoint at `repl_epoch`.
+    pub fn wal_path(&self, repl_epoch: u64) -> PathBuf {
+        self.dir.join(format!("wal-{repl_epoch}.log"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST.json")
+    }
+
+    fn checkpoint_dir(&self, repl_epoch: u64) -> PathBuf {
+        self.dir.join(format!("checkpoint-{repl_epoch}"))
+    }
+
+    /// Read the manifest; `None` means a cold (never-checkpointed) root.
+    pub fn load_manifest(&self) -> Result<Option<Manifest>> {
+        let bytes = match std::fs::read(self.manifest_path()) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(FsError::Storage(format!("read manifest: {e}"))),
+        };
+        let manifest: Manifest = serde_json::from_slice(&bytes)
+            .map_err(|e| FsError::Corruption(format!("unparseable manifest: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(FsError::Storage(format!(
+                "unsupported manifest v{} (expected v{MANIFEST_VERSION})",
+                manifest.version
+            )));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Persist a checkpoint and swap the manifest to it. Everything lands
+    /// in a temp directory first; the `rename` into place and then the
+    /// manifest's own temp-file rename are the only visible transitions.
+    ///
+    /// A checkpoint for `repl_epoch` that already exists *and* is named by
+    /// the manifest is left alone — equal epochs mean equal state (the WAL
+    /// sequence totally orders publications), so rewriting it buys nothing.
+    pub fn write(&self, data: &CheckpointData) -> Result<Manifest> {
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            repl_epoch: data.repl_epoch,
+            offline_epoch: data.offline_epoch,
+            embeddings_epoch: data.embeddings_epoch,
+            index_epoch: data.index_epoch,
+        };
+        let final_dir = self.checkpoint_dir(data.repl_epoch);
+        let current = self.load_manifest().ok().flatten();
+        if final_dir.exists() && current.is_some_and(|m| m.repl_epoch == data.repl_epoch) {
+            return Ok(manifest);
+        }
+
+        let tmp_dir = self.dir.join(format!("checkpoint-{}.tmp", data.repl_epoch));
+        if tmp_dir.exists() {
+            std::fs::remove_dir_all(&tmp_dir)
+                .map_err(|e| FsError::Storage(format!("clear stale tmp checkpoint: {e}")))?;
+        }
+        std::fs::create_dir_all(&tmp_dir)
+            .map_err(|e| FsError::Storage(format!("create tmp checkpoint: {e}")))?;
+
+        data.offline.save_binary(&tmp_dir.join("offline.bin"))?;
+        for (i, version) in data.embeddings.iter().enumerate() {
+            write_file(
+                &tmp_dir.join(format!("emb-{i}.blob")),
+                &encode_blob(version)?,
+            )?;
+        }
+        write_file(
+            &tmp_dir.join("online.json"),
+            serde_json::to_string(&data.online)
+                .map_err(|e| FsError::Serde(e.to_string()))?
+                .as_bytes(),
+        )?;
+        write_file(
+            &tmp_dir.join("indexes.json"),
+            serde_json::to_string(&data.indexes)
+                .map_err(|e| FsError::Serde(e.to_string()))?
+                .as_bytes(),
+        )?;
+
+        if final_dir.exists() {
+            // Not named by the manifest (interrupted earlier attempt) —
+            // safe to replace.
+            std::fs::remove_dir_all(&final_dir)
+                .map_err(|e| FsError::Storage(format!("clear orphan checkpoint: {e}")))?;
+        }
+        std::fs::rename(&tmp_dir, &final_dir)
+            .map_err(|e| FsError::Storage(format!("publish checkpoint: {e}")))?;
+
+        let tmp_manifest = self.dir.join("MANIFEST.json.tmp");
+        write_file(
+            &tmp_manifest,
+            serde_json::to_string_pretty(&manifest)
+                .map_err(|e| FsError::Serde(e.to_string()))?
+                .as_bytes(),
+        )?;
+        std::fs::rename(&tmp_manifest, self.manifest_path())
+            .map_err(|e| FsError::Storage(format!("swap manifest: {e}")))?;
+        Ok(manifest)
+    }
+
+    /// Load the checkpoint the manifest names (`None` on a cold root).
+    pub fn load(&self) -> Result<Option<CheckpointData>> {
+        let Some(manifest) = self.load_manifest()? else {
+            return Ok(None);
+        };
+        let dir = self.checkpoint_dir(manifest.repl_epoch);
+        let offline = OfflineStore::load_binary(&dir.join("offline.bin"))?;
+        let mut embeddings = Vec::new();
+        for i in 0.. {
+            let path = dir.join(format!("emb-{i}.blob"));
+            if !path.exists() {
+                break;
+            }
+            embeddings.push(decode_blob(&read_file(&path)?)?);
+        }
+        let online: Vec<OnlineRow> = serde_json::from_slice(&read_file(&dir.join("online.json"))?)
+            .map_err(|e| FsError::Corruption(format!("unparseable online.json: {e}")))?;
+        let indexes: Vec<IndexBuild> =
+            serde_json::from_slice(&read_file(&dir.join("indexes.json"))?)
+                .map_err(|e| FsError::Corruption(format!("unparseable indexes.json: {e}")))?;
+        Ok(Some(CheckpointData {
+            repl_epoch: manifest.repl_epoch,
+            offline,
+            offline_epoch: manifest.offline_epoch,
+            embeddings,
+            embeddings_epoch: manifest.embeddings_epoch,
+            online,
+            indexes,
+            index_epoch: manifest.index_epoch,
+        }))
+    }
+
+    /// Remove checkpoint directories and WAL files other than the ones for
+    /// `keep_epoch`. Called only after a manifest swap, so nothing the live
+    /// manifest references is ever deleted.
+    pub fn gc(&self, keep_epoch: u64) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let keep_ckpt = format!("checkpoint-{keep_epoch}");
+        let keep_wal = format!("wal-{keep_epoch}.log");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale_ckpt = name.starts_with("checkpoint-") && name != keep_ckpt;
+            let stale_wal = name.starts_with("wal-") && name != keep_wal;
+            if stale_ckpt {
+                let _ = std::fs::remove_dir_all(entry.path());
+            } else if stale_wal {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::{Schema, Value, ValueType};
+    use fstore_serve::IndexSpec;
+    use fstore_storage::TableConfig;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fstore_ckpt_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample_data(repl_epoch: u64) -> CheckpointData {
+        let mut offline = OfflineStore::new();
+        offline
+            .create_table("t", TableConfig::new(Schema::of(&[("x", ValueType::Int)])))
+            .unwrap();
+        offline.append("t", &[Value::Int(7)]).unwrap();
+        CheckpointData {
+            repl_epoch,
+            offline,
+            offline_epoch: 3,
+            embeddings: vec![VersionRepr {
+                name: "emb".into(),
+                version: 1,
+                created_at: Timestamp::millis(5),
+                provenance: EmbeddingProvenance::default(),
+                dim: 2,
+                keys: vec!["a".into(), "b".into()],
+                vectors: vec![vec![1.0, 2.0], vec![3.0, -0.5]],
+                consumers: vec!["ranker".into()],
+            }],
+            embeddings_epoch: 2,
+            online: vec![OnlineRow {
+                group: "user".into(),
+                entity: "u1".into(),
+                feature: "score".into(),
+                value: Value::Float(0.5),
+                written_at: Timestamp::millis(9),
+            }],
+            indexes: vec![IndexBuild {
+                table: "emb".into(),
+                spec: IndexSpec::Flat,
+                built_from_version: 1,
+                generation: 4,
+            }],
+            index_epoch: 4,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let store = CheckpointStore::open(tmp_root("round_trip")).unwrap();
+        assert!(store.load().unwrap().is_none());
+        let data = sample_data(11);
+        let manifest = store.write(&data).unwrap();
+        assert_eq!(manifest.repl_epoch, 11);
+
+        let loaded = store.load().unwrap().unwrap();
+        assert_eq!(loaded.repl_epoch, 11);
+        assert_eq!(loaded.offline_epoch, 3);
+        assert_eq!(loaded.offline.num_rows("t").unwrap(), 1);
+        assert_eq!(loaded.embeddings, data.embeddings);
+        assert_eq!(loaded.online, data.online);
+        assert_eq!(loaded.indexes, data.indexes);
+        assert_eq!(loaded.index_epoch, 4);
+    }
+
+    #[test]
+    fn blob_round_trips_and_rejects_corruption() {
+        let v = sample_data(1).embeddings.remove(0);
+        let bytes = encode_blob(&v).unwrap();
+        assert_eq!(decode_blob(&bytes).unwrap(), v);
+        for i in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                matches!(decode_blob(&bad), Err(FsError::Corruption(_))),
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_checkpoint_supersedes_and_gc_removes_the_old_one() {
+        let store = CheckpointStore::open(tmp_root("supersede")).unwrap();
+        store.write(&sample_data(5)).unwrap();
+        let mut newer = sample_data(9);
+        newer.offline.append("t", &[Value::Int(8)]).unwrap();
+        store.write(&newer).unwrap();
+        std::fs::write(store.wal_path(9), b"").unwrap();
+        store.gc(9);
+
+        assert!(!store.dir().join("checkpoint-5").exists());
+        assert!(store.dir().join("checkpoint-9").exists());
+        assert!(store.wal_path(9).exists());
+        let loaded = store.load().unwrap().unwrap();
+        assert_eq!(loaded.repl_epoch, 9);
+        assert_eq!(loaded.offline.num_rows("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn rewriting_the_live_epoch_is_a_no_op() {
+        let store = CheckpointStore::open(tmp_root("same_epoch")).unwrap();
+        store.write(&sample_data(5)).unwrap();
+        // Same epoch again (recovery that replayed nothing) — must not fail
+        // on the existing directory.
+        store.write(&sample_data(5)).unwrap();
+        assert_eq!(store.load().unwrap().unwrap().repl_epoch, 5);
+    }
+
+    #[test]
+    fn empty_components_checkpoint_cleanly() {
+        let store = CheckpointStore::open(tmp_root("empty")).unwrap();
+        let data = CheckpointData {
+            repl_epoch: 0,
+            offline: OfflineStore::new(),
+            offline_epoch: 0,
+            embeddings: Vec::new(),
+            embeddings_epoch: 0,
+            online: Vec::new(),
+            indexes: Vec::new(),
+            index_epoch: 0,
+        };
+        store.write(&data).unwrap();
+        let loaded = store.load().unwrap().unwrap();
+        assert!(loaded.offline.table_names().is_empty());
+        assert!(loaded.embeddings.is_empty());
+    }
+}

@@ -1,0 +1,589 @@
+//! Delta and snapshot payloads: what crosses the wire *and* what lands in
+//! the write-ahead log.
+//!
+//! The publication log ([`fstore_common::PubLog`]) and the WAL both store
+//! bodies as opaque JSON strings; this module defines the per-component
+//! body types, the diff functions publish hooks use to produce them, and
+//! the apply functions followers and crash recovery use to replay them.
+//! (It lives here rather than in `fstore-repl` so durability does not
+//! depend on replication; `fstore-repl` re-exports it.) Three invariants
+//! keep at-least-once delivery — and WAL replay over a checkpoint, which
+//! is the same re-delivery problem — safe:
+//!
+//! * **applies are idempotent** — re-delivering a delta a follower already
+//!   holds is a no-op (appends carry their start row, version installs
+//!   upsert, index builds pin their generation, online puts overwrite);
+//! * **epochs ride outside the body** — the follower installs each body at
+//!   the leader-dictated component epoch from the [`DeltaRecord`], never a
+//!   locally minted one;
+//! * **indexes ship as build instructions** — an index is a deterministic
+//!   function of `(table@version, spec)` because specs carry fixed seeds,
+//!   so followers rebuild instead of deserializing index bytes.
+//!
+//! [`DeltaRecord`]: fstore_common::DeltaRecord
+
+use fstore_common::{
+    ComponentKind, DeltaRecord, EntityKey, FieldDef, FsError, ReadEpoch, Result, Schema, Timestamp,
+    Value, ValueType,
+};
+use fstore_embed::{
+    EmbeddingDb, EmbeddingProvenance, EmbeddingStore, EmbeddingTable, EmbeddingVersion,
+};
+use fstore_serve::{IndexCatalog, IndexMap, IndexSpec};
+use fstore_storage::{OfflineDb, OfflineStore, OnlineStore, ScanRequest, TableConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Encode any body as its wire JSON.
+pub fn encode<T: Serialize>(body: &T) -> Result<String> {
+    serde_json::to_string(body).map_err(|e| FsError::Serde(e.to_string()))
+}
+
+/// Decode a wire JSON body.
+pub fn decode<T: Deserialize>(body: &str) -> Result<T> {
+    serde_json::from_str(body).map_err(|e| FsError::Serde(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Offline store
+// ---------------------------------------------------------------------------
+
+/// One schema field on the wire ([`FieldDef`] itself does not serialize).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldRepr {
+    pub name: String,
+    pub ty: ValueType,
+    pub nullable: bool,
+}
+
+/// A full offline table: configuration plus every row. Used when a table
+/// is new, reconfigured, or otherwise not reachable by appending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRepr {
+    pub name: String,
+    pub fields: Vec<FieldRepr>,
+    pub time_column: Option<String>,
+    pub segment_rows: usize,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Rows appended to an existing table. `start_row` is the table's row
+/// count before the append, which is what makes re-delivery idempotent:
+/// an applier that already holds some or all of these rows skips them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableAppend {
+    pub table: String,
+    pub start_row: usize,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// What changed between two offline-store snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OfflineDelta {
+    pub drops: Vec<String>,
+    pub replaces: Vec<TableRepr>,
+    pub appends: Vec<TableAppend>,
+}
+
+/// Capture one table wholesale.
+pub fn table_repr(store: &OfflineStore, name: &str) -> Result<TableRepr> {
+    let fields = store
+        .schema(name)?
+        .fields()
+        .iter()
+        .map(|f| FieldRepr {
+            name: f.name.clone(),
+            ty: f.ty,
+            nullable: f.nullable,
+        })
+        .collect();
+    Ok(TableRepr {
+        name: name.to_string(),
+        fields,
+        time_column: store.time_column(name)?,
+        segment_rows: store.segment_rows(name)?,
+        rows: store.scan(name, &ScanRequest::all())?.rows,
+    })
+}
+
+fn create_from_repr(store: &mut OfflineStore, repr: &TableRepr) -> Result<()> {
+    let schema = Schema::new(
+        repr.fields
+            .iter()
+            .map(|f| FieldDef {
+                name: f.name.clone(),
+                ty: f.ty,
+                nullable: f.nullable,
+            })
+            .collect(),
+    )?;
+    let mut config = TableConfig::new(schema).with_segment_rows(repr.segment_rows);
+    if let Some(col) = &repr.time_column {
+        config = config.with_time_column(col.clone());
+    }
+    store.create_table(&repr.name, config)?;
+    for row in &repr.rows {
+        store.append(&repr.name, row)?;
+    }
+    Ok(())
+}
+
+fn table_config_matches(base: &OfflineStore, new: &OfflineStore, name: &str) -> Result<bool> {
+    Ok(base.schema(name)? == new.schema(name)?
+        && base.time_column(name)? == new.time_column(name)?
+        && base.segment_rows(name)? == new.segment_rows(name)?)
+}
+
+/// Diff two offline snapshots into a replayable delta. The store is
+/// append-only within a table, so a grown table whose configuration is
+/// unchanged ships only its tail rows; everything else ships wholesale.
+pub fn diff_offline(base: &OfflineStore, new: &OfflineStore) -> Result<OfflineDelta> {
+    let mut delta = OfflineDelta::default();
+    for name in base.table_names() {
+        if !new.has_table(name) {
+            delta.drops.push(name.to_string());
+        }
+    }
+    for name in new.table_names() {
+        if !base.has_table(name) || !table_config_matches(base, new, name)? {
+            delta.replaces.push(table_repr(new, name)?);
+            continue;
+        }
+        let base_rows = base.num_rows(name)?;
+        let new_rows = new.num_rows(name)?;
+        if new_rows < base_rows {
+            delta.replaces.push(table_repr(new, name)?);
+        } else if new_rows > base_rows {
+            let rows = new.scan(name, &ScanRequest::all())?.rows;
+            delta.appends.push(TableAppend {
+                table: name.to_string(),
+                start_row: base_rows,
+                rows: rows[base_rows..].to_vec(),
+            });
+        }
+    }
+    delta.drops.sort();
+    delta.replaces.sort_by(|a, b| a.name.cmp(&b.name));
+    delta.appends.sort_by(|a, b| a.table.cmp(&b.table));
+    Ok(delta)
+}
+
+/// Replay an offline delta. Idempotent under re-delivery; a state the
+/// delta cannot possibly apply to (rows missing below an append's start
+/// row) is an error — the follower treats it as corruption and falls back
+/// to a full snapshot.
+pub fn apply_offline(store: &mut OfflineStore, delta: &OfflineDelta) -> Result<()> {
+    for name in &delta.drops {
+        if store.has_table(name) {
+            store.drop_table(name)?;
+        }
+    }
+    for repr in &delta.replaces {
+        if store.has_table(&repr.name) {
+            store.drop_table(&repr.name)?;
+        }
+        create_from_repr(store, repr)?;
+    }
+    for append in &delta.appends {
+        let have = store.num_rows(&append.table)?;
+        if have < append.start_row {
+            return Err(FsError::Storage(format!(
+                "replica table `{}` has {have} rows but the delta starts at row {}",
+                append.table, append.start_row
+            )));
+        }
+        let already = have - append.start_row;
+        for row in append.rows.iter().skip(already) {
+            store.append(&append.table, row)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Embedding catalog
+// ---------------------------------------------------------------------------
+
+/// One embedding version, flattened for the wire. Rows are exported in
+/// sorted key order, so equal stores produce equal reprs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionRepr {
+    pub name: String,
+    pub version: u32,
+    pub created_at: Timestamp,
+    pub provenance: EmbeddingProvenance,
+    pub dim: usize,
+    pub keys: Vec<String>,
+    pub vectors: Vec<Vec<f32>>,
+    pub consumers: Vec<String>,
+}
+
+/// The embedding versions touched by one publication.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingsDelta {
+    pub versions: Vec<VersionRepr>,
+}
+
+/// Flatten one version.
+pub fn version_repr(v: &EmbeddingVersion) -> VersionRepr {
+    let (keys, vectors) = v.table.export_rows();
+    VersionRepr {
+        name: v.name.clone(),
+        version: v.version,
+        created_at: v.created_at,
+        provenance: v.provenance.clone(),
+        dim: v.table.dim(),
+        keys,
+        vectors,
+        consumers: v.consumers.clone(),
+    }
+}
+
+/// Rebuild a version from its repr.
+pub fn version_from_repr(r: &VersionRepr) -> Result<EmbeddingVersion> {
+    if r.keys.len() != r.vectors.len() {
+        return Err(FsError::Serde(format!(
+            "embedding repr `{}@v{}`: {} keys but {} vectors",
+            r.name,
+            r.version,
+            r.keys.len(),
+            r.vectors.len()
+        )));
+    }
+    let mut table = EmbeddingTable::new(r.dim)?;
+    for (key, vector) in r.keys.iter().zip(&r.vectors) {
+        table.insert(key.clone(), vector.clone())?;
+    }
+    Ok(EmbeddingVersion {
+        name: r.name.clone(),
+        version: r.version,
+        created_at: r.created_at,
+        provenance: r.provenance.clone(),
+        table,
+        consumers: r.consumers.clone(),
+    })
+}
+
+/// Diff two embedding-store snapshots: every version present in `new` but
+/// absent from — or no longer the same allocation as — `base`. Stores
+/// share untouched versions by `Arc` across clone-on-write publications,
+/// so pointer identity is an exact changed-or-new test; a deep copy would
+/// merely over-include, which is correct (applies upsert).
+pub fn diff_embeddings(base: &EmbeddingStore, new: &EmbeddingStore) -> EmbeddingsDelta {
+    let mut versions: Vec<VersionRepr> = new
+        .list()
+        .into_iter()
+        .filter(|v| {
+            base.get(&v.name, v.version)
+                .map_or(true, |b| !std::ptr::eq(b, *v))
+        })
+        .map(version_repr)
+        .collect();
+    versions.sort_by(|a, b| (&a.name, a.version).cmp(&(&b.name, b.version)));
+    EmbeddingsDelta { versions }
+}
+
+/// Replay an embeddings delta (upsert every shipped version).
+pub fn apply_embeddings(store: &mut EmbeddingStore, delta: &EmbeddingsDelta) -> Result<()> {
+    for repr in &delta.versions {
+        store.install_version(version_from_repr(repr)?)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Index catalog
+// ---------------------------------------------------------------------------
+
+/// Build instructions for one index snapshot: enough for a follower to
+/// reconstruct it deterministically and pin both the source version and
+/// the leader's swap generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexBuild {
+    pub table: String,
+    pub spec: IndexSpec,
+    pub built_from_version: u32,
+    pub generation: u64,
+}
+
+/// The index snapshots swapped by one catalog publication.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndexDelta {
+    pub builds: Vec<IndexBuild>,
+}
+
+/// The index snapshots in `new` that `base` does not share (by `Arc`
+/// identity), as deterministic build instructions sorted by table.
+pub fn diff_indexes(base: &IndexMap, new: &IndexMap) -> IndexDelta {
+    let mut builds: Vec<IndexBuild> = new
+        .iter()
+        .filter(|(name, snap)| base.get(*name).is_none_or(|b| !Arc::ptr_eq(b, snap)))
+        .map(|(name, snap)| IndexBuild {
+            table: name.clone(),
+            spec: snap.spec.clone(),
+            built_from_version: snap.built_from_version,
+            generation: snap.generation,
+        })
+        .collect();
+    builds.sort_by(|a, b| a.table.cmp(&b.table));
+    IndexDelta { builds }
+}
+
+// ---------------------------------------------------------------------------
+// Online store
+// ---------------------------------------------------------------------------
+
+/// One replicated online write: a row of feature values for one entity,
+/// each carrying the leader's write timestamp so follower-served ages
+/// match the leader's exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineDelta {
+    pub group: String,
+    pub entity: String,
+    pub features: Vec<(String, Value, Timestamp)>,
+}
+
+/// Replay an online delta (puts overwrite, hence idempotent).
+pub fn apply_online(store: &OnlineStore, delta: &OnlineDelta) {
+    let entity = EntityKey::new(delta.entity.clone());
+    for (feature, value, written_at) in &delta.features {
+        store.put(&delta.group, &entity, feature, value.clone(), *written_at);
+    }
+}
+
+/// One online KV row in flattened form (bootstrap snapshots only; steady
+/// state ships [`OnlineDelta`]s).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRow {
+    pub group: String,
+    pub entity: String,
+    pub feature: String,
+    pub value: Value,
+    pub written_at: Timestamp,
+}
+
+/// Capture every online row.
+pub fn export_online(store: &OnlineStore) -> Vec<OnlineRow> {
+    store
+        .export_rows()
+        .into_iter()
+        .map(|(group, entity, feature, entry)| OnlineRow {
+            group,
+            entity,
+            feature,
+            value: entry.value,
+            written_at: entry.written_at,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Full snapshot
+// ---------------------------------------------------------------------------
+
+/// The leader's complete replicable state at one replication epoch: what a
+/// follower bootstraps (or falls back) from. Component epochs ride along
+/// so the follower installs each cell at exactly the leader's epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullSnapshot {
+    /// Replication epoch: every delta with `seq <= repl_epoch` is folded in.
+    pub repl_epoch: u64,
+    pub offline_epoch: u64,
+    /// [`OfflineStore::snapshot_json`] payload (the durability format).
+    pub offline_json: String,
+    pub embeddings_epoch: u64,
+    pub embeddings: Vec<VersionRepr>,
+    pub online: Vec<OnlineRow>,
+    pub index_epoch: u64,
+    pub indexes: Vec<IndexBuild>,
+}
+
+/// Capture a [`FullSnapshot`] of four live components at `repl_epoch`.
+///
+/// Callers pin `repl_epoch` however their log requires (the replication
+/// leader captures under [`PubLog::frozen`], the durable leader under its
+/// WAL lock); a publication that installs concurrently will be re-delivered
+/// as a later delta, and applies are idempotent, so readers converge.
+///
+/// [`PubLog::frozen`]: fstore_common::PubLog::frozen
+pub fn capture_snapshot(
+    repl_epoch: u64,
+    offline: &OfflineDb,
+    embeddings: &EmbeddingDb,
+    online: &OnlineStore,
+    indexes: &IndexCatalog,
+) -> Result<FullSnapshot> {
+    let off = offline.read();
+    let emb = embeddings.read();
+    let idx = indexes.current();
+    Ok(FullSnapshot {
+        repl_epoch,
+        offline_epoch: off.epoch.as_u64(),
+        offline_json: off.value.snapshot_json()?,
+        embeddings_epoch: emb.epoch.as_u64(),
+        embeddings: diff_embeddings(&EmbeddingStore::new(), &emb.value).versions,
+        online: export_online(online),
+        index_epoch: idx.epoch.as_u64(),
+        indexes: diff_indexes(&IndexMap::default(), &idx.value).builds,
+    })
+}
+
+/// Replay one delta record into live components at its leader-dictated
+/// component epoch — the shared apply path for follower sync and WAL
+/// recovery (both are at-least-once redelivery of the same records).
+pub fn apply_record(
+    offline: &OfflineDb,
+    embeddings: &EmbeddingDb,
+    online: &OnlineStore,
+    indexes: &IndexCatalog,
+    record: &DeltaRecord,
+) -> Result<()> {
+    let epoch = ReadEpoch(record.component_epoch);
+    match record.component {
+        ComponentKind::Offline => {
+            let delta: OfflineDelta = decode(&record.body)?;
+            offline.apply_replica(epoch, |s| apply_offline(s, &delta))
+        }
+        ComponentKind::Embeddings => {
+            let delta: EmbeddingsDelta = decode(&record.body)?;
+            embeddings.apply_replica(epoch, |s| apply_embeddings(s, &delta))
+        }
+        ComponentKind::Index => {
+            let delta: IndexDelta = decode(&record.body)?;
+            for build in &delta.builds {
+                indexes
+                    .install_replica(
+                        &build.table,
+                        &build.spec,
+                        build.built_from_version,
+                        build.generation,
+                    )
+                    .map_err(|e| FsError::Storage(format!("replica index build: {e}")))?;
+            }
+            Ok(())
+        }
+        ComponentKind::Online => {
+            let delta: OnlineDelta = decode(&record.body)?;
+            apply_online(online, &delta);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_table() -> TableConfig {
+        TableConfig::new(Schema::of(&[("x", ValueType::Int)]))
+    }
+
+    #[test]
+    fn offline_diff_ships_appends_for_grown_tables_and_reprs_for_new_ones() {
+        let mut base = OfflineStore::new();
+        base.create_table("t", int_table()).unwrap();
+        base.append("t", &[Value::Int(1)]).unwrap();
+
+        let mut new = base.clone();
+        new.append("t", &[Value::Int(2)]).unwrap();
+        new.create_table("u", int_table()).unwrap();
+
+        let delta = diff_offline(&base, &new).unwrap();
+        assert!(delta.drops.is_empty());
+        assert_eq!(delta.appends.len(), 1);
+        assert_eq!(delta.appends[0].start_row, 1);
+        assert_eq!(delta.appends[0].rows, vec![vec![Value::Int(2)]]);
+        assert_eq!(delta.replaces.len(), 1);
+        assert_eq!(delta.replaces[0].name, "u");
+
+        // Applying the delta to a copy of base reproduces new.
+        let mut replica = base.clone();
+        apply_offline(&mut replica, &delta).unwrap();
+        assert_eq!(replica.num_rows("t").unwrap(), 2);
+        assert!(replica.has_table("u"));
+
+        // Re-applying (at-least-once delivery) changes nothing.
+        apply_offline(&mut replica, &delta).unwrap();
+        assert_eq!(replica.num_rows("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn offline_apply_rejects_an_impossible_append() {
+        let mut store = OfflineStore::new();
+        store.create_table("t", int_table()).unwrap();
+        let delta = OfflineDelta {
+            appends: vec![TableAppend {
+                table: "t".into(),
+                start_row: 5,
+                rows: vec![vec![Value::Int(9)]],
+            }],
+            ..OfflineDelta::default()
+        };
+        assert!(apply_offline(&mut store, &delta).is_err());
+    }
+
+    #[test]
+    fn offline_drop_round_trips() {
+        let mut base = OfflineStore::new();
+        base.create_table("gone", int_table()).unwrap();
+        let new = OfflineStore::new();
+        let delta = diff_offline(&base, &new).unwrap();
+        assert_eq!(delta.drops, vec!["gone".to_string()]);
+        apply_offline(&mut base, &delta).unwrap();
+        assert!(!base.has_table("gone"));
+    }
+
+    #[test]
+    fn embedding_versions_round_trip_through_reprs() {
+        let mut table = EmbeddingTable::new(2).unwrap();
+        table.insert("b", vec![3.0, 4.0]).unwrap();
+        table.insert("a", vec![1.0, 2.0]).unwrap();
+        let mut store = EmbeddingStore::new();
+        store
+            .publish(
+                "emb",
+                table,
+                EmbeddingProvenance::default(),
+                Timestamp::EPOCH,
+            )
+            .unwrap();
+
+        let delta = diff_embeddings(&EmbeddingStore::new(), &store);
+        assert_eq!(delta.versions.len(), 1);
+        assert_eq!(delta.versions[0].keys, vec!["a", "b"]);
+
+        let mut replica = EmbeddingStore::new();
+        apply_embeddings(&mut replica, &delta).unwrap();
+        assert_eq!(
+            replica.resolve("emb").unwrap().table.get("b"),
+            Some(&[3.0, 4.0][..])
+        );
+
+        // Unchanged stores diff to nothing (Arc-shared versions).
+        let same = store.clone();
+        assert!(diff_embeddings(&store, &same).versions.is_empty());
+    }
+
+    #[test]
+    fn bodies_survive_json_round_trips() {
+        let body = OnlineDelta {
+            group: "user".into(),
+            entity: "u1".into(),
+            features: vec![("score".into(), Value::Float(0.5), Timestamp::millis(7))],
+        };
+        let json = encode(&body).unwrap();
+        assert_eq!(decode::<OnlineDelta>(&json).unwrap(), body);
+
+        let build = IndexBuild {
+            table: "emb".into(),
+            spec: IndexSpec::Flat,
+            built_from_version: 3,
+            generation: 11,
+        };
+        let json = encode(&IndexDelta {
+            builds: vec![build.clone()],
+        })
+        .unwrap();
+        assert_eq!(decode::<IndexDelta>(&json).unwrap().builds, vec![build]);
+    }
+}

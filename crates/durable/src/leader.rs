@@ -1,0 +1,424 @@
+//! The durable leader: a serving stack whose every publication is
+//! write-ahead logged, periodically checkpointed, and recoverable after a
+//! crash into the last *published* epoch.
+//!
+//! [`DurableLeader::open`] is both cold start and crash recovery — the two
+//! are deliberately the same code path:
+//!
+//! 1. load the checkpoint the manifest names and restore every component
+//!    at its recorded epoch (offline → embeddings → online → indexes, the
+//!    same order a replication follower bootstraps in);
+//! 2. replay the WAL's committed deltas past the checkpoint through the
+//!    same idempotent apply functions follower sync uses;
+//! 3. re-checkpoint at the recovered sequence and rotate the WAL, so the
+//!    next restart replays nothing that this one already folded in;
+//! 4. hook every component's publish path ([`add_publish_hook`], so a
+//!    replication leader can hook the same cells independently) to log
+//!    future publications.
+//!
+//! The WAL taps the identical publish path the replication `PubLog` taps:
+//! a publication is diffed against the previous snapshot and appended as a
+//! delta + epoch-tagged commit marker. Durability and replication are the
+//! same stream, written to disk instead of shipped to followers.
+//!
+//! [`add_publish_hook`]: fstore_storage::OfflineDb::add_publish_hook
+
+use crate::checkpoint::{CheckpointData, CheckpointStore};
+use crate::codec::{self, OnlineDelta};
+use crate::wal::{FsyncPolicy, WalRecord, WalWriter};
+use fstore_common::{ComponentKind, DeltaRecord, EntityKey, ReadEpoch, Result, Timestamp, Value};
+use fstore_core::FeatureServer;
+use fstore_embed::{EmbeddingDb, EmbeddingStore};
+use fstore_serve::{Clock, IndexCatalog, IndexMap, ServeEngine, ServingMetrics};
+use fstore_storage::{OfflineDb, OfflineStore, OnlineStore};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Durability configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableConfig {
+    /// When WAL commit markers fsync. Default: [`FsyncPolicy::Always`].
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// What [`DurableLeader::open`] recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// No manifest existed — a fresh directory, nothing to recover.
+    pub cold_start: bool,
+    /// Sequence number of the checkpoint that was loaded (0 if cold).
+    pub checkpoint_epoch: u64,
+    /// The last published sequence number the leader restarted into.
+    pub recovered_epoch: u64,
+    /// Committed WAL deltas replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Logged-but-uncommitted deltas dropped (never acknowledged).
+    pub dropped_uncommitted: usize,
+    /// Bytes truncated off the WAL tail (uncommitted, torn, or corrupt).
+    pub truncated_bytes: u64,
+    /// Wall-clock cost of the whole open (load + replay + re-checkpoint).
+    pub recovery_ms: u64,
+}
+
+struct WalState {
+    writer: WalWriter,
+}
+
+/// A leader whose components are backed by a WAL and checkpoints on disk.
+pub struct DurableLeader {
+    store: CheckpointStore,
+    config: DurableConfig,
+    offline: OfflineDb,
+    online: Arc<OnlineStore>,
+    embeddings: EmbeddingDb,
+    indexes: Arc<IndexCatalog>,
+    wal: Arc<Mutex<WalState>>,
+    /// The last sequence number assigned to a publication — the leader's
+    /// "published epoch" for durability purposes.
+    seq: Arc<AtomicU64>,
+    metrics: Arc<Mutex<Option<Arc<ServingMetrics>>>>,
+    last_recovery: RecoveryReport,
+}
+
+/// Append one publication (delta + commit marker) to the WAL. Sequence
+/// assignment happens under the WAL lock, so on-disk order always matches
+/// sequence order even when cells publish concurrently.
+///
+/// A failed append cannot be surfaced from a publish hook; the record is
+/// dropped and the state it described becomes durable again at the next
+/// checkpoint. (A production system would trip a fail-stop fuse here.)
+fn log_publication(
+    wal: &Arc<Mutex<WalState>>,
+    seq_counter: &Arc<AtomicU64>,
+    metrics: &Arc<Mutex<Option<Arc<ServingMetrics>>>>,
+    component: ComponentKind,
+    component_epoch: u64,
+    body: String,
+) {
+    let mut wal = wal.lock();
+    let seq = seq_counter.fetch_add(1, Ordering::AcqRel) + 1;
+    let delta = WalRecord::Delta(DeltaRecord {
+        seq,
+        component,
+        component_epoch,
+        body,
+    });
+    let results = [
+        wal.writer.append(&delta),
+        wal.writer.append(&WalRecord::Commit { seq }),
+    ];
+    if let Some(m) = metrics.lock().as_ref() {
+        for info in results.into_iter().flatten() {
+            m.record_wal_append(info.bytes, info.fsynced);
+        }
+    }
+}
+
+impl DurableLeader {
+    /// Open (or create) the durability directory at `dir`, recovering into
+    /// the last published epoch. See the module docs for the protocol.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: DurableConfig,
+    ) -> Result<(Arc<DurableLeader>, RecoveryReport)> {
+        let started = Instant::now();
+        let store = CheckpointStore::open(dir)?;
+
+        let embeddings = EmbeddingDb::new();
+        let offline = OfflineDb::new();
+        let online = Arc::new(OnlineStore::default());
+        let indexes = Arc::new(IndexCatalog::new(embeddings.clone()));
+
+        // 1. Checkpoint restore, component order matching follower bootstrap.
+        let checkpoint = store.load()?;
+        let cold_start = checkpoint.is_none();
+        let mut checkpoint_epoch = 0u64;
+        if let Some(data) = checkpoint {
+            checkpoint_epoch = data.repl_epoch;
+            offline.restore(data.offline, ReadEpoch(data.offline_epoch));
+            let mut emb = EmbeddingStore::new();
+            for repr in &data.embeddings {
+                emb.install_version(codec::version_from_repr(repr)?)?;
+            }
+            embeddings.restore(emb, ReadEpoch(data.embeddings_epoch));
+            for row in &data.online {
+                online.put(
+                    &row.group,
+                    &EntityKey::new(row.entity.clone()),
+                    &row.feature,
+                    row.value.clone(),
+                    row.written_at,
+                );
+            }
+            for build in &data.indexes {
+                indexes
+                    .install_replica(
+                        &build.table,
+                        &build.spec,
+                        build.built_from_version,
+                        build.generation,
+                    )
+                    .map_err(|e| {
+                        fstore_common::FsError::Storage(format!("recover index build: {e}"))
+                    })?;
+            }
+        }
+
+        // 2. WAL replay past the checkpoint.
+        let replay = crate::wal::recover(&store.wal_path(checkpoint_epoch))?;
+        let mut replayed = 0usize;
+        for record in &replay.committed {
+            if record.seq <= checkpoint_epoch {
+                continue; // re-delivered below the checkpoint; already folded in
+            }
+            codec::apply_record(&offline, &embeddings, &online, &indexes, record)?;
+            replayed += 1;
+        }
+        let recovered_epoch = checkpoint_epoch.max(replay.last_seq);
+
+        // 3. Re-checkpoint at the recovered sequence and rotate the WAL, so
+        // the *next* restart replays nothing this one already folded in.
+        let data = capture_checkpoint(recovered_epoch, &offline, &embeddings, &online, &indexes)?;
+        store.write(&data)?;
+        let rotate = recovered_epoch != checkpoint_epoch || cold_start;
+        let writer = WalWriter::open(store.wal_path(recovered_epoch), config.fsync, rotate)?;
+        store.gc(recovered_epoch);
+
+        let report = RecoveryReport {
+            cold_start,
+            checkpoint_epoch,
+            recovered_epoch,
+            replayed,
+            dropped_uncommitted: replay.dropped_uncommitted,
+            truncated_bytes: replay.truncated_bytes,
+            recovery_ms: started.elapsed().as_millis() as u64,
+        };
+
+        let leader = Arc::new(DurableLeader {
+            store,
+            config,
+            offline,
+            online,
+            embeddings,
+            indexes,
+            wal: Arc::new(Mutex::new(WalState { writer })),
+            seq: Arc::new(AtomicU64::new(recovered_epoch)),
+            metrics: Arc::new(Mutex::new(None)),
+            last_recovery: report,
+        });
+
+        // 4. Hook the publish paths — from here on, every publication is
+        // logged before anyone can observe a state that contains it only
+        // in memory.
+        leader.install_hooks();
+        Ok((leader, report))
+    }
+
+    fn install_hooks(&self) {
+        {
+            let wal = Arc::clone(&self.wal);
+            let seq = Arc::clone(&self.seq);
+            let metrics = Arc::clone(&self.metrics);
+            let base: Mutex<Arc<OfflineStore>> = Mutex::new(self.offline.snapshot());
+            self.offline.add_publish_hook(move |v| {
+                let mut base = base.lock();
+                let body = codec::diff_offline(&base, &v.value)
+                    .and_then(|delta| codec::encode(&delta))
+                    .unwrap_or_else(|_| String::from("{}"));
+                log_publication(
+                    &wal,
+                    &seq,
+                    &metrics,
+                    ComponentKind::Offline,
+                    v.epoch.as_u64(),
+                    body,
+                );
+                *base = Arc::clone(&v.value);
+            });
+        }
+        {
+            let wal = Arc::clone(&self.wal);
+            let seq = Arc::clone(&self.seq);
+            let metrics = Arc::clone(&self.metrics);
+            let base: Mutex<Arc<EmbeddingStore>> = Mutex::new(self.embeddings.snapshot());
+            self.embeddings.add_publish_hook(move |v| {
+                let mut base = base.lock();
+                let delta = codec::diff_embeddings(&base, &v.value);
+                let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
+                log_publication(
+                    &wal,
+                    &seq,
+                    &metrics,
+                    ComponentKind::Embeddings,
+                    v.epoch.as_u64(),
+                    body,
+                );
+                *base = Arc::clone(&v.value);
+            });
+        }
+        {
+            let wal = Arc::clone(&self.wal);
+            let seq = Arc::clone(&self.seq);
+            let metrics = Arc::clone(&self.metrics);
+            let base: Mutex<IndexMap> = Mutex::new(self.indexes.current().value.as_ref().clone());
+            self.indexes.add_publish_hook(move |v| {
+                let mut base = base.lock();
+                let delta = codec::diff_indexes(&base, &v.value);
+                let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
+                log_publication(
+                    &wal,
+                    &seq,
+                    &metrics,
+                    ComponentKind::Index,
+                    v.epoch.as_u64(),
+                    body,
+                );
+                *base = v.value.as_ref().clone();
+            });
+        }
+    }
+
+    /// Write one entity's features to the online store *and* the WAL. The
+    /// online store has no snapshot cell to hook, so durable online writes
+    /// must go through here (mirroring the replication leader's rule).
+    pub fn put_online(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        values: &[(&str, Value)],
+        now: Timestamp,
+    ) {
+        self.online.put_row(group, entity, values, now);
+        self.log_online(&OnlineDelta {
+            group: group.to_string(),
+            entity: entity.as_str().to_string(),
+            features: values
+                .iter()
+                .map(|(f, v)| ((*f).to_string(), v.clone(), now))
+                .collect(),
+        });
+    }
+
+    /// WAL-log an online delta that was already applied to the store —
+    /// the hook a replication leader calls so its `put_online` is durable.
+    pub fn log_online(&self, delta: &OnlineDelta) {
+        let body = codec::encode(delta).unwrap_or_else(|_| String::from("{}"));
+        log_publication(
+            &self.wal,
+            &self.seq,
+            &self.metrics,
+            ComponentKind::Online,
+            0,
+            body,
+        );
+    }
+
+    /// Take a checkpoint at the current published sequence and rotate the
+    /// WAL. Capturing under the WAL lock pins the sequence: a publication
+    /// that installed its cell but has not logged yet will land *after*
+    /// this checkpoint's sequence and be replayed idempotently on restart.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut wal = self.wal.lock();
+        let seq = self.seq.load(Ordering::Acquire);
+        let data = capture_checkpoint(
+            seq,
+            &self.offline,
+            &self.embeddings,
+            &self.online,
+            &self.indexes,
+        )?;
+        self.store.write(&data)?;
+        wal.writer = WalWriter::open(self.store.wal_path(seq), self.config.fsync, true)?;
+        self.store.gc(seq);
+        drop(wal);
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.record_checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Export durability counters (and the last recovery) through serving
+    /// metrics.
+    pub fn attach_metrics(&self, metrics: Arc<ServingMetrics>) {
+        metrics.record_recovery(
+            self.last_recovery.recovery_ms,
+            self.last_recovery.recovered_epoch,
+        );
+        *self.metrics.lock() = Some(metrics);
+    }
+
+    /// The last sequence number assigned to a publication.
+    pub fn published_seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// What the `open` that produced this leader recovered.
+    pub fn last_recovery(&self) -> RecoveryReport {
+        self.last_recovery
+    }
+
+    pub fn offline(&self) -> &OfflineDb {
+        &self.offline
+    }
+
+    pub fn online(&self) -> &Arc<OnlineStore> {
+        &self.online
+    }
+
+    pub fn embeddings(&self) -> &EmbeddingDb {
+        &self.embeddings
+    }
+
+    pub fn indexes(&self) -> &Arc<IndexCatalog> {
+        &self.indexes
+    }
+
+    /// A ready-to-start [`ServeEngine`] over the durable components,
+    /// stamping feature vectors with the offline epoch like the
+    /// replication leader and follower engines do — so answers before and
+    /// after a crash-restart are byte-comparable.
+    pub fn engine(&self, clock: Clock) -> ServeEngine {
+        let offline = self.offline.clone();
+        ServeEngine::new(
+            FeatureServer::new(Arc::clone(&self.online))
+                .with_epoch_source(Arc::new(move || offline.epoch())),
+            clock,
+        )
+        .with_embeddings(self.embeddings.clone())
+        .with_index_catalog(Arc::clone(&self.indexes))
+    }
+}
+
+/// Capture the four components as checkpoint data at `repl_epoch`.
+fn capture_checkpoint(
+    repl_epoch: u64,
+    offline: &OfflineDb,
+    embeddings: &EmbeddingDb,
+    online: &OnlineStore,
+    indexes: &IndexCatalog,
+) -> Result<CheckpointData> {
+    let off = offline.read();
+    let emb = embeddings.read();
+    let idx = indexes.current();
+    Ok(CheckpointData {
+        repl_epoch,
+        offline: off.value.as_ref().clone(),
+        offline_epoch: off.epoch.as_u64(),
+        embeddings: codec::diff_embeddings(&EmbeddingStore::new(), &emb.value).versions,
+        embeddings_epoch: emb.epoch.as_u64(),
+        online: codec::export_online(online),
+        indexes: codec::diff_indexes(&IndexMap::default(), &idx.value).builds,
+        index_epoch: idx.epoch.as_u64(),
+    })
+}

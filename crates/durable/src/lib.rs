@@ -1,0 +1,33 @@
+//! # fstore-durable
+//!
+//! Durability for the serving stack (paper §2.2.2's operational reality:
+//! a feature store's serving tier must survive restarts without serving
+//! wrong answers): a write-ahead log, on-disk columnar checkpoints, and
+//! crash recovery that restarts a leader into its last *published* epoch.
+//!
+//! * [`wal`] — length-prefixed, CRC-32-checksummed records with
+//!   epoch-tagged commit markers and a configurable fsync policy; recovery
+//!   replays to the last complete commit and truncates the torn tail.
+//! * [`checkpoint`] — the at-rest forms of the four components (binary
+//!   columnar segments for the offline store, raw-vector blobs for
+//!   embedding versions) under an atomically swapped manifest.
+//! * [`leader`] — [`DurableLeader`] hooks the same publish path the
+//!   replication `PubLog` taps and logs every publication; `open` is both
+//!   cold start and crash recovery.
+//! * [`codec`] — the delta/snapshot bodies and idempotent apply functions
+//!   shared by replication and recovery (moved here from `fstore-repl`,
+//!   which re-exports it).
+//! * [`cache`] — a follower's persisted last full snapshot, so restarts
+//!   bootstrap from disk and catch up by delta instead of re-pulling the
+//!   leader's whole state.
+
+pub mod cache;
+pub mod checkpoint;
+pub mod codec;
+pub mod leader;
+pub mod wal;
+
+pub use cache::SnapshotCache;
+pub use checkpoint::{CheckpointData, CheckpointStore, Manifest};
+pub use leader::{DurableConfig, DurableLeader, RecoveryReport};
+pub use wal::{FsyncPolicy, WalRecord, WalReplay, WalWriter};

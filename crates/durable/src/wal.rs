@@ -1,0 +1,460 @@
+//! The write-ahead log: length-prefixed, CRC-checksummed records with
+//! epoch-tagged commit markers.
+//!
+//! Every publication the durable leader logs is two records: a
+//! [`WalRecord::Delta`] carrying the serialized change, then a
+//! [`WalRecord::Commit`] naming the sequence number the publication was
+//! assigned. The commit marker is the durability point — the fsync policy
+//! is applied there, and [`recover`] only surfaces deltas whose commit made
+//! it to disk. Everything after the last complete commit (valid-but-
+//! uncommitted deltas, torn record fragments, CRC failures) is *truncated
+//! off the file*, not just skipped: a skipped-but-kept delta would be
+//! resurrected by the next writer's commit marker.
+//!
+//! Record envelope (little-endian):
+//!
+//! ```text
+//! len u32 | crc32(len_bytes ++ body) u32 | body
+//! body := kind u8 (1 = delta, 2 = commit) ++ payload
+//! ```
+//!
+//! Delta payloads are the JSON of a [`DeltaRecord`]; commit payloads are
+//! the 8-byte sequence number.
+
+use fstore_common::{crc32_update, DeltaRecord, FsError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const KIND_DELTA: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+/// When the WAL calls `fsync` — always the trade between write latency and
+/// the number of commits a crash can lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync at every commit marker: a crash loses nothing acknowledged.
+    Always,
+    /// fsync every N commit markers: a crash loses at most N-1 commits.
+    EveryN(u32),
+    /// Never fsync (the OS flushes eventually): fastest, weakest.
+    Never,
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A serialized publication, identical in shape to what the replication
+    /// log ships — durability and replication speak the same deltas.
+    Delta(DeltaRecord),
+    /// The record above (and any earlier uncommitted deltas) are now
+    /// durable state as of sequence number `seq`.
+    Commit { seq: u64 },
+}
+
+/// Encode one record into its on-disk envelope.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    match record {
+        WalRecord::Delta(d) => {
+            body.push(KIND_DELTA);
+            body.extend_from_slice(
+                serde_json::to_string(d)
+                    .expect("delta records serialize")
+                    .as_bytes(),
+            );
+        }
+        WalRecord::Commit { seq } => {
+            body.push(KIND_COMMIT);
+            body.extend_from_slice(&seq.to_le_bytes());
+        }
+    }
+    let len = (body.len() as u32).to_le_bytes();
+    let crc = crc32_update(crc32_update(0, &len), &body);
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode the record at the front of `buf`.
+///
+/// `Ok(Some((record, consumed)))` on success, `Ok(None)` when `buf` holds
+/// only a prefix of a record (a torn tail — not an error until someone
+/// decides the file has no more bytes coming), `Err(Corruption)` when the
+/// bytes are structurally complete but wrong (CRC mismatch, unknown kind,
+/// unparseable payload).
+pub fn decode_record(buf: &[u8]) -> Result<Option<(WalRecord, usize)>> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len_bytes = &buf[0..4];
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len == 0 {
+        return Err(FsError::Corruption("zero-length WAL record".into()));
+    }
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let body = &buf[8..8 + len];
+    let got_crc = crc32_update(crc32_update(0, len_bytes), body);
+    if got_crc != want_crc {
+        return Err(FsError::Corruption(format!(
+            "WAL record checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+        )));
+    }
+    let record = match body[0] {
+        KIND_DELTA => {
+            let d: DeltaRecord = serde_json::from_slice(&body[1..])
+                .map_err(|e| FsError::Corruption(format!("unparseable WAL delta: {e}")))?;
+            WalRecord::Delta(d)
+        }
+        KIND_COMMIT => {
+            if body.len() != 9 {
+                return Err(FsError::Corruption(format!(
+                    "WAL commit marker has {} payload bytes, expected 8",
+                    body.len() - 1
+                )));
+            }
+            WalRecord::Commit {
+                seq: u64::from_le_bytes(body[1..9].try_into().unwrap()),
+            }
+        }
+        k => return Err(FsError::Corruption(format!("unknown WAL record kind {k}"))),
+    };
+    Ok(Some((record, 8 + len)))
+}
+
+/// What one [`WalWriter::append`] did, so callers can feed metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendInfo {
+    pub bytes: u64,
+    pub fsynced: bool,
+}
+
+/// An append-only WAL file handle.
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    commits_since_sync: u32,
+    appends: u64,
+    fsyncs: u64,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Open `path` for appending (creating it if needed). `truncate` starts
+    /// the log over — used when rotating at a checkpoint.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        truncate: bool,
+    ) -> Result<WalWriter> {
+        let path = path.into();
+        let mut opts = OpenOptions::new();
+        opts.create(true);
+        if truncate {
+            opts.write(true).truncate(true);
+        } else {
+            opts.append(true);
+        }
+        let file = opts
+            .open(&path)
+            .map_err(|e| FsError::Storage(format!("open WAL {}: {e}", path.display())))?;
+        Ok(WalWriter {
+            file,
+            path,
+            policy,
+            commits_since_sync: 0,
+            appends: 0,
+            fsyncs: 0,
+            bytes: 0,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record; commit markers trigger the fsync policy.
+    pub fn append(&mut self, record: &WalRecord) -> Result<AppendInfo> {
+        let frame = encode_record(record);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| FsError::Storage(format!("append to WAL {}: {e}", self.path.display())))?;
+        self.appends += 1;
+        self.bytes += frame.len() as u64;
+        let mut fsynced = false;
+        if matches!(record, WalRecord::Commit { .. }) {
+            let due = match self.policy {
+                FsyncPolicy::Always => true,
+                FsyncPolicy::EveryN(n) => {
+                    self.commits_since_sync += 1;
+                    self.commits_since_sync >= n.max(1)
+                }
+                FsyncPolicy::Never => false,
+            };
+            if due {
+                self.sync()?;
+                fsynced = true;
+            }
+        }
+        Ok(AppendInfo {
+            bytes: frame.len() as u64,
+            fsynced,
+        })
+    }
+
+    /// Force an fsync regardless of policy.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| FsError::Storage(format!("fsync WAL {}: {e}", self.path.display())))?;
+        self.fsyncs += 1;
+        self.commits_since_sync = 0;
+        Ok(())
+    }
+
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// What [`recover`] found in (and did to) a WAL file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalReplay {
+    /// Every delta covered by a complete commit marker, in log order.
+    pub committed: Vec<DeltaRecord>,
+    /// The last committed sequence number (0 if none).
+    pub last_seq: u64,
+    /// Valid-looking deltas after the last commit — logged but never
+    /// committed; they are dropped (and truncated) with the torn tail.
+    pub dropped_uncommitted: usize,
+    /// Bytes cut off the end of the file (uncommitted + torn + corrupt).
+    pub truncated_bytes: u64,
+}
+
+/// Replay a WAL file up to its last complete commit, truncating everything
+/// after it. A missing file is an empty (not corrupt) log.
+pub fn recover(path: &Path) -> Result<WalReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(e) => {
+            return Err(FsError::Storage(format!(
+                "read WAL {}: {e}",
+                path.display()
+            )))
+        }
+    };
+
+    let mut replay = WalReplay::default();
+    let mut pending: Vec<DeltaRecord> = Vec::new();
+    let mut pos = 0usize;
+    // End of the last complete commit unit — the only durable prefix.
+    let mut committed_end = 0usize;
+    loop {
+        match decode_record(&bytes[pos..]) {
+            Ok(Some((record, consumed))) => {
+                pos += consumed;
+                match record {
+                    WalRecord::Delta(d) => pending.push(d),
+                    WalRecord::Commit { seq } => {
+                        replay.committed.append(&mut pending);
+                        replay.last_seq = seq;
+                        committed_end = pos;
+                    }
+                }
+            }
+            // A torn tail or a corrupt record both end the durable prefix.
+            Ok(None) | Err(FsError::Corruption(_)) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    replay.dropped_uncommitted = pending.len();
+    replay.truncated_bytes = (bytes.len() - committed_end) as u64;
+    if replay.truncated_bytes > 0 {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| FsError::Storage(format!("truncate WAL {}: {e}", path.display())))?;
+        file.set_len(committed_end as u64)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| FsError::Storage(format!("truncate WAL {}: {e}", path.display())))?;
+    }
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fstore_common::ComponentKind;
+
+    fn delta(seq: u64, body: &str) -> DeltaRecord {
+        DeltaRecord {
+            seq,
+            component: ComponentKind::Offline,
+            component_epoch: seq,
+            body: body.to_string(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fstore_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for record in [
+            WalRecord::Delta(delta(3, "{\"appends\":[]}")),
+            WalRecord::Commit { seq: 3 },
+            WalRecord::Delta(delta(u64::MAX, "")),
+        ] {
+            let bytes = encode_record(&record);
+            let (decoded, consumed) = decode_record(&bytes).unwrap().unwrap();
+            assert_eq!(decoded, record);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_is_corruption() {
+        let bytes = encode_record(&WalRecord::Commit { seq: 9 });
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            // Depending on which byte flips, the record may look torn
+            // (length grew) or corrupt (CRC mismatch) — never decode clean.
+            match decode_record(&bad) {
+                Ok(Some((rec, _))) => panic!("byte {i} flipped but decoded {rec:?}"),
+                Ok(None) | Err(FsError::Corruption(_)) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_recovery_replays_committed_prefix() {
+        let path = tmp("basic.log");
+        std::fs::remove_file(&path).ok();
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, true).unwrap();
+        for seq in 1..=3u64 {
+            w.append(&WalRecord::Delta(delta(seq, "d"))).unwrap();
+            w.append(&WalRecord::Commit { seq }).unwrap();
+        }
+        // A logged-but-uncommitted delta must not survive recovery.
+        w.append(&WalRecord::Delta(delta(4, "lost"))).unwrap();
+        assert_eq!(w.appends(), 7);
+        assert_eq!(w.fsyncs(), 3);
+        drop(w);
+
+        let replay = recover(&path).unwrap();
+        assert_eq!(replay.last_seq, 3);
+        assert_eq!(replay.committed.len(), 3);
+        assert_eq!(replay.dropped_uncommitted, 1);
+        assert!(replay.truncated_bytes > 0);
+
+        // The file itself was truncated: re-recovery is clean and a new
+        // writer appends after the committed prefix.
+        let again = recover(&path).unwrap();
+        assert_eq!(again.last_seq, 3);
+        assert_eq!(again.truncated_bytes, 0);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, false).unwrap();
+        w.append(&WalRecord::Delta(delta(4, "kept"))).unwrap();
+        w.append(&WalRecord::Commit { seq: 4 }).unwrap();
+        drop(w);
+        let after = recover(&path).unwrap();
+        assert_eq!(after.last_seq, 4);
+        assert_eq!(after.committed.len(), 4);
+        assert_eq!(after.committed[3].body, "kept");
+    }
+
+    #[test]
+    fn fsync_policies_gate_commit_syncs() {
+        let path = tmp("policy.log");
+        let mut w = WalWriter::open(&path, FsyncPolicy::EveryN(3), true).unwrap();
+        for seq in 1..=7u64 {
+            let info = w.append(&WalRecord::Commit { seq }).unwrap();
+            assert_eq!(info.fsynced, seq % 3 == 0);
+        }
+        assert_eq!(w.fsyncs(), 2);
+
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never, true).unwrap();
+        assert!(!w.append(&WalRecord::Commit { seq: 1 }).unwrap().fsynced);
+        assert_eq!(w.fsyncs(), 0);
+    }
+
+    #[test]
+    fn torn_write_truncated_at_every_offset_of_the_final_record() {
+        let path = tmp("torn.log");
+        // Two committed units, then a final delta+commit pair that we tear
+        // at every possible byte boundary.
+        let mut prefix = Vec::new();
+        for seq in 1..=2u64 {
+            prefix.extend_from_slice(&encode_record(&WalRecord::Delta(delta(seq, "keep"))));
+            prefix.extend_from_slice(&encode_record(&WalRecord::Commit { seq }));
+        }
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&encode_record(&WalRecord::Delta(delta(3, "torn"))));
+        tail.extend_from_slice(&encode_record(&WalRecord::Commit { seq: 3 }));
+        let commit3_at = tail.len() - encode_record(&WalRecord::Commit { seq: 3 }).len();
+
+        for cut in 0..=tail.len() {
+            std::fs::write(&path, [&prefix[..], &tail[..cut]].concat()).unwrap();
+            let replay = recover(&path).unwrap();
+            if cut == tail.len() {
+                assert_eq!(replay.last_seq, 3, "cut {cut}");
+                assert_eq!(replay.committed.len(), 3);
+                assert_eq!(replay.truncated_bytes, 0);
+            } else {
+                assert_eq!(replay.last_seq, 2, "cut {cut}");
+                assert_eq!(replay.committed.len(), 2);
+                assert_eq!(
+                    replay.dropped_uncommitted,
+                    usize::from(cut >= commit3_at),
+                    "cut {cut}"
+                );
+                assert_eq!(replay.truncated_bytes, cut as u64, "cut {cut}");
+                // The durable prefix survives byte-for-byte.
+                assert_eq!(std::fs::read(&path).unwrap(), prefix, "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_record_ends_the_durable_prefix() {
+        let path = tmp("corrupt.log");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record(&WalRecord::Delta(delta(1, "good"))));
+        bytes.extend_from_slice(&encode_record(&WalRecord::Commit { seq: 1 }));
+        let unit1_len = bytes.len();
+        bytes.extend_from_slice(&encode_record(&WalRecord::Delta(delta(2, "bad"))));
+        bytes.extend_from_slice(&encode_record(&WalRecord::Commit { seq: 2 }));
+        bytes[unit1_len + 10] ^= 0xFF; // corrupt unit 2's delta
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = recover(&path).unwrap();
+        assert_eq!(replay.last_seq, 1);
+        assert_eq!(replay.committed.len(), 1);
+        assert_eq!(std::fs::read(&path).unwrap().len(), unit1_len);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let replay = recover(Path::new("/nonexistent/fstore/wal.log")).unwrap();
+        assert_eq!(replay, WalReplay::default());
+    }
+}

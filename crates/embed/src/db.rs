@@ -105,12 +105,21 @@ impl EmbeddingDb {
     }
 
     /// Observe every publication (replication taps in here; see
-    /// [`fstore_common::snapshot::PublishHook`]).
+    /// [`fstore_common::snapshot::PublishHook`]). Replaces existing hooks.
     pub fn set_publish_hook(
         &self,
         hook: impl Fn(&Versioned<EmbeddingStore>) + Send + Sync + 'static,
     ) {
         self.inner.cell.set_publish_hook(hook);
+    }
+
+    /// Observe every publication *alongside* existing observers — lets
+    /// replication and durability both tap the same publish path.
+    pub fn add_publish_hook(
+        &self,
+        hook: impl Fn(&Versioned<EmbeddingStore>) + Send + Sync + 'static,
+    ) {
+        self.inner.cell.add_publish_hook(hook);
     }
 
     /// Recent publications, oldest to newest (retention defaults to

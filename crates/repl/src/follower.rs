@@ -22,6 +22,7 @@ use crate::codec::{self, EmbeddingsDelta, FullSnapshot, IndexDelta, OfflineDelta
 use fstore_common::rng::{Rng, Xoshiro256};
 use fstore_common::{ComponentKind, DeltaRecord, FsError, ReadEpoch, Result};
 use fstore_core::FeatureServer;
+use fstore_durable::SnapshotCache;
 use fstore_embed::{EmbeddingDb, EmbeddingStore};
 use fstore_serve::{Clock, FeatureClient, IndexCatalog, RetryPolicy, ServeEngine, ServingMetrics};
 use fstore_storage::{OfflineDb, OfflineStore, OnlineStore};
@@ -57,15 +58,19 @@ pub struct Follower {
     leader_epoch: AtomicU64,
     /// Times this follower fell past retention and re-bootstrapped.
     fallbacks: AtomicU64,
+    /// Where full snapshots are persisted between runs, if anywhere.
+    cache: Mutex<Option<SnapshotCache>>,
+    /// Bootstraps served from the local snapshot cache (no wire transfer).
+    disk_bootstraps: AtomicU64,
+    /// Full snapshots pulled over the wire (bootstrap or lag fallback).
+    wire_bootstraps: AtomicU64,
     metrics: Mutex<Option<Arc<ServingMetrics>>>,
 }
 
 impl Follower {
-    /// Connect to a leader and bootstrap from a full snapshot.
-    pub fn bootstrap(leader_addr: impl Into<String>) -> Result<Follower> {
-        let leader_addr = leader_addr.into();
+    fn empty(leader_addr: String) -> Follower {
         let embeddings = EmbeddingDb::new();
-        let follower = Follower {
+        Follower {
             leader_addr,
             offline: OfflineDb::new(),
             online: Arc::new(OnlineStore::default()),
@@ -74,10 +79,55 @@ impl Follower {
             applied: AtomicU64::new(0),
             leader_epoch: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            cache: Mutex::new(None),
+            disk_bootstraps: AtomicU64::new(0),
+            wire_bootstraps: AtomicU64::new(0),
             metrics: Mutex::new(None),
-        };
+        }
+    }
+
+    /// Connect to a leader and bootstrap from a full snapshot.
+    pub fn bootstrap(leader_addr: impl Into<String>) -> Result<Follower> {
+        let follower = Follower::empty(leader_addr.into());
         let mut client = follower.connect()?;
         follower.pull_full_snapshot(&mut client)?;
+        Ok(follower)
+    }
+
+    /// Bootstrap through a persistent snapshot cache: install the cached
+    /// snapshot from disk (no wire transfer) and catch up through ordinary
+    /// delta sync. A missing or corrupt cache — or one that has lagged past
+    /// the leader's retention window (the first sync round answers
+    /// `lagged`) — falls back to a full wire pull, which repopulates the
+    /// cache. Every wire pull keeps the cache fresh, so the *next* restart
+    /// bootstraps from disk.
+    pub fn bootstrap_with_cache(
+        leader_addr: impl Into<String>,
+        cache: SnapshotCache,
+    ) -> Result<Follower> {
+        let follower = Follower::empty(leader_addr.into());
+        let cached = cache.load().unwrap_or(None); // corrupt cache == no cache
+        *follower.cache.lock() = Some(cache);
+
+        let mut client = follower.connect()?;
+        match cached {
+            Some((repl_epoch, payload)) => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|e| FsError::Serde(format!("cached snapshot not UTF-8: {e}")))?;
+                let snapshot: FullSnapshot = codec::decode(text)?;
+                follower.install_full_snapshot(&snapshot)?;
+                follower.applied.store(repl_epoch, Ordering::Release);
+                follower
+                    .leader_epoch
+                    .fetch_max(repl_epoch, Ordering::AcqRel);
+                follower.disk_bootstraps.fetch_add(1, Ordering::AcqRel);
+                // Catch up from the cached epoch; a `lagged` answer inside
+                // sync_once re-pulls the full snapshot (counted as a wire
+                // bootstrap and a fallback).
+                follower.sync_once(&mut client)?;
+            }
+            None => follower.pull_full_snapshot(&mut client)?,
+        }
         Ok(follower)
     }
 
@@ -98,6 +148,12 @@ impl Follower {
         self.install_full_snapshot(&snapshot)?;
         self.applied.store(repl_epoch, Ordering::Release);
         self.leader_epoch.fetch_max(repl_epoch, Ordering::AcqRel);
+        self.wire_bootstraps.fetch_add(1, Ordering::AcqRel);
+        if let Some(cache) = self.cache.lock().as_ref() {
+            // Best-effort: a failed cache write only costs the next
+            // restart a wire pull.
+            let _ = cache.store(repl_epoch, &payload);
+        }
         self.push_metrics();
         Ok(())
     }
@@ -325,6 +381,18 @@ impl Follower {
     /// Full-snapshot fallbacks taken since bootstrap.
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Acquire)
+    }
+
+    /// Bootstraps served from the local snapshot cache — state restored
+    /// from disk with no full wire transfer.
+    pub fn disk_bootstraps(&self) -> u64 {
+        self.disk_bootstraps.load(Ordering::Acquire)
+    }
+
+    /// Full snapshots pulled over the wire (initial bootstrap and every
+    /// lag fallback).
+    pub fn wire_bootstraps(&self) -> u64 {
+        self.wire_bootstraps.load(Ordering::Acquire)
     }
 
     pub fn offline(&self) -> &OfflineDb {

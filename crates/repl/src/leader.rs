@@ -14,11 +14,12 @@
 //! bump itself is state a follower must reproduce, or its echoed epochs
 //! would drift below the leader's and byte-identity would break.
 
-use crate::codec::{self, IndexBuild, IndexDelta, OnlineDelta};
+use crate::codec::{self, OnlineDelta};
 use fstore_common::{
     ComponentKind, DeltaQuery, EntityKey, FsError, PubLog, Timestamp, Value, DEFAULT_LOG_RETENTION,
 };
 use fstore_core::FeatureServer;
+use fstore_durable::DurableLeader;
 use fstore_embed::{EmbeddingDb, EmbeddingStore};
 use fstore_serve::{Clock, IndexCatalog, IndexMap, ReplLogState, ReplProvider, ServeEngine};
 use fstore_storage::{OfflineDb, OfflineStore, OnlineStore};
@@ -46,6 +47,18 @@ impl LeaderParts {
             embeddings,
         }
     }
+
+    /// The components a [`DurableLeader`] recovered, so a replication
+    /// leader can be layered over the same cells. Pair with
+    /// [`ReplLeader::attach_durable`] so online writes hit the WAL too.
+    pub fn from_durable(durable: &DurableLeader) -> Self {
+        LeaderParts {
+            offline: durable.offline().clone(),
+            online: Arc::clone(durable.online()),
+            embeddings: durable.embeddings().clone(),
+            indexes: Arc::clone(durable.indexes()),
+        }
+    }
 }
 
 impl Default for LeaderParts {
@@ -58,6 +71,9 @@ impl Default for LeaderParts {
 pub struct ReplLeader {
     log: Arc<PubLog>,
     parts: LeaderParts,
+    /// An attached durable leader, so replicated online writes are also
+    /// WAL-logged (cell-backed components log through their own hooks).
+    durable: Mutex<Option<Arc<DurableLeader>>>,
 }
 
 impl ReplLeader {
@@ -78,7 +94,7 @@ impl ReplLeader {
         {
             let log = Arc::clone(&log);
             let base: Mutex<Arc<OfflineStore>> = Mutex::new(parts.offline.snapshot());
-            parts.offline.set_publish_hook(move |v| {
+            parts.offline.add_publish_hook(move |v| {
                 let mut base = base.lock();
                 let body = codec::diff_offline(&base, &v.value)
                     .and_then(|delta| codec::encode(&delta))
@@ -90,7 +106,7 @@ impl ReplLeader {
         {
             let log = Arc::clone(&log);
             let base: Mutex<Arc<EmbeddingStore>> = Mutex::new(parts.embeddings.snapshot());
-            parts.embeddings.set_publish_hook(move |v| {
+            parts.embeddings.add_publish_hook(move |v| {
                 let mut base = base.lock();
                 let delta = codec::diff_embeddings(&base, &v.value);
                 let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
@@ -101,16 +117,32 @@ impl ReplLeader {
         {
             let log = Arc::clone(&log);
             let base: Mutex<IndexMap> = Mutex::new(parts.indexes.current().value.as_ref().clone());
-            parts.indexes.set_publish_hook(move |v| {
+            parts.indexes.add_publish_hook(move |v| {
                 let mut base = base.lock();
-                let delta = diff_indexes(&base, &v.value);
+                let delta = codec::diff_indexes(&base, &v.value);
                 let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
                 log.append(ComponentKind::Index, v.epoch.as_u64(), body);
                 *base = v.value.as_ref().clone();
             });
         }
 
-        Arc::new(ReplLeader { log, parts })
+        Arc::new(ReplLeader {
+            log,
+            parts,
+            durable: Mutex::new(None),
+        })
+    }
+
+    /// Attach a [`DurableLeader`] built over the *same* components, making
+    /// this leader's replicated online writes durable too. Hooks stack:
+    /// cell-backed publications already reach both the publication log and
+    /// the WAL through their own [`add_publish_hook`] registrations; the
+    /// online store has no cell, so [`put_online`](Self::put_online)
+    /// forwards each write explicitly once attached.
+    ///
+    /// [`add_publish_hook`]: fstore_storage::OfflineDb::add_publish_hook
+    pub fn attach_durable(&self, durable: Arc<DurableLeader>) {
+        *self.durable.lock() = Some(durable);
     }
 
     pub fn log(&self) -> &Arc<PubLog> {
@@ -143,6 +175,14 @@ impl ReplLeader {
         };
         let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
         self.log.append(ComponentKind::Online, 0, body);
+        if let Some(durable) = self.durable.lock().as_ref() {
+            durable.log_online(&delta);
+        }
+    }
+
+    /// The attached durable leader, if any.
+    pub fn durable(&self) -> Option<Arc<DurableLeader>> {
+        self.durable.lock().clone()
     }
 
     /// A ready-to-start [`ServeEngine`] over the leader's components, with
@@ -162,23 +202,6 @@ impl ReplLeader {
     }
 }
 
-/// The index snapshots in `new` that `base` does not share (by `Arc`
-/// identity), as deterministic build instructions sorted by table.
-fn diff_indexes(base: &IndexMap, new: &IndexMap) -> IndexDelta {
-    let mut builds: Vec<IndexBuild> = new
-        .iter()
-        .filter(|(name, snap)| base.get(*name).is_none_or(|b| !Arc::ptr_eq(b, snap)))
-        .map(|(name, snap)| IndexBuild {
-            table: name.clone(),
-            spec: snap.spec.clone(),
-            built_from_version: snap.built_from_version,
-            generation: snap.generation,
-        })
-        .collect();
-    builds.sort_by(|a, b| a.table.cmp(&b.table));
-    IndexDelta { builds }
-}
-
 impl ReplProvider for ReplLeader {
     fn log_state(&self) -> ReplLogState {
         ReplLogState {
@@ -195,24 +218,13 @@ impl ReplProvider for ReplLeader {
         // log, so its delta gets a seq > repl_epoch and is re-delivered.
         // Applies are idempotent, so the follower converges either way.
         let (repl_epoch, snapshot) = self.log.frozen(|repl_epoch| {
-            let offline = self.parts.offline.read();
-            let embeddings = self.parts.embeddings.read();
-            let indexes = self.parts.indexes.current();
-            let snapshot = offline.value.snapshot_json().map(|offline_json| {
-                let mut builds = diff_indexes(&IndexMap::default(), &indexes.value).builds;
-                builds.sort_by(|a, b| a.table.cmp(&b.table));
-                codec::FullSnapshot {
-                    repl_epoch,
-                    offline_epoch: offline.epoch.as_u64(),
-                    offline_json,
-                    embeddings_epoch: embeddings.epoch.as_u64(),
-                    embeddings: codec::diff_embeddings(&EmbeddingStore::new(), &embeddings.value)
-                        .versions,
-                    online: codec::export_online(&self.parts.online),
-                    index_epoch: indexes.epoch.as_u64(),
-                    indexes: builds,
-                }
-            });
+            let snapshot = codec::capture_snapshot(
+                repl_epoch,
+                &self.parts.offline,
+                &self.parts.embeddings,
+                &self.parts.online,
+                &self.parts.indexes,
+            );
             (repl_epoch, snapshot)
         });
         let payload = codec::encode(&snapshot?)?.into_bytes();

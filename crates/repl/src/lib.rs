@@ -19,9 +19,18 @@
 //!   full snapshot (counted, exported via serving metrics). Because
 //!   epochs are leader-dictated all the way down, a synced follower's
 //!   responses are byte-identical to the leader's at the same epoch.
+//!   [`Follower::bootstrap_with_cache`] restores the last pulled snapshot
+//!   from a local [`SnapshotCache`] and catches up by delta, so restarts
+//!   within the retention window skip the full wire transfer.
 //! * [`codec`] — the JSON delta/snapshot bodies and their idempotent
 //!   apply functions; index snapshots ship as deterministic build
-//!   instructions, never as index bytes.
+//!   instructions, never as index bytes. (Re-exported from
+//!   [`fstore_durable::codec`]: WAL recovery replays the same records.)
+//!
+//! A leader's publications can be write-ahead logged by layering it over
+//! a recovered [`DurableLeader`](fstore_durable::DurableLeader)
+//! ([`LeaderParts::from_durable`] + [`ReplLeader::attach_durable`]);
+//! replication and durability then tap the same publish hooks.
 
 pub mod codec;
 pub mod follower;
@@ -32,4 +41,5 @@ pub use codec::{
     TableAppend, TableRepr, VersionRepr,
 };
 pub use follower::{Follower, SyncHandle, SyncReport};
+pub use fstore_durable::SnapshotCache;
 pub use leader::{LeaderParts, ReplLeader};

@@ -229,9 +229,15 @@ impl IndexCatalog {
     }
 
     /// Observe every map publication (replication taps in here; see
-    /// [`fstore_common::snapshot::PublishHook`]).
+    /// [`fstore_common::snapshot::PublishHook`]). Replaces existing hooks.
     pub fn set_publish_hook(&self, hook: impl Fn(&Versioned<IndexMap>) + Send + Sync + 'static) {
         self.snapshots.set_publish_hook(hook);
+    }
+
+    /// Observe every map publication *alongside* existing observers — lets
+    /// replication and durability both tap the same publish path.
+    pub fn add_publish_hook(&self, hook: impl Fn(&Versioned<IndexMap>) + Send + Sync + 'static) {
+        self.snapshots.add_publish_hook(hook);
     }
 
     /// Kick off [`IndexCatalog::build`] on a background thread and return

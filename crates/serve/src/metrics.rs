@@ -149,6 +149,21 @@ pub struct ServingMetrics {
     /// of the last attempt (0 = last round succeeded). A rising value is
     /// the first sign the leader is unreachable.
     repl_consecutive_failures: AtomicU64,
+    /// Durability: records appended to the write-ahead log.
+    wal_appends: AtomicU64,
+    /// Durability: fsyncs issued by the WAL (≤ appends under batched
+    /// fsync policies — the gap is the durability/throughput trade).
+    wal_fsyncs: AtomicU64,
+    /// Durability: bytes written to the WAL.
+    wal_bytes: AtomicU64,
+    /// Durability: checkpoints taken (each one truncates the WAL).
+    checkpoint_count: AtomicU64,
+    /// Durability: wall-clock milliseconds the last crash recovery took
+    /// (checkpoint load + WAL replay).
+    last_recovery_ms: AtomicU64,
+    /// Durability: the replication epoch the last recovery restored —
+    /// the last *published* epoch before the crash.
+    recovered_epoch: AtomicU64,
 }
 
 impl Default for ServingMetrics {
@@ -168,6 +183,12 @@ impl Default for ServingMetrics {
             frames_too_large: AtomicU64::new(0),
             frame_timeouts: AtomicU64::new(0),
             repl_consecutive_failures: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            checkpoint_count: AtomicU64::new(0),
+            last_recovery_ms: AtomicU64::new(0),
+            recovered_epoch: AtomicU64::new(0),
         }
     }
 }
@@ -246,6 +267,44 @@ impl ServingMetrics {
     /// Record the follower's consecutive sync-failure count (0 on success).
     pub fn set_repl_consecutive_failures(&self, n: u64) {
         self.repl_consecutive_failures.store(n, Ordering::Relaxed);
+    }
+
+    /// Record one WAL append of `bytes` bytes (and whether it fsynced).
+    pub fn record_wal_append(&self, bytes: u64, fsynced: bool) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if fsynced {
+            self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one completed checkpoint.
+    pub fn record_checkpoint(&self) {
+        self.checkpoint_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed crash recovery: how long it took and which
+    /// replication epoch it restored.
+    pub fn record_recovery(&self, ms: u64, recovered_epoch: u64) {
+        self.last_recovery_ms.store(ms, Ordering::Relaxed);
+        self.recovered_epoch
+            .store(recovered_epoch, Ordering::Relaxed);
+    }
+
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal_fsyncs.load(Ordering::Relaxed)
+    }
+
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoint_count.load(Ordering::Relaxed)
     }
 
     pub fn deadline_shed_count(&self) -> u64 {
@@ -330,6 +389,12 @@ impl ServingMetrics {
             frames_too_large: self.frames_too_large.load(Ordering::Relaxed),
             frame_timeouts: self.frame_timeouts.load(Ordering::Relaxed),
             repl_consecutive_failures: self.repl_consecutive_failures.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            checkpoint_count: self.checkpoint_count.load(Ordering::Relaxed),
+            last_recovery_ms: self.last_recovery_ms.load(Ordering::Relaxed),
+            recovered_epoch: self.recovered_epoch.load(Ordering::Relaxed),
         }
     }
 
@@ -370,6 +435,12 @@ pub struct MetricsSnapshot {
     pub frames_too_large: u64,
     pub frame_timeouts: u64,
     pub repl_consecutive_failures: u64,
+    pub wal_appends: u64,
+    pub wal_fsyncs: u64,
+    pub wal_bytes: u64,
+    pub checkpoint_count: u64,
+    pub last_recovery_ms: u64,
+    pub recovered_epoch: u64,
 }
 
 #[cfg(test)]
@@ -446,6 +517,30 @@ mod tests {
         // A successful round resets the failure streak.
         m.set_repl_consecutive_failures(0);
         assert_eq!(m.repl_consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn durability_counters_flow_into_the_snapshot() {
+        let m = ServingMetrics::new();
+        m.record_wal_append(100, true);
+        m.record_wal_append(28, false);
+        m.record_checkpoint();
+        m.record_recovery(42, 17);
+        let snap = m.snapshot();
+        assert_eq!(snap.wal_appends, 2);
+        assert_eq!(snap.wal_fsyncs, 1);
+        assert_eq!(snap.wal_bytes, 128);
+        assert_eq!(snap.checkpoint_count, 1);
+        assert_eq!(snap.last_recovery_ms, 42);
+        assert_eq!(snap.recovered_epoch, 17);
+        assert_eq!(m.wal_appends(), 2);
+        assert_eq!(m.wal_fsyncs(), 1);
+        assert_eq!(m.wal_bytes(), 128);
+        assert_eq!(m.checkpoint_count(), 1);
+        // And they render in the JSON dump.
+        let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
+        assert_eq!(v["wal_appends"].as_u64(), Some(2));
+        assert_eq!(v["recovered_epoch"].as_u64(), Some(17));
     }
 
     #[test]

@@ -4,11 +4,13 @@
 use fstore_common::{FsError, Result, Timestamp, Value, ValueType};
 
 /// A packed validity bitmap (1 = present, 0 = null), 64 rows per word.
+/// Fields are crate-visible so the on-disk segment format (`crate::disk`)
+/// can persist and reconstruct the words directly.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NullBitmap {
-    words: Vec<u64>,
-    len: usize,
-    null_count: usize,
+    pub(crate) words: Vec<u64>,
+    pub(crate) len: usize,
+    pub(crate) null_count: usize,
 }
 
 impl NullBitmap {

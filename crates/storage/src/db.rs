@@ -89,12 +89,21 @@ impl OfflineDb {
     }
 
     /// Observe every publication (replication taps in here; see
-    /// [`fstore_common::snapshot::PublishHook`]).
+    /// [`fstore_common::snapshot::PublishHook`]). Replaces existing hooks.
     pub fn set_publish_hook(
         &self,
         hook: impl Fn(&Versioned<OfflineStore>) + Send + Sync + 'static,
     ) {
         self.inner.cell.set_publish_hook(hook);
+    }
+
+    /// Observe every publication *alongside* existing observers — lets
+    /// replication and durability both tap the same publish path.
+    pub fn add_publish_hook(
+        &self,
+        hook: impl Fn(&Versioned<OfflineStore>) + Send + Sync + 'static,
+    ) {
+        self.inner.cell.add_publish_hook(hook);
     }
 
     /// How many recent publications the handle retains for

@@ -15,6 +15,7 @@
 
 pub mod column;
 pub mod db;
+pub mod disk;
 pub mod offline;
 pub mod online;
 pub mod predicate;

@@ -52,17 +52,17 @@ impl TableConfig {
 /// bumps plus — only when a snapshot still references the open builder — one
 /// copy-on-write clone of the open rows (bounded by `segment_rows`).
 #[derive(Debug, Default, Clone)]
-struct Partition {
-    sealed: Vec<Arc<Segment>>,
-    open: Option<Arc<SegmentBuilder>>,
+pub(crate) struct Partition {
+    pub(crate) sealed: Vec<Arc<Segment>>,
+    pub(crate) open: Option<Arc<SegmentBuilder>>,
 }
 
 #[derive(Debug, Clone)]
-struct Table {
-    config: TableConfig,
-    time_idx: Option<usize>,
-    partitions: BTreeMap<Date, Partition>,
-    rows: usize,
+pub(crate) struct Table {
+    pub(crate) config: TableConfig,
+    pub(crate) time_idx: Option<usize>,
+    pub(crate) partitions: BTreeMap<Date, Partition>,
+    pub(crate) rows: usize,
 }
 
 /// A scan specification. All filters are optional; an empty request is a
@@ -140,7 +140,7 @@ fn take_builder(b: Arc<SegmentBuilder>) -> SegmentBuilder {
 /// published snapshot already references.
 #[derive(Debug, Default, Clone)]
 pub struct OfflineStore {
-    tables: BTreeMap<String, Arc<Table>>,
+    pub(crate) tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl OfflineStore {

@@ -16,13 +16,15 @@ pub struct ZoneMap {
     pub null_count: usize,
 }
 
-/// An immutable, sealed batch of rows.
+/// An immutable, sealed batch of rows. Fields are crate-visible so the
+/// on-disk segment format (`crate::disk`) can persist columns and zone maps
+/// and reconstruct a sealed segment without replaying rows.
 #[derive(Debug, Clone)]
 pub struct Segment {
-    schema: Schema,
-    columns: Vec<Column>,
-    zone_maps: Vec<ZoneMap>,
-    rows: usize,
+    pub(crate) schema: Schema,
+    pub(crate) columns: Vec<Column>,
+    pub(crate) zone_maps: Vec<ZoneMap>,
+    pub(crate) rows: usize,
 }
 
 impl Segment {

@@ -18,6 +18,7 @@
 //! | [`models`] | downstream classifiers + evaluation metrics |
 //! | [`monitor`] | drift, skew, slice finding, patching |
 //! | [`serve`] | TCP serving layer: wire protocol, batching, admission control |
+//! | [`durable`] | write-ahead log, on-disk checkpoints, crash recovery |
 //! | [`repl`] | snapshot-based replication: leader publication log + followers |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@
 
 pub use fstore_common as common;
 pub use fstore_core as core;
+pub use fstore_durable as durable;
 pub use fstore_embed as embed;
 pub use fstore_index as index;
 pub use fstore_models as models;
@@ -77,6 +79,9 @@ pub mod prelude {
         naive_latest_join, point_in_time_join, FeatureServer, FeatureSpec, FeatureStore,
         LabelEvent, MaterializationScheduler, Materializer, ModelArtifact, ModelStore, PitFeature,
         StalenessPolicy,
+    };
+    pub use fstore_durable::{
+        DurableConfig, DurableLeader, FsyncPolicy, RecoveryReport, SnapshotCache,
     };
     pub use fstore_embed::{
         eigenspace_overlap, knn_overlap, semantic_displacement, Corpus, CorpusConfig, EmbeddingDb,
