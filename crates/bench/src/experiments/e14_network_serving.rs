@@ -16,7 +16,7 @@
 
 use fstore_common::{EntityKey, Result, Rng, Timestamp, Value, Xoshiro256};
 use fstore_core::FeatureServer;
-use fstore_serve::{fixed_clock, start, FeatureClient, ServeConfig, ServeEngine};
+use fstore_serve::{fixed_clock, start, FeatureClient, ServeConfig, ServeEngine, StoreApi};
 use fstore_storage::OnlineStore;
 use serde::Serialize;
 use std::sync::Arc;

@@ -27,7 +27,7 @@ use fstore_embed::{EmbeddingDb, EmbeddingProvenance, EmbeddingTable};
 use fstore_index::{HnswConfig, IvfConfig};
 use fstore_serve::{
     fixed_clock, start, ErrorCode, FeatureClient, IndexCatalog, IndexSpec, SearchOptions,
-    ServeConfig, ServeEngine, WireHit,
+    ServeConfig, ServeEngine, StoreApi, WireHit,
 };
 use fstore_storage::OnlineStore;
 use serde::Serialize;

@@ -32,7 +32,7 @@ use fstore_common::{stats::exact_quantile, EntityKey, Result, Timestamp, Value, 
 use fstore_common::{FsError, Schema};
 use fstore_embed::{EmbeddingProvenance, EmbeddingTable};
 use fstore_repl::{Follower, LeaderParts, ReplLeader};
-use fstore_serve::{fixed_clock, start, FeatureClient, IndexSpec, Request, ServeConfig};
+use fstore_serve::{fixed_clock, start, FeatureClient, IndexSpec, Request, ServeConfig, StoreApi};
 use fstore_storage::TableConfig;
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E19 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E20 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -21,6 +21,7 @@ pub mod e16_epoch_reads;
 pub mod e17_replication;
 pub mod e18_chaos;
 pub mod e19_durability;
+pub mod e20_sharding;
 
 use fstore_common::Result;
 
@@ -129,6 +130,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E19 Durability: SIGKILL mid-storm, recover the published epoch (§2.2.2)",
             run: e19_durability::run,
         },
+        Experiment {
+            id: "e20",
+            title: "E20 Horizontal sharding: scatter-gather router over N shards (§4)",
+            run: e20_sharding::run,
+        },
     ]
 }
 
@@ -154,10 +160,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 19);
+        assert_eq!(exps.len(), 20);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
     }
 }

@@ -411,6 +411,36 @@ impl Follower {
         &self.indexes
     }
 
+    /// The follower's components, in the shape a [`ReplLeader`] takes —
+    /// the handles are shared (snapshot cells and `Arc`s), not copied, so
+    /// a leader built over them continues exactly where the follower
+    /// stopped.
+    ///
+    /// [`ReplLeader`]: crate::ReplLeader
+    pub fn parts(&self) -> crate::LeaderParts {
+        crate::LeaderParts {
+            offline: self.offline.clone(),
+            online: Arc::clone(&self.online),
+            embeddings: self.embeddings.clone(),
+            indexes: Arc::clone(&self.indexes),
+        }
+    }
+
+    /// Promote this follower to a replication leader in place: wrap its
+    /// components in a fresh [`ReplLeader`] (new publication log, new
+    /// publish hooks) retaining `retention` deltas. Every epoch the
+    /// follower replicated is already folded into the components, so other
+    /// followers bootstrap from the promoted leader's full snapshot.
+    ///
+    /// Stop the sync loop first ([`SyncHandle::stop`]) — a promotion while
+    /// deltas from the old leader are still being applied would interleave
+    /// two writers.
+    ///
+    /// [`ReplLeader`]: crate::ReplLeader
+    pub fn promote(&self, retention: usize) -> Arc<crate::ReplLeader> {
+        crate::ReplLeader::with_retention(self.parts(), retention)
+    }
+
     /// A ready-to-start [`ServeEngine`] over the follower's components.
     /// Feature vectors are stamped with the (replicated) offline epoch —
     /// the same source the leader's engine uses, so answers at equal

@@ -1,0 +1,526 @@
+//! The unified client API: one trait covering the full read surface, one
+//! builder constructing any client.
+//!
+//! Before this module, every client wrapper re-implemented the typed
+//! request surface by hand — [`FeatureClient`] carried the
+//! `get_features`/`search_nearest` stack, and anything layered on top
+//! ([`RetryingClient`], [`FailoverClient`]) either copied it or forced
+//! callers down to raw [`Request`] values. The split here is:
+//!
+//! * [`Transport`] — the one thing a concrete client must provide: send a
+//!   [`Request`], produce a [`Response`]. Retry loops, circuit breakers,
+//!   and the shard router all live behind this seam.
+//! * [`StoreApi`] — the typed request surface (`get_features{,_batch}`,
+//!   `get_embedding`, `search_nearest{,_by_key}`), blanket-implemented
+//!   for every [`Transport`] via the shared response decoders, so the
+//!   encode/decode logic exists exactly once.
+//! * [`ClientBuilder`] — the one documented way to construct a client:
+//!   endpoints → socket timeouts and deadline budget → retry policy →
+//!   failover. Validation mirrors [`ServeConfig::builder`]: a
+//!   configuration that would silently degenerate is refused instead of
+//!   constructed.
+//!
+//! [`ServeConfig::builder`]: crate::server::ServeConfig::builder
+
+use crate::client::{ClientConfig, ClientError, EmbeddingRead, FeatureClient, Neighbors};
+use crate::failover::{BreakerConfig, FailoverClient};
+use crate::protocol::{Request, Response, SearchOptions, WireVector};
+use crate::retry::{RetryPolicy, RetryingClient};
+use fstore_common::FsError;
+use std::time::Duration;
+
+/// The one operation a concrete client must implement: one request in,
+/// one response out. Everything typed rides on top via [`StoreApi`]'s
+/// blanket implementation.
+pub trait Transport {
+    /// Send one request and wait for its response.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError>;
+}
+
+/// The full typed request surface of a feature store endpoint — local
+/// server, failover group, or sharded cluster behind a router. Implemented
+/// for free by every [`Transport`].
+pub trait StoreApi {
+    /// One entity's feature vector.
+    fn get_features(
+        &mut self,
+        group: &str,
+        entity: &str,
+        features: &[&str],
+    ) -> Result<WireVector, ClientError>;
+
+    /// Many entities, one group and feature list.
+    fn get_features_batch(
+        &mut self,
+        group: &str,
+        entities: &[&str],
+        features: &[&str],
+    ) -> Result<Vec<WireVector>, ClientError>;
+
+    /// One embedding vector; `table` is `"name"` (latest) or `"name@vN"`.
+    fn get_embedding(&mut self, table: &str, key: &str) -> Result<EmbeddingRead, ClientError>;
+
+    /// `k` nearest stored entities to an explicit query vector.
+    fn search_nearest(
+        &mut self,
+        table: &str,
+        query: &[f32],
+        k: u32,
+        options: SearchOptions,
+    ) -> Result<Neighbors, ClientError>;
+
+    /// `k` nearest stored entities to the vector stored under `key` (the
+    /// key itself is excluded from the hits).
+    fn search_nearest_by_key(
+        &mut self,
+        table: &str,
+        key: &str,
+        k: u32,
+        options: SearchOptions,
+    ) -> Result<Neighbors, ClientError>;
+}
+
+impl<T: Transport + ?Sized> StoreApi for T {
+    fn get_features(
+        &mut self,
+        group: &str,
+        entity: &str,
+        features: &[&str],
+    ) -> Result<WireVector, ClientError> {
+        let request = Request::GetFeatures {
+            group: group.to_string(),
+            entity: entity.to_string(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        };
+        expect_features(self.call(&request)?)
+    }
+
+    fn get_features_batch(
+        &mut self,
+        group: &str,
+        entities: &[&str],
+        features: &[&str],
+    ) -> Result<Vec<WireVector>, ClientError> {
+        let request = Request::GetFeaturesBatch {
+            group: group.to_string(),
+            entities: entities.iter().map(|s| s.to_string()).collect(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        };
+        expect_features_batch(self.call(&request)?)
+    }
+
+    fn get_embedding(&mut self, table: &str, key: &str) -> Result<EmbeddingRead, ClientError> {
+        let request = Request::GetEmbedding {
+            table: table.to_string(),
+            key: key.to_string(),
+        };
+        expect_embedding(self.call(&request)?)
+    }
+
+    fn search_nearest(
+        &mut self,
+        table: &str,
+        query: &[f32],
+        k: u32,
+        options: SearchOptions,
+    ) -> Result<Neighbors, ClientError> {
+        let request = Request::SearchNearest {
+            table: table.to_string(),
+            query: query.to_vec(),
+            k,
+            options,
+        };
+        expect_neighbors(self.call(&request)?)
+    }
+
+    fn search_nearest_by_key(
+        &mut self,
+        table: &str,
+        key: &str,
+        k: u32,
+        options: SearchOptions,
+    ) -> Result<Neighbors, ClientError> {
+        let request = Request::SearchNearestByKey {
+            table: table.to_string(),
+            key: key.to_string(),
+            k,
+            options,
+        };
+        expect_neighbors(self.call(&request)?)
+    }
+}
+
+// ------------------------------------------------------- response decoders
+//
+// The single home of "this request type expects that response type" — every
+// StoreApi implementor (blanket or hand-rolled, like the shard router's
+// scatter-gather paths) decodes through these.
+
+/// Decode a [`Response::Features`] answer.
+pub fn expect_features(response: Response) -> Result<WireVector, ClientError> {
+    match response {
+        Response::Features(v) => Ok(v),
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::UnexpectedResponse("Features")),
+    }
+}
+
+/// Decode a [`Response::FeaturesBatch`] answer.
+pub fn expect_features_batch(response: Response) -> Result<Vec<WireVector>, ClientError> {
+    match response {
+        Response::FeaturesBatch(vs) => Ok(vs),
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::UnexpectedResponse("FeaturesBatch")),
+    }
+}
+
+/// Decode a [`Response::Embedding`] answer.
+pub fn expect_embedding(response: Response) -> Result<EmbeddingRead, ClientError> {
+    match response {
+        Response::Embedding {
+            dim,
+            version,
+            epoch,
+            vector,
+        } => Ok(EmbeddingRead {
+            vector,
+            dim: dim as usize,
+            version,
+            epoch,
+        }),
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::UnexpectedResponse("Embedding")),
+    }
+}
+
+/// Decode a [`Response::Neighbors`] answer.
+pub fn expect_neighbors(response: Response) -> Result<Neighbors, ClientError> {
+    match response {
+        Response::Neighbors {
+            table_version,
+            index_generation,
+            hits,
+        } => Ok(Neighbors {
+            table_version,
+            index_generation,
+            hits,
+        }),
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::UnexpectedResponse("Neighbors")),
+    }
+}
+
+// ------------------------------------------------------------ the builder
+
+/// Any client the builder can produce, behind one [`Transport`] (and
+/// therefore one [`StoreApi`]). The variant is decided by what the builder
+/// was given, not by the caller naming a concrete type.
+pub enum AnyClient {
+    /// One endpoint, no retries: a bare connection.
+    Direct(FeatureClient),
+    /// One endpoint with reconnect-and-retry.
+    Retrying(RetryingClient),
+    /// An ordered endpoint list behind per-endpoint circuit breakers.
+    Failover(FailoverClient),
+}
+
+impl Transport for AnyClient {
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self {
+            AnyClient::Direct(c) => c.call(request),
+            AnyClient::Retrying(c) => c.call(request),
+            AnyClient::Failover(c) => c.call(request),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyClient::Direct(_) => f.write_str("AnyClient::Direct"),
+            AnyClient::Retrying(_) => f.write_str("AnyClient::Retrying"),
+            AnyClient::Failover(_) => f.write_str("AnyClient::Failover"),
+        }
+    }
+}
+
+/// The one documented way to construct a client — endpoints, then socket
+/// timeouts and deadline budget, then retry policy, then failover tuning.
+///
+/// What [`ClientBuilder::build`] produces follows from what was given:
+///
+/// * one endpoint, no retry policy → [`AnyClient::Direct`]
+/// * one endpoint + [`retry`](Self::retry) → [`AnyClient::Retrying`]
+/// * several endpoints (leader first) → [`AnyClient::Failover`], using the
+///   retry policy between endpoint rounds and the breaker config per
+///   endpoint
+///
+/// ```no_run
+/// use fstore_serve::{ClientBuilder, RetryPolicy, StoreApi};
+/// use std::time::Duration;
+///
+/// let mut client = ClientBuilder::new()
+///     .endpoint("127.0.0.1:7600")
+///     .endpoint("127.0.0.1:7601") // follower: two endpoints → failover
+///     .deadline_budget(Duration::from_millis(250))
+///     .retry(RetryPolicy::default())
+///     .build()
+///     .unwrap();
+/// let v = client.get_features("user", "u1", &["score"]).unwrap();
+/// # let _ = v;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClientBuilder {
+    endpoints: Vec<String>,
+    config: ClientConfig,
+    retry: Option<RetryPolicy>,
+    breakers: Option<BreakerConfig>,
+}
+
+impl ClientBuilder {
+    pub fn new() -> Self {
+        ClientBuilder::default()
+    }
+
+    /// Append one endpoint. Order is preference order: leader first,
+    /// followers after.
+    pub fn endpoint(mut self, addr: impl Into<String>) -> Self {
+        self.endpoints.push(addr.into());
+        self
+    }
+
+    /// Append several endpoints in preference order.
+    pub fn endpoints<I, S>(mut self, addrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.endpoints.extend(addrs.into_iter().map(Into::into));
+        self
+    }
+
+    /// TCP connect bound (`None` falls back to the OS default).
+    pub fn connect_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.connect_timeout = timeout;
+        self
+    }
+
+    /// Bound on waiting for a response to arrive.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Bound on pushing a request onto the socket.
+    pub fn write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Wrap every request in a server-side deadline budget (see
+    /// [`Request::WithDeadline`]).
+    pub fn deadline_budget(mut self, budget: Duration) -> Self {
+        self.config.deadline_budget = Some(budget);
+        self
+    }
+
+    /// Retry transient failures of idempotent requests per `policy`.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Per-endpoint circuit-breaker tuning for the failover path (implies
+    /// nothing with a single endpoint and no retry policy).
+    pub fn breakers(mut self, config: BreakerConfig) -> Self {
+        self.breakers = Some(config);
+        self
+    }
+
+    /// The socket-deadline config the builder has accumulated so far —
+    /// for call sites that still need a raw [`ClientConfig`].
+    pub fn client_config(&self) -> ClientConfig {
+        self.config.clone()
+    }
+
+    /// Validate and construct. Refused configurations (mirroring
+    /// [`ServeConfig::builder`](crate::ServeConfig::builder)'s stance on
+    /// degenerate configs):
+    ///
+    /// * no endpoints — nothing to connect to;
+    /// * a zero deadline budget — every request would be shed at dequeue;
+    /// * a retry policy with zero attempts, a multiplier below 1, jitter
+    ///   outside `[0, 1]`, or an inverted backoff envelope
+    ///   (`base > max`) — the backoff curve would be nonsense;
+    /// * a breaker config with a zero failure threshold — the breaker
+    ///   could never close.
+    pub fn build(self) -> fstore_common::Result<AnyClient> {
+        if self.endpoints.is_empty() {
+            return Err(FsError::InvalidArgument(
+                "client builder needs at least one endpoint".into(),
+            ));
+        }
+        if self.config.deadline_budget == Some(Duration::ZERO) {
+            return Err(FsError::InvalidArgument(
+                "deadline budget must be positive".into(),
+            ));
+        }
+        if let Some(policy) = &self.retry {
+            if policy.max_attempts == 0 {
+                return Err(FsError::InvalidArgument(
+                    "retry policy needs at least one attempt".into(),
+                ));
+            }
+            if policy.multiplier < 1.0 {
+                return Err(FsError::InvalidArgument(
+                    "retry multiplier must be >= 1".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&policy.jitter) {
+                return Err(FsError::InvalidArgument(
+                    "retry jitter must be in [0, 1]".into(),
+                ));
+            }
+            if policy.base_backoff > policy.max_backoff {
+                return Err(FsError::InvalidArgument(
+                    "retry base backoff exceeds its max backoff".into(),
+                ));
+            }
+        }
+        if let Some(breakers) = &self.breakers {
+            if breakers.failure_threshold == 0 {
+                return Err(FsError::InvalidArgument(
+                    "breaker failure threshold must be positive".into(),
+                ));
+            }
+        }
+
+        let multi = self.endpoints.len() > 1;
+        if multi || self.breakers.is_some() {
+            let addrs: Vec<&str> = self.endpoints.iter().map(String::as_str).collect();
+            return Ok(AnyClient::Failover(FailoverClient::connect(
+                &addrs,
+                self.config,
+                self.retry.unwrap_or_default(),
+                self.breakers.unwrap_or_default(),
+            )));
+        }
+        let addr = self.endpoints.into_iter().next().expect("checked above");
+        match self.retry {
+            Some(policy) => Ok(AnyClient::Retrying(RetryingClient::new(
+                addr,
+                self.config,
+                policy,
+            ))),
+            None => Ok(AnyClient::Direct(
+                FeatureClient::connect_with(&addr, &self.config)
+                    .map_err(|e| FsError::Storage(format!("connect {addr}: {e}")))?,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ErrorCode;
+
+    #[test]
+    fn builder_refuses_degenerate_configs() {
+        assert!(ClientBuilder::new().build().is_err(), "no endpoints");
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .deadline_budget(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .retry(RetryPolicy {
+                multiplier: 0.5,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .retry(RetryPolicy {
+                jitter: 1.5,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .retry(RetryPolicy {
+                base_backoff: Duration::from_secs(2),
+                max_backoff: Duration::from_secs(1),
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .breakers(BreakerConfig {
+                failure_threshold: 0,
+                ..BreakerConfig::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_picks_the_client_shape_from_its_inputs() {
+        // Lazy-connecting shapes build without a live server.
+        let retrying = ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .retry(RetryPolicy::default())
+            .build()
+            .unwrap();
+        assert!(matches!(retrying, AnyClient::Retrying(_)));
+        let failover = ClientBuilder::new()
+            .endpoints(["127.0.0.1:1", "127.0.0.1:2"])
+            .build()
+            .unwrap();
+        assert!(matches!(failover, AnyClient::Failover(_)));
+        // A single endpoint with breaker tuning still gets the failover
+        // machinery (that is where breakers live).
+        let single_breaker = ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .breakers(BreakerConfig::default())
+            .build()
+            .unwrap();
+        assert!(matches!(single_breaker, AnyClient::Failover(_)));
+    }
+
+    #[test]
+    fn decoders_map_server_errors_and_type_mismatches() {
+        let err = expect_features(Response::error(ErrorCode::NotFound, "missing")).unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::NotFound));
+        assert!(matches!(
+            expect_features(Response::Health {
+                queue_depth: 0,
+                draining: false
+            }),
+            Err(ClientError::UnexpectedResponse("Features"))
+        ));
+        assert!(matches!(
+            expect_neighbors(Response::Features(WireVector {
+                entity: String::new(),
+                features: vec![],
+                values: vec![],
+                ages_ms: vec![],
+                stale: vec![],
+                epoch: 0,
+            })),
+            Err(ClientError::UnexpectedResponse("Neighbors"))
+        ));
+    }
+}

@@ -2,9 +2,9 @@
 //! connection; open several clients for concurrency (the load generator
 //! in E14 does exactly that).
 
+use crate::api::Transport;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, SearchOptions, WireDelta, WireError,
-    WireHit, WireVector,
+    read_frame, write_frame, ErrorCode, Request, Response, WireDelta, WireError, WireHit,
 };
 use crate::repl::ReplLogState;
 use std::io::BufReader;
@@ -146,6 +146,10 @@ impl ClientError {
 }
 
 /// A blocking connection to a feature server.
+///
+/// The typed request surface (`get_features`, `search_nearest`, …) comes
+/// from the [`StoreApi`](crate::StoreApi) trait, shared with every other
+/// client in the crate; bring it into scope to use those methods.
 pub struct FeatureClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
@@ -160,7 +164,10 @@ impl FeatureClient {
     }
 
     /// Connect with explicit socket deadlines and (optionally) a
-    /// per-request deadline budget.
+    /// per-request deadline budget. Prefer
+    /// [`ClientBuilder`](crate::ClientBuilder), which validates the config
+    /// and picks the right client shape.
+    #[doc(hidden)]
     pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> std::io::Result<Self> {
         let writer = match config.connect_timeout {
             Some(bound) => {
@@ -236,103 +243,6 @@ impl FeatureClient {
         }
     }
 
-    /// One entity's feature vector.
-    pub fn get_features(
-        &mut self,
-        group: &str,
-        entity: &str,
-        features: &[&str],
-    ) -> Result<WireVector, ClientError> {
-        let request = Request::GetFeatures {
-            group: group.to_string(),
-            entity: entity.to_string(),
-            features: features.iter().map(|s| s.to_string()).collect(),
-        };
-        match self.call(&request)? {
-            Response::Features(v) => Ok(v),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            _ => Err(ClientError::UnexpectedResponse("Features")),
-        }
-    }
-
-    /// Many entities, one group and feature list.
-    pub fn get_features_batch(
-        &mut self,
-        group: &str,
-        entities: &[&str],
-        features: &[&str],
-    ) -> Result<Vec<WireVector>, ClientError> {
-        let request = Request::GetFeaturesBatch {
-            group: group.to_string(),
-            entities: entities.iter().map(|s| s.to_string()).collect(),
-            features: features.iter().map(|s| s.to_string()).collect(),
-        };
-        match self.call(&request)? {
-            Response::FeaturesBatch(vs) => Ok(vs),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            _ => Err(ClientError::UnexpectedResponse("FeaturesBatch")),
-        }
-    }
-
-    /// One embedding vector; `table` is `"name"` (latest) or `"name@vN"`.
-    pub fn get_embedding(&mut self, table: &str, key: &str) -> Result<EmbeddingRead, ClientError> {
-        let request = Request::GetEmbedding {
-            table: table.to_string(),
-            key: key.to_string(),
-        };
-        match self.call(&request)? {
-            Response::Embedding {
-                dim,
-                version,
-                epoch,
-                vector,
-            } => Ok(EmbeddingRead {
-                vector,
-                dim: dim as usize,
-                version,
-                epoch,
-            }),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            _ => Err(ClientError::UnexpectedResponse("Embedding")),
-        }
-    }
-
-    /// `k` nearest stored entities to an explicit query vector, via the
-    /// server's ANN index snapshot for `table`.
-    pub fn search_nearest(
-        &mut self,
-        table: &str,
-        query: &[f32],
-        k: u32,
-        options: SearchOptions,
-    ) -> Result<Neighbors, ClientError> {
-        let request = Request::SearchNearest {
-            table: table.to_string(),
-            query: query.to_vec(),
-            k,
-            options,
-        };
-        self.neighbors(&request)
-    }
-
-    /// `k` nearest stored entities to the vector stored under `key` (the
-    /// key itself is excluded from the hits).
-    pub fn search_nearest_by_key(
-        &mut self,
-        table: &str,
-        key: &str,
-        k: u32,
-        options: SearchOptions,
-    ) -> Result<Neighbors, ClientError> {
-        let request = Request::SearchNearestByKey {
-            table: table.to_string(),
-            key: key.to_string(),
-            k,
-            options,
-        };
-        self.neighbors(&request)
-    }
-
     /// Subscribe to a replication leader: its log state, for deciding
     /// between delta catch-up and a full-snapshot bootstrap.
     pub fn repl_state(&mut self) -> Result<ReplLogState, ClientError> {
@@ -380,20 +290,10 @@ impl FeatureClient {
             _ => Err(ClientError::UnexpectedResponse("ReplDeltas")),
         }
     }
+}
 
-    fn neighbors(&mut self, request: &Request) -> Result<Neighbors, ClientError> {
-        match self.call(request)? {
-            Response::Neighbors {
-                table_version,
-                index_generation,
-                hits,
-            } => Ok(Neighbors {
-                table_version,
-                index_generation,
-                hits,
-            }),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            _ => Err(ClientError::UnexpectedResponse("Neighbors")),
-        }
+impl Transport for FeatureClient {
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        FeatureClient::call(self, request)
     }
 }

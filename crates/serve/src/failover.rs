@@ -14,6 +14,7 @@
 //! clock itself, which keeps the closed → open → half-open → closed walk
 //! unit-testable without sleeps.
 
+use crate::api::Transport;
 use crate::client::{ClientConfig, ClientError, FeatureClient};
 use crate::protocol::{Request, Response};
 use crate::retry::{classify, ErrorClass, RetryPolicy};
@@ -154,7 +155,10 @@ pub struct FailoverClient {
 }
 
 impl FailoverClient {
-    /// `addrs` in preference order — leader first, then followers.
+    /// `addrs` in preference order — leader first, then followers. Prefer
+    /// [`ClientBuilder`](crate::ClientBuilder) with several endpoints,
+    /// which validates the policy and breaker config first.
+    #[doc(hidden)]
     pub fn connect(
         addrs: &[&str],
         config: ClientConfig,
@@ -232,7 +236,9 @@ impl FailoverClient {
 
     /// Send one request, walking endpoints healthiest-first with retries
     /// and backoff. A server's definitive answer (including a typed
-    /// error) returns immediately; only transient failures move on.
+    /// fatal error) returns immediately; transport failures and typed
+    /// pushback (`Overloaded`, `ShuttingDown` — well-formed responses on
+    /// the wire, but refusals all the same) trip the breaker and move on.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let mut attempt: u32 = 0;
         let mut last_err: Option<ClientError> = None;
@@ -240,13 +246,19 @@ impl FailoverClient {
             let now = Instant::now();
             match self.pick(now) {
                 Some(i) => match self.call_endpoint(i, request) {
-                    Ok(response) => {
-                        self.endpoints[i].breaker.record_success();
-                        if i != 0 {
-                            self.stats.failed_over_calls += 1;
+                    Ok(response) => match crate::retry::pushback(&response) {
+                        Some(error) => {
+                            self.endpoints[i].breaker.record_failure(Instant::now());
+                            last_err = Some(error);
                         }
-                        return Ok(response);
-                    }
+                        None => {
+                            self.endpoints[i].breaker.record_success();
+                            if i != 0 {
+                                self.stats.failed_over_calls += 1;
+                            }
+                            return Ok(response);
+                        }
+                    },
                     Err(error) => {
                         self.endpoints[i].breaker.record_failure(Instant::now());
                         if classify(&error) == ErrorClass::Fatal {
@@ -282,6 +294,41 @@ impl FailoverClient {
     /// Expose the breaker config (tests construct matching breakers).
     pub fn breaker_config(&self) -> BreakerConfig {
         self.breaker_config
+    }
+
+    /// The current endpoint list, in preference order.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.endpoints.iter().map(|e| e.addr.clone()).collect()
+    }
+
+    /// Replace the endpoint list (leader first). Endpoints that stay in
+    /// the list keep their live connection and breaker history; new ones
+    /// start with a fresh closed breaker. The shard router calls this when
+    /// the control plane publishes a new shard map — e.g. after a
+    /// promotion rotates a dead leader behind its followers.
+    pub fn set_endpoints(&mut self, addrs: &[&str]) {
+        assert!(
+            !addrs.is_empty(),
+            "FailoverClient needs at least one endpoint"
+        );
+        let mut old: Vec<Endpoint> = std::mem::take(&mut self.endpoints);
+        self.endpoints = addrs
+            .iter()
+            .map(|addr| match old.iter().position(|e| e.addr == *addr) {
+                Some(i) => old.swap_remove(i),
+                None => Endpoint {
+                    addr: addr.to_string(),
+                    breaker: CircuitBreaker::new(self.breaker_config),
+                    conn: None,
+                },
+            })
+            .collect();
+    }
+}
+
+impl Transport for FailoverClient {
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        FailoverClient::call(self, request)
     }
 }
 

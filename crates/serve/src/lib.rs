@@ -22,6 +22,11 @@
 //!   drains admitted work before the pool exits.
 //! * [`metrics`] — per-endpoint counters and p50/p95/p99 latency from
 //!   streaming P² estimators, dumpable as JSON.
+//! * [`api`] — the unified client API: the [`api::Transport`] seam (one
+//!   request in, one response out), the [`api::StoreApi`] typed request
+//!   surface blanket-implemented for every transport, and the
+//!   [`api::ClientBuilder`] that is the one documented way to construct
+//!   any client.
 //! * [`client`] — a blocking client with connect/read/write deadlines and
 //!   optional per-request deadline budgets; also the E14 load generator.
 //! * [`retry`] — jittered exponential backoff with idempotency-aware
@@ -35,6 +40,7 @@
 //!   can bootstrap from a snapshot and stream epoch-tagged deltas.
 
 pub mod admission;
+pub mod api;
 pub mod batch;
 pub mod catalog;
 pub mod client;
@@ -48,6 +54,7 @@ pub mod retry;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmitReject};
+pub use api::{AnyClient, ClientBuilder, StoreApi, Transport};
 pub use catalog::{CatalogError, IndexCatalog, IndexMap, IndexSnapshot, IndexSpec, SearchOutcome};
 pub use client::{ClientConfig, ClientError, DeltaBatch, EmbeddingRead, FeatureClient, Neighbors};
 pub use failover::{BreakerConfig, BreakerState, CircuitBreaker, FailoverClient, FailoverStats};

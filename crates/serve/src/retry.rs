@@ -11,6 +11,7 @@
 //! hammered by its own rejects), and refuses to retry anything that is
 //! not idempotent or not transient.
 
+use crate::api::Transport;
 use crate::client::{ClientConfig, ClientError, FeatureClient};
 use crate::protocol::{ErrorCode, Request, Response};
 use fstore_common::rng::{Rng, Xoshiro256};
@@ -42,6 +43,28 @@ pub fn classify(error: &ClientError) -> ErrorClass {
             _ => ErrorClass::Fatal,
         },
         ClientError::UnexpectedResponse(_) => ErrorClass::Fatal,
+    }
+}
+
+/// Server pushback hidden inside a *successful* wire exchange: on the
+/// wire, `Overloaded` and `ShuttingDown` are ordinary `Response::Error`
+/// frames, so a transport-level `call` returns them as `Ok`. Retry loops
+/// must treat them as failures — otherwise a draining or shedding server
+/// "answers" and the retry/breaker machinery never fires. Returns the
+/// pushback as a [`ClientError::Server`] so it flows through [`classify`]
+/// like any other failure; definitive errors (`NotFound`, …) return
+/// `None` and pass through as responses.
+pub fn pushback(response: &Response) -> Option<ClientError> {
+    match response {
+        Response::Error { code, message }
+            if matches!(code, ErrorCode::Overloaded | ErrorCode::ShuttingDown) =>
+        {
+            Some(ClientError::Server {
+                code: *code,
+                message: message.clone(),
+            })
+        }
+        _ => None,
     }
 }
 
@@ -122,6 +145,10 @@ pub struct RetryingClient {
 }
 
 impl RetryingClient {
+    /// Prefer [`ClientBuilder`](crate::ClientBuilder) with a
+    /// [`retry`](crate::ClientBuilder::retry) policy, which validates the
+    /// policy before constructing the client.
+    #[doc(hidden)]
     pub fn new(addr: impl Into<String>, config: ClientConfig, policy: RetryPolicy) -> Self {
         RetryingClient {
             addr: addr.into(),
@@ -150,7 +177,9 @@ impl RetryingClient {
 
     /// Send one request, retrying transient failures of idempotent
     /// requests with backoff. Non-idempotent requests get exactly one
-    /// try on an established connection.
+    /// try on an established connection. Typed server pushback
+    /// (`Overloaded`, `ShuttingDown`) counts as a transient failure even
+    /// though it arrives as a well-formed response.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let mut attempt: u32 = 0;
         loop {
@@ -163,19 +192,27 @@ impl RetryingClient {
                         self.conn = None;
                     }
                 });
-            match result {
-                Ok(response) => return Ok(response),
-                Err(error) => {
-                    if !self.policy.should_retry(request, &error, attempt) {
-                        return Err(error);
-                    }
-                    let unit = self.rng.next_f64();
-                    std::thread::sleep(self.policy.backoff(attempt, unit));
-                    self.retries += 1;
-                    attempt += 1;
-                }
+            let error = match result {
+                Ok(response) => match pushback(&response) {
+                    Some(error) => error,
+                    None => return Ok(response),
+                },
+                Err(error) => error,
+            };
+            if !self.policy.should_retry(request, &error, attempt) {
+                return Err(error);
             }
+            let unit = self.rng.next_f64();
+            std::thread::sleep(self.policy.backoff(attempt, unit));
+            self.retries += 1;
+            attempt += 1;
         }
+    }
+}
+
+impl Transport for RetryingClient {
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        RetryingClient::call(self, request)
     }
 }
 
@@ -209,6 +246,23 @@ mod tests {
             classify(&ClientError::UnexpectedResponse("x")),
             ErrorClass::Fatal
         );
+    }
+
+    #[test]
+    fn pushback_surfaces_only_backoff_class_responses() {
+        let shed = Response::error(ErrorCode::Overloaded, "queue full");
+        let drain = Response::error(ErrorCode::ShuttingDown, "draining");
+        for response in [&shed, &drain] {
+            let error = pushback(response).expect("pushback is a failure");
+            assert_eq!(classify(&error), ErrorClass::Backoff);
+        }
+        // Definitive errors and real answers pass through untouched.
+        assert!(pushback(&Response::error(ErrorCode::NotFound, "nope")).is_none());
+        assert!(pushback(&Response::Health {
+            queue_depth: 0,
+            draining: true
+        })
+        .is_none());
     }
 
     #[test]

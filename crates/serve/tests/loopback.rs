@@ -5,7 +5,9 @@
 use fstore_common::{EntityKey, Timestamp, Value};
 use fstore_core::FeatureServer;
 use fstore_embed::{EmbeddingDb, EmbeddingProvenance, EmbeddingTable};
-use fstore_serve::{fixed_clock, start, ErrorCode, FeatureClient, ServeConfig, ServeEngine};
+use fstore_serve::{
+    fixed_clock, start, ErrorCode, FeatureClient, ServeConfig, ServeEngine, StoreApi,
+};
 use fstore_storage::OnlineStore;
 use std::sync::Arc;
 

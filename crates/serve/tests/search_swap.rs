@@ -11,7 +11,7 @@ use fstore_embed::{EmbeddingDb, EmbeddingProvenance, EmbeddingTable};
 use fstore_index::{HnswConfig, IvfConfig};
 use fstore_serve::{
     fixed_clock, start, ErrorCode, FeatureClient, IndexCatalog, IndexSpec, SearchOptions,
-    ServeConfig, ServeEngine,
+    ServeConfig, ServeEngine, StoreApi,
 };
 use fstore_storage::OnlineStore;
 use std::collections::HashMap;

@@ -1,0 +1,274 @@
+//! The minimal control plane: owns the shard map, health-checks shard
+//! leaders, and promotes a follower when a leader stops answering.
+//!
+//! There is deliberately no consensus here — one control plane process
+//! owns the map, the same way one leader owns each component's snapshot
+//! cell. The map lives in a [`SnapshotCell`], so publication is atomic
+//! and versioned: routers compare [`ControlPlane::version`] against the
+//! map they routed with last and resync their per-shard clients when it
+//! moved (see `RouterClient::refresh`).
+//!
+//! Failure detection is conservative: a leader must miss
+//! [`ControlPlaneConfig::failure_threshold`] *consecutive* probes before
+//! its shard is promoted, so one slow probe never flips the topology.
+//! Promotion is map-level — the first follower becomes the preferred
+//! endpoint ([`ShardMap::promote`] rotates the dead leader to the back).
+//! Making that follower a *replication* leader (so writes resume) is the
+//! data-plane half, `Follower::promote`; the cluster harness wires the
+//! two together and [`PromotionEvent`] records what happened for tests
+//! and operators.
+
+use crate::map::{ShardId, ShardMap};
+use fstore_common::{SnapshotCell, Versioned};
+use fstore_serve::{ClientBuilder, ClientConfig, FeatureClient};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Control-plane tuning.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneConfig {
+    /// Consecutive failed probes before a leader is declared dead and its
+    /// shard promoted.
+    pub failure_threshold: u32,
+    /// Socket deadlines for probe connections — tight, so a dead leader
+    /// costs a probe round milliseconds, not the client default seconds.
+    pub probe: ClientConfig,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            failure_threshold: 2,
+            probe: ClientConfig {
+                connect_timeout: Some(Duration::from_millis(250)),
+                read_timeout: Some(Duration::from_millis(250)),
+                write_timeout: Some(Duration::from_millis(250)),
+                deadline_budget: None,
+            },
+        }
+    }
+}
+
+/// One promotion the control plane performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromotionEvent {
+    pub shard: ShardId,
+    /// The leader endpoint that stopped answering.
+    pub demoted: String,
+    /// The follower endpoint now preferred.
+    pub promoted: String,
+    /// The map version the promotion published.
+    pub map_version: u64,
+}
+
+/// Owns the versioned shard map and the probe loop.
+pub struct ControlPlane {
+    map: SnapshotCell<ShardMap>,
+    config: ControlPlaneConfig,
+    /// Consecutive failed probes per shard, reset by any success.
+    strikes: Mutex<HashMap<u32, u32>>,
+    promotions: Mutex<Vec<PromotionEvent>>,
+}
+
+impl ControlPlane {
+    pub fn new(map: ShardMap, config: ControlPlaneConfig) -> Arc<Self> {
+        Arc::new(ControlPlane {
+            map: SnapshotCell::new(map),
+            config,
+            strikes: Mutex::new(HashMap::new()),
+            promotions: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The current map (cheap: an `Arc` clone off the snapshot cell).
+    pub fn map(&self) -> Arc<ShardMap> {
+        self.map.load()
+    }
+
+    /// The current map with its publication epoch.
+    pub fn current(&self) -> Versioned<ShardMap> {
+        self.map.read()
+    }
+
+    /// The current map's version — what routers poll to notice changes.
+    pub fn version(&self) -> u64 {
+        self.map.load().version()
+    }
+
+    /// Promotions performed so far, oldest first.
+    pub fn promotions(&self) -> Vec<PromotionEvent> {
+        self.promotions.lock().clone()
+    }
+
+    /// Promote `shard`'s first follower to preferred endpoint and publish
+    /// the new map. Returns the event, or `None` if the shard is unknown
+    /// or has no follower.
+    pub fn promote(&self, shard: ShardId) -> Option<PromotionEvent> {
+        // Serialize topology changes through the cell's updater so two
+        // concurrent promotions cannot both derive from the same base map.
+        let (_, event) = self.map.update(|map, _| {
+            let Some(next) = map.promote(shard) else {
+                return (map.clone(), None);
+            };
+            let demoted = map.shard(shard).expect("promoted from this map").leader();
+            let event = PromotionEvent {
+                shard,
+                demoted: demoted.to_string(),
+                promoted: next
+                    .shard(shard)
+                    .expect("still present")
+                    .leader()
+                    .to_string(),
+                map_version: next.version(),
+            };
+            (next, Some(event))
+        });
+        if let Some(event) = &event {
+            self.strikes.lock().remove(&shard.0);
+            self.promotions.lock().push(event.clone());
+        }
+        event
+    }
+
+    /// One probe round: health-check every shard leader, count strikes,
+    /// promote shards whose leader crossed the failure threshold. Returns
+    /// the promotions this round performed.
+    pub fn probe_once(&self) -> Vec<PromotionEvent> {
+        let map = self.map();
+        let mut promoted = Vec::new();
+        for shard in map.shards() {
+            if self.probe_leader(shard.leader()) {
+                self.strikes.lock().remove(&shard.id.0);
+                continue;
+            }
+            let strikes = {
+                let mut strikes = self.strikes.lock();
+                let s = strikes.entry(shard.id.0).or_insert(0);
+                *s += 1;
+                *s
+            };
+            if strikes >= self.config.failure_threshold {
+                if let Some(event) = self.promote(shard.id) {
+                    promoted.push(event);
+                }
+            }
+        }
+        promoted
+    }
+
+    /// Whether `addr` answers a health probe within the probe deadlines.
+    fn probe_leader(&self, addr: &str) -> bool {
+        let built = ClientBuilder::new()
+            .endpoint(addr)
+            .connect_timeout(self.config.probe.connect_timeout)
+            .read_timeout(self.config.probe.read_timeout)
+            .write_timeout(self.config.probe.write_timeout)
+            .build();
+        let mut client: FeatureClient = match built {
+            Ok(fstore_serve::AnyClient::Direct(c)) => c,
+            _ => return false,
+        };
+        client.health().is_ok()
+    }
+
+    /// Run [`probe_once`](Self::probe_once) every `interval` on a
+    /// background thread until the handle is stopped.
+    pub fn start(self: &Arc<Self>, interval: Duration) -> ControlHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let control = Arc::clone(self);
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                control.probe_once();
+                // Sleep in slices so stop() returns promptly.
+                let mut left = interval;
+                while !stop2.load(Ordering::Acquire) && left > Duration::ZERO {
+                    let slice = left.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    left = left.saturating_sub(slice);
+                }
+            }
+        });
+        ControlHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+/// Stops the probe loop when dropped or [`stop`](ControlHandle::stop)ped.
+pub struct ControlHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ControlHandle {
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ControlHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ShardInfo;
+
+    fn two_replica_map() -> ShardMap {
+        ShardMap::new(vec![
+            ShardInfo::new(ShardId(0), vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()]),
+            ShardInfo::new(ShardId(1), vec!["127.0.0.1:3".into()]),
+        ])
+    }
+
+    #[test]
+    fn promote_publishes_a_new_version_and_records_the_event() {
+        let control = ControlPlane::new(two_replica_map(), ControlPlaneConfig::default());
+        let v1 = control.version();
+        let event = control.promote(ShardId(0)).expect("shard 0 has a follower");
+        assert_eq!(event.demoted, "127.0.0.1:1");
+        assert_eq!(event.promoted, "127.0.0.1:2");
+        assert_eq!(control.version(), v1 + 1);
+        assert_eq!(
+            control.map().shard(ShardId(0)).unwrap().leader(),
+            "127.0.0.1:2"
+        );
+        assert_eq!(control.promotions(), vec![event]);
+    }
+
+    #[test]
+    fn promote_without_a_follower_is_refused() {
+        let control = ControlPlane::new(two_replica_map(), ControlPlaneConfig::default());
+        assert!(control.promote(ShardId(1)).is_none());
+        assert!(control.promotions().is_empty());
+    }
+
+    #[test]
+    fn dead_leaders_need_consecutive_strikes() {
+        // Nothing listens on these ports, so every probe fails; the first
+        // round must not promote (threshold 2), the second must.
+        let control = ControlPlane::new(two_replica_map(), ControlPlaneConfig::default());
+        assert!(control.probe_once().is_empty(), "one strike is not enough");
+        let events = control.probe_once();
+        assert_eq!(events.len(), 1, "second strike promotes shard 0");
+        assert_eq!(events[0].shard, ShardId(0));
+        // Shard 1 has no follower: probed, struck, but never promoted.
+        assert!(control.probe_once().is_empty());
+    }
+}

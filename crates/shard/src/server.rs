@@ -1,0 +1,147 @@
+//! A TCP front for the router: accepts ordinary wire-protocol
+//! connections and answers them through a [`RouterClient`].
+//!
+//! The router tier is deliberately thin — framing, decode, route, encode.
+//! All real work (admission, batching, deadline shedding) happens on the
+//! shard servers; all routing logic lives in [`RouterClient`]. Each
+//! connection gets its own router (and therefore its own per-shard
+//! connections), so concurrent clients scatter in parallel without a
+//! shared lock, the same way each client connection to a shard server is
+//! independent.
+
+use crate::control::ControlPlane;
+use crate::router::{RouterClient, RouterConfig};
+use fstore_serve::api::Transport;
+use fstore_serve::{read_frame, write_frame, ClientError, ErrorCode, Request, Response, WireError};
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running router server; dropping it (or calling
+/// [`shutdown`](RouterHandle::shutdown)) stops the acceptor, cuts open
+/// connections, and joins every thread.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Start a router server on `addr` (port 0 picks a free port).
+pub fn start_router(
+    addr: &str,
+    control: Arc<ControlPlane>,
+    config: RouterConfig,
+) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for incoming in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(socket) = incoming else { continue };
+                if socket.set_nodelay(true).is_err() {
+                    continue;
+                }
+                if let Ok(registered) = socket.try_clone() {
+                    conns.lock().push(registered);
+                }
+                let router = RouterClient::new(Arc::clone(&control), config.clone());
+                workers.push(std::thread::spawn(move || {
+                    connection_loop(socket, router);
+                }));
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        })
+    };
+
+    Ok(RouterHandle {
+        addr,
+        stop,
+        conns,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Serve one connection: frame in, route, frame out, until EOF or error.
+fn connection_loop(socket: TcpStream, mut router: RouterClient) {
+    let writer = socket;
+    let Ok(read_half) = writer.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = writer;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return, // EOF, cut by shutdown, or dead peer
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => router
+                .call(&request)
+                .unwrap_or_else(|error| error_response(&error)),
+            Err(e) => Response::error(ErrorCode::BadRequest, format!("undecodable request: {e}")),
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Map a router-side client failure onto a wire error response. A typed
+/// server error passes through untouched (the shard already said why);
+/// everything else means the shard could not be reached at all.
+fn error_response(error: &ClientError) -> Response {
+    match error {
+        ClientError::Server { code, message } => Response::Error {
+            code: *code,
+            message: message.clone(),
+        },
+        ClientError::Wire(WireError::Oversized(n)) => Response::error(
+            ErrorCode::FrameTooLarge,
+            format!("shard response declared {n} bytes"),
+        ),
+        other => Response::error(ErrorCode::Internal, format!("shard unreachable: {other}")),
+    }
+}

@@ -1,0 +1,324 @@
+//! Router loopback tests over a real in-process cluster: every shard
+//! server is a live TCP endpoint, the router scatters over real sockets.
+//!
+//! The headline test kills a shard leader mid-traffic and requires the
+//! combination of per-shard failover (instant, read-path) and
+//! control-plane promotion (map-level, within the probe threshold) to
+//! produce **zero wrong answers** — every read during the outage either
+//! returns the correct seeded value via a follower or (never, with the
+//! default retry budget) fails loudly; silently wrong data is the one
+//! outcome the design must rule out.
+
+use fstore_common::{EntityKey, Timestamp, Value};
+use fstore_embed::{EmbeddingProvenance, EmbeddingTable};
+use fstore_repl::{LeaderParts, ReplLeader};
+use fstore_serve::{
+    fixed_clock, start, ErrorCode, FeatureClient, IndexSpec, Request, Response, ServeConfig,
+    StoreApi, WireHit,
+};
+use fstore_shard::{ClusterConfig, ShardCluster, ShardId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NOW: Timestamp = Timestamp(60_000);
+const DIM: usize = 8;
+const EMB_KEYS: usize = 40;
+const USERS: usize = 20;
+
+fn vector_for(i: usize) -> Vec<f32> {
+    (0..DIM).map(|d| i as f32 * 0.1 + d as f32 * 0.01).collect()
+}
+
+fn score_for(u: usize) -> f64 {
+    u as f64 * 0.25 + 1.0
+}
+
+/// Seed users and a partitioned embedding table: each shard's leader gets
+/// exactly the keys the map assigns it, then an index over its slice.
+fn seed(cluster: &ShardCluster) {
+    for u in 0..USERS {
+        cluster.put_online(
+            "user",
+            &EntityKey::new(format!("u{u}")),
+            &[("score", Value::Float(score_for(u)))],
+            NOW,
+        );
+    }
+    for shard in cluster.map().shards() {
+        let mut table = EmbeddingTable::new(DIM).expect("dim > 0");
+        for i in 0..EMB_KEYS {
+            let key = format!("e{i:04}");
+            if cluster.shard_for(&key) == shard.id {
+                table.insert(key, vector_for(i)).expect("insert");
+            }
+        }
+        let leader = cluster.leader(shard.id);
+        leader
+            .parts()
+            .embeddings
+            .publish("emb", table, EmbeddingProvenance::default(), NOW)
+            .expect("publish");
+        leader
+            .parts()
+            .indexes
+            .build("emb", &IndexSpec::Flat)
+            .expect("index");
+    }
+    assert!(
+        cluster.wait_converged(Duration::from_secs(10)),
+        "followers never converged after seeding"
+    );
+}
+
+fn two_shard_cluster() -> ShardCluster {
+    let cluster = ShardCluster::start(
+        ClusterConfig {
+            shards: 2,
+            followers: 1,
+            ..ClusterConfig::default()
+        },
+        fixed_clock(NOW),
+    )
+    .expect("cluster starts");
+    seed(&cluster);
+    cluster
+}
+
+/// Hit content for byte-comparison: key plus the exact distance bits.
+fn sig(hits: &[WireHit]) -> Vec<(String, u32)> {
+    hits.iter()
+        .map(|h| (h.key.clone(), h.distance.to_bits()))
+        .collect()
+}
+
+#[test]
+fn point_reads_and_batches_route_by_shard() {
+    let cluster = two_shard_cluster();
+    let mut router = cluster.router();
+
+    // Every user answers with its seeded value, wherever it lives.
+    for u in 0..USERS {
+        let v = router
+            .get_features("user", &format!("u{u}"), &["score"])
+            .expect("routed read");
+        assert_eq!(v.values, vec![Value::Float(score_for(u))], "u{u}");
+    }
+
+    // A batch spanning both shards comes back in caller order.
+    let entities: Vec<String> = (0..USERS).map(|u| format!("u{u}")).collect();
+    let refs: Vec<&str> = entities.iter().map(String::as_str).collect();
+    let batch = router
+        .get_features_batch("user", &refs, &["score"])
+        .expect("routed batch");
+    assert_eq!(batch.len(), USERS);
+    for (u, v) in batch.iter().enumerate() {
+        assert_eq!(v.entity, format!("u{u}"), "batch order broken at {u}");
+        assert_eq!(v.values, vec![Value::Float(score_for(u))]);
+    }
+
+    // Embeddings route by key too.
+    for i in [0usize, 7, 23, EMB_KEYS - 1] {
+        let e = router
+            .get_embedding("emb", &format!("e{i:04}"))
+            .expect("routed embedding");
+        assert_eq!(e.vector, vector_for(i), "e{i:04}");
+    }
+
+    // An entity that exists nowhere serves nulls — exactly the
+    // single-node semantics, just routed to whichever shard owns the key.
+    let missing = router
+        .get_features("user", "no-such-user", &["score"])
+        .expect("missing entities serve nulls, not errors");
+    assert_eq!(missing.values, vec![Value::Null]);
+    cluster.shutdown();
+}
+
+#[test]
+fn scattered_search_matches_a_single_node_oracle() {
+    let cluster = two_shard_cluster();
+    let mut router = cluster.router();
+
+    // The oracle: one server holding the WHOLE table.
+    let oracle = ReplLeader::with_retention(LeaderParts::new(), 64);
+    let mut full = EmbeddingTable::new(DIM).expect("dim > 0");
+    for i in 0..EMB_KEYS {
+        full.insert(format!("e{i:04}"), vector_for(i))
+            .expect("insert");
+    }
+    oracle
+        .parts()
+        .embeddings
+        .publish("emb", full, EmbeddingProvenance::default(), NOW)
+        .expect("publish");
+    oracle
+        .parts()
+        .indexes
+        .build("emb", &IndexSpec::Flat)
+        .expect("index");
+    let oracle_handle =
+        start(oracle.engine(fixed_clock(NOW)), ServeConfig::default()).expect("oracle server");
+    let mut oracle_client = FeatureClient::connect(oracle_handle.addr()).expect("connect");
+
+    // Explicit-vector searches across a spread of query points.
+    for j in 0..10 {
+        let query: Vec<f32> = (0..DIM)
+            .map(|d| j as f32 * 0.37 + 0.003 + d as f32 * 0.01)
+            .collect();
+        let ours = router
+            .search_nearest("emb", &query, 10, Default::default())
+            .expect("routed search");
+        let truth = oracle_client
+            .search_nearest("emb", &query, 10, Default::default())
+            .expect("oracle search");
+        assert_eq!(
+            sig(&ours.hits),
+            sig(&truth.hits),
+            "merged top-k diverged from the oracle for query {j}"
+        );
+    }
+
+    // By-key searches: the anchor must be excluded globally, not just on
+    // its home shard.
+    for key in ["e0000", "e0007", "e0019", "e0039"] {
+        let ours = router
+            .search_nearest_by_key("emb", key, 5, Default::default())
+            .expect("routed by-key search");
+        let truth = oracle_client
+            .search_nearest_by_key("emb", key, 5, Default::default())
+            .expect("oracle by-key search");
+        assert!(
+            ours.hits.iter().all(|h| h.key != key),
+            "anchor {key} leaked into its own neighbours"
+        );
+        assert_eq!(
+            sig(&ours.hits),
+            sig(&truth.hits),
+            "by-key diverged at {key}"
+        );
+    }
+
+    oracle_handle.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn leader_kill_promotes_a_follower_with_zero_wrong_answers() {
+    let mut cluster = two_shard_cluster();
+    let control = cluster.control();
+    let victim = ShardId(0);
+
+    // Traffic: a dedicated router hammers every user, checking every answer
+    // against the seeded truth. Wrong answers and errors are counted
+    // separately — an error is an availability miss, a wrong answer is a
+    // correctness bug.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let stop = Arc::clone(&stop);
+        let mut router = cluster.router();
+        std::thread::spawn(move || -> (u64, u64, u64, Vec<String>) {
+            let (mut ok, mut wrong, mut errors) = (0u64, 0u64, 0u64);
+            let mut samples: Vec<String> = Vec::new();
+            let mut u = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let entity = format!("u{}", u % USERS);
+                match router.get_features("user", &entity, &["score"]) {
+                    Ok(v) => {
+                        if v.values == vec![Value::Float(score_for(u % USERS))] {
+                            ok += 1;
+                        } else {
+                            wrong += 1;
+                        }
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        if samples.len() < 6 {
+                            samples.push(format!("{e:?} stats={:?}", router.shard_stats()));
+                        }
+                    }
+                }
+                u += 1;
+            }
+            (ok, wrong, errors, samples)
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.kill_leader(victim);
+
+    // The control plane needs `failure_threshold` consecutive missed
+    // probes (default 2) before it publishes the promoted map.
+    assert!(
+        control.probe_once().is_empty(),
+        "one strike must not promote"
+    );
+    let events = control.probe_once();
+    assert_eq!(events.len(), 1, "second strike promotes the dead leader");
+    assert_eq!(events[0].shard, victim);
+    assert_eq!(control.map().version(), events[0].map_version);
+
+    // Keep traffic flowing against the promoted map for a while.
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, Ordering::Release);
+    let (ok, wrong, errors, samples) = traffic.join().expect("traffic thread");
+    assert!(ok > 0, "no reads completed at all");
+    assert_eq!(wrong, 0, "a read returned silently wrong data");
+    assert_eq!(
+        errors, 0,
+        "failover + retries should have absorbed the outage ({ok} ok, samples: {samples:?})"
+    );
+
+    // Data-plane promotion: the surviving follower becomes a replication
+    // leader, writes resume, and the router sees them.
+    cluster.promote_local(victim);
+    let moved: usize = (0..USERS)
+        .find(|u| cluster.shard_for(&format!("u{u}")) == victim)
+        .expect("the victim shard owns at least one seeded user");
+    cluster.put_online(
+        "user",
+        &EntityKey::new(format!("u{moved}")),
+        &[("score", Value::Float(99.5))],
+        NOW,
+    );
+    let mut router = cluster.router();
+    let v = router
+        .get_features("user", &format!("u{moved}"), &["score"])
+        .expect("post-promotion read");
+    assert_eq!(
+        v.values,
+        vec![Value::Float(99.5)],
+        "a write to the promoted leader must be readable through the router"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn router_tcp_front_speaks_the_wire_protocol() {
+    let cluster = two_shard_cluster();
+    let handle = fstore_shard::start_router("127.0.0.1:0", cluster.control(), Default::default())
+        .expect("router server");
+
+    // An ordinary FeatureClient cannot tell the router from a shard.
+    let mut client = FeatureClient::connect(handle.addr()).expect("connect to router");
+    let v = client
+        .get_features("user", "u3", &["score"])
+        .expect("read through the TCP router");
+    assert_eq!(v.values, vec![Value::Float(score_for(3))]);
+    let n = client
+        .search_nearest("emb", &vector_for(5), 3, Default::default())
+        .expect("search through the TCP router");
+    assert_eq!(n.hits.len(), 3);
+    assert_eq!(n.hits[0].key, "e0005");
+    let (queue_depth, draining) = client.health().expect("aggregated health");
+    assert_eq!(queue_depth, 0);
+    assert!(!draining);
+
+    // Replication endpoints are per-shard by design.
+    match client.call(&Request::ReplSubscribe).expect("typed refusal") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected a BadRequest refusal, got {other:?}"),
+    }
+
+    handle.shutdown();
+    cluster.shutdown();
+}

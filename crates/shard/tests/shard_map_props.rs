@@ -1,0 +1,113 @@
+//! Property tests for the consistent-hash shard map — the two claims the
+//! design rests on:
+//!
+//! * **Balance**: across arbitrary shard counts and key populations, the
+//!   loaded shards stay within a bounded max/min ratio of each other (no
+//!   shard starves, none is a hotspot).
+//! * **Minimal movement**: adding shard N+1 moves only keys that land on
+//!   the new shard — every moved key moves *to* it, and the moved
+//!   fraction stays near the ideal 1/(N+1) instead of the ~(N)/(N+1) a
+//!   modulo scheme would reshuffle.
+
+use fstore_shard::{ShardId, ShardInfo, ShardMap};
+use proptest::prelude::*;
+
+fn map_of(n: u32) -> ShardMap {
+    ShardMap::new(
+        (0..n)
+            .map(|i| ShardInfo::new(ShardId(i), vec![format!("127.0.0.1:{}", 7000 + i)]))
+            .collect(),
+    )
+}
+
+/// Count keys per shard for `keys` drawn from a deterministic population
+/// offset by `salt` (so different cases exercise different key sets).
+fn loads(map: &ShardMap, n_shards: u32, keys: usize, salt: u64) -> Vec<usize> {
+    let mut counts = vec![0usize; n_shards as usize];
+    for i in 0..keys {
+        let shard = map.shard_for(&format!("entity-{salt}-{i}"));
+        counts[shard.0 as usize] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With 10k keys over up to 8 shards, the busiest shard carries at
+    /// most 2.5x the quietest one's load. (Perfect balance is ratio 1;
+    /// 64 vnodes/shard keeps the arc-length variance this tight.)
+    #[test]
+    fn hashing_stays_balanced(n_shards in 2u32..9, salt in 0u64..1_000) {
+        let map = map_of(n_shards);
+        let counts = loads(&map, n_shards, 10_000, salt);
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(min > 0, "a shard owns no keys: {counts:?}");
+        let ratio = max as f64 / min as f64;
+        prop_assert!(
+            ratio <= 2.5,
+            "load ratio {ratio:.2} over bound 2.5: {counts:?}"
+        );
+    }
+
+    /// Resharding N -> N+1 moves at most ~1.5/(N+1) of keys, and every
+    /// key that moves lands on the new shard.
+    #[test]
+    fn reshard_moves_a_bounded_fraction_to_the_new_shard(
+        n_shards in 1u32..8,
+        salt in 0u64..1_000,
+    ) {
+        const KEYS: usize = 10_000;
+        let before = map_of(n_shards);
+        let new_id = ShardId(n_shards);
+        let after = before.with_shard(ShardInfo::new(
+            new_id,
+            vec![format!("127.0.0.1:{}", 7000 + n_shards)],
+        ));
+        prop_assert_eq!(after.version(), before.version() + 1);
+
+        let mut moved = 0usize;
+        for i in 0..KEYS {
+            let key = format!("entity-{salt}-{i}");
+            let (a, b) = (before.shard_for(&key), after.shard_for(&key));
+            if a != b {
+                prop_assert_eq!(
+                    b, new_id,
+                    "key {} moved between old shards {} -> {}", key, a, b
+                );
+                moved += 1;
+            }
+        }
+        let fraction = moved as f64 / KEYS as f64;
+        let ideal = 1.0 / (n_shards as f64 + 1.0);
+        prop_assert!(
+            fraction <= ideal * 1.5,
+            "moved {fraction:.3} of keys; ideal {ideal:.3}, bound {:.3}",
+            ideal * 1.5
+        );
+        prop_assert!(
+            fraction > 0.0,
+            "the new shard claimed no keys at all"
+        );
+    }
+
+    /// Promotion changes endpoints, never ownership: the same keys route
+    /// to the same shards under the promoted map.
+    #[test]
+    fn promotion_never_moves_keys(n_shards in 1u32..7, salt in 0u64..1_000) {
+        let before = ShardMap::new(
+            (0..n_shards)
+                .map(|i| ShardInfo::new(
+                    ShardId(i),
+                    vec![format!("l{i}"), format!("f{i}")],
+                ))
+                .collect(),
+        );
+        let after = before.promote(ShardId(0)).expect("shard 0 has a follower");
+        for i in 0..2_000usize {
+            let key = format!("entity-{salt}-{i}");
+            prop_assert_eq!(before.shard_for(&key), after.shard_for(&key));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Sharding quickstart: a three-shard cluster behind one scatter-gather
+//! router, a TCP router front that ordinary clients cannot tell from a
+//! single server, and a leader kill absorbed by failover plus
+//! control-plane promotion.
+//!
+//! The flow mirrors production: start N shard leaders (each a
+//! `ReplLeader` with a follower), hand their endpoints to a `ShardMap`,
+//! and read through a `RouterClient` — point reads route by key, batches
+//! split by shard and merge back in caller order, ANN searches scatter
+//! to every shard and merge per-shard top-k into a global top-k. When a
+//! leader dies, reads fail over to the follower instantly; the control
+//! plane notices within its probe threshold and publishes a promoted
+//! map.
+//!
+//! Run with: `cargo run --example shard_cluster`
+
+use fstore::embed::{EmbeddingProvenance, EmbeddingTable};
+use fstore::prelude::*;
+use fstore::serve::fixed_clock;
+use fstore::shard::start_router;
+
+const NOW: Timestamp = Timestamp(30_000);
+const DIM: usize = 8;
+const USERS: usize = 30;
+const EMB_KEYS: usize = 60;
+
+fn vector_for(i: usize) -> Vec<f32> {
+    (0..DIM).map(|d| i as f32 * 0.1 + d as f32 * 0.01).collect()
+}
+
+fn main() -> Result<()> {
+    println!("== fstore-shard: scatter-gather routing over 3 shards ==\n");
+
+    // ------------------------------------------------------------------
+    // A 3-shard cluster, one follower per shard, all on real sockets.
+    // ------------------------------------------------------------------
+    let mut cluster = ShardCluster::start(
+        ClusterConfig {
+            shards: 3,
+            followers: 1,
+            ..ClusterConfig::default()
+        },
+        fixed_clock(NOW),
+    )?;
+    println!(
+        "cluster up: {} shards, map version {}",
+        cluster.shard_count(),
+        cluster.map().version()
+    );
+
+    // Seed online features: the cluster routes each write to the leader
+    // that owns the key, so reads route back to the same shard.
+    for u in 0..USERS {
+        cluster.put_online(
+            "user",
+            &EntityKey::new(format!("u{u}")),
+            &[("score", Value::Float(u as f64 * 0.5))],
+            NOW,
+        );
+    }
+
+    // Seed a partitioned embedding table: each shard's leader gets
+    // exactly the keys the map assigns it, then an ANN index per slice.
+    for shard in cluster.map().shards() {
+        let mut table = EmbeddingTable::new(DIM)?;
+        for i in 0..EMB_KEYS {
+            let key = format!("e{i:04}");
+            if cluster.shard_for(&key) == shard.id {
+                table.insert(key, vector_for(i))?;
+            }
+        }
+        let owned = table.len();
+        let leader = cluster.leader(shard.id);
+        leader
+            .parts()
+            .embeddings
+            .publish("emb", table, EmbeddingProvenance::default(), NOW)?;
+        leader.parts().indexes.build("emb", &IndexSpec::Flat)?;
+        println!("  {} owns {owned}/{EMB_KEYS} embedding keys", shard.id);
+    }
+    assert!(
+        cluster.wait_converged(std::time::Duration::from_secs(10)),
+        "followers converged"
+    );
+
+    // ------------------------------------------------------------------
+    // One router, one API: point reads route by key, batches split by
+    // shard, searches scatter everywhere and merge.
+    // ------------------------------------------------------------------
+    let mut router = cluster.router();
+    let v = router
+        .get_features("user", "u7", &["score"])
+        .expect("routed read");
+    println!(
+        "\nu7.score = {:?} (lives on {})",
+        v.values[0],
+        cluster.shard_for("u7")
+    );
+
+    let entities: Vec<String> = (0..USERS).map(|u| format!("u{u}")).collect();
+    let refs: Vec<&str> = entities.iter().map(String::as_str).collect();
+    let batch = router
+        .get_features_batch("user", &refs, &["score"])
+        .expect("routed batch");
+    assert!(batch
+        .iter()
+        .enumerate()
+        .all(|(u, v)| v.entity == format!("u{u}")));
+    println!(
+        "batch of {} split by shard, merged in caller order",
+        batch.len()
+    );
+
+    let near = router
+        .search_nearest("emb", &vector_for(12), 5, SearchOptions::default())
+        .expect("scattered search");
+    println!(
+        "global top-5 around e0012: {:?}",
+        near.hits.iter().map(|h| h.key.as_str()).collect::<Vec<_>>()
+    );
+
+    // ------------------------------------------------------------------
+    // The TCP front: an ordinary FeatureClient cannot tell the router
+    // from a single shard server.
+    // ------------------------------------------------------------------
+    let front = start_router("127.0.0.1:0", cluster.control(), Default::default())
+        .expect("bind router front");
+    let mut client = FeatureClient::connect(front.addr()).expect("connect to router");
+    let v = client
+        .get_features("user", "u19", &["score"])
+        .expect("read through the front");
+    println!(
+        "\nTCP front on {} answered u19.score = {:?}",
+        front.addr(),
+        v.values[0]
+    );
+
+    // ------------------------------------------------------------------
+    // Kill a leader mid-flight. Reads keep answering through the
+    // follower; two missed probes later the control plane promotes.
+    // ------------------------------------------------------------------
+    let victim = cluster.shard_for("u7");
+    let dead = cluster.kill_leader(victim);
+    println!("\nkilled {victim} leader at {dead}");
+
+    let v = router
+        .get_features("user", "u7", &["score"])
+        .expect("failover read");
+    println!("u7.score still answers via failover: {:?}", v.values[0]);
+
+    let control = cluster.control();
+    assert!(
+        control.probe_once().is_empty(),
+        "one strike is not an outage"
+    );
+    let events = control.probe_once();
+    println!(
+        "control plane promoted {} follower(s); map version {} -> {}",
+        events.len(),
+        events[0].map_version - 1,
+        control.map().version()
+    );
+
+    // Data-plane promotion: the follower becomes a replication leader and
+    // writes resume against its replicated state.
+    cluster.promote_local(victim);
+    cluster.put_online(
+        "user",
+        &EntityKey::new("u7"),
+        &[("score", Value::Float(777.0))],
+        NOW,
+    );
+    let v = router
+        .get_features("user", "u7", &["score"])
+        .expect("post-promotion read");
+    println!(
+        "post-promotion write visible through the router: {:?}",
+        v.values[0]
+    );
+    assert_eq!(v.values, vec![Value::Float(777.0)]);
+
+    front.shutdown();
+    cluster.shutdown();
+    println!("\ncluster drained and shut down");
+    Ok(())
+}

@@ -20,6 +20,7 @@
 //! | [`serve`] | TCP serving layer: wire protocol, batching, admission control |
 //! | [`durable`] | write-ahead log, on-disk checkpoints, crash recovery |
 //! | [`repl`] | snapshot-based replication: leader publication log + followers |
+//! | [`shard`] | horizontal sharding: shard map, scatter-gather router, control plane |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use fstore_monitor as monitor;
 pub use fstore_query as query;
 pub use fstore_repl as repl;
 pub use fstore_serve as serve;
+pub use fstore_shard as shard;
 pub use fstore_storage as storage;
 pub use fstore_stream as stream;
 
@@ -102,9 +104,10 @@ pub mod prelude {
     };
     pub use fstore_query::{AggFunc, Program};
     pub use fstore_serve::{
-        FeatureClient, IndexCatalog, IndexSpec, SearchOptions, ServeConfig, ServeEngine,
-        ServingMetrics, WireVector,
+        ClientBuilder, FeatureClient, IndexCatalog, IndexSpec, SearchOptions, ServeConfig,
+        ServeEngine, ServingMetrics, StoreApi, WireVector,
     };
+    pub use fstore_shard::{ClusterConfig, RouterClient, ShardCluster, ShardId, ShardMap};
     pub use fstore_storage::{
         CmpOp, OfflineDb, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
     };
