@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E20 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E21 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -22,6 +22,7 @@ pub mod e17_replication;
 pub mod e18_chaos;
 pub mod e19_durability;
 pub mod e20_sharding;
+pub mod e21_wire_pipelining;
 
 use fstore_common::Result;
 
@@ -135,6 +136,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E20 Horizontal sharding: scatter-gather router over N shards (§4)",
             run: e20_sharding::run,
         },
+        Experiment {
+            id: "e21",
+            title: "E21 Zero-copy wire stack: pipelined connections vs request-per-RTT (§2.2.2)",
+            run: e21_wire_pipelining::run,
+        },
     ]
 }
 
@@ -160,10 +166,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 20);
+        assert_eq!(exps.len(), 21);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 }

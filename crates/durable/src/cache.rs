@@ -8,7 +8,8 @@
 //! sync; only a follower whose cache has lagged past retention pays for a
 //! full wire transfer again.
 
-use fstore_common::{crc32, FsError, Result};
+use fstore_common::{FsError, Result};
+use fstore_serve::codec::crc_block;
 use std::path::PathBuf;
 
 const MAGIC: &[u8; 4] = b"FSSC";
@@ -34,10 +35,7 @@ impl SnapshotCache {
         let mut body = Vec::with_capacity(payload.len() + 8);
         body.extend_from_slice(&repl_epoch.to_le_bytes());
         body.extend_from_slice(payload);
-        let mut out = Vec::with_capacity(body.len() + 8);
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&crc32(&body).to_le_bytes());
-        out.extend_from_slice(&body);
+        let out = crc_block::encode(MAGIC, &body);
 
         if let Some(parent) = self.path.parent() {
             std::fs::create_dir_all(parent)
@@ -58,16 +56,10 @@ impl SnapshotCache {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(FsError::Storage(format!("read snapshot cache: {e}"))),
         };
-        if bytes.len() < 16 || &bytes[..4] != MAGIC {
-            return Err(FsError::Corruption("bad magic in snapshot cache".into()));
-        }
-        let want_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        let body = &bytes[8..];
-        let got_crc = crc32(body);
-        if got_crc != want_crc {
-            return Err(FsError::Corruption(format!(
-                "snapshot cache checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
-            )));
+        let body = crc_block::decode(MAGIC, &bytes)
+            .map_err(|e| FsError::Corruption(format!("snapshot cache: {e}")))?;
+        if body.len() < 8 {
+            return Err(FsError::Corruption("truncated snapshot cache".into()));
         }
         let repl_epoch = u64::from_le_bytes(body[0..8].try_into().unwrap());
         Ok(Some((repl_epoch, body[8..].to_vec())))

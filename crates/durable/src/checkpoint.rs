@@ -21,6 +21,7 @@
 use crate::codec::{IndexBuild, OnlineRow, VersionRepr};
 use fstore_common::{FsError, Result, Timestamp};
 use fstore_embed::EmbeddingProvenance;
+use fstore_serve::codec::crc_block;
 use fstore_storage::OfflineStore;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -99,24 +100,16 @@ fn encode_blob(v: &VersionRepr) -> Result<Vec<u8>> {
             body.extend_from_slice(&x.to_le_bytes());
         }
     }
-    let mut out = Vec::with_capacity(body.len() + 8);
-    out.extend_from_slice(BLOB_MAGIC);
-    out.extend_from_slice(&fstore_common::crc32(&body).to_le_bytes());
-    out.extend_from_slice(&body);
-    Ok(out)
+    Ok(crc_block::encode(BLOB_MAGIC, &body))
 }
 
 fn decode_blob(bytes: &[u8]) -> Result<VersionRepr> {
-    if bytes.len() < 12 || &bytes[..4] != BLOB_MAGIC {
-        return Err(FsError::Corruption("bad magic in embedding blob".into()));
-    }
-    let want_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    let body = &bytes[8..];
-    let got_crc = fstore_common::crc32(body);
-    if got_crc != want_crc {
-        return Err(FsError::Corruption(format!(
-            "embedding blob checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
-        )));
+    let body = crc_block::decode(BLOB_MAGIC, bytes)
+        .map_err(|e| FsError::Corruption(format!("embedding blob: {e}")))?;
+    if body.len() < 4 {
+        return Err(FsError::Corruption(
+            "truncated embedding blob header".into(),
+        ));
     }
     let header_len = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
     if body.len() < 4 + header_len {

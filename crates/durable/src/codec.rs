@@ -44,6 +44,12 @@ pub fn decode<T: Deserialize>(body: &str) -> Result<T> {
     serde_json::from_str(body).map_err(|e| FsError::Serde(e.to_string()))
 }
 
+/// The CRC block envelope (`magic | crc32(body) LE | body`) every durable
+/// binary artifact shares — snapshot caches, embedding blobs — re-exported
+/// from the wire codec so there is exactly one implementation of the
+/// framing.
+pub use fstore_serve::codec::crc_block;
+
 // ---------------------------------------------------------------------------
 // Offline store
 // ---------------------------------------------------------------------------

@@ -238,12 +238,16 @@ impl Follower {
     /// One replication round: poll the leader for deltas past the applied
     /// epoch and replay them in order. A `lagged` answer (or a delta that
     /// will not apply) falls back to a fresh full snapshot.
+    ///
+    /// The subscribe (leader log state) and the delta poll are pipelined
+    /// onto one write/read exchange ([`FeatureClient::repl_sync`]), so a
+    /// sync round costs a single network round trip.
     pub fn sync_once(&self, client: &mut FeatureClient) -> Result<SyncReport> {
-        let batch = client
-            .repl_deltas(self.applied.load(Ordering::Acquire))
+        let (state, batch) = client
+            .repl_sync(self.applied.load(Ordering::Acquire))
             .map_err(|e| FsError::Storage(format!("poll deltas: {e}")))?;
         self.leader_epoch
-            .fetch_max(batch.leader_epoch, Ordering::AcqRel);
+            .fetch_max(state.leader_epoch.max(batch.leader_epoch), Ordering::AcqRel);
 
         let mut applied = 0usize;
         let mut resynced = false;

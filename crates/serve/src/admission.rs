@@ -70,6 +70,12 @@ impl AdmissionController {
         &self.metrics
     }
 
+    /// An owned handle to the metrics sink, for threads that outlive the
+    /// borrow (per-connection writer threads).
+    pub fn shared_metrics(&self) -> Arc<ServingMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
     }

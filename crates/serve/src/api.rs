@@ -35,6 +35,17 @@ use std::time::Duration;
 pub trait Transport {
     /// Send one request and wait for its response.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError>;
+
+    /// Send a slice of requests and collect their responses in request
+    /// order. The default implementation is sequential (one round trip
+    /// per request); transports that own a socket override it to
+    /// pipeline — all frames written before the first response is read,
+    /// as [`FeatureClient::call_many`] does. Any failure fails the whole
+    /// batch: responses are positional, so a partial result would leave
+    /// the caller unable to say which request each response answers.
+    fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        requests.iter().map(|r| self.call(r)).collect()
+    }
 }
 
 /// The full typed request surface of a feature store endpoint — local
@@ -78,6 +89,11 @@ pub trait StoreApi {
         k: u32,
         options: SearchOptions,
     ) -> Result<Neighbors, ClientError>;
+
+    /// Send a burst of raw requests, responses in request order. On a
+    /// pipelining transport every request is in flight at once; callers
+    /// decode each response with the `expect_*` helpers in this module.
+    fn send_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError>;
 }
 
 impl<T: Transport + ?Sized> StoreApi for T {
@@ -147,6 +163,10 @@ impl<T: Transport + ?Sized> StoreApi for T {
             options,
         };
         expect_neighbors(self.call(&request)?)
+    }
+
+    fn send_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        self.call_many(requests)
     }
 }
 
@@ -230,6 +250,14 @@ impl Transport for AnyClient {
             AnyClient::Direct(c) => c.call(request),
             AnyClient::Retrying(c) => c.call(request),
             AnyClient::Failover(c) => c.call(request),
+        }
+    }
+
+    fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        match self {
+            AnyClient::Direct(c) => c.call_many(requests),
+            AnyClient::Retrying(c) => c.call_many(requests),
+            AnyClient::Failover(c) => c.call_many(requests),
         }
     }
 }
@@ -324,6 +352,14 @@ impl ClientBuilder {
         self
     }
 
+    /// Ceiling on a response frame's declared length (clamped by the
+    /// protocol-wide [`MAX_FRAME_LEN`](crate::MAX_FRAME_LEN)); a peer
+    /// declaring more gets a typed refusal before any payload is read.
+    pub fn max_response_frame(mut self, bound: usize) -> Self {
+        self.config.max_response_frame = bound;
+        self
+    }
+
     /// Retry transient failures of idempotent requests per `policy`.
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
@@ -363,6 +399,11 @@ impl ClientBuilder {
         if self.config.deadline_budget == Some(Duration::ZERO) {
             return Err(FsError::InvalidArgument(
                 "deadline budget must be positive".into(),
+            ));
+        }
+        if self.config.max_response_frame == 0 {
+            return Err(FsError::InvalidArgument(
+                "max response frame must be positive".into(),
             ));
         }
         if let Some(policy) = &self.retry {
@@ -431,6 +472,11 @@ mod tests {
         assert!(ClientBuilder::new()
             .endpoint("127.0.0.1:1")
             .deadline_budget(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ClientBuilder::new()
+            .endpoint("127.0.0.1:1")
+            .max_response_frame(0)
             .build()
             .is_err());
         assert!(ClientBuilder::new()

@@ -1,20 +1,27 @@
-//! A blocking client for the wire protocol. One request in flight per
-//! connection; open several clients for concurrency (the load generator
-//! in E14 does exactly that).
+//! A blocking client for the wire protocol.
+//!
+//! [`FeatureClient::call`] keeps one request in flight;
+//! [`FeatureClient::call_many`] pipelines a whole slice of requests on the
+//! same socket — every frame is written before the first response is
+//! read, and responses come back in request order (the server guarantees
+//! in-order responses per connection, see DESIGN §2.16). Both paths reuse
+//! one encode buffer and one [`FrameReader`], so a warmed-up client does
+//! zero per-request payload allocations.
 
 use crate::api::Transport;
-use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireDelta, WireError, WireHit,
-};
+use crate::codec::{write_frame_vectored, FrameEvent, FrameReader, OwnedFrameEvent, MAX_FRAME_LEN};
+use crate::protocol::{ErrorCode, Request, Response, WireDelta, WireError, WireHit};
 use crate::repl::ReplLogState;
-use std::io::BufReader;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Socket deadlines for a [`FeatureClient`] connection. The defaults are
-/// deliberately generous — they exist to turn a dead or wedged peer into
-/// a typed error instead of an unbounded wait, not to enforce latency
-/// SLOs (that is what [`Request::WithDeadline`] budgets are for).
+/// Socket deadlines and frame bounds for a [`FeatureClient`] connection.
+/// The timeout defaults are deliberately generous — they exist to turn a
+/// dead or wedged peer into a typed error instead of an unbounded wait,
+/// not to enforce latency SLOs (that is what [`Request::WithDeadline`]
+/// budgets are for).
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// TCP connect bound; `None` falls back to the OS default (which can
@@ -28,6 +35,10 @@ pub struct ClientConfig {
     /// [`Request::WithDeadline`] envelope with this budget, letting the
     /// server shed it once the caller must have given up.
     pub deadline_budget: Option<Duration>,
+    /// Ceiling on a response frame's declared length; a peer declaring
+    /// more is refused before any payload is allocated or read. Clamped
+    /// by the protocol-wide [`MAX_FRAME_LEN`].
+    pub max_response_frame: usize,
 }
 
 impl Default for ClientConfig {
@@ -37,6 +48,7 @@ impl Default for ClientConfig {
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
             deadline_budget: None,
+            max_response_frame: MAX_FRAME_LEN,
         }
     }
 }
@@ -151,9 +163,14 @@ impl ClientError {
 /// from the [`StoreApi`](crate::StoreApi) trait, shared with every other
 /// client in the crate; bring it into scope to use those methods.
 pub struct FeatureClient {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Reusable encode buffer: grows to the connection's working request
+    /// size once, then serves every call without allocating.
+    buf: BytesMut,
     deadline_budget: Option<Duration>,
+    read_timeout: Option<Duration>,
+    max_response_frame: usize,
 }
 
 impl FeatureClient {
@@ -169,7 +186,7 @@ impl FeatureClient {
     /// and picks the right client shape.
     #[doc(hidden)]
     pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> std::io::Result<Self> {
-        let writer = match config.connect_timeout {
+        let stream = match config.connect_timeout {
             Some(bound) => {
                 // connect_timeout wants a resolved address; try each one
                 // and keep the last error for the caller.
@@ -195,14 +212,15 @@ impl FeatureClient {
             }
             None => TcpStream::connect(addr)?,
         };
-        writer.set_nodelay(true)?;
-        writer.set_read_timeout(config.read_timeout)?;
-        writer.set_write_timeout(config.write_timeout)?;
-        let reader = BufReader::new(writer.try_clone()?);
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(config.write_timeout)?;
         Ok(FeatureClient {
-            writer,
-            reader,
+            stream,
+            reader: FrameReader::new(),
+            buf: BytesMut::new(),
             deadline_budget: config.deadline_budget,
+            read_timeout: config.read_timeout,
+            max_response_frame: config.max_response_frame.min(MAX_FRAME_LEN),
         })
     }
 
@@ -211,24 +229,84 @@ impl FeatureClient {
         self.deadline_budget = budget;
     }
 
+    /// Append `request` to the encode buffer, wrapping it in a
+    /// [`Request::WithDeadline`] envelope when a budget is configured
+    /// (and the caller did not wrap it already). Writes the envelope tag
+    /// inline so no request clone is ever made.
+    fn encode_wrapped(&mut self, request: &Request) {
+        match self.deadline_budget {
+            Some(budget) if !matches!(request, Request::WithDeadline { .. }) => {
+                self.buf.put_u8(9);
+                self.buf
+                    .put_u32(u32::try_from(budget.as_millis()).unwrap_or(u32::MAX));
+                request.encode_into(&mut self.buf);
+            }
+            _ => request.encode_into(&mut self.buf),
+        }
+    }
+
+    /// Read and decode one response frame off the connection's reader.
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match self.reader.read_frame(
+            &self.stream,
+            self.max_response_frame,
+            self.read_timeout,
+            self.read_timeout,
+        )? {
+            FrameEvent::Frame(payload) => Response::decode(payload).map_err(ClientError::Wire),
+            FrameEvent::Eof => Err(ClientError::ConnectionClosed),
+            FrameEvent::TooLarge { declared } => {
+                Err(ClientError::Wire(WireError::Oversized(declared)))
+            }
+            FrameEvent::TimedOut => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response frame stalled mid-read",
+            ))),
+        }
+    }
+
     /// Send one request and wait for its response. A configured deadline
     /// budget wraps the request in a [`Request::WithDeadline`] envelope
     /// (unless the caller already wrapped it).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let wrapped;
-        let request = match self.deadline_budget {
-            Some(budget) if !matches!(request, Request::WithDeadline { .. }) => {
-                wrapped = Request::WithDeadline {
-                    budget_ms: u32::try_from(budget.as_millis()).unwrap_or(u32::MAX),
-                    inner: Box::new(request.clone()),
-                };
-                &wrapped
-            }
-            _ => request,
-        };
-        write_frame(&mut self.writer, &request.encode())?;
-        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::ConnectionClosed)?;
-        Response::decode(&payload).map_err(ClientError::Wire)
+        self.buf.clear();
+        self.encode_wrapped(request);
+        let mut w = &self.stream;
+        write_frame_vectored(&mut w, self.buf.as_slice())?;
+        self.read_response()
+    }
+
+    /// Pipeline `requests` on this connection: write every frame before
+    /// reading the first response, then read the responses back in
+    /// request order. One syscall writes the whole burst in the common
+    /// case. Any transport failure poisons the connection (responses for
+    /// in-flight requests are lost) — callers that retry must treat the
+    /// batch as a unit, the way [`RetryingClient`] does.
+    ///
+    /// [`RetryingClient`]: crate::retry::RetryingClient
+    pub fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.buf.clear();
+        for request in requests {
+            // Reserve the length prefix, encode, backfill — the payload
+            // is serialized exactly once, straight into the wire buffer.
+            let at = self.buf.len();
+            self.buf.put_u32(0);
+            self.encode_wrapped(request);
+            let len = self.buf.len() - at - 4;
+            assert!(len <= MAX_FRAME_LEN, "request frame exceeds MAX_FRAME_LEN");
+            self.buf.as_mut_slice()[at..at + 4].copy_from_slice(&(len as u32).to_be_bytes());
+        }
+        let mut w = &self.stream;
+        w.write_all(self.buf.as_slice())?;
+        w.flush()?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
     }
 
     /// Liveness probe; returns `(queue_depth, draining)`.
@@ -263,8 +341,34 @@ impl FeatureClient {
 
     /// A full leader snapshot as `(repl_epoch, payload)`; every delta with
     /// `seq <= repl_epoch` is already folded into the payload.
-    pub fn repl_snapshot(&mut self) -> Result<(u64, Vec<u8>), ClientError> {
-        match self.call(&Request::ReplSnapshot)? {
+    ///
+    /// The frame is read into one owned buffer and the payload sliced out
+    /// of it zero-copy ([`Response::decode_frame`]) — a multi-megabyte
+    /// bootstrap costs one allocation, not frame-plus-payload copies.
+    pub fn repl_snapshot(&mut self) -> Result<(u64, Bytes), ClientError> {
+        self.buf.clear();
+        self.encode_wrapped(&Request::ReplSnapshot);
+        let mut w = &self.stream;
+        write_frame_vectored(&mut w, self.buf.as_slice())?;
+        let frame = match self.reader.read_frame_owned(
+            &self.stream,
+            self.max_response_frame,
+            self.read_timeout,
+            self.read_timeout,
+        )? {
+            OwnedFrameEvent::Frame(frame) => frame,
+            OwnedFrameEvent::Eof => return Err(ClientError::ConnectionClosed),
+            OwnedFrameEvent::TooLarge { declared } => {
+                return Err(ClientError::Wire(WireError::Oversized(declared)))
+            }
+            OwnedFrameEvent::TimedOut => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "snapshot frame stalled mid-read",
+                )))
+            }
+        };
+        match Response::decode_frame(&frame).map_err(ClientError::Wire)? {
             Response::ReplSnapshot {
                 repl_epoch,
                 payload,
@@ -290,10 +394,59 @@ impl FeatureClient {
             _ => Err(ClientError::UnexpectedResponse("ReplDeltas")),
         }
     }
+
+    /// One pipelined replication round: `ReplSubscribe` and
+    /// `ReplDeltas { from_epoch }` go out in a single write and both
+    /// responses come back in order on the same connection — the follower
+    /// learns the leader's log state *and* picks up new deltas in one
+    /// network round trip instead of two.
+    pub fn repl_sync(
+        &mut self,
+        from_epoch: u64,
+    ) -> Result<(ReplLogState, DeltaBatch), ClientError> {
+        let responses =
+            self.call_many(&[Request::ReplSubscribe, Request::ReplDeltas { from_epoch }])?;
+        let mut responses = responses.into_iter();
+        let state = match responses.next() {
+            Some(Response::ReplState {
+                leader_epoch,
+                oldest_retained,
+                retention,
+            }) => ReplLogState {
+                leader_epoch,
+                oldest_retained,
+                retention,
+            },
+            Some(Response::Error { code, message }) => {
+                return Err(ClientError::Server { code, message })
+            }
+            _ => return Err(ClientError::UnexpectedResponse("ReplState")),
+        };
+        let batch = match responses.next() {
+            Some(Response::ReplDeltas {
+                leader_epoch,
+                lagged,
+                deltas,
+            }) => DeltaBatch {
+                leader_epoch,
+                lagged,
+                deltas,
+            },
+            Some(Response::Error { code, message }) => {
+                return Err(ClientError::Server { code, message })
+            }
+            _ => return Err(ClientError::UnexpectedResponse("ReplDeltas")),
+        };
+        Ok((state, batch))
+    }
 }
 
 impl Transport for FeatureClient {
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         FeatureClient::call(self, request)
+    }
+
+    fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        FeatureClient::call_many(self, requests)
     }
 }

@@ -212,7 +212,14 @@ impl FailoverClient {
         (0..self.endpoints.len()).find(|&i| self.endpoints[i].breaker.allow(now))
     }
 
-    fn call_endpoint(&mut self, i: usize, request: &Request) -> Result<Response, ClientError> {
+    /// Run `op` against endpoint `i`'s connection, establishing it first
+    /// if needed and poisoning it on a transport-class failure (the
+    /// stream may hold half a frame; never reuse it).
+    fn with_endpoint<T>(
+        &mut self,
+        i: usize,
+        op: impl FnOnce(&mut FeatureClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
         let config = self.config.clone();
         let endpoint = &mut self.endpoints[i];
         if endpoint.conn.is_none() {
@@ -221,11 +228,7 @@ impl FailoverClient {
                     .map_err(ClientError::Io)?,
             );
         }
-        let result = endpoint
-            .conn
-            .as_mut()
-            .expect("just connected")
-            .call(request);
+        let result = op(endpoint.conn.as_mut().expect("just connected"));
         if let Err(e) = &result {
             if classify(e) == ErrorClass::Transport {
                 endpoint.conn = None;
@@ -234,19 +237,27 @@ impl FailoverClient {
         result
     }
 
-    /// Send one request, walking endpoints healthiest-first with retries
-    /// and backoff. A server's definitive answer (including a typed
-    /// fatal error) returns immediately; transport failures and typed
-    /// pushback (`Overloaded`, `ShuttingDown` — well-formed responses on
-    /// the wire, but refusals all the same) trip the breaker and move on.
-    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+    /// The shared endpoint walk behind [`FailoverClient::call`] and
+    /// [`FailoverClient::call_many`]: pick the healthiest endpoint, run
+    /// `op` against it, and classify the outcome. A definitive answer
+    /// (including a typed fatal error) returns immediately; transport
+    /// failures and typed pushback (`Overloaded`, `ShuttingDown` —
+    /// well-formed responses on the wire, but refusals all the same) trip
+    /// the breaker and move on, retrying with backoff while `retryable`
+    /// and the attempt budget allow.
+    fn run<T>(
+        &mut self,
+        retryable: bool,
+        mut op: impl FnMut(&mut FeatureClient) -> Result<T, ClientError>,
+        outcome_pushback: impl Fn(&T) -> Option<ClientError>,
+    ) -> Result<T, ClientError> {
         let mut attempt: u32 = 0;
         let mut last_err: Option<ClientError> = None;
         loop {
             let now = Instant::now();
             match self.pick(now) {
-                Some(i) => match self.call_endpoint(i, request) {
-                    Ok(response) => match crate::retry::pushback(&response) {
+                Some(i) => match self.with_endpoint(i, &mut op) {
+                    Ok(value) => match outcome_pushback(&value) {
                         Some(error) => {
                             self.endpoints[i].breaker.record_failure(Instant::now());
                             last_err = Some(error);
@@ -256,7 +267,7 @@ impl FailoverClient {
                             if i != 0 {
                                 self.stats.failed_over_calls += 1;
                             }
-                            return Ok(response);
+                            return Ok(value);
                         }
                     },
                     Err(error) => {
@@ -280,7 +291,7 @@ impl FailoverClient {
                     }
                 }
             }
-            if !request.is_idempotent() || attempt + 1 >= self.policy.max_attempts {
+            if !retryable || attempt + 1 >= self.policy.max_attempts {
                 self.stats.exhausted_calls += 1;
                 return Err(last_err.expect("loop always records an error before exiting"));
             }
@@ -289,6 +300,34 @@ impl FailoverClient {
             self.stats.retries += 1;
             attempt += 1;
         }
+    }
+
+    /// Send one request, walking endpoints healthiest-first with retries
+    /// and backoff (the private `run` loop holds the outcome rules).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.run(
+            request.is_idempotent(),
+            |conn| conn.call(request),
+            crate::retry::pushback,
+        )
+    }
+
+    /// Pipeline a batch on the healthiest endpoint
+    /// ([`FeatureClient::call_many`]) with the same endpoint walk as
+    /// [`FailoverClient::call`]. The batch is the retry unit: it moves to
+    /// another endpoint only when *every* request in it is idempotent,
+    /// and one typed pushback response fails (and re-routes) the whole
+    /// batch — responses are positional, so a partially-shed batch has no
+    /// honest success value.
+    pub fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.run(
+            requests.iter().all(Request::is_idempotent),
+            |conn| conn.call_many(requests),
+            |responses| responses.iter().find_map(crate::retry::pushback),
+        )
     }
 
     /// Expose the breaker config (tests construct matching breakers).
@@ -329,6 +368,10 @@ impl FailoverClient {
 impl Transport for FailoverClient {
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         FailoverClient::call(self, request)
+    }
+
+    fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        FailoverClient::call_many(self, requests)
     }
 }
 

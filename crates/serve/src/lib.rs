@@ -5,6 +5,11 @@
 //! crate puts it behind a socket with the properties a production serving
 //! tier needs:
 //!
+//! * [`codec`] — the shared byte-level substrate: zero-copy decode
+//!   cursors over pooled `Bytes` frames, a [`codec::FramePool`] free-list
+//!   of encode buffers, vectored frame writes, and the per-connection
+//!   [`codec::FrameReader`] that carries partial frames across reads
+//!   without per-frame allocation.
 //! * [`protocol`] — a compact length-prefixed binary wire protocol with
 //!   typed error responses; decoding is total (no panics on hostile
 //!   input) and oversized frames are refused before allocation.
@@ -44,6 +49,7 @@ pub mod api;
 pub mod batch;
 pub mod catalog;
 pub mod client;
+pub mod codec;
 pub mod failover;
 #[cfg(feature = "testing")]
 pub mod fault;
@@ -57,13 +63,18 @@ pub use admission::{AdmissionController, AdmitReject};
 pub use api::{AnyClient, ClientBuilder, StoreApi, Transport};
 pub use catalog::{CatalogError, IndexCatalog, IndexMap, IndexSnapshot, IndexSpec, SearchOutcome};
 pub use client::{ClientConfig, ClientError, DeltaBatch, EmbeddingRead, FeatureClient, Neighbors};
+pub use codec::{
+    write_frame_vectored, FrameEvent, FramePool, FrameReader, OwnedFrameEvent, Reader,
+};
 pub use failover::{BreakerConfig, BreakerState, CircuitBreaker, FailoverClient, FailoverStats};
 #[cfg(feature = "testing")]
 pub use fault::{Faults, FaultyProxy};
-pub use metrics::{Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics};
+pub use metrics::{
+    Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics, WireSnapshot,
+};
 pub use protocol::{
-    read_frame, read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response,
-    SearchOptions, WireDelta, WireError, WireHit, WireVector, MAX_FRAME_LEN,
+    read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response, SearchOptions,
+    WireDelta, WireError, WireHit, WireVector, MAX_FRAME_LEN,
 };
 pub use repl::{ReplLogState, ReplProvider};
 pub use retry::{classify, ErrorClass, RetryPolicy, RetryingClient};

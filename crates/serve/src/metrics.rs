@@ -3,11 +3,13 @@
 //! and batching counters. Snapshots render to JSON for dashboards and the
 //! E14 bench artifact.
 
+use crate::codec::FramePool;
 use fstore_common::stats::P2Quantile;
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The wire endpoints, used as metric labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +166,22 @@ pub struct ServingMetrics {
     /// Durability: the replication epoch the last recovery restored —
     /// the last *published* epoch before the crash.
     recovered_epoch: AtomicU64,
+    /// Wire: payload bytes + frame headers received / sent on serving
+    /// connections.
+    wire_bytes_rx: AtomicU64,
+    wire_bytes_tx: AtomicU64,
+    /// Wire: frames received / sent on serving connections.
+    wire_frames_rx: AtomicU64,
+    wire_frames_tx: AtomicU64,
+    /// Wire: read-buffer (re)allocations on the receive path. Connection
+    /// readers grow their buffer to the connection's working frame size
+    /// and then reuse it, so at steady state this counter stops moving —
+    /// a nonzero *rate* means payloads are still being allocated
+    /// per-request.
+    wire_payload_allocs: AtomicU64,
+    /// Wire: the shared free-list of encode buffers every connection
+    /// writer draws from (hit/miss counters live inside).
+    frame_pool: Arc<FramePool>,
 }
 
 impl Default for ServingMetrics {
@@ -189,6 +207,12 @@ impl Default for ServingMetrics {
             checkpoint_count: AtomicU64::new(0),
             last_recovery_ms: AtomicU64::new(0),
             recovered_epoch: AtomicU64::new(0),
+            wire_bytes_rx: AtomicU64::new(0),
+            wire_bytes_tx: AtomicU64::new(0),
+            wire_frames_rx: AtomicU64::new(0),
+            wire_frames_tx: AtomicU64::new(0),
+            wire_payload_allocs: AtomicU64::new(0),
+            frame_pool: Arc::new(FramePool::default()),
         }
     }
 }
@@ -289,6 +313,41 @@ impl ServingMetrics {
         self.last_recovery_ms.store(ms, Ordering::Relaxed);
         self.recovered_epoch
             .store(recovered_epoch, Ordering::Relaxed);
+    }
+
+    /// Record receive-side wire traffic: `bytes` on the socket (headers
+    /// included), `frames` complete frames, and `allocs` read-buffer
+    /// (re)allocations taken to hold them.
+    pub fn record_wire_rx(&self, bytes: u64, frames: u64, allocs: u64) {
+        self.wire_bytes_rx.fetch_add(bytes, Ordering::Relaxed);
+        self.wire_frames_rx.fetch_add(frames, Ordering::Relaxed);
+        if allocs > 0 {
+            self.wire_payload_allocs
+                .fetch_add(allocs, Ordering::Relaxed);
+        }
+    }
+
+    /// Record send-side wire traffic: `bytes` on the socket (headers
+    /// included) carrying `frames` frames.
+    pub fn record_wire_tx(&self, bytes: u64, frames: u64) {
+        self.wire_bytes_tx.fetch_add(bytes, Ordering::Relaxed);
+        self.wire_frames_tx.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// The shared encode-buffer pool connection writers draw from.
+    pub fn frame_pool(&self) -> Arc<FramePool> {
+        Arc::clone(&self.frame_pool)
+    }
+
+    /// Cumulative read-buffer (re)allocations on the receive path; a flat
+    /// value across a steady-state window proves the per-request payload
+    /// allocation count is zero.
+    pub fn wire_payload_allocs(&self) -> u64 {
+        self.wire_payload_allocs.load(Ordering::Relaxed)
+    }
+
+    pub fn wire_frames_rx(&self) -> u64 {
+        self.wire_frames_rx.load(Ordering::Relaxed)
     }
 
     pub fn wal_appends(&self) -> u64 {
@@ -395,6 +454,25 @@ impl ServingMetrics {
             checkpoint_count: self.checkpoint_count.load(Ordering::Relaxed),
             last_recovery_ms: self.last_recovery_ms.load(Ordering::Relaxed),
             recovered_epoch: self.recovered_epoch.load(Ordering::Relaxed),
+            wire: {
+                let pool_hits = self.frame_pool.hits();
+                let pool_misses = self.frame_pool.misses();
+                let draws = pool_hits + pool_misses;
+                WireSnapshot {
+                    bytes_rx: self.wire_bytes_rx.load(Ordering::Relaxed),
+                    bytes_tx: self.wire_bytes_tx.load(Ordering::Relaxed),
+                    frames_rx: self.wire_frames_rx.load(Ordering::Relaxed),
+                    frames_tx: self.wire_frames_tx.load(Ordering::Relaxed),
+                    payload_allocs: self.wire_payload_allocs.load(Ordering::Relaxed),
+                    pool_hits,
+                    pool_misses,
+                    pool_hit_rate: if draws > 0 {
+                        Some(pool_hits as f64 / draws as f64)
+                    } else {
+                        None
+                    },
+                }
+            },
         }
     }
 
@@ -441,6 +519,24 @@ pub struct MetricsSnapshot {
     pub checkpoint_count: u64,
     pub last_recovery_ms: u64,
     pub recovered_epoch: u64,
+    pub wire: WireSnapshot,
+}
+
+/// The wire hot path at snapshot time: socket traffic, frame counts, the
+/// encode-buffer pool's hit rate, and the receive path's cumulative
+/// payload-allocation count (flat across a steady-state window ⇒ zero
+/// allocations per request).
+#[derive(Debug, Clone, Serialize)]
+pub struct WireSnapshot {
+    pub bytes_rx: u64,
+    pub bytes_tx: u64,
+    pub frames_rx: u64,
+    pub frames_tx: u64,
+    pub payload_allocs: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    /// `None` until the pool has been drawn from at least once.
+    pub pool_hit_rate: Option<f64>,
 }
 
 #[cfg(test)]
@@ -541,6 +637,34 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
         assert_eq!(v["wal_appends"].as_u64(), Some(2));
         assert_eq!(v["recovered_epoch"].as_u64(), Some(17));
+    }
+
+    #[test]
+    fn wire_counters_flow_into_the_snapshot() {
+        let m = ServingMetrics::new();
+        m.record_wire_rx(104, 2, 1);
+        m.record_wire_tx(52, 1);
+        // Draw from the pool twice: a miss (cold), then a hit (recycled).
+        let pool = m.frame_pool();
+        let buf = pool.get();
+        pool.put(buf);
+        let buf = pool.get();
+        pool.put(buf);
+        let snap = m.snapshot();
+        assert_eq!(snap.wire.bytes_rx, 104);
+        assert_eq!(snap.wire.bytes_tx, 52);
+        assert_eq!(snap.wire.frames_rx, 2);
+        assert_eq!(snap.wire.frames_tx, 1);
+        assert_eq!(snap.wire.payload_allocs, 1);
+        assert_eq!(snap.wire.pool_misses, 1);
+        assert_eq!(snap.wire.pool_hits, 1);
+        assert_eq!(snap.wire.pool_hit_rate, Some(0.5));
+        assert_eq!(m.wire_payload_allocs(), 1);
+        assert_eq!(m.wire_frames_rx(), 2);
+        // And the section renders in the JSON dump.
+        let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
+        assert_eq!(v["wire"]["frames_rx"].as_u64(), Some(2));
+        assert_eq!(v["wire"]["payload_allocs"].as_u64(), Some(1));
     }
 
     #[test]

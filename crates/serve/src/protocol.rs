@@ -9,44 +9,23 @@
 //!
 //! Decoding is total: every error is a typed [`WireError`], never a panic,
 //! and a payload must be consumed exactly (trailing bytes are an error) so
-//! a round-trip is byte-identical.
+//! a round-trip is byte-identical. The byte-level primitives live in
+//! [`crate::codec`]; this module defines the request/response grammar on
+//! top of them. Hot paths encode with [`Request::encode_into`] /
+//! [`Response::encode_into`] into pooled buffers and write frames with
+//! [`write_frame`]'s vectored path, so a serialized frame is never
+//! memcpy'd again before the socket.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::codec::{put_str, put_str_seq, Reader};
+use bytes::{BufMut, Bytes, BytesMut};
 use fstore_common::{ComponentKind, DeltaRecord, Duration, Timestamp, Value};
 use fstore_core::FeatureVector;
-use std::io::{Read, Write};
+use std::io::Read;
 
-/// Hard ceiling on a frame payload (16 MiB).
-pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
-
-/// Decode-side failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WireError {
-    /// Payload ended before the structure was complete.
-    Truncated,
-    /// Structure complete but bytes were left over.
-    TrailingBytes(usize),
-    /// Unknown discriminant for the named type.
-    BadTag { ty: &'static str, tag: u8 },
-    /// A declared length exceeds the frame ceiling.
-    Oversized(usize),
-    /// String field was not valid UTF-8.
-    BadUtf8,
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Truncated => write!(f, "frame truncated mid-structure"),
-            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after structure"),
-            WireError::BadTag { ty, tag } => write!(f, "unknown {ty} tag {tag}"),
-            WireError::Oversized(n) => write!(f, "declared length {n} exceeds frame ceiling"),
-            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
+pub use crate::codec::{
+    write_frame_vectored, FrameEvent, FramePool, FrameReader, OwnedFrameEvent, WireError,
+    MAX_FRAME_LEN,
+};
 
 /// Why a request was refused, carried on the wire inside
 /// [`Response::Error`].
@@ -130,11 +109,11 @@ impl SearchOptions {
         buf.put_u8(u8::from(self.exhaustive));
     }
 
-    fn decode(r: &mut &[u8]) -> Result<Self, WireError> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SearchOptions {
-            ef: take_u32(r)?,
-            nprobe: take_u32(r)?,
-            exhaustive: take_u8(r)? != 0,
+            ef: r.take_u32()?,
+            nprobe: r.take_u32()?,
+            exhaustive: r.take_u8()? != 0,
         })
     }
 }
@@ -228,8 +207,18 @@ impl Request {
         }
     }
 
+    /// Encode into a fresh buffer. Hot paths prefer
+    /// [`encode_into`](Request::encode_into) with a pooled buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Append this request's payload to `buf` (typically a pooled,
+    /// cleared [`BytesMut`]), so the bytes can be written out vectored
+    /// and the buffer reused without ever freezing it.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Request::Health => buf.put_u8(0),
             Request::GetFeatures {
@@ -238,9 +227,9 @@ impl Request {
                 features,
             } => {
                 buf.put_u8(1);
-                put_str(&mut buf, group);
-                put_str(&mut buf, entity);
-                put_str_seq(&mut buf, features);
+                put_str(buf, group);
+                put_str(buf, entity);
+                put_str_seq(buf, features);
             }
             Request::GetFeaturesBatch {
                 group,
@@ -248,14 +237,14 @@ impl Request {
                 features,
             } => {
                 buf.put_u8(2);
-                put_str(&mut buf, group);
-                put_str_seq(&mut buf, entities);
-                put_str_seq(&mut buf, features);
+                put_str(buf, group);
+                put_str_seq(buf, entities);
+                put_str_seq(buf, features);
             }
             Request::GetEmbedding { table, key } => {
                 buf.put_u8(3);
-                put_str(&mut buf, table);
-                put_str(&mut buf, key);
+                put_str(buf, table);
+                put_str(buf, key);
             }
             Request::SearchNearest {
                 table,
@@ -264,13 +253,13 @@ impl Request {
                 options,
             } => {
                 buf.put_u8(4);
-                put_str(&mut buf, table);
+                put_str(buf, table);
                 buf.put_u32(query.len() as u32);
                 for &x in query {
                     buf.put_f32(x);
                 }
                 buf.put_u32(*k);
-                options.encode(&mut buf);
+                options.encode(buf);
             }
             Request::SearchNearestByKey {
                 table,
@@ -279,10 +268,10 @@ impl Request {
                 options,
             } => {
                 buf.put_u8(5);
-                put_str(&mut buf, table);
-                put_str(&mut buf, key);
+                put_str(buf, table);
+                put_str(buf, key);
                 buf.put_u32(*k);
-                options.encode(&mut buf);
+                options.encode(buf);
             }
             Request::ReplSubscribe => buf.put_u8(6),
             Request::ReplSnapshot => buf.put_u8(7),
@@ -293,58 +282,57 @@ impl Request {
             Request::WithDeadline { budget_ms, inner } => {
                 buf.put_u8(9);
                 buf.put_u32(*budget_ms);
-                buf.put_slice(&inner.encode());
+                inner.encode_into(buf);
             }
         }
-        buf.freeze()
     }
 
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
-        let mut r = payload;
+        let mut r = Reader::new(payload);
         let request = Self::decode_tagged(&mut r, true)?;
-        finish(r)?;
+        r.finish()?;
         Ok(request)
     }
 
     /// Decode one tagged request. `allow_deadline` is false inside a
     /// [`Request::WithDeadline`] body: wrappers never nest, so a nested
     /// tag is a [`WireError::BadTag`], not a stack hazard.
-    fn decode_tagged(r: &mut &[u8], allow_deadline: bool) -> Result<Self, WireError> {
-        let request = match take_u8(r)? {
+    fn decode_tagged(r: &mut Reader<'_>, allow_deadline: bool) -> Result<Self, WireError> {
+        let request = match r.take_u8()? {
             0 => Request::Health,
             1 => Request::GetFeatures {
-                group: take_str(r)?,
-                entity: take_str(r)?,
-                features: take_str_seq(r)?,
+                group: r.take_str()?,
+                entity: r.take_str()?,
+                features: r.take_str_seq()?,
             },
             2 => Request::GetFeaturesBatch {
-                group: take_str(r)?,
-                entities: take_str_seq(r)?,
-                features: take_str_seq(r)?,
+                group: r.take_str()?,
+                entities: r.take_str_seq()?,
+                features: r.take_str_seq()?,
             },
             3 => Request::GetEmbedding {
-                table: take_str(r)?,
-                key: take_str(r)?,
+                table: r.take_str()?,
+                key: r.take_str()?,
             },
             4 => Request::SearchNearest {
-                table: take_str(r)?,
-                query: take_f32_seq(r)?,
-                k: take_u32(r)?,
+                table: r.take_str()?,
+                query: r.take_f32_seq()?,
+                k: r.take_u32()?,
                 options: SearchOptions::decode(r)?,
             },
             5 => Request::SearchNearestByKey {
-                table: take_str(r)?,
-                key: take_str(r)?,
-                k: take_u32(r)?,
+                table: r.take_str()?,
+                key: r.take_str()?,
+                k: r.take_u32()?,
                 options: SearchOptions::decode(r)?,
             },
             6 => Request::ReplSubscribe,
             7 => Request::ReplSnapshot,
             8 => Request::ReplDeltas {
-                from_epoch: take_u64(r)?,
+                from_epoch: r.take_u64()?,
             },
             9 if allow_deadline => Request::WithDeadline {
-                budget_ms: take_u32(r)?,
+                budget_ms: r.take_u32()?,
                 inner: Box::new(Self::decode_tagged(r, false)?),
             },
             tag => return Err(WireError::BadTag { ty: "Request", tag }),
@@ -432,9 +420,9 @@ impl WireDelta {
         put_str(buf, &self.body);
     }
 
-    fn decode(r: &mut &[u8]) -> Result<Self, WireError> {
-        let seq = take_u64(r)?;
-        let tag = take_u8(r)?;
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let seq = r.take_u64()?;
+        let tag = r.take_u8()?;
         let component = ComponentKind::from_u8(tag).ok_or(WireError::BadTag {
             ty: "ComponentKind",
             tag,
@@ -442,8 +430,8 @@ impl WireDelta {
         Ok(WireDelta {
             seq,
             component,
-            component_epoch: take_u64(r)?,
-            body: take_str(r)?,
+            component_epoch: r.take_u64()?,
+            body: r.take_str()?,
         })
     }
 }
@@ -492,10 +480,13 @@ pub enum Response {
         retention: u32,
     },
     /// Replication: a full state snapshot (opaque, `fstore-repl`-encoded)
-    /// captured at replication epoch `repl_epoch`.
+    /// captured at replication epoch `repl_epoch`. The payload is [`Bytes`]
+    /// so a snapshot decoded from an owned frame
+    /// ([`Response::decode_frame`]) aliases that frame instead of copying
+    /// multiple megabytes.
     ReplSnapshot {
         repl_epoch: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
     },
     /// Replication: publications after the requested epoch. `lagged` means
     /// the follower fell past the retention window and `deltas` is empty —
@@ -515,8 +506,17 @@ impl Response {
         }
     }
 
+    /// Encode into a fresh buffer. Hot paths prefer
+    /// [`encode_into`](Response::encode_into) with a pooled buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Append this response's payload to `buf` (typically a pooled,
+    /// cleared [`BytesMut`]).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Response::Health {
                 queue_depth,
@@ -528,13 +528,13 @@ impl Response {
             }
             Response::Features(v) => {
                 buf.put_u8(1);
-                put_vector(&mut buf, v);
+                put_vector(buf, v);
             }
             Response::FeaturesBatch(vs) => {
                 buf.put_u8(2);
                 buf.put_u32(vs.len() as u32);
                 for v in vs {
-                    put_vector(&mut buf, v);
+                    put_vector(buf, v);
                 }
             }
             Response::Embedding {
@@ -555,7 +555,7 @@ impl Response {
             Response::Error { code, message } => {
                 buf.put_u8(4);
                 buf.put_u8(*code as u8);
-                put_str(&mut buf, message);
+                put_str(buf, message);
             }
             Response::Neighbors {
                 table_version,
@@ -567,7 +567,7 @@ impl Response {
                 buf.put_u64(*index_generation);
                 buf.put_u32(hits.len() as u32);
                 for hit in hits {
-                    put_str(&mut buf, &hit.key);
+                    put_str(buf, &hit.key);
                     buf.put_f32(hit.distance);
                 }
             }
@@ -600,23 +600,33 @@ impl Response {
                 buf.put_u8(u8::from(*lagged));
                 buf.put_u32(deltas.len() as u32);
                 for d in deltas {
-                    d.encode(&mut buf);
+                    d.encode(buf);
                 }
             }
         }
-        buf.freeze()
     }
 
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
-        let mut r = payload;
-        let response = match take_u8(&mut r)? {
+        Self::decode_reader(Reader::new(payload))
+    }
+
+    /// Decode from a shared frame: blob fields (the [`ReplSnapshot`]
+    /// payload) alias the frame's storage instead of copying.
+    ///
+    /// [`ReplSnapshot`]: Response::ReplSnapshot
+    pub fn decode_frame(frame: &Bytes) -> Result<Self, WireError> {
+        Self::decode_reader(Reader::shared(frame))
+    }
+
+    fn decode_reader(mut r: Reader<'_>) -> Result<Self, WireError> {
+        let response = match r.take_u8()? {
             0 => Response::Health {
-                queue_depth: take_u32(&mut r)?,
-                draining: take_u8(&mut r)? != 0,
+                queue_depth: r.take_u32()?,
+                draining: r.take_u8()? != 0,
             },
             1 => Response::Features(take_vector(&mut r)?),
             2 => {
-                let n = take_len(&mut r)?;
+                let n = r.take_len()?;
                 let mut vs = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     vs.push(take_vector(&mut r)?);
@@ -624,10 +634,10 @@ impl Response {
                 Response::FeaturesBatch(vs)
             }
             3 => {
-                let dim = take_u32(&mut r)?;
-                let version = take_u32(&mut r)?;
-                let epoch = take_u64(&mut r)?;
-                let vector = take_f32_seq(&mut r)?;
+                let dim = r.take_u32()?;
+                let version = r.take_u32()?;
+                let epoch = r.take_u64()?;
+                let vector = r.take_f32_seq()?;
                 Response::Embedding {
                     dim,
                     version,
@@ -636,21 +646,21 @@ impl Response {
                 }
             }
             4 => {
-                let code = ErrorCode::from_u8(take_u8(&mut r)?)?;
+                let code = ErrorCode::from_u8(r.take_u8()?)?;
                 Response::Error {
                     code,
-                    message: take_str(&mut r)?,
+                    message: r.take_str()?,
                 }
             }
             5 => {
-                let table_version = take_u32(&mut r)?;
-                let index_generation = take_u64(&mut r)?;
-                let n = take_len(&mut r)?;
+                let table_version = r.take_u32()?;
+                let index_generation = r.take_u64()?;
+                let n = r.take_len()?;
                 let mut hits = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     hits.push(WireHit {
-                        key: take_str(&mut r)?,
-                        distance: take_f32(&mut r)?,
+                        key: r.take_str()?,
+                        distance: r.take_f32()?,
                     });
                 }
                 Response::Neighbors {
@@ -660,18 +670,18 @@ impl Response {
                 }
             }
             6 => Response::ReplState {
-                leader_epoch: take_u64(&mut r)?,
-                oldest_retained: take_u64(&mut r)?,
-                retention: take_u32(&mut r)?,
+                leader_epoch: r.take_u64()?,
+                oldest_retained: r.take_u64()?,
+                retention: r.take_u32()?,
             },
             7 => Response::ReplSnapshot {
-                repl_epoch: take_u64(&mut r)?,
-                payload: take_bytes(&mut r)?,
+                repl_epoch: r.take_u64()?,
+                payload: r.take_blob()?,
             },
             8 => {
-                let leader_epoch = take_u64(&mut r)?;
-                let lagged = take_u8(&mut r)? != 0;
-                let n = take_len(&mut r)?;
+                let leader_epoch = r.take_u64()?;
+                let lagged = r.take_u8()? != 0;
+                let n = r.take_len()?;
                 let mut deltas = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     deltas.push(WireDelta::decode(&mut r)?);
@@ -689,7 +699,7 @@ impl Response {
                 })
             }
         };
-        finish(r)?;
+        r.finish()?;
         Ok(response)
     }
 }
@@ -697,14 +707,9 @@ impl Response {
 // ---------------------------------------------------------------- framing
 
 /// Write `payload` as one frame: `u32` big-endian length, then bytes.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
-    assert!(
-        payload.len() <= MAX_FRAME_LEN,
-        "frame exceeds MAX_FRAME_LEN"
-    );
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+/// One vectored syscall in the common case.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    write_frame_vectored(w, payload)
 }
 
 /// Outcome of a [`read_frame_bounded`] call.
@@ -732,6 +737,10 @@ pub enum FrameOutcome {
 /// hold only its own connection thread, never wedge the read loop. The
 /// timeout is enforced as a hard deadline via `set_read_timeout` on
 /// `socket` (which must be the same fd `reader` wraps).
+///
+/// This is the one-shot form; connection loops use [`FrameReader`], which
+/// keeps the same two-phase contract while reusing one buffer across
+/// frames and carrying pipelined partial frames between reads.
 pub fn read_frame_bounded<R: Read>(
     socket: &std::net::TcpStream,
     reader: &mut R,
@@ -743,7 +752,7 @@ pub fn read_frame_bounded<R: Read>(
     // Idle phase: block until a frame begins (or clean EOF).
     socket.set_read_timeout(None)?;
     let mut len_bytes = [0u8; 4];
-    match read_some(reader, &mut len_bytes[..1]) {
+    match reader.read_exact(&mut len_bytes[..1]) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(FrameOutcome::Eof),
         Err(e) => return Err(e),
@@ -763,11 +772,6 @@ pub fn read_frame_bounded<R: Read>(
         return Ok(FrameOutcome::TimedOut);
     }
     Ok(FrameOutcome::Frame(payload))
-}
-
-/// Fill `buf` completely or fail; a short read mid-structure is an error.
-fn read_some<R: Read>(reader: &mut R, buf: &mut [u8]) -> std::io::Result<()> {
-    reader.read_exact(buf)
 }
 
 /// Fill `buf`, giving the socket at most the time left until `deadline`.
@@ -808,40 +812,7 @@ fn read_until_deadline<R: Read>(
     Ok(true)
 }
 
-/// Read one frame. `Ok(None)` on clean EOF at a frame boundary; oversized
-/// declared lengths error out before any allocation.
-pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes(len_bytes) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            WireError::Oversized(len),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
-}
-
-// ------------------------------------------------------------- primitives
-
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn put_str_seq(buf: &mut BytesMut, items: &[String]) {
-    buf.put_u32(items.len() as u32);
-    for s in items {
-        put_str(buf, s);
-    }
-}
+// ------------------------------------------------------------- composites
 
 fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
@@ -890,125 +861,36 @@ fn put_vector(buf: &mut BytesMut, v: &WireVector) {
     put_str_seq(buf, &v.stale);
 }
 
-fn take_u8(r: &mut &[u8]) -> Result<u8, WireError> {
-    if r.remaining() < 1 {
-        return Err(WireError::Truncated);
-    }
-    Ok(r.get_u8())
-}
-
-fn take_u32(r: &mut &[u8]) -> Result<u32, WireError> {
-    if r.remaining() < 4 {
-        return Err(WireError::Truncated);
-    }
-    Ok(r.get_u32())
-}
-
-fn take_i64(r: &mut &[u8]) -> Result<i64, WireError> {
-    if r.remaining() < 8 {
-        return Err(WireError::Truncated);
-    }
-    Ok(r.get_i64())
-}
-
-fn take_f64(r: &mut &[u8]) -> Result<f64, WireError> {
-    if r.remaining() < 8 {
-        return Err(WireError::Truncated);
-    }
-    Ok(r.get_f64())
-}
-
-fn take_f32(r: &mut &[u8]) -> Result<f32, WireError> {
-    if r.remaining() < 4 {
-        return Err(WireError::Truncated);
-    }
-    Ok(r.get_f32())
-}
-
-fn take_u64(r: &mut &[u8]) -> Result<u64, WireError> {
-    if r.remaining() < 8 {
-        return Err(WireError::Truncated);
-    }
-    Ok(r.get_u64())
-}
-
-fn take_f32_seq(r: &mut &[u8]) -> Result<Vec<f32>, WireError> {
-    let n = take_len(r)?;
-    let mut items = Vec::with_capacity(n.min(65_536));
-    for _ in 0..n {
-        items.push(take_f32(r)?);
-    }
-    Ok(items)
-}
-
-/// A `u32` length that must still be plausible within one frame.
-fn take_len(r: &mut &[u8]) -> Result<usize, WireError> {
-    let n = take_u32(r)? as usize;
-    if n > MAX_FRAME_LEN {
-        return Err(WireError::Oversized(n));
-    }
-    Ok(n)
-}
-
-fn take_str(r: &mut &[u8]) -> Result<String, WireError> {
-    let len = take_len(r)?;
-    if r.remaining() < len {
-        return Err(WireError::Truncated);
-    }
-    let bytes = r[..len].to_vec();
-    r.advance(len);
-    String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
-}
-
-fn take_bytes(r: &mut &[u8]) -> Result<Vec<u8>, WireError> {
-    let len = take_len(r)?;
-    if r.remaining() < len {
-        return Err(WireError::Truncated);
-    }
-    let bytes = r[..len].to_vec();
-    r.advance(len);
-    Ok(bytes)
-}
-
-fn take_str_seq(r: &mut &[u8]) -> Result<Vec<String>, WireError> {
-    let n = take_len(r)?;
-    let mut items = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        items.push(take_str(r)?);
-    }
-    Ok(items)
-}
-
-fn take_value(r: &mut &[u8]) -> Result<Value, WireError> {
-    Ok(match take_u8(r)? {
+fn take_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
+    Ok(match r.take_u8()? {
         0 => Value::Null,
-        1 => Value::Int(take_i64(r)?),
-        2 => Value::Float(take_f64(r)?),
-        3 => Value::Bool(take_u8(r)? != 0),
-        4 => Value::Str(take_str(r)?),
-        5 => Value::Timestamp(Timestamp::millis(take_i64(r)?)),
+        1 => Value::Int(r.take_i64()?),
+        2 => Value::Float(r.take_f64()?),
+        3 => Value::Bool(r.take_u8()? != 0),
+        4 => Value::Str(r.take_str()?),
+        5 => Value::Timestamp(Timestamp::millis(r.take_i64()?)),
         tag => return Err(WireError::BadTag { ty: "Value", tag }),
     })
 }
 
-fn take_vector(r: &mut &[u8]) -> Result<WireVector, WireError> {
-    let entity = take_str(r)?;
-    let epoch = take_u64(r)?;
-    let features = take_str_seq(r)?;
-    let n_values = take_len(r)?;
+fn take_vector(r: &mut Reader<'_>) -> Result<WireVector, WireError> {
+    let entity = r.take_str()?;
+    let epoch = r.take_u64()?;
+    let features = r.take_str_seq()?;
+    let n_values = r.take_len()?;
     let mut values = Vec::with_capacity(n_values.min(1024));
     for _ in 0..n_values {
         values.push(take_value(r)?);
     }
-    let n_ages = take_len(r)?;
+    let n_ages = r.take_len()?;
     let mut ages_ms = Vec::with_capacity(n_ages.min(1024));
     for _ in 0..n_ages {
-        ages_ms.push(match take_u8(r)? {
+        ages_ms.push(match r.take_u8()? {
             0 => None,
-            _ => Some(take_i64(r)?),
+            _ => Some(r.take_i64()?),
         });
     }
-    let stale = take_str_seq(r)?;
+    let stale = r.take_str_seq()?;
     Ok(WireVector {
         entity,
         features,
@@ -1019,35 +901,19 @@ fn take_vector(r: &mut &[u8]) -> Result<WireVector, WireError> {
     })
 }
 
-fn finish(r: &[u8]) -> Result<(), WireError> {
-    if r.is_empty() {
-        Ok(())
-    } else {
-        Err(WireError::TrailingBytes(r.len()))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn frame_round_trip_over_a_buffer() {
+    fn frame_layout_is_length_prefixed_big_endian() {
         let mut wire = Vec::new();
         write_frame(&mut wire, b"hello").unwrap();
         write_frame(&mut wire, b"").unwrap();
-        let mut r = &wire[..];
-        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
-        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![]));
-        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
-    }
-
-    #[test]
-    fn oversized_frame_is_rejected_before_allocation() {
-        let mut wire = Vec::new();
-        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
-        let err = read_frame(&mut &wire[..]).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(&wire[..4], &5u32.to_be_bytes());
+        assert_eq!(&wire[4..9], b"hello");
+        assert_eq!(&wire[9..13], &0u32.to_be_bytes());
+        assert_eq!(wire.len(), 13);
     }
 
     #[test]
@@ -1058,6 +924,19 @@ mod tests {
             features: vec!["a".into(), "b".into()],
         };
         assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let req = Request::GetEmbedding {
+            table: "emb".into(),
+            key: "k".into(),
+        };
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAA); // pre-existing byte: encode_into appends
+        req.encode_into(&mut buf);
+        assert_eq!(buf.as_slice()[0], 0xAA);
+        assert_eq!(&buf.as_slice()[1..], &req.encode()[..]);
     }
 
     #[test]
@@ -1134,7 +1013,7 @@ mod tests {
         assert_eq!(Response::decode(&state.encode()).unwrap(), state);
         let snap = Response::ReplSnapshot {
             repl_epoch: 5,
-            payload: vec![0, 1, 2, 255],
+            payload: vec![0, 1, 2, 255].into(),
         };
         assert_eq!(Response::decode(&snap.encode()).unwrap(), snap);
         let deltas = Response::ReplDeltas {
@@ -1148,6 +1027,24 @@ mod tests {
             }],
         };
         assert_eq!(Response::decode(&deltas.encode()).unwrap(), deltas);
+    }
+
+    #[test]
+    fn snapshot_payload_decoded_from_a_shared_frame_is_zero_copy() {
+        let snap = Response::ReplSnapshot {
+            repl_epoch: 5,
+            payload: vec![7u8; 1024].into(),
+        };
+        let frame = snap.encode();
+        let decoded = Response::decode_frame(&frame).unwrap();
+        assert_eq!(decoded, snap);
+        let Response::ReplSnapshot { payload, .. } = decoded else {
+            unreachable!()
+        };
+        // The payload view points into the frame's storage: its slice
+        // sits inside the frame's slice address range.
+        let frame_range = frame.as_slice().as_ptr_range();
+        assert!(frame_range.contains(&payload.as_slice().as_ptr()));
     }
 
     #[test]

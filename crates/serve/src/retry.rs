@@ -208,11 +208,57 @@ impl RetryingClient {
             attempt += 1;
         }
     }
+
+    /// Pipeline a batch of requests ([`FeatureClient::call_many`]) with
+    /// the same reconnect-and-retry treatment as [`RetryingClient::call`].
+    /// The batch is the retry unit: it is retried only when *every*
+    /// request in it is idempotent (a transport failure mid-batch cannot
+    /// say which requests already executed), and one typed pushback
+    /// response fails the whole batch — responses are positional, so a
+    /// partially-shed batch has no honest success value.
+    pub fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let retryable = requests.iter().all(Request::is_idempotent);
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self
+                .ensure_conn()
+                .and_then(|conn| conn.call_many(requests))
+                .inspect_err(|e| {
+                    if classify(e) == ErrorClass::Transport {
+                        self.conn = None;
+                    }
+                });
+            let error = match result {
+                Ok(responses) => match responses.iter().find_map(pushback) {
+                    Some(error) => error,
+                    None => return Ok(responses),
+                },
+                Err(error) => error,
+            };
+            if !retryable
+                || attempt + 1 >= self.policy.max_attempts
+                || classify(&error) == ErrorClass::Fatal
+            {
+                return Err(error);
+            }
+            let unit = self.rng.next_f64();
+            std::thread::sleep(self.policy.backoff(attempt, unit));
+            self.retries += 1;
+            attempt += 1;
+        }
+    }
 }
 
 impl Transport for RetryingClient {
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         RetryingClient::call(self, request)
+    }
+
+    fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        RetryingClient::call_many(self, requests)
     }
 }
 

@@ -3,7 +3,8 @@
 //! Architecture (std threads only — no async runtime):
 //!
 //! ```text
-//!   acceptor ──spawns──▶ connection threads (frame I/O, one per socket)
+//!   acceptor ──spawns──▶ connection reader threads (one per socket):
+//!       │                  frame in ─▶ admit ─▶ push reply-slot, in order
 //!       │                        │ submit (admission: bounded, non-blocking)
 //!       │                        ▼
 //!       │               bounded crossbeam channel
@@ -11,22 +12,28 @@
 //!       │                        ▼
 //!       └──────────────▶ worker pool (batch coalescing, FeatureServer /
 //!                                     EmbeddingStore, metrics)
+//!                                │ reply (per-request slot)
+//!                                ▼
+//!                        connection writer threads (one per socket):
+//!                          pop slots in order ─▶ pooled encode ─▶ frame out
 //! ```
 //!
-//! Connection threads never execute store code; they frame bytes and wait
-//! on a per-request reply channel. Workers claim a job plus whatever else
-//! is queued and coalesce compatible lookups into one batch serve.
-//! Shutdown is graceful: admission flips to draining, open sockets are
-//! shut down, and workers finish every admitted job before exiting.
+//! Connection threads never execute store code. Each connection is a
+//! *pipeline*: the reader keeps admitting frames (up to
+//! [`ServeConfig::pipeline_depth`] in flight) while the writer streams
+//! responses back **in request order** — ordering is carried by the queue
+//! of reply slots, so the wire needs no correlation IDs (DESIGN §2.16).
+//! Workers claim a job plus whatever else is queued and coalesce
+//! compatible lookups into one batch serve. Shutdown is graceful:
+//! admission flips to draining, open sockets are shut down, and workers
+//! finish every admitted job before exiting.
 
 use crate::admission::{AdmissionController, AdmitReject};
 use crate::batch::{self, Job};
 use crate::catalog::{CatalogError, IndexCatalog, SearchOutcome};
+use crate::codec::{write_frame_vectored, FrameEvent, FrameReader};
 use crate::metrics::ServingMetrics;
-use crate::protocol::{
-    read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response, WireDelta,
-    WireVector,
-};
+use crate::protocol::{ErrorCode, Request, Response, WireDelta, WireVector};
 use crate::repl::{check_snapshot_len, ReplProvider};
 use crossbeam::channel::{bounded, Receiver};
 use fstore_common::DeltaQuery;
@@ -67,6 +74,10 @@ pub struct ServeConfig {
     /// a typed `FrameTooLarge` error before any payload is read. Clamped
     /// by the protocol-wide [`crate::protocol::MAX_FRAME_LEN`].
     pub max_request_frame: usize,
+    /// Most requests one connection may have in flight (admitted but not
+    /// yet answered). The connection reader stalls at the ceiling, which
+    /// backpressures a pipelining client through TCP itself.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +91,7 @@ impl Default for ServeConfig {
             frame_timeout: Some(std::time::Duration::from_secs(10)),
             write_timeout: Some(std::time::Duration::from_secs(10)),
             max_request_frame: crate::protocol::MAX_FRAME_LEN,
+            pipeline_depth: 128,
         }
     }
 }
@@ -146,6 +158,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Most requests one connection may have in flight at once.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.config.pipeline_depth = depth;
+        self
+    }
+
     /// Validate and produce the config. Zero workers, zero queue depth,
     /// and zero max batch are each rejected: a server built from them
     /// would deadlock (no workers), shed everything (no queue), or stall
@@ -173,6 +191,11 @@ impl ServeConfigBuilder {
                 "max_request_frame must be in 1..={}",
                 crate::protocol::MAX_FRAME_LEN
             )));
+        }
+        if self.config.pipeline_depth == 0 {
+            return Err(FsError::InvalidArgument(
+                "serve config needs a positive pipeline depth".into(),
+            ));
         }
         Ok(self.config)
     }
@@ -363,7 +386,7 @@ impl ServeEngine {
                 }) {
                     Ok((repl_epoch, payload)) => Response::ReplSnapshot {
                         repl_epoch,
-                        payload,
+                        payload: payload.into(),
                     },
                     Err(e) => Response::error(ErrorCode::Internal, e.to_string()),
                 }
@@ -585,59 +608,80 @@ pub fn start(engine: ServeEngine, config: ServeConfig) -> std::io::Result<Server
     })
 }
 
-/// Per-socket loop: read a frame (size- and time-bounded), admit it, wait
-/// for the reply, write it.
+/// A reply slot already holding its response — used for refusals decided
+/// on the reader thread (bad frames, admission rejects), which must still
+/// flow through the writer's ordered queue so responses never reorder.
+fn ready(response: Response) -> Receiver<Response> {
+    let (tx, rx) = bounded(1);
+    let _ = tx.send(response);
+    rx
+}
+
+/// Per-socket reader: frame in, admit, push the request's reply slot onto
+/// the writer's ordered queue. The queue is bounded by
+/// [`ServeConfig::pipeline_depth`], so a client pumping requests faster
+/// than workers answer them is backpressured through TCP rather than
+/// queuing without limit.
 fn connection_loop(
-    mut stream: TcpStream,
+    stream: TcpStream,
     admission: &AdmissionController,
     draining: &AtomicBool,
     config: &ServeConfig,
 ) {
-    // Two clones of the fd: one wrapped by the reader, one kept aside so
-    // the bounded read can adjust the shared SO_RCVTIMEO while the reader
-    // is mutably borrowed.
-    let (timeout_ctl, reader_stream) = match (stream.try_clone(), stream.try_clone()) {
-        (Ok(a), Ok(b)) => (a, b),
-        _ => return,
+    let Ok(write_half) = stream.try_clone() else {
+        return;
     };
-    let _ = stream.set_write_timeout(config.write_timeout);
-    let mut reader = std::io::BufReader::new(reader_stream);
+    let _ = write_half.set_write_timeout(config.write_timeout);
+    let (slot_tx, slot_rx) = bounded::<Receiver<Response>>(config.pipeline_depth.max(1));
+    let writer = {
+        let metrics = admission.shared_metrics();
+        std::thread::Builder::new()
+            .name("fstore-serve-conn-writer".to_string())
+            .spawn(move || writer_loop(&write_half, &slot_rx, &metrics))
+            .expect("spawn connection writer")
+    };
+    let metrics = admission.metrics();
+    let mut reader = FrameReader::new();
     loop {
         if draining.load(Ordering::Acquire) {
             break;
         }
-        let outcome = read_frame_bounded(
-            &timeout_ctl,
-            &mut reader,
+        // Idle bound: none (a keep-alive connection may sit quiet forever);
+        // frame bound: once a frame starts, it must finish or the peer is
+        // a slow-loris and the connection is cut.
+        let decoded = match reader.read_frame(
+            &stream,
             config.max_request_frame,
+            None,
             config.frame_timeout,
-        );
-        let payload = match outcome {
-            Ok(FrameOutcome::Frame(payload)) => payload,
-            Ok(FrameOutcome::TooLarge { declared }) => {
+        ) {
+            Ok(FrameEvent::Frame(payload)) => Request::decode(payload),
+            Ok(FrameEvent::TooLarge { declared }) => {
                 // Refuse with a typed error, then close: the payload was
-                // never read, so the stream position is unrecoverable.
-                admission.metrics().record_frame_too_large();
-                let refusal = Response::error(
+                // never read, so the stream position is unrecoverable. The
+                // refusal still rides the ordered queue, behind every
+                // response already in flight.
+                metrics.record_frame_too_large();
+                let _ = slot_tx.send(ready(Response::error(
                     ErrorCode::FrameTooLarge,
                     format!(
                         "request frame of {declared} bytes exceeds the {} byte ceiling",
                         config.max_request_frame
                     ),
-                );
-                let _ = write_frame(&mut stream, &refusal.encode());
+                )));
                 break;
             }
-            Ok(FrameOutcome::TimedOut) => {
+            Ok(FrameEvent::TimedOut) => {
                 // The peer started a frame and stalled; it is not reading
                 // responses either, so cut the connection silently.
-                admission.metrics().record_frame_timeout();
+                metrics.record_frame_timeout();
                 break;
             }
-            Ok(FrameOutcome::Eof) | Err(_) => break,
+            Ok(FrameEvent::Eof) | Err(_) => break,
         };
-        let response = match Request::decode(&payload) {
-            Err(e) => Response::error(ErrorCode::BadRequest, e.to_string()),
+        metrics.record_wire_rx(reader.take_bytes_rx(), 1, reader.take_allocs());
+        let slot = match decoded {
+            Err(e) => ready(Response::error(ErrorCode::BadRequest, e.to_string())),
             Ok(request) => {
                 let accepted_at = Instant::now();
                 // Unwrap the deadline envelope here so workers and the
@@ -657,22 +701,51 @@ fn connection_loop(
                     deadline,
                 };
                 match admission.submit(job) {
-                    Ok(()) => match reply_rx.recv() {
-                        Ok(response) => response,
-                        Err(_) => {
-                            Response::error(ErrorCode::Internal, "worker dropped the request")
-                        }
-                    },
-                    Err(AdmitReject::Overloaded) => {
-                        Response::error(ErrorCode::Overloaded, "serving queue is full")
-                    }
-                    Err(AdmitReject::Draining) => {
-                        Response::error(ErrorCode::ShuttingDown, "server is draining")
-                    }
+                    Ok(()) => reply_rx,
+                    Err(AdmitReject::Overloaded) => ready(Response::error(
+                        ErrorCode::Overloaded,
+                        "serving queue is full",
+                    )),
+                    Err(AdmitReject::Draining) => ready(Response::error(
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    )),
                 }
             }
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        if slot_tx.send(slot).is_err() {
+            // The writer died on a socket error; the peer is gone.
+            break;
+        }
+    }
+    // Closing the queue lets the writer drain whatever is still in flight
+    // and exit; join so the socket outlives every pending write.
+    drop(slot_tx);
+    let _ = writer.join();
+}
+
+/// Per-socket writer: pop reply slots in request order, wait on each one,
+/// encode into a pooled buffer, and write the frame vectored (header +
+/// payload, one syscall, no copy). Popping in push order is the entire
+/// ordering guarantee — responses leave the socket in exactly the order
+/// requests arrived, so the wire needs no correlation IDs.
+fn writer_loop(stream: &TcpStream, slots: &Receiver<Receiver<Response>>, metrics: &ServingMetrics) {
+    let pool = metrics.frame_pool();
+    let mut w = stream;
+    for slot in slots.iter() {
+        let response = match slot.recv() {
+            Ok(response) => response,
+            Err(_) => Response::error(ErrorCode::Internal, "worker dropped the request"),
+        };
+        let mut buf = pool.get();
+        response.encode_into(&mut buf);
+        let result = write_frame_vectored(&mut w, buf.as_slice());
+        metrics.record_wire_tx(4 + buf.len() as u64, 1);
+        pool.put(buf);
+        if result.is_err() {
+            // Peer stopped reading; drop the remaining slots (their
+            // workers' replies go nowhere) and let the reader find out
+            // via the closed queue.
             break;
         }
     }
@@ -863,6 +936,7 @@ mod tests {
         assert!(ServeConfig::builder().workers(0).build().is_err());
         assert!(ServeConfig::builder().queue_depth(0).build().is_err());
         assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().pipeline_depth(0).build().is_err());
         let config = ServeConfig::builder()
             .addr("127.0.0.1:0")
             .workers(2)

@@ -51,6 +51,7 @@ fn fast_client_config() -> ClientConfig {
         read_timeout: Some(Duration::from_millis(500)),
         write_timeout: Some(Duration::from_millis(500)),
         deadline_budget: None,
+        ..ClientConfig::default()
     }
 }
 

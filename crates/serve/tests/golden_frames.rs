@@ -1,0 +1,265 @@
+//! Golden-frames compatibility test: a fixture of encoded frames checked
+//! in from the pre-refactor codec. The current codec must decode every
+//! fixture frame to the expected value and re-encode it to the exact same
+//! bytes, pinning the wire format across refactors.
+//!
+//! Fixture format (`tests/golden_frames.bin`): a sequence of records,
+//! each `kind u8 (0 = request, 1 = response) | len u32 BE | payload`.
+//! The corpus below must stay in lockstep with the fixture; regenerate
+//! with `FSTORE_GOLDEN_REGEN=1 cargo test -p fstore-serve --test
+//! golden_frames` only when the wire format changes *on purpose*.
+
+use fstore_common::{ComponentKind, Timestamp, Value};
+use fstore_serve::{ErrorCode, Request, Response, SearchOptions, WireDelta, WireHit, WireVector};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_frames.bin")
+}
+
+/// Every request variant, including the deadline envelope and edge-case
+/// strings. Order matters: it is the fixture order.
+fn request_corpus() -> Vec<Request> {
+    vec![
+        Request::Health,
+        Request::GetFeatures {
+            group: "user_stats".into(),
+            entity: "user-42".into(),
+            features: vec!["clicks_7d".into(), "spend_30d".into()],
+        },
+        Request::GetFeatures {
+            group: String::new(),
+            entity: "unicodé → 🦀".into(),
+            features: vec![],
+        },
+        Request::GetFeaturesBatch {
+            group: "user_stats".into(),
+            entities: vec!["a".into(), "b".into(), "c".into()],
+            features: vec!["clicks_7d".into()],
+        },
+        Request::GetEmbedding {
+            table: "products".into(),
+            key: "sku-9".into(),
+        },
+        Request::SearchNearest {
+            table: "products".into(),
+            query: vec![0.0, -1.5, 3.25, f32::MIN_POSITIVE],
+            k: 10,
+            options: SearchOptions {
+                ef: 64,
+                nprobe: 0,
+                exhaustive: false,
+            },
+        },
+        Request::SearchNearestByKey {
+            table: "products".into(),
+            key: "sku-9".into(),
+            k: 5,
+            options: SearchOptions {
+                ef: 0,
+                nprobe: 8,
+                exhaustive: true,
+            },
+        },
+        Request::ReplSubscribe,
+        Request::ReplSnapshot,
+        Request::ReplDeltas { from_epoch: 12345 },
+        Request::WithDeadline {
+            budget_ms: 250,
+            inner: Box::new(Request::GetFeatures {
+                group: "user_stats".into(),
+                entity: "user-42".into(),
+                features: vec!["clicks_7d".into()],
+            }),
+        },
+        Request::WithDeadline {
+            budget_ms: 0,
+            inner: Box::new(Request::Health),
+        },
+    ]
+}
+
+/// Every response variant; the feature vector exercises every `Value`
+/// tag plus present/absent ages and a stale list.
+fn response_corpus() -> Vec<Response> {
+    let vector = WireVector {
+        entity: "user-42".into(),
+        features: vec![
+            "a".into(),
+            "b".into(),
+            "c".into(),
+            "d".into(),
+            "e".into(),
+            "f".into(),
+        ],
+        values: vec![
+            Value::Null,
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Str("hello".into()),
+            Value::Timestamp(Timestamp::millis(1_700_000_000_000)),
+        ],
+        ages_ms: vec![Some(0), None, Some(1234), None, Some(i64::MAX), None],
+        stale: vec!["c".into(), "f".into()],
+        epoch: 99,
+    };
+    vec![
+        Response::Health {
+            queue_depth: 17,
+            draining: false,
+        },
+        Response::Health {
+            queue_depth: 0,
+            draining: true,
+        },
+        Response::Features(vector.clone()),
+        Response::FeaturesBatch(vec![vector.clone(), vector]),
+        Response::Embedding {
+            dim: 4,
+            version: 3,
+            epoch: 77,
+            vector: vec![1.0, 0.0, -0.5, 0.25],
+        },
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        },
+        Response::Error {
+            code: ErrorCode::FrameTooLarge,
+            message: String::new(),
+        },
+        Response::Neighbors {
+            table_version: 2,
+            index_generation: 41,
+            hits: vec![
+                WireHit {
+                    key: "sku-1".into(),
+                    distance: 0.125,
+                },
+                WireHit {
+                    key: "sku-2".into(),
+                    distance: 7.5,
+                },
+            ],
+        },
+        Response::ReplState {
+            leader_epoch: 10,
+            oldest_retained: 3,
+            retention: 64,
+        },
+        Response::ReplSnapshot {
+            repl_epoch: 8,
+            payload: b"\x00\x01\xfe\xffsnapshot bytes".to_vec().into(),
+        },
+        Response::ReplDeltas {
+            leader_epoch: 11,
+            lagged: true,
+            deltas: vec![
+                WireDelta {
+                    seq: 5,
+                    component: ComponentKind::Offline,
+                    component_epoch: 2,
+                    body: "{\"rows\":[]}".into(),
+                },
+                WireDelta {
+                    seq: 6,
+                    component: ComponentKind::Embeddings,
+                    component_epoch: 3,
+                    body: String::new(),
+                },
+                WireDelta {
+                    seq: 7,
+                    component: ComponentKind::Index,
+                    component_epoch: 4,
+                    body: "build".into(),
+                },
+                WireDelta {
+                    seq: 8,
+                    component: ComponentKind::Online,
+                    component_epoch: 5,
+                    body: "row".into(),
+                },
+            ],
+        },
+    ]
+}
+
+fn encode_fixture() -> Vec<u8> {
+    let mut out = Vec::new();
+    for req in request_corpus() {
+        let payload = req.encode();
+        out.push(0u8);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&payload);
+    }
+    for resp in response_corpus() {
+        let payload = resp.encode();
+        out.push(1u8);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+#[test]
+fn golden_frames_decode_and_reencode_byte_identically() {
+    if std::env::var_os("FSTORE_GOLDEN_REGEN").is_some() {
+        std::fs::write(fixture_path(), encode_fixture()).unwrap();
+        return;
+    }
+    let fixture = std::fs::read(fixture_path())
+        .expect("tests/golden_frames.bin missing — the wire-format fixture must be checked in");
+    let requests = request_corpus();
+    let responses = response_corpus();
+    let mut cursor = &fixture[..];
+    let mut req_at = 0usize;
+    let mut resp_at = 0usize;
+    while !cursor.is_empty() {
+        let kind = cursor[0];
+        let len = u32::from_be_bytes(cursor[1..5].try_into().unwrap()) as usize;
+        let payload = &cursor[5..5 + len];
+        match kind {
+            0 => {
+                let expected = &requests[req_at];
+                let decoded = Request::decode(payload)
+                    .unwrap_or_else(|e| panic!("golden request {req_at} no longer decodes: {e}"));
+                assert_eq!(
+                    &decoded, expected,
+                    "golden request {req_at} decoded differently"
+                );
+                assert_eq!(
+                    &decoded.encode()[..],
+                    payload,
+                    "golden request {req_at} re-encodes to different bytes"
+                );
+                req_at += 1;
+            }
+            1 => {
+                let expected = &responses[resp_at];
+                let decoded = Response::decode(payload)
+                    .unwrap_or_else(|e| panic!("golden response {resp_at} no longer decodes: {e}"));
+                assert_eq!(
+                    &decoded, expected,
+                    "golden response {resp_at} decoded differently"
+                );
+                assert_eq!(
+                    &decoded.encode()[..],
+                    payload,
+                    "golden response {resp_at} re-encodes to different bytes"
+                );
+                resp_at += 1;
+            }
+            other => panic!("corrupt fixture: record kind {other}"),
+        }
+        cursor = &cursor[5 + len..];
+    }
+    assert_eq!(req_at, requests.len(), "fixture is missing request records");
+    assert_eq!(
+        resp_at,
+        responses.len(),
+        "fixture is missing response records"
+    );
+}

@@ -281,8 +281,8 @@ fn load_shedding_returns_overloaded_and_counts_sheds() {
 /// not wedge the server.
 #[test]
 fn malformed_frames_close_or_error_without_wedging_the_server() {
-    use fstore_serve::{read_frame, write_frame, Response};
-    use std::io::{Read, Write};
+    use fstore_serve::{write_frame, FrameEvent, FrameReader, Response, MAX_FRAME_LEN};
+    use std::io::Write;
     use std::net::TcpStream;
     use std::time::Duration as StdDuration;
 
@@ -296,33 +296,33 @@ fn malformed_frames_close_or_error_without_wedging_the_server() {
     // FrameTooLarge error, then the connection is closed — the client
     // must observe the error and EOF, not a hang.
     let mut s = TcpStream::connect(addr).unwrap();
-    s.set_read_timeout(timeout).unwrap();
     s.write_all(&u32::MAX.to_be_bytes()).unwrap();
-    let mut r = std::io::BufReader::new(s.try_clone().unwrap());
-    let payload = read_frame(&mut r)
-        .expect("typed refusal frame")
-        .expect("refusal, not silent EOF");
-    match Response::decode(&payload).unwrap() {
-        Response::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
-        other => panic!("expected FrameTooLarge error, got {other:?}"),
+    let mut r = FrameReader::new();
+    match r.read_frame(&s, MAX_FRAME_LEN, timeout, timeout).unwrap() {
+        FrameEvent::Frame(payload) => match Response::decode(payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+            other => panic!("expected FrameTooLarge error, got {other:?}"),
+        },
+        other => panic!("expected a typed refusal frame, got {other:?}"),
     }
-    let mut buf = [0u8; 16];
-    let n = r.read(&mut buf).expect("read after refusal");
-    assert_eq!(
-        n, 0,
-        "server must close the connection after refusing an oversized frame"
-    );
+    match r.read_frame(&s, MAX_FRAME_LEN, timeout, timeout).unwrap() {
+        FrameEvent::Eof => {}
+        other => panic!(
+            "server must close the connection after refusing an oversized frame, got {other:?}"
+        ),
+    }
 
     // Well-framed garbage payload: a typed BadRequest error frame back on
     // the same connection.
     let mut s = TcpStream::connect(addr).unwrap();
-    s.set_read_timeout(timeout).unwrap();
     write_frame(&mut s, &[0xde, 0xad, 0xbe, 0xef, 0x42]).unwrap();
-    let mut r = std::io::BufReader::new(s.try_clone().unwrap());
-    let payload = read_frame(&mut r).unwrap().expect("error frame");
-    match Response::decode(&payload).unwrap() {
-        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
-        other => panic!("expected error response, got {other:?}"),
+    let mut r = FrameReader::new();
+    match r.read_frame(&s, MAX_FRAME_LEN, timeout, timeout).unwrap() {
+        FrameEvent::Frame(payload) => match Response::decode(payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected error response, got {other:?}"),
+        },
+        other => panic!("expected an error frame, got {other:?}"),
     }
 
     // Half-written frame then disconnect: the server must shrug it off.

@@ -3,7 +3,7 @@
 //! decode (and never panic), and oversized frames are refused.
 
 use fstore_common::{ComponentKind, Timestamp, Value};
-use fstore_serve::protocol::{read_frame, write_frame, MAX_FRAME_LEN};
+use fstore_serve::protocol::{write_frame, MAX_FRAME_LEN};
 use fstore_serve::{
     ErrorCode, Request, Response, SearchOptions, WireDelta, WireError, WireHit, WireVector,
 };
@@ -221,7 +221,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (0u64..1_000_000, arb_payload()).prop_map(|(repl_epoch, payload)| {
             Response::ReplSnapshot {
                 repl_epoch,
-                payload,
+                payload: payload.into(),
             }
         }),
         (
@@ -284,8 +284,10 @@ proptest! {
     fn framing_round_trips(req in arb_request()) {
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
-        let payload = read_frame(&mut &wire[..]).unwrap().unwrap();
-        prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+        // 4-byte big-endian length prefix, then exactly the payload.
+        let declared = u32::from_be_bytes(wire[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(declared, wire.len() - 4);
+        prop_assert_eq!(Request::decode(&wire[4..]).unwrap(), req);
     }
 }
 
@@ -334,11 +336,23 @@ fn unknown_component_tag_inside_a_delta_is_rejected() {
 
 #[test]
 fn oversized_declared_frame_is_refused() {
-    let mut wire = Vec::new();
-    wire.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
-    wire.extend_from_slice(&[0u8; 16]);
-    let err = read_frame(&mut &wire[..]).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    use fstore_serve::{FrameEvent, FrameReader};
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+    let (rx, _) = listener.accept().unwrap();
+    tx.write_all(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes())
+        .unwrap();
+    tx.write_all(&[0u8; 16]).unwrap();
+    let bound = Some(Duration::from_secs(5));
+    let mut reader = FrameReader::new();
+    match reader.read_frame(&rx, MAX_FRAME_LEN, bound, bound).unwrap() {
+        FrameEvent::TooLarge { declared } => assert_eq!(declared, MAX_FRAME_LEN + 1),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
 }
 
 #[test]

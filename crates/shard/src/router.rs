@@ -379,9 +379,76 @@ impl RouterClient {
     }
 }
 
+/// One scattered group's outcome: the request slots it owned, and the
+/// in-order responses (or the first failure) from its shard's burst.
+type ScatterResult = (Vec<usize>, Result<Vec<Response>, ClientError>);
+
 impl Transport for RouterClient {
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.route(request)
+    }
+
+    /// Pipelined routing: point reads are grouped by owning shard and each
+    /// group goes down that shard's connection as one `call_many` burst
+    /// (the per-shard `FailoverClient` pipelines it on a single socket),
+    /// with the groups scattered concurrently. Anything that is not a
+    /// point read routes item by item through the ordinary path. Responses
+    /// come back in request order regardless of grouping.
+    fn call_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        self.refresh();
+        let mut slots: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        let mut by_shard: HashMap<u32, (ShardId, Vec<usize>)> = HashMap::new();
+        for (i, request) in requests.iter().enumerate() {
+            let owner = match request {
+                Request::GetFeatures { entity, .. } => Some(self.map.shard_for(entity)),
+                Request::GetEmbedding { key, .. } => Some(self.map.shard_for(key)),
+                _ => None,
+            };
+            match owner {
+                Some(shard) => by_shard
+                    .entry(shard.0)
+                    .or_insert((shard, Vec::new()))
+                    .1
+                    .push(i),
+                None => slots[i] = Some(self.route(request)?),
+            }
+        }
+        // Pair each group with its shard's client (scatter-style borrow
+        // split: each client is moved out of the borrow list exactly once).
+        let mut jobs: Vec<(Vec<usize>, Vec<Request>, &mut FailoverClient)> = Vec::new();
+        let mut clients: Vec<(&u32, &mut FailoverClient)> = self.clients.iter_mut().collect();
+        for (shard, idxs) in by_shard.into_values() {
+            let batch: Vec<Request> = idxs.iter().map(|&i| requests[i].clone()).collect();
+            let i = clients
+                .iter()
+                .position(|(id, _)| **id == shard.0)
+                .expect("bind_clients covers every mapped shard");
+            let (_, client) = clients.swap_remove(i);
+            jobs.push((idxs, batch, client));
+        }
+        let results: Vec<ScatterResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(idxs, batch, client)| scope.spawn(move || (idxs, client.call_many(&batch))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipelined scatter thread panicked"))
+                .collect()
+        });
+        for (idxs, result) in results {
+            let responses = result?;
+            if responses.len() != idxs.len() {
+                return Err(ClientError::UnexpectedResponse("pipelined batch"));
+            }
+            for (&slot, response) in idxs.iter().zip(responses) {
+                slots[slot] = Some(response);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every request was grouped or routed"))
+            .collect())
     }
 }
 

@@ -12,9 +12,11 @@
 use crate::control::ControlPlane;
 use crate::router::{RouterClient, RouterConfig};
 use fstore_serve::api::Transport;
-use fstore_serve::{read_frame, write_frame, ClientError, ErrorCode, Request, Response, WireError};
+use fstore_serve::{
+    write_frame_vectored, ClientError, ErrorCode, FrameEvent, FramePool, FrameReader, Request,
+    Response, WireError, MAX_FRAME_LEN,
+};
 use parking_lot::Mutex;
-use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -72,6 +74,9 @@ pub fn start_router(
     let acceptor = {
         let stop = Arc::clone(&stop);
         let conns = Arc::clone(&conns);
+        // One encode-buffer pool for the whole router tier; every
+        // connection's responses are serialized out of recycled buffers.
+        let pool = Arc::new(FramePool::default());
         std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
             for incoming in listener.incoming() {
@@ -86,8 +91,9 @@ pub fn start_router(
                     conns.lock().push(registered);
                 }
                 let router = RouterClient::new(Arc::clone(&control), config.clone());
+                let pool = Arc::clone(&pool);
                 workers.push(std::thread::spawn(move || {
-                    connection_loop(socket, router);
+                    connection_loop(socket, router, &pool);
                 }));
             }
             for worker in workers {
@@ -104,29 +110,63 @@ pub fn start_router(
     })
 }
 
-/// Serve one connection: frame in, route, frame out, until EOF or error.
-fn connection_loop(socket: TcpStream, mut router: RouterClient) {
-    let writer = socket;
-    let Ok(read_half) = writer.try_clone() else {
+/// Requests one router connection keeps decoded and waiting while earlier
+/// ones are still being routed — the front's pipeline depth.
+const ROUTER_PIPELINE: usize = 64;
+
+/// Serve one connection: a reader thread keeps decoding frames ahead
+/// (up to [`ROUTER_PIPELINE`] in flight) while this thread routes each
+/// request and writes its response — in arrival order, from a pooled
+/// buffer, vectored — so frame I/O overlaps the scatter-gather work.
+fn connection_loop(socket: TcpStream, mut router: RouterClient, pool: &FramePool) {
+    let Ok(read_half) = socket.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = writer;
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => return, // EOF, cut by shutdown, or dead peer
-        };
-        let response = match Request::decode(&payload) {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Result<Request, Response>>(ROUTER_PIPELINE);
+    let reader_thread = std::thread::spawn(move || {
+        let mut reader = FrameReader::new();
+        loop {
+            let decoded = match reader.read_frame(&read_half, MAX_FRAME_LEN, None, None) {
+                // Undecodable payload → typed refusal that must still go
+                // out in order.
+                Ok(FrameEvent::Frame(payload)) => Request::decode(payload).map_err(|e| {
+                    Response::error(ErrorCode::BadRequest, format!("undecodable request: {e}"))
+                }),
+                Ok(FrameEvent::TooLarge { declared }) => {
+                    // Refuse, then stop: the payload was never read, so
+                    // the stream position is unrecoverable.
+                    let _ = tx.send(Err(Response::error(
+                        ErrorCode::FrameTooLarge,
+                        format!("request frame declared {declared} bytes"),
+                    )));
+                    return;
+                }
+                _ => return, // EOF, cut by shutdown, or dead peer
+            };
+            if tx.send(decoded).is_err() {
+                return; // the writer side died on a socket error
+            }
+        }
+    });
+    let mut writer = &socket;
+    for decoded in rx {
+        let response = match decoded {
             Ok(request) => router
                 .call(&request)
                 .unwrap_or_else(|error| error_response(&error)),
-            Err(e) => Response::error(ErrorCode::BadRequest, format!("undecodable request: {e}")),
+            Err(refusal) => refusal,
         };
-        if write_frame(&mut writer, &response.encode()).is_err() {
-            return;
+        let mut buf = pool.get();
+        response.encode_into(&mut buf);
+        let ok = write_frame_vectored(&mut writer, buf.as_slice()).is_ok();
+        pool.put(buf);
+        if !ok {
+            break;
         }
     }
+    // Unblock the reader (it may be parked waiting for a frame) and join.
+    let _ = socket.shutdown(Shutdown::Both);
+    let _ = reader_thread.join();
 }
 
 /// Map a router-side client failure onto a wire error response. A typed

@@ -3,14 +3,26 @@
 //! cheaply-cloneable frozen form, and [`Buf`]/[`BufMut`] provide
 //! big-endian integer cursors (network byte order, matching the real
 //! crate's `get_u32`/`put_u32` family).
+//!
+//! [`Bytes`] carries an `(offset, len)` view over a shared `Arc<[u8]>`,
+//! so [`Bytes::slice`] and [`Bytes::split_to`] are zero-copy: a decoded
+//! field can alias the frame it arrived in without a memcpy. Equality
+//! and hashing are content-based, matching the real crate.
 
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply cloneable, immutable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// A cheaply cloneable, immutable byte buffer: a view into shared
+/// storage. Cloning and slicing bump a refcount; neither copies bytes.
+/// The storage is `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `From<Vec<u8>>` —
+/// and therefore [`BytesMut::freeze`] — moves the vector instead of
+/// copying it.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -19,25 +31,89 @@ impl Bytes {
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from(data.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// A zero-copy sub-view sharing this buffer's storage. Panics when
+    /// the range falls outside the view, like the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of bounds: {start}..{end} of {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Split off the first `at` bytes as their own view, leaving the
+    /// tail in `self`. Zero-copy; panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.offset += at;
+        self.len -= at;
+        head
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -45,19 +121,24 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            offset: 0,
+            len,
+        }
     }
 }
 
@@ -70,6 +151,22 @@ impl From<&[u8]> for Bytes {
 impl From<BytesMut> for Bytes {
     fn from(v: BytesMut) -> Self {
         v.freeze()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "buffer underflow");
+        self.offset += cnt;
+        self.len -= cnt;
     }
 }
 
@@ -98,12 +195,21 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     pub fn reserve(&mut self, additional: usize) {
         self.data.reserve(additional);
     }
 
     pub fn clear(&mut self) {
         self.data.clear();
+    }
+
+    /// Shorten the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
     }
 
     pub fn extend_from_slice(&mut self, other: &[u8]) {
@@ -114,7 +220,31 @@ impl BytesMut {
         &self.data
     }
 
-    /// Freeze into an immutable [`Bytes`].
+    /// Append `additional` zeroed bytes, returning the offset where they
+    /// start. Used by read buffers that fill spare room from a socket.
+    pub fn grow_zeroed(&mut self, additional: usize) -> usize {
+        let at = self.data.len();
+        self.data.resize(at + additional, 0);
+        at
+    }
+
+    /// Mutable access to the whole buffer (for socket reads into spare
+    /// room created by [`grow_zeroed`](BytesMut::grow_zeroed)).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Drop the first `cnt` bytes, shifting the tail down. Read buffers
+    /// call this once per *frame*, not per field, so the memmove is
+    /// amortized over everything decoded from that frame.
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "buffer underflow");
+        self.data.drain(..cnt);
+    }
+
+    /// Freeze into an immutable [`Bytes`] without copying: the vector
+    /// moves into shared storage. Pooled hot paths still skip this and
+    /// write the `BytesMut` out directly so the buffer can be reused.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -305,5 +435,57 @@ mod tests {
         let c = b.clone();
         assert_eq!(b, c);
         assert_eq!(&*c, b"hello");
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_content_equal() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let hello = b.slice(..5);
+        let world = b.slice(6..);
+        assert_eq!(&*hello, b"hello");
+        assert_eq!(&*world, b"world");
+        // Same backing storage: three views, one allocation.
+        assert_eq!(Arc::strong_count(&b.data), 3);
+        // Content equality across different offsets.
+        assert_eq!(hello, Bytes::copy_from_slice(b"hello"));
+        assert_ne!(hello, world);
+    }
+
+    #[test]
+    fn split_to_partitions_the_view() {
+        let mut b = Bytes::copy_from_slice(b"head|tail");
+        let head = b.split_to(5);
+        assert_eq!(&*head, b"head|");
+        assert_eq!(&*b, b"tail");
+    }
+
+    #[test]
+    fn bytes_is_a_buf_cursor() {
+        let mut b = Bytes::copy_from_slice(&[0, 0, 0, 9, 42]);
+        assert_eq!(b.get_u32(), 9);
+        assert_eq!(b.get_u8(), 42);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn sliced_hash_matches_content() {
+        use std::collections::HashSet;
+        let outer = Bytes::copy_from_slice(b"xxkeyxx");
+        let mut set = HashSet::new();
+        set.insert(outer.slice(2..5));
+        assert!(set.contains(&Bytes::copy_from_slice(b"key")));
+    }
+
+    #[test]
+    fn bytes_mut_advance_drops_prefix() {
+        let mut b = BytesMut::from(b"0123456789".to_vec());
+        b.advance(4);
+        assert_eq!(b.as_slice(), b"456789");
+        let at = b.grow_zeroed(2);
+        assert_eq!(at, 6);
+        b.as_mut_slice()[at] = b'!';
+        assert_eq!(b.as_slice(), b"456789!\0");
+        b.truncate(7);
+        assert_eq!(b.as_slice(), b"456789!");
     }
 }
