@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E21 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E22 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -23,6 +23,7 @@ pub mod e18_chaos;
 pub mod e19_durability;
 pub mod e20_sharding;
 pub mod e21_wire_pipelining;
+pub mod e22_tiered_embeddings;
 
 use fstore_common::Result;
 
@@ -141,6 +142,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E21 Zero-copy wire stack: pipelined connections vs request-per-RTT (§2.2.2)",
             run: e21_wire_pipelining::run,
         },
+        Experiment {
+            id: "e22",
+            title: "E22 Tiered embeddings: 4x-RAM working set, bounded memory (§4)",
+            run: e22_tiered_embeddings::run,
+        },
     ]
 }
 
@@ -166,10 +172,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 21);
+        assert_eq!(exps.len(), 22);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 }

@@ -21,6 +21,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod value;
+pub mod vector;
 
 pub use crc::{crc32, crc32_update};
 pub use error::{FsError, Result};
@@ -30,3 +31,4 @@ pub use schema::{FieldDef, Schema};
 pub use snapshot::{EpochRing, ReadEpoch, SnapshotCell, Versioned};
 pub use time::{Date, Duration, SimClock, Timestamp};
 pub use value::{EntityKey, Value, ValueType};
+pub use vector::VectorBuf;

@@ -1,0 +1,185 @@
+//! `VectorBuf`: an owned-or-shared buffer of `f32`s viewed as one dense
+//! vector.
+//!
+//! The serving hot path wants to hand an embedding row from the store (or
+//! from the tier block cache) straight to the wire encoder without copying
+//! it into a fresh `Vec<f32>` per request. A resident embedding row is an
+//! `Arc<[f32]>`; a cache block is an `Arc<[f32]>` holding many rows, of
+//! which a read wants one window. `VectorBuf` covers both — a refcount
+//! bump plus `(offset, len)` — while still accepting a plain `Vec<f32>`
+//! for decoders, tests, and literals.
+
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    /// A standalone vector (decode path, literals).
+    Owned(Vec<f32>),
+    /// A window into a shared block (resident row or cache block).
+    Shared(Arc<[f32]>),
+}
+
+/// An immutable `f32` vector that is either owned or a zero-copy window
+/// into a shared block. Dereferences to `&[f32]`; equality compares the
+/// viewed contents, not the backing representation.
+#[derive(Clone)]
+pub struct VectorBuf {
+    repr: Repr,
+    offset: usize,
+    len: usize,
+}
+
+impl VectorBuf {
+    /// Wrap a whole shared block (a resident embedding row).
+    pub fn from_block(block: Arc<[f32]>) -> VectorBuf {
+        let len = block.len();
+        VectorBuf {
+            repr: Repr::Shared(block),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// A window of `len` floats at `offset` into a shared block (one row of
+    /// a multi-row cache block). Panics if the window is out of bounds —
+    /// callers compute windows from trusted block geometry.
+    pub fn window(block: Arc<[f32]>, offset: usize, len: usize) -> VectorBuf {
+        assert!(
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= block.len()),
+            "vector window {offset}+{len} out of bounds for block of {}",
+            block.len()
+        );
+        VectorBuf {
+            repr: Repr::Shared(block),
+            offset,
+            len,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        match &self.repr {
+            Repr::Owned(v) => &v[self.offset..self.offset + self.len],
+            Repr::Shared(b) => &b[self.offset..self.offset + self.len],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when this buffer shares its backing storage (the zero-copy
+    /// path); false when it owns a private allocation. The serving metrics
+    /// use this to count responses that had to copy.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.repr, Repr::Shared(_))
+    }
+
+    /// Extract an owned `Vec<f32>`, reusing the allocation when this buffer
+    /// owns the whole thing.
+    pub fn into_vec(self) -> Vec<f32> {
+        match self.repr {
+            Repr::Owned(v) if self.offset == 0 && self.len == v.len() => v,
+            _ => self.as_slice().to_vec(),
+        }
+    }
+}
+
+impl From<Vec<f32>> for VectorBuf {
+    fn from(v: Vec<f32>) -> VectorBuf {
+        let len = v.len();
+        VectorBuf {
+            repr: Repr::Owned(v),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl std::ops::Deref for VectorBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[f32]> for VectorBuf {
+    fn as_ref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for VectorBuf {
+    fn eq(&self, other: &VectorBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f32]> for VectorBuf {
+    fn eq(&self, other: &[f32]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<f32>> for VectorBuf {
+    fn eq(&self, other: &Vec<f32>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for VectorBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trips_without_copying() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        let ptr = v.as_ptr();
+        let buf = VectorBuf::from(v);
+        assert!(!buf.is_shared());
+        assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0]);
+        let back = buf.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "whole owned buffer moves, not copies");
+    }
+
+    #[test]
+    fn windows_view_into_shared_blocks() {
+        let block: Arc<[f32]> = vec![0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0].into();
+        let row = VectorBuf::window(Arc::clone(&block), 2, 2);
+        assert!(row.is_shared());
+        assert_eq!(row.as_slice(), &[2.0, 3.0]);
+        assert_eq!(row.len(), 2);
+        let whole = VectorBuf::from_block(block);
+        assert_eq!(whole.len(), 6);
+        assert_eq!(&whole[4..], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let block: Arc<[f32]> = vec![7.0f32, 8.0].into();
+        let shared = VectorBuf::from_block(block);
+        let owned = VectorBuf::from(vec![7.0f32, 8.0]);
+        assert_eq!(shared, owned);
+        assert_eq!(shared, vec![7.0f32, 8.0]);
+        assert_ne!(owned, VectorBuf::from(vec![7.0f32]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_window_panics() {
+        let block: Arc<[f32]> = vec![0.0f32; 4].into();
+        let _ = VectorBuf::window(block, 2, 3);
+    }
+}

@@ -19,15 +19,13 @@
 //! ```
 
 use crate::codec::{IndexBuild, OnlineRow, VersionRepr};
-use fstore_common::{FsError, Result, Timestamp};
-use fstore_embed::EmbeddingProvenance;
-use fstore_serve::codec::crc_block;
+use crate::fseb::{decode_blob, encode_blob};
+use fstore_common::{FsError, Result};
 use fstore_storage::OfflineStore;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 const MANIFEST_VERSION: u32 = 1;
-const BLOB_MAGIC: &[u8; 4] = b"FSEB";
 
 /// The durable root's commit record: which checkpoint is live and the
 /// epochs its components were captured at.
@@ -53,100 +51,6 @@ pub struct CheckpointData {
     pub online: Vec<OnlineRow>,
     pub indexes: Vec<IndexBuild>,
     pub index_epoch: u64,
-}
-
-/// The checkpoint half of an embedding version: everything but the
-/// vectors, which follow the JSON header as raw little-endian `f32`s.
-#[derive(Debug, Serialize, Deserialize)]
-struct BlobHeader {
-    name: String,
-    version: u32,
-    created_at: Timestamp,
-    provenance: EmbeddingProvenance,
-    consumers: Vec<String>,
-    dim: usize,
-    keys: Vec<String>,
-}
-
-/// Serialize one embedding version as a blob: `"FSEB" | crc u32 |
-/// header_len u32 | header JSON | keys.len()*dim raw f32s`. The CRC covers
-/// everything after itself.
-fn encode_blob(v: &VersionRepr) -> Result<Vec<u8>> {
-    let header = serde_json::to_string(&BlobHeader {
-        name: v.name.clone(),
-        version: v.version,
-        created_at: v.created_at,
-        provenance: v.provenance.clone(),
-        consumers: v.consumers.clone(),
-        dim: v.dim,
-        keys: v.keys.clone(),
-    })
-    .map_err(|e| FsError::Serde(e.to_string()))?
-    .into_bytes();
-    let mut body = Vec::with_capacity(8 + header.len() + v.vectors.len() * v.dim * 4);
-    body.extend_from_slice(&(header.len() as u32).to_le_bytes());
-    body.extend_from_slice(&header);
-    for vector in &v.vectors {
-        if vector.len() != v.dim {
-            return Err(FsError::Serde(format!(
-                "embedding `{}@v{}` has a {}-dim vector in a {}-dim table",
-                v.name,
-                v.version,
-                vector.len(),
-                v.dim
-            )));
-        }
-        for x in vector {
-            body.extend_from_slice(&x.to_le_bytes());
-        }
-    }
-    Ok(crc_block::encode(BLOB_MAGIC, &body))
-}
-
-fn decode_blob(bytes: &[u8]) -> Result<VersionRepr> {
-    let body = crc_block::decode(BLOB_MAGIC, bytes)
-        .map_err(|e| FsError::Corruption(format!("embedding blob: {e}")))?;
-    if body.len() < 4 {
-        return Err(FsError::Corruption(
-            "truncated embedding blob header".into(),
-        ));
-    }
-    let header_len = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
-    if body.len() < 4 + header_len {
-        return Err(FsError::Corruption(
-            "truncated embedding blob header".into(),
-        ));
-    }
-    let header: BlobHeader = serde_json::from_slice(&body[4..4 + header_len])
-        .map_err(|e| FsError::Corruption(format!("unparseable embedding blob header: {e}")))?;
-    let vec_bytes = &body[4 + header_len..];
-    if vec_bytes.len() != header.keys.len() * header.dim * 4 {
-        return Err(FsError::Corruption(format!(
-            "embedding blob `{}@v{}` has {} vector bytes, expected {}",
-            header.name,
-            header.version,
-            vec_bytes.len(),
-            header.keys.len() * header.dim * 4
-        )));
-    }
-    let vectors = vec_bytes
-        .chunks_exact(header.dim * 4)
-        .map(|row| {
-            row.chunks_exact(4)
-                .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
-                .collect()
-        })
-        .collect();
-    Ok(VersionRepr {
-        name: header.name,
-        version: header.version,
-        created_at: header.created_at,
-        provenance: header.provenance,
-        dim: header.dim,
-        keys: header.keys,
-        vectors,
-        consumers: header.consumers,
-    })
 }
 
 fn write_file(path: &Path, bytes: &[u8]) -> Result<()> {
@@ -336,7 +240,8 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fstore_common::{Schema, Value, ValueType};
+    use fstore_common::{Schema, Timestamp, Value, ValueType};
+    use fstore_embed::EmbeddingProvenance;
     use fstore_serve::IndexSpec;
     use fstore_storage::TableConfig;
 

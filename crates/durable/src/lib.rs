@@ -17,6 +17,9 @@
 //! * [`codec`] — the delta/snapshot bodies and idempotent apply functions
 //!   shared by replication and recovery (moved here from `fstore-repl`,
 //!   which re-exports it).
+//! * [`fseb`] — the `"FSEB"` embedding-blob codec, shared by checkpoints
+//!   and the tiered pager (`fstore-tier`) so the at-rest format lives in
+//!   exactly one place.
 //! * [`cache`] — a follower's persisted last full snapshot, so restarts
 //!   bootstrap from disk and catch up by delta instead of re-pulling the
 //!   leader's whole state.
@@ -24,10 +27,12 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod codec;
+pub mod fseb;
 pub mod leader;
 pub mod wal;
 
 pub use cache::SnapshotCache;
 pub use checkpoint::{CheckpointData, CheckpointStore, Manifest};
+pub use fseb::{decode_blob, encode_blob, BlobHeader, BLOB_MAGIC};
 pub use leader::{DurableConfig, DurableLeader, RecoveryReport};
 pub use wal::{FsyncPolicy, WalRecord, WalReplay, WalWriter};

@@ -37,6 +37,7 @@ pub mod kg;
 pub mod ppmi;
 pub mod quality;
 pub mod sgns;
+pub mod spill;
 pub mod store;
 
 pub use align::{align_to_reference, AlignmentReport};
@@ -47,4 +48,5 @@ pub use kg::KgSgnsConfig;
 pub use ppmi::PpmiConfig;
 pub use quality::{eigenspace_overlap, knn_overlap, semantic_displacement};
 pub use sgns::{SgnsConfig, SgnsTrainer};
+pub use spill::VectorPager;
 pub use store::{EmbeddingProvenance, EmbeddingStore, EmbeddingTable, EmbeddingVersion};

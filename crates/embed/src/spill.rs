@@ -1,0 +1,48 @@
+//! The spill boundary: a trait the tiered storage layer (`fstore-tier`)
+//! implements so an [`crate::EmbeddingTable`] can keep its rows on disk.
+//!
+//! `fstore-embed` sits below the tier crate in the dependency graph, so the
+//! table cannot name the pager concretely — it holds an
+//! `Arc<dyn VectorPager>` and faults rows through it. Implementations are
+//! expected to be cheap to clone (the table is cloned on every store
+//! snapshot), thread-safe, and to return rows **byte-identical** to what
+//! was spilled: the tier crate's proptests and E22 assert equality against
+//! a fully-resident oracle down to the bit.
+
+use fstore_common::{Result, VectorBuf};
+
+/// Row-addressed access to a spilled (on-disk) embedding table.
+///
+/// Rows are addressed `0..len()` in the same deterministic sorted-key
+/// order [`crate::EmbeddingTable::export_rows`] uses, so a spilled table
+/// and its resident twin agree on row numbering.
+pub trait VectorPager: Send + Sync + std::fmt::Debug {
+    /// Vector dimensionality (every row has exactly this many floats).
+    fn dim(&self) -> usize;
+
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// True when the table has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entity keys in row order (sorted; `keys()[row]` names `row`).
+    fn keys(&self) -> &[String];
+
+    /// Row index of `key`, if present.
+    fn row_of(&self, key: &str) -> Option<usize>;
+
+    /// Fetch one row, faulting its block from disk if it is not cached.
+    /// The returned buffer shares the cache block — no per-read copy.
+    fn fetch_row(&self, row: usize) -> Result<VectorBuf>;
+
+    /// On-disk vector payload bytes (what residency accounting reports as
+    /// spilled).
+    fn spilled_bytes(&self) -> u64;
+
+    /// In-memory metadata footprint (keys, row map) that stays resident
+    /// even when every block is cold.
+    fn resident_overhead_bytes(&self) -> u64;
+}

@@ -2,8 +2,9 @@
 //! and downstream-consumer lineage (paper §3.1.2 and §4: versioning,
 //! provenance, and understanding which systems an embedding update hits).
 
+use crate::spill::VectorPager;
 use fstore_common::hash::FxHashMap;
-use fstore_common::{FsError, Result, Timestamp};
+use fstore_common::{FsError, Result, Timestamp, VectorBuf};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -25,11 +26,24 @@ pub struct EmbeddingProvenance {
     pub notes: String,
 }
 
+/// How a table's rows are stored.
+///
+/// `Resident` keeps every row in memory as a shared `Arc<[f32]>` (so a
+/// read and a table clone are refcount bumps, never vector copies).
+/// `Spilled` keeps the rows on disk behind a [`VectorPager`] — reads
+/// fault blocks through the tier cache. Tables are immutable either way;
+/// mutation helpers materialize a resident copy first.
+#[derive(Debug, Clone)]
+enum TableRepr {
+    Resident(FxHashMap<String, Arc<[f32]>>),
+    Spilled(Arc<dyn VectorPager>),
+}
+
 /// One immutable embedding table: entity key → dense vector.
 #[derive(Debug, Clone)]
 pub struct EmbeddingTable {
     dim: usize,
-    vectors: FxHashMap<String, Vec<f32>>,
+    repr: TableRepr,
 }
 
 impl EmbeddingTable {
@@ -41,8 +55,29 @@ impl EmbeddingTable {
         }
         Ok(EmbeddingTable {
             dim,
-            vectors: FxHashMap::default(),
+            repr: TableRepr::Resident(FxHashMap::default()),
         })
+    }
+
+    /// Wrap a spilled table around a pager (the tier crate's demotion
+    /// path). The pager's row order fixes the key set; the table itself
+    /// holds no vector data.
+    pub fn from_pager(pager: Arc<dyn VectorPager>) -> Result<Self> {
+        let dim = pager.dim();
+        if dim == 0 {
+            return Err(FsError::Embedding(
+                "embedding dimension must be positive".into(),
+            ));
+        }
+        Ok(EmbeddingTable {
+            dim,
+            repr: TableRepr::Spilled(pager),
+        })
+    }
+
+    /// True when rows live on disk behind a pager.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, TableRepr::Spilled(_))
     }
 
     pub fn dim(&self) -> usize {
@@ -50,11 +85,31 @@ impl EmbeddingTable {
     }
 
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        match &self.repr {
+            TableRepr::Resident(vectors) => vectors.len(),
+            TableRepr::Spilled(pager) => pager.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.len() == 0
+    }
+
+    /// Resident vector payload bytes (`0` for a spilled table — its cached
+    /// blocks are accounted by the tier cache, not per table).
+    pub fn resident_vector_bytes(&self) -> u64 {
+        match &self.repr {
+            TableRepr::Resident(vectors) => (vectors.len() * self.dim * 4) as u64,
+            TableRepr::Spilled(_) => 0,
+        }
+    }
+
+    /// The pager behind a spilled table, if any.
+    pub fn pager(&self) -> Option<&Arc<dyn VectorPager>> {
+        match &self.repr {
+            TableRepr::Resident(_) => None,
+            TableRepr::Spilled(pager) => Some(pager),
+        }
     }
 
     pub fn insert(&mut self, key: impl Into<String>, vector: Vec<f32>) -> Result<()> {
@@ -65,54 +120,106 @@ impl EmbeddingTable {
                 self.dim
             )));
         }
-        self.vectors.insert(key.into(), vector);
+        self.make_resident()?;
+        let TableRepr::Resident(vectors) = &mut self.repr else {
+            unreachable!("make_resident leaves a resident repr");
+        };
+        vectors.insert(key.into(), vector.into());
         Ok(())
     }
 
+    /// Borrow one resident row. Spilled tables return `None` — faulting a
+    /// row produces a [`VectorBuf`] that cannot be lent out as a plain
+    /// borrow, so paths that must work on both representations use
+    /// [`EmbeddingTable::fetch`].
     pub fn get(&self, key: &str) -> Option<&[f32]> {
-        self.vectors.get(key).map(Vec::as_slice)
+        match &self.repr {
+            TableRepr::Resident(vectors) => vectors.get(key).map(|v| &v[..]),
+            TableRepr::Spilled(_) => None,
+        }
+    }
+
+    /// Read one row regardless of representation: a refcount bump on a
+    /// resident row, a (possibly cached) block fault on a spilled one.
+    /// `Ok(None)` means the key is absent; `Err` is an I/O or corruption
+    /// failure from the pager.
+    pub fn fetch(&self, key: &str) -> Result<Option<VectorBuf>> {
+        match &self.repr {
+            TableRepr::Resident(vectors) => Ok(vectors
+                .get(key)
+                .map(|v| VectorBuf::from_block(Arc::clone(v)))),
+            TableRepr::Spilled(pager) => match pager.row_of(key) {
+                Some(row) => pager.fetch_row(row).map(Some),
+                None => Ok(None),
+            },
+        }
     }
 
     /// Entity keys in sorted order (deterministic iteration).
     pub fn keys(&self) -> Vec<&str> {
-        let mut ks: Vec<&str> = self.vectors.keys().map(String::as_str).collect();
-        ks.sort_unstable();
-        ks
+        match &self.repr {
+            TableRepr::Resident(vectors) => {
+                let mut ks: Vec<&str> = vectors.keys().map(String::as_str).collect();
+                ks.sort_unstable();
+                ks
+            }
+            TableRepr::Spilled(pager) => pager.keys().iter().map(String::as_str).collect(),
+        }
     }
 
     pub fn contains(&self, key: &str) -> bool {
-        self.vectors.contains_key(key)
+        match &self.repr {
+            TableRepr::Resident(vectors) => vectors.contains_key(key),
+            TableRepr::Spilled(pager) => pager.row_of(key).is_some(),
+        }
     }
 
-    /// f64 copy of one vector (model-input boundary).
+    /// f64 copy of one vector (model-input boundary). Faults through the
+    /// pager on a spilled table; pager failures read as absent.
     pub fn get_f64(&self, key: &str) -> Option<Vec<f64>> {
-        self.get(key)
+        self.fetch(key)
+            .ok()
+            .flatten()
             .map(|v| v.iter().map(|&x| f64::from(x)).collect())
     }
 
     /// Cosine similarity between two stored entities.
     pub fn cosine(&self, a: &str, b: &str) -> Result<f64> {
         let va = self
-            .get(a)
+            .fetch(a)?
             .ok_or_else(|| FsError::not_found("embedding", a.to_string()))?;
         let vb = self
-            .get(b)
+            .fetch(b)?
             .ok_or_else(|| FsError::not_found("embedding", b.to_string()))?;
-        Ok(cosine32(va, vb))
+        Ok(cosine32(&va, &vb))
     }
 
     /// Exact k-nearest neighbours of `key` by cosine (brute force — the ANN
-    /// indexes in `fstore-index` are the scale path).
+    /// indexes in `fstore-index` are the scale path). On a spilled table
+    /// this is the exact-rerank path: the scan faults blocks through the
+    /// tier cache rather than loading the version whole.
     pub fn nearest(&self, key: &str, k: usize) -> Result<Vec<(String, f64)>> {
         let q = self
-            .get(key)
+            .fetch(key)?
             .ok_or_else(|| FsError::not_found("embedding", key.to_string()))?;
-        let mut scored: Vec<(String, f64)> = self
-            .vectors
-            .iter()
-            .filter(|(name, _)| name.as_str() != key)
-            .map(|(name, v)| (name.clone(), cosine32(q, v)))
-            .collect();
+        let mut scored: Vec<(String, f64)> = match &self.repr {
+            TableRepr::Resident(vectors) => vectors
+                .iter()
+                .filter(|(name, _)| name.as_str() != key)
+                .map(|(name, v)| (name.clone(), cosine32(&q, v)))
+                .collect(),
+            TableRepr::Spilled(pager) => {
+                let mut scored = Vec::with_capacity(pager.len().saturating_sub(1));
+                for (row, name) in pager.keys().iter().enumerate() {
+                    if name == key {
+                        continue;
+                    }
+                    let v = pager.fetch_row(row)?;
+                    scored.push((name.clone(), cosine32(&q, &v)));
+                }
+                scored
+            }
+        };
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(k);
         Ok(scored)
@@ -121,11 +228,34 @@ impl EmbeddingTable {
     /// All rows as parallel `(keys, vectors)` in sorted-key order — the
     /// deterministic export an ANN index build consumes (row id `i` in the
     /// index is `keys[i]` here).
+    ///
+    /// On a spilled table this streams every block through the pager; an
+    /// unreadable segment panics, because the segment is CRC-guarded
+    /// derived state whose loss is as fatal here as a failed allocation
+    /// (fallible callers can use [`EmbeddingTable::try_export_rows`]).
     pub fn export_rows(&self) -> (Vec<String>, Vec<Vec<f32>>) {
-        let mut keys: Vec<&String> = self.vectors.keys().collect();
-        keys.sort_unstable();
-        let vectors = keys.iter().map(|k| self.vectors[*k].clone()).collect();
-        (keys.into_iter().cloned().collect(), vectors)
+        self.try_export_rows()
+            .expect("spilled embedding segment unreadable")
+    }
+
+    /// Fallible twin of [`EmbeddingTable::export_rows`].
+    pub fn try_export_rows(&self) -> Result<(Vec<String>, Vec<Vec<f32>>)> {
+        match &self.repr {
+            TableRepr::Resident(vectors) => {
+                let mut keys: Vec<&String> = vectors.keys().collect();
+                keys.sort_unstable();
+                let rows = keys.iter().map(|k| vectors[*k].to_vec()).collect();
+                Ok((keys.into_iter().cloned().collect(), rows))
+            }
+            TableRepr::Spilled(pager) => {
+                let keys = pager.keys().to_vec();
+                let mut rows = Vec::with_capacity(keys.len());
+                for row in 0..keys.len() {
+                    rows.push(pager.fetch_row(row)?.into_vec());
+                }
+                Ok((keys, rows))
+            }
+        }
     }
 
     /// Overwrite a row (returns the previous vector). Used by patching;
@@ -136,7 +266,29 @@ impl EmbeddingTable {
                 "replacement vector has wrong dim".into(),
             ));
         }
-        Ok(self.vectors.insert(key.to_string(), vector))
+        self.make_resident()?;
+        let TableRepr::Resident(vectors) = &mut self.repr else {
+            unreachable!("make_resident leaves a resident repr");
+        };
+        Ok(vectors
+            .insert(key.to_string(), vector.into())
+            .map(|old| old.to_vec()))
+    }
+
+    /// Promote a spilled table to a fully-resident one (no-op when already
+    /// resident). Mutating helpers call this so "clone an old version,
+    /// patch it, publish" keeps working even when the clone was spilled.
+    pub fn make_resident(&mut self) -> Result<()> {
+        let TableRepr::Spilled(pager) = &self.repr else {
+            return Ok(());
+        };
+        let mut vectors = FxHashMap::with_capacity_and_hasher(pager.len(), Default::default());
+        for (row, key) in pager.keys().iter().enumerate() {
+            let v = pager.fetch_row(row)?;
+            vectors.insert(key.clone(), Arc::from(v.as_slice()));
+        }
+        self.repr = TableRepr::Resident(vectors);
+        Ok(())
     }
 }
 
@@ -289,6 +441,13 @@ impl EmbeddingStore {
             None => versions.push(Arc::new(version)),
         }
         Ok(())
+    }
+
+    /// Every version of every name, in (name, version) order. The tier
+    /// demoter walks this to decide what is resident and what to spill;
+    /// the `Arc`s let it hold candidates without borrowing the snapshot.
+    pub fn iter_versions(&self) -> impl Iterator<Item = &Arc<EmbeddingVersion>> + '_ {
+        self.embeddings.values().flatten()
     }
 
     /// Record that `model` consumes `name@vN` (lineage for E12).
@@ -505,6 +664,147 @@ mod tests {
         let v = store.latest("e").unwrap();
         assert_eq!(v.provenance, prov);
         assert_eq!(v.created_at, Timestamp::millis(5));
+    }
+
+    /// In-memory pager: rows held as one flat block, faulted by window —
+    /// the shape `fstore-tier` serves from disk, minus the disk.
+    #[derive(Debug)]
+    struct MemPager {
+        dim: usize,
+        keys: Vec<String>,
+        block: Arc<[f32]>,
+        fail: bool,
+    }
+
+    impl MemPager {
+        fn from_table(t: &EmbeddingTable) -> MemPager {
+            let (keys, rows) = t.export_rows();
+            let block: Vec<f32> = rows.into_iter().flatten().collect();
+            MemPager {
+                dim: t.dim(),
+                keys,
+                block: block.into(),
+                fail: false,
+            }
+        }
+    }
+
+    impl crate::spill::VectorPager for MemPager {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn len(&self) -> usize {
+            self.keys.len()
+        }
+        fn keys(&self) -> &[String] {
+            &self.keys
+        }
+        fn row_of(&self, key: &str) -> Option<usize> {
+            self.keys.binary_search_by(|k| k.as_str().cmp(key)).ok()
+        }
+        fn fetch_row(&self, row: usize) -> Result<fstore_common::VectorBuf> {
+            if self.fail {
+                return Err(FsError::Storage("pager offline".into()));
+            }
+            Ok(fstore_common::VectorBuf::window(
+                Arc::clone(&self.block),
+                row * self.dim,
+                self.dim,
+            ))
+        }
+        fn spilled_bytes(&self) -> u64 {
+            (self.block.len() * 4) as u64
+        }
+        fn resident_overhead_bytes(&self) -> u64 {
+            self.keys.iter().map(|k| k.len() as u64).sum()
+        }
+    }
+
+    fn spilled_twin(t: &EmbeddingTable) -> EmbeddingTable {
+        EmbeddingTable::from_pager(Arc::new(MemPager::from_table(t))).unwrap()
+    }
+
+    #[test]
+    fn spilled_table_answers_identically() {
+        let resident = table(&[
+            ("b", vec![2.0, 0.5]),
+            ("a", vec![1.0, -1.0]),
+            ("c", vec![0.0, 3.0]),
+        ]);
+        let spilled = spilled_twin(&resident);
+        assert!(spilled.is_spilled() && !resident.is_spilled());
+        assert_eq!(spilled.len(), 3);
+        assert_eq!(spilled.dim(), 2);
+        assert_eq!(spilled.keys(), resident.keys());
+        assert_eq!(spilled.resident_vector_bytes(), 0);
+        assert_eq!(resident.resident_vector_bytes(), 24);
+
+        // `get` is resident-only; `fetch` is the unified read.
+        assert_eq!(spilled.get("a"), None);
+        assert_eq!(
+            spilled.fetch("a").unwrap().unwrap().as_slice(),
+            resident.fetch("a").unwrap().unwrap().as_slice()
+        );
+        assert!(spilled.fetch("ghost").unwrap().is_none());
+        assert!(spilled.contains("b") && !spilled.contains("ghost"));
+        assert_eq!(spilled.get_f64("c"), resident.get_f64("c"));
+        assert_eq!(
+            spilled.cosine("a", "b").unwrap(),
+            resident.cosine("a", "b").unwrap()
+        );
+        assert_eq!(
+            spilled.nearest("a", 2).unwrap(),
+            resident.nearest("a", 2).unwrap()
+        );
+        assert_eq!(spilled.export_rows(), resident.export_rows());
+    }
+
+    #[test]
+    fn spilled_table_mutation_materializes_first() {
+        let resident = table(&[("a", vec![1.0, 0.0]), ("b", vec![0.0, 1.0])]);
+        let mut patched = spilled_twin(&resident);
+        let old = patched.replace("a", vec![5.0, 5.0]).unwrap();
+        assert_eq!(old, Some(vec![1.0, 0.0]));
+        assert!(!patched.is_spilled(), "mutation promotes to resident");
+        assert_eq!(patched.get("a"), Some(&[5.0, 5.0][..]));
+        assert_eq!(patched.get("b"), Some(&[0.0, 1.0][..]));
+
+        let mut grown = spilled_twin(&resident);
+        grown.insert("c", vec![2.0, 2.0]).unwrap();
+        assert_eq!(grown.len(), 3);
+        assert!(!grown.is_spilled());
+    }
+
+    #[test]
+    fn spilled_pager_errors_surface() {
+        let resident = table(&[("a", vec![1.0]), ("b", vec![2.0])]);
+        let mut pager = MemPager::from_table(&resident);
+        pager.fail = true;
+        let t = EmbeddingTable::from_pager(Arc::new(pager)).unwrap();
+        assert!(t.fetch("a").is_err());
+        assert!(t.cosine("a", "b").is_err());
+        assert!(t.nearest("a", 1).is_err());
+        assert!(t.try_export_rows().is_err());
+        assert_eq!(t.get_f64("a"), None, "infallible reads degrade to absent");
+    }
+
+    #[test]
+    fn iter_versions_walks_everything() {
+        let mut store = EmbeddingStore::new();
+        for name in ["x", "y"] {
+            for val in [1.0f32, 2.0] {
+                store
+                    .publish(
+                        name,
+                        table(&[("a", vec![val])]),
+                        EmbeddingProvenance::default(),
+                        Timestamp::EPOCH,
+                    )
+                    .unwrap();
+            }
+        }
+        let seen: Vec<String> = store.iter_versions().map(|v| v.qualified_name()).collect();
+        assert_eq!(seen, vec!["x@v1", "x@v2", "y@v1", "y@v2"]);
     }
 
     #[test]

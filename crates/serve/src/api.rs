@@ -203,7 +203,7 @@ pub fn expect_embedding(response: Response) -> Result<EmbeddingRead, ClientError
             epoch,
             vector,
         } => Ok(EmbeddingRead {
-            vector,
+            vector: vector.into_vec(),
             dim: dim as usize,
             version,
             epoch,

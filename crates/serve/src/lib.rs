@@ -70,7 +70,8 @@ pub use failover::{BreakerConfig, BreakerState, CircuitBreaker, FailoverClient, 
 #[cfg(feature = "testing")]
 pub use fault::{Faults, FaultyProxy};
 pub use metrics::{
-    Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics, WireSnapshot,
+    Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics, TierSnapshot,
+    WireSnapshot,
 };
 pub use protocol::{
     read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response, SearchOptions,

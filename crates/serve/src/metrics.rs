@@ -182,6 +182,15 @@ pub struct ServingMetrics {
     /// Wire: the shared free-list of encode buffers every connection
     /// writer draws from (hit/miss counters live inside).
     frame_pool: Arc<FramePool>,
+    /// Embedding responses that had to copy the vector into a private
+    /// buffer instead of sharing the store's block (the zero-copy serving
+    /// path keeps this flat; see E21's embedding phase).
+    embed_copies: AtomicU64,
+    /// Tiered-storage stats source. The tier crate sits *above* this one,
+    /// so it registers a provider closure; `snapshot()` polls it so the
+    /// `tier` JSON section is always current.
+    #[allow(clippy::type_complexity)]
+    tier_provider: Mutex<Option<Arc<dyn Fn() -> TierSnapshot + Send + Sync>>>,
 }
 
 impl Default for ServingMetrics {
@@ -213,6 +222,8 @@ impl Default for ServingMetrics {
             wire_frames_tx: AtomicU64::new(0),
             wire_payload_allocs: AtomicU64::new(0),
             frame_pool: Arc::new(FramePool::default()),
+            embed_copies: AtomicU64::new(0),
+            tier_provider: Mutex::new(None),
         }
     }
 }
@@ -337,6 +348,30 @@ impl ServingMetrics {
     /// The shared encode-buffer pool connection writers draw from.
     pub fn frame_pool(&self) -> Arc<FramePool> {
         Arc::clone(&self.frame_pool)
+    }
+
+    /// Record one embedding response that copied its vector instead of
+    /// sharing the store's block.
+    pub fn record_embed_copy(&self) {
+        self.embed_copies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative embedding responses that copied their vector; flat across
+    /// a steady-state window ⇒ the embedding read path is zero-copy.
+    pub fn embed_copies(&self) -> u64 {
+        self.embed_copies.load(Ordering::Relaxed)
+    }
+
+    /// Register the tiered-storage stats source polled by [`Self::snapshot`]
+    /// to fill the `tier` section. Replaces any previous provider.
+    pub fn set_tier_provider(&self, provider: impl Fn() -> TierSnapshot + Send + Sync + 'static) {
+        *self.tier_provider.lock() = Some(Arc::new(provider));
+    }
+
+    /// The tier section alone (`None` when no tiered store is attached).
+    pub fn tier_snapshot(&self) -> Option<TierSnapshot> {
+        let provider = self.tier_provider.lock().clone();
+        provider.map(|p| p())
     }
 
     /// Cumulative read-buffer (re)allocations on the receive path; a flat
@@ -471,8 +506,10 @@ impl ServingMetrics {
                     } else {
                         None
                     },
+                    embed_copies: self.embed_copies.load(Ordering::Relaxed),
                 }
             },
+            tier: self.tier_snapshot(),
         }
     }
 
@@ -520,6 +557,8 @@ pub struct MetricsSnapshot {
     pub last_recovery_ms: u64,
     pub recovered_epoch: u64,
     pub wire: WireSnapshot,
+    /// Tiered embedding storage (`None` when no tiered store is attached).
+    pub tier: Option<TierSnapshot>,
 }
 
 /// The wire hot path at snapshot time: socket traffic, frame counts, the
@@ -537,6 +576,77 @@ pub struct WireSnapshot {
     pub pool_misses: u64,
     /// `None` until the pool has been drawn from at least once.
     pub pool_hit_rate: Option<f64>,
+    /// Embedding responses that copied their vector instead of sharing the
+    /// store's block (flat across a steady window ⇒ zero-copy embeddings).
+    pub embed_copies: u64,
+}
+
+/// Tiered embedding storage at snapshot time: RAM residency against the
+/// configured budget, on-disk footprint, hot-block cache effectiveness,
+/// and fault latency quantiles. Filled by the provider the tier crate
+/// registers via [`ServingMetrics::set_tier_provider`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TierSnapshot {
+    /// Configured RAM budget for embedding bytes (tables + cached blocks).
+    pub budget_bytes: u64,
+    /// Embedding bytes currently resident (pinned tables + cached blocks).
+    pub resident_bytes: u64,
+    /// Resident bytes protected from demotion (latest versions and
+    /// versions an index snapshot references).
+    pub pinned_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+    /// On-disk vector payload across all spilled versions.
+    pub spilled_bytes: u64,
+    pub spilled_versions: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// `None` until the cache has been read at least once.
+    pub hit_rate: Option<f64>,
+    /// Block faults (disk reads) served so far — equals `cache_misses`
+    /// unless a fault failed after the miss was counted.
+    pub faults: u64,
+    pub fault_p50_ms: Option<f64>,
+    pub fault_p99_ms: Option<f64>,
+    pub evictions: u64,
+    /// Versions demoted (written to a segment and swapped to spilled).
+    pub demotions: u64,
+}
+
+impl TierSnapshot {
+    /// Fold another node's tier section into this one (the shard router's
+    /// cluster-wide passthrough). Counters and gauges add; rates are
+    /// recomputed from the summed counters; quantiles keep the worst
+    /// (maximum) estimate, which is the honest cluster-level bound.
+    pub fn merge(&mut self, other: &TierSnapshot) {
+        self.budget_bytes += other.budget_bytes;
+        self.resident_bytes += other.resident_bytes;
+        self.pinned_bytes += other.pinned_bytes;
+        self.peak_resident_bytes += other.peak_resident_bytes;
+        self.spilled_bytes += other.spilled_bytes;
+        self.spilled_versions += other.spilled_versions;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        let reads = self.cache_hits + self.cache_misses;
+        self.hit_rate = if reads > 0 {
+            Some(self.cache_hits as f64 / reads as f64)
+        } else {
+            None
+        };
+        self.faults += other.faults;
+        self.fault_p50_ms = max_opt(self.fault_p50_ms, other.fault_p50_ms);
+        self.fault_p99_ms = max_opt(self.fault_p99_ms, other.fault_p99_ms);
+        self.evictions += other.evictions;
+        self.demotions += other.demotions;
+    }
+}
+
+fn max_opt(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
 }
 
 #[cfg(test)]
@@ -665,6 +775,71 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
         assert_eq!(v["wire"]["frames_rx"].as_u64(), Some(2));
         assert_eq!(v["wire"]["payload_allocs"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn tier_section_polls_its_provider() {
+        let m = ServingMetrics::new();
+        // No tiered store attached → the section is absent (JSON null).
+        assert_eq!(m.tier_snapshot(), None);
+        let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
+        assert!(v["tier"].is_null());
+
+        let hits = Arc::new(AtomicU64::new(3));
+        let hits2 = Arc::clone(&hits);
+        m.set_tier_provider(move || TierSnapshot {
+            budget_bytes: 1024,
+            cache_hits: hits2.load(Ordering::Relaxed),
+            cache_misses: 1,
+            hit_rate: Some(0.75),
+            ..TierSnapshot::default()
+        });
+        assert_eq!(m.tier_snapshot().unwrap().cache_hits, 3);
+        // The provider is *polled*: later snapshots see later state.
+        hits.store(9, Ordering::Relaxed);
+        let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
+        assert_eq!(v["tier"]["cache_hits"].as_u64(), Some(9));
+        assert_eq!(v["tier"]["budget_bytes"].as_u64(), Some(1024));
+    }
+
+    #[test]
+    fn tier_snapshots_merge_across_nodes() {
+        let mut a = TierSnapshot {
+            budget_bytes: 100,
+            resident_bytes: 80,
+            cache_hits: 30,
+            cache_misses: 10,
+            hit_rate: Some(0.75),
+            fault_p99_ms: Some(1.5),
+            demotions: 2,
+            ..TierSnapshot::default()
+        };
+        let b = TierSnapshot {
+            budget_bytes: 100,
+            resident_bytes: 50,
+            cache_hits: 10,
+            cache_misses: 10,
+            hit_rate: Some(0.5),
+            fault_p99_ms: Some(4.0),
+            demotions: 1,
+            ..TierSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.budget_bytes, 200);
+        assert_eq!(a.resident_bytes, 130);
+        assert_eq!(a.cache_hits, 40);
+        assert_eq!(a.hit_rate, Some(40.0 / 60.0));
+        assert_eq!(a.fault_p99_ms, Some(4.0));
+        assert_eq!(a.demotions, 3);
+    }
+
+    #[test]
+    fn embed_copy_counter_flows_into_the_wire_section() {
+        let m = ServingMetrics::new();
+        assert_eq!(m.embed_copies(), 0);
+        m.record_embed_copy();
+        let snap = m.snapshot();
+        assert_eq!(snap.wire.embed_copies, 1);
     }
 
     #[test]

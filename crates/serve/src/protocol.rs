@@ -18,7 +18,7 @@
 
 use crate::codec::{put_str, put_str_seq, Reader};
 use bytes::{BufMut, Bytes, BytesMut};
-use fstore_common::{ComponentKind, DeltaRecord, Duration, Timestamp, Value};
+use fstore_common::{ComponentKind, DeltaRecord, Duration, Timestamp, Value, VectorBuf};
 use fstore_core::FeatureVector;
 use std::io::Read;
 
@@ -449,12 +449,15 @@ pub enum Response {
     /// clients can detect cross-version reads during snapshot swaps (§4's
     /// "dot product loses meaning" hazard). `epoch` is the embedding
     /// store's publication epoch at serve time — version and vector come
-    /// from that single snapshot.
+    /// from that single snapshot. The vector is a [`VectorBuf`] so the
+    /// server encodes straight from the store's shared row (or the tier
+    /// cache's block) without a per-request copy; the wire bytes are
+    /// unchanged from the `Vec<f32>` era (pinned by the golden frames).
     Embedding {
         dim: u32,
         version: u32,
         epoch: u64,
-        vector: Vec<f32>,
+        vector: VectorBuf,
     },
     /// Nearest-neighbour hits, stamped with the embedding-table version
     /// the index snapshot was built from and the snapshot's generation
@@ -548,7 +551,7 @@ impl Response {
                 buf.put_u32(*version);
                 buf.put_u64(*epoch);
                 buf.put_u32(vector.len() as u32);
-                for &x in vector {
+                for &x in vector.as_slice() {
                     buf.put_f32(x);
                 }
             }
@@ -637,7 +640,7 @@ impl Response {
                 let dim = r.take_u32()?;
                 let version = r.take_u32()?;
                 let epoch = r.take_u64()?;
-                let vector = r.take_f32_seq()?;
+                let vector = r.take_f32_seq()?.into();
                 Response::Embedding {
                     dim,
                     version,

@@ -321,20 +321,25 @@ impl ServeEngine {
                 // request; a concurrent republish cannot tear it.
                 let view = embeddings.read();
                 match view.value.resolve(table) {
-                    Ok(version) => match version.table.get(key) {
-                        Some(vector) => Response::Embedding {
+                    // `fetch` is zero-copy on a resident table (the row is
+                    // a shared block) and faults through the tier cache on
+                    // a spilled one — either way the response aliases the
+                    // stored bytes instead of copying them per request.
+                    Ok(version) => match version.table.fetch(key) {
+                        Ok(Some(vector)) => Response::Embedding {
                             dim: version.table.dim() as u32,
                             version: version.version,
                             epoch: view.epoch.as_u64(),
-                            vector: vector.to_vec(),
+                            vector,
                         },
-                        None => Response::error(
+                        Ok(None) => Response::error(
                             ErrorCode::NotFound,
                             format!(
                                 "key `{key}` not in embedding `{}`",
                                 version.qualified_name()
                             ),
                         ),
+                        Err(e) => fs_error_response(&e),
                     },
                     Err(e) => fs_error_response(&e),
                 }
@@ -864,6 +869,13 @@ fn finish(metrics: &ServingMetrics, job: Job, response: Response) {
     let ok = !matches!(response, Response::Error { .. });
     let latency_ms = job.accepted_at.elapsed().as_secs_f64() * 1e3;
     metrics.record(job.request.endpoint(), latency_ms, ok);
+    // E21's embedding phase asserts this stays flat: a response whose
+    // vector owns a private buffer means the store path copied.
+    if let Response::Embedding { vector, .. } = &response {
+        if !vector.is_shared() {
+            metrics.record_embed_copy();
+        }
+    }
     // The connection may already be gone; its loss is not the worker's
     // problem.
     let _ = job.reply.send(response);
@@ -1074,9 +1086,13 @@ mod tests {
                 dim: 2,
                 version: 1,
                 epoch: 0,
-                vector: vec![1.0, 0.0],
+                vector: vec![1.0, 0.0].into(),
             }
         );
+        // Served straight from the store's shared row — no copy.
+        if let Response::Embedding { vector, .. } = &resp {
+            assert!(vector.is_shared());
+        }
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn response_corpus() -> Vec<Response> {
             dim: 4,
             version: 3,
             epoch: 77,
-            vector: vec![1.0, 0.0, -0.5, 0.25],
+            vector: vec![1.0, 0.0, -0.5, 0.25].into(),
         },
         Response::Error {
             code: ErrorCode::Overloaded,

@@ -198,7 +198,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     dim,
                     version,
                     epoch,
-                    vector,
+                    vector: vector.into(),
                 }
             }
         ),

@@ -21,6 +21,7 @@
 //! | [`durable`] | write-ahead log, on-disk checkpoints, crash recovery |
 //! | [`repl`] | snapshot-based replication: leader publication log + followers |
 //! | [`shard`] | horizontal sharding: shard map, scatter-gather router, control plane |
+//! | [`tier`] | larger-than-RAM embeddings: spill-to-disk pager + hot block cache |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use fstore_serve as serve;
 pub use fstore_shard as shard;
 pub use fstore_storage as storage;
 pub use fstore_stream as stream;
+pub use fstore_tier as tier;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
@@ -112,4 +114,5 @@ pub mod prelude {
         CmpOp, OfflineDb, OfflineStore, OnlineStore, Predicate, ScanRequest, TableConfig,
     };
     pub use fstore_stream::{Event, StreamAggregator, StreamPipeline, StreamRuntime, WindowSpec};
+    pub use fstore_tier::{BlockCache, TierConfig, TieredEmbeddings};
 }
