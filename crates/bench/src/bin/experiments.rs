@@ -1,4 +1,4 @@
-//! Runs the derived experiment suite E1–E21 (see DESIGN.md §3 and
+//! Runs the derived experiment suite E1–E23 (see DESIGN.md §3 and
 //! EXPERIMENTS.md).
 //!
 //! ```text
@@ -43,7 +43,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--list] [ids…]\n\
-                     ids: e1..e21 (default: all)"
+                     ids: e1..e23 (default: all)"
                 );
                 return;
             }

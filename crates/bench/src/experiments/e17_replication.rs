@@ -178,7 +178,7 @@ pub fn run(quick: bool) -> Result<()> {
             &EntityKey::new(format!("u{u}")),
             &[("score", Value::Float(u as f64 * 0.25))],
             NOW,
-        );
+        )?;
     }
     let leader_handle = start(leader.engine(fixed_clock(NOW)), storm_config())
         .map_err(|e| FsError::Storage(format!("start leader: {e}")))?;
@@ -205,7 +205,7 @@ pub fn run(quick: bool) -> Result<()> {
                         &EntityKey::new(format!("u{}", (i / 5) % 5)),
                         &[("score", Value::Float(i as f64))],
                         NOW,
-                    );
+                    )?;
                 }
                 if i % 25 == 24 {
                     leader.parts().embeddings.publish(

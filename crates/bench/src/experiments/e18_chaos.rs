@@ -219,7 +219,7 @@ pub fn run(quick: bool) -> Result<()> {
             &EntityKey::new(format!("u{u}")),
             &[("score", Value::Float(u as f64 * 0.25))],
             NOW,
-        );
+        )?;
     }
 
     let leader_handle = start_server(leader.engine(fixed_clock(NOW)), "127.0.0.1:0")?;

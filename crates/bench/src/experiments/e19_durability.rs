@@ -139,7 +139,7 @@ pub fn victim(dir: &str, quick: bool) -> Result<()> {
         .offline()
         .write(|s| s.create_table("events", events_config()))?;
     seed_static(leader.embeddings(), leader.indexes(), |g, e, v| {
-        leader.put_online(g, e, v, NOW)
+        leader.put_online(g, e, v, NOW).expect("seed online write");
     })?;
     append_batches(leader.offline(), 0, base_rows(quick))?;
     leader.checkpoint()?;
@@ -358,7 +358,7 @@ pub fn run(quick: bool) -> Result<()> {
         .offline()
         .write(|s| s.create_table("events", events_config()))?;
     seed_static(remat.embeddings(), remat.indexes(), |g, e, v| {
-        remat.put_online(g, e, v, NOW)
+        remat.put_online(g, e, v, NOW).expect("seed online write");
     })?;
     append_batches(remat.offline(), 0, rows_recovered)?;
     remat.checkpoint()?;

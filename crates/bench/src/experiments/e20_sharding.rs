@@ -116,7 +116,7 @@ fn seed(cluster: &ShardCluster) -> Result<()> {
             &EntityKey::new(format!("u{u}")),
             &[("score", Value::Float(score_for(u)))],
             NOW,
-        );
+        )?;
     }
     for shard in cluster.map().shards() {
         let mut table = EmbeddingTable::new(EMB_DIM)?;
@@ -418,7 +418,7 @@ pub fn run(quick: bool) -> Result<()> {
         &EntityKey::new(format!("u{moved}")),
         &[("score", Value::Float(999.0))],
         NOW,
-    );
+    )?;
     let mut router = cluster.router();
     let v = router
         .get_features("user", &format!("u{moved}"), &["score"])

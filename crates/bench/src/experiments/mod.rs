@@ -1,4 +1,4 @@
-//! The derived experiment suite E1–E22 (DESIGN.md §3). Each module
+//! The derived experiment suite E1–E23 (DESIGN.md §3). Each module
 //! regenerates one table; `run_all` drives them from the `experiments`
 //! binary.
 
@@ -24,6 +24,7 @@ pub mod e19_durability;
 pub mod e20_sharding;
 pub mod e21_wire_pipelining;
 pub mod e22_tiered_embeddings;
+pub mod e23_write_failover;
 
 use fstore_common::Result;
 
@@ -147,6 +148,11 @@ pub fn all() -> Vec<Experiment> {
             title: "E22 Tiered embeddings: 4x-RAM working set, bounded memory (§4)",
             run: e22_tiered_embeddings::run,
         },
+        Experiment {
+            id: "e23",
+            title: "E23 Routed writes: leader fencing + automatic failover (§2.2.2, §4)",
+            run: e23_write_failover::run,
+        },
     ]
 }
 
@@ -172,10 +178,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = super::all();
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
         let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
     }
 }

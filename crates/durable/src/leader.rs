@@ -91,13 +91,17 @@ pub struct DurableLeader {
     last_recovery: RecoveryReport,
 }
 
-/// Append one publication (delta + commit marker) to the WAL. Sequence
-/// assignment happens under the WAL lock, so on-disk order always matches
-/// sequence order even when cells publish concurrently.
+/// Append one publication (delta + commit marker) to the WAL and return
+/// the sequence it committed at. Sequence assignment happens under the
+/// WAL lock, so on-disk order always matches sequence order even when
+/// cells publish concurrently.
 ///
-/// A failed append cannot be surfaced from a publish hook; the record is
-/// dropped and the state it described becomes durable again at the next
-/// checkpoint. (A production system would trip a fail-stop fuse here.)
+/// An `Err` means the commit marker is not known to be on disk — the
+/// write path that acknowledges clients ([`DurableLeader::log_online`])
+/// must refuse to ack on it. Publish *hooks* have nowhere to surface the
+/// error and drop it; the state they described becomes durable again at
+/// the next checkpoint. (A production system would trip a fail-stop fuse
+/// there.)
 fn log_publication(
     wal: &Arc<Mutex<WalState>>,
     seq_counter: &Arc<AtomicU64>,
@@ -105,7 +109,7 @@ fn log_publication(
     component: ComponentKind,
     component_epoch: u64,
     body: String,
-) {
+) -> Result<u64> {
     let mut wal = wal.lock();
     let seq = seq_counter.fetch_add(1, Ordering::AcqRel) + 1;
     let delta = WalRecord::Delta(DeltaRecord {
@@ -118,10 +122,20 @@ fn log_publication(
         wal.writer.append(&delta),
         wal.writer.append(&WalRecord::Commit { seq }),
     ];
+    let mut failure = None;
     if let Some(m) = metrics.lock().as_ref() {
-        for info in results.into_iter().flatten() {
+        for info in results.iter().flatten() {
             m.record_wal_append(info.bytes, info.fsynced);
         }
+    }
+    for result in results {
+        if let Err(e) = result {
+            failure.get_or_insert(e);
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(seq),
     }
 }
 
@@ -236,7 +250,7 @@ impl DurableLeader {
                 let body = codec::diff_offline(&base, &v.value)
                     .and_then(|delta| codec::encode(&delta))
                     .unwrap_or_else(|_| String::from("{}"));
-                log_publication(
+                let _ = log_publication(
                     &wal,
                     &seq,
                     &metrics,
@@ -256,7 +270,7 @@ impl DurableLeader {
                 let mut base = base.lock();
                 let delta = codec::diff_embeddings(&base, &v.value);
                 let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
-                log_publication(
+                let _ = log_publication(
                     &wal,
                     &seq,
                     &metrics,
@@ -276,7 +290,7 @@ impl DurableLeader {
                 let mut base = base.lock();
                 let delta = codec::diff_indexes(&base, &v.value);
                 let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
-                log_publication(
+                let _ = log_publication(
                     &wal,
                     &seq,
                     &metrics,
@@ -289,16 +303,19 @@ impl DurableLeader {
         }
     }
 
-    /// Write one entity's features to the online store *and* the WAL. The
-    /// online store has no snapshot cell to hook, so durable online writes
-    /// must go through here (mirroring the replication leader's rule).
+    /// Write one entity's features to the online store *and* the WAL,
+    /// returning the WAL sequence the write committed at. The online
+    /// store has no snapshot cell to hook, so durable online writes must
+    /// go through here (mirroring the replication leader's rule). An
+    /// `Err` means the commit marker is not known durable — callers that
+    /// acknowledge clients must surface it instead of acking.
     pub fn put_online(
         &self,
         group: &str,
         entity: &EntityKey,
         values: &[(&str, Value)],
         now: Timestamp,
-    ) {
+    ) -> Result<u64> {
         self.online.put_row(group, entity, values, now);
         self.log_online(&OnlineDelta {
             group: group.to_string(),
@@ -307,12 +324,15 @@ impl DurableLeader {
                 .iter()
                 .map(|(f, v)| ((*f).to_string(), v.clone(), now))
                 .collect(),
-        });
+        })
     }
 
     /// WAL-log an online delta that was already applied to the store —
-    /// the hook a replication leader calls so its `put_online` is durable.
-    pub fn log_online(&self, delta: &OnlineDelta) {
+    /// the hook a replication leader calls so its `put_online` is
+    /// durable. Returns the WAL sequence of the commit marker; `Err`
+    /// means the delta is not known to be on disk and the write must not
+    /// be acknowledged.
+    pub fn log_online(&self, delta: &OnlineDelta) -> Result<u64> {
         let body = codec::encode(delta).unwrap_or_else(|_| String::from("{}"));
         log_publication(
             &self.wal,
@@ -321,7 +341,7 @@ impl DurableLeader {
             ComponentKind::Online,
             0,
             body,
-        );
+        )
     }
 
     /// Take a checkpoint at the current published sequence and rotate the

@@ -70,15 +70,17 @@ fn seed(leader: &Arc<DurableLeader>) {
     leader.indexes().build("emb", &IndexSpec::Flat).unwrap();
 
     for u in 0..4 {
-        leader.put_online(
-            "user",
-            &EntityKey::new(format!("u{u}")),
-            &[
-                ("score", Value::Float(0.25 * u as f64)),
-                ("tier", Value::Str(format!("t{u}"))),
-            ],
-            now_ts(),
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new(format!("u{u}")),
+                &[
+                    ("score", Value::Float(0.25 * u as f64)),
+                    ("tier", Value::Str(format!("t{u}"))),
+                ],
+                now_ts(),
+            )
+            .unwrap();
     }
 }
 

@@ -154,16 +154,23 @@ impl ReplLeader {
     }
 
     /// Write one entity's features to the online store *and* record the
-    /// write in the publication log. Replicated online writes must go
-    /// through here — a bare [`OnlineStore::put`] is invisible to
-    /// followers (the online store has no snapshot cell to hook).
+    /// write in the publication log, returning the publication sequence
+    /// it landed at. Replicated online writes must go through here — a
+    /// bare [`OnlineStore::put`] is invisible to followers (the online
+    /// store has no snapshot cell to hook).
+    ///
+    /// With a durable leader attached, the write is WAL-logged before
+    /// this returns and an `Err` means the commit marker is *not* known
+    /// durable — a serving path that acknowledges clients must surface
+    /// that instead of acking (the in-memory state may still vanish in a
+    /// crash).
     pub fn put_online(
         &self,
         group: &str,
         entity: &EntityKey,
         values: &[(&str, Value)],
         now: Timestamp,
-    ) {
+    ) -> Result<u64, FsError> {
         self.parts.online.put_row(group, entity, values, now);
         let delta = OnlineDelta {
             group: group.to_string(),
@@ -174,10 +181,11 @@ impl ReplLeader {
                 .collect(),
         };
         let body = codec::encode(&delta).unwrap_or_else(|_| String::from("{}"));
-        self.log.append(ComponentKind::Online, 0, body);
+        let seq = self.log.append(ComponentKind::Online, 0, body);
         if let Some(durable) = self.durable.lock().as_ref() {
-            durable.log_online(&delta);
+            durable.log_online(&delta)?;
         }
+        Ok(seq)
     }
 
     /// The attached durable leader, if any.
@@ -199,6 +207,27 @@ impl ReplLeader {
         .with_embeddings(self.parts.embeddings.clone())
         .with_index_catalog(Arc::clone(&self.parts.indexes))
         .with_replication(Arc::clone(self) as Arc<dyn ReplProvider>)
+    }
+}
+
+/// The serving layer's write seam: a [`ReplLeader`] is what a fenced
+/// [`WriteState`](fstore_serve::WriteState) applies accepted writes
+/// through, so wire-level `PutOnline` lands in the online store, the
+/// publication log (followers), and — with a durable leader attached —
+/// the WAL, before the ack leaves the box.
+impl fstore_serve::WriteProvider for ReplLeader {
+    fn put_online(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        values: &[(String, Value)],
+        now: Timestamp,
+    ) -> Result<u64, FsError> {
+        let borrowed: Vec<(&str, Value)> = values
+            .iter()
+            .map(|(f, v)| (f.as_str(), v.clone()))
+            .collect();
+        ReplLeader::put_online(self, group, entity, &borrowed, now)
     }
 }
 
@@ -256,12 +285,14 @@ mod tests {
             .offline
             .write(|s| s.append("t", &[Value::Int(1)]))
             .unwrap();
-        leader.put_online(
-            "user",
-            &EntityKey::new("u1"),
-            &[("score", Value::Float(0.5))],
-            Timestamp::millis(10),
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new("u1"),
+                &[("score", Value::Float(0.5))],
+                Timestamp::millis(10),
+            )
+            .unwrap();
 
         let state = leader.log_state();
         assert_eq!(state.leader_epoch, 3);
@@ -288,12 +319,14 @@ mod tests {
                 s.append("t", &[Value::Int(7)])
             })
             .unwrap();
-        leader.put_online(
-            "user",
-            &EntityKey::new("u1"),
-            &[("score", Value::Int(3))],
-            Timestamp::millis(5),
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new("u1"),
+                &[("score", Value::Int(3))],
+                Timestamp::millis(5),
+            )
+            .unwrap();
 
         let (repl_epoch, payload) = leader.full_snapshot().unwrap();
         assert_eq!(repl_epoch, 2);

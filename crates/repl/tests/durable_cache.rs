@@ -48,12 +48,14 @@ fn seeded_leader(retention: usize) -> Arc<ReplLeader> {
         .offline
         .write(|s| s.append("events", &[Value::Int(1)]))
         .unwrap();
-    leader.put_online(
-        "user",
-        &EntityKey::new("u1"),
-        &[("score", Value::Float(0.5))],
-        now_ts(),
-    );
+    leader
+        .put_online(
+            "user",
+            &EntityKey::new("u1"),
+            &[("score", Value::Float(0.5))],
+            now_ts(),
+        )
+        .unwrap();
     leader
 }
 
@@ -186,12 +188,14 @@ fn replication_leader_over_a_durable_one_survives_a_crash() {
             .offline
             .write(|s| s.append("events", &[Value::Int(7)]))
             .unwrap();
-        leader.put_online(
-            "user",
-            &EntityKey::new("u1"),
-            &[("score", Value::Float(0.5))],
-            now_ts(),
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new("u1"),
+                &[("score", Value::Float(0.5))],
+                now_ts(),
+            )
+            .unwrap();
 
         // Both streams saw all three publications.
         assert_eq!(leader.log().last_seq(), 3);

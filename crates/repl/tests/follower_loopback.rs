@@ -69,12 +69,14 @@ fn follower_bootstraps_mid_storm_and_converges_byte_identically() {
         .indexes
         .build("emb", &IndexSpec::Flat)
         .unwrap();
-    leader.put_online(
-        "user",
-        &EntityKey::new("u1"),
-        &[("score", Value::Float(0.25))],
-        now_ts(),
-    );
+    leader
+        .put_online(
+            "user",
+            &EntityKey::new("u1"),
+            &[("score", Value::Float(0.25))],
+            now_ts(),
+        )
+        .unwrap();
 
     let handle = start(leader.engine(fixed_clock(now_ts())), serve_config()).unwrap();
     let addr = handle.addr().to_string();
@@ -93,12 +95,14 @@ fn follower_bootstraps_mid_storm_and_converges_byte_identically() {
                     .write(|s| s.append("events", &[Value::Int(i)]))
                     .unwrap();
                 if i % 7 == 0 {
-                    leader.put_online(
-                        "user",
-                        &EntityKey::new(format!("u{}", i % 5)),
-                        &[("score", Value::Float(i as f64))],
-                        now_ts(),
-                    );
+                    leader
+                        .put_online(
+                            "user",
+                            &EntityKey::new(format!("u{}", i % 5)),
+                            &[("score", Value::Float(i as f64))],
+                            now_ts(),
+                        )
+                        .unwrap();
                 }
                 i += 1;
                 std::thread::sleep(Duration::from_millis(2));

@@ -24,10 +24,23 @@
 
 use crate::client::{ClientConfig, ClientError, EmbeddingRead, FeatureClient, Neighbors};
 use crate::failover::{BreakerConfig, FailoverClient};
-use crate::protocol::{Request, Response, SearchOptions, WireVector};
+use crate::protocol::{ErrorCode, Request, Response, SearchOptions, WireVector};
 use crate::retry::{RetryPolicy, RetryingClient};
-use fstore_common::FsError;
+use fstore_common::{FsError, Value};
 use std::time::Duration;
+
+/// A server's acknowledgement of a write or leadership admin request.
+/// An ack means the write is *durable*: the leader appended it (and its
+/// commit record) to the WAL before answering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// The publication epoch (log sequence) the write landed at; `0` for
+    /// admin acks (promote/demote), which publish nothing.
+    pub epoch: u64,
+    /// The leader term the acknowledging node held when it applied the
+    /// request.
+    pub term: u64,
+}
 
 /// The one operation a concrete client must implement: one request in,
 /// one response out. Everything typed rides on top via [`StoreApi`]'s
@@ -89,6 +102,28 @@ pub trait StoreApi {
         k: u32,
         options: SearchOptions,
     ) -> Result<Neighbors, ClientError>;
+
+    /// Write one entity's feature values through the leader at `term`.
+    /// Non-idempotent: layered clients never blind-retry it (see
+    /// [`ClientError::WriteFailed`]), and a node whose leader term does
+    /// not match answers [`ClientError::NotLeader`] instead of applying.
+    fn put_online(
+        &mut self,
+        group: &str,
+        entity: &str,
+        values: &[(&str, Value)],
+        term: u64,
+    ) -> Result<WriteAck, ClientError>;
+
+    /// Tell the node serving `shard` to assume leadership at `term`
+    /// (control-plane admin; a sitting leader treats an equal-or-newer
+    /// term as a no-op re-affirmation).
+    fn promote(&mut self, shard: u32, term: u64) -> Result<WriteAck, ClientError>;
+
+    /// Fence the node serving `shard`: drop its write authority and fast-
+    /// forward it to `term` so writes stamped with any older term are
+    /// refused (control-plane admin, sent to demoted ex-leaders).
+    fn demote(&mut self, shard: u32, term: u64) -> Result<WriteAck, ClientError>;
 
     /// Send a burst of raw requests, responses in request order. On a
     /// pipelining transport every request is in flight at once; callers
@@ -165,6 +200,33 @@ impl<T: Transport + ?Sized> StoreApi for T {
         expect_neighbors(self.call(&request)?)
     }
 
+    fn put_online(
+        &mut self,
+        group: &str,
+        entity: &str,
+        values: &[(&str, Value)],
+        term: u64,
+    ) -> Result<WriteAck, ClientError> {
+        let request = Request::PutOnline {
+            group: group.to_string(),
+            entity: entity.to_string(),
+            values: values
+                .iter()
+                .map(|(f, v)| (f.to_string(), v.clone()))
+                .collect(),
+            term,
+        };
+        expect_put_ack(self.call(&request)?)
+    }
+
+    fn promote(&mut self, shard: u32, term: u64) -> Result<WriteAck, ClientError> {
+        expect_put_ack(self.call(&Request::Promote { shard, term })?)
+    }
+
+    fn demote(&mut self, shard: u32, term: u64) -> Result<WriteAck, ClientError> {
+        expect_put_ack(self.call(&Request::Demote { shard, term })?)
+    }
+
     fn send_many(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
         self.call_many(requests)
     }
@@ -210,6 +272,28 @@ pub fn expect_embedding(response: Response) -> Result<EmbeddingRead, ClientError
         }),
         Response::Error { code, message } => Err(ClientError::Server { code, message }),
         _ => Err(ClientError::UnexpectedResponse("Embedding")),
+    }
+}
+
+/// Decode a [`Response::PutAck`] answer. A `NotLeader` error frame is
+/// lifted into the typed [`ClientError::NotLeader`] — the server encodes
+/// its current term as the error message (`current_term=N`), and this is
+/// the one place that parses it back out.
+pub fn expect_put_ack(response: Response) -> Result<WriteAck, ClientError> {
+    match response {
+        Response::PutAck { epoch, term } => Ok(WriteAck { epoch, term }),
+        Response::Error {
+            code: ErrorCode::NotLeader,
+            message,
+        } => {
+            let current_term = message
+                .strip_prefix("current_term=")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(0);
+            Err(ClientError::NotLeader { current_term })
+        }
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::UnexpectedResponse("PutAck")),
     }
 }
 
@@ -544,6 +628,23 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(single_breaker, AnyClient::Failover(_)));
+    }
+
+    #[test]
+    fn put_ack_decoder_lifts_not_leader_into_typed_error() {
+        let ack = expect_put_ack(Response::PutAck { epoch: 7, term: 3 }).unwrap();
+        assert_eq!(ack, WriteAck { epoch: 7, term: 3 });
+        let err =
+            expect_put_ack(Response::error(ErrorCode::NotLeader, "current_term=5")).unwrap_err();
+        assert!(matches!(err, ClientError::NotLeader { current_term: 5 }));
+        assert_eq!(err.code(), Some(ErrorCode::NotLeader));
+        // A malformed message still yields the typed refusal, with an
+        // unknown (zero) term rather than a decode failure.
+        let err = expect_put_ack(Response::error(ErrorCode::NotLeader, "???")).unwrap_err();
+        assert!(matches!(err, ClientError::NotLeader { current_term: 0 }));
+        // Other server errors pass through untyped.
+        let err = expect_put_ack(Response::error(ErrorCode::Internal, "wal")).unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::Internal));
     }
 
     #[test]

@@ -109,6 +109,26 @@ pub enum ClientError {
     /// The server answered with a different response type than the
     /// request calls for.
     UnexpectedResponse(&'static str),
+    /// A write (or leadership admin request) was refused because the
+    /// target is not the leader at the request's term. Carries the
+    /// refusing node's current term so a router can refresh its map and
+    /// re-route with the right term.
+    NotLeader {
+        /// The refusing node's leader term at the time of refusal.
+        current_term: u64,
+    },
+    /// A non-idempotent request failed in transit and was **not**
+    /// blind-retried. `applied` says what the client can prove:
+    /// `Some(false)` means the request provably never reached a server
+    /// (e.g. the connect failed), `None` means the outcome is unknown —
+    /// the request was dispatched and the failure arrived before a
+    /// response, so the write may or may not have been applied.
+    WriteFailed {
+        /// `Some(false)` = provably not applied; `None` = unknown.
+        applied: Option<bool>,
+        /// The underlying transport failure.
+        cause: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -122,6 +142,17 @@ impl std::fmt::Display for ClientError {
             ClientError::ConnectionClosed => write!(f, "connection closed by server"),
             ClientError::UnexpectedResponse(expected) => {
                 write!(f, "unexpected response type, expected {expected}")
+            }
+            ClientError::NotLeader { current_term } => {
+                write!(f, "not the leader (current_term={current_term})")
+            }
+            ClientError::WriteFailed { applied, cause } => {
+                let outcome = match applied {
+                    Some(false) => "not applied",
+                    Some(true) => "applied",
+                    None => "outcome unknown",
+                };
+                write!(f, "write failed ({outcome}): {cause}")
             }
         }
     }
@@ -140,6 +171,8 @@ impl ClientError {
     pub fn code(&self) -> Option<ErrorCode> {
         match self {
             ClientError::Server { code, .. } => Some(*code),
+            ClientError::NotLeader { .. } => Some(ErrorCode::NotLeader),
+            ClientError::WriteFailed { cause, .. } => cause.code(),
             _ => None,
         }
     }
@@ -147,13 +180,14 @@ impl ClientError {
     /// Whether this failure is a connect/read/write timeout (a deadline
     /// fired, as opposed to a refusal or a protocol violation).
     pub fn is_timeout(&self) -> bool {
-        matches!(
-            self,
-            ClientError::Io(e) if matches!(
+        match self {
+            ClientError::Io(e) => matches!(
                 e.kind(),
                 std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-            )
-        )
+            ),
+            ClientError::WriteFailed { cause, .. } => cause.is_timeout(),
+            _ => false,
+        }
     }
 }
 

@@ -214,27 +214,30 @@ impl FailoverClient {
 
     /// Run `op` against endpoint `i`'s connection, establishing it first
     /// if needed and poisoning it on a transport-class failure (the
-    /// stream may hold half a frame; never reuse it).
+    /// stream may hold half a frame; never reuse it). The error side
+    /// carries whether the request was ever dispatched: a connect failure
+    /// proves the peer saw nothing, which is what lets a write failure be
+    /// sealed as provably-not-applied.
     fn with_endpoint<T>(
         &mut self,
         i: usize,
         op: impl FnOnce(&mut FeatureClient) -> Result<T, ClientError>,
-    ) -> Result<T, ClientError> {
+    ) -> Result<T, (ClientError, bool)> {
         let config = self.config.clone();
         let endpoint = &mut self.endpoints[i];
         if endpoint.conn.is_none() {
-            endpoint.conn = Some(
-                FeatureClient::connect_with(endpoint.addr.as_str(), &config)
-                    .map_err(ClientError::Io)?,
-            );
-        }
-        let result = op(endpoint.conn.as_mut().expect("just connected"));
-        if let Err(e) = &result {
-            if classify(e) == ErrorClass::Transport {
-                endpoint.conn = None;
+            match FeatureClient::connect_with(endpoint.addr.as_str(), &config) {
+                Ok(conn) => endpoint.conn = Some(conn),
+                Err(e) => return Err((ClientError::Io(e), false)),
             }
         }
-        result
+        let result = op(endpoint.conn.as_mut().expect("just connected"));
+        result.map_err(|e| {
+            if classify(&e) == ErrorClass::Transport {
+                endpoint.conn = None;
+            }
+            (e, true)
+        })
     }
 
     /// The shared endpoint walk behind [`FailoverClient::call`] and
@@ -250,9 +253,10 @@ impl FailoverClient {
         retryable: bool,
         mut op: impl FnMut(&mut FeatureClient) -> Result<T, ClientError>,
         outcome_pushback: impl Fn(&T) -> Option<ClientError>,
+        seal: impl Fn(bool, ClientError) -> ClientError,
     ) -> Result<T, ClientError> {
         let mut attempt: u32 = 0;
-        let mut last_err: Option<ClientError> = None;
+        let mut last_err: Option<(ClientError, bool)> = None;
         loop {
             let now = Instant::now();
             match self.pick(now) {
@@ -260,7 +264,7 @@ impl FailoverClient {
                     Ok(value) => match outcome_pushback(&value) {
                         Some(error) => {
                             self.endpoints[i].breaker.record_failure(Instant::now());
-                            last_err = Some(error);
+                            last_err = Some((error, true));
                         }
                         None => {
                             self.endpoints[i].breaker.record_success();
@@ -270,30 +274,36 @@ impl FailoverClient {
                             return Ok(value);
                         }
                     },
-                    Err(error) => {
+                    Err((error, dispatched)) => {
                         self.endpoints[i].breaker.record_failure(Instant::now());
                         if classify(&error) == ErrorClass::Fatal {
                             // A definitive server answer; another endpoint
                             // would (byte-identically) say the same.
                             return Err(error);
                         }
-                        last_err = Some(error);
+                        last_err = Some((error, dispatched));
                     }
                 },
                 None => {
                     // Every breaker is open; treat it like a shed and back
-                    // off until a cooldown admits a probe.
+                    // off until a cooldown admits a probe. Nothing was
+                    // dispatched this round.
                     if last_err.is_none() {
-                        last_err = Some(ClientError::Io(std::io::Error::new(
-                            std::io::ErrorKind::ConnectionRefused,
-                            "all endpoints circuit-broken",
-                        )));
+                        last_err = Some((
+                            ClientError::Io(std::io::Error::new(
+                                std::io::ErrorKind::ConnectionRefused,
+                                "all endpoints circuit-broken",
+                            )),
+                            false,
+                        ));
                     }
                 }
             }
             if !retryable || attempt + 1 >= self.policy.max_attempts {
                 self.stats.exhausted_calls += 1;
-                return Err(last_err.expect("loop always records an error before exiting"));
+                let (error, dispatched) =
+                    last_err.expect("loop always records an error before exiting");
+                return Err(seal(dispatched, error));
             }
             let unit = self.rng.next_f64();
             std::thread::sleep(self.policy.backoff(attempt, unit));
@@ -304,11 +314,15 @@ impl FailoverClient {
 
     /// Send one request, walking endpoints healthiest-first with retries
     /// and backoff (the private `run` loop holds the outcome rules).
+    /// Non-idempotent requests get exactly one attempt, and a transport
+    /// failure of one is sealed as [`ClientError::WriteFailed`] (see
+    /// [`crate::retry::seal_write_failure`]).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.run(
             request.is_idempotent(),
             |conn| conn.call(request),
             crate::retry::pushback,
+            |dispatched, error| crate::retry::seal_write_failure(request, dispatched, error),
         )
     }
 
@@ -323,10 +337,15 @@ impl FailoverClient {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let write = requests.iter().find(|r| !r.is_idempotent());
         self.run(
-            requests.iter().all(Request::is_idempotent),
+            write.is_none(),
             |conn| conn.call_many(requests),
             |responses| responses.iter().find_map(crate::retry::pushback),
+            |dispatched, error| match write {
+                Some(w) => crate::retry::seal_write_failure(w, dispatched, error),
+                None => error,
+            },
         )
     }
 

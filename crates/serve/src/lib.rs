@@ -60,7 +60,7 @@ pub mod retry;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmitReject};
-pub use api::{AnyClient, ClientBuilder, StoreApi, Transport};
+pub use api::{AnyClient, ClientBuilder, StoreApi, Transport, WriteAck};
 pub use catalog::{CatalogError, IndexCatalog, IndexMap, IndexSnapshot, IndexSpec, SearchOutcome};
 pub use client::{ClientConfig, ClientError, DeltaBatch, EmbeddingRead, FeatureClient, Neighbors};
 pub use codec::{
@@ -70,8 +70,8 @@ pub use failover::{BreakerConfig, BreakerState, CircuitBreaker, FailoverClient, 
 #[cfg(feature = "testing")]
 pub use fault::{Faults, FaultyProxy};
 pub use metrics::{
-    Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics, TierSnapshot,
-    WireSnapshot,
+    ControlSnapshot, Endpoint, EndpointSnapshot, IndexStatus, MetricsSnapshot, ServingMetrics,
+    TierSnapshot, WireSnapshot,
 };
 pub use protocol::{
     read_frame_bounded, write_frame, ErrorCode, FrameOutcome, Request, Response, SearchOptions,
@@ -80,6 +80,6 @@ pub use protocol::{
 pub use repl::{ReplLogState, ReplProvider};
 pub use retry::{classify, ErrorClass, RetryPolicy, RetryingClient};
 pub use server::{
-    atomic_clock, fixed_clock, start, Clock, ServeConfig, ServeConfigBuilder, ServeEngine,
-    ServerHandle,
+    atomic_clock, fixed_clock, start, Clock, PromoteHook, ServeConfig, ServeConfigBuilder,
+    ServeEngine, ServerHandle, WriteProvider, WriteState,
 };

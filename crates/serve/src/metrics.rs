@@ -23,10 +23,13 @@ pub enum Endpoint {
     ReplSubscribe = 6,
     ReplSnapshot = 7,
     ReplDeltas = 8,
+    PutOnline = 9,
+    /// Leadership admin traffic: `Promote` and `Demote` share one label.
+    Promote = 10,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 11] = [
         Endpoint::Health,
         Endpoint::GetFeatures,
         Endpoint::GetFeaturesBatch,
@@ -36,6 +39,8 @@ impl Endpoint {
         Endpoint::ReplSubscribe,
         Endpoint::ReplSnapshot,
         Endpoint::ReplDeltas,
+        Endpoint::PutOnline,
+        Endpoint::Promote,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -49,6 +54,8 @@ impl Endpoint {
             Endpoint::ReplSubscribe => "repl_subscribe",
             Endpoint::ReplSnapshot => "repl_snapshot",
             Endpoint::ReplDeltas => "repl_deltas",
+            Endpoint::PutOnline => "put_online",
+            Endpoint::Promote => "promote",
         }
     }
 }
@@ -118,7 +125,7 @@ pub struct IndexStatus {
 
 /// Shared serving metrics; every handle clones an `Arc` of this.
 pub struct ServingMetrics {
-    endpoints: [EndpointMetrics; 9],
+    endpoints: [EndpointMetrics; 11],
     /// Requests refused by admission control (queue full).
     shed: AtomicU64,
     /// Requests refused because the server was draining.
@@ -191,6 +198,12 @@ pub struct ServingMetrics {
     /// `tier` JSON section is always current.
     #[allow(clippy::type_complexity)]
     tier_provider: Mutex<Option<Arc<dyn Fn() -> TierSnapshot + Send + Sync>>>,
+    /// Control-plane stats source (the shard crate's `ControlPlane`
+    /// registers it, same pattern as the tier provider); fills the
+    /// `control` JSON section with probe rounds, strikes, promotions,
+    /// and the current map version + leader terms.
+    #[allow(clippy::type_complexity)]
+    control_provider: Mutex<Option<Arc<dyn Fn() -> ControlSnapshot + Send + Sync>>>,
 }
 
 impl Default for ServingMetrics {
@@ -224,6 +237,7 @@ impl Default for ServingMetrics {
             frame_pool: Arc::new(FramePool::default()),
             embed_copies: AtomicU64::new(0),
             tier_provider: Mutex::new(None),
+            control_provider: Mutex::new(None),
         }
     }
 }
@@ -374,6 +388,21 @@ impl ServingMetrics {
         provider.map(|p| p())
     }
 
+    /// Register the control-plane stats source polled by [`Self::snapshot`]
+    /// to fill the `control` section. Replaces any previous provider.
+    pub fn set_control_provider(
+        &self,
+        provider: impl Fn() -> ControlSnapshot + Send + Sync + 'static,
+    ) {
+        *self.control_provider.lock() = Some(Arc::new(provider));
+    }
+
+    /// The control section alone (`None` when no control plane is attached).
+    pub fn control_snapshot(&self) -> Option<ControlSnapshot> {
+        let provider = self.control_provider.lock().clone();
+        provider.map(|p| p())
+    }
+
     /// Cumulative read-buffer (re)allocations on the receive path; a flat
     /// value across a steady-state window proves the per-request payload
     /// allocation count is zero.
@@ -510,6 +539,7 @@ impl ServingMetrics {
                 }
             },
             tier: self.tier_snapshot(),
+            control: self.control_snapshot(),
         }
     }
 
@@ -559,6 +589,8 @@ pub struct MetricsSnapshot {
     pub wire: WireSnapshot,
     /// Tiered embedding storage (`None` when no tiered store is attached).
     pub tier: Option<TierSnapshot>,
+    /// Shard control plane (`None` when no control plane is attached).
+    pub control: Option<ControlSnapshot>,
 }
 
 /// The wire hot path at snapshot time: socket traffic, frame counts, the
@@ -611,6 +643,28 @@ pub struct TierSnapshot {
     pub evictions: u64,
     /// Versions demoted (written to a segment and swapped to spilled).
     pub demotions: u64,
+}
+
+/// The shard control plane at snapshot time: how many probe rounds have
+/// run, which shards are accumulating strikes, how many promotions have
+/// been executed, and the shard map's current version and per-shard
+/// leader terms. Filled by the provider the shard crate registers via
+/// [`ServingMetrics::set_control_provider`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ControlSnapshot {
+    /// Probe rounds completed since the control plane started.
+    pub probe_rounds: u64,
+    /// Leader promotions executed (map-level rotations).
+    pub promotions: u64,
+    /// The shard map version the control plane currently publishes.
+    pub map_version: u64,
+    /// Current consecutive-failure strikes per shard (empty = all healthy).
+    pub strikes: BTreeMap<String, u64>,
+    /// Current leader term per shard.
+    pub terms: BTreeMap<String, u64>,
+    /// Fences (demote messages) still awaiting delivery to a demoted
+    /// endpoint — nonzero while an old leader is down or unreachable.
+    pub pending_fences: u64,
 }
 
 impl TierSnapshot {
@@ -831,6 +885,44 @@ mod tests {
         assert_eq!(a.hit_rate, Some(40.0 / 60.0));
         assert_eq!(a.fault_p99_ms, Some(4.0));
         assert_eq!(a.demotions, 3);
+    }
+
+    #[test]
+    fn control_section_polls_its_provider() {
+        let m = ServingMetrics::new();
+        // No control plane attached → the section is absent (JSON null).
+        assert_eq!(m.control_snapshot(), None);
+        let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
+        assert!(v["control"].is_null());
+
+        let rounds = Arc::new(AtomicU64::new(2));
+        let rounds2 = Arc::clone(&rounds);
+        m.set_control_provider(move || ControlSnapshot {
+            probe_rounds: rounds2.load(Ordering::Relaxed),
+            promotions: 1,
+            map_version: 4,
+            strikes: [("shard-0".to_string(), 1)].into_iter().collect(),
+            terms: [("shard-0".to_string(), 2)].into_iter().collect(),
+            pending_fences: 1,
+        });
+        assert_eq!(m.control_snapshot().unwrap().promotions, 1);
+        // The provider is *polled*: later snapshots see later state.
+        rounds.store(9, Ordering::Relaxed);
+        let v: serde_json::Value = serde_json::from_str(&m.dump_json()).unwrap();
+        assert_eq!(v["control"]["probe_rounds"].as_u64(), Some(9));
+        assert_eq!(v["control"]["terms"]["shard-0"].as_u64(), Some(2));
+        assert_eq!(v["control"]["map_version"].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn write_endpoints_are_first_class_metric_labels() {
+        let m = ServingMetrics::new();
+        m.record(Endpoint::PutOnline, 0.4, true);
+        m.record(Endpoint::Promote, 1.0, false);
+        let snap = m.snapshot();
+        assert_eq!(snap.endpoints["put_online"].requests, 1);
+        assert_eq!(snap.endpoints["promote"].errors, 1);
+        assert_eq!(m.total_requests(), 2);
     }
 
     #[test]

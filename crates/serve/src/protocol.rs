@@ -55,6 +55,14 @@ pub enum ErrorCode {
     /// The request frame's declared length exceeds the server's
     /// configured per-request ceiling.
     FrameTooLarge = 10,
+    /// A write (or admin request) carried a leader term this node cannot
+    /// honour: either the node was never promoted for the shard, or the
+    /// term does not match its current one. The message is always
+    /// `current_term=N` so clients recover the node's term in typed form
+    /// ([`ClientError::NotLeader`]) and re-route through a fresh map.
+    ///
+    /// [`ClientError::NotLeader`]: crate::ClientError::NotLeader
+    NotLeader = 11,
 }
 
 impl ErrorCode {
@@ -70,6 +78,7 @@ impl ErrorCode {
             8 => ErrorCode::DimensionMismatch,
             9 => ErrorCode::DeadlineExceeded,
             10 => ErrorCode::FrameTooLarge,
+            11 => ErrorCode::NotLeader,
             tag => {
                 return Err(WireError::BadTag {
                     ty: "ErrorCode",
@@ -167,6 +176,30 @@ pub enum Request {
     /// [`ErrorCode::DeadlineExceeded`] instead of executing it. Wrappers
     /// never nest.
     WithDeadline { budget_ms: u32, inner: Box<Request> },
+    /// Write one entity's online features, fenced by a leader term: the
+    /// server applies the row only when `term` equals its current term
+    /// (and it holds a write provider), answering [`Response::PutAck`]
+    /// after the write reaches the WAL commit point; any term mismatch is
+    /// refused with [`ErrorCode::NotLeader`]. Non-idempotent: clients
+    /// never blind-retry it.
+    PutOnline {
+        group: String,
+        entity: String,
+        values: Vec<(String, Value)>,
+        term: u64,
+    },
+    /// Admin (control plane → data plane): become the write leader for
+    /// `shard` at leader term `term`. A follower stops syncing and wraps
+    /// its replicated components in a fresh leader; a node already leading
+    /// at `term` or above answers idempotently. A stale `term` is refused
+    /// with [`ErrorCode::NotLeader`].
+    Promote { shard: u32, term: u64 },
+    /// Admin (control plane → data plane): fence this node for `shard` at
+    /// `term` — drop any write provider and refuse every write below (or
+    /// at) the fenced term from now on. Sent to demoted endpoints after a
+    /// promotion so a revived zombie leader cannot accept stale-term
+    /// writes. Idempotent for equal-or-lower terms.
+    Demote { shard: u32, term: u64 },
 }
 
 impl Request {
@@ -184,14 +217,16 @@ impl Request {
             Request::ReplSnapshot => Endpoint::ReplSnapshot,
             Request::ReplDeltas { .. } => Endpoint::ReplDeltas,
             Request::WithDeadline { inner, .. } => inner.endpoint(),
+            Request::PutOnline { .. } => Endpoint::PutOnline,
+            Request::Promote { .. } | Request::Demote { .. } => Endpoint::Promote,
         }
     }
 
     /// Whether re-sending this request cannot change server state — the
     /// precondition for a client to retry it on another connection or
-    /// endpoint. Every request on the wire today is a read, but the
-    /// classification is explicit so future mutating endpoints default to
-    /// non-retryable.
+    /// endpoint. Reads are idempotent; [`Request::PutOnline`] mutates the
+    /// online store and [`Request::Promote`]/[`Request::Demote`] mutate a
+    /// node's leadership, so none of them is ever blind-retried.
     pub fn is_idempotent(&self) -> bool {
         match self {
             Request::Health
@@ -204,6 +239,7 @@ impl Request {
             | Request::ReplSnapshot
             | Request::ReplDeltas { .. } => true,
             Request::WithDeadline { inner, .. } => inner.is_idempotent(),
+            Request::PutOnline { .. } | Request::Promote { .. } | Request::Demote { .. } => false,
         }
     }
 
@@ -284,6 +320,32 @@ impl Request {
                 buf.put_u32(*budget_ms);
                 inner.encode_into(buf);
             }
+            Request::PutOnline {
+                group,
+                entity,
+                values,
+                term,
+            } => {
+                buf.put_u8(10);
+                buf.put_u64(*term);
+                put_str(buf, group);
+                put_str(buf, entity);
+                buf.put_u32(values.len() as u32);
+                for (feature, value) in values {
+                    put_str(buf, feature);
+                    put_value(buf, value);
+                }
+            }
+            Request::Promote { shard, term } => {
+                buf.put_u8(11);
+                buf.put_u32(*shard);
+                buf.put_u64(*term);
+            }
+            Request::Demote { shard, term } => {
+                buf.put_u8(12);
+                buf.put_u32(*shard);
+                buf.put_u64(*term);
+            }
         }
     }
 
@@ -334,6 +396,31 @@ impl Request {
             9 if allow_deadline => Request::WithDeadline {
                 budget_ms: r.take_u32()?,
                 inner: Box::new(Self::decode_tagged(r, false)?),
+            },
+            10 => {
+                let term = r.take_u64()?;
+                let group = r.take_str()?;
+                let entity = r.take_str()?;
+                let n = r.take_len()?;
+                let mut values = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let feature = r.take_str()?;
+                    values.push((feature, take_value(r)?));
+                }
+                Request::PutOnline {
+                    group,
+                    entity,
+                    values,
+                    term,
+                }
+            }
+            11 => Request::Promote {
+                shard: r.take_u32()?,
+                term: r.take_u64()?,
+            },
+            12 => Request::Demote {
+                shard: r.take_u32()?,
+                term: r.take_u64()?,
             },
             tag => return Err(WireError::BadTag { ty: "Request", tag }),
         };
@@ -499,6 +586,16 @@ pub enum Response {
         lagged: bool,
         deltas: Vec<WireDelta>,
     },
+    /// A fenced write (or admin request) was accepted. For
+    /// [`Request::PutOnline`], `epoch` is the replication sequence number
+    /// the write committed at (it is in the WAL before this frame leaves
+    /// the server) and `term` echoes the leader term it was accepted
+    /// under; for `Promote`/`Demote`, `epoch` is 0 and `term` is the
+    /// node's term after the transition.
+    PutAck {
+        epoch: u64,
+        term: u64,
+    },
 }
 
 impl Response {
@@ -606,6 +703,11 @@ impl Response {
                     d.encode(buf);
                 }
             }
+            Response::PutAck { epoch, term } => {
+                buf.put_u8(9);
+                buf.put_u64(*epoch);
+                buf.put_u64(*term);
+            }
         }
     }
 
@@ -695,6 +797,10 @@ impl Response {
                     deltas,
                 }
             }
+            9 => Response::PutAck {
+                epoch: r.take_u64()?,
+                term: r.take_u64()?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     ty: "Response",
@@ -1088,16 +1194,58 @@ mod tests {
     #[test]
     fn bad_tags_are_rejected() {
         assert!(matches!(
-            Request::decode(&[10]),
+            Request::decode(&[13]),
             Err(WireError::BadTag {
                 ty: "Request",
-                tag: 10
+                tag: 13
             })
         ));
         assert!(matches!(
-            Response::decode(&[9]),
+            Response::decode(&[10]),
             Err(WireError::BadTag { .. })
         ));
+    }
+
+    #[test]
+    fn write_and_admin_frames_round_trip() {
+        let put = Request::PutOnline {
+            group: "user".into(),
+            entity: "u42".into(),
+            values: vec![
+                ("clicks".into(), Value::Int(7)),
+                ("ctr".into(), Value::Float(0.25)),
+                ("vip".into(), Value::Bool(true)),
+                ("country".into(), Value::Str("de".into())),
+                ("seen".into(), Value::Timestamp(Timestamp::millis(60_000))),
+                ("gone".into(), Value::Null),
+            ],
+            term: 3,
+        };
+        assert_eq!(Request::decode(&put.encode()).unwrap(), put);
+        assert!(!put.is_idempotent());
+        assert_eq!(put.endpoint(), crate::metrics::Endpoint::PutOnline);
+
+        for req in [
+            Request::Promote { shard: 2, term: 5 },
+            Request::Demote { shard: 2, term: 5 },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+            assert!(!req.is_idempotent());
+            assert_eq!(req.endpoint(), crate::metrics::Endpoint::Promote);
+        }
+
+        // A deadline-wrapped write keeps the write's retry classification.
+        let wrapped = Request::WithDeadline {
+            budget_ms: 100,
+            inner: Box::new(put),
+        };
+        assert_eq!(Request::decode(&wrapped.encode()).unwrap(), wrapped);
+        assert!(!wrapped.is_idempotent());
+
+        let ack = Response::PutAck { epoch: 17, term: 3 };
+        assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
+        let fenced = Response::error(ErrorCode::NotLeader, "current_term=4");
+        assert_eq!(Response::decode(&fenced.encode()).unwrap(), fenced);
     }
 
     #[test]

@@ -43,6 +43,30 @@ pub fn classify(error: &ClientError) -> ErrorClass {
             _ => ErrorClass::Fatal,
         },
         ClientError::UnexpectedResponse(_) => ErrorClass::Fatal,
+        // A fencing refusal is definitive for *this* endpoint — only a
+        // router holding a fresher shard map can act on it.
+        ClientError::NotLeader { .. } => ErrorClass::Fatal,
+        // Already the sealed verdict on a non-idempotent request; retrying
+        // it is exactly what the wrapper exists to prevent.
+        ClientError::WriteFailed { .. } => ErrorClass::Fatal,
+    }
+}
+
+/// Seal the failure of a non-idempotent request so no outer layer
+/// blind-retries it: transport-class failures are wrapped in
+/// [`ClientError::WriteFailed`] (classified [`ErrorClass::Fatal`]),
+/// recording whether the request was ever dispatched — `dispatched =
+/// false` (e.g. the connect failed) proves the write was not applied,
+/// while a failure after dispatch leaves the outcome unknown. Idempotent
+/// requests and typed server refusals (which prove non-application by
+/// themselves) pass through untouched.
+pub fn seal_write_failure(request: &Request, dispatched: bool, error: ClientError) -> ClientError {
+    if request.is_idempotent() || classify(&error) != ErrorClass::Transport {
+        return error;
+    }
+    ClientError::WriteFailed {
+        applied: if dispatched { None } else { Some(false) },
+        cause: Box::new(error),
     }
 }
 
@@ -177,30 +201,35 @@ impl RetryingClient {
 
     /// Send one request, retrying transient failures of idempotent
     /// requests with backoff. Non-idempotent requests get exactly one
-    /// try on an established connection. Typed server pushback
-    /// (`Overloaded`, `ShuttingDown`) counts as a transient failure even
-    /// though it arrives as a well-formed response.
+    /// try on an established connection, and a transport failure of one
+    /// comes back as [`ClientError::WriteFailed`] — `applied:
+    /// Some(false)` when the connect itself failed (provably never
+    /// dispatched), `applied: None` when the failure arrived after
+    /// dispatch. Typed server pushback (`Overloaded`, `ShuttingDown`)
+    /// counts as a transient failure even though it arrives as a
+    /// well-formed response.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let mut attempt: u32 = 0;
         loop {
-            let result = self
-                .ensure_conn()
-                .and_then(|conn| conn.call(request))
-                .inspect_err(|e| {
-                    if classify(e) == ErrorClass::Transport {
-                        // The stream may hold half a frame; never reuse it.
-                        self.conn = None;
+            let (error, dispatched) = match self.ensure_conn() {
+                Err(error) => (error, false),
+                Ok(conn) => match conn.call(request) {
+                    Ok(response) => match pushback(&response) {
+                        Some(error) => (error, true),
+                        None => return Ok(response),
+                    },
+                    Err(error) => {
+                        if classify(&error) == ErrorClass::Transport {
+                            // The stream may hold half a frame; never
+                            // reuse it.
+                            self.conn = None;
+                        }
+                        (error, true)
                     }
-                });
-            let error = match result {
-                Ok(response) => match pushback(&response) {
-                    Some(error) => error,
-                    None => return Ok(response),
                 },
-                Err(error) => error,
             };
             if !self.policy.should_retry(request, &error, attempt) {
-                return Err(error);
+                return Err(seal_write_failure(request, dispatched, error));
             }
             let unit = self.rng.next_f64();
             std::thread::sleep(self.policy.backoff(attempt, unit));
@@ -223,26 +252,31 @@ impl RetryingClient {
         let retryable = requests.iter().all(Request::is_idempotent);
         let mut attempt: u32 = 0;
         loop {
-            let result = self
-                .ensure_conn()
-                .and_then(|conn| conn.call_many(requests))
-                .inspect_err(|e| {
-                    if classify(e) == ErrorClass::Transport {
-                        self.conn = None;
+            let (error, dispatched) = match self.ensure_conn() {
+                Err(error) => (error, false),
+                Ok(conn) => match conn.call_many(requests) {
+                    Ok(responses) => match responses.iter().find_map(pushback) {
+                        Some(error) => (error, true),
+                        None => return Ok(responses),
+                    },
+                    Err(error) => {
+                        if classify(&error) == ErrorClass::Transport {
+                            self.conn = None;
+                        }
+                        (error, true)
                     }
-                });
-            let error = match result {
-                Ok(responses) => match responses.iter().find_map(pushback) {
-                    Some(error) => error,
-                    None => return Ok(responses),
                 },
-                Err(error) => error,
             };
             if !retryable
                 || attempt + 1 >= self.policy.max_attempts
                 || classify(&error) == ErrorClass::Fatal
             {
-                return Err(error);
+                // A batch holding any write gets the same sealed verdict
+                // as a single write: never blind-retried, outcome typed.
+                return Err(match requests.iter().find(|r| !r.is_idempotent()) {
+                    Some(write) => seal_write_failure(write, dispatched, error),
+                    None => error,
+                });
             }
             let unit = self.rng.next_f64();
             std::thread::sleep(self.policy.backoff(attempt, unit));
@@ -292,6 +326,60 @@ mod tests {
             classify(&ClientError::UnexpectedResponse("x")),
             ErrorClass::Fatal
         );
+        assert_eq!(
+            classify(&ClientError::NotLeader { current_term: 3 }),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            classify(&ClientError::WriteFailed {
+                applied: None,
+                cause: Box::new(ClientError::ConnectionClosed),
+            }),
+            ErrorClass::Fatal
+        );
+    }
+
+    #[test]
+    fn write_failures_are_sealed_and_never_retried() {
+        let write = Request::PutOnline {
+            group: "g".into(),
+            entity: "e".into(),
+            values: vec![],
+            term: 1,
+        };
+        // Connect failure: provably never dispatched.
+        let refused = ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "refused",
+        ));
+        let sealed = seal_write_failure(&write, false, refused);
+        assert!(matches!(
+            sealed,
+            ClientError::WriteFailed {
+                applied: Some(false),
+                ..
+            }
+        ));
+        // Failure after dispatch: outcome unknown.
+        let sealed = seal_write_failure(&write, true, ClientError::ConnectionClosed);
+        assert!(matches!(
+            sealed,
+            ClientError::WriteFailed { applied: None, .. }
+        ));
+        // The sealed verdict classifies Fatal, so no retry loop touches it.
+        assert_eq!(classify(&sealed), ErrorClass::Fatal);
+        assert!(!RetryPolicy::default().should_retry(&write, &sealed, 0));
+        // A typed refusal proves non-application by itself: untouched.
+        let not_leader = ClientError::NotLeader { current_term: 2 };
+        assert!(matches!(
+            seal_write_failure(&write, true, not_leader),
+            ClientError::NotLeader { current_term: 2 }
+        ));
+        // Idempotent requests pass through unchanged.
+        assert!(matches!(
+            seal_write_failure(&Request::Health, true, ClientError::ConnectionClosed),
+            ClientError::ConnectionClosed
+        ));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::protocol::{ErrorCode, Request, Response, WireDelta, WireVector};
 use crate::repl::{check_snapshot_len, ReplProvider};
 use crossbeam::channel::{bounded, Receiver};
 use fstore_common::DeltaQuery;
-use fstore_common::{EntityKey, FsError, Timestamp};
+use fstore_common::{EntityKey, FsError, Timestamp, Value};
 use fstore_core::FeatureServer;
 use fstore_embed::{EmbeddingDb, EmbeddingStore};
 use parking_lot::Mutex;
@@ -215,12 +215,191 @@ pub fn atomic_clock(millis: Arc<AtomicI64>) -> Clock {
     Arc::new(move || Timestamp::millis(millis.load(Ordering::Acquire)))
 }
 
+/// The engine-side sink for fenced online writes. A replication leader
+/// implements this by applying the row, appending it to its publication
+/// log, and — when durability is attached — returning only after the
+/// delta's WAL commit point, so a `PutAck` always names a committed write.
+pub trait WriteProvider: Send + Sync {
+    /// Apply one entity's features and return the replication sequence
+    /// number the write was published at.
+    fn put_online(
+        &self,
+        group: &str,
+        entity: &EntityKey,
+        values: &[(String, Value)],
+        now: Timestamp,
+    ) -> fstore_common::Result<u64>;
+}
+
+/// What a promotion hook does: turn this node into a write leader (stop
+/// follower sync, wrap the replicated components in a fresh leader) and
+/// hand back the provider writes should flow through.
+pub type PromoteHook =
+    Arc<dyn Fn(u64) -> fstore_common::Result<Arc<dyn WriteProvider>> + Send + Sync>;
+
+struct WriteInner {
+    /// The leader term this node currently operates under. 0 = never
+    /// promoted (a read replica or a plain read-only server).
+    term: u64,
+    /// Present iff this node is the write leader at `term`.
+    provider: Option<Arc<dyn WriteProvider>>,
+}
+
+/// A node's fenced write state: its leader term plus the provider writes
+/// flow through. One mutex serializes every write, promotion, and fence,
+/// so term checks and row application are atomic — a concurrent demotion
+/// can never interleave between "term matched" and "row applied", which
+/// is exactly the window a zombie acknowledgment would need.
+pub struct WriteState {
+    inner: Mutex<WriteInner>,
+    promote_hook: Mutex<Option<PromoteHook>>,
+}
+
+impl WriteState {
+    fn new() -> Arc<WriteState> {
+        Arc::new(WriteState {
+            inner: Mutex::new(WriteInner {
+                term: 0,
+                provider: None,
+            }),
+            promote_hook: Mutex::new(None),
+        })
+    }
+
+    fn not_leader(current: u64) -> Response {
+        // Fixed message shape: clients parse the current term back out
+        // into the typed `ClientError::NotLeader`.
+        Response::error(ErrorCode::NotLeader, format!("current_term={current}"))
+    }
+
+    /// Install a write provider at `term` (startup wiring for a node that
+    /// begins life as the leader).
+    pub fn install(&self, provider: Arc<dyn WriteProvider>, term: u64) {
+        let mut inner = self.inner.lock();
+        inner.provider = Some(provider);
+        inner.term = term;
+    }
+
+    /// Register the hook [`Request::Promote`] runs to turn this node into
+    /// a leader.
+    pub fn set_promote_hook(&self, hook: PromoteHook) {
+        *self.promote_hook.lock() = Some(hook);
+    }
+
+    /// The node's current leader term (0 = never promoted).
+    pub fn current_term(&self) -> u64 {
+        self.inner.lock().term
+    }
+
+    /// Whether this node currently holds a write provider.
+    pub fn is_leader(&self) -> bool {
+        self.inner.lock().provider.is_some()
+    }
+
+    /// Handle one fenced write. The write applies only when `term` equals
+    /// the node's current term and a provider is installed; a *newer*
+    /// term proves this node was superseded by a promotion it never heard
+    /// about, so it self-fences (drops its provider) before refusing.
+    pub fn put_online(
+        &self,
+        group: &str,
+        entity: &str,
+        values: &[(String, Value)],
+        term: u64,
+        now: Timestamp,
+    ) -> Response {
+        let mut inner = self.inner.lock();
+        if term > inner.term {
+            // Someone holds a map from a later promotion: this node's
+            // leadership (if any) is over. Fence first, then refuse.
+            inner.term = term;
+            inner.provider = None;
+            return Self::not_leader(inner.term);
+        }
+        let Some(provider) = inner.provider.clone() else {
+            return Self::not_leader(inner.term);
+        };
+        if term < inner.term {
+            return Self::not_leader(inner.term);
+        }
+        // Applying under the lock keeps "term matched" and "row applied"
+        // one atomic step; the provider returns only after the write is
+        // in the WAL (when durability is attached), so the ack below
+        // always names a committed write.
+        match provider.put_online(group, &EntityKey::new(entity), values, now) {
+            Ok(epoch) => Response::PutAck {
+                epoch,
+                term: inner.term,
+            },
+            Err(e) => Response::error(
+                ErrorCode::Internal,
+                format!("write not committed (retry may duplicate): {e}"),
+            ),
+        }
+    }
+
+    /// Handle [`Request::Promote`]: become (or remain) the leader at
+    /// `term`. Idempotent for a node already leading at `term` or above;
+    /// a stale term is refused so a delayed promote frame can never
+    /// regress leadership.
+    pub fn promote(&self, term: u64) -> Response {
+        let mut inner = self.inner.lock();
+        if term < inner.term {
+            return Self::not_leader(inner.term);
+        }
+        if inner.provider.is_some() {
+            inner.term = term;
+            return Response::PutAck {
+                epoch: 0,
+                term: inner.term,
+            };
+        }
+        let hook = self.promote_hook.lock().clone();
+        let Some(hook) = hook else {
+            return Response::error(
+                ErrorCode::BadRequest,
+                "this node has no promotion hook (not a promotable replica)",
+            );
+        };
+        match hook(term) {
+            Ok(provider) => {
+                inner.provider = Some(provider);
+                inner.term = term;
+                Response::PutAck {
+                    epoch: 0,
+                    term: inner.term,
+                }
+            }
+            Err(e) => Response::error(ErrorCode::Internal, format!("promotion failed: {e}")),
+        }
+    }
+
+    /// Handle [`Request::Demote`]: fence this node at `term` — drop any
+    /// provider and refuse every write below the fenced term from now on.
+    /// A demote carrying a term *below* the node's current one is stale
+    /// (it predates a newer promotion) and is refused without touching
+    /// the provider.
+    pub fn demote(&self, term: u64) -> Response {
+        let mut inner = self.inner.lock();
+        if term < inner.term {
+            return Self::not_leader(inner.term);
+        }
+        inner.term = term;
+        inner.provider = None;
+        Response::PutAck {
+            epoch: 0,
+            term: inner.term,
+        }
+    }
+}
+
 /// Everything a worker needs to answer requests.
 pub struct ServeEngine {
     server: FeatureServer,
     embeddings: Option<EmbeddingDb>,
     indexes: Option<Arc<IndexCatalog>>,
     repl: Option<Arc<dyn ReplProvider>>,
+    writes: Arc<WriteState>,
     clock: Clock,
 }
 
@@ -231,6 +410,7 @@ impl ServeEngine {
             embeddings: None,
             indexes: None,
             repl: None,
+            writes: WriteState::new(),
             clock,
         }
     }
@@ -270,6 +450,29 @@ impl ServeEngine {
     pub fn with_replication(mut self, provider: Arc<dyn ReplProvider>) -> Self {
         self.repl = Some(provider);
         self
+    }
+
+    /// Make this server the write leader at `term`: `PutOnline` requests
+    /// carrying exactly that term flow through `provider`; every other
+    /// term is refused with [`ErrorCode::NotLeader`].
+    pub fn with_write_provider(self, provider: Arc<dyn WriteProvider>, term: u64) -> Self {
+        self.writes.install(provider, term);
+        self
+    }
+
+    /// Make this server promotable: [`Request::Promote`] runs `hook` to
+    /// turn the node into a write leader in place (the serving threads
+    /// keep running throughout).
+    pub fn with_promote_hook(self, hook: PromoteHook) -> Self {
+        self.writes.set_promote_hook(hook);
+        self
+    }
+
+    /// The node's fenced write state — shared with the running server, so
+    /// a harness (or the control plane, over the wire) can observe terms
+    /// and leadership after `start()` consumed the engine.
+    pub fn write_state(&self) -> Arc<WriteState> {
+        Arc::clone(&self.writes)
     }
 
     pub fn now(&self) -> Timestamp {
@@ -422,6 +625,16 @@ impl ServeEngine {
                     },
                 }
             }
+            Request::PutOnline {
+                group,
+                entity,
+                values,
+                term,
+            } => self
+                .writes
+                .put_online(group, entity, values, *term, self.now()),
+            Request::Promote { shard: _, term } => self.writes.promote(*term),
+            Request::Demote { shard: _, term } => self.writes.demote(*term),
         }
     }
 }

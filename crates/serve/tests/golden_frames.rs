@@ -78,6 +78,33 @@ fn request_corpus() -> Vec<Request> {
             budget_ms: 0,
             inner: Box::new(Request::Health),
         },
+        Request::PutOnline {
+            group: "user_stats".into(),
+            entity: "user-42".into(),
+            values: vec![
+                ("n".into(), Value::Null),
+                ("i".into(), Value::Int(i64::MIN)),
+                ("f".into(), Value::Float(-0.125)),
+                ("b".into(), Value::Bool(false)),
+                ("s".into(), Value::Str("écrit 🦀".into())),
+                (
+                    "t".into(),
+                    Value::Timestamp(Timestamp::millis(1_700_000_000_000)),
+                ),
+            ],
+            term: 7,
+        },
+        Request::PutOnline {
+            group: String::new(),
+            entity: String::new(),
+            values: vec![],
+            term: u64::MAX,
+        },
+        Request::Promote { shard: 2, term: 8 },
+        Request::Demote {
+            shard: 0,
+            term: u64::MAX,
+        },
     ]
 }
 
@@ -183,6 +210,14 @@ fn response_corpus() -> Vec<Response> {
                     body: "row".into(),
                 },
             ],
+        },
+        Response::PutAck {
+            epoch: 123_456,
+            term: 9,
+        },
+        Response::Error {
+            code: ErrorCode::NotLeader,
+            message: "current_term=10".into(),
         },
     ]
 }

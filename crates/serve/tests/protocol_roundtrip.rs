@@ -88,7 +88,21 @@ fn arb_bare_request() -> impl Strategy<Value = Request> {
         Just(Request::ReplSubscribe),
         Just(Request::ReplSnapshot),
         (0u64..1_000_000u64).prop_map(|from_epoch| Request::ReplDeltas { from_epoch }),
+        (arb_string(), arb_string(), arb_values(), 0u64..1_000_000u64).prop_map(
+            |(group, entity, values, term)| Request::PutOnline {
+                group,
+                entity,
+                values,
+                term,
+            }
+        ),
+        (0u32..16, 0u64..1_000_000u64).prop_map(|(shard, term)| Request::Promote { shard, term }),
+        (0u32..16, 0u64..1_000_000u64).prop_map(|(shard, term)| Request::Demote { shard, term }),
     ]
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<(String, Value)>> {
+    proptest::collection::vec((arb_string(), arb_value()), 0..5)
 }
 
 fn arb_query() -> impl Strategy<Value = Vec<f32>> {
@@ -147,6 +161,7 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::DimensionMismatch),
         Just(ErrorCode::DeadlineExceeded),
         Just(ErrorCode::FrameTooLarge),
+        Just(ErrorCode::NotLeader),
     ]
 }
 
@@ -234,6 +249,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 lagged,
                 deltas,
             }),
+        (0u64..1_000_000u64, 0u64..1_000_000u64)
+            .prop_map(|(epoch, term)| Response::PutAck { epoch, term }),
     ]
 }
 
@@ -293,15 +310,15 @@ proptest! {
 
 #[test]
 fn unknown_frame_tags_are_rejected() {
-    // Request tags 0..=9 and response tags 0..=8 are assigned; everything
+    // Request tags 0..=12 and response tags 0..=9 are assigned; everything
     // above must fail with a typed BadTag, not a panic or a misparse.
-    for tag in 10u8..=255 {
+    for tag in 13u8..=255 {
         assert!(
             matches!(Request::decode(&[tag]), Err(WireError::BadTag { .. })),
             "request tag {tag} was not rejected"
         );
     }
-    for tag in 9u8..=255 {
+    for tag in 10u8..=255 {
         assert!(
             matches!(Response::decode(&[tag]), Err(WireError::BadTag { .. })),
             "response tag {tag} was not rejected"

@@ -20,10 +20,12 @@
 
 use crate::map::{ShardId, ShardMap};
 use fstore_common::{SnapshotCell, Versioned};
-use fstore_serve::{ClientBuilder, ClientConfig, FeatureClient};
+use fstore_serve::{
+    ClientBuilder, ClientConfig, ClientError, ControlSnapshot, ErrorCode, FeatureClient, StoreApi,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -64,6 +66,9 @@ pub struct PromotionEvent {
     pub promoted: String,
     /// The map version the promotion published.
     pub map_version: u64,
+    /// The leader term the promotion granted — every routed write to the
+    /// shard now carries it, and the old leader is fenced below it.
+    pub term: u64,
 }
 
 /// Owns the versioned shard map and the probe loop.
@@ -73,6 +78,16 @@ pub struct ControlPlane {
     /// Consecutive failed probes per shard, reset by any success.
     strikes: Mutex<HashMap<u32, u32>>,
     promotions: Mutex<Vec<PromotionEvent>>,
+    /// Promote commands awaiting delivery: shard id → (new leader
+    /// endpoint, granted term). Retried every probe round until acked, so
+    /// a promote lost to a transient connect failure still lands.
+    pending_promotes: Mutex<HashMap<u32, (String, u64)>>,
+    /// Demote fences awaiting delivery: demoted endpoint → fence term.
+    /// Retried every probe round; a dead ex-leader is fenced the moment
+    /// it revives and answers again, closing the zombie window.
+    pending_fences: Mutex<HashMap<String, u64>>,
+    /// Completed probe rounds.
+    probe_rounds: AtomicU64,
 }
 
 impl ControlPlane {
@@ -82,6 +97,9 @@ impl ControlPlane {
             config,
             strikes: Mutex::new(HashMap::new()),
             promotions: Mutex::new(Vec::new()),
+            pending_promotes: Mutex::new(HashMap::new()),
+            pending_fences: Mutex::new(HashMap::new()),
+            probe_rounds: AtomicU64::new(0),
         })
     }
 
@@ -105,9 +123,15 @@ impl ControlPlane {
         self.promotions.lock().clone()
     }
 
-    /// Promote `shard`'s first follower to preferred endpoint and publish
-    /// the new map. Returns the event, or `None` if the shard is unknown
-    /// or has no follower.
+    /// Promote `shard`'s first follower to preferred endpoint, bump its
+    /// leader term, and publish the new map. Returns the event, or `None`
+    /// if the shard is unknown or has no follower.
+    ///
+    /// Publication also queues the data-plane half for delivery: a
+    /// `Promote` to the new leader (so it starts accepting writes at the
+    /// granted term) and a `Demote` fence to the old one (so a revived
+    /// zombie refuses writes stamped with its stale term). Both are
+    /// retried every probe round until acked.
     pub fn promote(&self, shard: ShardId) -> Option<PromotionEvent> {
         // Serialize topology changes through the cell's updater so two
         // concurrent promotions cannot both derive from the same base map.
@@ -116,64 +140,188 @@ impl ControlPlane {
                 return (map.clone(), None);
             };
             let demoted = map.shard(shard).expect("promoted from this map").leader();
+            let info = next.shard(shard).expect("still present");
             let event = PromotionEvent {
                 shard,
                 demoted: demoted.to_string(),
-                promoted: next
-                    .shard(shard)
-                    .expect("still present")
-                    .leader()
-                    .to_string(),
+                promoted: info.leader().to_string(),
                 map_version: next.version(),
+                term: info.term,
             };
             (next, Some(event))
         });
         if let Some(event) = &event {
             self.strikes.lock().remove(&shard.0);
+            self.pending_promotes
+                .lock()
+                .insert(shard.0, (event.promoted.clone(), event.term));
+            // A newer fence for the same endpoint supersedes an older one.
+            self.pending_fences
+                .lock()
+                .insert(event.demoted.clone(), event.term);
             self.promotions.lock().push(event.clone());
         }
         event
     }
 
-    /// One probe round: health-check every shard leader, count strikes,
-    /// promote shards whose leader crossed the failure threshold. Returns
-    /// the promotions this round performed.
+    /// One probe round: health-check every shard leader *concurrently*
+    /// (detection latency is one probe deadline, not shard-count of
+    /// them), count strikes, promote shards whose leader crossed the
+    /// failure threshold, then retry any undelivered promote/fence
+    /// commands. Returns the promotions this round performed.
     pub fn probe_once(&self) -> Vec<PromotionEvent> {
         let map = self.map();
+        let alive: Vec<(ShardId, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = map
+                .shards()
+                .iter()
+                .map(|shard| {
+                    let addr = shard.leader().to_string();
+                    let id = shard.id;
+                    scope.spawn(move || (id, self.probe_leader(&addr)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe thread panicked"))
+                .collect()
+        });
         let mut promoted = Vec::new();
-        for shard in map.shards() {
-            if self.probe_leader(shard.leader()) {
-                self.strikes.lock().remove(&shard.id.0);
+        for (id, alive) in alive {
+            if alive {
+                self.strikes.lock().remove(&id.0);
                 continue;
             }
             let strikes = {
                 let mut strikes = self.strikes.lock();
-                let s = strikes.entry(shard.id.0).or_insert(0);
+                let s = strikes.entry(id.0).or_insert(0);
                 *s += 1;
                 *s
             };
             if strikes >= self.config.failure_threshold {
-                if let Some(event) = self.promote(shard.id) {
+                if let Some(event) = self.promote(id) {
                     promoted.push(event);
                 }
             }
         }
+        self.deliver_pending();
+        self.probe_rounds.fetch_add(1, Ordering::AcqRel);
         promoted
     }
 
-    /// Whether `addr` answers a health probe within the probe deadlines.
+    /// Whether `addr` counts as alive. A healthy answer is alive; so is
+    /// typed pushback (`Overloaded`, `ShuttingDown`) — a shedding or
+    /// draining server is *up* and pushing back, and promoting it would
+    /// turn load into a spurious failover. Only silence (connect/read
+    /// failure) and hard protocol violations strike.
     fn probe_leader(&self, addr: &str) -> bool {
+        let Some(mut client) = self.probe_client(addr) else {
+            return false;
+        };
+        match client.health() {
+            Ok(_) => true,
+            Err(ClientError::Server { code, .. }) => {
+                matches!(code, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// A one-shot direct connection under the probe deadlines.
+    fn probe_client(&self, addr: &str) -> Option<FeatureClient> {
         let built = ClientBuilder::new()
             .endpoint(addr)
             .connect_timeout(self.config.probe.connect_timeout)
             .read_timeout(self.config.probe.read_timeout)
             .write_timeout(self.config.probe.write_timeout)
             .build();
-        let mut client: FeatureClient = match built {
-            Ok(fstore_serve::AnyClient::Direct(c)) => c,
-            _ => return false,
+        match built {
+            Ok(fstore_serve::AnyClient::Direct(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Retry undelivered promote and fence commands. An entry leaves the
+    /// queue when the node acks it — or answers `NotLeader` with a term
+    /// at or above the command's, which proves the node already sits at
+    /// (or beyond) the state the command was meant to install.
+    fn deliver_pending(&self) {
+        let promotes: Vec<(u32, String, u64)> = self
+            .pending_promotes
+            .lock()
+            .iter()
+            .map(|(&shard, (addr, term))| (shard, addr.clone(), *term))
+            .collect();
+        for (shard, addr, term) in promotes {
+            if self.deliver(&addr, |c| c.promote(shard, term), term) {
+                let mut pending = self.pending_promotes.lock();
+                // Only clear the entry this delivery was for — a newer
+                // promotion may have replaced it mid-flight.
+                if pending
+                    .get(&shard)
+                    .is_some_and(|(a, t)| a == &addr && *t == term)
+                {
+                    pending.remove(&shard);
+                }
+            }
+        }
+        let fences: Vec<(String, u64)> = self
+            .pending_fences
+            .lock()
+            .iter()
+            .map(|(addr, &term)| (addr.clone(), term))
+            .collect();
+        for (addr, term) in fences {
+            // The shard id is advisory on a demote; 0 keeps the frame valid.
+            if self.deliver(&addr, |c| c.demote(0, term), term) {
+                let mut pending = self.pending_fences.lock();
+                if pending.get(&addr) == Some(&term) {
+                    pending.remove(&addr);
+                }
+            }
+        }
+    }
+
+    /// Run one admin command against `addr`; true when the queue entry is
+    /// settled (acked, or refused by a node already at/above `term`).
+    fn deliver(
+        &self,
+        addr: &str,
+        op: impl FnOnce(&mut FeatureClient) -> Result<fstore_serve::WriteAck, ClientError>,
+        term: u64,
+    ) -> bool {
+        let Some(mut client) = self.probe_client(addr) else {
+            return false;
         };
-        client.health().is_ok()
+        match op(&mut client) {
+            Ok(_) => true,
+            Err(ClientError::NotLeader { current_term }) => current_term >= term,
+            Err(_) => false,
+        }
+    }
+
+    /// Control-plane observability, merged into serving metrics via
+    /// [`fstore_serve::ServingMetrics::set_control_provider`].
+    pub fn snapshot(&self) -> ControlSnapshot {
+        let map = self.map();
+        ControlSnapshot {
+            probe_rounds: self.probe_rounds.load(Ordering::Acquire),
+            promotions: self.promotions.lock().len() as u64,
+            map_version: map.version(),
+            strikes: self
+                .strikes
+                .lock()
+                .iter()
+                .map(|(&shard, &s)| (ShardId(shard).to_string(), u64::from(s)))
+                .collect(),
+            terms: map
+                .shards()
+                .iter()
+                .map(|s| (s.id.to_string(), s.term))
+                .collect(),
+            pending_fences: (self.pending_fences.lock().len() + self.pending_promotes.lock().len())
+                as u64,
+        }
     }
 
     /// Run [`probe_once`](Self::probe_once) every `interval` on a

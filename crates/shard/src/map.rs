@@ -36,18 +36,30 @@ impl std::fmt::Display for ShardId {
     }
 }
 
-/// One shard's replica set: endpoints in preference order, leader first.
+/// One shard's replica set: endpoints in preference order, leader first,
+/// plus the leader term that fences writes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardInfo {
     pub id: ShardId,
     /// `endpoints[0]` is the leader (writes and preferred reads); the rest
     /// are followers a `FailoverClient` may fall back to.
     pub endpoints: Vec<String>,
+    /// The shard's leader term — bumped by every promotion, stamped onto
+    /// every routed write, and checked by the serving node before it
+    /// applies one. A node seeing a write with an older term than its own
+    /// refuses it; a node seeing a *newer* term self-fences (it was
+    /// superseded by a promotion it never heard about).
+    pub term: u64,
 }
 
 impl ShardInfo {
+    /// A shard starting at term 1 (the initial leader's term).
     pub fn new(id: ShardId, endpoints: Vec<String>) -> Self {
-        ShardInfo { id, endpoints }
+        ShardInfo {
+            id,
+            endpoints,
+            term: 1,
+        }
     }
 
     /// The current leader endpoint.
@@ -124,10 +136,10 @@ impl ShardMap {
     }
 
     /// A new map with `shard`'s dead leader rotated to the back of its
-    /// endpoint list (the first follower becomes leader) and the version
-    /// bumped. Returns `None` when the shard is unknown or has no follower
-    /// to promote — a one-endpoint shard stays down until its leader
-    /// returns.
+    /// endpoint list (the first follower becomes leader), the shard's
+    /// leader term bumped, and the map version bumped. Returns `None`
+    /// when the shard is unknown or has no follower to promote — a
+    /// one-endpoint shard stays down until its leader returns.
     pub fn promote(&self, shard: ShardId) -> Option<ShardMap> {
         let info = self.shard(shard)?;
         if info.endpoints.len() < 2 {
@@ -136,6 +148,7 @@ impl ShardMap {
         let mut shards = self.shards.clone();
         let info = shards.iter_mut().find(|s| s.id == shard).expect("found");
         info.endpoints.rotate_left(1);
+        info.term += 1;
         Some(ShardMap::with_version(shards, self.version + 1))
     }
 
@@ -199,6 +212,11 @@ mod tests {
         let m2 = m.promote(ShardId(0)).expect("has followers");
         assert_eq!(m2.version(), m.version() + 1);
         assert_eq!(m2.shard(ShardId(0)).unwrap().leader(), "b");
+        assert_eq!(
+            m2.shard(ShardId(0)).unwrap().term,
+            m.shard(ShardId(0)).unwrap().term + 1,
+            "promotion advances the shard's leader term"
+        );
         assert_eq!(
             m2.shard(ShardId(0)).unwrap().endpoints,
             vec!["b".to_string(), "c".into(), "a".into()]

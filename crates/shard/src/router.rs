@@ -30,6 +30,7 @@
 
 use crate::control::ControlPlane;
 use crate::map::{ShardId, ShardMap};
+use fstore_common::Value;
 use fstore_serve::api::{expect_embedding, Transport};
 use fstore_serve::{
     BreakerConfig, ClientConfig, ClientError, ErrorCode, FailoverClient, FailoverStats, Request,
@@ -195,10 +196,72 @@ impl RouterClient {
                     "replication endpoints are per-shard; subscribe to a shard leader directly",
                 ))
             }
+            Request::PutOnline {
+                group,
+                entity,
+                values,
+                ..
+            } => self.put_online_routed(group, entity, values),
+            // Leadership admin targets a shard by id, not by key.
+            Request::Promote { shard, .. } | Request::Demote { shard, .. } => {
+                let id = ShardId(*shard);
+                if self.map.shard(id).is_none() {
+                    return Ok(Response::error(
+                        ErrorCode::BadRequest,
+                        format!("unknown shard {shard}"),
+                    ));
+                }
+                self.shard_client(id).call(request)
+            }
             // The per-shard clients apply their own configured budget per
             // hop; the envelope's budget routes with the inner request.
             Request::WithDeadline { inner, .. } => self.route(inner),
         }
+    }
+
+    /// Route a write to the owning shard's leader, stamped with the
+    /// shard's *current* leader term from the map — whatever term the
+    /// caller wrote is replaced, because the router (not the caller) is
+    /// the party tracking promotions. A `NotLeader` refusal means the map
+    /// moved under us; adopt the control plane's newer map and re-route
+    /// exactly once with the fresh term and endpoint order. One retry is
+    /// safe — a refusal proves the write was not applied — and bounded,
+    /// so a flapping shard cannot trap the router in a loop.
+    fn put_online_routed(
+        &mut self,
+        group: &str,
+        entity: &str,
+        values: &[(String, Value)],
+    ) -> Result<Response, ClientError> {
+        let first = self.send_put(group, entity, values)?;
+        if !matches!(
+            &first,
+            Response::Error {
+                code: ErrorCode::NotLeader,
+                ..
+            }
+        ) {
+            return Ok(first);
+        }
+        self.refresh();
+        self.send_put(group, entity, values)
+    }
+
+    fn send_put(
+        &mut self,
+        group: &str,
+        entity: &str,
+        values: &[(String, Value)],
+    ) -> Result<Response, ClientError> {
+        let shard = self.map.shard_for(entity);
+        let term = self.map.shard(shard).expect("mapped shard").term;
+        let request = Request::PutOnline {
+            group: group.to_string(),
+            entity: entity.to_string(),
+            values: values.to_vec(),
+            term,
+        };
+        self.shard_client(shard).call(&request)
     }
 
     /// Aggregate health: queue depths summed, draining if any shard is.

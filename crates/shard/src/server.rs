@@ -178,6 +178,12 @@ fn error_response(error: &ClientError) -> Response {
             code: *code,
             message: message.clone(),
         },
+        // Re-encode the typed refusal exactly as a shard would, so a
+        // client behind the router front can parse the term back out.
+        ClientError::NotLeader { current_term } => {
+            Response::error(ErrorCode::NotLeader, format!("current_term={current_term}"))
+        }
+        ClientError::WriteFailed { .. } => Response::error(ErrorCode::Internal, format!("{error}")),
         ClientError::Wire(WireError::Oversized(n)) => Response::error(
             ErrorCode::FrameTooLarge,
             format!("shard response declared {n} bytes"),

@@ -13,8 +13,8 @@ use fstore_common::{EntityKey, Timestamp, Value};
 use fstore_embed::{EmbeddingProvenance, EmbeddingTable};
 use fstore_repl::{LeaderParts, ReplLeader};
 use fstore_serve::{
-    fixed_clock, start, ErrorCode, FeatureClient, IndexSpec, Request, Response, ServeConfig,
-    StoreApi, WireHit,
+    fixed_clock, start, ClientError, ErrorCode, FeatureClient, IndexSpec, Request, Response,
+    ServeConfig, StoreApi, WireHit,
 };
 use fstore_shard::{ClusterConfig, ShardCluster, ShardId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,12 +38,14 @@ fn score_for(u: usize) -> f64 {
 /// exactly the keys the map assigns it, then an index over its slice.
 fn seed(cluster: &ShardCluster) {
     for u in 0..USERS {
-        cluster.put_online(
-            "user",
-            &EntityKey::new(format!("u{u}")),
-            &[("score", Value::Float(score_for(u)))],
-            NOW,
-        );
+        cluster
+            .put_online(
+                "user",
+                &EntityKey::new(format!("u{u}")),
+                &[("score", Value::Float(score_for(u)))],
+                NOW,
+            )
+            .unwrap();
     }
     for shard in cluster.map().shards() {
         let mut table = EmbeddingTable::new(DIM).expect("dim > 0");
@@ -274,12 +276,14 @@ fn leader_kill_promotes_a_follower_with_zero_wrong_answers() {
     let moved: usize = (0..USERS)
         .find(|u| cluster.shard_for(&format!("u{u}")) == victim)
         .expect("the victim shard owns at least one seeded user");
-    cluster.put_online(
-        "user",
-        &EntityKey::new(format!("u{moved}")),
-        &[("score", Value::Float(99.5))],
-        NOW,
-    );
+    cluster
+        .put_online(
+            "user",
+            &EntityKey::new(format!("u{moved}")),
+            &[("score", Value::Float(99.5))],
+            NOW,
+        )
+        .unwrap();
     let mut router = cluster.router();
     let v = router
         .get_features("user", &format!("u{moved}"), &["score"])
@@ -289,6 +293,130 @@ fn leader_kill_promotes_a_follower_with_zero_wrong_answers() {
         vec![Value::Float(99.5)],
         "a write to the promoted leader must be readable through the router"
     );
+    cluster.shutdown();
+}
+
+#[test]
+fn routed_writes_read_back_byte_identical() {
+    let cluster = two_shard_cluster();
+    let mut router = cluster.router();
+
+    for u in 0..USERS {
+        let entity = format!("u{u}");
+        // A float with a deliberately awkward bit pattern and a unicode
+        // string: the values must survive write → WAL-backed apply →
+        // routed read bit-for-bit.
+        let score = f64::from_bits(0x3FF8_0000_0000_0001 + u as u64);
+        let values = [
+            ("score", Value::Float(score)),
+            ("label", Value::Str(format!("écrit-🦀-{u}"))),
+        ];
+        // The router stamps the authoritative term from its map; the
+        // caller's term is irrelevant on the routed path.
+        let ack = router
+            .put_online("user", &entity, &values, 0)
+            .expect("routed write");
+        assert_eq!(ack.term, 1, "fresh cluster leaders hold term 1");
+
+        let v = router
+            .get_features("user", &entity, &["score", "label"])
+            .expect("routed read-back");
+        let expected: Vec<Value> = values.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(v.values, expected, "u{u} read back differently");
+        let Value::Float(read) = v.values[0] else {
+            panic!("score came back as {:?}", v.values[0]);
+        };
+        assert_eq!(
+            read.to_bits(),
+            score.to_bits(),
+            "float bits mangled on the write path"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn automatic_failover_routes_writes_and_fences_the_revived_zombie() {
+    let mut cluster = two_shard_cluster();
+    let control = cluster.control();
+    let victim = ShardId(0);
+    let moved: usize = (0..USERS)
+        .find(|u| cluster.shard_for(&format!("u{u}")) == victim)
+        .expect("the victim shard owns at least one seeded user");
+
+    cluster.kill_leader(victim);
+
+    // Two missed probes promote the follower — map-level (endpoint
+    // rotation + term bump) and, via the wire-level `Promote` the control
+    // plane sends, data-plane: the follower's engine runs its promotion
+    // hook and starts accepting writes. No local intervention.
+    assert!(control.probe_once().is_empty(), "one strike must not act");
+    let events = control.probe_once();
+    assert_eq!(events.len(), 1, "second strike promotes");
+    assert_eq!(events[0].shard, victim);
+    assert_eq!(events[0].term, 2, "promotion bumps the leader term");
+
+    let mut router = cluster.router();
+    let ack = router
+        .put_online(
+            "user",
+            &format!("u{moved}"),
+            &[("score", Value::Float(123.5))],
+            0,
+        )
+        .expect("routed write lands on the promoted follower");
+    assert_eq!(ack.term, 2, "the ack carries the post-failover term");
+    let v = router
+        .get_features("user", &format!("u{moved}"), &["score"])
+        .expect("routed read");
+    assert_eq!(v.values, vec![Value::Float(123.5)]);
+
+    // The dead leader comes back believing it still leads at term 1 — a
+    // zombie. Before the control plane reaches it, a *stale-term* write
+    // sent straight at it would be accepted; the fence must close that.
+    let zombie_addr = cluster.revive_leader(victim).expect("revive");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let fenced = loop {
+        // Each probe round retries the pending fence until the revived
+        // node acknowledges it.
+        control.probe_once();
+        if control.snapshot().pending_fences == 0 {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(fenced, "the pending fence never reached the revived leader");
+
+    let mut direct = FeatureClient::connect(zombie_addr).expect("connect to zombie");
+    let err = direct
+        .put_online(
+            "user",
+            &format!("u{moved}"),
+            &[("score", Value::Float(666.0))],
+            1,
+        )
+        .expect_err("a fenced zombie must refuse its old term");
+    match err {
+        ClientError::NotLeader { current_term } => {
+            assert_eq!(current_term, 2, "the refusal names the fencing term")
+        }
+        other => panic!("expected NotLeader, got {other:?}"),
+    }
+
+    // Nothing the zombie did (or was prevented from doing) disturbed the
+    // acknowledged post-failover write.
+    let v = router
+        .get_features("user", &format!("u{moved}"), &["score"])
+        .expect("routed read after fencing");
+    assert_eq!(v.values, vec![Value::Float(123.5)]);
+
+    // The control section of any node's metrics records the episode.
+    let snap = cluster.control_metrics();
+    assert_eq!(snap.promotions, 1);
+    assert_eq!(snap.terms.get("shard-0"), Some(&2));
     cluster.shutdown();
 }
 

@@ -112,12 +112,14 @@ fn main() -> Result<()> {
 
     // ...and everything after it lives only in the WAL until the next one.
     for i in 0..20 {
-        leader.put_online(
-            "user",
-            &EntityKey::new(format!("u{i}")),
-            &[("score", Value::Float(i as f64 / 20.0))],
-            NOW,
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new(format!("u{i}")),
+                &[("score", Value::Float(i as f64 / 20.0))],
+                NOW,
+            )
+            .unwrap();
     }
     leader
         .offline()

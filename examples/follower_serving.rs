@@ -53,12 +53,14 @@ fn main() -> Result<()> {
 
     // Online writes go through the leader so they reach the log too.
     for i in 0..100 {
-        leader.put_online(
-            "user",
-            &EntityKey::new(format!("u{i}")),
-            &[("score", Value::Float(i as f64 / 100.0))],
-            NOW,
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new(format!("u{i}")),
+                &[("score", Value::Float(i as f64 / 100.0))],
+                NOW,
+            )
+            .unwrap();
     }
 
     let leader_handle =
@@ -84,12 +86,14 @@ fn main() -> Result<()> {
     // The leader keeps moving: more online writes and a fresh embedding
     // version, all flowing to the follower as deltas.
     for i in 0..20 {
-        leader.put_online(
-            "user",
-            &EntityKey::new(format!("u{i}")),
-            &[("score", Value::Float(0.5 + i as f64))],
-            NOW,
-        );
+        leader
+            .put_online(
+                "user",
+                &EntityKey::new(format!("u{i}")),
+                &[("score", Value::Float(0.5 + i as f64))],
+                NOW,
+            )
+            .unwrap();
     }
     let mut table = EmbeddingTable::new(8)?;
     for i in 0..100 {

@@ -56,7 +56,7 @@ fn main() -> Result<()> {
             &EntityKey::new(format!("u{u}")),
             &[("score", Value::Float(u as f64 * 0.5))],
             NOW,
-        );
+        )?;
     }
 
     // Seed a partitioned embedding table: each shard's leader gets
@@ -169,7 +169,7 @@ fn main() -> Result<()> {
         &EntityKey::new("u7"),
         &[("score", Value::Float(777.0))],
         NOW,
-    );
+    )?;
     let v = router
         .get_features("user", "u7", &["score"])
         .expect("post-promotion read");
